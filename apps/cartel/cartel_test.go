@@ -1,0 +1,167 @@
+package cartel
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ifdb"
+)
+
+func setupApp(t *testing.T) (*App, *User, *User) {
+	t.Helper()
+	ResetCountersForTest()
+	db := ifdb.Open(ifdb.Config{IFC: true})
+	app, err := Setup(db)
+	if err != nil {
+		t.Fatalf("setup: %v", err)
+	}
+	alice, err := app.Register(1, "alice", "pw-a", "alice@example.com")
+	if err != nil {
+		t.Fatalf("register alice: %v", err)
+	}
+	bob, err := app.Register(2, "bob", "pw-b", "bob@example.com")
+	if err != nil {
+		t.Fatalf("register bob: %v", err)
+	}
+	if err := app.AddCar(10, alice.ID, "ALICE-1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := app.AddCar(20, bob.ID, "BOB-1"); err != nil {
+		t.Fatal(err)
+	}
+	return app, alice, bob
+}
+
+func ingestTrace(t *testing.T, app *App, u *User, car int64, n int, baseTS int64) {
+	t.Helper()
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{Lat: 42.36 + float64(i)*0.001, Lon: -71.09, TS: baseTS + int64(i)*30}
+	}
+	if err := app.IngestBatch(u, car, pts); err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+}
+
+// TestPipeline verifies the trigger-driven drive derivation and its
+// labels: locations at {drives, loc}, drives at {drives} only.
+func TestPipeline(t *testing.T) {
+	app, alice, _ := setupApp(t)
+	ingestTrace(t, app, alice, 10, 10, 1000)
+	// A second batch after a gap opens a second drive.
+	ingestTrace(t, app, alice, 10, 5, 10000)
+
+	// Alice can see her drives after contaminating for them.
+	s := app.DB.NewSession(alice.Principal)
+	if err := s.AddSecrecy(alice.DrivesTag); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Exec(`SELECT driveid, npoints FROM drives ORDER BY driveid`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("got %d drives, want 2", len(res.Rows))
+	}
+	if res.Rows[0][1].Int() != 10 || res.Rows[1][1].Int() != 5 {
+		t.Fatalf("drive point counts: %v, %v", res.Rows[0][1], res.Rows[1][1])
+	}
+	// Drive rows carry exactly {alice_drives} — the location tag was
+	// declassified by the closure.
+	for _, l := range res.RowLabels {
+		if l.Len() != 1 || !l.Has(alice.DrivesTag) {
+			t.Fatalf("drive label %v, want {alice_drives}", l)
+		}
+	}
+
+	// Without the location tag, LocationsLatest stays hidden.
+	res, err = s.Exec(`SELECT * FROM locationslatest`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 0 {
+		t.Fatal("locationslatest visible without location tag")
+	}
+	if err := s.AddSecrecy(alice.LocTag); err != nil {
+		t.Fatal(err)
+	}
+	res, _ = s.Exec(`SELECT * FROM locationslatest`)
+	if len(res.Rows) != 1 {
+		t.Fatalf("locationslatest rows = %d, want 1", len(res.Rows))
+	}
+}
+
+// TestScriptsOutputGuard runs the web scripts and checks both the
+// happy path and the leak-prevention path (the paper's URL
+// manipulation attack, §6.1).
+func TestScriptsOutputGuard(t *testing.T) {
+	app, alice, bob := setupApp(t)
+	ingestTrace(t, app, alice, 10, 8, 1000)
+	ingestTrace(t, app, bob, 20, 8, 1000)
+
+	// Alice sees her own cars.
+	var out bytes.Buffer
+	if err := app.RT.ServeRequest(alice.Principal, app.GetCars, nil, &out); err != nil {
+		t.Fatalf("get_cars: %v", err)
+	}
+	if !strings.Contains(out.String(), "car=10") {
+		t.Fatalf("get_cars output missing car: %q", out.String())
+	}
+
+	// Mallory (Bob) manipulates the URL to view Alice's drives without
+	// being her friend: the script reads them, cannot declassify, and
+	// the platform drops the output.
+	out.Reset()
+	if err := app.RT.ServeRequest(bob.Principal, app.Drives, map[string]string{"friend": "1"}, &out); err != nil {
+		t.Fatalf("drives attack errored: %v", err)
+	}
+	if strings.Contains(out.String(), "drives for user 1") {
+		t.Fatalf("leak: bob saw alice's drives: %q", out.String())
+	}
+
+	// After Alice befriends Bob (delegating alice_drives), it works.
+	if err := app.Befriend(alice, bob); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := app.RT.ServeRequest(bob.Principal, app.Drives, map[string]string{"friend": "1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "drives for user 1") {
+		t.Fatalf("friend cannot see delegated drives: %q", out.String())
+	}
+
+	// drives_top publishes only the declassified aggregate.
+	out.Reset()
+	if err := app.RT.ServeRequest(alice.Principal, app.DrivesTop, nil, &out); err != nil {
+		t.Fatalf("drives_top: %v", err)
+	}
+	if !strings.Contains(out.String(), "pattern") {
+		t.Fatalf("drives_top produced no stats: %q", out.String())
+	}
+
+	// Unauthenticated principal gets nothing from any script.
+	nobody := app.DB.CreatePrincipal("nobody")
+	out.Reset()
+	if err := app.RT.ServeRequest(nobody, app.GetCars, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 0 {
+		t.Fatalf("unauthenticated output: %q", out.String())
+	}
+}
+
+func TestAuthenticate(t *testing.T) {
+	app, alice, _ := setupApp(t)
+	if _, ok := app.Authenticate("alice", "wrong"); ok {
+		t.Fatal("bad password accepted")
+	}
+	u, ok := app.Authenticate("alice", "pw-a")
+	if !ok || u.ID != alice.ID {
+		t.Fatal("good password rejected")
+	}
+	if got := describe(u); !strings.Contains(got, "alice") {
+		t.Fatalf("describe: %q", got)
+	}
+}

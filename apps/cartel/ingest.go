@@ -1,0 +1,142 @@
+package cartel
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"ifdb"
+)
+
+// Point is one GPS measurement.
+type Point struct {
+	Lat, Lon float64
+	TS       int64 // seconds
+}
+
+// driveGapSeconds separates two drives: a gap longer than this closes
+// the current drive and the next point opens a new one.
+const driveGapSeconds = 300
+
+var locIDs, driveIDs atomic.Int64
+
+// driveUpdateProc is the trigger body behind the locations AFTER
+// INSERT trigger. It is registered as a stored authority closure bound
+// to the pipeline principal (authority for all_locations): it can
+// declassify location tags while deriving drives, but anything it
+// derives remains contaminated with the user's drives tag — it cannot
+// leak drive history no matter how buggy it is (§6.1).
+//
+// Note this function is NOT part of the trusted base: it exercises
+// only the authority its closure was granted.
+func driveUpdateProc(s *ifdb.Session, _ []ifdb.Value) (ifdb.Value, error) {
+	return ifdb.Null, driveUpdate(s)
+}
+
+func driveUpdate(s *ifdb.Session) error {
+	ctx := s.TriggerContext()
+	if ctx == nil || ctx.Event != "INSERT" {
+		return fmt.Errorf("driveupdate: not an insert trigger")
+	}
+	carID := ctx.New[1]
+	lat := ctx.New[2].Float()
+	lon := ctx.New[3].Float()
+	ts := ctx.New[4].Int()
+
+	// Maintain LocationsLatest at the raw-measurement label
+	// {u_drives, u_location}.
+	res, err := s.Exec(`UPDATE locationslatest SET lat = $2, lon = $3, ts = $4 WHERE carid = $1`,
+		carID, ctx.New[2], ctx.New[3], ctx.New[4])
+	if err != nil {
+		return err
+	}
+	if res.Affected == 0 {
+		if _, err := s.Exec(`INSERT INTO locationslatest VALUES ($1, $2, $3, $4)`,
+			carID, ctx.New[2], ctx.New[3], ctx.New[4]); err != nil {
+			return err
+		}
+	}
+
+	// Look up the owner's tags (users and cars are public rows; the
+	// tag *ids* are not secret, the data they protect is).
+	row, ok, err := s.QueryRow(
+		`SELECT u.location_tag, u.drives_tag FROM cars c JOIN users u ON c.userid = u.userid WHERE c.carid = $1`,
+		carID)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("driveupdate: car %v has no owner", carID)
+	}
+	locTag := ifdb.Tag(uint64(row[0].Int()))
+
+	// Declassify the location tag (closure authority via
+	// all_locations) so the drive is written at exactly {u_drives}.
+	if err := s.Declassify(locTag); err != nil {
+		return err
+	}
+
+	// Extend the open drive or start a new one.
+	drv, found, err := s.QueryRow(
+		`SELECT driveid, end_ts, distance, npoints, last_lat, last_lon
+		 FROM drives WHERE carid = $1 ORDER BY end_ts DESC LIMIT 1`, carID)
+	if err != nil {
+		return err
+	}
+	if found && ts-drv[1].Int() <= driveGapSeconds {
+		dist := drv[2].Float() + flatDistanceKM(drv[4].Float(), drv[5].Float(), lat, lon)
+		_, err = s.Exec(
+			`UPDATE drives SET end_ts = $2, distance = $3, npoints = $4, last_lat = $5, last_lon = $6 WHERE driveid = $1`,
+			drv[0], ifdb.Int(ts), ifdb.Float(dist), ifdb.Int(drv[3].Int()+1), ctx.New[2], ctx.New[3])
+		return err
+	}
+	_, err = s.Exec(`INSERT INTO drives VALUES ($1, $2, $3, $4, 0.0, 1, $5, $6)`,
+		ifdb.Int(driveIDs.Add(1)), carID, ifdb.Int(ts), ifdb.Int(ts), ctx.New[2], ctx.New[3])
+	return err
+}
+
+// flatDistanceKM approximates the distance between two coordinates
+// (equirectangular projection — fine at city scale).
+func flatDistanceKM(lat1, lon1, lat2, lon2 float64) float64 {
+	const kmPerDegree = 111.32
+	dx := (lon2 - lon1) * kmPerDegree * math.Cos((lat1+lat2)/2*math.Pi/180)
+	dy := (lat2 - lat1) * kmPerDegree
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// IngestBatch stores a batch of measurements for one car, as the
+// CarTel ingest path does: one transaction per batch (the paper used
+// 200 inserts per transaction, §8.2.2). The labeling decision — raw
+// measurements get {u_drives, u_location} — is trusted code; the
+// pipeline that runs under it is not.
+func (a *App) IngestBatch(u *User, carID int64, points []Point) error {
+	s := a.DB.NewSession(a.pipelinePrincipal)
+	if err := s.Begin(0); err != nil {
+		return err
+	}
+	for _, p := range points {
+		// Label incoming data: raw GPS reveals both the drive and the
+		// current location (§6.1).
+		if err := s.AddSecrecy(u.DrivesTag); err != nil {
+			s.Abort()
+			return err
+		}
+		if err := s.AddSecrecy(u.LocTag); err != nil {
+			s.Abort()
+			return err
+		}
+		if _, err := s.Exec(`INSERT INTO locations VALUES ($1, $2, $3, $4, $5)`,
+			ifdb.Int(locIDs.Add(1)), ifdb.Int(carID),
+			ifdb.Float(p.Lat), ifdb.Float(p.Lon), ifdb.Int(p.TS)); err != nil {
+			s.Abort()
+			return err
+		}
+	}
+	return s.Commit()
+}
+
+// ResetCountersForTest resets the id allocators (benchmark setup).
+func ResetCountersForTest() {
+	locIDs.Store(0)
+	driveIDs.Store(0)
+}

@@ -1,0 +1,179 @@
+package hotcrp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ifdb"
+)
+
+func setupConf(t *testing.T) (*App, *User, *User, *User) {
+	t.Helper()
+	db := ifdb.Open(ifdb.Config{IFC: true})
+	app, err := Setup(db)
+	if err != nil {
+		t.Fatalf("setup: %v", err)
+	}
+	cathy, err := app.Register(1, "Cathy", "Chairwoman", "cathy@conf.org", "MIT", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pete, err := app.Register(2, "Pete", "Programcommittee", "pete@conf.org", "CMU", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aaron, err := app.Register(3, "Aaron", "Author", "aaron@uni.edu", "Uni", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return app, cathy, pete, aaron
+}
+
+// TestPCMembersView checks the declassifying view (§4.3): names
+// visible to an empty-label process; the base table is not.
+func TestPCMembersView(t *testing.T) {
+	app, _, _, aaron := setupConf(t)
+	s := app.DB.NewSession(aaron.Principal)
+
+	res, err := s.Exec(`SELECT firstname, lastname FROM pcmembers ORDER BY lastname`)
+	if err != nil {
+		t.Fatalf("pcmembers view: %v", err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("pc names: got %d rows, want 2", len(res.Rows))
+	}
+	// View rows come out with the contact tags stripped: public.
+	for _, l := range res.RowLabels {
+		if !l.IsEmpty() {
+			t.Fatalf("view row label %v, want empty", l)
+		}
+	}
+
+	// The base table yields nothing to the same process.
+	res, err = s.Exec(`SELECT * FROM contactinfo`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 0 {
+		t.Fatalf("base contactinfo leaked %d rows", len(res.Rows))
+	}
+}
+
+// TestViewAuthorityRequired: only a principal with all_contacts
+// authority may create the declassifying view.
+func TestViewAuthorityRequired(t *testing.T) {
+	app, _, _, aaron := setupConf(t)
+	s := app.DB.NewSession(aaron.Principal)
+	_, err := s.Exec(`CREATE VIEW sneaky AS SELECT email FROM contactinfo WITH DECLASSIFYING (all_contacts)`)
+	if err == nil {
+		t.Fatal("unauthorized declassifying view was created")
+	}
+}
+
+// TestReviewConflicts: a conflicted PC member cannot see reviews of
+// their own paper even after DelegateReviews.
+func TestReviewConflicts(t *testing.T) {
+	app, cathy, pete, aaron := setupConf(t)
+	if err := app.SubmitPaper(100, "Pete's Paper", pete); err != nil {
+		t.Fatal(err)
+	}
+	if err := app.DeclareConflict(100, pete.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := app.SubmitReview(1000, 100, cathy, 4, "solid work"); err != nil {
+		t.Fatal(err)
+	}
+	if err := app.DelegateReviews(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Cathy (author of the review, non-conflicted) sees it.
+	var out bytes.Buffer
+	if err := app.RT.ServeRequest(cathy.Principal, app.ReviewsPage, map[string]string{"paper": "100"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "score 4") {
+		t.Fatalf("chair can't see review: %q", out.String())
+	}
+
+	// Pete is conflicted: he was not delegated the tag, so the page
+	// reads the review but cannot declassify — blank output.
+	out.Reset()
+	if err := app.RT.ServeRequest(pete.Principal, app.ReviewsPage, map[string]string{"paper": "100"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "score 4") {
+		t.Fatalf("conflicted PC member saw review: %q", out.String())
+	}
+
+	// Aaron (not PC) also gets nothing.
+	out.Reset()
+	if err := app.RT.ServeRequest(aaron.Principal, app.ReviewsPage, map[string]string{"paper": "100"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "score 4") {
+		t.Fatalf("outsider saw review: %q", out.String())
+	}
+}
+
+// TestDecisionHiddenUntilRelease reproduces the sort-leak bug the
+// paper reintroduced (§6.2): before release, the decision tuple is
+// invisible, so sorting by decision reveals nothing.
+func TestDecisionHiddenUntilRelease(t *testing.T) {
+	app, _, _, aaron := setupConf(t)
+	if err := app.SubmitPaper(7, "Aaron's Paper", aaron); err != nil {
+		t.Fatal(err)
+	}
+	if err := app.RecordDecision(7, "accept"); err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	if err := app.RT.ServeRequest(aaron.Principal, app.SearchPage, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "paper 7") {
+		t.Fatalf("paper missing from search: %q", out.String())
+	}
+	if strings.Contains(out.String(), "accept") {
+		t.Fatalf("decision leaked pre-release: %q", out.String())
+	}
+
+	if err := app.ReleaseDecisions(); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := app.RT.ServeRequest(aaron.Principal, app.DecisionsPage, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "accept") {
+		t.Fatalf("released decision not visible: %q", out.String())
+	}
+}
+
+// TestContactLabelConstraint: the LABEL EXACTLY constraint on
+// contactinfo rejects mislabeled inserts (§5.2.4).
+func TestContactLabelConstraint(t *testing.T) {
+	app, _, _, aaron := setupConf(t)
+	s := app.DB.NewSession(aaron.Principal)
+	// Empty label but contact_tag column says the tuple should carry
+	// aaron's tag: constraint must reject.
+	_, err := s.Exec(`INSERT INTO contactinfo VALUES (99, 'X', 'Y', 'x@y', '1', 'Z', $1)`,
+		ifdb.Int(int64(uint64(aaron.ContactTag))))
+	if err == nil {
+		t.Fatal("mislabeled contactinfo insert accepted")
+	}
+}
+
+// TestOwnContactPage: a user reads and releases their own contact row.
+func TestOwnContactPage(t *testing.T) {
+	app, _, pete, _ := setupConf(t)
+	var out bytes.Buffer
+	if err := app.RT.ServeRequest(pete.Principal, app.ContactPage, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "pete@conf.org") {
+		t.Fatalf("own contact page: %q", out.String())
+	}
+}

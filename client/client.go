@@ -1,0 +1,264 @@
+// Package client is the network client library for IFDB — the analog
+// of the paper's modified libpq (§7.2). It keeps the process label and
+// acting principal locally and transmits changes lazily, coalesced
+// with the next statement, exactly as the paper's protocol does.
+package client
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+
+	"ifdb/internal/label"
+	"ifdb/internal/types"
+	"ifdb/internal/wire"
+)
+
+// Value re-exports the SQL datum type for callers.
+type Value = types.Value
+
+// Label re-exports the label type.
+type Label = label.Label
+
+// Tag re-exports the tag type.
+type Tag = label.Tag
+
+// Result is a statement outcome as seen by the client.
+type Result struct {
+	Cols      []string
+	Rows      [][]Value
+	RowLabels []Label
+	Affected  int64
+}
+
+// Conn is one connection to an IFDB server. Not safe for concurrent
+// use (one connection per worker, like libpq).
+type Conn struct {
+	c net.Conn
+	r *bufio.Reader
+	w *bufio.Writer
+
+	principal uint64
+	plabel    Label
+	pilabel   Label
+	dirty     bool // label/principal changed since last sync
+}
+
+// Dial connects and performs the Hello handshake. token attests that
+// this client is a trusted platform (§2); principal is the acting
+// principal established by the platform's authentication code.
+func Dial(addr, token string, principal uint64) (*Conn, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Conn{c: nc, r: bufio.NewReader(nc), w: bufio.NewWriter(nc), principal: principal}
+	h := &wire.Hello{Token: token, Principal: principal}
+	if err := wire.WriteFrame(c.w, wire.MsgHello, h.Encode()); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	if err := c.w.Flush(); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	typ, payload, err := wire.ReadFrame(c.r)
+	if err != nil {
+		nc.Close()
+		return nil, err
+	}
+	switch typ {
+	case wire.MsgHelloOK:
+		return c, nil
+	case wire.MsgCtrlRes:
+		res, derr := wire.DecodeCtrlRes(payload)
+		nc.Close()
+		if derr != nil {
+			return nil, derr
+		}
+		return nil, errors.New(res.Err)
+	default:
+		nc.Close()
+		return nil, fmt.Errorf("client: unexpected handshake frame %c", typ)
+	}
+}
+
+// Close says goodbye and closes the socket.
+func (c *Conn) Close() error {
+	_ = wire.WriteFrame(c.w, wire.MsgClose, nil)
+	_ = c.w.Flush()
+	return c.c.Close()
+}
+
+// Label returns the client's view of the process label.
+func (c *Conn) Label() Label { return c.plabel.Clone() }
+
+// Integrity returns the client's view of the process integrity label.
+func (c *Conn) Integrity() Label { return c.pilabel.Clone() }
+
+// DropIntegrity lowers the local integrity label (always safe); the
+// change reaches the server with the next statement.
+func (c *Conn) DropIntegrity(t Tag) {
+	c.pilabel = c.pilabel.Remove(t)
+	c.dirty = true
+}
+
+// Endorse asks the server to verify authority and raise the integrity
+// label (round-trips, like Declassify).
+func (c *Conn) Endorse(t Tag) error {
+	_, err := c.Exec(fmt.Sprintf("SELECT endorse(%d)", uint64(t)))
+	return err
+}
+
+// Principal returns the acting principal.
+func (c *Conn) Principal() uint64 { return c.principal }
+
+// AddSecrecy raises the local process label; the change reaches the
+// server with the next statement. (Raising is free client-side; the
+// server re-checks the clearance rule inside serializable
+// transactions.)
+func (c *Conn) AddSecrecy(t Tag) {
+	c.plabel = c.plabel.Add(t)
+	c.dirty = true
+}
+
+// SetPrincipal switches the acting principal (platform authentication
+// code only).
+func (c *Conn) SetPrincipal(p uint64) {
+	c.principal = p
+	c.dirty = true
+}
+
+// Declassify asks the server to verify authority and lower the label.
+// Unlike AddSecrecy this must round-trip: removing a tag without
+// authority would violate the flow rules, so we issue the SQL function
+// and adopt the server's resulting label.
+func (c *Conn) Declassify(t Tag) error {
+	_, err := c.Exec(fmt.Sprintf("SELECT declassify(%d)", uint64(t)))
+	return err
+}
+
+// Exec sends one statement (with lazily-coalesced label sync) and
+// returns the result. The connection adopts the server's post-
+// statement label, which reflects any addsecrecy()/declassify() the
+// statement performed.
+func (c *Conn) Exec(sql string, params ...Value) (*Result, error) {
+	q := &wire.Query{SQL: sql, Params: params}
+	if c.dirty {
+		q.SyncLabel = true
+		q.Label = c.plabel
+		q.ILabel = c.pilabel
+		q.Principal = c.principal
+	}
+	payload, err := q.Encode()
+	if err != nil {
+		return nil, err
+	}
+	if err := wire.WriteFrame(c.w, wire.MsgQuery, payload); err != nil {
+		return nil, err
+	}
+	if err := c.w.Flush(); err != nil {
+		return nil, err
+	}
+	typ, resp, err := wire.ReadFrame(c.r)
+	if err != nil {
+		return nil, err
+	}
+	if typ != wire.MsgResult {
+		return nil, fmt.Errorf("client: unexpected frame %c", typ)
+	}
+	res, err := wire.DecodeResult(resp)
+	if err != nil {
+		return nil, err
+	}
+	c.dirty = false
+	c.plabel = res.Label
+	c.pilabel = res.ILabel
+	if res.Err != "" {
+		return nil, errors.New(res.Err)
+	}
+	return &Result{Cols: res.Cols, Rows: res.Rows, RowLabels: res.RowLabels, Affected: res.Affected}, nil
+}
+
+// control round-trips a control message. Pending label/principal
+// changes are flushed first (control frames carry no sync fields, and
+// authority operations must run under the client's true identity and
+// label).
+func (c *Conn) control(ctl *wire.Control) (*wire.CtrlRes, error) {
+	if c.dirty {
+		if _, err := c.Exec("SELECT 1"); err != nil {
+			return nil, err
+		}
+	}
+	if err := wire.WriteFrame(c.w, wire.MsgControl, ctl.Encode()); err != nil {
+		return nil, err
+	}
+	if err := c.w.Flush(); err != nil {
+		return nil, err
+	}
+	typ, resp, err := wire.ReadFrame(c.r)
+	if err != nil {
+		return nil, err
+	}
+	if typ != wire.MsgCtrlRes {
+		return nil, fmt.Errorf("client: unexpected frame %c", typ)
+	}
+	res, err := wire.DecodeCtrlRes(resp)
+	if err != nil {
+		return nil, err
+	}
+	if res.Err != "" {
+		return nil, errors.New(res.Err)
+	}
+	return res, nil
+}
+
+// CreatePrincipal creates a principal server-side (requires an empty
+// label, like every authority-state mutation).
+func (c *Conn) CreatePrincipal(name string) (uint64, error) {
+	res, err := c.control(&wire.Control{Op: "create_principal", Strs: []string{name}})
+	if err != nil {
+		return 0, err
+	}
+	return res.Nums[0], nil
+}
+
+// CreateTag creates a named tag owned by the acting principal.
+func (c *Conn) CreateTag(name string, compounds ...string) (Tag, error) {
+	res, err := c.control(&wire.Control{Op: "create_tag", Strs: append([]string{name}, compounds...)})
+	if err != nil {
+		return 0, err
+	}
+	return Tag(res.Nums[0]), nil
+}
+
+// LookupTag resolves a tag name server-side.
+func (c *Conn) LookupTag(name string) (Tag, error) {
+	res, err := c.control(&wire.Control{Op: "lookup_tag", Strs: []string{name}})
+	if err != nil {
+		return 0, err
+	}
+	return Tag(res.Nums[0]), nil
+}
+
+// Delegate grants authority for t to grantee.
+func (c *Conn) Delegate(grantee uint64, t Tag) error {
+	_, err := c.control(&wire.Control{Op: "delegate", Nums: []uint64{grantee, uint64(t)}})
+	return err
+}
+
+// Revoke withdraws a delegation.
+func (c *Conn) Revoke(grantee uint64, t Tag) error {
+	_, err := c.control(&wire.Control{Op: "revoke", Nums: []uint64{grantee, uint64(t)}})
+	return err
+}
+
+// HasAuthority asks whether the acting principal can declassify t.
+func (c *Conn) HasAuthority(t Tag) (bool, error) {
+	res, err := c.control(&wire.Control{Op: "has_authority", Nums: []uint64{uint64(t)}})
+	if err != nil {
+		return false, err
+	}
+	return res.Nums[0] == 1, nil
+}

@@ -1,0 +1,59 @@
+// Command ifdb-server runs an IFDB database server speaking the wire
+// protocol of internal/wire. Clients must present the platform token
+// (attesting they are a trusted DIFC runtime, paper §2).
+//
+//	ifdb-server -addr :5433 -token secret [-no-ifc] [-datadir /var/lib/ifdb]
+//
+// An optional -init script (SQL, semicolon-separated) runs as the
+// administrator before serving, for schema bootstrap.
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"time"
+
+	"ifdb"
+	"ifdb/internal/wire"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:5433", "listen address")
+		token   = flag.String("token", "", "platform attestation token (empty accepts anyone)")
+		noIFC   = flag.Bool("no-ifc", false, "disable information flow control (baseline mode)")
+		dataDir = flag.String("datadir", "", "directory for USING DISK heap files")
+		initSQL = flag.String("init", "", "path to a SQL script to run at startup")
+		vacuum  = flag.Duration("vacuum-interval", time.Minute, "autovacuum period (0 disables)")
+	)
+	flag.Parse()
+
+	db := ifdb.Open(ifdb.Config{IFC: !*noIFC, DataDir: *dataDir})
+	if *initSQL != "" {
+		script, err := os.ReadFile(*initSQL)
+		if err != nil {
+			log.Fatalf("ifdb-server: read init script: %v", err)
+		}
+		if _, err := db.AdminSession().Exec(string(script)); err != nil {
+			log.Fatalf("ifdb-server: init script: %v", err)
+		}
+	}
+
+	if *vacuum > 0 {
+		go func() {
+			for range time.Tick(*vacuum) {
+				if n := db.Vacuum(); n > 0 {
+					log.Printf("ifdb-server: vacuum reclaimed %d versions", n)
+				}
+			}
+		}()
+	}
+
+	srv := wire.NewServer(db.Engine(), *token)
+	srv.ErrorLog = log.Default()
+	log.Printf("ifdb-server: listening on %s (IFC=%v)", *addr, !*noIFC)
+	if err := srv.ListenAndServe(*addr); err != nil {
+		log.Fatalf("ifdb-server: %v", err)
+	}
+}

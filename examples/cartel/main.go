@@ -1,0 +1,63 @@
+// CarTel end-to-end walkthrough (paper §6.1): ingest GPS data through
+// the trigger-driven pipeline, then exercise the web scripts —
+// including the URL-manipulation attack that IFDB neutralizes.
+//
+//	go run ./examples/cartel
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"ifdb"
+	"ifdb/apps/cartel"
+)
+
+func main() {
+	db := ifdb.Open(ifdb.Config{IFC: true})
+	app, err := cartel.Setup(db)
+	check(err)
+
+	alice, err := app.Register(1, "alice", "secret", "alice@cartel")
+	check(err)
+	bob, err := app.Register(2, "bob", "hunter2", "bob@cartel")
+	check(err)
+	check(app.AddCar(10, alice.ID, "ALICE-1"))
+	check(app.AddCar(20, bob.ID, "BOB-1"))
+
+	// A drive: 30 GPS points 30 seconds apart.
+	pts := make([]cartel.Point, 30)
+	lat, lon := 42.3601, -71.0942
+	for i := range pts {
+		lat += 0.0006
+		lon -= 0.0002
+		pts[i] = cartel.Point{Lat: lat, Lon: lon, TS: int64(1700000000 + i*30)}
+	}
+	check(app.IngestBatch(alice, 10, pts))
+	fmt.Println("ingested 30 measurements for alice's car")
+
+	// Alice views her own car locations.
+	fmt.Println("\n-- alice requests get_cars.php --")
+	check(app.RT.ServeRequest(alice.Principal, app.GetCars, nil, os.Stdout))
+
+	// Bob tries the paper's attack: fetch alice's drives via the URL.
+	fmt.Println("\n-- bob requests drives.php?friend=1 (attack) --")
+	check(app.RT.ServeRequest(bob.Principal, app.Drives, map[string]string{"friend": "1"}, os.Stdout))
+	fmt.Println("(no output: bob read alice's drives but cannot declassify them)")
+
+	// Alice befriends Bob: delegation of alice's drives tag.
+	check(app.Befriend(alice, bob))
+	fmt.Println("\n-- alice befriended bob; bob retries --")
+	check(app.RT.ServeRequest(bob.Principal, app.Drives, map[string]string{"friend": "1"}, os.Stdout))
+
+	// Aggregate traffic statistics via the all_drives closure.
+	fmt.Println("\n-- alice requests drives_top.php --")
+	check(app.RT.ServeRequest(alice.Principal, app.DrivesTop, nil, os.Stdout))
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

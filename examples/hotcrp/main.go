@@ -1,0 +1,67 @@
+// HotCRP walkthrough (paper §6.2): the PCMembers declassifying view,
+// review tags with conflict-of-interest delegation, and decisions that
+// stay invisible until released.
+//
+//	go run ./examples/hotcrp
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"ifdb"
+	"ifdb/apps/hotcrp"
+)
+
+func main() {
+	db := ifdb.Open(ifdb.Config{IFC: true})
+	app, err := hotcrp.Setup(db)
+	check(err)
+
+	cathy, err := app.Register(1, "Cathy", "Chair", "cathy@conf.org", "MIT", true)
+	check(err)
+	pete, err := app.Register(2, "Pete", "PCMember", "pete@conf.org", "CMU", true)
+	check(err)
+	aaron, err := app.Register(3, "Aaron", "Author", "aaron@uni.edu", "Uni", false)
+	check(err)
+
+	check(app.SubmitPaper(100, "A Modest Proposal for DIFC", aaron))
+	check(app.SubmitPaper(101, "Pete's Conflicted Paper", pete))
+	check(app.DeclareConflict(101, pete.ID))
+
+	// The PC list: anyone sees names — and only names — through the
+	// declassifying view, even with an empty label.
+	fmt.Println("-- aaron (an author) requests the PC list --")
+	check(app.RT.ServeRequest(aaron.Principal, app.PCListPage, nil, os.Stdout))
+
+	// Reviews: Cathy reviews both papers; tags delegated to eligible
+	// PC members only.
+	_, err = app.SubmitReview(1000, 100, cathy, 5, "accept, obviously")
+	check(err)
+	_, err = app.SubmitReview(1001, 101, cathy, 2, "reject; conflicted author lurks")
+	check(err)
+	check(app.DelegateReviews())
+
+	fmt.Println("\n-- pete reads reviews of paper 100 (eligible) --")
+	check(app.RT.ServeRequest(pete.Principal, app.ReviewsPage, map[string]string{"paper": "100"}, os.Stdout))
+
+	fmt.Println("\n-- pete reads reviews of paper 101 (his own; conflicted) --")
+	check(app.RT.ServeRequest(pete.Principal, app.ReviewsPage, map[string]string{"paper": "101"}, os.Stdout))
+	fmt.Println("(no output: the conflict kept the delegation away)")
+
+	// Decisions: recorded, searched (the old sort-leak), released.
+	check(app.RecordDecision(100, "accept"))
+	fmt.Println("\n-- aaron searches papers sorted by decision (pre-release) --")
+	check(app.RT.ServeRequest(aaron.Principal, app.SearchPage, nil, os.Stdout))
+
+	check(app.ReleaseDecisions())
+	fmt.Println("\n-- after release --")
+	check(app.RT.ServeRequest(aaron.Principal, app.DecisionsPage, nil, os.Stdout))
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,120 @@
+// Medical-records example: the paper's running HIVPatients scenario
+// (§4.2, §5) — compound tags, label constraints, the Foreign Key Rule
+// with DECLASSIFYING, the §5.1 conditional-commit attack, and the
+// billing declassifying-view pattern from §6.4.
+//
+//	go run ./examples/medical
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ifdb"
+)
+
+func main() {
+	db := ifdb.Open(ifdb.Config{IFC: true})
+	admin := db.AdminSession()
+
+	must(admin.Exec(`
+	CREATE TABLE patients (
+		pname TEXT PRIMARY KEY,
+		dob   TEXT,
+		med_tag BIGINT,
+		CONSTRAINT patient_label LABEL EXACTLY (med_tag)
+	);
+	CREATE TABLE prescriptions (
+		rxid  BIGINT PRIMARY KEY,
+		pname TEXT REFERENCES patients (pname),
+		drug  TEXT
+	)`))
+
+	// A hospital principal owns the all_medical compound; each patient
+	// owns their member tag.
+	hospital := db.CreatePrincipal("hospital")
+	_, err := db.NewSession(hospital).CreateTag("all_medical")
+	check(err)
+
+	alice := db.CreatePrincipal("alice")
+	sa := db.NewSession(alice)
+	aliceMed, err := sa.CreateTag("alice_medical", "all_medical")
+	check(err)
+
+	// The label constraint forces Alice's row to carry exactly
+	// {alice_medical} — mislabeling (and polyinstantiation of her key)
+	// is impossible (§5.2.4).
+	check(sa.AddSecrecy(aliceMed))
+	must(sa.Exec(`INSERT INTO patients VALUES ('Alice', '2/1/60', $1)`,
+		ifdb.Int(int64(uint64(aliceMed)))))
+	fmt.Println("inserted Alice's record under the label constraint")
+
+	if _, err := db.NewSession(alice).Exec(
+		`INSERT INTO patients VALUES ('Alice2', '1/1/70', $1)`,
+		ifdb.Int(int64(uint64(aliceMed)))); err != nil {
+		fmt.Println("mislabeled insert rejected:", err)
+	}
+
+	// Foreign Key Rule (§5.2.2): inserting a prescription that
+	// references Alice's {alice_medical} row from a process at the
+	// same label has an empty symmetric difference — fine. From a
+	// different label, the tags must be declared and authorized.
+	must(sa.Exec(`INSERT INTO prescriptions VALUES (1, 'Alice', 'ritonavir')`))
+	fmt.Println("same-label prescription insert OK")
+
+	sa2 := db.NewSession(alice)
+	if _, err := sa2.Exec(`INSERT INTO prescriptions VALUES (2, 'Alice', 'aspirin')`); err != nil {
+		fmt.Println("empty-label FK insert rejected:", err)
+	}
+	// With the tag declared (and Alice's own authority), it works:
+	must(sa2.Exec(`INSERT INTO prescriptions VALUES (2, 'Alice', 'aspirin') DECLASSIFYING (alice_medical)`))
+	fmt.Println("DECLASSIFYING(alice_medical) insert OK")
+
+	// §5.1's attack: write low, raise, read secret, commit iff present.
+	mallory := db.CreatePrincipal("mallory")
+	must(admin.Exec(`CREATE TABLE bulletin (msg TEXT)`))
+	sm := db.NewSession(mallory)
+	must(sm.Exec(`BEGIN`))
+	must(sm.Exec(`INSERT INTO bulletin VALUES ('Alice has HIV')`))
+	must(sm.Exec(`SELECT addsecrecy('alice_medical')`))
+	res := mustQ(sm.Exec(`SELECT * FROM patients WHERE pname = 'Alice'`))
+	fmt.Printf("mallory (contaminated) sees %d row(s)\n", len(res.Rows))
+	if _, err := sm.Exec(`COMMIT`); err != nil {
+		fmt.Println("commit-label rule blocked the leak:", err)
+	}
+	res = mustQ(db.NewSession(mallory).Exec(`SELECT * FROM bulletin`))
+	fmt.Printf("bulletin rows visible publicly: %d\n", len(res.Rows))
+
+	// Billing pattern (§6.4): a declassifying view owned by a billing
+	// principal that Alice trusts with her medical tag. The view can
+	// bind only authority its creator actually holds: billing was
+	// delegated alice_medical, not the whole all_medical compound.
+	billing := db.CreatePrincipal("billing")
+	check(db.NewSession(alice).Delegate(billing, aliceMed))
+	sbill := db.NewSession(billing)
+	if _, err := sbill.Exec(`CREATE VIEW billing_all AS
+		SELECT pname FROM patients WITH DECLASSIFYING (all_medical)`); err != nil {
+		fmt.Println("overbroad declassifying view rejected:", err)
+	}
+	must(sbill.Exec(`CREATE VIEW billing_names AS
+		SELECT pname FROM patients WITH DECLASSIFYING (alice_medical)`))
+	res = mustQ(db.NewSession(billing).Exec(`SELECT * FROM billing_names`))
+	fmt.Printf("billing view (empty-label reader) shows %d patient name(s): %v\n",
+		len(res.Rows), res.Rows)
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func must(res *ifdb.Result, err error) *ifdb.Result {
+	check(err)
+	return res
+}
+
+func mustQ(res *ifdb.Result, err error) *ifdb.Result {
+	check(err)
+	return res
+}

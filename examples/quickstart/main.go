@@ -1,0 +1,93 @@
+// Quickstart: the IFDB model in one file — tags, labels, Query by
+// Label, polyinstantiation, and declassification with authority.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"ifdb"
+)
+
+func main() {
+	db := ifdb.Open(ifdb.Config{IFC: true})
+	admin := db.AdminSession()
+
+	// The administrator defines the schema (and, per the Principle of
+	// Least Privilege, holds no declassification authority at all).
+	must(admin.Exec(`CREATE TABLE patients (
+		name      TEXT PRIMARY KEY,
+		condition TEXT
+	)`))
+
+	// Alice and Bob each own a tag protecting their medical data.
+	alice := db.CreatePrincipal("alice")
+	bob := db.CreatePrincipal("bob")
+	aliceMed, err := db.CreateTag(alice, "alice_medical")
+	check(err)
+	bobMed, err := db.CreateTag(bob, "bob_medical")
+	check(err)
+
+	// Bob's process contaminates itself, then writes: the tuple is
+	// stamped with exactly the process label {bob_medical}.
+	sb := db.NewSession(bob)
+	check(sb.AddSecrecy(bobMed))
+	must(sb.Exec(`INSERT INTO patients VALUES ('Bob', 'HIV')`))
+	fmt.Println("Bob inserted his record at label", sb.Label())
+
+	// Query by Label: an empty-label process sees no rows — not an
+	// error, just an empty, consistent subset of the database.
+	sa := db.NewSession(alice)
+	res := mustQ(sa.Exec(`SELECT * FROM patients`))
+	fmt.Printf("Alice (label %v) sees %d rows\n", sa.Label(), len(res.Rows))
+
+	// Polyinstantiation: Alice inserts a conflicting key she cannot
+	// see. Refusing would leak Bob's row, so IFDB accepts it.
+	check(sa.AddSecrecy(aliceMed))
+	must(sa.Exec(`INSERT INTO patients VALUES ('Bob', 'flu?')`))
+	fmt.Println("Alice polyinstantiated Bob's key at", sa.Label())
+
+	// A doctor Bob trusts: Bob delegates authority for his tag.
+	doctor := db.CreatePrincipal("doctor")
+	check(db.NewSession(bob).Delegate(doctor, bobMed))
+
+	sd := db.NewSession(doctor)
+	check(sd.AddSecrecy(bobMed))
+	res = mustQ(sd.Exec(`SELECT condition FROM patients WHERE name = 'Bob'`))
+	fmt.Printf("Doctor reads Bob's condition: %s\n", res.Rows[0][0])
+
+	// The doctor can release it because of the delegation...
+	check(sd.Declassify(bobMed))
+	fmt.Println("Doctor declassified; label now", sd.Label())
+
+	// ...but Alice cannot release Bob's data: she can contaminate
+	// herself with his tag (reading is gated by the label, not by
+	// permission), yet has no authority to remove it again.
+	check(sa.AddSecrecy(bobMed))
+	err = sa.Declassify(bobMed)
+	fmt.Println("Alice declassifying bob_medical:", err)
+	if !errors.Is(err, ifdb.ErrAuthority) {
+		log.Fatal("expected an authority error")
+	}
+	// See examples/medical for the §5.1 conditional-commit attack
+	// being stopped by the commit-label rule.
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func must(res *ifdb.Result, err error) *ifdb.Result {
+	check(err)
+	return res
+}
+
+func mustQ(res *ifdb.Result, err error) *ifdb.Result {
+	check(err)
+	return res
+}

@@ -1,0 +1,158 @@
+package ifdb_test
+
+import (
+	"errors"
+	"testing"
+
+	"ifdb"
+)
+
+// TestIntegrityThroughPublicAPI exercises the integrity-label
+// extension (paper §3.1, detailed in the thesis) end to end through
+// the public API: a sensor pipeline whose readings are endorsed by a
+// calibration authority, and a consumer that insists on calibrated
+// data.
+func TestIntegrityThroughPublicAPI(t *testing.T) {
+	db := ifdb.Open(ifdb.Config{IFC: true})
+	admin := db.AdminSession()
+	if _, err := admin.Exec(`CREATE TABLE readings (id BIGINT PRIMARY KEY, celsius DOUBLE PRECISION)`); err != nil {
+		t.Fatal(err)
+	}
+
+	lab := db.CreatePrincipal("calibration-lab")
+	calibrated, err := db.CreateTag(lab, "calibrated")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The lab's ingest process endorses its writes.
+	labSess := db.NewSession(lab)
+	if err := labSess.Endorse(calibrated); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := labSess.Exec(`INSERT INTO readings VALUES (1, 36.6)`); err != nil {
+		t.Fatal(err)
+	}
+
+	// A random process writes an unendorsed reading.
+	rando := db.CreatePrincipal("rando")
+	if _, err := db.NewSession(rando).Exec(`INSERT INTO readings VALUES (2, 451.0)`); err != nil {
+		t.Fatal(err)
+	}
+
+	// A consumer with no integrity requirement sees both readings; one
+	// claiming `calibrated` integrity sees only the lab's.
+	consumer := db.NewSession(rando)
+	res, err := consumer.Exec(`SELECT COUNT(*) FROM readings`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int() != 2 {
+		t.Fatalf("unconstrained consumer: %v", res.Rows[0][0])
+	}
+	// Claiming integrity requires authority; rando can't.
+	if err := consumer.Endorse(calibrated); !errors.Is(err, ifdb.ErrAuthority) {
+		t.Fatalf("rando endorsed: %v", err)
+	}
+	if err := db.Delegate(lab, rando, calibrated); err != nil {
+		t.Fatal(err)
+	}
+	if err := consumer.Endorse(calibrated); err != nil {
+		t.Fatal(err)
+	}
+	res, err = consumer.Exec(`SELECT celsius FROM readings`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].Float() != 36.6 {
+		t.Fatalf("calibrated consumer: %v", res.Rows)
+	}
+}
+
+// TestQueryEachThroughPublicAPI: the §10 per-tuple iterator, driving a
+// fan-out over differently-tagged rows without accumulating all tags.
+func TestQueryEachThroughPublicAPI(t *testing.T) {
+	db := ifdb.Open(ifdb.Config{IFC: true})
+	admin := db.AdminSession()
+	if _, err := admin.Exec(`CREATE TABLE inbox (id BIGINT PRIMARY KEY, msg TEXT)`); err != nil {
+		t.Fatal(err)
+	}
+	owner := db.CreatePrincipal("owner")
+	var tags []ifdb.Tag
+	for i, name := range []string{"qe_a", "qe_b", "qe_c"} {
+		tg, err := db.CreateTag(owner, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tags = append(tags, tg)
+		s := db.NewSession(owner)
+		if err := s.AddSecrecy(tg); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Exec(`INSERT INTO inbox VALUES ($1, $2)`,
+			ifdb.Int(int64(i)), ifdb.Text(name)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Reader contaminated for all three can iterate per-row contexts.
+	reader := db.NewSession(owner)
+	for _, tg := range tags {
+		if err := reader.AddSecrecy(tg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rows := 0
+	err := reader.QueryEach(`SELECT msg FROM inbox ORDER BY id`, nil,
+		func(row []ifdb.Value, rowLabel ifdb.Label) error {
+			if rowLabel.Len() != 1 {
+				t.Errorf("row label %v, want singleton", rowLabel)
+			}
+			rows++
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows != 3 {
+		t.Fatalf("iterated %d rows", rows)
+	}
+}
+
+// TestLabeledSequencesThroughSQL: the §10 sequences design — counter
+// partitions per exact label.
+func TestLabeledSequencesThroughSQL(t *testing.T) {
+	db := ifdb.Open(ifdb.Config{IFC: true})
+	p := db.CreatePrincipal("p")
+	s := db.NewSession(p)
+	if _, err := s.Exec(`SELECT create_sequence('order_ids')`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Exec(`SELECT nextval('order_ids')`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int() != 1 {
+		t.Fatalf("first nextval: %v", res.Rows[0][0])
+	}
+	// A secret process gets its own stream and leaves the public one
+	// untouched (no allocation covert channel).
+	tg, err := db.CreateTag(p, "seq_secret")
+	if err != nil {
+		t.Fatal(err)
+	}
+	secret := db.NewSession(p)
+	if err := secret.AddSecrecy(tg); err != nil {
+		t.Fatal(err)
+	}
+	res, err = secret.Exec(`SELECT nextval('order_ids')`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int() != 1 {
+		t.Fatalf("secret partition first value: %v", res.Rows[0][0])
+	}
+	res, _ = s.Exec(`SELECT nextval('order_ids')`)
+	if res.Rows[0][0].Int() != 2 {
+		t.Fatalf("public counter moved by secret allocation: %v", res.Rows[0][0])
+	}
+}

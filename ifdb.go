@@ -1,0 +1,193 @@
+// Package ifdb is a from-scratch Go implementation of IFDB, the
+// database system with decentralized information flow control (DIFC)
+// described in:
+//
+//	David Schultz and Barbara Liskov.
+//	IFDB: Decentralized Information Flow Control for Databases.
+//	EuroSys 2013.
+//
+// IFDB tracks sensitive information as it flows through the DBMS and
+// between the application and the DBMS. Every tuple carries an
+// immutable label (a set of tags); every process (session) carries a
+// label that grows as it reads. The Query by Label model confines each
+// query to the tuples whose labels flow to the process label, and
+// writes are stamped with exactly the process label. Declassification
+// — removing a tag — requires authority, which principals obtain by
+// ownership or delegation and exercise directly or through authority
+// closures and declassifying views.
+//
+// # Quick start
+//
+//	db := ifdb.Open(ifdb.Config{IFC: true})
+//	admin := db.AdminSession()
+//	admin.Exec(`CREATE TABLE patients (name TEXT PRIMARY KEY, diagnosis TEXT)`)
+//
+//	alicePrin := db.CreatePrincipal("alice")
+//	aliceTag, _ := db.CreateTag(alicePrin, "alice_medical")
+//
+//	s := db.NewSession(alicePrin)
+//	s.AddSecrecy(aliceTag) // contaminate before writing Alice's data
+//	s.Exec(`INSERT INTO patients VALUES ('Alice', 'HIV')`)
+//	s.Declassify(aliceTag) // Alice's own authority permits this
+//
+// The engine can also run with IFC disabled (Config.IFC = false), in
+// which case it is a plain relational database; every benchmark in
+// this repository uses that mode as the "PostgreSQL" baseline, so the
+// measured difference is exactly the cost of information flow control.
+package ifdb
+
+import (
+	"ifdb/internal/authority"
+	"ifdb/internal/engine"
+	"ifdb/internal/label"
+	"ifdb/internal/types"
+)
+
+// Core types re-exported from the internal packages so that
+// applications only import ifdb (and ifdb/platform, ifdb/client).
+type (
+	// Tag identifies one secrecy category (paper §3.1).
+	Tag = label.Tag
+	// Label is a set of tags.
+	Label = label.Label
+	// Principal is an entity with security interests (§3.2).
+	Principal = authority.Principal
+	// Session is a connection with its own process label and principal.
+	Session = engine.Session
+	// Result is the outcome of one SQL statement.
+	Result = engine.Result
+	// Value is one SQL datum.
+	Value = types.Value
+	// TriggerCtx is passed to trigger procedures.
+	TriggerCtx = engine.TriggerCtx
+	// ProcFunc is the signature of stored procedures.
+	ProcFunc = engine.ProcFunc
+)
+
+// NoPrincipal is the principal with no authority.
+const NoPrincipal = authority.NoPrincipal
+
+// Value constructors, re-exported.
+var (
+	// Null is the SQL NULL value.
+	Null = types.Null
+	// Int makes a BIGINT value.
+	Int = types.NewInt
+	// Float makes a DOUBLE PRECISION value.
+	Float = types.NewFloat
+	// Text makes a TEXT value.
+	Text = types.NewText
+	// Bool makes a BOOLEAN value.
+	Bool = types.NewBool
+	// Time makes a TIMESTAMP value.
+	Time = types.NewTime
+	// NewLabel builds a normalized label from tags.
+	NewLabel = label.New
+)
+
+// Errors applications match with errors.Is.
+var (
+	ErrWriteRule       = engine.ErrWriteRule
+	ErrUnique          = engine.ErrUnique
+	ErrForeignKey      = engine.ErrForeignKey
+	ErrFKAuthority     = engine.ErrFKAuthority
+	ErrLabelConstraint = engine.ErrLabelConstraint
+	ErrAuthority       = engine.ErrAuthority
+	ErrContaminated    = engine.ErrContaminated
+	ErrClearance       = engine.ErrClearance
+)
+
+// Config configures a database instance.
+type Config struct {
+	// IFC enables information flow control (the whole point). False
+	// yields the plain baseline DBMS used for comparison benchmarks.
+	IFC bool
+	// DataDir is where `USING DISK` tables store heap files; empty
+	// means disk tables use in-memory page stores (still paged and
+	// evicted through the buffer pool).
+	DataDir string
+	// BufferPoolPages caps each disk table's buffer pool (default 256).
+	BufferPoolPages int
+}
+
+// DB is one IFDB database instance.
+type DB struct {
+	eng *engine.Engine
+}
+
+// Open creates a database.
+func Open(cfg Config) *DB {
+	return &DB{eng: engine.New(engine.Config{
+		IFC:             cfg.IFC,
+		DataDir:         cfg.DataDir,
+		BufferPoolPages: cfg.BufferPoolPages,
+	})}
+}
+
+// Engine exposes the underlying engine for advanced integrations
+// (the network server and the benchmark harness use it).
+func (db *DB) Engine() *engine.Engine { return db.eng }
+
+// IFC reports whether information flow control is enabled.
+func (db *DB) IFC() bool { return db.eng.IFC() }
+
+// Admin returns the administrator principal. Following the Principle
+// of Least Privilege (§3.3), the administrator defines schemas but
+// holds no tag authority.
+func (db *DB) Admin() Principal { return db.eng.Admin() }
+
+// AdminSession opens a session as the administrator.
+func (db *DB) AdminSession() *Session { return db.eng.NewSession(db.eng.Admin()) }
+
+// NewSession opens a session acting as principal p with an empty label.
+func (db *DB) NewSession(p Principal) *Session { return db.eng.NewSession(p) }
+
+// CreatePrincipal creates a principal.
+func (db *DB) CreatePrincipal(name string) Principal { return db.eng.CreatePrincipal(name) }
+
+// CreateTag creates a tag owned by owner, optionally as a member of
+// the named compound tags.
+func (db *DB) CreateTag(owner Principal, name string, compounds ...string) (Tag, error) {
+	return db.eng.CreateTag(owner, name, compounds...)
+}
+
+// LookupTag resolves a tag name.
+func (db *DB) LookupTag(name string) (Tag, bool) { return db.eng.LookupTag(name) }
+
+// Delegate grants authority for tag t from grantor to grantee.
+// (Grantor-side checks are in the authority state; sessions expose a
+// label-checked variant.)
+func (db *DB) Delegate(grantor, grantee Principal, t Tag) error {
+	return db.eng.Authority().Delegate(grantor, grantee, t)
+}
+
+// HasAuthority reports whether p can declassify t.
+func (db *DB) HasAuthority(p Principal, t Tag) bool {
+	return db.eng.Authority().HasAuthority(p, t)
+}
+
+// RegisterProc installs an ordinary stored procedure callable from SQL
+// and triggers; it runs with the caller's authority.
+func (db *DB) RegisterProc(name string, fn ProcFunc) error {
+	return db.eng.RegisterProc(name, fn)
+}
+
+// RegisterClosureProc installs a stored authority closure (§4.3):
+// code bound to a principal whose authority it exercises when invoked.
+// The creator must hold authority for every tag in proves.
+func (db *DB) RegisterClosureProc(name string, fn ProcFunc, creator, bound Principal, proves Label) error {
+	return db.eng.RegisterClosureProc(name, fn, creator, bound, proves)
+}
+
+// RegisterClosure registers a named (non-proc) authority closure that
+// sessions invoke with Session.CallClosure.
+func (db *DB) RegisterClosure(name string, creator, bound Principal, proves Label) error {
+	_, err := db.eng.Closures().Register(name, creator, bound, proves)
+	return err
+}
+
+// Vacuum reclaims dead tuple versions (exempt from IFC, §7.1).
+func (db *DB) Vacuum() int { return db.eng.Vacuum() }
+
+// Stats reports engine-wide counters (tables, tuples, resident bytes).
+func (db *DB) Stats() engine.Stats { return db.eng.Stats() }

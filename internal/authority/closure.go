@@ -1,0 +1,117 @@
+package authority
+
+import (
+	"fmt"
+	"sync"
+
+	"ifdb/internal/label"
+)
+
+// Authority closures (paper §3.3, §4.3).
+//
+// An authority closure is code bound to a principal at creation time;
+// when invoked, it runs with that principal's authority instead of the
+// caller's. The creator must already hold the authority being bound —
+// the closure can never launder privilege the creator lacked.
+//
+// The closure registry only records the *binding*; the engine and the
+// platform decide what "code" means (a stored procedure, a trigger, a
+// Go function) and arrange for the bound principal to be in effect
+// during the call.
+
+// ClosureID names a registered closure.
+type ClosureID uint64
+
+// Closure describes one authority binding.
+type Closure struct {
+	ID      ClosureID
+	Name    string
+	Bound   Principal // principal whose authority the closure runs with
+	Creator Principal // who created the binding
+}
+
+// ClosureRegistry tracks authority closures. Safe for concurrent use.
+type ClosureRegistry struct {
+	mu     sync.RWMutex
+	state  *State
+	nextID ClosureID
+	byID   map[ClosureID]*Closure
+	byName map[string]*Closure
+}
+
+// NewClosureRegistry returns an empty registry backed by the given
+// authority state.
+func NewClosureRegistry(state *State) *ClosureRegistry {
+	return &ClosureRegistry{
+		state:  state,
+		nextID: 1,
+		byID:   make(map[ClosureID]*Closure),
+		byName: make(map[string]*Closure),
+	}
+}
+
+// Register creates a closure binding named name that will run with the
+// authority of bound. The creator must be able to act for bound's
+// authority on every tag in proves: the caller passes the set of tags
+// the closure is expected to declassify, and each must already be held
+// by the creator (Principle of Least Privilege: you cannot give away
+// what you do not have).
+//
+// If proves is empty the binding is still checked minimally: the
+// creator must be the bound principal itself or hold at least the same
+// authority on demand; in that case later declassifications by the
+// closure are limited by bound's actual authority anyway, so the
+// binding is safe.
+func (r *ClosureRegistry) Register(name string, creator, bound Principal, proves label.Label) (*Closure, error) {
+	if !r.state.PrincipalExists(bound) {
+		return nil, fmt.Errorf("authority: unknown bound principal %d", bound)
+	}
+	for _, t := range proves {
+		if !r.state.HasAuthority(creator, t) {
+			return nil, fmt.Errorf("authority: closure creator lacks authority for tag %d", t)
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[name]; dup {
+		return nil, fmt.Errorf("authority: closure %q already exists", name)
+	}
+	c := &Closure{ID: r.nextID, Name: name, Bound: bound, Creator: creator}
+	r.nextID++
+	r.byID[c.ID] = c
+	r.byName[name] = c
+	return c, nil
+}
+
+// Lookup finds a closure by name.
+func (r *ClosureRegistry) Lookup(name string) (*Closure, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	c, ok := r.byName[name]
+	return c, ok
+}
+
+// Get finds a closure by id.
+func (r *ClosureRegistry) Get(id ClosureID) (*Closure, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	c, ok := r.byID[id]
+	return c, ok
+}
+
+// Drop removes a closure binding. Only the creator or the bound
+// principal may drop it.
+func (r *ClosureRegistry) Drop(name string, by Principal) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.byName[name]
+	if !ok {
+		return fmt.Errorf("authority: no closure %q", name)
+	}
+	if by != c.Creator && by != c.Bound {
+		return fmt.Errorf("authority: principal %d may not drop closure %q", by, name)
+	}
+	delete(r.byName, name)
+	delete(r.byID, c.ID)
+	return nil
+}

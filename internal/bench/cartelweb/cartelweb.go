@@ -1,0 +1,287 @@
+// Package cartelweb drives the CarTel web portal with the TPC-W-style
+// workload of paper §8.2.1: simulated clients issue HTTP-like requests
+// against the script handlers following the Fig. 3 distribution.
+//
+// Two regimes reproduce Fig. 4's two rows:
+//
+//   - db-bound: many concurrent workers, negligible per-request render
+//     work — throughput is limited by the database;
+//   - web-bound: substantial per-request render work on the platform
+//     side — throughput is limited by the (DIFC-tracking) platform,
+//     which is where the paper's PHP-IF overhead appeared.
+//
+// For latency (Fig. 5) a single client issues each script serially on
+// an idle system.
+package cartelweb
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ifdb"
+	"ifdb/apps/cartel"
+	"ifdb/platform"
+)
+
+// Mix is the Fig. 3 request distribution (excluding login).
+var Mix = []struct {
+	Script string
+	Freq   float64
+}{
+	{"get_cars.php", 0.50},
+	{"cars.php", 0.30},
+	{"drives.php", 0.08},
+	{"drives_top.php", 0.08},
+	{"friends.php", 0.03},
+	{"edit_account.php", 0.01},
+}
+
+// Config sizes the deployment.
+type Config struct {
+	IFC        bool
+	Users      int
+	CarsPer    int
+	PointsPer  int // GPS points ingested per car at setup
+	RenderWork int // per-request platform-side work units (web-bound regime)
+}
+
+// DefaultConfig is a laptop-scale CarTel population.
+func DefaultConfig(ifc bool) Config {
+	return Config{IFC: ifc, Users: 20, CarsPer: 2, PointsPer: 40}
+}
+
+// Bench is a loaded CarTel deployment plus its user population.
+type Bench struct {
+	App   *cartel.App
+	Cfg   Config
+	users []*cartel.User
+
+	// Requests counts completed requests during Run.
+	Requests atomic.Int64
+}
+
+// Setup builds the deployment: users, cars, friendships, and ingested
+// GPS traces.
+func Setup(cfg Config) (*Bench, error) {
+	cartel.ResetCountersForTest()
+	db := ifdb.Open(ifdb.Config{IFC: cfg.IFC})
+	app, err := cartel.Setup(db)
+	if err != nil {
+		return nil, err
+	}
+	b := &Bench{App: app, Cfg: cfg}
+	rng := rand.New(rand.NewSource(1))
+	carID := int64(0)
+	for i := 0; i < cfg.Users; i++ {
+		u, err := app.Register(int64(i+1), fmt.Sprintf("user%d", i+1), "pw", fmt.Sprintf("u%d@cartel", i+1))
+		if err != nil {
+			return nil, err
+		}
+		b.users = append(b.users, u)
+		for c := 0; c < cfg.CarsPer; c++ {
+			carID++
+			if err := app.AddCar(carID, u.ID, fmt.Sprintf("CAR-%d", carID)); err != nil {
+				return nil, err
+			}
+			pts := make([]cartel.Point, cfg.PointsPer)
+			base := int64(1000 + rng.Intn(1000))
+			lat, lon := 42.36, -71.09
+			for p := range pts {
+				lat += (rng.Float64() - 0.5) * 0.002
+				lon += (rng.Float64() - 0.5) * 0.002
+				pts[p] = cartel.Point{Lat: lat, Lon: lon, TS: base + int64(p)*30}
+			}
+			if err := app.IngestBatch(u, carID, pts); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// A ring of friendships so drives.php has friend data to show.
+	for i, u := range b.users {
+		f := b.users[(i+1)%len(b.users)]
+		if u != f {
+			if err := app.Befriend(u, f); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return b, nil
+}
+
+// pickScript samples the Fig. 3 mix.
+func pickScript(rng *rand.Rand) string {
+	x := rng.Float64()
+	acc := 0.0
+	for _, m := range Mix {
+		acc += m.Freq
+		if x < acc {
+			return m.Script
+		}
+	}
+	return Mix[0].Script
+}
+
+// render burns platform-side CPU, standing in for the HTML templating
+// the web server does per request. Identical for baseline and IFDB, so
+// any throughput difference in the web-bound regime is the DIFC
+// tracking itself.
+func render(units int, seed []byte) uint64 {
+	h := fnv.New64a()
+	for i := 0; i < units; i++ {
+		h.Write(seed)
+		h.Write([]byte{byte(i)})
+	}
+	return h.Sum64()
+}
+
+// doRequest runs one request through the platform with output
+// interposition, returning the script used.
+func (b *Bench) doRequest(rng *rand.Rand, script string) error {
+	u := b.users[rng.Intn(len(b.users))]
+	h := b.App.Handlers()[script]
+	var sink countWriter
+	if err := b.App.RT.ServeRequest(u.Principal, func(pr *platform.Process, args map[string]string) error {
+		if err := h(pr, args); err != nil {
+			return err
+		}
+		render(b.Cfg.RenderWork, []byte(script))
+		return nil
+	}, map[string]string{"user": u.Name, "password": "pw"}, &sink); err != nil {
+		return err
+	}
+	b.Requests.Add(1)
+	return nil
+}
+
+// DoSampledRequest issues one request drawn from the Fig. 3 mix
+// (for testing.B drivers).
+func (b *Bench) DoSampledRequest(rng *rand.Rand) error {
+	return b.doRequest(rng, pickScript(rng))
+}
+
+// DoScript issues one request for a specific script.
+func (b *Bench) DoScript(rng *rand.Rand, script string) error {
+	return b.doRequest(rng, script)
+}
+
+type countWriter int64
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	*c += countWriter(len(p))
+	return len(p), nil
+}
+
+var _ io.Writer = (*countWriter)(nil)
+
+// Run drives workers closed-loop clients (zero think time, peak
+// throughput) for d and returns web interactions per second.
+func (b *Bench) Run(workers int, d time.Duration) (wips float64, err error) {
+	b.Requests.Store(0)
+	stop := make(chan struct{})
+	errCh := make(chan error, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if rerr := b.doRequest(rng, pickScript(rng)); rerr != nil {
+					errCh <- rerr
+					return
+				}
+			}
+		}(int64(i) + 101)
+	}
+	time.Sleep(d)
+	close(stop)
+	wg.Wait()
+	select {
+	case err = <-errCh:
+		return 0, err
+	default:
+	}
+	return float64(b.Requests.Load()) / d.Seconds(), nil
+}
+
+// LatencyStat is one script's idle-system latency (Fig. 5).
+type LatencyStat struct {
+	Script string
+	Mean   time.Duration
+	P90    time.Duration
+}
+
+// Latencies measures per-script response time with one serial client,
+// n samples per script, including login.php (Fig. 5's seven bars).
+// The mean is computed from batch timing (per-call clock reads would
+// dominate at microsecond latencies); the P90 comes from per-call
+// samples taken in a second, smaller pass.
+func (b *Bench) Latencies(n int) ([]LatencyStat, error) {
+	rng := rand.New(rand.NewSource(3))
+	scripts := []string{"login.php"}
+	for _, m := range Mix {
+		scripts = append(scripts, m.Script)
+	}
+	var out []LatencyStat
+	for _, script := range scripts {
+		// Warm up (fills statement caches, steadies allocator).
+		for i := 0; i < n/10+1; i++ {
+			if err := b.doRequest(rng, script); err != nil {
+				return nil, fmt.Errorf("%s: %w", script, err)
+			}
+		}
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			if err := b.doRequest(rng, script); err != nil {
+				return nil, fmt.Errorf("%s: %w", script, err)
+			}
+		}
+		mean := time.Since(start) / time.Duration(n)
+
+		perCall := n / 4
+		if perCall < 20 {
+			perCall = 20
+		}
+		durs := make([]time.Duration, 0, perCall)
+		for i := 0; i < perCall; i++ {
+			t0 := time.Now()
+			if err := b.doRequest(rng, script); err != nil {
+				return nil, fmt.Errorf("%s: %w", script, err)
+			}
+			durs = append(durs, time.Since(t0))
+		}
+		sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+		out = append(out, LatencyStat{
+			Script: script,
+			Mean:   mean,
+			P90:    durs[(len(durs)*9)/10],
+		})
+	}
+	return out, nil
+}
+
+// ObservedMix runs n sampled picks and returns the empirical script
+// distribution — the Fig. 3 regeneration (E1).
+func ObservedMix(n int) map[string]float64 {
+	rng := rand.New(rand.NewSource(9))
+	counts := make(map[string]int)
+	for i := 0; i < n; i++ {
+		counts[pickScript(rng)]++
+	}
+	out := make(map[string]float64, len(counts))
+	for k, v := range counts {
+		out[k] = float64(v) / float64(n)
+	}
+	return out
+}

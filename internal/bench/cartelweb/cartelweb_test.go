@@ -1,0 +1,89 @@
+package cartelweb
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestMixSumsToOne(t *testing.T) {
+	sum := 0.0
+	for _, m := range Mix {
+		sum += m.Freq
+	}
+	if math.Abs(sum-1.0) > 1e-9 {
+		t.Fatalf("mix sums to %f", sum)
+	}
+}
+
+func TestObservedMixMatchesSpec(t *testing.T) {
+	obs := ObservedMix(100000)
+	for _, m := range Mix {
+		if math.Abs(obs[m.Script]-m.Freq) > 0.01 {
+			t.Errorf("%s: observed %.4f, spec %.2f", m.Script, obs[m.Script], m.Freq)
+		}
+	}
+}
+
+func TestSetupAndRequests(t *testing.T) {
+	cfg := Config{IFC: true, Users: 4, CarsPer: 1, PointsPer: 10}
+	b, err := Setup(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 50; i++ {
+		if err := b.DoSampledRequest(rng); err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	for _, m := range Mix {
+		if err := b.DoScript(rng, m.Script); err != nil {
+			t.Fatalf("%s: %v", m.Script, err)
+		}
+	}
+	if err := b.DoScript(rng, "login.php"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAndLatencies(t *testing.T) {
+	cfg := DefaultConfig(false)
+	cfg.Users = 4
+	cfg.PointsPer = 10
+	b, err := Setup(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wips, err := b.Run(2, 200*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wips <= 0 {
+		t.Fatal("no throughput")
+	}
+	stats, err := b.Latencies(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 7 {
+		t.Fatalf("latency scripts: %d", len(stats))
+	}
+	for _, st := range stats {
+		if st.Mean <= 0 || st.P90 <= 0 {
+			t.Fatalf("%s: zero latency", st.Script)
+		}
+	}
+}
+
+func TestRenderDeterministic(t *testing.T) {
+	a := render(100, []byte("x"))
+	bv := render(100, []byte("x"))
+	if a != bv {
+		t.Fatal("render not deterministic")
+	}
+	if render(100, []byte("y")) == a {
+		t.Fatal("render ignores seed")
+	}
+}

@@ -1,0 +1,22 @@
+package dbt2
+
+import (
+	"testing"
+	"time"
+)
+
+func TestConcurrentRun(t *testing.T) {
+	cfg := Config{Warehouses: 2, Items: 200, CustomersPer: 10, Districts: 4, IFC: true, TagsPerLabel: 1}
+	b, err := Setup(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	notpm, err := b.Run(8, 2*time.Second)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if notpm <= 0 {
+		t.Fatal("no throughput")
+	}
+	t.Logf("NOTPM %.0f committed %d aborted %d", notpm, b.Committed.Load(), b.Aborted.Load())
+}

@@ -1,0 +1,440 @@
+// Package dbt2 implements the DBT-2 / TPC-C-style workload the paper
+// uses in §8.3 (Fig. 6) to measure the cost of labels: a New-Order
+// transaction mix over the classic warehouse/district/customer/stock
+// schema, with every tuple carrying a configurable number of tags.
+//
+// As in the paper, think time is zero, the warehouse count is fixed,
+// and the metric is NOTPM (new-order transactions per minute). The
+// in-memory configuration uses the default heap; the disk-bound
+// configuration puts the big tables on the paged heap behind a small
+// buffer pool, so extra label bytes translate into extra page I/O —
+// the mechanism behind Fig. 6's steeper on-disk slope.
+package dbt2
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ifdb"
+	"ifdb/internal/txn"
+)
+
+// Config scales the workload.
+type Config struct {
+	Warehouses   int  // paper: 10 in-memory, 150 on-disk
+	Items        int  // items in the catalog (TPC-C: 100000; scaled down)
+	CustomersPer int  // customers per district (TPC-C: 3000; scaled down)
+	Districts    int  // districts per warehouse (TPC-C: 10)
+	OnDisk       bool // place big tables on the paged heap
+	TagsPerLabel int  // 0..10: tags carried by every tuple (Fig. 6 x-axis)
+	IFC          bool // information flow control on (IFDB) or off (baseline)
+
+	// BufferPoolPages caps the per-table pool in OnDisk mode; small
+	// values force eviction (the "disk-bound" regime).
+	BufferPoolPages int
+}
+
+// DefaultInMemory mirrors the paper's in-memory run, scaled to a
+// laptop-sized working set.
+func DefaultInMemory() Config {
+	return Config{Warehouses: 4, Items: 1000, CustomersPer: 30, Districts: 10}
+}
+
+// DefaultOnDisk mirrors the paper's disk-bound run: more warehouses
+// than the buffer pool can hold.
+func DefaultOnDisk() Config {
+	return Config{Warehouses: 8, Items: 1000, CustomersPer: 30, Districts: 10,
+		OnDisk: true, BufferPoolPages: 64}
+}
+
+// Bench is a loaded DBT-2 database ready to run transactions.
+type Bench struct {
+	DB   *ifdb.DB
+	Cfg  Config
+	tags []ifdb.Tag
+
+	oIDs atomic.Int64
+
+	// Committed and Aborted count transaction outcomes.
+	Committed, Aborted atomic.Int64
+}
+
+// Setup creates and loads the database.
+func Setup(cfg Config) (*Bench, error) {
+	db := ifdb.Open(ifdb.Config{IFC: cfg.IFC, BufferPoolPages: cfg.BufferPoolPages})
+	b := &Bench{DB: db, Cfg: cfg}
+
+	admin := db.AdminSession()
+	using := ""
+	if cfg.OnDisk {
+		using = " USING DISK"
+	}
+	ddl := fmt.Sprintf(`
+	CREATE TABLE warehouse (
+		w_id BIGINT PRIMARY KEY, w_name TEXT, w_tax DOUBLE PRECISION, w_ytd DOUBLE PRECISION
+	);
+	CREATE TABLE district (
+		d_w_id BIGINT, d_id BIGINT, d_tax DOUBLE PRECISION, d_ytd DOUBLE PRECISION,
+		d_next_o_id BIGINT,
+		PRIMARY KEY (d_w_id, d_id)
+	);
+	CREATE TABLE customer (
+		c_w_id BIGINT, c_d_id BIGINT, c_id BIGINT,
+		c_name TEXT, c_balance DOUBLE PRECISION,
+		PRIMARY KEY (c_w_id, c_d_id, c_id)
+	)%[1]s;
+	CREATE TABLE item (
+		i_id BIGINT PRIMARY KEY, i_name TEXT, i_price DOUBLE PRECISION
+	);
+	CREATE TABLE stock (
+		s_w_id BIGINT, s_i_id BIGINT, s_quantity BIGINT,
+		s_ytd BIGINT, s_order_cnt BIGINT,
+		PRIMARY KEY (s_w_id, s_i_id)
+	)%[1]s;
+	CREATE TABLE orders (
+		o_w_id BIGINT, o_d_id BIGINT, o_id BIGINT,
+		o_c_id BIGINT, o_entry_d BIGINT, o_ol_cnt BIGINT,
+		PRIMARY KEY (o_w_id, o_d_id, o_id)
+	)%[1]s;
+	CREATE TABLE new_order (
+		no_w_id BIGINT, no_d_id BIGINT, no_o_id BIGINT,
+		PRIMARY KEY (no_w_id, no_d_id, no_o_id)
+	)%[1]s;
+	CREATE TABLE order_line (
+		ol_w_id BIGINT, ol_d_id BIGINT, ol_o_id BIGINT, ol_number BIGINT,
+		ol_i_id BIGINT, ol_quantity BIGINT, ol_amount DOUBLE PRECISION
+	)%[1]s;
+	CREATE INDEX order_line_pk ON order_line (ol_w_id, ol_d_id, ol_o_id, ol_number);
+	`, using)
+	if _, err := admin.Exec(ddl); err != nil {
+		return nil, fmt.Errorf("dbt2: schema: %w", err)
+	}
+
+	// Tags shared by every tuple (Fig. 6 sweeps 0..10).
+	if cfg.IFC && cfg.TagsPerLabel > 0 {
+		owner := db.CreatePrincipal("dbt2")
+		for i := 0; i < cfg.TagsPerLabel; i++ {
+			t, err := db.CreateTag(owner, fmt.Sprintf("dbt2_tag_%d", i))
+			if err != nil {
+				return nil, err
+			}
+			b.tags = append(b.tags, t)
+		}
+	}
+
+	if err := b.load(); err != nil {
+		return nil, err
+	}
+	b.oIDs.Store(3000)
+	return b, nil
+}
+
+// Session opens a worker session already contaminated with the
+// benchmark tags, so every read passes confinement and every write
+// lands at the k-tag label.
+func (b *Bench) Session() (*ifdb.Session, error) {
+	s := b.DB.NewSession(b.DB.Admin())
+	for _, t := range b.tags {
+		if err := s.AddSecrecy(t); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+func (b *Bench) load() error {
+	s, err := b.Session()
+	if err != nil {
+		return err
+	}
+	cfg := b.Cfg
+	rng := rand.New(rand.NewSource(42))
+
+	if err := s.Begin(txn.SnapshotIsolation); err != nil {
+		return err
+	}
+	for i := 1; i <= cfg.Items; i++ {
+		if _, err := s.Exec(`INSERT INTO item VALUES ($1, $2, $3)`,
+			ifdb.Int(int64(i)), ifdb.Text(fmt.Sprintf("item-%d", i)),
+			ifdb.Float(1+rng.Float64()*99)); err != nil {
+			return err
+		}
+	}
+	if err := s.Commit(); err != nil {
+		return err
+	}
+
+	for w := 1; w <= cfg.Warehouses; w++ {
+		if err := s.Begin(txn.SnapshotIsolation); err != nil {
+			return err
+		}
+		if _, err := s.Exec(`INSERT INTO warehouse VALUES ($1, $2, $3, 0.0)`,
+			ifdb.Int(int64(w)), ifdb.Text(fmt.Sprintf("w%d", w)), ifdb.Float(rng.Float64()*0.2)); err != nil {
+			return err
+		}
+		for d := 1; d <= cfg.Districts; d++ {
+			if _, err := s.Exec(`INSERT INTO district VALUES ($1, $2, $3, 0.0, 3001)`,
+				ifdb.Int(int64(w)), ifdb.Int(int64(d)), ifdb.Float(rng.Float64()*0.2)); err != nil {
+				return err
+			}
+			for c := 1; c <= cfg.CustomersPer; c++ {
+				if _, err := s.Exec(`INSERT INTO customer VALUES ($1, $2, $3, $4, 10.0)`,
+					ifdb.Int(int64(w)), ifdb.Int(int64(d)), ifdb.Int(int64(c)),
+					ifdb.Text(fmt.Sprintf("cust-%d-%d-%d", w, d, c))); err != nil {
+					return err
+				}
+			}
+		}
+		for i := 1; i <= cfg.Items; i++ {
+			if _, err := s.Exec(`INSERT INTO stock VALUES ($1, $2, $3, 0, 0)`,
+				ifdb.Int(int64(w)), ifdb.Int(int64(i)), ifdb.Int(int64(10+rng.Intn(90)))); err != nil {
+				return err
+			}
+		}
+		if err := s.Commit(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// NewOrder runs one New-Order transaction for a random (w, d, c),
+// retrying serialization failures as DBT-2 drivers do. It reports
+// whether the transaction ultimately committed.
+func (b *Bench) NewOrder(s *ifdb.Session, rng *rand.Rand) error {
+	const maxRetries = 10
+	var lastErr error
+	for attempt := 0; attempt < maxRetries; attempt++ {
+		err := b.newOrderOnce(s, rng)
+		if err == nil {
+			b.Committed.Add(1)
+			return nil
+		}
+		if errors.Is(err, txn.ErrSerialization) {
+			lastErr = err
+			continue
+		}
+		b.Aborted.Add(1)
+		return err
+	}
+	b.Aborted.Add(1)
+	return lastErr
+}
+
+func (b *Bench) newOrderOnce(s *ifdb.Session, rng *rand.Rand) error {
+	cfg := b.Cfg
+	w := int64(1 + rng.Intn(cfg.Warehouses))
+	d := int64(1 + rng.Intn(cfg.Districts))
+	c := int64(1 + rng.Intn(cfg.CustomersPer))
+	olCnt := 5 + rng.Intn(11) // 5..15 lines, per TPC-C
+
+	if err := s.Begin(txn.SnapshotIsolation); err != nil {
+		return err
+	}
+	abort := func(err error) error {
+		if s.InTxn() {
+			_ = s.Abort()
+		}
+		return err
+	}
+
+	row, ok, err := s.QueryRow(`SELECT w_tax FROM warehouse WHERE w_id = $1`, ifdb.Int(w))
+	if err != nil || !ok {
+		return abort(fmt.Errorf("dbt2: warehouse %d: %v", w, err))
+	}
+	wTax := row[0].Float()
+
+	row, ok, err = s.QueryRow(`SELECT d_tax, d_next_o_id FROM district WHERE d_w_id = $1 AND d_id = $2`,
+		ifdb.Int(w), ifdb.Int(d))
+	if err != nil || !ok {
+		return abort(fmt.Errorf("dbt2: district %d/%d: %v", w, d, err))
+	}
+	dTax := row[0].Float()
+	oID := row[1].Int()
+	if _, err := s.Exec(`UPDATE district SET d_next_o_id = $3 WHERE d_w_id = $1 AND d_id = $2`,
+		ifdb.Int(w), ifdb.Int(d), ifdb.Int(oID+1)); err != nil {
+		return abort(err)
+	}
+
+	if _, ok, err = s.QueryRow(`SELECT c_balance FROM customer WHERE c_w_id = $1 AND c_d_id = $2 AND c_id = $3`,
+		ifdb.Int(w), ifdb.Int(d), ifdb.Int(c)); err != nil || !ok {
+		return abort(fmt.Errorf("dbt2: customer: %v", err))
+	}
+
+	if _, err := s.Exec(`INSERT INTO orders VALUES ($1, $2, $3, $4, $5, $6)`,
+		ifdb.Int(w), ifdb.Int(d), ifdb.Int(oID), ifdb.Int(c),
+		ifdb.Int(time.Now().Unix()), ifdb.Int(int64(olCnt))); err != nil {
+		return abort(err)
+	}
+	if _, err := s.Exec(`INSERT INTO new_order VALUES ($1, $2, $3)`,
+		ifdb.Int(w), ifdb.Int(d), ifdb.Int(oID)); err != nil {
+		return abort(err)
+	}
+
+	total := 0.0
+	for ol := 1; ol <= olCnt; ol++ {
+		iID := int64(1 + rng.Intn(cfg.Items))
+		qty := int64(1 + rng.Intn(10))
+
+		row, ok, err := s.QueryRow(`SELECT i_price FROM item WHERE i_id = $1`, ifdb.Int(iID))
+		if err != nil || !ok {
+			return abort(fmt.Errorf("dbt2: item %d: %v", iID, err))
+		}
+		price := row[0].Float()
+
+		row, ok, err = s.QueryRow(`SELECT s_quantity, s_ytd, s_order_cnt FROM stock WHERE s_w_id = $1 AND s_i_id = $2`,
+			ifdb.Int(w), ifdb.Int(iID))
+		if err != nil || !ok {
+			return abort(fmt.Errorf("dbt2: stock %d/%d: %v", w, iID, err))
+		}
+		sq := row[0].Int()
+		if sq-qty < 10 {
+			sq += 91
+		}
+		if _, err := s.Exec(
+			`UPDATE stock SET s_quantity = $3, s_ytd = $4, s_order_cnt = $5 WHERE s_w_id = $1 AND s_i_id = $2`,
+			ifdb.Int(w), ifdb.Int(iID), ifdb.Int(sq-qty),
+			ifdb.Int(row[1].Int()+qty), ifdb.Int(row[2].Int()+1)); err != nil {
+			return abort(err)
+		}
+		amount := float64(qty) * price * (1 + wTax + dTax)
+		total += amount
+		if _, err := s.Exec(`INSERT INTO order_line VALUES ($1, $2, $3, $4, $5, $6, $7)`,
+			ifdb.Int(w), ifdb.Int(d), ifdb.Int(oID), ifdb.Int(int64(ol)),
+			ifdb.Int(iID), ifdb.Int(qty), ifdb.Float(amount)); err != nil {
+			return abort(err)
+		}
+	}
+	_ = total
+	return s.Commit()
+}
+
+// RunSerial executes n New-Order transactions on a single worker and
+// returns NOTPM. Serial measurement trades realism for stability: it
+// removes scheduler and lock-contention variance, which on small or
+// shared machines otherwise drowns the per-tag signal Fig. 6 is after.
+func (b *Bench) RunSerial(n int) (notpm float64, err error) {
+	s, err := b.Session()
+	if err != nil {
+		return 0, err
+	}
+	rng := rand.New(rand.NewSource(99))
+	// Warm up caches before timing.
+	for i := 0; i < n/10+1; i++ {
+		if err := b.NewOrder(s, rng); err != nil {
+			return 0, err
+		}
+	}
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		if err := b.NewOrder(s, rng); err != nil {
+			return 0, err
+		}
+	}
+	return float64(n) / time.Since(start).Minutes(), nil
+}
+
+// CompareInterleaved measures cell's throughput relative to base by
+// alternating small chunks of transactions between the two loaded
+// databases. At ~1 s chunk granularity, host-speed drift (severe on
+// shared machines) hits both sides equally, so the ratio isolates the
+// configuration difference — the same technique the sensor experiment
+// uses.
+func CompareInterleaved(base, cell *Bench, chunks, txnsPerChunk int) (ratio float64, cellNOTPM float64, err error) {
+	bs, err := base.Session()
+	if err != nil {
+		return 0, 0, err
+	}
+	cs, err := cell.Session()
+	if err != nil {
+		return 0, 0, err
+	}
+	baseRng := rand.New(rand.NewSource(5))
+	cellRng := rand.New(rand.NewSource(5))
+	runChunk := func(b *Bench, s *ifdb.Session, rng *rand.Rand) (time.Duration, error) {
+		start := time.Now()
+		for i := 0; i < txnsPerChunk; i++ {
+			if err := b.NewOrder(s, rng); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(start), nil
+	}
+	// Warm both sides.
+	if _, err := runChunk(base, bs, baseRng); err != nil {
+		return 0, 0, err
+	}
+	if _, err := runChunk(cell, cs, cellRng); err != nil {
+		return 0, 0, err
+	}
+	var baseTime, cellTime time.Duration
+	for c := 0; c < chunks; c++ {
+		// Alternate which side goes first so asymmetric effects (GC
+		// pauses triggered by the other side's allocations) cancel.
+		order := [2]bool{c%2 == 0, c%2 != 0}
+		for _, baseFirst := range order {
+			if baseFirst {
+				d, err := runChunk(base, bs, baseRng)
+				if err != nil {
+					return 0, 0, err
+				}
+				baseTime += d
+			} else {
+				d, err := runChunk(cell, cs, cellRng)
+				if err != nil {
+					return 0, 0, err
+				}
+				cellTime += d
+			}
+		}
+	}
+	totalTxns := float64(chunks * txnsPerChunk)
+	return baseTime.Seconds() / cellTime.Seconds(), totalTxns / cellTime.Minutes(), nil
+}
+
+// Run drives workers concurrent New-Order loops for the given
+// duration and returns NOTPM.
+func (b *Bench) Run(workers int, d time.Duration) (notpm float64, err error) {
+	b.Committed.Store(0)
+	b.Aborted.Store(0)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errCh := make(chan error, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			s, serr := b.Session()
+			if serr != nil {
+				errCh <- serr
+				return
+			}
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if nerr := b.NewOrder(s, rng); nerr != nil && !errors.Is(nerr, txn.ErrSerialization) {
+					errCh <- nerr
+					return
+				}
+			}
+		}(int64(i) + 7)
+	}
+	time.Sleep(d)
+	close(stop)
+	wg.Wait()
+	select {
+	case err = <-errCh:
+		return 0, err
+	default:
+	}
+	mins := d.Minutes()
+	return float64(b.Committed.Load()) / mins, nil
+}

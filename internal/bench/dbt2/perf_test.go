@@ -1,0 +1,38 @@
+package dbt2
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestPerfQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip()
+	}
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"baseline", Config{Warehouses: 2, Items: 500, CustomersPer: 10, Districts: 10}},
+		{"ifdb-k1", Config{Warehouses: 2, Items: 500, CustomersPer: 10, Districts: 10, IFC: true, TagsPerLabel: 1}},
+		{"ifdb-k10", Config{Warehouses: 2, Items: 500, CustomersPer: 10, Districts: 10, IFC: true, TagsPerLabel: 10}},
+		{"disk-k1", Config{Warehouses: 2, Items: 500, CustomersPer: 10, Districts: 10, IFC: true, TagsPerLabel: 1, OnDisk: true, BufferPoolPages: 32}},
+	} {
+		b, err := Setup(tc.cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, _ := b.Session()
+		rng := rand.New(rand.NewSource(1))
+		start := time.Now()
+		n := 300
+		for i := 0; i < n; i++ {
+			if err := b.NewOrder(s, rng); err != nil {
+				t.Fatal(err)
+			}
+		}
+		el := time.Since(start)
+		t.Logf("%s: %d txns in %v = %.0f tx/s", tc.name, n, el, float64(n)/el.Seconds())
+	}
+}

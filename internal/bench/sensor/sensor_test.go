@@ -1,0 +1,64 @@
+package sensor
+
+import (
+	"testing"
+)
+
+func TestReplayDerivesDrives(t *testing.T) {
+	b, err := Setup(true, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate, err := b.ReplayBatches(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate <= 0 {
+		t.Fatal("no throughput")
+	}
+	// Each batch is one drive (gaps between batches exceed the drive
+	// gap), alternating across 2 cars: 4 batches → 4 drives, visible
+	// under the all_drives compound via the stats closure.
+	u := b.users[0]
+	s := b.App.DB.NewSession(u.Principal)
+	if err := s.AddSecrecy(u.DrivesTag); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Exec(`SELECT COUNT(*), SUM(npoints) FROM drives`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// User 0's car got batches 0 and 2.
+	if res.Rows[0][0].Int() != 2 {
+		t.Fatalf("drives for car 1: %v", res.Rows[0][0])
+	}
+	if res.Rows[0][1].Int() != 2*BatchSize {
+		t.Fatalf("points: %v", res.Rows[0][1])
+	}
+	// Locations carry {drives, location}; invisible without both tags.
+	res, err = s.Exec(`SELECT COUNT(*) FROM locations`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int() != 0 {
+		t.Fatal("raw locations visible without location tag")
+	}
+}
+
+func TestBaselineModeWorks(t *testing.T) {
+	b, err := Setup(false, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.ReplayOne(0, 1000); err != nil {
+		t.Fatal(err)
+	}
+	admin := b.App.DB.AdminSession()
+	res, err := admin.Exec(`SELECT COUNT(*) FROM locations`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int() != int64(BatchSize) {
+		t.Fatalf("locations: %v", res.Rows[0][0])
+	}
+}

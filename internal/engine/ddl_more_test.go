@@ -1,0 +1,119 @@
+package engine
+
+import (
+	"testing"
+
+	"ifdb/internal/types"
+)
+
+// Additional DDL-shape coverage: exotic but legal CREATE TABLE forms,
+// index backfill, and catalog name rules.
+
+func TestCreateTableTypeZoo(t *testing.T) {
+	e := New(Config{})
+	s := e.NewSession(e.Admin())
+	mustExec(t, s, `CREATE TABLE zoo (
+		a INT, b INTEGER, c BIGINT, d SERIAL,
+		e TEXT, f VARCHAR(10), g CHAR(2),
+		h BOOLEAN, i BOOL,
+		j TIMESTAMP,
+		k DOUBLE PRECISION, l FLOAT, m REAL,
+		n NUMERIC(10, 2), o DECIMAL
+	)`)
+	mustExec(t, s, `INSERT INTO zoo VALUES (
+		1, 2, 3, 4, 't', 'v', 'ch', TRUE, FALSE,
+		'2013-04-15 09:00:00', 1.5, 2.5, 3.5, 4.25, 5.0
+	)`)
+	res := mustExec(t, s, `SELECT a, e, h, k FROM zoo`)
+	expectRows(t, res, "1|t|t|1.5")
+	res = mustExec(t, s, `SELECT j FROM zoo`)
+	if res.Rows[0][0].Kind() != types.KindTime {
+		t.Fatalf("timestamp kind: %v", res.Rows[0][0].Kind())
+	}
+}
+
+func TestCreateTableIfNotExists(t *testing.T) {
+	e := New(Config{})
+	s := e.NewSession(e.Admin())
+	mustExec(t, s, `CREATE TABLE t (a BIGINT)`)
+	mustExec(t, s, `CREATE TABLE IF NOT EXISTS t (a BIGINT)`)
+	if _, err := s.Exec(`CREATE TABLE t (a BIGINT)`); err == nil {
+		t.Fatal("duplicate table accepted")
+	}
+	// A view may not shadow a table and vice versa.
+	mustExec(t, s, `CREATE VIEW v AS SELECT a FROM t`)
+	if _, err := s.Exec(`CREATE TABLE v (x BIGINT)`); err == nil {
+		t.Fatal("table shadowing view accepted")
+	}
+	if _, err := s.Exec(`CREATE VIEW t AS SELECT 1`); err == nil {
+		t.Fatal("view shadowing table accepted")
+	}
+}
+
+func TestCreateIndexBackfill(t *testing.T) {
+	e := New(Config{})
+	s := e.NewSession(e.Admin())
+	mustExec(t, s, `CREATE TABLE b (id BIGINT PRIMARY KEY, grp BIGINT)`)
+	for i := int64(0); i < 100; i++ {
+		mustExec(t, s, `INSERT INTO b VALUES ($1, $2)`, types.NewInt(i), types.NewInt(i%7))
+	}
+	// Index created after data exists must serve queries immediately.
+	mustExec(t, s, `CREATE INDEX b_grp ON b (grp)`)
+	res := mustExec(t, s, `SELECT COUNT(*) FROM b WHERE grp = 3`)
+	expectRows(t, res, "14")
+	// And stay maintained.
+	mustExec(t, s, `INSERT INTO b VALUES (200, 3)`)
+	res = mustExec(t, s, `SELECT COUNT(*) FROM b WHERE grp = 3`)
+	expectRows(t, res, "15")
+	mustExec(t, s, `DELETE FROM b WHERE id = 200`)
+	res = mustExec(t, s, `SELECT COUNT(*) FROM b WHERE grp = 3`)
+	expectRows(t, res, "14")
+}
+
+func TestTriggerOnMissingProcRejected(t *testing.T) {
+	e := New(Config{})
+	s := e.NewSession(e.Admin())
+	mustExec(t, s, `CREATE TABLE t (a BIGINT)`)
+	if _, err := s.Exec(`CREATE TRIGGER x AFTER INSERT ON t EXECUTE PROCEDURE ghost`); err == nil {
+		t.Fatal("trigger with missing proc accepted")
+	}
+	if err := e.RegisterProc("real", func(*Session, []types.Value) (types.Value, error) {
+		return types.Null, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, s, `CREATE TRIGGER x AFTER INSERT ON t EXECUTE PROCEDURE real`)
+	if _, err := s.Exec(`CREATE TRIGGER x AFTER INSERT ON t EXECUTE PROCEDURE real`); err == nil {
+		t.Fatal("duplicate trigger accepted")
+	}
+}
+
+func TestDuplicateProcRegistration(t *testing.T) {
+	e := New(Config{})
+	fn := func(*Session, []types.Value) (types.Value, error) { return types.Null, nil }
+	if err := e.RegisterProc("p", fn); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RegisterProc("p", fn); err == nil {
+		t.Fatal("duplicate proc accepted")
+	}
+	// Closure procs share the namespace.
+	if err := e.RegisterClosureProc("p", fn, e.Admin(), e.Admin(), nil); err == nil {
+		t.Fatal("closure proc over existing name accepted")
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	e := New(Config{})
+	s := e.NewSession(e.Admin())
+	mustExec(t, s, `CREATE TABLE a (x BIGINT); CREATE TABLE b (y BIGINT) USING DISK`)
+	mustExec(t, s, `CREATE VIEW v AS SELECT x FROM a`)
+	mustExec(t, s, `INSERT INTO a VALUES (1), (2)`)
+	st := e.Stats()
+	if st.Tables != 2 || st.Views != 1 || st.DiskTables != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.Tuples != 2 || st.TupleBytes <= 0 {
+		t.Fatalf("tuple stats: %+v", st)
+	}
+}

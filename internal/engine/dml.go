@@ -1,0 +1,903 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"ifdb/internal/catalog"
+	"ifdb/internal/exec"
+	"ifdb/internal/index"
+	"ifdb/internal/label"
+	"ifdb/internal/sql"
+	"ifdb/internal/storage"
+	"ifdb/internal/txn"
+	"ifdb/internal/types"
+)
+
+// uniqueLocks serializes uniqueness-check-plus-insert critical
+// sections per table, standing in for PostgreSQL's index-level
+// locking. Without it, two concurrent transactions could each miss
+// the other's in-flight insert of the same key.
+var uniqueLocks sync.Map // *catalog.Table -> *sync.Mutex
+
+func tableLock(t *catalog.Table) *sync.Mutex {
+	if v, ok := uniqueLocks.Load(t); ok {
+		return v.(*sync.Mutex)
+	}
+	v, _ := uniqueLocks.LoadOrStore(t, &sync.Mutex{})
+	return v.(*sync.Mutex)
+}
+
+// target is one existing tuple selected for UPDATE/DELETE.
+type target struct {
+	tid storage.TID
+	tv  storage.TupleVersion
+}
+
+// collectTargets finds the tuples a DML statement affects, applying
+// MVCC and label confinement exactly like reads do (§4.2: tuples with
+// other labels "are invisible to the update and are unaffected").
+func (s *Session) collectTargets(t *catalog.Table, where sql.Expr, qc *qctx) ([]target, error) {
+	schema := make(exec.Schema, len(t.Columns))
+	for i, c := range t.Columns {
+		schema[i] = exec.ColMeta{Table: t.Name, Name: c.Name}
+	}
+	env := s.newEnv(schema, qc)
+	var out []target
+	var evalErr error
+
+	eq, err := s.extractEqConsts(where, schema, qc)
+	if err != nil {
+		return nil, err
+	}
+	tx := s.stmtTx
+
+	consider := func(tid storage.TID, tv *storage.TupleVersion) bool {
+		if !tx.Visible(tv.Xmin, tv.Xmax) {
+			return true
+		}
+		if !s.tupleVisible(tv, nil) {
+			return true
+		}
+		if where != nil {
+			env.Row, env.RowLabel, env.RowILabel = tv.Row, tv.Label, tv.ILabel
+			v, err := exec.Eval(where, env)
+			if err != nil {
+				evalErr = err
+				return false
+			}
+			if !v.Truthy() {
+				return true
+			}
+		}
+		out = append(out, target{tid: tid, tv: *tv})
+		return true
+	}
+
+	if ix, n := t.BestIndexForCols(eqColSet(eq)); ix != nil && n > 0 {
+		key := make([]types.Value, n)
+		for i := 0; i < n; i++ {
+			key[i] = eq[ix.Cols[i]]
+		}
+		ix.Tree.AscendPrefix(key, func(_ index.Key, tid storage.TID) bool {
+			if tv, ok := t.Heap.Get(tid); ok {
+				return consider(tid, &tv)
+			}
+			return true
+		})
+	} else {
+		t.Heap.Scan(consider)
+	}
+	if evalErr != nil {
+		return nil, evalErr
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// INSERT
+
+// executeInsert handles INSERT ... VALUES and INSERT ... SELECT.
+func (s *Session) executeInsert(ins *sql.InsertStmt, qc *qctx) (int, error) {
+	t, ok := s.eng.cat.Table(ins.Table)
+	if !ok {
+		if _, isView := s.eng.cat.View(ins.Table); isView {
+			return 0, ErrReadOnlyView
+		}
+		return 0, fmt.Errorf("engine: no table %q", ins.Table)
+	}
+
+	declTags, err := s.resolveDeclassifying(ins.Declassifying)
+	if err != nil {
+		return 0, err
+	}
+
+	// Map statement columns to table ordinals.
+	colIdx := make([]int, 0, len(t.Columns))
+	if ins.Columns == nil {
+		for i := range t.Columns {
+			colIdx = append(colIdx, i)
+		}
+	} else {
+		for _, name := range ins.Columns {
+			ci, ok := t.ColIndex(name)
+			if !ok {
+				return 0, fmt.Errorf("engine: no column %q in table %q", name, t.Name)
+			}
+			colIdx = append(colIdx, ci)
+		}
+	}
+
+	var rows [][]types.Value
+	if ins.Select != nil {
+		rel, err := s.executeSelect(ins.Select, qc)
+		if err != nil {
+			return 0, err
+		}
+		for _, r := range rel.rows {
+			rows = append(rows, r.vals)
+		}
+	} else {
+		env := s.newEnv(nil, qc)
+		for _, exprRow := range ins.Rows {
+			vals := make([]types.Value, len(exprRow))
+			for i, e := range exprRow {
+				v, err := exec.Eval(e, env)
+				if err != nil {
+					return 0, err
+				}
+				vals[i] = v
+			}
+			rows = append(rows, vals)
+		}
+	}
+
+	n := 0
+	for _, vals := range rows {
+		if len(vals) != len(colIdx) {
+			return n, fmt.Errorf("engine: INSERT has %d values for %d columns", len(vals), len(colIdx))
+		}
+		row := make([]types.Value, len(t.Columns))
+		assigned := make([]bool, len(t.Columns))
+		for i, ci := range colIdx {
+			row[ci] = vals[i]
+			assigned[ci] = true
+		}
+		// Defaults for unassigned columns.
+		for i, col := range t.Columns {
+			if !assigned[i] && col.Default != nil {
+				v, err := exec.Eval(col.Default, s.newEnv(nil, qc))
+				if err != nil {
+					return n, err
+				}
+				row[i] = v
+			}
+		}
+		if err := s.insertRow(t, row, declTags, qc); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+// resolveDeclassifying maps DECLASSIFYING tag names to a label and
+// verifies the session's principal holds authority for each — an
+// explicit declassification statement is only honored when backed by
+// authority (§5.2.2).
+func (s *Session) resolveDeclassifying(names []string) (label.Label, error) {
+	if len(names) == 0 {
+		return nil, nil
+	}
+	if !s.eng.cfg.IFC {
+		return nil, nil
+	}
+	decl, err := s.eng.resolveTagNames(names)
+	if err != nil {
+		return nil, err
+	}
+	for _, tg := range decl {
+		if !s.eng.auth.HasAuthority(s.principal, tg) {
+			name, _ := s.eng.TagName(tg)
+			return nil, fmt.Errorf("%w: DECLASSIFYING(%s)", ErrFKAuthority, name)
+		}
+	}
+	return decl, nil
+}
+
+// insertRow applies the full insert path: coercion, BEFORE triggers,
+// NOT NULL and CHECK constraints, label constraints, uniqueness with
+// polyinstantiation, the heap write (at exactly the process label,
+// §4.2), index maintenance, the Foreign Key Rule, and AFTER triggers.
+func (s *Session) insertRow(t *catalog.Table, row []types.Value, declTags label.Label, qc *qctx) error {
+	// Coerce to declared column types.
+	for i, col := range t.Columns {
+		v, err := row[i].Coerce(col.Kind)
+		if err != nil {
+			return fmt.Errorf("engine: column %q: %w", col.Name, err)
+		}
+		row[i] = v
+	}
+
+	if err := s.fireTriggers(t, "BEFORE", "INSERT", nil, row, nil, qc); err != nil {
+		return err
+	}
+
+	for i, col := range t.Columns {
+		if col.NotNull && row[i].IsNull() {
+			return fmt.Errorf("%w: column %q", ErrNotNull, col.Name)
+		}
+	}
+	if err := s.checkChecks(t, row, qc); err != nil {
+		return err
+	}
+
+	lw := s.writeLabel()
+	liw := s.writeILabel()
+	if err := s.checkLabelConstraints(t, row, lw, qc); err != nil {
+		return err
+	}
+
+	// Uniqueness + insert under the table lock so concurrent inserters
+	// cannot slip identical keys past each other.
+	lk := tableLock(t)
+	lk.Lock()
+	if err := s.checkUnique(t, row, lw, storage.InvalidTID); err != nil {
+		lk.Unlock()
+		return err
+	}
+	tid, err := t.Heap.Insert(storage.TupleVersion{Row: row, Label: lw, ILabel: liw, Xmin: s.stmtTx.XID()})
+	if err != nil {
+		lk.Unlock()
+		return err
+	}
+	for _, ix := range t.Indexes {
+		key := make([]types.Value, len(ix.Cols))
+		for i, c := range ix.Cols {
+			key[i] = row[c]
+		}
+		ix.Tree.Insert(key, tid)
+	}
+	lk.Unlock()
+	s.stmtTx.RecordInsert(t.Heap, tid, lw, liw)
+
+	// The Foreign Key Rule (§5.2.2).
+	for i := range t.ForeignKeys {
+		if err := s.checkForeignKeyInsert(t, &t.ForeignKeys[i], row, lw, declTags); err != nil {
+			return err
+		}
+	}
+
+	return s.fireTriggers(t, "AFTER", "INSERT", nil, row, lw, qc)
+}
+
+// checkUnique probes every unique index for a conflicting tuple that
+// is *visible* to the inserting process. A conflict with a tuple the
+// process cannot see is permitted — polyinstantiation (§5.2.1) — since
+// rejecting it would leak the hidden tuple's existence.
+func (s *Session) checkUnique(t *catalog.Table, row []types.Value, lw label.Label, exclude storage.TID) error {
+	for _, ix := range t.UniqueIndexes() {
+		key := make([]types.Value, len(ix.Cols))
+		nullKey := false
+		for i, c := range ix.Cols {
+			key[i] = row[c]
+			if key[i].IsNull() {
+				nullKey = true
+			}
+		}
+		if nullKey {
+			continue // SQL: NULLs never conflict
+		}
+		var conflict error
+		ix.Tree.AscendEqual(key, func(tid storage.TID) bool {
+			if tid == exclude {
+				return true
+			}
+			tv, ok := t.Heap.Get(tid)
+			if !ok {
+				return true
+			}
+			if !s.versionLiveForUnique(&tv) {
+				return true
+			}
+			// Polyinstantiation: only *visible* tuples conflict.
+			if !s.labelVisible(tv.Label, nil) {
+				return true
+			}
+			// If the conflicting version belongs to a still-running
+			// transaction (its insert uncommitted, or a deleter in
+			// flight), the outcome depends on that transaction:
+			// PostgreSQL would block on the index lock; we surface a
+			// retryable serialization failure instead of a hard
+			// uniqueness error.
+			m := s.eng.txns
+			self := s.stmtTx.XID()
+			if _, committed := m.Committed(tv.Xmin); !committed && tv.Xmin != self {
+				conflict = fmt.Errorf("%w: concurrent insert into index %q", txn.ErrSerialization, ix.Name)
+				return false
+			}
+			// A version committed after our snapshot is a write-write
+			// race (the usual shape: another update of the row we are
+			// updating): first-committer-wins, we retry.
+			if s.stmtTx.CommittedAfterSnapshot(tv.Xmin) {
+				conflict = fmt.Errorf("%w: index %q updated since snapshot", txn.ErrSerialization, ix.Name)
+				return false
+			}
+			if tv.Xmax != storage.InvalidXID && tv.Xmax != self {
+				if _, committed := m.Committed(tv.Xmax); !committed && !m.Aborted(tv.Xmax) {
+					conflict = fmt.Errorf("%w: concurrent delete under index %q", txn.ErrSerialization, ix.Name)
+					return false
+				}
+			}
+			conflict = fmt.Errorf("%w: index %q", ErrUnique, ix.Name)
+			return false
+		})
+		if conflict != nil {
+			return conflict
+		}
+	}
+	return nil
+}
+
+// versionLiveForUnique decides whether a version still occupies its
+// key for uniqueness purposes: aborted inserts don't, versions deleted
+// by a committed transaction don't, but versions deleted by an
+// in-flight *other* transaction still do (if that transaction aborts,
+// the tuple lives on).
+func (s *Session) versionLiveForUnique(tv *storage.TupleVersion) bool {
+	m := s.eng.txns
+	if m.Aborted(tv.Xmin) {
+		return false
+	}
+	// An in-progress insert by another transaction: treat as live
+	// (conservative — PostgreSQL would block on the index lock).
+	if tv.Xmax == storage.InvalidXID {
+		return true
+	}
+	if tv.Xmax == s.stmtTx.XID() {
+		return false // we deleted it ourselves
+	}
+	if _, committed := m.Committed(tv.Xmax); committed {
+		return false
+	}
+	if m.Aborted(tv.Xmax) {
+		return true
+	}
+	return true // deleter still in progress: conservatively live
+}
+
+// checkLabelConstraints enforces LABEL EXACTLY / LABEL CONTAINS
+// (§5.2.4). Constraint expressions evaluate over the inserted row and
+// must yield tag ids.
+func (s *Session) checkLabelConstraints(t *catalog.Table, row []types.Value, lw label.Label, qc *qctx) error {
+	if !s.eng.cfg.IFC {
+		return nil
+	}
+	if len(t.LabelConstraints) == 0 {
+		return nil
+	}
+	schema := make(exec.Schema, len(t.Columns))
+	for i, c := range t.Columns {
+		schema[i] = exec.ColMeta{Table: t.Name, Name: c.Name}
+	}
+	env := s.newEnv(schema, qc)
+	env.Row, env.RowLabel = row, lw
+	for _, lc := range t.LabelConstraints {
+		var want []label.Tag
+		for _, e := range lc.Exprs {
+			v, err := exec.Eval(e, env)
+			if err != nil {
+				return err
+			}
+			if v.IsNull() {
+				continue
+			}
+			if v.Kind() != types.KindInt {
+				return fmt.Errorf("%w: %q: tag expression must be an integer", ErrLabelConstraint, lc.Name)
+			}
+			want = append(want, label.Tag(uint64(v.Int())))
+		}
+		wantLabel := label.New(want...)
+		if lc.Exact {
+			if !lw.Equal(wantLabel) {
+				return fmt.Errorf("%w: %q requires label %v, tuple has %v", ErrLabelConstraint, lc.Name, wantLabel, lw)
+			}
+		} else {
+			if !wantLabel.SubsetOf(lw) {
+				return fmt.Errorf("%w: %q requires label containing %v, tuple has %v", ErrLabelConstraint, lc.Name, wantLabel, lw)
+			}
+		}
+	}
+	return nil
+}
+
+// checkChecks evaluates CHECK constraints.
+func (s *Session) checkChecks(t *catalog.Table, row []types.Value, qc *qctx) error {
+	if len(t.Checks) == 0 {
+		return nil
+	}
+	schema := make(exec.Schema, len(t.Columns))
+	for i, c := range t.Columns {
+		schema[i] = exec.ColMeta{Table: t.Name, Name: c.Name}
+	}
+	env := s.newEnv(schema, qc)
+	env.Row = row
+	for _, ck := range t.Checks {
+		v, err := exec.Eval(ck.Expr, env)
+		if err != nil {
+			return err
+		}
+		if !v.IsNull() && !v.Truthy() {
+			return fmt.Errorf("%w: %q", ErrCheck, ck.Name)
+		}
+	}
+	return nil
+}
+
+// checkForeignKeyInsert enforces referential integrity under the
+// Foreign Key Rule (§5.2.2): the inserter must hold authority for, and
+// explicitly declare, every tag in the symmetric difference of the two
+// tuples' labels. Referenced-tuple lookup is exempt from label
+// confinement — the declaration is precisely what vouches for that
+// read.
+func (s *Session) checkForeignKeyInsert(t *catalog.Table, fk *catalog.ForeignKey, row []types.Value, lw label.Label, declTags label.Label) error {
+	key := make([]types.Value, len(fk.Cols))
+	for i, c := range fk.Cols {
+		key[i] = row[c]
+		if key[i].IsNull() {
+			return nil // SQL: NULL FK values are not checked
+		}
+	}
+	ref, ok := s.eng.cat.Table(fk.RefTable)
+	if !ok {
+		return fmt.Errorf("engine: fk %q references missing table %q", fk.Name, fk.RefTable)
+	}
+
+	var candidates []storage.TupleVersion
+	s.lookupByCols(ref, fk.RefCols, key, func(tv *storage.TupleVersion) {
+		candidates = append(candidates, *tv)
+	})
+	if len(candidates) == 0 {
+		return fmt.Errorf("%w: %q: no row in %q matches", ErrForeignKey, fk.Name, fk.RefTable)
+	}
+	if !s.eng.cfg.IFC {
+		return nil
+	}
+
+	// Accept if any (possibly polyinstantiated) candidate's label
+	// difference is fully declared.
+	var firstShortfall label.Label
+	for _, cand := range candidates {
+		diff := lw.SymmetricDiff(cand.Label)
+		ok := true
+		var missing label.Label
+		for _, tg := range diff {
+			if !s.eng.hier.Covers(declTags, tg) {
+				ok = false
+				missing = append(missing, tg)
+			}
+		}
+		if ok {
+			return nil
+		}
+		if firstShortfall == nil {
+			firstShortfall = missing
+		}
+	}
+	return fmt.Errorf("%w: %q requires DECLASSIFYING covering %v", ErrFKAuthority, fk.Name, firstShortfall)
+}
+
+// lookupByCols finds MVCC-visible versions of ref with the given
+// column values, bypassing label confinement (callers are the
+// constraint internals whose channels are vouched for explicitly).
+func (s *Session) lookupByCols(ref *catalog.Table, cols []int, key []types.Value, fn func(tv *storage.TupleVersion)) {
+	tx := s.stmtTx
+	consider := func(tv *storage.TupleVersion) {
+		if !tx.Visible(tv.Xmin, tv.Xmax) {
+			return
+		}
+		for i, c := range cols {
+			if !tv.Row[c].Equal(key[i]) {
+				return
+			}
+		}
+		fn(tv)
+	}
+	// Prefer an index whose prefix covers cols in order.
+	for _, ix := range ref.Indexes {
+		if len(ix.Cols) < len(cols) {
+			continue
+		}
+		match := true
+		for i, c := range cols {
+			if ix.Cols[i] != c {
+				match = false
+				break
+			}
+		}
+		if !match {
+			continue
+		}
+		ix.Tree.AscendPrefix(key, func(_ index.Key, tid storage.TID) bool {
+			if tv, ok := ref.Heap.Get(tid); ok {
+				consider(&tv)
+			}
+			return true
+		})
+		return
+	}
+	ref.Heap.Scan(func(_ storage.TID, tv *storage.TupleVersion) bool {
+		consider(tv)
+		return true
+	})
+}
+
+// ---------------------------------------------------------------------------
+// UPDATE
+
+// executeUpdate rewrites matching tuples. Under the Write Rule (§4.2)
+// every affected tuple must carry exactly the process label; a visible
+// tuple with a lower label fails the statement.
+func (s *Session) executeUpdate(up *sql.UpdateStmt, qc *qctx) (int, error) {
+	t, ok := s.eng.cat.Table(up.Table)
+	if !ok {
+		if _, isView := s.eng.cat.View(up.Table); isView {
+			return 0, ErrReadOnlyView
+		}
+		return 0, fmt.Errorf("engine: no table %q", up.Table)
+	}
+	declTags, err := s.resolveDeclassifying(up.Declassifying)
+	if err != nil {
+		return 0, err
+	}
+
+	setIdx := make([]int, len(up.Set))
+	for i, sc := range up.Set {
+		ci, ok := t.ColIndex(sc.Column)
+		if !ok {
+			return 0, fmt.Errorf("engine: no column %q in %q", sc.Column, t.Name)
+		}
+		setIdx[i] = ci
+	}
+
+	targets, err := s.collectTargets(t, up.Where, qc)
+	if err != nil {
+		return 0, err
+	}
+
+	schema := make(exec.Schema, len(t.Columns))
+	for i, c := range t.Columns {
+		schema[i] = exec.ColMeta{Table: t.Name, Name: c.Name}
+	}
+	env := s.newEnv(schema, qc)
+	lw := s.writeLabel()
+	liw := s.writeILabel()
+
+	n := 0
+	for _, tg := range targets {
+		if s.eng.cfg.IFC && !tg.tv.Label.Equal(lw) {
+			return n, fmt.Errorf("%w: tuple label %v, process label %v", ErrWriteRule, tg.tv.Label, lw)
+		}
+		if s.eng.cfg.IFC && !tg.tv.ILabel.Equal(liw) {
+			return n, fmt.Errorf("%w: tuple integrity %v, process integrity %v", ErrWriteRule, tg.tv.ILabel, liw)
+		}
+		newRow := append([]types.Value(nil), tg.tv.Row...)
+		env.Row, env.RowLabel, env.RowILabel = tg.tv.Row, tg.tv.Label, tg.tv.ILabel
+		for i, sc := range up.Set {
+			v, err := exec.Eval(sc.Value, env)
+			if err != nil {
+				return n, err
+			}
+			cv, err := v.Coerce(t.Columns[setIdx[i]].Kind)
+			if err != nil {
+				return n, fmt.Errorf("engine: column %q: %w", sc.Column, err)
+			}
+			newRow[setIdx[i]] = cv
+		}
+
+		if err := s.fireTriggers(t, "BEFORE", "UPDATE", tg.tv.Row, newRow, tg.tv.Label, qc); err != nil {
+			return n, err
+		}
+		for i, col := range t.Columns {
+			if col.NotNull && newRow[i].IsNull() {
+				return n, fmt.Errorf("%w: column %q", ErrNotNull, col.Name)
+			}
+		}
+		if err := s.checkChecks(t, newRow, qc); err != nil {
+			return n, err
+		}
+		if err := s.checkLabelConstraints(t, newRow, lw, qc); err != nil {
+			return n, err
+		}
+
+		lk := tableLock(t)
+		lk.Lock()
+		if err := s.checkUnique(t, newRow, lw, tg.tid); err != nil {
+			lk.Unlock()
+			return n, err
+		}
+		if err := s.stmtTx.Delete(t.Heap, tg.tid, tg.tv.Label, tg.tv.ILabel); err != nil {
+			lk.Unlock()
+			return n, err
+		}
+		tid, err := t.Heap.Insert(storage.TupleVersion{Row: newRow, Label: lw, ILabel: liw, Xmin: s.stmtTx.XID()})
+		if err != nil {
+			lk.Unlock()
+			return n, err
+		}
+		for _, ix := range t.Indexes {
+			key := make([]types.Value, len(ix.Cols))
+			for i, c := range ix.Cols {
+				key[i] = newRow[c]
+			}
+			ix.Tree.Insert(key, tid)
+		}
+		lk.Unlock()
+		s.stmtTx.RecordInsert(t.Heap, tid, lw, liw)
+
+		// Re-verify FKs whose columns changed.
+		for i := range t.ForeignKeys {
+			fk := &t.ForeignKeys[i]
+			changed := false
+			for _, c := range fk.Cols {
+				if !newRow[c].Equal(tg.tv.Row[c]) {
+					changed = true
+					break
+				}
+			}
+			if changed {
+				if err := s.checkForeignKeyInsert(t, fk, newRow, lw, declTags); err != nil {
+					return n, err
+				}
+			}
+		}
+		// If referenced key columns changed, ensure no dangling
+		// referencing rows remain (treated as a delete of the old key).
+		if err := s.checkReferencersOnKeyChange(t, tg.tv.Row, newRow); err != nil {
+			return n, err
+		}
+
+		if err := s.fireTriggers(t, "AFTER", "UPDATE", tg.tv.Row, newRow, lw, qc); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+func (s *Session) checkReferencersOnKeyChange(t *catalog.Table, oldRow, newRow []types.Value) error {
+	for _, rf := range s.eng.cat.ReferencingFKs(t.Name) {
+		changed := false
+		for _, c := range rf.FK.RefCols {
+			if !oldRow[c].Equal(newRow[c]) {
+				changed = true
+				break
+			}
+		}
+		if !changed {
+			continue
+		}
+		key := make([]types.Value, len(rf.FK.RefCols))
+		for i, c := range rf.FK.RefCols {
+			key[i] = oldRow[c]
+		}
+		found := false
+		s.lookupByCols(rf.Table, rf.FK.Cols, key, func(*storage.TupleVersion) { found = true })
+		if found {
+			return fmt.Errorf("%w: %q still referenced by %q", ErrForeignKey, t.Name, rf.Table.Name)
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// DELETE
+
+// executeDelete removes matching tuples (marking versions deleted).
+// The Write Rule applies; referencing tables are checked label-exempt,
+// the channel having been vouched for by the Foreign Key Rule at
+// insert time (§5.2.2).
+func (s *Session) executeDelete(del *sql.DeleteStmt, qc *qctx) (int, error) {
+	t, ok := s.eng.cat.Table(del.Table)
+	if !ok {
+		if _, isView := s.eng.cat.View(del.Table); isView {
+			return 0, ErrReadOnlyView
+		}
+		return 0, fmt.Errorf("engine: no table %q", del.Table)
+	}
+	targets, err := s.collectTargets(t, del.Where, qc)
+	if err != nil {
+		return 0, err
+	}
+	lw := s.writeLabel()
+	liw := s.writeILabel()
+	n := 0
+	for _, tg := range targets {
+		if s.eng.cfg.IFC && !tg.tv.Label.Equal(lw) {
+			return n, fmt.Errorf("%w: tuple label %v, process label %v", ErrWriteRule, tg.tv.Label, lw)
+		}
+		if s.eng.cfg.IFC && !tg.tv.ILabel.Equal(liw) {
+			return n, fmt.Errorf("%w: tuple integrity %v, process integrity %v", ErrWriteRule, tg.tv.ILabel, liw)
+		}
+		if err := s.deleteOne(t, tg, qc); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+func (s *Session) deleteOne(t *catalog.Table, tg target, qc *qctx) error {
+	if err := s.fireTriggers(t, "BEFORE", "DELETE", tg.tv.Row, nil, tg.tv.Label, qc); err != nil {
+		return err
+	}
+	// Referential integrity on the delete side.
+	for _, rf := range s.eng.cat.ReferencingFKs(t.Name) {
+		key := make([]types.Value, len(rf.FK.RefCols))
+		skip := false
+		for i, c := range rf.FK.RefCols {
+			key[i] = tg.tv.Row[c]
+			if key[i].IsNull() {
+				skip = true
+			}
+		}
+		if skip {
+			continue
+		}
+		// Another (polyinstantiated) version of this key may remain;
+		// if so, referencing rows are still satisfied.
+		remaining := 0
+		s.lookupByCols(t, rf.FK.RefCols, key, func(tv *storage.TupleVersion) { remaining++ })
+		if remaining > 1 {
+			continue
+		}
+		var refs []target
+		s.lookupByColsTID(rf.Table, rf.FK.Cols, key, func(tid storage.TID, tv *storage.TupleVersion) {
+			refs = append(refs, target{tid: tid, tv: *tv})
+		})
+		if len(refs) == 0 {
+			continue
+		}
+		if rf.FK.OnDelete == "CASCADE" {
+			for _, r := range refs {
+				// Cascaded deletes are still writes: the Write Rule
+				// applies to them as well.
+				if s.eng.cfg.IFC && !r.tv.Label.Equal(s.writeLabel()) {
+					return fmt.Errorf("%w: cascade into %q", ErrWriteRule, rf.Table.Name)
+				}
+				if err := s.deleteOne(rf.Table, r, qc); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		return fmt.Errorf("%w: %q is referenced by %q (%s)", ErrForeignKey, t.Name, rf.Table.Name, rf.FK.Name)
+	}
+	if err := s.stmtTx.Delete(t.Heap, tg.tid, tg.tv.Label, tg.tv.ILabel); err != nil {
+		return err
+	}
+	return s.fireTriggers(t, "AFTER", "DELETE", tg.tv.Row, nil, tg.tv.Label, qc)
+}
+
+// lookupByColsTID is lookupByCols but also yields TIDs.
+func (s *Session) lookupByColsTID(ref *catalog.Table, cols []int, key []types.Value, fn func(tid storage.TID, tv *storage.TupleVersion)) {
+	tx := s.stmtTx
+	consider := func(tid storage.TID, tv *storage.TupleVersion) {
+		if !tx.Visible(tv.Xmin, tv.Xmax) {
+			return
+		}
+		for i, c := range cols {
+			if !tv.Row[c].Equal(key[i]) {
+				return
+			}
+		}
+		fn(tid, tv)
+	}
+	for _, ix := range ref.Indexes {
+		if len(ix.Cols) < len(cols) {
+			continue
+		}
+		match := true
+		for i, c := range cols {
+			if ix.Cols[i] != c {
+				match = false
+				break
+			}
+		}
+		if !match {
+			continue
+		}
+		ix.Tree.AscendPrefix(key, func(_ index.Key, tid storage.TID) bool {
+			if tv, ok := ref.Heap.Get(tid); ok {
+				consider(tid, &tv)
+			}
+			return true
+		})
+		return
+	}
+	ref.Heap.Scan(func(tid storage.TID, tv *storage.TupleVersion) bool {
+		consider(tid, tv)
+		return true
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Triggers
+
+// TriggerCtx is passed to trigger procedures through the session: the
+// engine stores it on the session for the duration of the call.
+type TriggerCtx struct {
+	Table    string
+	Event    string // INSERT, UPDATE, DELETE
+	Timing   string // BEFORE, AFTER
+	Old, New []types.Value
+	RowLabel label.Label
+}
+
+// trigCtx is the active trigger context (nil outside trigger calls).
+func (s *Session) TriggerContext() *TriggerCtx { return s.trigCtx }
+
+// fireTriggers runs the triggers registered for (timing, event).
+// Deferred triggers queue on the transaction and run at commit with
+// the label the session has *now* — the label of the originating query
+// — not the commit label (§5.2.3).
+func (s *Session) fireTriggers(t *catalog.Table, timing, event string, oldRow, newRow []types.Value, rowLabel label.Label, qc *qctx) error {
+	for _, tr := range t.Triggers {
+		if tr.Timing != timing || tr.Event != event {
+			continue
+		}
+		ctx := &TriggerCtx{
+			Table: t.Name, Event: event, Timing: timing,
+			Old: oldRow, New: newRow, RowLabel: rowLabel,
+		}
+		if tr.Deferred && timing == "AFTER" {
+			s.queueDeferredTrigger(tr, ctx)
+			continue
+		}
+		if err := s.runTrigger(tr, ctx); err != nil {
+			return fmt.Errorf("engine: trigger %q: %w", tr.Name, err)
+		}
+	}
+	return nil
+}
+
+func (s *Session) runTrigger(tr *catalog.Trigger, ctx *TriggerCtx) error {
+	p, ok := s.eng.LookupProc(tr.Proc)
+	if !ok {
+		return fmt.Errorf("procedure %q missing", tr.Proc)
+	}
+	savedCtx := s.trigCtx
+	s.trigCtx = ctx
+	defer func() { s.trigCtx = savedCtx }()
+	run := func() error {
+		_, err := p.Fn(s, nil)
+		return err
+	}
+	if p.Closure != nil {
+		// Stored authority closure: runs with the bound authority
+		// (§4.3, §5.2.3).
+		return s.runAs(p.Closure.Bound, run)
+	}
+	return run()
+}
+
+// queueDeferredTrigger captures the session label at queue time so the
+// trigger observes the originating query's label at commit (§5.2.3).
+func (s *Session) queueDeferredTrigger(tr *catalog.Trigger, ctx *TriggerCtx) {
+	queuedLabel := s.plabel.Clone()
+	queuedPrincipal := s.principal
+	s.stmtTx.Defer(func() error {
+		savedLabel := s.plabel
+		savedPrincipal := s.principal
+		s.plabel = queuedLabel
+		s.principal = queuedPrincipal
+		defer func() {
+			s.plabel = savedLabel
+			s.principal = savedPrincipal
+		}()
+		if err := s.runTrigger(tr, ctx); err != nil {
+			return fmt.Errorf("engine: deferred trigger %q: %w", tr.Name, err)
+		}
+		return nil
+	})
+}

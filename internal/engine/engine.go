@@ -1,0 +1,396 @@
+// Package engine implements the IFDB database engine: the Query by
+// Label model (paper §4), transactions and constraints with the
+// IFC-safety rules of §5, and the DIFC management machinery
+// (declassifying views, stored authority closures) of §4.3 — all on
+// top of the storage, index, and transaction substrates.
+//
+// The engine can run with information flow control disabled
+// (Config.IFC = false), in which case it stores no labels and performs
+// no label checks. That configuration is the "PostgreSQL" baseline in
+// every benchmark: comparing it with the IFC configuration isolates
+// exactly the overhead of labels, as the paper's evaluation did (§8).
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+
+	"ifdb/internal/authority"
+	"ifdb/internal/catalog"
+	"ifdb/internal/label"
+	"ifdb/internal/pager"
+	"ifdb/internal/sql"
+	"ifdb/internal/storage"
+	"ifdb/internal/txn"
+	"ifdb/internal/types"
+)
+
+// Errors surfaced by the engine. Tests and applications match on
+// these with errors.Is.
+var (
+	// ErrWriteRule is returned when an UPDATE or DELETE touches a
+	// tuple whose label is strictly below the process label
+	// (paper §4.2: such writes fail rather than silently skip).
+	ErrWriteRule = errors.New("engine: write rule violation: tuple label below process label")
+
+	// ErrUnique is a uniqueness violation among *visible* tuples.
+	ErrUnique = errors.New("engine: unique constraint violation")
+
+	// ErrForeignKey covers referential integrity failures.
+	ErrForeignKey = errors.New("engine: foreign key violation")
+
+	// ErrFKAuthority is returned by the Foreign Key Rule (§5.2.2): the
+	// symmetric difference of the two tuples' labels was not covered
+	// by declared DECLASSIFYING tags backed by authority.
+	ErrFKAuthority = errors.New("engine: foreign key rule: missing declassification authority")
+
+	// ErrLabelConstraint is a label-constraint violation (§5.2.4).
+	ErrLabelConstraint = errors.New("engine: label constraint violation")
+
+	// ErrCheck is a CHECK constraint violation.
+	ErrCheck = errors.New("engine: check constraint violation")
+
+	// ErrNotNull is a NOT NULL violation.
+	ErrNotNull = errors.New("engine: not-null constraint violation")
+
+	// ErrAuthority is returned when an operation requires authority
+	// the session's principal does not hold.
+	ErrAuthority = errors.New("engine: insufficient authority")
+
+	// ErrContaminated is returned when an operation requires an empty
+	// process label (e.g. authority-state updates, §3.2).
+	ErrContaminated = errors.New("engine: operation requires an empty label")
+
+	// ErrClearance is the transaction clearance rule (§5.1): in a
+	// serializable transaction, adding a tag requires authority for it.
+	ErrClearance = errors.New("engine: clearance rule: cannot raise label without authority in serializable transaction")
+
+	// ErrReadOnlyView rejects DML against views.
+	ErrReadOnlyView = errors.New("engine: views are not updatable")
+)
+
+// Config controls an Engine instance.
+type Config struct {
+	// IFC enables information flow control. When false the engine
+	// behaves as the plain substrate DBMS ("PostgreSQL" baseline):
+	// no labels are stored and no flow checks run.
+	IFC bool
+
+	// DataDir, when non-empty, is where `USING DISK` tables place
+	// their heap files. When empty, disk tables use an in-memory page
+	// store behind the same buffer pool (still exercising the paging
+	// and eviction path), which benchmarks use to measure I/O
+	// amplification without device noise.
+	DataDir string
+
+	// BufferPoolPages is the per-table buffer pool capacity for disk
+	// tables (default 256 pages = 2 MiB).
+	BufferPoolPages int
+}
+
+// Engine is one IFDB database instance.
+type Engine struct {
+	cfg  Config
+	cat  *catalog.Catalog
+	auth *authority.State
+	clos *authority.ClosureRegistry
+	hier *label.Hierarchy
+	txns *txn.Manager
+
+	// tagNames maps the application-visible tag names used in SQL
+	// (DECLASSIFYING clauses, label constraints) to tag ids.
+	tagMu    sync.RWMutex
+	tagNames map[string]label.Tag
+	nameOf   map[label.Tag]string
+
+	// procs are stored procedures: Go functions callable from SQL and
+	// from triggers. A proc may be bound to an authority closure.
+	procMu sync.RWMutex
+	procs  map[string]*Proc
+
+	// admin is the administrator principal: it owns the schema but —
+	// following §3.3 — holds no tag authority unless explicitly
+	// delegated.
+	admin authority.Principal
+
+	// stmtCache caches parsed read/DML statements by query text.
+	stmtCache sync.Map // string -> []sql.Statement
+
+	// sequences are labeled sequences (see sequence.go).
+	seqMu     sync.RWMutex
+	sequences map[string]*sequence
+
+	// diskTables counts tables created USING DISK (for stats).
+	diskTables int
+}
+
+// Proc is a stored procedure: a Go function executing with access to
+// the calling session. If Closure is non-nil, the proc is a stored
+// authority closure (§4.3) and runs with the bound principal's
+// authority instead of the caller's.
+type Proc struct {
+	Name    string
+	Fn      ProcFunc
+	Closure *authority.Closure // nil for ordinary procs
+}
+
+// ProcFunc is the signature of stored procedures. The session passed
+// in is the caller's session (with the closure principal in effect if
+// the proc is an authority closure).
+type ProcFunc func(s *Session, args []types.Value) (types.Value, error)
+
+// New creates an engine.
+func New(cfg Config) *Engine {
+	if cfg.BufferPoolPages <= 0 {
+		cfg.BufferPoolPages = 256
+	}
+	hier := label.NewHierarchy()
+	auth := authority.NewState(hier)
+	e := &Engine{
+		cfg:      cfg,
+		cat:      catalog.New(),
+		auth:     auth,
+		clos:     authority.NewClosureRegistry(auth),
+		hier:     hier,
+		txns:     txn.NewManager(),
+		tagNames: make(map[string]label.Tag),
+		nameOf:   make(map[label.Tag]string),
+		procs:    make(map[string]*Proc),
+	}
+	e.admin = auth.CreatePrincipal("admin")
+	return e
+}
+
+// IFC reports whether information flow control is enabled.
+func (e *Engine) IFC() bool { return e.cfg.IFC }
+
+// Admin returns the administrator principal. The administrator defines
+// schemas but holds no declassification authority (paper §3.3).
+func (e *Engine) Admin() authority.Principal { return e.admin }
+
+// Authority exposes the authority state (the platform's shared cache
+// reads through this).
+func (e *Engine) Authority() *authority.State { return e.auth }
+
+// Closures exposes the authority-closure registry.
+func (e *Engine) Closures() *authority.ClosureRegistry { return e.clos }
+
+// Hierarchy exposes the compound-tag hierarchy.
+func (e *Engine) Hierarchy() *label.Hierarchy { return e.hier }
+
+// Catalog exposes the schema catalog (read-mostly; used by tools).
+func (e *Engine) Catalog() *catalog.Catalog { return e.cat }
+
+// TxnManager exposes the transaction manager (used by vacuum and
+// tests).
+func (e *Engine) TxnManager() *txn.Manager { return e.txns }
+
+// ---------------------------------------------------------------------------
+// Tag and principal management (engine-level, name-keyed)
+
+// CreatePrincipal creates a principal with the given diagnostic name.
+func (e *Engine) CreatePrincipal(name string) authority.Principal {
+	return e.auth.CreatePrincipal(name)
+}
+
+// CreateTag creates a named tag owned by owner, optionally as a member
+// of the named compound tags. Tag names are unique per engine; SQL
+// refers to tags by these names (e.g. in DECLASSIFYING clauses).
+func (e *Engine) CreateTag(owner authority.Principal, name string, compounds ...string) (label.Tag, error) {
+	e.tagMu.Lock()
+	defer e.tagMu.Unlock()
+	if _, dup := e.tagNames[name]; dup {
+		return label.InvalidTag, fmt.Errorf("engine: tag %q already exists", name)
+	}
+	var parents []label.Tag
+	for _, cn := range compounds {
+		ct, ok := e.tagNames[cn]
+		if !ok {
+			return label.InvalidTag, fmt.Errorf("engine: unknown compound tag %q", cn)
+		}
+		parents = append(parents, ct)
+	}
+	t, err := e.auth.CreateTag(owner, name, parents...)
+	if err != nil {
+		return label.InvalidTag, err
+	}
+	e.tagNames[name] = t
+	e.nameOf[t] = name
+	return t, nil
+}
+
+// LookupTag resolves a tag name.
+func (e *Engine) LookupTag(name string) (label.Tag, bool) {
+	e.tagMu.RLock()
+	defer e.tagMu.RUnlock()
+	t, ok := e.tagNames[name]
+	return t, ok
+}
+
+// TagName returns the name of a tag id.
+func (e *Engine) TagName(t label.Tag) (string, bool) {
+	e.tagMu.RLock()
+	defer e.tagMu.RUnlock()
+	n, ok := e.nameOf[t]
+	return n, ok
+}
+
+// resolveTagNames maps tag names from SQL clauses to a label.
+func (e *Engine) resolveTagNames(names []string) (label.Label, error) {
+	var tags []label.Tag
+	for _, n := range names {
+		t, ok := e.LookupTag(n)
+		if !ok {
+			return nil, fmt.Errorf("engine: unknown tag %q", n)
+		}
+		tags = append(tags, t)
+	}
+	return label.New(tags...), nil
+}
+
+// ---------------------------------------------------------------------------
+// Stored procedures and stored authority closures
+
+// RegisterProc installs an ordinary stored procedure: it runs with the
+// authority of whatever process calls it (paper §4.3).
+func (e *Engine) RegisterProc(name string, fn ProcFunc) error {
+	e.procMu.Lock()
+	defer e.procMu.Unlock()
+	name = strings.ToLower(name)
+	if _, dup := e.procs[name]; dup {
+		return fmt.Errorf("engine: procedure %q already exists", name)
+	}
+	e.procs[name] = &Proc{Name: name, Fn: fn}
+	return nil
+}
+
+// RegisterClosureProc installs a stored authority closure: code bound
+// to a principal whose authority it exercises when run. The creator
+// must hold authority for every tag in proves (it cannot bind
+// authority it does not have).
+func (e *Engine) RegisterClosureProc(name string, fn ProcFunc, creator, bound authority.Principal, proves label.Label) error {
+	cl, err := e.clos.Register("proc:"+strings.ToLower(name), creator, bound, proves)
+	if err != nil {
+		return err
+	}
+	e.procMu.Lock()
+	defer e.procMu.Unlock()
+	name = strings.ToLower(name)
+	if _, dup := e.procs[name]; dup {
+		return fmt.Errorf("engine: procedure %q already exists", name)
+	}
+	e.procs[name] = &Proc{Name: name, Fn: fn, Closure: cl}
+	return nil
+}
+
+// LookupProc finds a stored procedure.
+func (e *Engine) LookupProc(name string) (*Proc, bool) {
+	e.procMu.RLock()
+	defer e.procMu.RUnlock()
+	p, ok := e.procs[strings.ToLower(name)]
+	return p, ok
+}
+
+// parseCached parses query, caching the result when every statement
+// is a read or DML statement (DDL ASTs are consumed by execution and
+// must stay private to one call).
+func (e *Engine) parseCached(query string) ([]sql.Statement, error) {
+	if v, ok := e.stmtCache.Load(query); ok {
+		return v.([]sql.Statement), nil
+	}
+	stmts, err := sql.ParseAll(query)
+	if err != nil {
+		return nil, err
+	}
+	cacheable := true
+	for _, st := range stmts {
+		switch st.(type) {
+		case *sql.SelectStmt, *sql.InsertStmt, *sql.UpdateStmt, *sql.DeleteStmt,
+			*sql.BeginStmt, *sql.CommitStmt, *sql.RollbackStmt:
+		default:
+			cacheable = false
+		}
+	}
+	if cacheable {
+		e.stmtCache.Store(query, stmts)
+	}
+	return stmts, nil
+}
+
+// ---------------------------------------------------------------------------
+// Heap construction and vacuum
+
+func (e *Engine) newHeap(name string, onDisk bool) (storage.Heap, error) {
+	if !onDisk {
+		return storage.NewMemHeap(), nil
+	}
+	var store pager.PageStore
+	if e.cfg.DataDir != "" {
+		fs, err := pager.OpenFileStore(e.cfg.DataDir + "/" + strings.ToLower(name) + ".heap")
+		if err != nil {
+			return nil, err
+		}
+		store = fs
+	} else {
+		store = pager.NewMemStore()
+	}
+	e.diskTables++
+	return pager.NewPagedHeap(store, e.cfg.BufferPoolPages), nil
+}
+
+// Vacuum reclaims dead tuple versions in every table and prunes index
+// entries pointing at them. The vacuum task is exempt from the
+// information flow rules (paper §7.1).
+func (e *Engine) Vacuum() int {
+	total := 0
+	for _, t := range e.cat.Tables() {
+		dead := e.txns.DeadVersion()
+		// Collect TIDs to be reclaimed so index entries can be pruned.
+		type victim struct {
+			tid storage.TID
+			row []types.Value
+		}
+		var victims []victim
+		t.Heap.Scan(func(tid storage.TID, tv *storage.TupleVersion) bool {
+			if dead(tv) {
+				victims = append(victims, victim{tid, tv.Row})
+			}
+			return true
+		})
+		for _, v := range victims {
+			for _, ix := range t.Indexes {
+				key := make([]types.Value, len(ix.Cols))
+				for i, c := range ix.Cols {
+					key[i] = v.row[c]
+				}
+				ix.Tree.Delete(key, v.tid)
+			}
+		}
+		total += t.Heap.Vacuum(dead)
+	}
+	return total
+}
+
+// Stats reports engine-wide counters used by tools and benchmarks.
+type Stats struct {
+	Tables     int
+	Views      int
+	DiskTables int
+	TupleBytes int64
+	Tuples     int
+}
+
+// Stats returns a snapshot of engine statistics.
+func (e *Engine) Stats() Stats {
+	s := Stats{DiskTables: e.diskTables}
+	tabs := e.cat.Tables()
+	s.Tables = len(tabs)
+	s.Views = len(e.cat.Views())
+	for _, t := range tabs {
+		s.TupleBytes += t.Heap.ApproxBytes()
+		s.Tuples += t.Heap.Len()
+	}
+	return s
+}

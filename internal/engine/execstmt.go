@@ -1,0 +1,158 @@
+package engine
+
+import (
+	"fmt"
+
+	"ifdb/internal/label"
+	"ifdb/internal/sql"
+	"ifdb/internal/txn"
+	"ifdb/internal/types"
+)
+
+// Exec parses and executes SQL. Multiple semicolon-separated
+// statements run in order; the result of the last one is returned.
+// Positional parameters ($1, $2, ...) bind to params.
+//
+// Parsed query/DML statements are cached engine-wide by query text
+// (the prepared-statement optimization every real DBMS has); DDL is
+// never cached because its execution consumes parts of the AST.
+func (s *Session) Exec(query string, params ...types.Value) (*Result, error) {
+	stmts, err := s.eng.parseCached(query)
+	if err != nil {
+		return nil, err
+	}
+	if len(stmts) == 0 {
+		return &Result{}, nil
+	}
+	var res *Result
+	for _, st := range stmts {
+		res, err = s.ExecStmt(st, params...)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// Query is Exec for callers that expect rows.
+func (s *Session) Query(query string, params ...types.Value) (*Result, error) {
+	return s.Exec(query, params...)
+}
+
+// QueryRow runs a query expected to return at most one row; ok is
+// false if it returned none.
+func (s *Session) QueryRow(query string, params ...types.Value) ([]types.Value, bool, error) {
+	res, err := s.Exec(query, params...)
+	if err != nil {
+		return nil, false, err
+	}
+	if len(res.Rows) == 0 {
+		return nil, false, nil
+	}
+	return res.Rows[0], true, nil
+}
+
+// ExecStmt executes one parsed statement.
+func (s *Session) ExecStmt(st sql.Statement, params ...types.Value) (*Result, error) {
+	switch x := st.(type) {
+	case *sql.BeginStmt:
+		mode := txn.SnapshotIsolation
+		if x.Serializable {
+			mode = txn.Serializable
+		}
+		if err := s.Begin(mode); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+	case *sql.CommitStmt:
+		if err := s.Commit(); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+	case *sql.RollbackStmt:
+		if err := s.Abort(); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+	}
+
+	var res *Result
+	err := s.withStmt(func(t *txn.Txn) error {
+		qc := &qctx{params: params}
+		switch x := st.(type) {
+		case *sql.SelectStmt:
+			rel, err := s.executeSelect(x, qc)
+			if err != nil {
+				return err
+			}
+			res = relationToResult(rel, s.eng.cfg.IFC)
+			return nil
+		case *sql.InsertStmt:
+			n, err := s.executeInsert(x, qc)
+			if err != nil {
+				return err
+			}
+			res = &Result{Affected: n}
+			return nil
+		case *sql.UpdateStmt:
+			n, err := s.executeUpdate(x, qc)
+			if err != nil {
+				return err
+			}
+			res = &Result{Affected: n}
+			return nil
+		case *sql.DeleteStmt:
+			n, err := s.executeDelete(x, qc)
+			if err != nil {
+				return err
+			}
+			res = &Result{Affected: n}
+			return nil
+		case *sql.CreateTableStmt:
+			res = &Result{}
+			return s.executeCreateTable(x)
+		case *sql.DropTableStmt:
+			res = &Result{}
+			err := s.eng.cat.DropTable(x.Name)
+			if err != nil && x.IfExists {
+				return nil
+			}
+			return err
+		case *sql.CreateIndexStmt:
+			res = &Result{}
+			return s.executeCreateIndex(x)
+		case *sql.CreateViewStmt:
+			res = &Result{}
+			return s.executeCreateView(x)
+		case *sql.CreateTriggerStmt:
+			res = &Result{}
+			return s.executeCreateTrigger(x)
+		default:
+			return fmt.Errorf("engine: unsupported statement %T", st)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func relationToResult(rel *relation, ifc bool) *Result {
+	res := &Result{
+		Cols: make([]string, len(rel.schema)),
+		Rows: make([][]types.Value, len(rel.rows)),
+	}
+	for i, c := range rel.schema {
+		res.Cols[i] = c.Name
+	}
+	if ifc {
+		res.RowLabels = make([]label.Label, len(rel.rows))
+	}
+	for i, r := range rel.rows {
+		res.Rows[i] = r.vals
+		if ifc {
+			res.RowLabels[i] = r.lbl
+		}
+	}
+	return res
+}

@@ -1,0 +1,178 @@
+package engine
+
+import (
+	"errors"
+	"testing"
+
+	"ifdb/internal/label"
+	"ifdb/internal/types"
+)
+
+// Integrity labels (§3.1; detailed in the IFDB thesis): the dual of
+// secrecy. A tag in the integrity label asserts trusted provenance.
+
+func TestIntegrityEndorseAndDrop(t *testing.T) {
+	f := newIFC(t)
+	sa := f.e.NewSession(f.alice)
+	// Endorsing requires authority — like declassification.
+	if err := sa.Endorse(f.btag); !errors.Is(err, ErrAuthority) {
+		t.Fatalf("endorse foreign tag: %v", err)
+	}
+	if err := sa.Endorse(f.atag); err != nil {
+		t.Fatal(err)
+	}
+	if !sa.Integrity().Equal(label.New(f.atag)) {
+		t.Fatalf("integrity: %v", sa.Integrity())
+	}
+	// Dropping is free.
+	if err := sa.DropIntegrity(f.atag); err != nil {
+		t.Fatal(err)
+	}
+	if !sa.Integrity().IsEmpty() {
+		t.Fatalf("integrity after drop: %v", sa.Integrity())
+	}
+}
+
+func TestIntegrityVisibility(t *testing.T) {
+	f := newIFC(t)
+	// A high-integrity writer stamps tuples with {atag} integrity.
+	wr := f.e.NewSession(f.alice)
+	if err := wr.Endorse(f.atag); err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, wr, `INSERT INTO records VALUES (1, 'trusted', 'high')`)
+
+	// A plain writer produces low-integrity data.
+	lo := f.e.NewSession(f.bob)
+	mustExec(t, lo, `INSERT INTO records VALUES (2, 'untrusted', 'low')`)
+
+	// A reader with no integrity requirement sees both.
+	rd := f.e.NewSession(f.bob)
+	res := mustExec(t, rd, `SELECT id FROM records ORDER BY id`)
+	expectRows(t, res, "1", "2")
+
+	// A reader claiming {atag} integrity sees only the endorsed tuple:
+	// high-integrity computation cannot silently consume low-integrity
+	// inputs.
+	hi := f.e.NewSession(f.alice)
+	if err := hi.Endorse(f.atag); err != nil {
+		t.Fatal(err)
+	}
+	res = mustExec(t, hi, `SELECT id, body FROM records`)
+	expectRows(t, res, "1|high")
+
+	// _ilabel is queryable like _label.
+	res = mustExec(t, hi, `SELECT label_size(_ilabel) FROM records`)
+	expectRows(t, res, "1")
+}
+
+func TestIntegrityWriteRule(t *testing.T) {
+	f := newIFC(t)
+	wr := f.e.NewSession(f.alice)
+	if err := wr.Endorse(f.atag); err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, wr, `INSERT INTO records VALUES (1, 'trusted', 'v1')`)
+
+	// Writes are stamped with exactly the process integrity label. A
+	// process with no integrity requirement still *sees* the endorsed
+	// tuple (empty requirement admits everything), but the write rule
+	// stops it from updating in place — that would launder a
+	// low-integrity write into a high-integrity tuple.
+	lo := f.e.NewSession(f.alice)
+	if _, err := lo.Exec(`UPDATE records SET body = 'tampered' WHERE id = 1`); !errors.Is(err, ErrWriteRule) {
+		t.Fatalf("low-integrity update: %v", err)
+	}
+	// The endorsed process can.
+	mustExec(t, wr, `UPDATE records SET body = 'v2' WHERE id = 1`)
+	res := mustExec(t, wr, `SELECT body FROM records WHERE id = 1`)
+	expectRows(t, res, "v2")
+}
+
+func TestIntegrityCommitRule(t *testing.T) {
+	f := newIFC(t)
+	sa := f.e.NewSession(f.alice)
+	if err := sa.Endorse(f.atag); err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, sa, `BEGIN`)
+	mustExec(t, sa, `INSERT INTO records VALUES (1, 'x', 'endorsed write')`)
+	// Dropping integrity before commit: the transaction outcome would
+	// vouch for a high-integrity write from a low-integrity process.
+	if err := sa.DropIntegrity(f.atag); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sa.Exec(`COMMIT`); err == nil {
+		t.Fatal("integrity commit rule did not fire")
+	}
+	// The write rolled back.
+	chk := f.e.NewSession(f.alice)
+	if err := chk.Endorse(f.atag); err != nil {
+		t.Fatal(err)
+	}
+	res := mustExec(t, chk, `SELECT COUNT(*) FROM records`)
+	expectRows(t, res, "0")
+}
+
+func TestIntegritySQLFunctions(t *testing.T) {
+	f := newIFC(t)
+	sa := f.e.NewSession(f.alice)
+	mustExec(t, sa, `SELECT endorse('alice_tag')`)
+	res := mustExec(t, sa, `SELECT getintegrity()`)
+	if !res.Rows[0][0].Label().Equal(label.New(f.atag)) {
+		t.Fatalf("getintegrity: %v", res.Rows[0][0])
+	}
+	mustExec(t, sa, `SELECT dropintegrity('alice_tag')`)
+	res = mustExec(t, sa, `SELECT getintegrity()`)
+	if res.Rows[0][0].Label().Len() != 0 {
+		t.Fatalf("after drop: %v", res.Rows[0][0])
+	}
+	if _, err := sa.Exec(`SELECT endorse('bob_tag')`); err == nil {
+		t.Fatal("SQL endorse without authority")
+	}
+}
+
+func TestQueryEachIterator(t *testing.T) {
+	f := newIFC(t)
+	sa := f.session(t, f.alice, f.atag)
+	mustExec(t, sa, `INSERT INTO records VALUES (1, 'alice', 'a-data')`)
+	sb := f.session(t, f.bob, f.btag)
+	mustExec(t, sb, `INSERT INTO records VALUES (2, 'bob', 'b-data')`)
+
+	// A reader contaminated for both sees both rows; QueryEach hands
+	// each row over with only that row's label added, and the session
+	// label is restored afterwards.
+	rd := f.session(t, f.bob, f.atag, f.btag)
+	before := rd.Label()
+	var seen []string
+	err := rd.QueryEach(`SELECT body FROM records ORDER BY id`, nil,
+		func(row []types.Value, rowLabel label.Label) error {
+			seen = append(seen, row[0].Text()+"@"+rowLabel.String())
+			// Inside the context, the label covers the row.
+			for _, tg := range rowLabel {
+				if !rd.Label().Has(tg) {
+					t.Errorf("row label %v not covered by process label %v", rowLabel, rd.Label())
+				}
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 2 {
+		t.Fatalf("seen: %v", seen)
+	}
+	if !rd.Label().Equal(before) {
+		t.Fatalf("label not restored: %v", rd.Label())
+	}
+	// Errors propagate and still restore the label.
+	wantErr := errors.New("stop")
+	err = rd.QueryEach(`SELECT body FROM records`, nil,
+		func([]types.Value, label.Label) error { return wantErr })
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("err: %v", err)
+	}
+	if !rd.Label().Equal(before) {
+		t.Fatalf("label not restored after error: %v", rd.Label())
+	}
+}

@@ -1,0 +1,421 @@
+package engine
+
+import (
+	"fmt"
+
+	"ifdb/internal/authority"
+	"ifdb/internal/label"
+	"ifdb/internal/storage"
+	"ifdb/internal/txn"
+	"ifdb/internal/types"
+)
+
+// Session is one client process's connection to the engine. It carries
+// the process's information flow state — its label and its acting
+// principal — and its transaction, mirroring how IFDB shares the
+// process label between the application platform and the DBMS (§7.2).
+//
+// A Session is not safe for concurrent use (like a database
+// connection); open one session per worker.
+type Session struct {
+	eng *Engine
+
+	principal authority.Principal
+	plabel    label.Label
+	pilabel   label.Label // integrity label (§3.1)
+
+	// tx is the open explicit transaction, nil in autocommit mode.
+	tx *txn.Txn
+
+	// stmtTx is the transaction for the currently executing statement
+	// (either tx or a temporary autocommit transaction).
+	stmtTx *txn.Txn
+
+	// closureDepth tracks nesting of authority-closure calls, so that
+	// label changes made inside a closure persist (contamination is
+	// real) while the principal is restored.
+	closureDepth int
+
+	// trigCtx is the active trigger context while a trigger procedure
+	// runs (nil otherwise).
+	trigCtx *TriggerCtx
+}
+
+// NewSession opens a session acting as the given principal with an
+// empty label.
+func (e *Engine) NewSession(p authority.Principal) *Session {
+	return &Session{eng: e, principal: p}
+}
+
+// Engine returns the engine this session talks to.
+func (s *Session) Engine() *Engine { return s.eng }
+
+// Principal returns the session's acting principal.
+func (s *Session) Principal() authority.Principal { return s.principal }
+
+// Label returns the process label (a copy).
+func (s *Session) Label() label.Label { return s.plabel.Clone() }
+
+// SetLabelUnsafe replaces the process label without any checks. It is
+// the low-level hook the wire protocol uses to synchronize the label
+// the *platform* already vetted (the platform and engine share one
+// logical process label, §7.2). Application code must use AddSecrecy
+// and Declassify.
+func (s *Session) SetLabelUnsafe(l label.Label) { s.plabel = l.Clone() }
+
+// SetPrincipalUnsafe switches the acting principal without checks;
+// used by the wire protocol (authentication happens in the platform's
+// trusted code) and by closure invocation.
+func (s *Session) SetPrincipalUnsafe(p authority.Principal) { s.principal = p }
+
+// Integrity returns the process integrity label (a copy).
+//
+// Integrity labels are the dual of secrecy labels (§3.1): a tag in the
+// integrity label asserts the data came from a source trusted for that
+// tag. Queries see only tuples whose integrity label covers the
+// process's (you cannot base high-integrity computation on
+// low-integrity data), writes are stamped with exactly the process
+// integrity label, dropping integrity is free, and raising it
+// ("endorsement") requires authority.
+func (s *Session) Integrity() label.Label { return s.pilabel.Clone() }
+
+// SetIntegrityUnsafe replaces the integrity label without checks (wire
+// protocol only).
+func (s *Session) SetIntegrityUnsafe(l label.Label) { s.pilabel = l.Clone() }
+
+// Endorse adds tag t to the process integrity label. Claiming
+// integrity is like declassifying secrecy: it needs authority for t.
+func (s *Session) Endorse(t label.Tag) error {
+	if !s.eng.cfg.IFC {
+		return nil
+	}
+	if !s.eng.auth.TagExists(t) {
+		return fmt.Errorf("engine: unknown tag %d", t)
+	}
+	if !s.eng.auth.HasAuthority(s.principal, t) {
+		return fmt.Errorf("%w: endorse tag %d", ErrAuthority, t)
+	}
+	s.pilabel = s.pilabel.Add(t)
+	return nil
+}
+
+// DropIntegrity removes tag t from the process integrity label.
+// Lowering integrity is always safe.
+func (s *Session) DropIntegrity(t label.Tag) error {
+	if !s.eng.cfg.IFC {
+		return nil
+	}
+	s.pilabel = s.pilabel.Remove(t)
+	return nil
+}
+
+// AddSecrecy adds a tag to the process label. Raising the label is
+// ordinarily free — any process may contaminate itself — except under
+// the transaction clearance rule (§5.1): inside a serializable
+// transaction the process must be authoritative for the tag, because
+// concurrency conflicts could otherwise leak through abort patterns.
+func (s *Session) AddSecrecy(t label.Tag) error {
+	if !s.eng.cfg.IFC {
+		return nil
+	}
+	if !s.eng.auth.TagExists(t) {
+		return fmt.Errorf("engine: unknown tag %d", t)
+	}
+	if s.tx != nil && s.tx.Mode() == txn.Serializable && !s.eng.auth.HasAuthority(s.principal, t) {
+		return ErrClearance
+	}
+	s.plabel = s.plabel.Add(t)
+	return nil
+}
+
+// Declassify removes a tag from the process label. It requires the
+// acting principal to hold authority for the tag (§3.2).
+func (s *Session) Declassify(t label.Tag) error {
+	if !s.eng.cfg.IFC {
+		return nil
+	}
+	if !s.plabel.Has(t) {
+		// Removing an absent tag is a no-op, as in Aeolus.
+		return nil
+	}
+	if !s.eng.auth.HasAuthority(s.principal, t) {
+		return fmt.Errorf("%w: declassify tag %d", ErrAuthority, t)
+	}
+	s.plabel = s.plabel.Remove(t)
+	return nil
+}
+
+// requireEmptyLabel gates authority-state mutations: the authority
+// state has an empty label, so writing it from a contaminated process
+// would be a covert channel (§3.2).
+func (s *Session) requireEmptyLabel() error {
+	if s.eng.cfg.IFC && !s.plabel.IsEmpty() {
+		return ErrContaminated
+	}
+	return nil
+}
+
+// CreateTag creates a tag owned by the session's principal. Tag
+// creation mutates the authority state, so it requires an empty label.
+func (s *Session) CreateTag(name string, compounds ...string) (label.Tag, error) {
+	if err := s.requireEmptyLabel(); err != nil {
+		return label.InvalidTag, err
+	}
+	return s.eng.CreateTag(s.principal, name, compounds...)
+}
+
+// CreatePrincipal creates a new principal; requires an empty label.
+func (s *Session) CreatePrincipal(name string) (authority.Principal, error) {
+	if err := s.requireEmptyLabel(); err != nil {
+		return authority.NoPrincipal, err
+	}
+	return s.eng.CreatePrincipal(name), nil
+}
+
+// Delegate grants authority for tag t from the session's principal to
+// grantee; requires an empty label.
+func (s *Session) Delegate(grantee authority.Principal, t label.Tag) error {
+	if err := s.requireEmptyLabel(); err != nil {
+		return err
+	}
+	return s.eng.auth.Delegate(s.principal, grantee, t)
+}
+
+// Revoke withdraws a delegation; requires an empty label.
+func (s *Session) Revoke(grantee authority.Principal, t label.Tag) error {
+	if err := s.requireEmptyLabel(); err != nil {
+		return err
+	}
+	return s.eng.auth.Revoke(s.principal, grantee, t)
+}
+
+// HasAuthority reports whether the acting principal may declassify t.
+func (s *Session) HasAuthority(t label.Tag) bool {
+	return s.eng.auth.HasAuthority(s.principal, t)
+}
+
+// ---------------------------------------------------------------------------
+// Reduced authority calls and authority closures (§3.3)
+
+// WithReducedAuthority runs fn with no principal at all. Label changes
+// made by fn persist (contamination is real); the principal is
+// restored afterwards.
+func (s *Session) WithReducedAuthority(fn func() error) error {
+	return s.runAs(authority.NoPrincipal, fn)
+}
+
+// CallClosure runs fn with the authority of the named closure's bound
+// principal (registered via Engine.Closures or RegisterClosureProc).
+func (s *Session) CallClosure(name string, fn func() error) error {
+	cl, ok := s.eng.clos.Lookup(name)
+	if !ok {
+		return fmt.Errorf("engine: no closure %q", name)
+	}
+	return s.runAs(cl.Bound, fn)
+}
+
+func (s *Session) runAs(p authority.Principal, fn func() error) error {
+	saved := s.principal
+	s.principal = p
+	s.closureDepth++
+	defer func() {
+		s.principal = saved
+		s.closureDepth--
+	}()
+	return fn()
+}
+
+// ---------------------------------------------------------------------------
+// Transactions
+
+// Begin starts an explicit transaction.
+func (s *Session) Begin(mode txn.Mode) error {
+	if s.tx != nil && !s.tx.Done() {
+		return fmt.Errorf("engine: transaction already open")
+	}
+	s.tx = s.eng.txns.Begin(mode)
+	return nil
+}
+
+// Commit commits the open transaction, enforcing the commit-label rule
+// (§5.1) with the session's label at this point as the commit label.
+func (s *Session) Commit() error {
+	if s.tx == nil || s.tx.Done() {
+		return fmt.Errorf("engine: no open transaction")
+	}
+	t := s.tx
+	s.tx = nil
+	var commitLabel, commitILabel label.Label
+	if s.eng.cfg.IFC {
+		commitLabel = s.plabel
+		commitILabel = s.pilabel
+	}
+	return t.Commit(s.eng.hier, commitLabel, commitILabel)
+}
+
+// Abort rolls back the open transaction.
+func (s *Session) Abort() error {
+	if s.tx == nil || s.tx.Done() {
+		return fmt.Errorf("engine: no open transaction")
+	}
+	t := s.tx
+	s.tx = nil
+	t.Abort()
+	return nil
+}
+
+// InTxn reports whether an explicit transaction is open.
+func (s *Session) InTxn() bool { return s.tx != nil && !s.tx.Done() }
+
+// withStmt runs fn under the statement's transaction: the currently
+// executing statement's transaction when fn is nested (triggers and
+// stored procedures issuing queries), else the open explicit
+// transaction, else a fresh autocommit transaction that commits (with
+// the commit-label rule) when fn returns.
+func (s *Session) withStmt(fn func(t *txn.Txn) error) error {
+	// Nested execution: reuse the in-flight statement transaction.
+	if s.stmtTx != nil && !s.stmtTx.Done() {
+		return fn(s.stmtTx)
+	}
+	// Explicit transaction.
+	if s.tx != nil && !s.tx.Done() {
+		s.stmtTx = s.tx
+		err := fn(s.tx)
+		s.stmtTx = nil
+		if err != nil {
+			// Statement failure inside an explicit transaction aborts
+			// the whole transaction (PostgreSQL semantics).
+			s.tx.Abort()
+			s.tx = nil
+		}
+		return err
+	}
+	// Autocommit.
+	t := s.eng.txns.Begin(txn.SnapshotIsolation)
+	s.stmtTx = t
+	err := fn(t)
+	s.stmtTx = nil
+	if err != nil {
+		t.Abort()
+		return err
+	}
+	var commitLabel, commitILabel label.Label
+	if s.eng.cfg.IFC {
+		commitLabel = s.plabel
+		commitILabel = s.pilabel
+	}
+	return t.Commit(s.eng.hier, commitLabel, commitILabel)
+}
+
+// ---------------------------------------------------------------------------
+// Label visibility plumbing
+
+// labelVisible reports whether a tuple labeled lt is visible to the
+// session given an extra strip set (from declassifying views): tags
+// covered by strip are removed from lt before the confinement check.
+func (s *Session) labelVisible(lt label.Label, strip label.Label) bool {
+	if !s.eng.cfg.IFC {
+		return true
+	}
+	eff := s.effectiveTupleLabel(lt, strip)
+	return s.eng.hier.Flows(eff, s.plabel)
+}
+
+// integrityVisible applies the integrity half of Query by Label: a
+// tuple is visible only if its integrity label covers the process's —
+// a process claiming integrity I refuses to observe data below I.
+func (s *Session) integrityVisible(it label.Label) bool {
+	if !s.eng.cfg.IFC || len(s.pilabel) == 0 {
+		return true
+	}
+	return s.eng.hier.Flows(s.pilabel, it)
+}
+
+// tupleVisible combines both label filters.
+func (s *Session) tupleVisible(tv *storage.TupleVersion, strip label.Label) bool {
+	return s.labelVisible(tv.Label, strip) && s.integrityVisible(tv.ILabel)
+}
+
+// effectiveTupleLabel strips from lt every tag covered by the strip
+// set (declassifying views, §4.3).
+func (s *Session) effectiveTupleLabel(lt label.Label, strip label.Label) label.Label {
+	if len(strip) == 0 || len(lt) == 0 {
+		return lt
+	}
+	var out label.Label
+	for _, t := range lt {
+		if !s.eng.hier.Covers(strip, t) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// writeLabel returns the label applied to tuples written by this
+// session (exactly the process label, §4.2); nil when IFC is off.
+func (s *Session) writeLabel() label.Label {
+	if !s.eng.cfg.IFC {
+		return nil
+	}
+	return s.plabel.Clone()
+}
+
+// writeILabel returns the integrity label applied to written tuples
+// (exactly the process integrity label).
+func (s *Session) writeILabel() label.Label {
+	if !s.eng.cfg.IFC {
+		return nil
+	}
+	return s.pilabel.Clone()
+}
+
+// QueryEach is the per-tuple iterator sketched as future work in the
+// paper's §10: each tuple selected by the query is handled "in its own
+// context with that tuple's label". For every result row, fn runs with
+// the process label temporarily raised to cover that row's label (and
+// only that row's); the label is restored between rows, so handling N
+// differently-tagged tuples does not accumulate N tags of
+// contamination.
+//
+// Like authority closures, this is a trusted-base primitive: fn must
+// not smuggle data between per-row contexts through program state it
+// later releases. The platform uses it for fan-out rendering where
+// each row's output is released (or dropped) independently.
+func (s *Session) QueryEach(query string, params []types.Value, fn func(row []types.Value, rowLabel label.Label) error) error {
+	res, err := s.Exec(query, params...)
+	if err != nil {
+		return err
+	}
+	saved := s.plabel.Clone()
+	defer func() { s.plabel = saved }()
+	for i, row := range res.Rows {
+		var rl label.Label
+		if res.RowLabels != nil {
+			rl = res.RowLabels[i]
+		}
+		s.plabel = saved.Union(rl)
+		if err := fn(row, rl); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CallProc invokes a stored procedure by name. If the proc is a stored
+// authority closure the call runs with the closure's bound authority.
+func (s *Session) CallProc(name string, args ...types.Value) (types.Value, error) {
+	p, ok := s.eng.LookupProc(name)
+	if !ok {
+		return types.Null, fmt.Errorf("engine: no procedure %q", name)
+	}
+	if p.Closure != nil {
+		var out types.Value
+		err := s.runAs(p.Closure.Bound, func() error {
+			var err error
+			out, err = p.Fn(s, args)
+			return err
+		})
+		return out, err
+	}
+	return p.Fn(s, args)
+}

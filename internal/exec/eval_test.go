@@ -1,0 +1,260 @@
+package exec
+
+import (
+	"strings"
+	"testing"
+
+	"ifdb/internal/label"
+	"ifdb/internal/sql"
+	"ifdb/internal/types"
+)
+
+// evalStr parses "SELECT <expr>" and evaluates the single item.
+func evalStr(t *testing.T, src string, env *Env) (types.Value, error) {
+	t.Helper()
+	st, err := sql.Parse("SELECT " + src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return Eval(st.(*sql.SelectStmt).Items[0].Expr, env)
+}
+
+func mustEval(t *testing.T, src string, env *Env) types.Value {
+	t.Helper()
+	v, err := evalStr(t, src, env)
+	if err != nil {
+		t.Fatalf("eval %q: %v", src, err)
+	}
+	return v
+}
+
+func emptyEnv() *Env { return &Env{} }
+
+func TestArithmetic(t *testing.T) {
+	cases := []struct {
+		src  string
+		want types.Value
+	}{
+		{`1 + 2 * 3`, types.NewInt(7)},
+		{`(1 + 2) * 3`, types.NewInt(9)},
+		{`7 / 2`, types.NewInt(3)},
+		{`7 % 3`, types.NewInt(1)},
+		{`7.0 / 2`, types.NewFloat(3.5)},
+		{`1 - 2`, types.NewInt(-1)},
+		{`-3 + 1`, types.NewInt(-2)},
+		{`-2.5`, types.NewFloat(-2.5)},
+		{`1 + 2.5`, types.NewFloat(3.5)},
+	}
+	for _, c := range cases {
+		if got := mustEval(t, c.src, emptyEnv()); !got.Equal(c.want) {
+			t.Errorf("%s = %v, want %v", c.src, got, c.want)
+		}
+	}
+	if _, err := evalStr(t, `1 / 0`, emptyEnv()); err == nil {
+		t.Fatal("division by zero")
+	}
+	if _, err := evalStr(t, `1 % 0`, emptyEnv()); err == nil {
+		t.Fatal("mod by zero")
+	}
+	if _, err := evalStr(t, `'a' + 1`, emptyEnv()); err == nil {
+		t.Fatal("text arithmetic")
+	}
+	if _, err := evalStr(t, `2.5 % 2`, emptyEnv()); err == nil {
+		t.Fatal("float mod")
+	}
+}
+
+func TestComparisons(t *testing.T) {
+	truths := []string{
+		`1 < 2`, `2 <= 2`, `3 > 2`, `3 >= 3`, `1 = 1`, `1 <> 2`,
+		`'a' < 'b'`, `'abc' = 'abc'`, `1 = 1.0`, `1.5 > 1`,
+		`2 BETWEEN 1 AND 3`, `0 NOT BETWEEN 1 AND 3`,
+		`2 IN (1, 2, 3)`, `5 NOT IN (1, 2, 3)`,
+		`NULL IS NULL`, `1 IS NOT NULL`,
+	}
+	for _, src := range truths {
+		if got := mustEval(t, src, emptyEnv()); !got.Truthy() {
+			t.Errorf("%s = %v, want true", src, got)
+		}
+	}
+}
+
+func TestNullSemantics(t *testing.T) {
+	nulls := []string{
+		`NULL = NULL`, `1 = NULL`, `NULL <> 1`, `NULL + 1`,
+		`NULL BETWEEN 1 AND 2`, `NULL IN (1, 2)`, `1 IN (2, NULL)`,
+		`NOT NULL`, `NULL AND TRUE`, `NULL OR FALSE`,
+	}
+	for _, src := range nulls {
+		if got := mustEval(t, src, emptyEnv()); !got.IsNull() {
+			t.Errorf("%s = %v, want NULL", src, got)
+		}
+	}
+	// Kleene shortcuts.
+	if got := mustEval(t, `NULL AND FALSE`, emptyEnv()); got.IsNull() || got.Bool() {
+		t.Errorf("NULL AND FALSE = %v", got)
+	}
+	if got := mustEval(t, `NULL OR TRUE`, emptyEnv()); !got.Truthy() {
+		t.Errorf("NULL OR TRUE = %v", got)
+	}
+	// NOT IN with NULL in list and a match → the match wins.
+	if got := mustEval(t, `1 IN (1, NULL)`, emptyEnv()); !got.Truthy() {
+		t.Errorf("1 IN (1, NULL) = %v", got)
+	}
+}
+
+func TestShortCircuitPreventsErrors(t *testing.T) {
+	// FALSE AND (1/0 = 1) must not evaluate the division.
+	if got := mustEval(t, `FALSE AND (1 / 0 = 1)`, emptyEnv()); got.Truthy() {
+		t.Fatal("wrong value")
+	}
+	if got := mustEval(t, `TRUE OR (1 / 0 = 1)`, emptyEnv()); !got.Truthy() {
+		t.Fatal("wrong value")
+	}
+}
+
+func TestLike(t *testing.T) {
+	cases := []struct {
+		s, p string
+		want bool
+	}{
+		{"hello", "hello", true},
+		{"hello", "h%", true},
+		{"hello", "%lo", true},
+		{"hello", "%ell%", true},
+		{"hello", "h_llo", true},
+		{"hello", "h_", false},
+		{"hello", "", false},
+		{"", "%", true},
+		{"abc", "a%c", true},
+		{"abc", "a%b", false},
+		{"aXbXc", "a%b%c", true},
+		{"Hello", "hello", false}, // case-sensitive
+	}
+	for _, c := range cases {
+		if got := likeMatch(c.s, c.p); got != c.want {
+			t.Errorf("likeMatch(%q,%q) = %v", c.s, c.p, got)
+		}
+	}
+	if _, err := evalStr(t, `1 LIKE 'x'`, emptyEnv()); err == nil {
+		t.Fatal("LIKE on int")
+	}
+}
+
+func TestColumnResolution(t *testing.T) {
+	env := &Env{
+		Schema: Schema{{Table: "t", Name: "a"}, {Table: "u", Name: "a"}, {Table: "t", Name: "b"}},
+		Row:    []types.Value{types.NewInt(1), types.NewInt(2), types.NewInt(3)},
+	}
+	if v := mustEval(t, `t.a`, env); v.Int() != 1 {
+		t.Fatal("t.a")
+	}
+	if v := mustEval(t, `u.a`, env); v.Int() != 2 {
+		t.Fatal("u.a")
+	}
+	if v := mustEval(t, `b`, env); v.Int() != 3 {
+		t.Fatal("unqualified b")
+	}
+	if _, err := evalStr(t, `a`, env); err == nil {
+		t.Fatal("ambiguous column resolved")
+	}
+	if _, err := evalStr(t, `t.zzz`, env); err == nil {
+		t.Fatal("unknown column resolved")
+	}
+}
+
+func TestLabelColumnAndBuiltins(t *testing.T) {
+	env := &Env{RowLabel: label.New(3, 8)}
+	v := mustEval(t, `_label`, env)
+	if v.Kind() != types.KindLabel || !v.Label().Equal(label.New(3, 8)) {
+		t.Fatalf("_label = %v", v)
+	}
+	if got := mustEval(t, `label_contains(_label, 3)`, env); !got.Truthy() {
+		t.Fatal("label_contains true case")
+	}
+	if got := mustEval(t, `label_contains(_label, 4)`, env); got.Truthy() {
+		t.Fatal("label_contains false case")
+	}
+	if got := mustEval(t, `label_size(_label)`, env); got.Int() != 2 {
+		t.Fatal("label_size")
+	}
+}
+
+func TestScalarBuiltins(t *testing.T) {
+	cases := []struct {
+		src  string
+		want types.Value
+	}{
+		{`lower('AbC')`, types.NewText("abc")},
+		{`upper('AbC')`, types.NewText("ABC")},
+		{`length('abcd')`, types.NewInt(4)},
+		{`abs(-3)`, types.NewInt(3)},
+		{`abs(-2.5)`, types.NewFloat(2.5)},
+		{`coalesce(NULL, NULL, 7)`, types.NewInt(7)},
+		{`coalesce(NULL, NULL)`, types.Null},
+		{`lower(NULL)`, types.Null},
+		{`'a' || 'b'`, types.NewText("ab")},
+		{`1 || 'b'`, types.NewText("1b")},
+	}
+	for _, c := range cases {
+		if got := mustEval(t, c.src, emptyEnv()); !got.Equal(c.want) && !(got.IsNull() && c.want.IsNull()) {
+			t.Errorf("%s = %v, want %v", c.src, got, c.want)
+		}
+	}
+	if _, err := evalStr(t, `frobnicate(1)`, emptyEnv()); err == nil {
+		t.Fatal("unknown function resolved")
+	}
+}
+
+func TestParams(t *testing.T) {
+	env := &Env{Params: []types.Value{types.NewInt(5), types.NewText("x")}}
+	if v := mustEval(t, `$1 * 2`, env); v.Int() != 10 {
+		t.Fatal("$1")
+	}
+	if v := mustEval(t, `$2`, env); v.Text() != "x" {
+		t.Fatal("$2")
+	}
+	if _, err := evalStr(t, `$3`, env); err == nil {
+		t.Fatal("missing param resolved")
+	}
+}
+
+func TestHasAggregate(t *testing.T) {
+	st, err := sql.Parse(`SELECT COUNT(*) + a, b, MIN(c) FROM t HAVING SUM(d) > 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := st.(*sql.SelectStmt)
+	if !HasAggregate(sel.Items[0].Expr) || HasAggregate(sel.Items[1].Expr) || !HasAggregate(sel.Items[2].Expr) {
+		t.Fatal("HasAggregate items")
+	}
+	if !HasAggregate(sel.Having) {
+		t.Fatal("HasAggregate having")
+	}
+	if !IsAggregateName("count") || IsAggregateName("lower") {
+		t.Fatal("IsAggregateName")
+	}
+	// Aggregates in scalar context are rejected by Eval.
+	if _, err := Eval(sel.Items[0].Expr, emptyEnv()); err == nil || !strings.Contains(err.Error(), "aggregate") {
+		t.Fatalf("aggregate in scalar context: %v", err)
+	}
+}
+
+func TestNotRequiresBool(t *testing.T) {
+	if _, err := evalStr(t, `NOT 5`, emptyEnv()); err == nil {
+		t.Fatal("NOT int")
+	}
+	if _, err := evalStr(t, `-'x'`, emptyEnv()); err == nil {
+		t.Fatal("negate text")
+	}
+}
+
+func TestSubqueryWithoutRunner(t *testing.T) {
+	for _, src := range []string{
+		`(SELECT 1)`, `EXISTS (SELECT 1)`, `1 IN (SELECT 1)`,
+	} {
+		if _, err := evalStr(t, src, emptyEnv()); err == nil {
+			t.Errorf("%s evaluated without a subquery runner", src)
+		}
+	}
+}

@@ -1,0 +1,335 @@
+// Package index provides the ordered secondary-index structure used by
+// the engine: an in-memory B-tree mapping composite value keys to tuple
+// version TIDs.
+//
+// The index is deliberately version-oblivious: it stores one entry per
+// tuple *version*, and readers filter entries through their snapshot
+// and label visibility exactly as heap scans do. This mirrors the
+// paper's observation (§7.1) that PostgreSQL's unique indexes "already
+// had to be prepared to deal with multiple versions", which is why
+// polyinstantiation needed no special index support — uniqueness is
+// checked against *visible* tuples at the access layer, not inside the
+// tree.
+package index
+
+import (
+	"sync"
+
+	"ifdb/internal/storage"
+	"ifdb/internal/types"
+)
+
+// Key is a composite index key.
+type Key []types.Value
+
+// Compare orders keys lexicographically; shorter prefixes sort first.
+func Compare(a, b Key) int {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if c := a[i].Compare(b[i]); c != 0 {
+			return c
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	default:
+		return 0
+	}
+}
+
+const btreeOrder = 64 // max children per interior node
+
+type entry struct {
+	key Key
+	tid storage.TID
+}
+
+// entryLess orders entries by key, then TID (so duplicate keys are
+// permitted and entries are totally ordered).
+func entryLess(a, b entry) bool {
+	if c := Compare(a.key, b.key); c != 0 {
+		return c < 0
+	}
+	return a.tid < b.tid
+}
+
+type node struct {
+	entries  []entry // sorted; leaf payload or interior separators
+	children []*node // nil for leaves; len = len(entries)+1 otherwise
+}
+
+func (n *node) leaf() bool { return n.children == nil }
+
+// Btree is an ordered multimap from Key to TID. Safe for concurrent
+// use; writes take an exclusive lock.
+type Btree struct {
+	mu   sync.RWMutex
+	root *node
+	size int
+}
+
+// New returns an empty B-tree.
+func New() *Btree {
+	return &Btree{root: &node{}}
+}
+
+// Len returns the number of entries.
+func (t *Btree) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.size
+}
+
+// Insert adds (key, tid). Duplicate (key, tid) pairs are ignored.
+func (t *Btree) Insert(key Key, tid storage.TID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e := entry{key: key, tid: tid}
+	if t.insertInto(t.root, e) {
+		t.size++
+	}
+	if len(t.root.entries) >= btreeOrder {
+		old := t.root
+		left, sep, right := splitNode(old)
+		t.root = &node{entries: []entry{sep}, children: []*node{left, right}}
+	}
+}
+
+// insertInto inserts e under n, reporting whether a new entry was
+// added. Children that overflow are split by the caller's parent; to
+// keep the code simple we split eagerly on the way back up.
+func (t *Btree) insertInto(n *node, e entry) bool {
+	lo, hi := 0, len(n.entries)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if entryLess(n.entries[mid], e) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(n.entries) && !entryLess(e, n.entries[lo]) && !entryLess(n.entries[lo], e) {
+		return false // exact duplicate
+	}
+	if n.leaf() {
+		n.entries = append(n.entries, entry{})
+		copy(n.entries[lo+1:], n.entries[lo:])
+		n.entries[lo] = e
+		return true
+	}
+	child := n.children[lo]
+	added := t.insertInto(child, e)
+	if len(child.entries) >= btreeOrder {
+		left, sep, right := splitNode(child)
+		n.entries = append(n.entries, entry{})
+		copy(n.entries[lo+1:], n.entries[lo:])
+		n.entries[lo] = sep
+		n.children = append(n.children, nil)
+		copy(n.children[lo+2:], n.children[lo+1:])
+		n.children[lo] = left
+		n.children[lo+1] = right
+	}
+	return added
+}
+
+func splitNode(n *node) (left *node, sep entry, right *node) {
+	mid := len(n.entries) / 2
+	sep = n.entries[mid]
+	left = &node{entries: append([]entry(nil), n.entries[:mid]...)}
+	right = &node{entries: append([]entry(nil), n.entries[mid+1:]...)}
+	if !n.leaf() {
+		left.children = append([]*node(nil), n.children[:mid+1]...)
+		right.children = append([]*node(nil), n.children[mid+1:]...)
+	}
+	return left, sep, right
+}
+
+// Delete removes (key, tid) if present, reporting whether it was found.
+// Underflow is tolerated (nodes may become sparse); the tree never
+// rebalances on delete, which is acceptable for an index whose entries
+// are reclaimed wholesale by vacuum.
+func (t *Btree) Delete(key Key, tid storage.TID) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e := entry{key: key, tid: tid}
+	if t.deleteFrom(t.root, e) {
+		t.size--
+		return true
+	}
+	return false
+}
+
+func (t *Btree) deleteFrom(n *node, e entry) bool {
+	lo, hi := 0, len(n.entries)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if entryLess(n.entries[mid], e) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(n.entries) && !entryLess(e, n.entries[lo]) && !entryLess(n.entries[lo], e) {
+		if n.leaf() {
+			n.entries = append(n.entries[:lo], n.entries[lo+1:]...)
+			return true
+		}
+		// Replace the separator with its predecessor (or successor if
+		// the left subtree has emptied out — the tree never rebalances
+		// on delete, so subtrees can drain).
+		if pred, ok := maxEntry(n.children[lo]); ok {
+			n.entries[lo] = pred
+			return t.deleteFrom(n.children[lo], pred)
+		}
+		if succ, ok := minEntry(n.children[lo+1]); ok {
+			n.entries[lo] = succ
+			return t.deleteFrom(n.children[lo+1], succ)
+		}
+		// Both neighbors are empty: drop the separator and one of the
+		// empty children.
+		n.entries = append(n.entries[:lo], n.entries[lo+1:]...)
+		n.children = append(n.children[:lo], n.children[lo+1:]...)
+		return true
+	}
+	if n.leaf() {
+		return false
+	}
+	return t.deleteFrom(n.children[lo], e)
+}
+
+// maxEntry returns the largest entry in the subtree; ok is false if
+// the subtree is empty. Because separators dominate everything in the
+// subtrees to their left, the maximum is the rightmost subtree's max,
+// or failing that the last separator.
+func maxEntry(n *node) (entry, bool) {
+	if n.leaf() {
+		if len(n.entries) == 0 {
+			return entry{}, false
+		}
+		return n.entries[len(n.entries)-1], true
+	}
+	if e, ok := maxEntry(n.children[len(n.children)-1]); ok {
+		return e, true
+	}
+	if len(n.entries) > 0 {
+		return n.entries[len(n.entries)-1], true
+	}
+	return entry{}, false
+}
+
+// minEntry mirrors maxEntry.
+func minEntry(n *node) (entry, bool) {
+	if n.leaf() {
+		if len(n.entries) == 0 {
+			return entry{}, false
+		}
+		return n.entries[0], true
+	}
+	if e, ok := minEntry(n.children[0]); ok {
+		return e, true
+	}
+	if len(n.entries) > 0 {
+		return n.entries[0], true
+	}
+	return entry{}, false
+}
+
+// AscendRange visits entries with lo <= key <= hi in order, until fn
+// returns false. A nil lo (hi) means unbounded below (above).
+func (t *Btree) AscendRange(lo, hi Key, fn func(key Key, tid storage.TID) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	t.ascend(t.root, lo, hi, fn)
+}
+
+func (t *Btree) ascend(n *node, lo, hi Key, fn func(Key, storage.TID) bool) bool {
+	start := 0
+	if lo != nil {
+		s, e := 0, len(n.entries)
+		for s < e {
+			mid := (s + e) / 2
+			if Compare(n.entries[mid].key, lo) < 0 {
+				s = mid + 1
+			} else {
+				e = mid
+			}
+		}
+		start = s
+	}
+	for i := start; i <= len(n.entries); i++ {
+		if !n.leaf() {
+			if !t.ascend(n.children[i], lo, hi, fn) {
+				return false
+			}
+		}
+		if i == len(n.entries) {
+			break
+		}
+		e := n.entries[i]
+		if hi != nil && Compare(e.key, hi) > 0 {
+			return false
+		}
+		if !fn(e.key, e.tid) {
+			return false
+		}
+		lo = nil // after the first in-range entry, descend whole subtrees
+	}
+	return true
+}
+
+// AscendEqual visits all entries with key exactly equal to k.
+func (t *Btree) AscendEqual(k Key, fn func(tid storage.TID) bool) {
+	t.AscendRange(k, k, func(_ Key, tid storage.TID) bool { return fn(tid) })
+}
+
+// AscendPrefix visits all entries whose key begins with prefix.
+func (t *Btree) AscendPrefix(prefix Key, fn func(key Key, tid storage.TID) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	t.ascendPrefix(t.root, prefix, fn)
+}
+
+func (t *Btree) ascendPrefix(n *node, prefix Key, fn func(Key, storage.TID) bool) bool {
+	matches := func(k Key) int {
+		if len(k) < len(prefix) {
+			return Compare(k, prefix)
+		}
+		return Compare(k[:len(prefix)], prefix)
+	}
+	start := 0
+	{
+		s, e := 0, len(n.entries)
+		for s < e {
+			mid := (s + e) / 2
+			if matches(n.entries[mid].key) < 0 {
+				s = mid + 1
+			} else {
+				e = mid
+			}
+		}
+		start = s
+	}
+	for i := start; i <= len(n.entries); i++ {
+		if !n.leaf() {
+			if !t.ascendPrefix(n.children[i], prefix, fn) {
+				return false
+			}
+		}
+		if i == len(n.entries) {
+			break
+		}
+		e := n.entries[i]
+		c := matches(e.key)
+		if c > 0 {
+			return false
+		}
+		if c == 0 {
+			if !fn(e.key, e.tid) {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,257 @@
+package index
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"ifdb/internal/storage"
+	"ifdb/internal/types"
+)
+
+func k(vals ...int64) Key {
+	out := make(Key, len(vals))
+	for i, v := range vals {
+		out[i] = types.NewInt(v)
+	}
+	return out
+}
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		a, b Key
+		want int
+	}{
+		{k(1), k(2), -1},
+		{k(2), k(1), 1},
+		{k(1, 2), k(1, 2), 0},
+		{k(1), k(1, 2), -1}, // prefix sorts first
+		{k(1, 3), k(1, 2), 1},
+	}
+	for _, c := range cases {
+		if got := Compare(c.a, c.b); got != c.want {
+			t.Errorf("Compare(%v,%v) = %d want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestInsertLookupDelete(t *testing.T) {
+	tr := New()
+	tr.Insert(k(1), 10)
+	tr.Insert(k(2), 20)
+	tr.Insert(k(2), 21) // duplicate key, distinct TID
+	tr.Insert(k(2), 21) // exact duplicate, ignored
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	var tids []storage.TID
+	tr.AscendEqual(k(2), func(tid storage.TID) bool {
+		tids = append(tids, tid)
+		return true
+	})
+	if len(tids) != 2 || tids[0] != 20 || tids[1] != 21 {
+		t.Fatalf("AscendEqual: %v", tids)
+	}
+	if !tr.Delete(k(2), 20) {
+		t.Fatal("Delete failed")
+	}
+	if tr.Delete(k(2), 20) {
+		t.Fatal("double Delete succeeded")
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("Len after delete = %d", tr.Len())
+	}
+}
+
+func TestAscendRangeAndPrefix(t *testing.T) {
+	tr := New()
+	for i := int64(0); i < 100; i++ {
+		tr.Insert(k(i/10, i%10), storage.TID(i))
+	}
+	// Range [ (3,0), (4,9) ] = 20 entries.
+	var got []storage.TID
+	tr.AscendRange(k(3, 0), k(4, 9), func(_ Key, tid storage.TID) bool {
+		got = append(got, tid)
+		return true
+	})
+	if len(got) != 20 || got[0] != 30 || got[19] != 49 {
+		t.Fatalf("range: %v", got)
+	}
+	// Prefix (7,*) = 10 entries in order.
+	got = got[:0]
+	tr.AscendPrefix(k(7), func(key Key, tid storage.TID) bool {
+		got = append(got, tid)
+		return true
+	})
+	if len(got) != 10 || got[0] != 70 || got[9] != 79 {
+		t.Fatalf("prefix: %v", got)
+	}
+	// Early termination.
+	n := 0
+	tr.AscendRange(nil, nil, func(Key, storage.TID) bool { n++; return n < 5 })
+	if n != 5 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestLargeOrderedInsertAndSplits(t *testing.T) {
+	tr := New()
+	const n = 5000
+	for i := 0; i < n; i++ {
+		tr.Insert(k(int64(i)), storage.TID(i))
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	prev := int64(-1)
+	tr.AscendRange(nil, nil, func(key Key, tid storage.TID) bool {
+		v := key[0].Int()
+		if v != prev+1 {
+			t.Fatalf("order broken at %d (prev %d)", v, prev)
+		}
+		prev = v
+		return true
+	})
+	if prev != n-1 {
+		t.Fatalf("visited up to %d", prev)
+	}
+}
+
+func TestMixedTypeKeys(t *testing.T) {
+	tr := New()
+	tr.Insert(Key{types.NewText("bob"), types.NewInt(1)}, 1)
+	tr.Insert(Key{types.NewText("alice"), types.NewInt(2)}, 2)
+	tr.Insert(Key{types.NewText("bob"), types.NewInt(0)}, 3)
+	var got []storage.TID
+	tr.AscendPrefix(Key{types.NewText("bob")}, func(_ Key, tid storage.TID) bool {
+		got = append(got, tid)
+		return true
+	})
+	if len(got) != 2 || got[0] != 3 || got[1] != 1 {
+		t.Fatalf("text prefix: %v", got)
+	}
+}
+
+// Property: the tree agrees with a sorted reference slice under random
+// inserts and deletes.
+func TestQuickMatchesReference(t *testing.T) {
+	type ent struct {
+		key int64
+		tid storage.TID
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tr := New()
+		ref := make(map[ent]bool)
+		for op := 0; op < 500; op++ {
+			e := ent{key: r.Int63n(50), tid: storage.TID(r.Intn(10))}
+			if r.Intn(4) > 0 {
+				tr.Insert(k(e.key), e.tid)
+				ref[e] = true
+			} else {
+				want := ref[e]
+				got := tr.Delete(k(e.key), e.tid)
+				if got != want {
+					return false
+				}
+				delete(ref, e)
+			}
+		}
+		if tr.Len() != len(ref) {
+			return false
+		}
+		var want []ent
+		for e := range ref {
+			want = append(want, e)
+		}
+		sort.Slice(want, func(i, j int) bool {
+			if want[i].key != want[j].key {
+				return want[i].key < want[j].key
+			}
+			return want[i].tid < want[j].tid
+		})
+		i := 0
+		okOrder := true
+		tr.AscendRange(nil, nil, func(key Key, tid storage.TID) bool {
+			if i >= len(want) || key[0].Int() != want[i].key || tid != want[i].tid {
+				okOrder = false
+				return false
+			}
+			i++
+			return true
+		})
+		return okOrder && i == len(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentReadersWriters(t *testing.T) {
+	tr := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				tr.Insert(k(int64(w*1000+i)), storage.TID(i))
+				if i%13 == 0 {
+					tr.AscendPrefix(k(int64(w*1000)), func(Key, storage.TID) bool { return true })
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if tr.Len() != 4*500 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+// TestDrainAndRefill regression-tests deletion when subtrees empty out
+// entirely (the tree never rebalances, so interior separators must
+// fall back to successors or splice themselves away).
+func TestDrainAndRefill(t *testing.T) {
+	tr := New()
+	const n = 2000
+	for round := 0; round < 3; round++ {
+		for i := 0; i < n; i++ {
+			tr.Insert(k(int64(i)), storage.TID(i))
+		}
+		// Delete in an order that drains left subtrees first.
+		for i := 0; i < n; i++ {
+			if !tr.Delete(k(int64(i)), storage.TID(i)) {
+				t.Fatalf("round %d: delete %d failed", round, i)
+			}
+		}
+		if tr.Len() != 0 {
+			t.Fatalf("round %d: Len = %d", round, tr.Len())
+		}
+	}
+	// And a reverse-order drain.
+	for i := 0; i < n; i++ {
+		tr.Insert(k(int64(i)), storage.TID(i))
+	}
+	for i := n - 1; i >= 0; i-- {
+		if !tr.Delete(k(int64(i)), storage.TID(i)) {
+			t.Fatalf("reverse delete %d failed", i)
+		}
+	}
+	// Interleaved middle-out drain.
+	for i := 0; i < n; i++ {
+		tr.Insert(k(int64(i)), storage.TID(i))
+	}
+	for i := 0; i < n/2; i++ {
+		if !tr.Delete(k(int64(n/2+i)), storage.TID(n/2+i)) {
+			t.Fatalf("mid delete %d failed", i)
+		}
+		if !tr.Delete(k(int64(n/2-1-i)), storage.TID(n/2-1-i)) {
+			t.Fatalf("mid delete %d failed", i)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}

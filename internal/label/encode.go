@@ -1,0 +1,67 @@
+package label
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Encoding of labels for storage and the wire protocol.
+//
+// The paper reports that each tag costs 4 bytes in the tuple encoding
+// and that the tag count fits in one previously-unused header byte
+// (§8.3). We mirror that layout: a one-byte count followed by one
+// 32-bit little-endian word per tag. Tag ids are 64-bit internally, but
+// stored ids are compressed through the tag directory so that 32 bits
+// suffice on disk, exactly as PostgreSQL OIDs did for IFDB.
+
+// MaxEncodedTags is the maximum number of tags one stored label may
+// carry (the count must fit in one byte).
+const MaxEncodedTags = 255
+
+// EncodedSize returns the number of bytes AppendEncode will write
+// for a label with n tags: 1 count byte plus 4 bytes per tag.
+func EncodedSize(n int) int { return 1 + 4*n }
+
+// AppendEncode appends the storage encoding of l to buf and returns
+// the extended slice. Stored ids must fit in 32 bits; the tag
+// directory guarantees this for ids it allocates in compressed mode,
+// and the engine maps CSPRNG ids to dense storage ids before encoding.
+func AppendEncode(buf []byte, l Label) ([]byte, error) {
+	if len(l) > MaxEncodedTags {
+		return buf, fmt.Errorf("label: %d tags exceeds encodable maximum %d", len(l), MaxEncodedTags)
+	}
+	buf = append(buf, byte(len(l)))
+	for _, t := range l {
+		if uint64(t) > 0xFFFFFFFF {
+			return buf, fmt.Errorf("label: tag %d does not fit in 32-bit storage id", t)
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(t))
+	}
+	return buf, nil
+}
+
+// Decode reads a label encoded by AppendEncode from the front of buf,
+// returning the label and the number of bytes consumed.
+func Decode(buf []byte) (Label, int, error) {
+	if len(buf) < 1 {
+		return nil, 0, fmt.Errorf("label: short buffer")
+	}
+	n := int(buf[0])
+	need := 1 + 4*n
+	if len(buf) < need {
+		return nil, 0, fmt.Errorf("label: truncated label (want %d bytes, have %d)", need, len(buf))
+	}
+	if n == 0 {
+		return nil, 1, nil
+	}
+	l := make(Label, n)
+	for i := 0; i < n; i++ {
+		l[i] = Tag(binary.LittleEndian.Uint32(buf[1+4*i:]))
+	}
+	if !l.Normalized() {
+		// Stored labels are always written normalized; a violation
+		// means corruption.
+		return nil, 0, fmt.Errorf("label: stored label not normalized: %v", l)
+	}
+	return l, need, nil
+}

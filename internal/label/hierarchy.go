@@ -1,0 +1,143 @@
+package label
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Hierarchy records compound-tag membership (paper §3.1).
+//
+// A tag may be declared a member of one or more compound tags when it
+// is created, and the links are immutable thereafter — IFDB forbids
+// relinking because it would silently relabel all data protected by the
+// tag. A compound tag "covers" its members: a process whose label
+// contains all-locations is treated as contaminated for alice-location,
+// and authority for all-locations suffices to declassify
+// alice-location.
+//
+// Hierarchy is safe for concurrent use. Reads vastly outnumber writes
+// (every tuple-visibility check consults it), so it is guarded by an
+// RWMutex and lookups avoid allocation on the fast path.
+type Hierarchy struct {
+	mu      sync.RWMutex
+	parents map[Tag][]Tag // tag -> compound tags it belongs to (direct)
+}
+
+// NewHierarchy returns an empty tag hierarchy.
+func NewHierarchy() *Hierarchy {
+	return &Hierarchy{parents: make(map[Tag][]Tag)}
+}
+
+// Declare records that tag t is a member of each of the given compound
+// tags. It may be called only once per tag, at creation time; calling
+// it again for the same tag is an error (links are immutable).
+// Cycles are rejected.
+func (h *Hierarchy) Declare(t Tag, compounds ...Tag) error {
+	if len(compounds) == 0 {
+		return nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, dup := h.parents[t]; dup {
+		return fmt.Errorf("label: compound links for tag %d are immutable", t)
+	}
+	for _, c := range compounds {
+		if c == t {
+			return fmt.Errorf("label: tag %d cannot be a member of itself", t)
+		}
+		if h.reachableLocked(c, t) {
+			return fmt.Errorf("label: linking tag %d under %d would create a cycle", t, c)
+		}
+	}
+	h.parents[t] = append([]Tag(nil), compounds...)
+	return nil
+}
+
+// reachableLocked reports whether `to` is an ancestor of (or equal to)
+// `from` following parent links. Caller holds at least a read lock.
+func (h *Hierarchy) reachableLocked(from, to Tag) bool {
+	if from == to {
+		return true
+	}
+	for _, p := range h.parents[from] {
+		if h.reachableLocked(p, to) {
+			return true
+		}
+	}
+	return false
+}
+
+// Parents returns the direct compound tags of t (nil if none). The
+// returned slice must not be modified.
+func (h *Hierarchy) Parents(t Tag) []Tag {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.parents[t]
+}
+
+// Covers reports whether label l covers tag t: either t ∈ l, or some
+// compound that (transitively) contains t is in l.
+func (h *Hierarchy) Covers(l Label, t Tag) bool {
+	if l.Has(t) {
+		return true
+	}
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.coversLocked(l, t)
+}
+
+func (h *Hierarchy) coversLocked(l Label, t Tag) bool {
+	for _, p := range h.parents[t] {
+		if l.Has(p) || h.coversLocked(l, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// Flows reports whether information may flow from a source labeled src
+// to a destination labeled dst, taking compound subsumption into
+// account: every tag of src must be covered by dst.
+func (h *Hierarchy) Flows(src, dst Label) bool {
+	// Fast path: plain subset needs no map lookups.
+	if src.SubsetOf(dst) {
+		return true
+	}
+	for _, t := range src {
+		if !h.Covers(dst, t) {
+			return false
+		}
+	}
+	return true
+}
+
+// Expand returns l plus all (transitive) compounds of its members.
+// It is used when persisting compound closure is cheaper than repeated
+// subsumption checks (e.g. precomputing effective read labels).
+func (h *Hierarchy) Expand(l Label) Label {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	out := l.Clone()
+	var walk func(t Tag)
+	walk = func(t Tag) {
+		for _, p := range h.parents[t] {
+			if !out.Has(p) {
+				out = out.Add(p)
+				walk(p)
+			}
+		}
+	}
+	for _, t := range l {
+		walk(t)
+	}
+	return out
+}
+
+// MembersKnown reports whether t has been declared in the hierarchy
+// (has at least one compound link).
+func (h *Hierarchy) MembersKnown(t Tag) bool {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	_, ok := h.parents[t]
+	return ok
+}

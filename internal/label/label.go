@@ -1,0 +1,270 @@
+// Package label implements the tag and label algebra at the heart of the
+// IFDB information flow model (paper §3.1).
+//
+// A Tag is an opaque identifier attached to data to denote a secrecy
+// concern (e.g. alice-location). A Label is a set of tags; every data
+// object and every process carries one. Labels of data objects are
+// immutable; process labels grow as the process reads ("contamination")
+// and shrink only through authorized declassification.
+//
+// Labels are represented as sorted, duplicate-free slices of Tag. All
+// operations treat labels as immutable values: they never modify their
+// receivers or arguments, and results may share no storage with inputs.
+package label
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Tag identifies a single secrecy category. The zero value is invalid.
+//
+// Tag ids are allocated from a cryptographic PRNG (see the authority
+// package) to close the allocation channel discussed in paper §7.3.
+type Tag uint64
+
+// InvalidTag is the zero Tag; it never names a real tag.
+const InvalidTag Tag = 0
+
+// A Label is a sorted set of tags summarizing the sensitivity of an
+// object or process. The empty (nil) label means "public".
+type Label []Tag
+
+// Empty is the public label.
+var Empty = Label(nil)
+
+// New builds a normalized label from the given tags (sorting and
+// deduplicating). The input slice is not retained.
+func New(tags ...Tag) Label {
+	if len(tags) == 0 {
+		return nil
+	}
+	l := make(Label, len(tags))
+	copy(l, tags)
+	sort.Slice(l, func(i, j int) bool { return l[i] < l[j] })
+	// Deduplicate in place.
+	out := l[:1]
+	for _, t := range l[1:] {
+		if t != out[len(out)-1] {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// IsEmpty reports whether l is the public label.
+func (l Label) IsEmpty() bool { return len(l) == 0 }
+
+// Len returns the number of tags in l.
+func (l Label) Len() int { return len(l) }
+
+// Clone returns a copy of l that shares no storage with it.
+func (l Label) Clone() Label {
+	if len(l) == 0 {
+		return nil
+	}
+	c := make(Label, len(l))
+	copy(c, l)
+	return c
+}
+
+// Has reports whether tag t is a member of l.
+func (l Label) Has(t Tag) bool {
+	i := sort.Search(len(l), func(i int) bool { return l[i] >= t })
+	return i < len(l) && l[i] == t
+}
+
+// SubsetOf reports whether every tag of l is also in other (l ⊆ other).
+// This is the comparison used by the Information Flow Rule (§3.2): data
+// may flow from source LS to destination LD iff LS ⊆ LD.
+func (l Label) SubsetOf(other Label) bool {
+	if len(l) > len(other) {
+		return false
+	}
+	i, j := 0, 0
+	for i < len(l) && j < len(other) {
+		switch {
+		case l[i] == other[j]:
+			i++
+			j++
+		case l[i] > other[j]:
+			j++
+		default: // l[i] < other[j]: tag missing from other
+			return false
+		}
+	}
+	return i == len(l)
+}
+
+// Equal reports whether l and other contain exactly the same tags.
+func (l Label) Equal(other Label) bool {
+	if len(l) != len(other) {
+		return false
+	}
+	for i := range l {
+		if l[i] != other[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Union returns l ∪ other.
+func (l Label) Union(other Label) Label {
+	if len(l) == 0 {
+		return other.Clone()
+	}
+	if len(other) == 0 {
+		return l.Clone()
+	}
+	out := make(Label, 0, len(l)+len(other))
+	i, j := 0, 0
+	for i < len(l) && j < len(other) {
+		switch {
+		case l[i] == other[j]:
+			out = append(out, l[i])
+			i++
+			j++
+		case l[i] < other[j]:
+			out = append(out, l[i])
+			i++
+		default:
+			out = append(out, other[j])
+			j++
+		}
+	}
+	out = append(out, l[i:]...)
+	out = append(out, other[j:]...)
+	return out
+}
+
+// Intersect returns l ∩ other.
+func (l Label) Intersect(other Label) Label {
+	var out Label
+	i, j := 0, 0
+	for i < len(l) && j < len(other) {
+		switch {
+		case l[i] == other[j]:
+			out = append(out, l[i])
+			i++
+			j++
+		case l[i] < other[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return out
+}
+
+// Minus returns l \ other.
+func (l Label) Minus(other Label) Label {
+	if len(other) == 0 {
+		return l.Clone()
+	}
+	var out Label
+	j := 0
+	for _, t := range l {
+		for j < len(other) && other[j] < t {
+			j++
+		}
+		if j < len(other) && other[j] == t {
+			continue
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// SymmetricDiff returns (l \ other) ∪ (other \ l): all tags that appear
+// in exactly one of the two labels. This is the set the Foreign Key Rule
+// (paper §5.2.2) requires the inserting process to declassify.
+func (l Label) SymmetricDiff(other Label) Label {
+	var out Label
+	i, j := 0, 0
+	for i < len(l) && j < len(other) {
+		switch {
+		case l[i] == other[j]:
+			i++
+			j++
+		case l[i] < other[j]:
+			out = append(out, l[i])
+			i++
+		default:
+			out = append(out, other[j])
+			j++
+		}
+	}
+	out = append(out, l[i:]...)
+	out = append(out, other[j:]...)
+	return out
+}
+
+// Add returns l ∪ {t}.
+func (l Label) Add(t Tag) Label {
+	if l.Has(t) {
+		return l.Clone()
+	}
+	out := make(Label, 0, len(l)+1)
+	inserted := false
+	for _, x := range l {
+		if !inserted && t < x {
+			out = append(out, t)
+			inserted = true
+		}
+		out = append(out, x)
+	}
+	if !inserted {
+		out = append(out, t)
+	}
+	return out
+}
+
+// Remove returns l \ {t}.
+func (l Label) Remove(t Tag) Label {
+	if !l.Has(t) {
+		return l.Clone()
+	}
+	out := make(Label, 0, len(l)-1)
+	for _, x := range l {
+		if x != t {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// Normalized reports whether l is sorted and duplicate-free, i.e. a
+// canonical label value. All labels produced by this package are
+// normalized; the check exists for validating labels that cross the
+// wire protocol or are decoded from storage.
+func (l Label) Normalized() bool {
+	for i := 1; i < len(l); i++ {
+		if l[i-1] >= l[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the label as "{t1,t2,...}" for diagnostics.
+func (l Label) String() string {
+	if len(l) == 0 {
+		return "{}"
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, t := range l {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", uint64(t))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// CanFlow reports whether information may flow from a source labeled
+// src to a destination labeled dst under the Information Flow Rule.
+func CanFlow(src, dst Label) bool { return src.SubsetOf(dst) }

@@ -1,0 +1,299 @@
+package label
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewNormalizes(t *testing.T) {
+	l := New(5, 3, 5, 1, 3)
+	if !l.Equal(Label{1, 3, 5}) {
+		t.Fatalf("New: %v", l)
+	}
+	if !l.Normalized() {
+		t.Fatal("not normalized")
+	}
+	if New().Len() != 0 {
+		t.Fatal("empty New")
+	}
+}
+
+func TestSubsetOf(t *testing.T) {
+	cases := []struct {
+		a, b Label
+		want bool
+	}{
+		{nil, nil, true},
+		{nil, New(1), true},
+		{New(1), nil, false},
+		{New(1), New(1), true},
+		{New(1), New(1, 2), true},
+		{New(1, 2), New(1), false},
+		{New(1, 3), New(1, 2, 3), true},
+		{New(2), New(1, 3), false},
+		{New(4), New(1, 2, 3), false},
+	}
+	for _, c := range cases {
+		if got := c.a.SubsetOf(c.b); got != c.want {
+			t.Errorf("%v ⊆ %v = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if got := CanFlow(c.a, c.b); got != c.want {
+			t.Errorf("CanFlow(%v,%v) = %v", c.a, c.b, got)
+		}
+	}
+}
+
+func TestSetOps(t *testing.T) {
+	a := New(1, 2, 3)
+	b := New(3, 4)
+	if got := a.Union(b); !got.Equal(New(1, 2, 3, 4)) {
+		t.Errorf("union: %v", got)
+	}
+	if got := a.Intersect(b); !got.Equal(New(3)) {
+		t.Errorf("intersect: %v", got)
+	}
+	if got := a.Minus(b); !got.Equal(New(1, 2)) {
+		t.Errorf("minus: %v", got)
+	}
+	if got := a.SymmetricDiff(b); !got.Equal(New(1, 2, 4)) {
+		t.Errorf("symdiff: %v", got)
+	}
+	if got := a.Add(0); !got.Equal(New(0, 1, 2, 3)) {
+		t.Errorf("add low: %v", got)
+	}
+	if got := a.Add(9); !got.Equal(New(1, 2, 3, 9)) {
+		t.Errorf("add high: %v", got)
+	}
+	if got := a.Add(2); !got.Equal(a) {
+		t.Errorf("add dup: %v", got)
+	}
+	if got := a.Remove(2); !got.Equal(New(1, 3)) {
+		t.Errorf("remove: %v", got)
+	}
+	if got := a.Remove(7); !got.Equal(a) {
+		t.Errorf("remove absent: %v", got)
+	}
+}
+
+func TestImmutability(t *testing.T) {
+	a := New(1, 2, 3)
+	b := New(2, 4)
+	_ = a.Union(b)
+	_ = a.Minus(b)
+	_ = a.Add(0)
+	_ = a.Remove(2)
+	_ = a.SymmetricDiff(b)
+	if !a.Equal(New(1, 2, 3)) || !b.Equal(New(2, 4)) {
+		t.Fatal("operations mutated their inputs")
+	}
+	c := a.Clone()
+	c[0] = 99
+	if a[0] == 99 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestString(t *testing.T) {
+	if s := Empty.String(); s != "{}" {
+		t.Fatalf("empty: %s", s)
+	}
+	if s := New(2, 1).String(); s != "{1,2}" {
+		t.Fatalf("label: %s", s)
+	}
+}
+
+// randLabel makes a small random label for property tests.
+func randLabel(r *rand.Rand) Label {
+	n := r.Intn(6)
+	tags := make([]Tag, n)
+	for i := range tags {
+		tags[i] = Tag(1 + r.Intn(10))
+	}
+	return New(tags...)
+}
+
+// Property: union is an upper bound and the least one expressible by
+// membership.
+func TestQuickUnionBound(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randLabel(r), randLabel(r)
+		u := a.Union(b)
+		if !a.SubsetOf(u) || !b.SubsetOf(u) {
+			return false
+		}
+		for _, tg := range u {
+			if !a.Has(tg) && !b.Has(tg) {
+				return false
+			}
+		}
+		return u.Normalized()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: A ⊖ B = (A\B) ∪ (B\A), and symdiff with self is empty.
+func TestQuickSymmetricDiff(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randLabel(r), randLabel(r)
+		want := a.Minus(b).Union(b.Minus(a))
+		if !a.SymmetricDiff(b).Equal(want) {
+			return false
+		}
+		return a.SymmetricDiff(a).IsEmpty()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: subset is reflexive, antisymmetric (with Equal), and
+// transitive on random triples.
+func TestQuickSubsetLattice(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := randLabel(r), randLabel(r), randLabel(r)
+		if !a.SubsetOf(a) {
+			return false
+		}
+		if a.SubsetOf(b) && b.SubsetOf(a) && !a.Equal(b) {
+			return false
+		}
+		if a.SubsetOf(b) && b.SubsetOf(c) && !a.SubsetOf(c) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: encode/decode round-trips.
+func TestQuickEncodeRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		l := randLabel(r)
+		buf, err := AppendEncode(nil, l)
+		if err != nil {
+			return false
+		}
+		if len(buf) != EncodedSize(len(l)) {
+			return false
+		}
+		got, n, err := Decode(buf)
+		return err == nil && n == len(buf) && got.Equal(l)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeErrors(t *testing.T) {
+	// Too many tags.
+	big := make([]Tag, MaxEncodedTags+1)
+	for i := range big {
+		big[i] = Tag(i + 1)
+	}
+	if _, err := AppendEncode(nil, New(big...)); err == nil {
+		t.Fatal("oversized label encoded")
+	}
+	// Tag beyond 32 bits.
+	if _, err := AppendEncode(nil, Label{Tag(1) << 40}); err == nil {
+		t.Fatal("wide tag encoded")
+	}
+	// Truncated buffers.
+	if _, _, err := Decode(nil); err == nil {
+		t.Fatal("decoded empty buffer")
+	}
+	if _, _, err := Decode([]byte{2, 1, 0, 0, 0}); err == nil {
+		t.Fatal("decoded truncated label")
+	}
+	// Non-normalized stored label = corruption.
+	buf := []byte{2, 5, 0, 0, 0, 3, 0, 0, 0}
+	if _, _, err := Decode(buf); err == nil {
+		t.Fatal("decoded unsorted label")
+	}
+}
+
+func TestHierarchyCoversAndFlows(t *testing.T) {
+	h := NewHierarchy()
+	const (
+		allDrives  Tag = 100
+		aliceDrive Tag = 1
+		bobDrive   Tag = 2
+		superAll   Tag = 200
+	)
+	if err := h.Declare(aliceDrive, allDrives); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Declare(bobDrive, allDrives); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Declare(allDrives, superAll); err != nil {
+		t.Fatal(err)
+	}
+
+	if !h.Covers(New(allDrives), aliceDrive) {
+		t.Fatal("compound does not cover member")
+	}
+	if !h.Covers(New(superAll), aliceDrive) {
+		t.Fatal("transitive compound does not cover member")
+	}
+	if h.Covers(New(aliceDrive), bobDrive) {
+		t.Fatal("sibling covers sibling")
+	}
+	// Flows with subsumption: {alice,bob} → {allDrives}.
+	if !h.Flows(New(aliceDrive, bobDrive), New(allDrives)) {
+		t.Fatal("flows via compound failed")
+	}
+	if h.Flows(New(allDrives), New(aliceDrive)) {
+		t.Fatal("compound flowed into member")
+	}
+	// Expand includes ancestors.
+	exp := h.Expand(New(aliceDrive))
+	for _, want := range []Tag{aliceDrive, allDrives, superAll} {
+		if !exp.Has(want) {
+			t.Fatalf("Expand missing %d: %v", want, exp)
+		}
+	}
+}
+
+func TestHierarchyImmutableLinks(t *testing.T) {
+	h := NewHierarchy()
+	if err := h.Declare(1, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Declare(1, 200); err == nil {
+		t.Fatal("relinking allowed")
+	}
+	if err := h.Declare(5, 5); err == nil {
+		t.Fatal("self-membership allowed")
+	}
+	// Cycle: 100 under 1 while 1 is under 100.
+	if err := h.Declare(100, 1); err == nil {
+		t.Fatal("cycle allowed")
+	}
+	if !h.MembersKnown(1) || h.MembersKnown(7) {
+		t.Fatal("MembersKnown wrong")
+	}
+	if got := h.Parents(1); len(got) != 1 || got[0] != 100 {
+		t.Fatalf("Parents: %v", got)
+	}
+}
+
+func TestDeclareNoCompounds(t *testing.T) {
+	h := NewHierarchy()
+	if err := h.Declare(1); err != nil {
+		t.Fatal(err)
+	}
+	// No links recorded; declaring again with compounds still works
+	// because nothing was registered.
+	if err := h.Declare(1, 9); err != nil {
+		t.Fatal(err)
+	}
+}

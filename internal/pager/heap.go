@@ -1,0 +1,310 @@
+package pager
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"ifdb/internal/label"
+	"ifdb/internal/storage"
+	"ifdb/internal/types"
+)
+
+// PagedHeap is the on-disk storage.Heap backend.
+//
+// Tuple record layout:
+//
+//	xmin   uint64
+//	xmax   uint64
+//	label  1 count byte + 4 bytes per tag   (paper §8.3 layout)
+//	row    uvarint column count + encoded values
+//
+// TIDs pack (page << 16 | slot).
+type PagedHeap struct {
+	mu   sync.RWMutex // serializes heap-level structure changes
+	pool *BufferPool
+
+	nPages   int
+	lastPage PageID // insertion target
+	live     int
+	bytes    int64
+}
+
+var _ storage.Heap = (*PagedHeap)(nil)
+
+// NewPagedHeap creates a heap over the given store with a buffer pool
+// of poolPages pages.
+func NewPagedHeap(store PageStore, poolPages int) *PagedHeap {
+	return &PagedHeap{pool: NewBufferPool(store, poolPages)}
+}
+
+// Pool exposes the buffer pool for cache accounting in benchmarks.
+func (h *PagedHeap) Pool() *BufferPool { return h.pool }
+
+func packTID(p PageID, slot int) storage.TID {
+	return storage.TID(uint64(p)<<16 | uint64(uint16(slot)))
+}
+
+func unpackTID(t storage.TID) (PageID, int) {
+	return PageID(uint64(t) >> 16), int(uint64(t) & 0xFFFF)
+}
+
+func encodeRecord(tv storage.TupleVersion) ([]byte, error) {
+	buf := make([]byte, 16, 64)
+	binary.LittleEndian.PutUint64(buf[0:], uint64(tv.Xmin))
+	binary.LittleEndian.PutUint64(buf[8:], uint64(tv.Xmax))
+	var err error
+	buf, err = label.AppendEncode(buf, tv.Label)
+	if err != nil {
+		return nil, err
+	}
+	buf, err = label.AppendEncode(buf, tv.ILabel)
+	if err != nil {
+		return nil, err
+	}
+	return types.EncodeRow(buf, tv.Row)
+}
+
+func decodeRecord(rec []byte) (storage.TupleVersion, error) {
+	var tv storage.TupleVersion
+	if len(rec) < 18 {
+		return tv, fmt.Errorf("pager: truncated record (%d bytes)", len(rec))
+	}
+	tv.Xmin = storage.XID(binary.LittleEndian.Uint64(rec[0:]))
+	tv.Xmax = storage.XID(binary.LittleEndian.Uint64(rec[8:]))
+	off := 16
+	l, n, err := label.Decode(rec[off:])
+	if err != nil {
+		return tv, err
+	}
+	tv.Label = l
+	off += n
+	il, n, err := label.Decode(rec[off:])
+	if err != nil {
+		return tv, err
+	}
+	tv.ILabel = il
+	off += n
+	row, _, err := types.DecodeRow(rec[off:])
+	if err != nil {
+		return tv, err
+	}
+	tv.Row = row
+	return tv, nil
+}
+
+// Insert appends a new version.
+func (h *PagedHeap) Insert(tv storage.TupleVersion) (storage.TID, error) {
+	rec, err := encodeRecord(tv)
+	if err != nil {
+		return storage.InvalidTID, err
+	}
+	if len(rec) > PageSize-pageHeaderSize-slotSize {
+		return storage.InvalidTID, fmt.Errorf("pager: tuple of %d bytes exceeds page capacity", len(rec))
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.nPages == 0 {
+		h.nPages = 1
+		h.lastPage = 0
+	}
+	var tid storage.TID
+	tryInsert := func(pid PageID) (bool, error) {
+		var inserted bool
+		err := h.pool.WithPageDirty(pid, func(p page) error {
+			if p.freeSpace() < len(rec) {
+				return nil
+			}
+			slot, err := p.insert(rec)
+			if err != nil {
+				return err
+			}
+			tid = packTID(pid, slot)
+			inserted = true
+			return nil
+		})
+		return inserted, err
+	}
+	ok, err := tryInsert(h.lastPage)
+	if err != nil {
+		return storage.InvalidTID, err
+	}
+	if !ok {
+		h.lastPage = PageID(h.nPages)
+		h.nPages++
+		ok, err = tryInsert(h.lastPage)
+		if err != nil {
+			return storage.InvalidTID, err
+		}
+		if !ok {
+			return storage.InvalidTID, fmt.Errorf("pager: fresh page rejected %d-byte tuple", len(rec))
+		}
+	}
+	h.live++
+	h.bytes += int64(len(rec))
+	return tid, nil
+}
+
+// Get fetches the version at tid.
+func (h *PagedHeap) Get(tid storage.TID) (storage.TupleVersion, bool) {
+	pid, slot := unpackTID(tid)
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	if int(pid) >= h.nPages {
+		return storage.TupleVersion{}, false
+	}
+	var tv storage.TupleVersion
+	found := false
+	_ = h.pool.WithPage(pid, func(p page) error {
+		rec := p.record(slot)
+		if rec == nil {
+			return nil
+		}
+		v, err := decodeRecord(rec)
+		if err != nil {
+			return err
+		}
+		tv, found = v, true
+		return nil
+	})
+	return tv, found
+}
+
+// SetXmax stamps a delete, failing on conflict with another live stamp.
+func (h *PagedHeap) SetXmax(tid storage.TID, xid storage.XID) bool {
+	pid, slot := unpackTID(tid)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if int(pid) >= h.nPages {
+		return false
+	}
+	ok := false
+	_ = h.pool.WithPageDirty(pid, func(p page) error {
+		rec := p.record(slot)
+		if rec == nil {
+			return nil
+		}
+		cur := storage.XID(binary.LittleEndian.Uint64(rec[8:]))
+		if cur != storage.InvalidXID && cur != xid {
+			return nil
+		}
+		binary.LittleEndian.PutUint64(rec[8:], uint64(xid))
+		ok = true
+		return nil
+	})
+	return ok
+}
+
+// ClearXmax rolls back a delete stamp.
+func (h *PagedHeap) ClearXmax(tid storage.TID, xid storage.XID) {
+	pid, slot := unpackTID(tid)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if int(pid) >= h.nPages {
+		return
+	}
+	_ = h.pool.WithPageDirty(pid, func(p page) error {
+		rec := p.record(slot)
+		if rec == nil {
+			return nil
+		}
+		if storage.XID(binary.LittleEndian.Uint64(rec[8:])) == xid {
+			binary.LittleEndian.PutUint64(rec[8:], 0)
+		}
+		return nil
+	})
+}
+
+// Scan visits every version in TID order.
+//
+// To keep lock scopes small and avoid holding buffer frames across the
+// callback, each page's live records are decoded into a batch first.
+func (h *PagedHeap) Scan(fn func(tid storage.TID, tv *storage.TupleVersion) bool) {
+	h.mu.RLock()
+	n := h.nPages
+	h.mu.RUnlock()
+	type item struct {
+		tid storage.TID
+		tv  storage.TupleVersion
+	}
+	for pid := PageID(0); int(pid) < n; pid++ {
+		var batch []item
+		_ = h.pool.WithPage(pid, func(p page) error {
+			for s := 0; s < p.nSlots(); s++ {
+				rec := p.record(s)
+				if rec == nil {
+					continue
+				}
+				tv, err := decodeRecord(rec)
+				if err != nil {
+					return err
+				}
+				batch = append(batch, item{packTID(pid, s), tv})
+			}
+			return nil
+		})
+		for i := range batch {
+			if !fn(batch[i].tid, &batch[i].tv) {
+				return
+			}
+		}
+	}
+}
+
+// Vacuum tombstones dead versions and compacts touched pages.
+func (h *PagedHeap) Vacuum(dead func(tv *storage.TupleVersion) bool) int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	reclaimed := 0
+	for pid := PageID(0); int(pid) < h.nPages; pid++ {
+		_ = h.pool.WithPageDirty(pid, func(p page) error {
+			touched := false
+			for s := 0; s < p.nSlots(); s++ {
+				rec := p.record(s)
+				if rec == nil {
+					continue
+				}
+				tv, err := decodeRecord(rec)
+				if err != nil {
+					return err
+				}
+				if dead(&tv) {
+					h.bytes -= int64(len(rec))
+					p.tombstone(s)
+					h.live--
+					reclaimed++
+					touched = true
+				}
+			}
+			if touched {
+				p.compact()
+			}
+			return nil
+		})
+	}
+	return reclaimed
+}
+
+// Len returns the number of resident versions.
+func (h *PagedHeap) Len() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.live
+}
+
+// ApproxBytes returns resident tuple bytes (excluding page overhead).
+func (h *PagedHeap) ApproxBytes() int64 {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.bytes
+}
+
+// NPages returns the number of allocated pages (for space accounting).
+func (h *PagedHeap) NPages() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.nPages
+}
+
+// Flush writes back all dirty pages.
+func (h *PagedHeap) Flush() error { return h.pool.FlushAll() }

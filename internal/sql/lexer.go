@@ -1,0 +1,210 @@
+// Package sql implements the SQL front end: lexer, AST, and
+// recursive-descent parser for the dialect IFDB supports.
+//
+// The dialect is the subset of PostgreSQL SQL exercised by the paper's
+// case studies and benchmarks, plus the two IFDB syntactic extensions
+// (§7.1): `CREATE VIEW ... WITH DECLASSIFYING (tags)` for declassifying
+// views and `INSERT ... DECLASSIFYING (tags)` for the Foreign Key Rule.
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokenKind classifies lexical tokens.
+type TokenKind uint8
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokKeyword
+	TokNumber
+	TokString
+	TokOp    // operators and punctuation
+	TokParam // $1, $2, ... placeholders
+)
+
+// Token is one lexical token.
+type Token struct {
+	Kind TokenKind
+	Text string // keywords are upper-cased; identifiers preserve case-folded lower
+	Pos  int    // byte offset in the input
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "AND": true, "OR": true,
+	"NOT": true, "INSERT": true, "INTO": true, "VALUES": true, "UPDATE": true,
+	"SET": true, "DELETE": true, "CREATE": true, "TABLE": true, "VIEW": true,
+	"INDEX": true, "ON": true, "AS": true, "JOIN": true, "LEFT": true,
+	"INNER": true, "OUTER": true, "ORDER": true, "BY": true, "GROUP": true,
+	"HAVING": true, "LIMIT": true, "OFFSET": true, "ASC": true, "DESC": true,
+	"NULL": true, "TRUE": true, "FALSE": true, "PRIMARY": true, "KEY": true,
+	"UNIQUE": true, "FOREIGN": true, "REFERENCES": true, "CONSTRAINT": true,
+	"DEFAULT": true, "CHECK": true, "IN": true, "IS": true, "LIKE": true,
+	"BETWEEN": true, "BEGIN": true, "COMMIT": true, "ROLLBACK": true,
+	"ABORT": true, "DISTINCT": true, "DROP": true, "TRIGGER": true,
+	"BEFORE": true, "AFTER": true, "EXECUTE": true, "PROCEDURE": true,
+	"DECLASSIFYING": true, "WITH": true, "LABEL": true, "EXACTLY": true,
+	"CONTAINS": true, "USING": true, "DISK": true, "MEMORY": true,
+	"SERIALIZABLE": true, "ISOLATION": true, "CASCADE": true, "RESTRICT": true,
+	"EXISTS": true, "IF": true, "COUNT": true, "SUM": true, "AVG": true,
+	"MIN": true, "MAX": true, "BIGINT": true, "INT": true, "INTEGER": true,
+	"TEXT": true, "VARCHAR": true, "BOOLEAN": true, "BOOL": true,
+	"TIMESTAMP": true, "DOUBLE": true, "PRECISION": true, "FLOAT": true,
+	"REAL": true, "FOR": true, "NO": true, "ACTION": true, "NUMERIC": true,
+	"DECIMAL": true, "CHAR": true, "SERIAL": true, "TRANSACTION": true,
+	"WORK": true, "LEVEL": true, "SNAPSHOT": true,
+}
+
+// Lexer tokenizes SQL input.
+type Lexer struct {
+	src  string
+	pos  int
+	toks []Token
+}
+
+// Lex tokenizes src fully, returning the token stream (ending with an
+// explicit EOF token) or a syntax error.
+func Lex(src string) ([]Token, error) {
+	l := &Lexer{src: src}
+	for {
+		tok, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		l.toks = append(l.toks, tok)
+		if tok.Kind == TokEOF {
+			return l.toks, nil
+		}
+	}
+}
+
+func (l *Lexer) next() (Token, error) {
+	l.skipSpaceAndComments()
+	start := l.pos
+	if l.pos >= len(l.src) {
+		return Token{Kind: TokEOF, Pos: start}, nil
+	}
+	c := l.src[l.pos]
+	switch {
+	case isIdentStart(rune(c)):
+		for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+			l.pos++
+		}
+		word := l.src[start:l.pos]
+		up := strings.ToUpper(word)
+		if keywords[up] {
+			return Token{Kind: TokKeyword, Text: up, Pos: start}, nil
+		}
+		return Token{Kind: TokIdent, Text: strings.ToLower(word), Pos: start}, nil
+	case c >= '0' && c <= '9' || c == '.' && l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9':
+		seenDot, seenExp := false, false
+		for l.pos < len(l.src) {
+			ch := l.src[l.pos]
+			if ch >= '0' && ch <= '9' {
+				l.pos++
+			} else if ch == '.' && !seenDot && !seenExp {
+				seenDot = true
+				l.pos++
+			} else if (ch == 'e' || ch == 'E') && !seenExp && l.pos > start {
+				seenExp = true
+				l.pos++
+				if l.pos < len(l.src) && (l.src[l.pos] == '+' || l.src[l.pos] == '-') {
+					l.pos++
+				}
+			} else {
+				break
+			}
+		}
+		return Token{Kind: TokNumber, Text: l.src[start:l.pos], Pos: start}, nil
+	case c == '\'':
+		l.pos++
+		var b strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				return Token{}, fmt.Errorf("sql: unterminated string at offset %d", start)
+			}
+			ch := l.src[l.pos]
+			if ch == '\'' {
+				if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+					b.WriteByte('\'') // escaped quote
+					l.pos += 2
+					continue
+				}
+				l.pos++
+				return Token{Kind: TokString, Text: b.String(), Pos: start}, nil
+			}
+			b.WriteByte(ch)
+			l.pos++
+		}
+	case c == '"':
+		// Quoted identifier.
+		l.pos++
+		end := strings.IndexByte(l.src[l.pos:], '"')
+		if end < 0 {
+			return Token{}, fmt.Errorf("sql: unterminated quoted identifier at offset %d", start)
+		}
+		word := l.src[l.pos : l.pos+end]
+		l.pos += end + 1
+		return Token{Kind: TokIdent, Text: word, Pos: start}, nil
+	case c == '$':
+		l.pos++
+		ds := l.pos
+		for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+			l.pos++
+		}
+		if l.pos == ds {
+			return Token{}, fmt.Errorf("sql: bad parameter placeholder at offset %d", start)
+		}
+		return Token{Kind: TokParam, Text: l.src[ds:l.pos], Pos: start}, nil
+	default:
+		for _, op := range [...]string{"<=", ">=", "<>", "!=", "||"} {
+			if strings.HasPrefix(l.src[l.pos:], op) {
+				l.pos += 2
+				return Token{Kind: TokOp, Text: op, Pos: start}, nil
+			}
+		}
+		if strings.ContainsRune("+-*/%(),=<>;.[]", rune(c)) {
+			l.pos++
+			return Token{Kind: TokOp, Text: string(c), Pos: start}, nil
+		}
+		return Token{}, fmt.Errorf("sql: unexpected character %q at offset %d", c, start)
+	}
+}
+
+func (l *Lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			nl := strings.IndexByte(l.src[l.pos:], '\n')
+			if nl < 0 {
+				l.pos = len(l.src)
+			} else {
+				l.pos += nl + 1
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			end := strings.Index(l.src[l.pos+2:], "*/")
+			if end < 0 {
+				l.pos = len(l.src)
+			} else {
+				l.pos += end + 4
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

@@ -1,0 +1,1352 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"ifdb/internal/types"
+)
+
+// Parser is a recursive-descent parser over the token stream.
+type Parser struct {
+	toks []Token
+	pos  int
+	src  string
+}
+
+// Parse parses a single SQL statement (a trailing semicolon is
+// permitted).
+func Parse(src string) (Statement, error) {
+	stmts, err := ParseAll(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(stmts) != 1 {
+		return nil, fmt.Errorf("sql: expected exactly one statement, got %d", len(stmts))
+	}
+	return stmts[0], nil
+}
+
+// ParseAll parses a semicolon-separated script.
+func ParseAll(src string) ([]Statement, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks, src: src}
+	var stmts []Statement
+	for {
+		for p.acceptOp(";") {
+		}
+		if p.peek().Kind == TokEOF {
+			return stmts, nil
+		}
+		s, err := p.parseStatement()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+		if !p.acceptOp(";") && p.peek().Kind != TokEOF {
+			return nil, p.errf("expected ';' or end of input")
+		}
+	}
+}
+
+func (p *Parser) peek() Token { return p.toks[p.pos] }
+func (p *Parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *Parser) errf(format string, args ...interface{}) error {
+	t := p.peek()
+	loc := t.Text
+	if t.Kind == TokEOF {
+		loc = "<eof>"
+	}
+	return fmt.Errorf("sql: %s (near %q, offset %d)", fmt.Sprintf(format, args...), loc, t.Pos)
+}
+
+func (p *Parser) acceptKw(kw string) bool {
+	if t := p.peek(); t.Kind == TokKeyword && t.Text == kw {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expectKw(kw string) error {
+	if !p.acceptKw(kw) {
+		return p.errf("expected %s", kw)
+	}
+	return nil
+}
+
+func (p *Parser) acceptOp(op string) bool {
+	if t := p.peek(); t.Kind == TokOp && t.Text == op {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expectOp(op string) error {
+	if !p.acceptOp(op) {
+		return p.errf("expected %q", op)
+	}
+	return nil
+}
+
+// ident accepts an identifier or any keyword used as a name (SQL
+// keywords like KEY or LABEL commonly appear as column names).
+func (p *Parser) ident() (string, error) {
+	t := p.peek()
+	switch t.Kind {
+	case TokIdent:
+		p.pos++
+		return t.Text, nil
+	case TokKeyword:
+		// Permit non-reserved keywords as identifiers.
+		switch t.Text {
+		case "SELECT", "FROM", "WHERE", "INSERT", "UPDATE", "DELETE", "CREATE", "DROP", "VALUES", "AND", "OR", "NOT", "NULL", "JOIN", "ON", "ORDER", "GROUP", "HAVING", "LIMIT":
+			return "", p.errf("reserved keyword %s cannot be used as identifier", t.Text)
+		}
+		p.pos++
+		return strings.ToLower(t.Text), nil
+	default:
+		return "", p.errf("expected identifier")
+	}
+}
+
+func (p *Parser) parseStatement() (Statement, error) {
+	t := p.peek()
+	if t.Kind != TokKeyword {
+		return nil, p.errf("expected statement keyword")
+	}
+	switch t.Text {
+	case "SELECT":
+		return p.parseSelect()
+	case "INSERT":
+		return p.parseInsert()
+	case "UPDATE":
+		return p.parseUpdate()
+	case "DELETE":
+		return p.parseDelete()
+	case "CREATE":
+		return p.parseCreate()
+	case "DROP":
+		return p.parseDrop()
+	case "BEGIN":
+		p.pos++
+		p.acceptKw("TRANSACTION")
+		p.acceptKw("WORK")
+		ser := false
+		if p.acceptKw("ISOLATION") {
+			if err := p.expectKw("LEVEL"); err != nil {
+				return nil, err
+			}
+			if p.acceptKw("SERIALIZABLE") {
+				ser = true
+			} else if p.acceptKw("SNAPSHOT") {
+				ser = false
+			} else {
+				return nil, p.errf("expected isolation level")
+			}
+		} else if p.acceptKw("SERIALIZABLE") {
+			ser = true
+		}
+		return &BeginStmt{Serializable: ser}, nil
+	case "COMMIT":
+		p.pos++
+		p.acceptKw("TRANSACTION")
+		p.acceptKw("WORK")
+		return &CommitStmt{}, nil
+	case "ROLLBACK", "ABORT":
+		p.pos++
+		p.acceptKw("TRANSACTION")
+		p.acceptKw("WORK")
+		return &RollbackStmt{}, nil
+	default:
+		return nil, p.errf("unsupported statement %s", t.Text)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// SELECT
+
+func (p *Parser) parseSelect() (*SelectStmt, error) {
+	if err := p.expectKw("SELECT"); err != nil {
+		return nil, err
+	}
+	s := &SelectStmt{}
+	if p.acceptKw("DISTINCT") {
+		s.Distinct = true
+	}
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		s.Items = append(s.Items, item)
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	if p.acceptKw("FROM") {
+		tr, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		s.From = &tr
+		for {
+			var kind string
+			switch {
+			case p.acceptKw("JOIN"):
+				kind = "INNER"
+			case p.acceptKw("INNER"):
+				if err := p.expectKw("JOIN"); err != nil {
+					return nil, err
+				}
+				kind = "INNER"
+			case p.acceptKw("LEFT"):
+				p.acceptKw("OUTER")
+				if err := p.expectKw("JOIN"); err != nil {
+					return nil, err
+				}
+				kind = "LEFT"
+			default:
+				kind = ""
+			}
+			if kind == "" {
+				break
+			}
+			tr, err := p.parseTableRef()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKw("ON"); err != nil {
+				return nil, err
+			}
+			on, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			s.Joins = append(s.Joins, JoinClause{Kind: kind, Table: tr, On: on})
+		}
+	}
+	if p.acceptKw("WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		s.Where = e
+	}
+	if p.acceptKw("GROUP") {
+		if err := p.expectKw("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			s.GroupBy = append(s.GroupBy, e)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKw("HAVING") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		s.Having = e
+	}
+	if p.acceptKw("ORDER") {
+		if err := p.expectKw("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if p.acceptKw("DESC") {
+				item.Desc = true
+			} else {
+				p.acceptKw("ASC")
+			}
+			s.OrderBy = append(s.OrderBy, item)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKw("LIMIT") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		s.Limit = e
+	}
+	if p.acceptKw("OFFSET") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		s.Offset = e
+	}
+	if p.acceptKw("FOR") {
+		if err := p.expectKw("UPDATE"); err != nil {
+			return nil, err
+		}
+		s.ForUpdate = true
+	}
+	return s, nil
+}
+
+func (p *Parser) parseSelectItem() (SelectItem, error) {
+	if p.acceptOp("*") {
+		return SelectItem{Star: true}, nil
+	}
+	// t.* form: ident '.' '*'
+	if p.peek().Kind == TokIdent && p.pos+2 < len(p.toks) &&
+		p.toks[p.pos+1].Kind == TokOp && p.toks[p.pos+1].Text == "." &&
+		p.toks[p.pos+2].Kind == TokOp && p.toks[p.pos+2].Text == "*" {
+		tbl := p.next().Text
+		p.next()
+		p.next()
+		return SelectItem{Star: true, Table: tbl}, nil
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.acceptKw("AS") {
+		name, err := p.ident()
+		if err != nil {
+			return SelectItem{}, err
+		}
+		item.Alias = name
+	} else if p.peek().Kind == TokIdent {
+		item.Alias = p.next().Text
+	}
+	return item, nil
+}
+
+func (p *Parser) parseTableRef() (TableRef, error) {
+	if p.acceptOp("(") {
+		sub, err := p.parseSelect()
+		if err != nil {
+			return TableRef{}, err
+		}
+		if err := p.expectOp(")"); err != nil {
+			return TableRef{}, err
+		}
+		tr := TableRef{Sub: sub}
+		p.acceptKw("AS")
+		name, err := p.ident()
+		if err != nil {
+			return TableRef{}, fmt.Errorf("sql: subquery in FROM requires an alias: %w", err)
+		}
+		tr.Alias = name
+		return tr, nil
+	}
+	name, err := p.ident()
+	if err != nil {
+		return TableRef{}, err
+	}
+	tr := TableRef{Name: name}
+	if p.acceptKw("AS") {
+		alias, err := p.ident()
+		if err != nil {
+			return TableRef{}, err
+		}
+		tr.Alias = alias
+	} else if p.peek().Kind == TokIdent {
+		tr.Alias = p.next().Text
+	}
+	return tr, nil
+}
+
+// ---------------------------------------------------------------------------
+// DML
+
+func (p *Parser) parseInsert() (*InsertStmt, error) {
+	if err := p.expectKw("INSERT"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("INTO"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	ins := &InsertStmt{Table: name}
+	if p.acceptOp("(") {
+		for {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			ins.Columns = append(ins.Columns, col)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+	}
+	switch {
+	case p.acceptKw("VALUES"):
+		for {
+			if err := p.expectOp("("); err != nil {
+				return nil, err
+			}
+			var row []Expr
+			for {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, e)
+				if !p.acceptOp(",") {
+					break
+				}
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			ins.Rows = append(ins.Rows, row)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+	case p.peek().Kind == TokKeyword && p.peek().Text == "SELECT":
+		sub, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		ins.Select = sub
+	default:
+		return nil, p.errf("expected VALUES or SELECT")
+	}
+	if p.acceptKw("DECLASSIFYING") {
+		tags, err := p.parseNameList()
+		if err != nil {
+			return nil, err
+		}
+		ins.Declassifying = tags
+	}
+	return ins, nil
+}
+
+func (p *Parser) parseNameList() ([]string, error) {
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	var names []string
+	for {
+		n, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		names = append(names, n)
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	return names, nil
+}
+
+func (p *Parser) parseUpdate() (*UpdateStmt, error) {
+	if err := p.expectKw("UPDATE"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("SET"); err != nil {
+		return nil, err
+	}
+	u := &UpdateStmt{Table: name}
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp("="); err != nil {
+			return nil, err
+		}
+		val, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		u.Set = append(u.Set, SetClause{Column: col, Value: val})
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	if p.acceptKw("WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		u.Where = e
+	}
+	if p.acceptKw("DECLASSIFYING") {
+		tags, err := p.parseNameList()
+		if err != nil {
+			return nil, err
+		}
+		u.Declassifying = tags
+	}
+	return u, nil
+}
+
+func (p *Parser) parseDelete() (*DeleteStmt, error) {
+	if err := p.expectKw("DELETE"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("FROM"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	d := &DeleteStmt{Table: name}
+	if p.acceptKw("WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		d.Where = e
+	}
+	return d, nil
+}
+
+// ---------------------------------------------------------------------------
+// DDL
+
+func (p *Parser) parseCreate() (Statement, error) {
+	if err := p.expectKw("CREATE"); err != nil {
+		return nil, err
+	}
+	switch {
+	case p.acceptKw("TABLE"):
+		return p.parseCreateTable()
+	case p.acceptKw("UNIQUE"):
+		if err := p.expectKw("INDEX"); err != nil {
+			return nil, err
+		}
+		return p.parseCreateIndex(true)
+	case p.acceptKw("INDEX"):
+		return p.parseCreateIndex(false)
+	case p.acceptKw("VIEW"):
+		return p.parseCreateView()
+	case p.acceptKw("TRIGGER"):
+		return p.parseCreateTrigger()
+	default:
+		return nil, p.errf("unsupported CREATE target")
+	}
+}
+
+func (p *Parser) parseCreateTable() (*CreateTableStmt, error) {
+	ct := &CreateTableStmt{}
+	if p.acceptKw("IF") {
+		if err := p.expectKw("NOT"); err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("EXISTS"); err != nil {
+			return nil, err
+		}
+		ct.IfNotExists = true
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	ct.Name = name
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	for {
+		if cons, ok, err := p.tryParseTableConstraint(); err != nil {
+			return nil, err
+		} else if ok {
+			ct.Constraints = append(ct.Constraints, cons)
+		} else {
+			col, err := p.parseColumnDef()
+			if err != nil {
+				return nil, err
+			}
+			ct.Columns = append(ct.Columns, col)
+		}
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	if p.acceptKw("USING") {
+		switch {
+		case p.acceptKw("DISK"):
+			ct.OnDisk = true
+		case p.acceptKw("MEMORY"):
+			ct.OnDisk = false
+		default:
+			return nil, p.errf("expected DISK or MEMORY")
+		}
+	}
+	return ct, nil
+}
+
+func (p *Parser) tryParseTableConstraint() (TableConstraint, bool, error) {
+	var cons TableConstraint
+	t := p.peek()
+	if t.Kind != TokKeyword {
+		return cons, false, nil
+	}
+	if t.Text == "CONSTRAINT" {
+		p.pos++
+		name, err := p.ident()
+		if err != nil {
+			return cons, false, err
+		}
+		cons.Name = name
+		t = p.peek()
+	} else if t.Text != "PRIMARY" && t.Text != "UNIQUE" && t.Text != "FOREIGN" && t.Text != "LABEL" && t.Text != "CHECK" {
+		return cons, false, nil
+	}
+	// Disambiguate: UNIQUE or LABEL as a *column name* would be
+	// followed by a type keyword rather than '(' / KEY / EXACTLY.
+	switch t.Text {
+	case "PRIMARY":
+		p.pos++
+		if err := p.expectKw("KEY"); err != nil {
+			return cons, false, err
+		}
+		cols, err := p.parseNameList()
+		if err != nil {
+			return cons, false, err
+		}
+		cons.Kind = "PRIMARY KEY"
+		cons.Columns = cols
+		return cons, true, nil
+	case "UNIQUE":
+		if p.toks[p.pos+1].Kind == TokOp && p.toks[p.pos+1].Text == "(" {
+			p.pos++
+			cols, err := p.parseNameList()
+			if err != nil {
+				return cons, false, err
+			}
+			cons.Kind = "UNIQUE"
+			cons.Columns = cols
+			return cons, true, nil
+		}
+		return cons, false, nil
+	case "FOREIGN":
+		p.pos++
+		if err := p.expectKw("KEY"); err != nil {
+			return cons, false, err
+		}
+		cols, err := p.parseNameList()
+		if err != nil {
+			return cons, false, err
+		}
+		if err := p.expectKw("REFERENCES"); err != nil {
+			return cons, false, err
+		}
+		ref, err := p.ident()
+		if err != nil {
+			return cons, false, err
+		}
+		refCols, err := p.parseNameList()
+		if err != nil {
+			return cons, false, err
+		}
+		cons.Kind = "FOREIGN KEY"
+		cons.Columns = cols
+		cons.RefTable = ref
+		cons.RefColumns = refCols
+		cons.OnDelete = "RESTRICT"
+		if p.acceptKw("ON") {
+			if err := p.expectKw("DELETE"); err != nil {
+				return cons, false, err
+			}
+			switch {
+			case p.acceptKw("CASCADE"):
+				cons.OnDelete = "CASCADE"
+			case p.acceptKw("RESTRICT"):
+				cons.OnDelete = "RESTRICT"
+			case p.acceptKw("NO"):
+				if err := p.expectKw("ACTION"); err != nil {
+					return cons, false, err
+				}
+				cons.OnDelete = "RESTRICT"
+			default:
+				return cons, false, p.errf("expected CASCADE, RESTRICT, or NO ACTION")
+			}
+		}
+		return cons, true, nil
+	case "LABEL":
+		kw2 := p.toks[p.pos+1]
+		if kw2.Kind == TokKeyword && (kw2.Text == "EXACTLY" || kw2.Text == "CONTAINS") {
+			p.pos += 2
+			if err := p.expectOp("("); err != nil {
+				return cons, false, err
+			}
+			for {
+				e, err := p.parseExpr()
+				if err != nil {
+					return cons, false, err
+				}
+				cons.LabelExprs = append(cons.LabelExprs, e)
+				if !p.acceptOp(",") {
+					break
+				}
+			}
+			if err := p.expectOp(")"); err != nil {
+				return cons, false, err
+			}
+			cons.Kind = "LABEL " + kw2.Text
+			return cons, true, nil
+		}
+		return cons, false, nil
+	case "CHECK":
+		p.pos++
+		if err := p.expectOp("("); err != nil {
+			return cons, false, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return cons, false, err
+		}
+		if err := p.expectOp(")"); err != nil {
+			return cons, false, err
+		}
+		cons.Kind = "CHECK"
+		cons.Check = e
+		return cons, true, nil
+	}
+	if cons.Name != "" {
+		return cons, false, p.errf("expected constraint after CONSTRAINT name")
+	}
+	return cons, false, nil
+}
+
+func (p *Parser) parseColumnDef() (ColumnDef, error) {
+	var col ColumnDef
+	name, err := p.ident()
+	if err != nil {
+		return col, err
+	}
+	col.Name = name
+	kind, err := p.parseType()
+	if err != nil {
+		return col, err
+	}
+	col.Type = kind
+	for {
+		switch {
+		case p.acceptKw("NOT"):
+			if err := p.expectKw("NULL"); err != nil {
+				return col, err
+			}
+			col.NotNull = true
+		case p.acceptKw("NULL"):
+			// accepted, default
+		case p.acceptKw("PRIMARY"):
+			if err := p.expectKw("KEY"); err != nil {
+				return col, err
+			}
+			col.PrimaryKey = true
+			col.NotNull = true
+		case p.acceptKw("UNIQUE"):
+			col.Unique = true
+		case p.acceptKw("DEFAULT"):
+			e, err := p.parseExpr()
+			if err != nil {
+				return col, err
+			}
+			col.Default = e
+		case p.acceptKw("REFERENCES"):
+			ref, err := p.ident()
+			if err != nil {
+				return col, err
+			}
+			col.RefTable = ref
+			if p.acceptOp("(") {
+				rc, err := p.ident()
+				if err != nil {
+					return col, err
+				}
+				col.RefColumn = rc
+				if err := p.expectOp(")"); err != nil {
+					return col, err
+				}
+			}
+		default:
+			return col, nil
+		}
+	}
+}
+
+func (p *Parser) parseType() (types.Kind, error) {
+	t := p.peek()
+	if t.Kind != TokKeyword {
+		return types.KindNull, p.errf("expected type name")
+	}
+	p.pos++
+	switch t.Text {
+	case "INT", "INTEGER", "BIGINT", "SERIAL":
+		return types.KindInt, nil
+	case "TEXT":
+		return types.KindText, nil
+	case "VARCHAR", "CHAR":
+		// optional (n)
+		if p.acceptOp("(") {
+			if p.peek().Kind != TokNumber {
+				return types.KindNull, p.errf("expected length")
+			}
+			p.pos++
+			if err := p.expectOp(")"); err != nil {
+				return types.KindNull, err
+			}
+		}
+		return types.KindText, nil
+	case "BOOLEAN", "BOOL":
+		return types.KindBool, nil
+	case "TIMESTAMP":
+		return types.KindTime, nil
+	case "DOUBLE":
+		p.acceptKw("PRECISION")
+		return types.KindFloat, nil
+	case "FLOAT", "REAL":
+		return types.KindFloat, nil
+	case "NUMERIC", "DECIMAL":
+		if p.acceptOp("(") {
+			for p.peek().Kind == TokNumber || (p.peek().Kind == TokOp && p.peek().Text == ",") {
+				p.pos++
+			}
+			if err := p.expectOp(")"); err != nil {
+				return types.KindNull, err
+			}
+		}
+		return types.KindFloat, nil
+	default:
+		return types.KindNull, p.errf("unsupported type %s", t.Text)
+	}
+}
+
+func (p *Parser) parseCreateIndex(unique bool) (*CreateIndexStmt, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("ON"); err != nil {
+		return nil, err
+	}
+	tbl, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	cols, err := p.parseNameList()
+	if err != nil {
+		return nil, err
+	}
+	return &CreateIndexStmt{Name: name, Table: tbl, Columns: cols, Unique: unique}, nil
+}
+
+func (p *Parser) parseCreateView() (*CreateViewStmt, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	cv := &CreateViewStmt{Name: name}
+	if p.peek().Kind == TokOp && p.peek().Text == "(" {
+		cols, err := p.parseNameList()
+		if err != nil {
+			return nil, err
+		}
+		cv.Columns = cols
+	}
+	if err := p.expectKw("AS"); err != nil {
+		return nil, err
+	}
+	sel, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	cv.Select = sel
+	if p.acceptKw("WITH") {
+		if err := p.expectKw("DECLASSIFYING"); err != nil {
+			return nil, err
+		}
+		tags, err := p.parseNameList()
+		if err != nil {
+			return nil, err
+		}
+		cv.Declassifying = tags
+	}
+	return cv, nil
+}
+
+func (p *Parser) parseCreateTrigger() (*CreateTriggerStmt, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	tr := &CreateTriggerStmt{Name: name}
+	switch {
+	case p.acceptKw("BEFORE"):
+		tr.Timing = "BEFORE"
+	case p.acceptKw("AFTER"):
+		tr.Timing = "AFTER"
+	default:
+		return nil, p.errf("expected BEFORE or AFTER")
+	}
+	switch {
+	case p.acceptKw("INSERT"):
+		tr.Event = "INSERT"
+	case p.acceptKw("UPDATE"):
+		tr.Event = "UPDATE"
+	case p.acceptKw("DELETE"):
+		tr.Event = "DELETE"
+	default:
+		return nil, p.errf("expected INSERT, UPDATE, or DELETE")
+	}
+	if err := p.expectKw("ON"); err != nil {
+		return nil, err
+	}
+	tbl, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	tr.Table = tbl
+	// Optional DEFERRED marker before EXECUTE.
+	if p.peek().Kind == TokIdent && p.peek().Text == "deferred" {
+		p.pos++
+		tr.Deferred = true
+	}
+	if err := p.expectKw("EXECUTE"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("PROCEDURE"); err != nil {
+		return nil, err
+	}
+	proc, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	// Tolerate a trailing () after the procedure name.
+	if p.acceptOp("(") {
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+	}
+	tr.Proc = proc
+	return tr, nil
+}
+
+func (p *Parser) parseDrop() (Statement, error) {
+	if err := p.expectKw("DROP"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("TABLE"); err != nil {
+		return nil, err
+	}
+	d := &DropTableStmt{}
+	if p.acceptKw("IF") {
+		if err := p.expectKw("EXISTS"); err != nil {
+			return nil, err
+		}
+		d.IfExists = true
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	d.Name = name
+	return d, nil
+}
+
+// ---------------------------------------------------------------------------
+// Expressions (precedence climbing)
+
+func (p *Parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *Parser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKw("OR") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: "OR", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *Parser) parseAnd() (Expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKw("AND") {
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: "AND", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *Parser) parseNot() (Expr, error) {
+	if p.acceptKw("NOT") {
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "NOT", Expr: e}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *Parser) parseComparison() (Expr, error) {
+	left, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		switch {
+		case t.Kind == TokOp && (t.Text == "=" || t.Text == "<" || t.Text == ">" || t.Text == "<=" || t.Text == ">=" || t.Text == "<>" || t.Text == "!="):
+			p.pos++
+			op := t.Text
+			if op == "!=" {
+				op = "<>"
+			}
+			right, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			left = &BinaryExpr{Op: op, Left: left, Right: right}
+		case t.Kind == TokKeyword && t.Text == "LIKE":
+			p.pos++
+			right, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			left = &BinaryExpr{Op: "LIKE", Left: left, Right: right}
+		case t.Kind == TokKeyword && t.Text == "IS":
+			p.pos++
+			not := p.acceptKw("NOT")
+			if err := p.expectKw("NULL"); err != nil {
+				return nil, err
+			}
+			left = &IsNullExpr{Expr: left, Not: not}
+		case t.Kind == TokKeyword && t.Text == "IN":
+			p.pos++
+			in, err := p.parseInTail(left, false)
+			if err != nil {
+				return nil, err
+			}
+			left = in
+		case t.Kind == TokKeyword && t.Text == "NOT":
+			// NOT IN / NOT LIKE / NOT BETWEEN
+			if p.pos+1 < len(p.toks) && p.toks[p.pos+1].Kind == TokKeyword {
+				switch p.toks[p.pos+1].Text {
+				case "IN":
+					p.pos += 2
+					in, err := p.parseInTail(left, true)
+					if err != nil {
+						return nil, err
+					}
+					left = in
+					continue
+				case "LIKE":
+					p.pos += 2
+					right, err := p.parseAdditive()
+					if err != nil {
+						return nil, err
+					}
+					left = &UnaryExpr{Op: "NOT", Expr: &BinaryExpr{Op: "LIKE", Left: left, Right: right}}
+					continue
+				case "BETWEEN":
+					p.pos += 2
+					be, err := p.parseBetweenTail(left, true)
+					if err != nil {
+						return nil, err
+					}
+					left = be
+					continue
+				}
+			}
+			return left, nil
+		case t.Kind == TokKeyword && t.Text == "BETWEEN":
+			p.pos++
+			be, err := p.parseBetweenTail(left, false)
+			if err != nil {
+				return nil, err
+			}
+			left = be
+		default:
+			return left, nil
+		}
+	}
+}
+
+func (p *Parser) parseInTail(left Expr, not bool) (Expr, error) {
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	if p.peek().Kind == TokKeyword && p.peek().Text == "SELECT" {
+		sub, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return &InExpr{Expr: left, Sub: sub, Not: not}, nil
+	}
+	var list []Expr
+	for {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		list = append(list, e)
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	return &InExpr{Expr: left, List: list, Not: not}, nil
+}
+
+func (p *Parser) parseBetweenTail(left Expr, not bool) (Expr, error) {
+	lo, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("AND"); err != nil {
+		return nil, err
+	}
+	hi, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	return &BetweenExpr{Expr: left, Lo: lo, Hi: hi, Not: not}, nil
+}
+
+func (p *Parser) parseAdditive() (Expr, error) {
+	left, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.Kind == TokOp && (t.Text == "+" || t.Text == "-" || t.Text == "||") {
+			p.pos++
+			right, err := p.parseMultiplicative()
+			if err != nil {
+				return nil, err
+			}
+			left = &BinaryExpr{Op: t.Text, Left: left, Right: right}
+		} else {
+			return left, nil
+		}
+	}
+}
+
+func (p *Parser) parseMultiplicative() (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.Kind == TokOp && (t.Text == "*" || t.Text == "/" || t.Text == "%") {
+			p.pos++
+			right, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			left = &BinaryExpr{Op: t.Text, Left: left, Right: right}
+		} else {
+			return left, nil
+		}
+	}
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	if p.acceptOp("-") {
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "-", Expr: e}, nil
+	}
+	if p.acceptOp("+") {
+		return p.parseUnary()
+	}
+	return p.parsePrimary()
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch t.Kind {
+	case TokNumber:
+		p.pos++
+		if strings.ContainsAny(t.Text, ".eE") {
+			f, err := strconv.ParseFloat(t.Text, 64)
+			if err != nil {
+				return nil, p.errf("bad number %q", t.Text)
+			}
+			return &Literal{Value: types.NewFloat(f)}, nil
+		}
+		n, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad integer %q", t.Text)
+		}
+		return &Literal{Value: types.NewInt(n)}, nil
+	case TokString:
+		p.pos++
+		return &Literal{Value: types.NewText(t.Text)}, nil
+	case TokParam:
+		p.pos++
+		n, err := strconv.Atoi(t.Text)
+		if err != nil || n < 1 {
+			return nil, p.errf("bad parameter $%s", t.Text)
+		}
+		return &Param{Index: n}, nil
+	case TokKeyword:
+		switch t.Text {
+		case "NULL":
+			p.pos++
+			return &Literal{Value: types.Null}, nil
+		case "TRUE":
+			p.pos++
+			return &Literal{Value: types.NewBool(true)}, nil
+		case "FALSE":
+			p.pos++
+			return &Literal{Value: types.NewBool(false)}, nil
+		case "EXISTS":
+			p.pos++
+			if err := p.expectOp("("); err != nil {
+				return nil, err
+			}
+			sub, err := p.parseSelect()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return &ExistsExpr{Sub: sub}, nil
+		case "COUNT", "SUM", "AVG", "MIN", "MAX":
+			p.pos++
+			return p.parseFuncTail(strings.ToLower(t.Text))
+		default:
+			// Keyword used as identifier (e.g. a column named "label").
+			name, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			return p.parseIdentTail(name)
+		}
+	case TokIdent:
+		p.pos++
+		return p.parseIdentTail(t.Text)
+	case TokOp:
+		if t.Text == "(" {
+			p.pos++
+			if p.peek().Kind == TokKeyword && p.peek().Text == "SELECT" {
+				sub, err := p.parseSelect()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expectOp(")"); err != nil {
+					return nil, err
+				}
+				return &SubqueryExpr{Sub: sub}, nil
+			}
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	return nil, p.errf("unexpected token in expression")
+}
+
+// parseIdentTail handles the continuation after an identifier: a
+// function call, a qualified column, or a bare column.
+func (p *Parser) parseIdentTail(name string) (Expr, error) {
+	if p.peek().Kind == TokOp && p.peek().Text == "(" {
+		return p.parseFuncTail(name)
+	}
+	if p.acceptOp(".") {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return &ColumnRef{Table: name, Column: col}, nil
+	}
+	return &ColumnRef{Column: name}, nil
+}
+
+func (p *Parser) parseFuncTail(name string) (Expr, error) {
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	fc := &FuncCall{Name: name}
+	if p.acceptOp("*") {
+		fc.Star = true
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return fc, nil
+	}
+	if p.acceptOp(")") {
+		return fc, nil
+	}
+	if p.acceptKw("DISTINCT") {
+		fc.Distinct = true
+	}
+	for {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		fc.Args = append(fc.Args, e)
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	return fc, nil
+}

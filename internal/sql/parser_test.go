@@ -1,0 +1,363 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+
+	"ifdb/internal/types"
+)
+
+func parse(t *testing.T, src string) Statement {
+	t.Helper()
+	st, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return st
+}
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex(`SELECT a, 'it''s', 1.5e3, $2 FROM t -- comment
+		/* block */ WHERE x <> 3;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []TokenKind
+	for _, tok := range toks {
+		kinds = append(kinds, tok.Kind)
+	}
+	if toks[0].Text != "SELECT" || toks[0].Kind != TokKeyword {
+		t.Fatalf("first token: %+v", toks[0])
+	}
+	if toks[3].Kind != TokString || toks[3].Text != "it's" {
+		t.Fatalf("string: %+v", toks[3])
+	}
+	if toks[5].Kind != TokNumber || toks[5].Text != "1.5e3" {
+		t.Fatalf("number: %+v", toks[5])
+	}
+	if toks[7].Kind != TokParam || toks[7].Text != "2" {
+		t.Fatalf("param: %+v", toks[7])
+	}
+	if kinds[len(kinds)-1] != TokEOF {
+		t.Fatal("no EOF")
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{"'unterminated", `"unterminated`, "$x", "a ~ b"} {
+		if _, err := Lex(src); err == nil {
+			t.Errorf("Lex(%q) succeeded", src)
+		}
+	}
+}
+
+func TestLexQuotedIdentAndCase(t *testing.T) {
+	toks, err := Lex(`SeLeCt "MiXeD" FROM TBL`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Text != "SELECT" {
+		t.Fatal("keyword not upcased")
+	}
+	if toks[1].Text != "MiXeD" {
+		t.Fatal("quoted ident case-folded")
+	}
+	if toks[3].Text != "tbl" {
+		t.Fatal("ident not folded to lower")
+	}
+}
+
+func TestParseSelectFull(t *testing.T) {
+	st := parse(t, `
+		SELECT DISTINCT u.name, COUNT(*) AS n, SUM(d.km) total
+		FROM users u
+		JOIN drives d ON d.uid = u.id
+		LEFT JOIN extra e ON e.uid = u.id
+		WHERE u.age > 21 AND u.name LIKE 'a%' AND u.id IN (1, 2, 3)
+		GROUP BY u.name
+		HAVING COUNT(*) > 1
+		ORDER BY n DESC, u.name
+		LIMIT 10 OFFSET 5
+		FOR UPDATE`).(*SelectStmt)
+	if !st.Distinct || len(st.Items) != 3 || st.Items[1].Alias != "n" || st.Items[2].Alias != "total" {
+		t.Fatalf("items: %+v", st.Items)
+	}
+	if st.From.Name != "users" || st.From.Alias != "u" {
+		t.Fatalf("from: %+v", st.From)
+	}
+	if len(st.Joins) != 2 || st.Joins[0].Kind != "INNER" || st.Joins[1].Kind != "LEFT" {
+		t.Fatalf("joins: %+v", st.Joins)
+	}
+	if st.Where == nil || len(st.GroupBy) != 1 || st.Having == nil {
+		t.Fatal("where/group/having lost")
+	}
+	if len(st.OrderBy) != 2 || !st.OrderBy[0].Desc || st.OrderBy[1].Desc {
+		t.Fatalf("order: %+v", st.OrderBy)
+	}
+	if st.Limit == nil || st.Offset == nil || !st.ForUpdate {
+		t.Fatal("limit/offset/forupdate lost")
+	}
+}
+
+func TestParseStarForms(t *testing.T) {
+	st := parse(t, `SELECT *, t.* FROM t`).(*SelectStmt)
+	if !st.Items[0].Star || st.Items[0].Table != "" {
+		t.Fatalf("bare star: %+v", st.Items[0])
+	}
+	if !st.Items[1].Star || st.Items[1].Table != "t" {
+		t.Fatalf("t.*: %+v", st.Items[1])
+	}
+}
+
+func TestParseSubqueries(t *testing.T) {
+	st := parse(t, `SELECT (SELECT MAX(x) FROM t2), a FROM (SELECT a FROM t3) sub
+		WHERE EXISTS (SELECT 1 FROM t4) AND a IN (SELECT b FROM t5)`).(*SelectStmt)
+	if _, ok := st.Items[0].Expr.(*SubqueryExpr); !ok {
+		t.Fatal("scalar subquery lost")
+	}
+	if st.From.Sub == nil || st.From.Alias != "sub" {
+		t.Fatal("from subquery lost")
+	}
+	and := st.Where.(*BinaryExpr)
+	if _, ok := and.Left.(*ExistsExpr); !ok {
+		t.Fatal("EXISTS lost")
+	}
+	in := and.Right.(*InExpr)
+	if in.Sub == nil {
+		t.Fatal("IN subquery lost")
+	}
+}
+
+func TestParseExpressionPrecedence(t *testing.T) {
+	st := parse(t, `SELECT 1 + 2 * 3 = 7 AND NOT FALSE`).(*SelectStmt)
+	// ((1 + (2*3)) = 7) AND (NOT FALSE)
+	and := st.Items[0].Expr.(*BinaryExpr)
+	if and.Op != "AND" {
+		t.Fatalf("top op %s", and.Op)
+	}
+	eq := and.Left.(*BinaryExpr)
+	if eq.Op != "=" {
+		t.Fatalf("cmp op %s", eq.Op)
+	}
+	plus := eq.Left.(*BinaryExpr)
+	if plus.Op != "+" {
+		t.Fatalf("add op %s", plus.Op)
+	}
+	mul := plus.Right.(*BinaryExpr)
+	if mul.Op != "*" {
+		t.Fatalf("mul op %s", mul.Op)
+	}
+}
+
+func TestParseComparisonVariants(t *testing.T) {
+	st := parse(t, `SELECT a BETWEEN 1 AND 2, b NOT IN (3), c IS NOT NULL,
+		d NOT LIKE 'x%', e NOT BETWEEN 1 AND 2, -f`).(*SelectStmt)
+	if be := st.Items[0].Expr.(*BetweenExpr); be.Not {
+		t.Fatal("between")
+	}
+	if in := st.Items[1].Expr.(*InExpr); !in.Not {
+		t.Fatal("not in")
+	}
+	if nn := st.Items[2].Expr.(*IsNullExpr); !nn.Not {
+		t.Fatal("is not null")
+	}
+	if _, ok := st.Items[3].Expr.(*UnaryExpr); !ok {
+		t.Fatal("not like")
+	}
+	if be := st.Items[4].Expr.(*BetweenExpr); !be.Not {
+		t.Fatal("not between")
+	}
+	if ue := st.Items[5].Expr.(*UnaryExpr); ue.Op != "-" {
+		t.Fatal("negation")
+	}
+}
+
+func TestParseInsertVariants(t *testing.T) {
+	ins := parse(t, `INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')`).(*InsertStmt)
+	if ins.Table != "t" || len(ins.Columns) != 2 || len(ins.Rows) != 2 {
+		t.Fatalf("insert: %+v", ins)
+	}
+	ins = parse(t, `INSERT INTO t SELECT a FROM s`).(*InsertStmt)
+	if ins.Select == nil {
+		t.Fatal("insert-select lost")
+	}
+	ins = parse(t, `INSERT INTO drives VALUES (1) DECLASSIFYING (alice_drives, alice_cars)`).(*InsertStmt)
+	if len(ins.Declassifying) != 2 || ins.Declassifying[0] != "alice_drives" {
+		t.Fatalf("declassifying: %v", ins.Declassifying)
+	}
+}
+
+func TestParseUpdateDelete(t *testing.T) {
+	up := parse(t, `UPDATE t SET a = a + 1, b = 'x' WHERE id = $1 DECLASSIFYING (tg)`).(*UpdateStmt)
+	if len(up.Set) != 2 || up.Where == nil || len(up.Declassifying) != 1 {
+		t.Fatalf("update: %+v", up)
+	}
+	del := parse(t, `DELETE FROM t WHERE a < 3`).(*DeleteStmt)
+	if del.Table != "t" || del.Where == nil {
+		t.Fatalf("delete: %+v", del)
+	}
+	del = parse(t, `DELETE FROM t`).(*DeleteStmt)
+	if del.Where != nil {
+		t.Fatal("bare delete has where")
+	}
+}
+
+func TestParseCreateTable(t *testing.T) {
+	ct := parse(t, `CREATE TABLE IF NOT EXISTS t (
+		id BIGINT PRIMARY KEY,
+		name VARCHAR(40) NOT NULL UNIQUE,
+		price DOUBLE PRECISION DEFAULT 1.5,
+		wid INT REFERENCES w (wid),
+		ok BOOLEAN,
+		ts TIMESTAMP,
+		PRIMARY KEY (id),
+		UNIQUE (name, price),
+		FOREIGN KEY (wid) REFERENCES w (wid) ON DELETE CASCADE,
+		CONSTRAINT lbl LABEL EXACTLY (wid),
+		LABEL CONTAINS (wid),
+		CHECK (price > 0)
+	) USING DISK`).(*CreateTableStmt)
+	if !ct.IfNotExists || !ct.OnDisk || len(ct.Columns) != 6 {
+		t.Fatalf("table: %+v", ct)
+	}
+	col := ct.Columns[0]
+	if !col.PrimaryKey || col.Type != types.KindInt {
+		t.Fatalf("col0: %+v", col)
+	}
+	if !ct.Columns[1].NotNull || !ct.Columns[1].Unique {
+		t.Fatalf("col1: %+v", ct.Columns[1])
+	}
+	if ct.Columns[2].Default == nil {
+		t.Fatal("default lost")
+	}
+	if ct.Columns[3].RefTable != "w" || ct.Columns[3].RefColumn != "wid" {
+		t.Fatalf("inline ref: %+v", ct.Columns[3])
+	}
+	kinds := make([]string, len(ct.Constraints))
+	for i, c := range ct.Constraints {
+		kinds[i] = c.Kind
+	}
+	want := []string{"PRIMARY KEY", "UNIQUE", "FOREIGN KEY", "LABEL EXACTLY", "LABEL CONTAINS", "CHECK"}
+	if strings.Join(kinds, ",") != strings.Join(want, ",") {
+		t.Fatalf("constraints: %v", kinds)
+	}
+	if ct.Constraints[2].OnDelete != "CASCADE" {
+		t.Fatal("cascade lost")
+	}
+	if ct.Constraints[3].Name != "lbl" {
+		t.Fatal("constraint name lost")
+	}
+}
+
+func TestParseCreateViewAndTrigger(t *testing.T) {
+	cv := parse(t, `CREATE VIEW pcmembers AS
+		SELECT firstname FROM contactinfo WHERE is_pc_member(contactid)
+		WITH DECLASSIFYING (all_contacts)`).(*CreateViewStmt)
+	if cv.Name != "pcmembers" || len(cv.Declassifying) != 1 {
+		t.Fatalf("view: %+v", cv)
+	}
+	cv = parse(t, `CREATE VIEW v (a, b) AS SELECT x, y FROM t`).(*CreateViewStmt)
+	if len(cv.Columns) != 2 {
+		t.Fatal("view columns lost")
+	}
+	tr := parse(t, `CREATE TRIGGER trg AFTER INSERT ON locations EXECUTE PROCEDURE driveupdate()`).(*CreateTriggerStmt)
+	if tr.Timing != "AFTER" || tr.Event != "INSERT" || tr.Proc != "driveupdate" {
+		t.Fatalf("trigger: %+v", tr)
+	}
+	tr = parse(t, `CREATE TRIGGER trg BEFORE UPDATE ON t deferred EXECUTE PROCEDURE p`).(*CreateTriggerStmt)
+	if !tr.Deferred {
+		t.Fatal("deferred lost")
+	}
+}
+
+func TestParseCreateIndexAndDrop(t *testing.T) {
+	ci := parse(t, `CREATE UNIQUE INDEX i ON t (a, b)`).(*CreateIndexStmt)
+	if !ci.Unique || len(ci.Columns) != 2 {
+		t.Fatalf("index: %+v", ci)
+	}
+	d := parse(t, `DROP TABLE IF EXISTS t`).(*DropTableStmt)
+	if !d.IfExists || d.Name != "t" {
+		t.Fatalf("drop: %+v", d)
+	}
+}
+
+func TestParseTxnStatements(t *testing.T) {
+	if b := parse(t, `BEGIN`).(*BeginStmt); b.Serializable {
+		t.Fatal("default serializable")
+	}
+	if b := parse(t, `BEGIN ISOLATION LEVEL SERIALIZABLE`).(*BeginStmt); !b.Serializable {
+		t.Fatal("serializable lost")
+	}
+	if b := parse(t, `BEGIN SERIALIZABLE`).(*BeginStmt); !b.Serializable {
+		t.Fatal("short serializable lost")
+	}
+	parse(t, `COMMIT`)
+	parse(t, `ROLLBACK`)
+	parse(t, `ABORT`)
+}
+
+func TestParseAllScript(t *testing.T) {
+	stmts, err := ParseAll(`CREATE TABLE a (x INT); INSERT INTO a VALUES (1); SELECT * FROM a;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmts) != 3 {
+		t.Fatalf("got %d statements", len(stmts))
+	}
+	if _, err := ParseAll(``); err != nil {
+		t.Fatal("empty script should parse")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		`SELECT`,
+		`SELECT FROM t`,
+		`INSERT t VALUES (1)`,
+		`CREATE TABLE t (a INT,)`,
+		`UPDATE t SET`,
+		`SELECT * FROM t WHERE`,
+		`SELECT * FROM (SELECT 1)`, // missing alias
+		`CREATE TABLE t (a UUID)`,  // unsupported type
+		`SELECT a FROM t GROUP`,
+		`FROB the knob`,
+		`SELECT 1 2`,
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded", src)
+		}
+	}
+}
+
+func TestKeywordsAsIdentifiers(t *testing.T) {
+	// Non-reserved keywords can name columns (e.g. a column "level" or
+	// "label" or "count").
+	st := parse(t, `SELECT level, key FROM t WHERE key = 1`).(*SelectStmt)
+	cr := st.Items[0].Expr.(*ColumnRef)
+	if cr.Column != "level" {
+		t.Fatalf("col: %+v", cr)
+	}
+}
+
+func TestParamLiteral(t *testing.T) {
+	st := parse(t, `SELECT $1 + $2`).(*SelectStmt)
+	b := st.Items[0].Expr.(*BinaryExpr)
+	if b.Left.(*Param).Index != 1 || b.Right.(*Param).Index != 2 {
+		t.Fatal("params lost")
+	}
+}
+
+func TestLiteralValues(t *testing.T) {
+	st := parse(t, `SELECT NULL, TRUE, FALSE, 'txt', 3, 2.5`).(*SelectStmt)
+	vals := make([]types.Value, len(st.Items))
+	for i, it := range st.Items {
+		vals[i] = it.Expr.(*Literal).Value
+	}
+	if !vals[0].IsNull() || !vals[1].Bool() || vals[2].Bool() {
+		t.Fatal("null/bool literals")
+	}
+	if vals[3].Text() != "txt" || vals[4].Int() != 3 || vals[5].Float() != 2.5 {
+		t.Fatal("scalar literals")
+	}
+}

@@ -1,0 +1,165 @@
+package storage
+
+import (
+	"sync"
+	"testing"
+
+	"ifdb/internal/label"
+	"ifdb/internal/types"
+)
+
+func row(vals ...int64) []types.Value {
+	out := make([]types.Value, len(vals))
+	for i, v := range vals {
+		out[i] = types.NewInt(v)
+	}
+	return out
+}
+
+func TestMemHeapInsertGetScan(t *testing.T) {
+	h := NewMemHeap()
+	t1, err := h.Insert(TupleVersion{Row: row(1), Xmin: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := h.Insert(TupleVersion{Row: row(2), Xmin: 1, Label: label.New(9)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Len() != 2 {
+		t.Fatalf("Len = %d", h.Len())
+	}
+	tv, ok := h.Get(t1)
+	if !ok || tv.Row[0].Int() != 1 {
+		t.Fatal("Get t1")
+	}
+	tv, ok = h.Get(t2)
+	if !ok || !tv.Label.Equal(label.New(9)) {
+		t.Fatal("Get t2 label")
+	}
+	if _, ok := h.Get(TID(99)); ok {
+		t.Fatal("Get bogus TID")
+	}
+	var seen []TID
+	h.Scan(func(tid TID, tv *TupleVersion) bool {
+		seen = append(seen, tid)
+		return true
+	})
+	if len(seen) != 2 || seen[0] != t1 || seen[1] != t2 {
+		t.Fatalf("Scan order: %v", seen)
+	}
+	// Early stop.
+	n := 0
+	h.Scan(func(TID, *TupleVersion) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("Scan early stop visited %d", n)
+	}
+}
+
+func TestMemHeapXmaxProtocol(t *testing.T) {
+	h := NewMemHeap()
+	tid, _ := h.Insert(TupleVersion{Row: row(1), Xmin: 1})
+	if !h.SetXmax(tid, 5) {
+		t.Fatal("SetXmax failed")
+	}
+	// A second writer conflicts.
+	if h.SetXmax(tid, 6) {
+		t.Fatal("conflicting SetXmax succeeded")
+	}
+	// Same xid is idempotent.
+	if !h.SetXmax(tid, 5) {
+		t.Fatal("idempotent SetXmax failed")
+	}
+	// Clearing another xid's stamp is a no-op.
+	h.ClearXmax(tid, 6)
+	if tv, _ := h.Get(tid); tv.Xmax != 5 {
+		t.Fatal("ClearXmax removed foreign stamp")
+	}
+	h.ClearXmax(tid, 5)
+	if tv, _ := h.Get(tid); tv.Xmax != InvalidXID {
+		t.Fatal("ClearXmax failed")
+	}
+	// Now 6 can stamp.
+	if !h.SetXmax(tid, 6) {
+		t.Fatal("restamp failed")
+	}
+}
+
+func TestMemHeapVacuum(t *testing.T) {
+	h := NewMemHeap()
+	t1, _ := h.Insert(TupleVersion{Row: row(1), Xmin: 1})
+	t2, _ := h.Insert(TupleVersion{Row: row(2), Xmin: 2})
+	h.SetXmax(t1, 3)
+	n := h.Vacuum(func(tv *TupleVersion) bool { return tv.Xmax != InvalidXID })
+	if n != 1 || h.Len() != 1 {
+		t.Fatalf("Vacuum reclaimed %d, len %d", n, h.Len())
+	}
+	if _, ok := h.Get(t1); ok {
+		t.Fatal("vacuumed version still visible")
+	}
+	// TIDs remain stable after vacuum.
+	if tv, ok := h.Get(t2); !ok || tv.Row[0].Int() != 2 {
+		t.Fatal("surviving TID broken")
+	}
+	if h.ApproxBytes() <= 0 {
+		t.Fatal("ApproxBytes")
+	}
+}
+
+func TestMemHeapBytesAccounting(t *testing.T) {
+	h := NewMemHeap()
+	tid, _ := h.Insert(TupleVersion{Row: row(1, 2, 3), Xmin: 1, Label: label.New(1, 2)})
+	before := h.ApproxBytes()
+	if before <= 0 {
+		t.Fatal("no bytes accounted")
+	}
+	h.SetXmax(tid, 2)
+	h.Vacuum(func(tv *TupleVersion) bool { return true })
+	if h.ApproxBytes() != 0 {
+		t.Fatalf("bytes after vacuum: %d", h.ApproxBytes())
+	}
+}
+
+func TestVisibilityPredicate(t *testing.T) {
+	vis := Visibility{
+		See:     func(xmin, xmax XID) bool { return xmin == 1 && xmax == 0 },
+		LabelOK: func(l label.Label) bool { return l.IsEmpty() },
+	}
+	if !vis.Sees(&TupleVersion{Xmin: 1}) {
+		t.Fatal("visible version rejected")
+	}
+	if vis.Sees(&TupleVersion{Xmin: 2}) {
+		t.Fatal("invisible xmin accepted")
+	}
+	if vis.Sees(&TupleVersion{Xmin: 1, Label: label.New(5)}) {
+		t.Fatal("labeled version accepted")
+	}
+	// Nil predicates are exempt.
+	if !(Visibility{}).Sees(&TupleVersion{Xmin: 77, Label: label.New(1)}) {
+		t.Fatal("exempt visibility rejected")
+	}
+}
+
+func TestMemHeapConcurrentInsertScan(t *testing.T) {
+	h := NewMemHeap()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if _, err := h.Insert(TupleVersion{Row: row(int64(w), int64(i)), Xmin: XID(w + 1)}); err != nil {
+					t.Error(err)
+					return
+				}
+				if i%17 == 0 {
+					h.Scan(func(TID, *TupleVersion) bool { return true })
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Len() != 8*200 {
+		t.Fatalf("Len = %d", h.Len())
+	}
+}

@@ -1,0 +1,120 @@
+// Package storage implements the MVCC tuple heaps underneath the IFDB
+// engine.
+//
+// Like PostgreSQL (from which the paper's prototype was built), the
+// heap keeps every version of every tuple, stamped with the creating
+// transaction (xmin) and, once deleted or superseded, the deleting
+// transaction (xmax). Readers pick the versions visible to their
+// snapshot; IFDB additionally hides versions whose label is not covered
+// by the reading process's label — the paper implements both filters at
+// this same layer (§7.1), and so do we: the executor above never sees a
+// tuple the process is not entitled to.
+//
+// Two backends implement the Heap interface: MemHeap (this file's
+// sibling heap.go) and pager.PagedHeap (slotted 8 KiB pages behind an
+// LRU buffer pool) for the on-disk experiments of Fig. 6.
+package storage
+
+import (
+	"ifdb/internal/label"
+	"ifdb/internal/types"
+)
+
+// XID identifies a transaction. XID 0 means "no transaction"
+// (e.g. an unset xmax). XIDs are assigned monotonically by the txn
+// manager.
+type XID uint64
+
+// InvalidXID is the zero XID.
+const InvalidXID XID = 0
+
+// TID locates a tuple version within a heap. For MemHeap it is a dense
+// index; for the paged heap it packs (page, slot). TIDs are stable for
+// the life of the version.
+type TID uint64
+
+// InvalidTID is a sentinel for "no tuple".
+const InvalidTID TID = ^TID(0)
+
+// TupleVersion is one MVCC version of a tuple.
+type TupleVersion struct {
+	Row    []types.Value // column values (no system columns)
+	Label  label.Label   // immutable secrecy label (_label)
+	ILabel label.Label   // immutable integrity label (_ilabel, §3.1)
+	Xmin   XID           // creating transaction
+	Xmax   XID           // deleting/superseding transaction, 0 if live
+}
+
+// Visibility decides which tuple versions a scan may observe. The
+// transaction layer supplies the MVCC predicate; the engine supplies
+// the label predicate (Query by Label, paper §4.2). Keeping both here,
+// below the executor, mirrors the paper's design: bugs in query
+// parsing, planning, or execution cannot bypass the information flow
+// rules.
+type Visibility struct {
+	// See reports whether a version created by xmin and
+	// deleted/superseded by xmax (0 if live) is visible to the
+	// transaction's snapshot. Nil means "see latest committed only"
+	// is not available — scans require an explicit predicate.
+	See func(xmin, xmax XID) bool
+
+	// LabelOK reports whether the reading process's label covers the
+	// version's label. Nil means the scan is exempt from label
+	// confinement (used only by vacuum, constraint-internal checks
+	// vouched for by the Foreign Key Rule, and the dump tool).
+	LabelOK func(l label.Label) bool
+}
+
+// Sees applies both predicates to a version.
+func (v Visibility) Sees(tv *TupleVersion) bool {
+	if v.See != nil && !v.See(tv.Xmin, tv.Xmax) {
+		return false
+	}
+	if v.LabelOK != nil && !v.LabelOK(tv.Label) {
+		return false
+	}
+	return true
+}
+
+// Heap is an MVCC tuple store.
+//
+// Mutations take the acting XID so the heap can stamp versions; the
+// heap itself knows nothing about commit/abort — the transaction layer
+// resolves XIDs to outcomes through the Visibility predicate and
+// un-stamps xmax on rollback.
+type Heap interface {
+	// Insert appends a new version and returns its TID.
+	Insert(tv TupleVersion) (TID, error)
+
+	// Get fetches the version at tid. ok is false if tid was never
+	// allocated or the version has been vacuumed away.
+	Get(tid TID) (TupleVersion, bool)
+
+	// SetXmax stamps the version at tid as deleted by xid. It fails
+	// (returns false) if the version already has a different live
+	// xmax — the caller treats that as a write-write conflict.
+	SetXmax(tid TID, xid XID) bool
+
+	// ClearXmax removes an xmax stamp if it equals xid (rollback of a
+	// delete/update by an aborted transaction).
+	ClearXmax(tid TID, xid XID)
+
+	// Scan visits every version, in TID order, until fn returns false.
+	// The *TupleVersion passed to fn aliases heap memory and must not
+	// be retained or modified.
+	Scan(fn func(tid TID, tv *TupleVersion) bool)
+
+	// Vacuum removes versions that are invisible to every present and
+	// future snapshot: xmax committed with commit sequence at or below
+	// horizon, as judged by the dead predicate. Returns the number of
+	// versions reclaimed. The vacuum task is exempt from information
+	// flow rules (paper §7.1).
+	Vacuum(dead func(tv *TupleVersion) bool) int
+
+	// Len returns the number of live (non-vacuumed) versions stored.
+	Len() int
+
+	// ApproxBytes estimates resident bytes, used by the space-overhead
+	// experiment (E7).
+	ApproxBytes() int64
+}

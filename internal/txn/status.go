@@ -1,0 +1,89 @@
+// Package txn implements the transaction layer: snapshot-isolation
+// MVCC bookkeeping (the substrate the paper inherited from PostgreSQL)
+// plus the two rules IFDB adds for information flow safety (§5.1):
+//
+//   - the commit-label rule: a transaction may commit only if its label
+//     at the commit point is no more contaminated than any tuple in its
+//     write set, and
+//   - the transaction clearance rule (serializable mode only): a
+//     process may add a tag to its label mid-transaction only if it is
+//     authoritative for that tag.
+package txn
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"ifdb/internal/storage"
+)
+
+// Transaction outcome encoding in the status table:
+//
+//	0            — in progress (or never started)
+//	statusAborted — aborted
+//	>= firstSeq  — committed, value is the commit sequence number
+const (
+	statusAborted uint64 = 1
+	firstSeq      uint64 = 2
+)
+
+// statusTable maps XIDs to outcomes with lock-free reads.
+//
+// Visibility checks run once per tuple version per scan — the hottest
+// path in the system — so the table is a chunked, append-only atomic
+// array rather than a mutex-guarded map. Chunks are allocated under a
+// mutex; entries are written once (0 → outcome) with atomic stores and
+// read with atomic loads.
+type statusTable struct {
+	mu     sync.Mutex
+	chunks atomic.Pointer[[]*statusChunk]
+}
+
+const chunkBits = 16
+const chunkSize = 1 << chunkBits // 65536 XIDs per chunk
+
+type statusChunk struct {
+	vals [chunkSize]uint64
+}
+
+func newStatusTable() *statusTable {
+	t := &statusTable{}
+	empty := make([]*statusChunk, 0)
+	t.chunks.Store(&empty)
+	return t
+}
+
+// get returns the outcome word for xid (0 if unknown).
+func (t *statusTable) get(xid storage.XID) uint64 {
+	ci := uint64(xid) >> chunkBits
+	chunks := *t.chunks.Load()
+	if ci >= uint64(len(chunks)) {
+		return 0
+	}
+	return atomic.LoadUint64(&chunks[ci].vals[uint64(xid)&(chunkSize-1)])
+}
+
+// set records the outcome for xid, growing the chunk table if needed.
+func (t *statusTable) set(xid storage.XID, outcome uint64) {
+	ci := uint64(xid) >> chunkBits
+	for {
+		chunks := *t.chunks.Load()
+		if ci < uint64(len(chunks)) {
+			atomic.StoreUint64(&chunks[ci].vals[uint64(xid)&(chunkSize-1)], outcome)
+			return
+		}
+		t.mu.Lock()
+		cur := *t.chunks.Load()
+		if ci < uint64(len(cur)) {
+			t.mu.Unlock()
+			continue
+		}
+		grown := make([]*statusChunk, ci+1)
+		copy(grown, cur)
+		for i := len(cur); i < len(grown); i++ {
+			grown[i] = &statusChunk{}
+		}
+		t.chunks.Store(&grown)
+		t.mu.Unlock()
+	}
+}

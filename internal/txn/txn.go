@@ -1,0 +1,320 @@
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"ifdb/internal/label"
+	"ifdb/internal/storage"
+)
+
+// Errors returned by the transaction layer.
+var (
+	// ErrSerialization is the first-committer-wins write-write
+	// conflict ("could not serialize access due to concurrent update").
+	ErrSerialization = errors.New("txn: serialization failure: concurrent update")
+
+	// ErrCommitLabel is returned when the commit-label rule (§5.1)
+	// rejects a commit: the process label at the commit point carries a
+	// tag not present on some tuple in the write set, so committing
+	// would leak through the transaction's outcome.
+	ErrCommitLabel = errors.New("txn: commit label exceeds label of written tuple")
+
+	// ErrTxnDone is returned when operating on a finished transaction.
+	ErrTxnDone = errors.New("txn: transaction already committed or aborted")
+)
+
+// Mode selects the isolation level. Snapshot isolation is the default
+// (the paper's prototype ran on PostgreSQL's SI); Serializable
+// additionally enforces the transaction clearance rule (§5.1).
+type Mode uint8
+
+// Isolation modes.
+const (
+	SnapshotIsolation Mode = iota
+	Serializable
+)
+
+// Manager hands out transactions and resolves XIDs to outcomes.
+type Manager struct {
+	nextXID atomic.Uint64
+	status  *statusTable
+
+	commitMu sync.Mutex
+	seq      atomic.Uint64 // last assigned commit sequence
+
+	activeMu sync.Mutex
+	active   map[storage.XID]uint64 // xid -> snapshot seq (for vacuum horizon)
+}
+
+// NewManager returns a fresh transaction manager.
+func NewManager() *Manager {
+	m := &Manager{status: newStatusTable(), active: make(map[storage.XID]uint64)}
+	m.seq.Store(firstSeq - 1)
+	return m
+}
+
+// A writeRec remembers one heap mutation for rollback and for the
+// commit-label rules (secrecy and integrity).
+type writeRec struct {
+	heap   storage.Heap
+	tid    storage.TID
+	label  label.Label
+	ilabel label.Label
+	kind   writeKind
+}
+
+type writeKind uint8
+
+const (
+	wInsert writeKind = iota
+	wDelete           // xmax stamp (also the "old version" half of update)
+)
+
+// Txn is one transaction. Not safe for concurrent use by multiple
+// goroutines (like a database session).
+type Txn struct {
+	m       *Manager
+	xid     storage.XID
+	snapSeq uint64
+	mode    Mode
+	done    bool
+	writes  []writeRec
+
+	// deferred holds engine callbacks queued to run at commit time
+	// (deferred triggers and FK checks). Each runs with the label its
+	// originating statement had, not the commit label (§5.2.3); the
+	// engine captures that label in the closure.
+	deferred []func() error
+}
+
+// Begin starts a transaction with a fresh snapshot.
+func (m *Manager) Begin(mode Mode) *Txn {
+	m.commitMu.Lock()
+	snap := m.seq.Load()
+	xid := storage.XID(m.nextXID.Add(1))
+	m.commitMu.Unlock()
+	m.activeMu.Lock()
+	m.active[xid] = snap
+	m.activeMu.Unlock()
+	return &Txn{m: m, xid: xid, snapSeq: snap, mode: mode}
+}
+
+// XID returns the transaction id.
+func (t *Txn) XID() storage.XID { return t.xid }
+
+// Mode returns the isolation mode.
+func (t *Txn) Mode() Mode { return t.mode }
+
+// Done reports whether the transaction has finished.
+func (t *Txn) Done() bool { return t.done }
+
+// Visible reports whether a tuple version stamped (xmin, xmax) is
+// visible to this transaction's snapshot. This is the MVCC half of the
+// storage.Visibility predicate; the engine composes it with the label
+// filter.
+func (t *Txn) Visible(xmin, xmax storage.XID) bool {
+	if !t.createdVisible(xmin) {
+		return false
+	}
+	if xmax == storage.InvalidXID {
+		return true
+	}
+	// Deleted by self?
+	if xmax == t.xid {
+		return false
+	}
+	// Deleted by a transaction committed at or before our snapshot?
+	st := t.m.status.get(xmax)
+	if st >= firstSeq && st <= t.snapSeq {
+		return false
+	}
+	return true
+}
+
+func (t *Txn) createdVisible(xmin storage.XID) bool {
+	if xmin == t.xid {
+		return true
+	}
+	st := t.m.status.get(xmin)
+	return st >= firstSeq && st <= t.snapSeq
+}
+
+// CommittedAfterSnapshot reports whether xid committed after this
+// transaction's snapshot — the signature of a write-write race that
+// first-committer-wins resolves by aborting the later transaction.
+func (t *Txn) CommittedAfterSnapshot(xid storage.XID) bool {
+	st := t.m.status.get(xid)
+	return st >= firstSeq && st > t.snapSeq
+}
+
+// RecordInsert registers a version this transaction inserted.
+func (t *Txn) RecordInsert(h storage.Heap, tid storage.TID, l, il label.Label) {
+	t.writes = append(t.writes, writeRec{heap: h, tid: tid, label: l, ilabel: il, kind: wInsert})
+}
+
+// Delete stamps the version at tid as deleted by this transaction,
+// returning ErrSerialization on a write-write conflict.
+func (t *Txn) Delete(h storage.Heap, tid storage.TID, l, il label.Label) error {
+	if t.done {
+		return ErrTxnDone
+	}
+	if !h.SetXmax(tid, t.xid) {
+		return ErrSerialization
+	}
+	// First-committer-wins also requires that the version we are
+	// deleting has not been superseded by a commit after our snapshot;
+	// the engine only hands us TIDs it could see under this snapshot,
+	// and SetXmax rejects live stamps from other transactions, so the
+	// remaining hazard is a *committed* deleter whose stamp we would
+	// have observed as a conflicting live xmax anyway. (Aborted stamps
+	// are cleared during rollback, so they never linger.)
+	t.writes = append(t.writes, writeRec{heap: h, tid: tid, label: l, ilabel: il, kind: wDelete})
+	return nil
+}
+
+// Defer queues fn to run at commit time, before the commit becomes
+// visible. Used for deferred triggers and constraint checks.
+func (t *Txn) Defer(fn func() error) { t.deferred = append(t.deferred, fn) }
+
+// WriteSetLabels returns the distinct labels of tuples written by this
+// transaction (inserts and deletes both count: aborting a delete also
+// signals through the deleted tuple).
+func (t *Txn) WriteSetLabels() []label.Label {
+	var out []label.Label
+	for _, w := range t.writes {
+		dup := false
+		for _, l := range out {
+			if l.Equal(w.label) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, w.label)
+		}
+	}
+	return out
+}
+
+// CheckCommitLabel enforces the commit-label rules. For secrecy, the
+// commit label must flow to every written tuple's label (§5.1). For
+// integrity — the dual — every written tuple's integrity label must
+// flow to the commit integrity label: the transaction's outcome may
+// not vouch for data at integrity the process no longer holds.
+func (t *Txn) CheckCommitLabel(hier *label.Hierarchy, commitLabel, commitILabel label.Label) error {
+	flows := func(a, b label.Label) bool {
+		if hier != nil {
+			return hier.Flows(a, b)
+		}
+		return a.SubsetOf(b)
+	}
+	for _, w := range t.writes {
+		if !flows(commitLabel, w.label) {
+			return fmt.Errorf("%w: commit label %v vs tuple label %v", ErrCommitLabel, commitLabel, w.label)
+		}
+		if !flows(w.ilabel, commitILabel) {
+			return fmt.Errorf("%w: tuple integrity %v vs commit integrity %v", ErrCommitLabel, w.ilabel, commitILabel)
+		}
+	}
+	return nil
+}
+
+// Commit runs deferred work, enforces the commit-label rules, and
+// makes the transaction's effects visible. On any failure the
+// transaction is rolled back and the error returned.
+func (t *Txn) Commit(hier *label.Hierarchy, commitLabel, commitILabel label.Label) error {
+	if t.done {
+		return ErrTxnDone
+	}
+	for _, fn := range t.deferred {
+		if err := fn(); err != nil {
+			t.Abort()
+			return err
+		}
+	}
+	if err := t.CheckCommitLabel(hier, commitLabel, commitILabel); err != nil {
+		t.Abort()
+		return err
+	}
+	t.m.commitMu.Lock()
+	seq := t.m.seq.Add(1)
+	t.m.status.set(t.xid, seq)
+	t.m.commitMu.Unlock()
+	t.finish()
+	return nil
+}
+
+// Abort rolls back the transaction: insertions become permanently
+// invisible (their xmin is marked aborted) and delete stamps are
+// cleared.
+func (t *Txn) Abort() {
+	if t.done {
+		return
+	}
+	t.m.status.set(t.xid, statusAborted)
+	for _, w := range t.writes {
+		if w.kind == wDelete {
+			w.heap.ClearXmax(w.tid, t.xid)
+		}
+	}
+	t.finish()
+}
+
+func (t *Txn) finish() {
+	t.done = true
+	t.deferred = nil
+	t.m.activeMu.Lock()
+	delete(t.m.active, t.xid)
+	t.m.activeMu.Unlock()
+}
+
+// Committed reports whether xid committed, and its sequence.
+func (m *Manager) Committed(xid storage.XID) (uint64, bool) {
+	st := m.status.get(xid)
+	if st >= firstSeq {
+		return st, true
+	}
+	return 0, false
+}
+
+// Aborted reports whether xid aborted.
+func (m *Manager) Aborted(xid storage.XID) bool {
+	return m.status.get(xid) == statusAborted
+}
+
+// OldestSnapshot returns the lowest snapshot sequence among active
+// transactions, or the current sequence if none are active. Vacuum may
+// reclaim versions deleted at or before this horizon.
+func (m *Manager) OldestSnapshot() uint64 {
+	m.activeMu.Lock()
+	defer m.activeMu.Unlock()
+	oldest := m.seq.Load()
+	for _, snap := range m.active {
+		if snap < oldest {
+			oldest = snap
+		}
+	}
+	return oldest
+}
+
+// DeadVersion returns a predicate for Heap.Vacuum: a version is dead if
+// (a) its creator aborted, or (b) it was deleted by a transaction that
+// committed at or before the oldest active snapshot. The vacuum task is
+// exempt from label confinement (paper §7.1): reclaiming storage must
+// see everything.
+func (m *Manager) DeadVersion() func(tv *storage.TupleVersion) bool {
+	horizon := m.OldestSnapshot()
+	return func(tv *storage.TupleVersion) bool {
+		if m.Aborted(tv.Xmin) {
+			return true
+		}
+		if tv.Xmax == storage.InvalidXID {
+			return false
+		}
+		seq, ok := m.Committed(tv.Xmax)
+		return ok && seq <= horizon
+	}
+}

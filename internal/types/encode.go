@@ -1,0 +1,130 @@
+package types
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"ifdb/internal/label"
+)
+
+// Binary encoding of values for the paged heap and the wire protocol.
+//
+// Layout per value: 1 kind byte, then a kind-specific payload:
+//   NULL            — nothing
+//   BIGINT/BOOL/TS  — 8-byte little-endian
+//   DOUBLE          — 8-byte IEEE bits
+//   TEXT            — uvarint length + bytes
+//   INT[] (label)   — label encoding (1 count byte + 4 bytes/tag)
+
+// AppendEncode appends the binary encoding of v to buf.
+func AppendEncode(buf []byte, v Value) ([]byte, error) {
+	buf = append(buf, byte(v.kind))
+	switch v.kind {
+	case KindNull:
+		return buf, nil
+	case KindInt, KindBool, KindTime:
+		return binary.LittleEndian.AppendUint64(buf, uint64(v.n)), nil
+	case KindFloat:
+		return binary.LittleEndian.AppendUint64(buf, uint64(v.n)), nil
+	case KindText:
+		buf = binary.AppendUvarint(buf, uint64(len(v.s)))
+		return append(buf, v.s...), nil
+	case KindLabel:
+		return label.AppendEncode(buf, v.l)
+	default:
+		return buf, fmt.Errorf("types: cannot encode kind %d", v.kind)
+	}
+}
+
+// DecodeValue reads one value from the front of buf, returning it and
+// the number of bytes consumed.
+func DecodeValue(buf []byte) (Value, int, error) {
+	if len(buf) < 1 {
+		return Null, 0, fmt.Errorf("types: short buffer")
+	}
+	k := Kind(buf[0])
+	rest := buf[1:]
+	switch k {
+	case KindNull:
+		return Null, 1, nil
+	case KindInt, KindBool, KindTime, KindFloat:
+		if len(rest) < 8 {
+			return Null, 0, fmt.Errorf("types: truncated %s", k)
+		}
+		n := int64(binary.LittleEndian.Uint64(rest))
+		return Value{kind: k, n: n}, 9, nil
+	case KindText:
+		ln, sz := binary.Uvarint(rest)
+		if sz <= 0 {
+			return Null, 0, fmt.Errorf("types: bad text length")
+		}
+		if uint64(len(rest)-sz) < ln {
+			return Null, 0, fmt.Errorf("types: truncated text")
+		}
+		s := string(rest[sz : sz+int(ln)])
+		return Value{kind: KindText, s: s}, 1 + sz + int(ln), nil
+	case KindLabel:
+		l, n, err := label.Decode(rest)
+		if err != nil {
+			return Null, 0, err
+		}
+		return NewLabel(l), 1 + n, nil
+	default:
+		return Null, 0, fmt.Errorf("types: unknown kind byte %d", buf[0])
+	}
+}
+
+// EncodedSize returns the size AppendEncode would produce for v.
+func EncodedSize(v Value) int {
+	switch v.kind {
+	case KindNull:
+		return 1
+	case KindInt, KindBool, KindTime, KindFloat:
+		return 9
+	case KindText:
+		var tmp [binary.MaxVarintLen64]byte
+		n := binary.PutUvarint(tmp[:], uint64(len(v.s)))
+		return 1 + n + len(v.s)
+	case KindLabel:
+		return 1 + label.EncodedSize(len(v.l))
+	default:
+		return 1
+	}
+}
+
+// EncodeRow encodes a row (values only; labels and MVCC metadata are
+// the heap's concern).
+func EncodeRow(buf []byte, row []Value) ([]byte, error) {
+	buf = binary.AppendUvarint(buf, uint64(len(row)))
+	var err error
+	for _, v := range row {
+		if buf, err = AppendEncode(buf, v); err != nil {
+			return buf, err
+		}
+	}
+	return buf, nil
+}
+
+// DecodeRow decodes a row encoded by EncodeRow, returning the values
+// and bytes consumed.
+func DecodeRow(buf []byte) ([]Value, int, error) {
+	n, sz := binary.Uvarint(buf)
+	if sz <= 0 {
+		return nil, 0, fmt.Errorf("types: bad row header")
+	}
+	off := sz
+	row := make([]Value, 0, n)
+	for i := uint64(0); i < n; i++ {
+		v, used, err := DecodeValue(buf[off:])
+		if err != nil {
+			return nil, 0, fmt.Errorf("types: row col %d: %w", i, err)
+		}
+		row = append(row, v)
+		off += used
+	}
+	return row, off, nil
+}
+
+// Float64FromBits is a helper for tests exercising float edge cases.
+func Float64FromBits(b uint64) float64 { return math.Float64frombits(b) }

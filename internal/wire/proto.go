@@ -1,0 +1,423 @@
+// Package wire implements IFDB's client/server protocol: a
+// length-prefixed binary framing over TCP, with the process label and
+// acting principal piggybacked lazily on queries and results — the
+// paper's design for keeping the platform's and the DBMS's view of the
+// process label synchronized without extra round trips (§7.1–7.2).
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"ifdb/internal/label"
+	"ifdb/internal/types"
+)
+
+// Message type bytes.
+const (
+	MsgHello   byte = 'H' // client → server: token, principal
+	MsgHelloOK byte = 'h' // server → client
+	MsgQuery   byte = 'Q' // client → server: sql, params, label/principal sync
+	MsgResult  byte = 'R' // server → client: result set or error, label sync
+	MsgControl byte = 'C' // client → server: authority-state operation
+	MsgCtrlRes byte = 'c' // server → client: control result
+	MsgClose   byte = 'X' // client → server: goodbye
+)
+
+// MaxFrame bounds a single protocol frame (64 MiB).
+const MaxFrame = 64 << 20
+
+// WriteFrame sends one frame: uint32 length, type byte, payload.
+func WriteFrame(w io.Writer, typ byte, payload []byte) error {
+	var hdr [5]byte
+	if len(payload)+1 > MaxFrame {
+		return fmt.Errorf("wire: frame of %d bytes exceeds limit", len(payload))
+	}
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)+1))
+	hdr[4] = typ
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one frame.
+func ReadFrame(r *bufio.Reader) (typ byte, payload []byte, err error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n == 0 || n > MaxFrame {
+		return 0, nil, fmt.Errorf("wire: bad frame length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return 0, nil, err
+	}
+	return buf[0], buf[1:], nil
+}
+
+// --- payload encoding helpers -------------------------------------------
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func readString(buf []byte) (string, []byte, error) {
+	n, sz := binary.Uvarint(buf)
+	if sz <= 0 || uint64(len(buf)-sz) < n {
+		return "", nil, fmt.Errorf("wire: bad string")
+	}
+	return string(buf[sz : sz+int(n)]), buf[sz+int(n):], nil
+}
+
+func appendU64(buf []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(buf, v) }
+
+func readU64(buf []byte) (uint64, []byte, error) {
+	if len(buf) < 8 {
+		return 0, nil, fmt.Errorf("wire: short u64")
+	}
+	return binary.LittleEndian.Uint64(buf), buf[8:], nil
+}
+
+// Labels on the wire use 64-bit tag ids (tags fit in 32 bits today,
+// but the wire format should not bake that in).
+func appendLabel(buf []byte, l label.Label) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(l)))
+	for _, t := range l {
+		buf = appendU64(buf, uint64(t))
+	}
+	return buf
+}
+
+func readLabel(buf []byte) (label.Label, []byte, error) {
+	n, sz := binary.Uvarint(buf)
+	if sz <= 0 {
+		return nil, nil, fmt.Errorf("wire: bad label")
+	}
+	buf = buf[sz:]
+	tags := make([]label.Tag, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var v uint64
+		var err error
+		v, buf, err = readU64(buf)
+		if err != nil {
+			return nil, nil, err
+		}
+		tags = append(tags, label.Tag(v))
+	}
+	return label.New(tags...), buf, nil
+}
+
+// --- Hello ---------------------------------------------------------------
+
+// Hello is the connection handshake. Token authenticates the client
+// platform as part of the trusted base (§2); Principal is the acting
+// principal established by the platform's authentication code.
+type Hello struct {
+	Token     string
+	Principal uint64
+}
+
+// Encode marshals h.
+func (h *Hello) Encode() []byte {
+	buf := appendString(nil, h.Token)
+	return appendU64(buf, h.Principal)
+}
+
+// DecodeHello unmarshals a Hello payload.
+func DecodeHello(buf []byte) (*Hello, error) {
+	var h Hello
+	var err error
+	h.Token, buf, err = readString(buf)
+	if err != nil {
+		return nil, err
+	}
+	h.Principal, _, err = readU64(buf)
+	if err != nil {
+		return nil, err
+	}
+	return &h, nil
+}
+
+// --- Query ---------------------------------------------------------------
+
+// Query carries one SQL statement batch with parameters, plus the
+// client's current view of the process label and principal (sent only
+// when changed since the last message — lazy coalescing, §7.1).
+type Query struct {
+	SQL       string
+	Params    []types.Value
+	SyncLabel bool // Label/ILabel/Principal fields are meaningful
+	Label     label.Label
+	ILabel    label.Label // integrity label
+	Principal uint64
+}
+
+// Encode marshals q.
+func (q *Query) Encode() ([]byte, error) {
+	buf := appendString(nil, q.SQL)
+	var err error
+	buf, err = types.EncodeRow(buf, q.Params)
+	if err != nil {
+		return nil, err
+	}
+	if q.SyncLabel {
+		buf = append(buf, 1)
+		buf = appendLabel(buf, q.Label)
+		buf = appendLabel(buf, q.ILabel)
+		buf = appendU64(buf, q.Principal)
+	} else {
+		buf = append(buf, 0)
+	}
+	return buf, nil
+}
+
+// DecodeQuery unmarshals a Query payload.
+func DecodeQuery(buf []byte) (*Query, error) {
+	var q Query
+	var err error
+	q.SQL, buf, err = readString(buf)
+	if err != nil {
+		return nil, err
+	}
+	params, n, err := types.DecodeRow(buf)
+	if err != nil {
+		return nil, err
+	}
+	q.Params = params
+	buf = buf[n:]
+	if len(buf) < 1 {
+		return nil, fmt.Errorf("wire: truncated query")
+	}
+	if buf[0] == 1 {
+		q.SyncLabel = true
+		buf = buf[1:]
+		q.Label, buf, err = readLabel(buf)
+		if err != nil {
+			return nil, err
+		}
+		q.ILabel, buf, err = readLabel(buf)
+		if err != nil {
+			return nil, err
+		}
+		q.Principal, _, err = readU64(buf)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &q, nil
+}
+
+// --- Result --------------------------------------------------------------
+
+// Result carries a statement's outcome plus the server's current view
+// of the process label (the statement may have changed it, e.g. via
+// addsecrecy()).
+type Result struct {
+	Err       string // empty on success
+	Cols      []string
+	Rows      [][]types.Value
+	RowLabels []label.Label // nil when IFC off or not requested
+	Affected  int64
+	Label     label.Label // server's process label after the statement
+	ILabel    label.Label // server's integrity label after the statement
+}
+
+// Encode marshals r.
+func (r *Result) Encode() ([]byte, error) {
+	buf := appendString(nil, r.Err)
+	buf = binary.AppendUvarint(buf, uint64(len(r.Cols)))
+	for _, c := range r.Cols {
+		buf = appendString(buf, c)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(r.Rows)))
+	var err error
+	for _, row := range r.Rows {
+		buf, err = types.EncodeRow(buf, row)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if r.RowLabels != nil {
+		buf = append(buf, 1)
+		for _, l := range r.RowLabels {
+			buf = appendLabel(buf, l)
+		}
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = appendU64(buf, uint64(r.Affected))
+	buf = appendLabel(buf, r.Label)
+	buf = appendLabel(buf, r.ILabel)
+	return buf, nil
+}
+
+// DecodeResult unmarshals a Result payload.
+func DecodeResult(buf []byte) (*Result, error) {
+	var r Result
+	var err error
+	r.Err, buf, err = readString(buf)
+	if err != nil {
+		return nil, err
+	}
+	ncols, sz := binary.Uvarint(buf)
+	if sz <= 0 {
+		return nil, fmt.Errorf("wire: bad result")
+	}
+	buf = buf[sz:]
+	r.Cols = make([]string, ncols)
+	for i := range r.Cols {
+		r.Cols[i], buf, err = readString(buf)
+		if err != nil {
+			return nil, err
+		}
+	}
+	nrows, sz := binary.Uvarint(buf)
+	if sz <= 0 {
+		return nil, fmt.Errorf("wire: bad result rows")
+	}
+	buf = buf[sz:]
+	r.Rows = make([][]types.Value, nrows)
+	for i := range r.Rows {
+		row, n, err := types.DecodeRow(buf)
+		if err != nil {
+			return nil, err
+		}
+		r.Rows[i] = row
+		buf = buf[n:]
+	}
+	if len(buf) < 1 {
+		return nil, fmt.Errorf("wire: truncated result")
+	}
+	hasLabels := buf[0] == 1
+	buf = buf[1:]
+	if hasLabels {
+		r.RowLabels = make([]label.Label, nrows)
+		for i := range r.RowLabels {
+			r.RowLabels[i], buf, err = readLabel(buf)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	var aff uint64
+	aff, buf, err = readU64(buf)
+	if err != nil {
+		return nil, err
+	}
+	r.Affected = int64(aff)
+	r.Label, buf, err = readLabel(buf)
+	if err != nil {
+		return nil, err
+	}
+	r.ILabel, _, err = readLabel(buf)
+	if err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// --- Control -------------------------------------------------------------
+
+// Control performs authority-state operations over the wire. Args and
+// reply are string/u64 pairs kept deliberately simple; the platform's
+// trusted setup code is the only caller.
+type Control struct {
+	Op   string // create_principal, create_tag, delegate, revoke, has_authority, lookup_tag, declassify_check
+	Strs []string
+	Nums []uint64
+}
+
+// Encode marshals c.
+func (c *Control) Encode() []byte {
+	buf := appendString(nil, c.Op)
+	buf = binary.AppendUvarint(buf, uint64(len(c.Strs)))
+	for _, s := range c.Strs {
+		buf = appendString(buf, s)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(c.Nums)))
+	for _, n := range c.Nums {
+		buf = appendU64(buf, n)
+	}
+	return buf
+}
+
+// DecodeControl unmarshals a Control payload.
+func DecodeControl(buf []byte) (*Control, error) {
+	var c Control
+	var err error
+	c.Op, buf, err = readString(buf)
+	if err != nil {
+		return nil, err
+	}
+	ns, sz := binary.Uvarint(buf)
+	if sz <= 0 {
+		return nil, fmt.Errorf("wire: bad control")
+	}
+	buf = buf[sz:]
+	c.Strs = make([]string, ns)
+	for i := range c.Strs {
+		c.Strs[i], buf, err = readString(buf)
+		if err != nil {
+			return nil, err
+		}
+	}
+	nn, sz := binary.Uvarint(buf)
+	if sz <= 0 {
+		return nil, fmt.Errorf("wire: bad control nums")
+	}
+	buf = buf[sz:]
+	c.Nums = make([]uint64, nn)
+	for i := range c.Nums {
+		c.Nums[i], buf, err = readU64(buf)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &c, nil
+}
+
+// CtrlRes is the reply to a Control message.
+type CtrlRes struct {
+	Err  string
+	Nums []uint64
+}
+
+// Encode marshals c.
+func (c *CtrlRes) Encode() []byte {
+	buf := appendString(nil, c.Err)
+	buf = binary.AppendUvarint(buf, uint64(len(c.Nums)))
+	for _, n := range c.Nums {
+		buf = appendU64(buf, n)
+	}
+	return buf
+}
+
+// DecodeCtrlRes unmarshals a CtrlRes payload.
+func DecodeCtrlRes(buf []byte) (*CtrlRes, error) {
+	var c CtrlRes
+	var err error
+	c.Err, buf, err = readString(buf)
+	if err != nil {
+		return nil, err
+	}
+	nn, sz := binary.Uvarint(buf)
+	if sz <= 0 {
+		return nil, fmt.Errorf("wire: bad ctrlres")
+	}
+	buf = buf[sz:]
+	c.Nums = make([]uint64, nn)
+	for i := range c.Nums {
+		c.Nums[i], buf, err = readU64(buf)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &c, nil
+}

@@ -1,0 +1,257 @@
+package wire
+
+import (
+	"bufio"
+	"crypto/subtle"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+
+	"ifdb/internal/authority"
+	"ifdb/internal/engine"
+	"ifdb/internal/label"
+)
+
+// Server accepts client-platform connections and maps each to an
+// engine session. Per the paper's architecture (§2), the server trusts
+// connecting platforms to have authenticated their users: the Hello
+// token attests that the peer is a trusted runtime, and the principal
+// in each message is taken at face value afterwards.
+type Server struct {
+	eng   *engine.Engine
+	token string
+
+	mu       sync.Mutex
+	ln       net.Listener
+	closed   bool
+	conns    map[net.Conn]bool
+	ErrorLog *log.Logger
+}
+
+// NewServer creates a server over eng. token guards Hello; empty means
+// accept anyone (tests, local examples).
+func NewServer(eng *engine.Engine, token string) *Server {
+	return &Server{eng: eng, token: token, conns: make(map[net.Conn]bool)}
+}
+
+// Serve accepts connections on ln until Close.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		s.conns[conn] = true
+		s.mu.Unlock()
+		go s.handle(conn)
+	}
+}
+
+// ListenAndServe listens on addr and serves.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Close stops accepting and tears down live connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.ln
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		return ln.Close()
+	}
+	return nil
+}
+
+func (s *Server) logf(format string, args ...interface{}) {
+	if s.ErrorLog != nil {
+		s.ErrorLog.Printf(format, args...)
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+
+	typ, payload, err := ReadFrame(r)
+	if err != nil {
+		return
+	}
+	if typ != MsgHello {
+		s.logf("wire: first frame %c, want Hello", typ)
+		return
+	}
+	hello, err := DecodeHello(payload)
+	if err != nil {
+		s.logf("wire: bad hello: %v", err)
+		return
+	}
+	if s.token != "" && subtle.ConstantTimeCompare([]byte(hello.Token), []byte(s.token)) != 1 {
+		// Reject untrusted platforms (§2: only trusted runtimes may
+		// connect).
+		_ = WriteFrame(w, MsgCtrlRes, (&CtrlRes{Err: "wire: bad platform token"}).Encode())
+		w.Flush()
+		return
+	}
+	sess := s.eng.NewSession(authority.Principal(hello.Principal))
+	if err := WriteFrame(w, MsgHelloOK, nil); err != nil {
+		return
+	}
+	if err := w.Flush(); err != nil {
+		return
+	}
+
+	for {
+		typ, payload, err := ReadFrame(r)
+		if err != nil {
+			return
+		}
+		switch typ {
+		case MsgClose:
+			return
+		case MsgQuery:
+			q, err := DecodeQuery(payload)
+			if err != nil {
+				s.logf("wire: bad query: %v", err)
+				return
+			}
+			if q.SyncLabel {
+				// Lazily-coalesced label/principal sync from the
+				// trusted platform (§7.1).
+				sess.SetLabelUnsafe(q.Label)
+				sess.SetIntegrityUnsafe(q.ILabel)
+				sess.SetPrincipalUnsafe(authority.Principal(q.Principal))
+			}
+			res := s.runQuery(sess, q)
+			enc, err := res.Encode()
+			if err != nil {
+				s.logf("wire: encode result: %v", err)
+				return
+			}
+			if err := WriteFrame(w, MsgResult, enc); err != nil {
+				return
+			}
+			if err := w.Flush(); err != nil {
+				return
+			}
+		case MsgControl:
+			c, err := DecodeControl(payload)
+			if err != nil {
+				s.logf("wire: bad control: %v", err)
+				return
+			}
+			res := s.runControl(sess, c)
+			if err := WriteFrame(w, MsgCtrlRes, res.Encode()); err != nil {
+				return
+			}
+			if err := w.Flush(); err != nil {
+				return
+			}
+		default:
+			s.logf("wire: unexpected frame %c", typ)
+			return
+		}
+	}
+}
+
+func (s *Server) runQuery(sess *engine.Session, q *Query) *Result {
+	out := &Result{}
+	res, err := sess.Exec(q.SQL, q.Params...)
+	if err != nil {
+		out.Err = err.Error()
+	} else {
+		out.Cols = res.Cols
+		out.Rows = res.Rows
+		out.RowLabels = res.RowLabels
+		out.Affected = int64(res.Affected)
+	}
+	out.Label = sess.Label()
+	out.ILabel = sess.Integrity()
+	return out
+}
+
+func (s *Server) runControl(sess *engine.Session, c *Control) *CtrlRes {
+	fail := func(err error) *CtrlRes { return &CtrlRes{Err: err.Error()} }
+	switch c.Op {
+	case "create_principal":
+		if len(c.Strs) != 1 {
+			return fail(errors.New("create_principal(name)"))
+		}
+		p, err := sess.CreatePrincipal(c.Strs[0])
+		if err != nil {
+			return fail(err)
+		}
+		return &CtrlRes{Nums: []uint64{uint64(p)}}
+	case "create_tag":
+		if len(c.Strs) < 1 {
+			return fail(errors.New("create_tag(name, compounds...)"))
+		}
+		t, err := sess.CreateTag(c.Strs[0], c.Strs[1:]...)
+		if err != nil {
+			return fail(err)
+		}
+		return &CtrlRes{Nums: []uint64{uint64(t)}}
+	case "lookup_tag":
+		if len(c.Strs) != 1 {
+			return fail(errors.New("lookup_tag(name)"))
+		}
+		t, ok := s.eng.LookupTag(c.Strs[0])
+		if !ok {
+			return fail(fmt.Errorf("no tag %q", c.Strs[0]))
+		}
+		return &CtrlRes{Nums: []uint64{uint64(t)}}
+	case "delegate":
+		if len(c.Nums) != 2 {
+			return fail(errors.New("delegate(grantee, tag)"))
+		}
+		if err := sess.Delegate(authority.Principal(c.Nums[0]), label.Tag(c.Nums[1])); err != nil {
+			return fail(err)
+		}
+		return &CtrlRes{}
+	case "revoke":
+		if len(c.Nums) != 2 {
+			return fail(errors.New("revoke(grantee, tag)"))
+		}
+		if err := sess.Revoke(authority.Principal(c.Nums[0]), label.Tag(c.Nums[1])); err != nil {
+			return fail(err)
+		}
+		return &CtrlRes{}
+	case "has_authority":
+		if len(c.Nums) != 1 {
+			return fail(errors.New("has_authority(tag)"))
+		}
+		v := uint64(0)
+		if sess.HasAuthority(label.Tag(c.Nums[0])) {
+			v = 1
+		}
+		return &CtrlRes{Nums: []uint64{v}}
+	default:
+		return fail(fmt.Errorf("wire: unknown control op %q", c.Op))
+	}
+}

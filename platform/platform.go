@@ -1,0 +1,212 @@
+// Package platform is the Go analog of the paper's PHP-IF / Python-IF
+// application platforms (§2, §7.2). It gives application code a
+// DIFC-aware runtime:
+//
+//   - a per-process (per-request) label that the platform shares with
+//     the database session, so contamination acquired in either place
+//     confines the whole process;
+//   - output interposition — a contaminated process cannot release
+//     data to the outside world (web client), which is what turns
+//     missing authentication checks into harmless blank pages rather
+//     than data breaches (§6.1);
+//   - authority closures and reduced-authority calls for the Principle
+//     of Least Privilege (§3.3); and
+//   - a cache of authority-state lookups, the optimization the paper's
+//     PHP-IF used shared memory for (§7.2).
+//
+// The platform and the DBMS are both part of the trusted base; all
+// application code above them is not.
+package platform
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"ifdb"
+)
+
+// ErrContaminatedOutput is returned when a process attempts to release
+// output while its label is non-empty: the outside world has an empty
+// label, so the flow is forbidden (§3.2).
+var ErrContaminatedOutput = errors.New("platform: process is too contaminated to release output")
+
+// AuthorityCache memoizes HasAuthority lookups. The paper found this
+// cache important because the platform checks release authority on
+// every response (§7.2). Entries are invalidated wholesale on
+// delegation changes made through the platform.
+type AuthorityCache struct {
+	mu    sync.RWMutex
+	db    *ifdb.DB
+	cache map[authKey]bool
+
+	// Hits and Misses are cache statistics for the benchmarks.
+	Hits, Misses int64
+}
+
+type authKey struct {
+	p ifdb.Principal
+	t ifdb.Tag
+}
+
+// NewAuthorityCache creates a cache over db's authority state.
+func NewAuthorityCache(db *ifdb.DB) *AuthorityCache {
+	return &AuthorityCache{db: db, cache: make(map[authKey]bool)}
+}
+
+// Has reports whether p can declassify t, consulting the cache first.
+func (c *AuthorityCache) Has(p ifdb.Principal, t ifdb.Tag) bool {
+	k := authKey{p, t}
+	c.mu.RLock()
+	v, ok := c.cache[k]
+	c.mu.RUnlock()
+	if ok {
+		c.mu.Lock()
+		c.Hits++
+		c.mu.Unlock()
+		return v
+	}
+	v = c.db.HasAuthority(p, t)
+	c.mu.Lock()
+	c.Misses++
+	c.cache[k] = v
+	c.mu.Unlock()
+	return v
+}
+
+// Invalidate clears the cache (called after delegations/revocations).
+func (c *AuthorityCache) Invalidate() {
+	c.mu.Lock()
+	c.cache = make(map[authKey]bool)
+	c.mu.Unlock()
+}
+
+// Runtime is one application platform instance bound to a database.
+type Runtime struct {
+	db    *ifdb.DB
+	cache *AuthorityCache
+}
+
+// New creates a platform runtime over db.
+func New(db *ifdb.DB) *Runtime {
+	return &Runtime{db: db, cache: NewAuthorityCache(db)}
+}
+
+// DB returns the underlying database.
+func (rt *Runtime) DB() *ifdb.DB { return rt.db }
+
+// Cache returns the shared authority cache.
+func (rt *Runtime) Cache() *AuthorityCache { return rt.cache }
+
+// Process is one DIFC-tracked unit of execution — in the web setting,
+// one request. It owns a database session (whose label is the process
+// label) and an output buffer that is only released to the outside
+// writer if the process ends uncontaminated.
+type Process struct {
+	rt   *Runtime
+	sess *ifdb.Session
+	out  bytes.Buffer
+}
+
+// NewProcess starts a process acting as principal p with an empty
+// label.
+func (rt *Runtime) NewProcess(p ifdb.Principal) *Process {
+	return &Process{rt: rt, sess: rt.db.NewSession(p)}
+}
+
+// Session exposes the process's database session. The platform and
+// the session share one label (§7.2).
+func (pr *Process) Session() *ifdb.Session { return pr.sess }
+
+// Label returns the current process label.
+func (pr *Process) Label() ifdb.Label { return pr.sess.Label() }
+
+// Principal returns the acting principal.
+func (pr *Process) Principal() ifdb.Principal { return pr.sess.Principal() }
+
+// AddSecrecy contaminates the process with t.
+func (pr *Process) AddSecrecy(t ifdb.Tag) error { return pr.sess.AddSecrecy(t) }
+
+// Declassify removes t, requiring authority. The platform consults its
+// cache first to avoid hitting the authority state for the common
+// "does this principal own its own tags" checks.
+func (pr *Process) Declassify(t ifdb.Tag) error {
+	if !pr.rt.cache.Has(pr.sess.Principal(), t) {
+		return fmt.Errorf("%w: declassify tag %d", ifdb.ErrAuthority, t)
+	}
+	return pr.sess.Declassify(t)
+}
+
+// DeclassifyAll removes every tag the principal has authority for;
+// it returns the tags that remain.
+func (pr *Process) DeclassifyAll() ifdb.Label {
+	for _, t := range pr.sess.Label() {
+		if pr.rt.cache.Has(pr.sess.Principal(), t) {
+			_ = pr.sess.Declassify(t)
+		}
+	}
+	return pr.sess.Label()
+}
+
+// Printf writes to the process's pending output buffer. Nothing
+// reaches the outside world until Release.
+func (pr *Process) Printf(format string, args ...interface{}) {
+	fmt.Fprintf(&pr.out, format, args...)
+}
+
+// Write implements io.Writer into the pending output buffer.
+func (pr *Process) Write(p []byte) (int, error) { return pr.out.Write(p) }
+
+// OutputLen returns the pending output size (used by tests).
+func (pr *Process) OutputLen() int { return pr.out.Len() }
+
+// Release flushes pending output to w — but only if the process label
+// is empty. This is the interposition that stopped the CarTel and
+// HotCRP leaks: code that read data it had no authority to release
+// simply produces no output (§6.1–6.2).
+func (pr *Process) Release(w io.Writer) error {
+	if lbl := pr.sess.Label(); !lbl.IsEmpty() {
+		pr.out.Reset() // drop, never leak
+		return fmt.Errorf("%w (label %v)", ErrContaminatedOutput, lbl)
+	}
+	_, err := pr.out.WriteTo(w)
+	return err
+}
+
+// CallClosure runs fn with the named authority closure's principal in
+// effect (§3.3).
+func (pr *Process) CallClosure(name string, fn func() error) error {
+	return pr.sess.CallClosure(name, fn)
+}
+
+// WithReducedAuthority runs fn with no authority at all.
+func (pr *Process) WithReducedAuthority(fn func() error) error {
+	return pr.sess.WithReducedAuthority(fn)
+}
+
+// Handler is one web script: it receives the process and the parsed
+// request arguments and writes output through the process.
+type Handler func(pr *Process, args map[string]string) error
+
+// ServeRequest runs one request through a handler with full DIFC
+// bracketing: fresh process, handler, then release-or-refuse. It
+// returns the released output (empty if the process ended
+// contaminated) and the handler error, mirroring how PHP-IF turns
+// leaks into blank responses rather than failures.
+func (rt *Runtime) ServeRequest(p ifdb.Principal, h Handler, args map[string]string, w io.Writer) error {
+	pr := rt.NewProcess(p)
+	if err := h(pr, args); err != nil {
+		return err
+	}
+	if err := pr.Release(w); err != nil {
+		if errors.Is(err, ErrContaminatedOutput) {
+			// The request produced no releasable output; the client
+			// sees an empty page, not an error oracle.
+			return nil
+		}
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,212 @@
+package platform_test
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"ifdb"
+	"ifdb/platform"
+)
+
+func setup(t *testing.T) (*platform.Runtime, ifdb.Principal, ifdb.Tag) {
+	t.Helper()
+	db := ifdb.Open(ifdb.Config{IFC: true})
+	if _, err := db.AdminSession().Exec(`CREATE TABLE diary (id BIGINT PRIMARY KEY, text TEXT)`); err != nil {
+		t.Fatal(err)
+	}
+	alice := db.CreatePrincipal("alice")
+	tg, err := db.CreateTag(alice, "alice_diary")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return platform.New(db), alice, tg
+}
+
+func TestOutputInterposition(t *testing.T) {
+	rt, alice, tg := setup(t)
+	pr := rt.NewProcess(alice)
+	if err := pr.AddSecrecy(tg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pr.Session().Exec(`INSERT INTO diary VALUES (1, 'dear diary')`); err != nil {
+		t.Fatal(err)
+	}
+	pr.Printf("the diary says: %s", "dear diary")
+
+	// Contaminated: release refused, buffer dropped.
+	var out bytes.Buffer
+	err := pr.Release(&out)
+	if !errors.Is(err, platform.ErrContaminatedOutput) {
+		t.Fatalf("release: %v", err)
+	}
+	if out.Len() != 0 || pr.OutputLen() != 0 {
+		t.Fatal("contaminated output leaked or retained")
+	}
+
+	// After declassification (alice owns the tag): released.
+	pr2 := rt.NewProcess(alice)
+	if err := pr2.AddSecrecy(tg); err != nil {
+		t.Fatal(err)
+	}
+	pr2.Printf("ok")
+	if err := pr2.Declassify(tg); err != nil {
+		t.Fatal(err)
+	}
+	if err := pr2.Release(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != "ok" {
+		t.Fatalf("released: %q", out.String())
+	}
+}
+
+func TestDeclassifyRequiresAuthorityThroughCache(t *testing.T) {
+	rt, _, tg := setup(t)
+	mallory := rt.DB().CreatePrincipal("mallory")
+	pr := rt.NewProcess(mallory)
+	if err := pr.AddSecrecy(tg); err != nil {
+		t.Fatal(err)
+	}
+	if err := pr.Declassify(tg); !errors.Is(err, ifdb.ErrAuthority) {
+		t.Fatalf("declassify: %v", err)
+	}
+	// Cache stats recorded the lookup; a repeat is a hit.
+	c := rt.Cache()
+	before := c.Hits
+	_ = c.Has(mallory, tg)
+	if c.Hits != before+1 {
+		t.Fatalf("cache hits: %d -> %d", before, c.Hits)
+	}
+}
+
+func TestCacheInvalidation(t *testing.T) {
+	rt, alice, tg := setup(t)
+	bob := rt.DB().CreatePrincipal("bob")
+	if rt.Cache().Has(bob, tg) {
+		t.Fatal("bob has authority already")
+	}
+	// Delegate; the stale cache still answers false until invalidated.
+	if err := rt.DB().NewSession(alice).Delegate(bob, tg); err != nil {
+		t.Fatal(err)
+	}
+	if rt.Cache().Has(bob, tg) {
+		t.Fatal("cache should still be stale")
+	}
+	rt.Cache().Invalidate()
+	if !rt.Cache().Has(bob, tg) {
+		t.Fatal("cache not refreshed")
+	}
+}
+
+func TestDeclassifyAll(t *testing.T) {
+	rt, alice, tg := setup(t)
+	other := rt.DB().CreatePrincipal("other")
+	otherTag, err := rt.DB().CreateTag(other, "other_tag")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := rt.NewProcess(alice)
+	if err := pr.AddSecrecy(tg); err != nil {
+		t.Fatal(err)
+	}
+	if err := pr.AddSecrecy(otherTag); err != nil {
+		t.Fatal(err)
+	}
+	rest := pr.DeclassifyAll()
+	if !rest.Equal(ifdb.NewLabel(otherTag)) {
+		t.Fatalf("residual label: %v", rest)
+	}
+}
+
+func TestServeRequestBlankPageOnLeak(t *testing.T) {
+	rt, alice, tg := setup(t)
+	leaky := func(pr *platform.Process, _ map[string]string) error {
+		if err := pr.AddSecrecy(tg); err != nil {
+			return err
+		}
+		pr.Printf("SECRET")
+		return nil // forgets to declassify
+	}
+	var out bytes.Buffer
+	// ServeRequest succeeds but the client sees a blank page, not an
+	// error oracle.
+	mallory := rt.DB().CreatePrincipal("mallory")
+	if err := rt.ServeRequest(mallory, leaky, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 0 {
+		t.Fatalf("leak: %q", out.String())
+	}
+	// The owner's process can declassify inside the handler.
+	fine := func(pr *platform.Process, _ map[string]string) error {
+		if err := pr.AddSecrecy(tg); err != nil {
+			return err
+		}
+		pr.Printf("mine")
+		return pr.Declassify(tg)
+	}
+	if err := rt.ServeRequest(alice, fine, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "mine") {
+		t.Fatalf("owner output: %q", out.String())
+	}
+}
+
+func TestClosureThroughPlatform(t *testing.T) {
+	rt, alice, tg := setup(t)
+	db := rt.DB()
+	worker := db.CreatePrincipal("worker")
+	if err := db.NewSession(alice).Delegate(worker, tg); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.RegisterClosure("summary", alice, worker, ifdb.NewLabel(tg)); err != nil {
+		t.Fatal(err)
+	}
+	mallory := db.CreatePrincipal("mallory")
+	pr := rt.NewProcess(mallory)
+	if err := pr.AddSecrecy(tg); err != nil {
+		t.Fatal(err)
+	}
+	// Inside the closure, the worker's authority applies.
+	if err := pr.CallClosure("summary", func() error {
+		return pr.Session().Declassify(tg)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !pr.Label().IsEmpty() {
+		t.Fatalf("label: %v", pr.Label())
+	}
+	// Outside, mallory is back to nothing.
+	if err := pr.Session().Declassify(tg); err != nil {
+		// expected no-op: tag already removed; re-add and check failure
+		t.Fatal(err)
+	}
+	if err := pr.AddSecrecy(tg); err != nil {
+		t.Fatal(err)
+	}
+	if err := pr.Session().Declassify(tg); err == nil {
+		t.Fatal("mallory declassified outside the closure")
+	}
+	if err := pr.CallClosure("nosuch", func() error { return nil }); err == nil {
+		t.Fatal("missing closure ran")
+	}
+}
+
+func TestWriteThroughProcess(t *testing.T) {
+	rt, alice, _ := setup(t)
+	pr := rt.NewProcess(alice)
+	n, err := pr.Write([]byte("abc"))
+	if err != nil || n != 3 || pr.OutputLen() != 3 {
+		t.Fatalf("Write: %d %v", n, err)
+	}
+	var out bytes.Buffer
+	if err := pr.Release(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != "abc" {
+		t.Fatalf("out: %q", out.String())
+	}
+}
