@@ -53,7 +53,7 @@ func BenchmarkAblationLabelCheck(b *testing.B) {
 // the platform cache against direct authority-state walks — the
 // optimization the paper's PHP-IF needed shared memory for (§7.2).
 func BenchmarkAblationAuthorityCache(b *testing.B) {
-	db := ifdb.Open(ifdb.Config{IFC: true})
+	db := ifdb.MustOpen(ifdb.Config{IFC: true})
 	owner := db.CreatePrincipal("owner")
 	// A delegation chain so the uncached walk has real work to do.
 	tg, err := db.CreateTag(owner, "deep_tag")
@@ -91,7 +91,7 @@ func BenchmarkAblationAuthorityCache(b *testing.B) {
 // cache by comparing a repeated query against unique query texts that
 // always miss.
 func BenchmarkAblationStatementCache(b *testing.B) {
-	db := ifdb.Open(ifdb.Config{IFC: true})
+	db := ifdb.MustOpen(ifdb.Config{IFC: true})
 	s := db.AdminSession()
 	if _, err := s.Exec(`CREATE TABLE t (id BIGINT PRIMARY KEY, v BIGINT)`); err != nil {
 		b.Fatal(err)
@@ -122,7 +122,7 @@ func BenchmarkAblationStatementCache(b *testing.B) {
 // against the hash-join fallback on the same query shape (the planner
 // feature that keeps Fig. 4's baseline honest).
 func BenchmarkAblationIndexJoin(b *testing.B) {
-	db := ifdb.Open(ifdb.Config{})
+	db := ifdb.MustOpen(ifdb.Config{})
 	s := db.AdminSession()
 	if _, err := s.Exec(`
 		CREATE TABLE a (id BIGINT PRIMARY KEY, x BIGINT);
@@ -175,7 +175,7 @@ func BenchmarkAblationOnDiskVsMemory(b *testing.B) {
 			ddl += ` USING DISK`
 		}
 		b.Run(name, func(b *testing.B) {
-			db := ifdb.Open(ifdb.Config{BufferPoolPages: 16})
+			db := ifdb.MustOpen(ifdb.Config{BufferPoolPages: 16})
 			s := db.AdminSession()
 			if _, err := s.Exec(ddl); err != nil {
 				b.Fatal(err)

@@ -11,7 +11,7 @@ import (
 func setupApp(t *testing.T) (*App, *User, *User) {
 	t.Helper()
 	ResetCountersForTest()
-	db := ifdb.Open(ifdb.Config{IFC: true})
+	db := ifdb.MustOpen(ifdb.Config{IFC: true})
 	app, err := Setup(db)
 	if err != nil {
 		t.Fatalf("setup: %v", err)

@@ -10,7 +10,7 @@ import (
 
 func setupConf(t *testing.T) (*App, *User, *User, *User) {
 	t.Helper()
-	db := ifdb.Open(ifdb.Config{IFC: true})
+	db := ifdb.MustOpen(ifdb.Config{IFC: true})
 	app, err := Setup(db)
 	if err != nil {
 		t.Fatalf("setup: %v", err)

@@ -217,7 +217,7 @@ func BenchmarkFig6DBT2(b *testing.B) {
 func BenchmarkLabelSpace(b *testing.B) {
 	for _, k := range []int{0, 1, 2, 5, 10} {
 		b.Run(fmt.Sprintf("k%d", k), func(b *testing.B) {
-			db := ifdb.Open(ifdb.Config{IFC: true})
+			db := ifdb.MustOpen(ifdb.Config{IFC: true})
 			admin := db.AdminSession()
 			if _, err := admin.Exec(`CREATE TABLE t (a BIGINT, b BIGINT, c TEXT)`); err != nil {
 				b.Fatal(err)

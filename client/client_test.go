@@ -14,7 +14,7 @@ import (
 // loopback listener.
 func startServer(t *testing.T, token string) (*ifdb.DB, string) {
 	t.Helper()
-	db := ifdb.Open(ifdb.Config{IFC: true})
+	db := ifdb.MustOpen(ifdb.Config{IFC: true})
 	srv := wire.NewServer(db.Engine(), token)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {

@@ -289,7 +289,7 @@ func expSpace() {
 	fmt.Printf("%6s %14s %12s\n", "tags", "bytes/tuple", "delta")
 	var prev float64
 	for _, k := range []int{0, 1, 2, 5, 10} {
-		db := ifdb.Open(ifdb.Config{IFC: true})
+		db := ifdb.MustOpen(ifdb.Config{IFC: true})
 		admin := db.AdminSession()
 		check(errOf(admin.Exec(`CREATE TABLE t (a BIGINT, b BIGINT, c TEXT)`)))
 		owner := db.CreatePrincipal("o")

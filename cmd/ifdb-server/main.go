@@ -3,6 +3,12 @@
 // (attesting they are a trusted DIFC runtime, paper §2).
 //
 //	ifdb-server -addr :5433 -token secret [-no-ifc] [-datadir /var/lib/ifdb]
+//	            [-sync group|commit|off] [-checkpoint-interval 1m]
+//
+// With -datadir the server is durable: it recovers from the
+// write-ahead log at startup, group-commits by default, checkpoints
+// periodically, and SIGINT/SIGTERM trigger a clean shutdown (final
+// checkpoint, WAL close).
 //
 // An optional -init script (SQL, semicolon-separated) runs as the
 // administrator before serving, for schema bootstrap.
@@ -12,6 +18,8 @@ import (
 	"flag"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"ifdb"
@@ -20,16 +28,26 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", "127.0.0.1:5433", "listen address")
-		token   = flag.String("token", "", "platform attestation token (empty accepts anyone)")
-		noIFC   = flag.Bool("no-ifc", false, "disable information flow control (baseline mode)")
-		dataDir = flag.String("datadir", "", "directory for USING DISK heap files")
-		initSQL = flag.String("init", "", "path to a SQL script to run at startup")
-		vacuum  = flag.Duration("vacuum-interval", time.Minute, "autovacuum period (0 disables)")
+		addr     = flag.String("addr", "127.0.0.1:5433", "listen address")
+		token    = flag.String("token", "", "platform attestation token (empty accepts anyone)")
+		noIFC    = flag.Bool("no-ifc", false, "disable information flow control (baseline mode)")
+		dataDir  = flag.String("datadir", "", "data directory (heap files + WAL); empty runs in-memory")
+		syncMode = flag.String("sync", "group", "WAL sync mode: off|commit|group")
+		ckptIvl  = flag.Duration("checkpoint-interval", time.Minute, "checkpoint period (0 disables; requires -datadir)")
+		initSQL  = flag.String("init", "", "path to a SQL script to run at startup")
+		vacuum   = flag.Duration("vacuum-interval", time.Minute, "autovacuum period (0 disables)")
 	)
 	flag.Parse()
 
-	db := ifdb.Open(ifdb.Config{IFC: !*noIFC, DataDir: *dataDir})
+	db, err := ifdb.Open(ifdb.Config{
+		IFC:             !*noIFC,
+		DataDir:         *dataDir,
+		SyncMode:        *syncMode,
+		CheckpointEvery: *ckptIvl,
+	})
+	if err != nil {
+		log.Fatalf("ifdb-server: open: %v", err)
+	}
 	if *initSQL != "" {
 		script, err := os.ReadFile(*initSQL)
 		if err != nil {
@@ -40,11 +58,19 @@ func main() {
 		}
 	}
 
+	stopVacuum := make(chan struct{})
 	if *vacuum > 0 {
 		go func() {
-			for range time.Tick(*vacuum) {
-				if n := db.Vacuum(); n > 0 {
-					log.Printf("ifdb-server: vacuum reclaimed %d versions", n)
+			t := time.NewTicker(*vacuum)
+			defer t.Stop()
+			for {
+				select {
+				case <-stopVacuum:
+					return
+				case <-t.C:
+					if n := db.Vacuum(); n > 0 {
+						log.Printf("ifdb-server: vacuum reclaimed %d versions", n)
+					}
 				}
 			}
 		}()
@@ -52,8 +78,37 @@ func main() {
 
 	srv := wire.NewServer(db.Engine(), *token)
 	srv.ErrorLog = log.Default()
-	log.Printf("ifdb-server: listening on %s (IFC=%v)", *addr, !*noIFC)
+
+	// Clean shutdown: stop accepting, checkpoint, close the WAL.
+	// shuttingDown closes *before* the listener so the main goroutine
+	// can tell a shutdown-induced accept error from a real one.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	shuttingDown := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		sig := <-sigc
+		log.Printf("ifdb-server: %v: shutting down", sig)
+		close(shuttingDown)
+		close(stopVacuum)
+		if err := srv.Close(); err != nil {
+			log.Printf("ifdb-server: close listener: %v", err)
+		}
+		if err := db.Close(); err != nil {
+			log.Printf("ifdb-server: close database: %v", err)
+		}
+		close(done)
+	}()
+
+	log.Printf("ifdb-server: listening on %s (IFC=%v, datadir=%q, sync=%s)", *addr, !*noIFC, *dataDir, *syncMode)
 	if err := srv.ListenAndServe(*addr); err != nil {
-		log.Fatalf("ifdb-server: %v", err)
+		select {
+		case <-shuttingDown:
+			// Listener closed by the shutdown path; wait for the final
+			// checkpoint before exiting.
+		default:
+			log.Fatalf("ifdb-server: %v", err)
+		}
 	}
+	<-done
 }

@@ -15,7 +15,7 @@ import (
 )
 
 func main() {
-	db := ifdb.Open(ifdb.Config{IFC: true})
+	db := ifdb.MustOpen(ifdb.Config{IFC: true})
 	app, err := cartel.Setup(db)
 	check(err)
 

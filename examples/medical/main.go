@@ -14,7 +14,7 @@ import (
 )
 
 func main() {
-	db := ifdb.Open(ifdb.Config{IFC: true})
+	db := ifdb.MustOpen(ifdb.Config{IFC: true})
 	admin := db.AdminSession()
 
 	must(admin.Exec(`

@@ -13,7 +13,7 @@ import (
 )
 
 func main() {
-	db := ifdb.Open(ifdb.Config{IFC: true})
+	db := ifdb.MustOpen(ifdb.Config{IFC: true})
 	admin := db.AdminSession()
 
 	// The administrator defines the schema (and, per the Principle of

@@ -13,7 +13,7 @@ import (
 // calibration authority, and a consumer that insists on calibrated
 // data.
 func TestIntegrityThroughPublicAPI(t *testing.T) {
-	db := ifdb.Open(ifdb.Config{IFC: true})
+	db := ifdb.MustOpen(ifdb.Config{IFC: true})
 	admin := db.AdminSession()
 	if _, err := admin.Exec(`CREATE TABLE readings (id BIGINT PRIMARY KEY, celsius DOUBLE PRECISION)`); err != nil {
 		t.Fatal(err)
@@ -72,7 +72,7 @@ func TestIntegrityThroughPublicAPI(t *testing.T) {
 // TestQueryEachThroughPublicAPI: the §10 per-tuple iterator, driving a
 // fan-out over differently-tagged rows without accumulating all tags.
 func TestQueryEachThroughPublicAPI(t *testing.T) {
-	db := ifdb.Open(ifdb.Config{IFC: true})
+	db := ifdb.MustOpen(ifdb.Config{IFC: true})
 	admin := db.AdminSession()
 	if _, err := admin.Exec(`CREATE TABLE inbox (id BIGINT PRIMARY KEY, msg TEXT)`); err != nil {
 		t.Fatal(err)
@@ -121,7 +121,7 @@ func TestQueryEachThroughPublicAPI(t *testing.T) {
 // TestLabeledSequencesThroughSQL: the §10 sequences design — counter
 // partitions per exact label.
 func TestLabeledSequencesThroughSQL(t *testing.T) {
-	db := ifdb.Open(ifdb.Config{IFC: true})
+	db := ifdb.MustOpen(ifdb.Config{IFC: true})
 	p := db.CreatePrincipal("p")
 	s := db.NewSession(p)
 	if _, err := s.Exec(`SELECT create_sequence('order_ids')`); err != nil {

@@ -1,0 +1,3 @@
+module ifdb
+
+go 1.22

@@ -37,6 +37,8 @@
 package ifdb
 
 import (
+	"time"
+
 	"ifdb/internal/authority"
 	"ifdb/internal/engine"
 	"ifdb/internal/label"
@@ -102,12 +104,24 @@ type Config struct {
 	// IFC enables information flow control (the whole point). False
 	// yields the plain baseline DBMS used for comparison benchmarks.
 	IFC bool
-	// DataDir is where `USING DISK` tables store heap files; empty
-	// means disk tables use in-memory page stores (still paged and
-	// evicted through the buffer pool).
+	// DataDir makes the database durable: `USING DISK` tables store
+	// heap files there, every mutation is written ahead to
+	// DataDir/wal.log, and Open replays the log (crash recovery)
+	// before returning. Empty means fully in-memory — disk tables use
+	// in-memory page stores (still paged and evicted through the
+	// buffer pool) and nothing survives a restart.
 	DataDir string
 	// BufferPoolPages caps each disk table's buffer pool (default 256).
 	BufferPoolPages int
+	// SyncMode selects the commit durability discipline when DataDir
+	// is set: "off" (no fsync), "commit" (one fsync per commit), or
+	// "group" (concurrent commits share fsyncs; the default).
+	SyncMode string
+	// CheckpointEvery, when positive, periodically snapshots the
+	// database state and truncates the write-ahead log. Zero disables
+	// the background checkpointer; DB.Checkpoint and DB.Close still
+	// checkpoint on demand.
+	CheckpointEvery time.Duration
 }
 
 // DB is one IFDB database instance.
@@ -115,14 +129,42 @@ type DB struct {
 	eng *engine.Engine
 }
 
-// Open creates a database.
-func Open(cfg Config) *DB {
-	return &DB{eng: engine.New(engine.Config{
+// Open creates a database. When cfg.DataDir is set it runs crash
+// recovery first: committed transactions reappear, in-flight ones are
+// rolled back, and the catalog, authority state, and sequences are
+// rebuilt. Call Close for a clean shutdown (final checkpoint).
+func Open(cfg Config) (*DB, error) {
+	eng, err := engine.New(engine.Config{
 		IFC:             cfg.IFC,
 		DataDir:         cfg.DataDir,
 		BufferPoolPages: cfg.BufferPoolPages,
-	})}
+		SyncMode:        cfg.SyncMode,
+		CheckpointEvery: cfg.CheckpointEvery,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &DB{eng: eng}, nil
 }
+
+// MustOpen is Open for in-memory configurations that cannot fail
+// (tests, examples, benchmarks); it panics on error.
+func MustOpen(cfg Config) *DB {
+	db, err := Open(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return db
+}
+
+// Close shuts the database down cleanly: it takes a final checkpoint
+// and closes the write-ahead log and heap files. A no-op for
+// in-memory databases.
+func (db *DB) Close() error { return db.eng.Close() }
+
+// Checkpoint forces a checkpoint: snapshot the state, flush dirty
+// disk pages, truncate the WAL. A no-op for in-memory databases.
+func (db *DB) Checkpoint() error { return db.eng.Checkpoint() }
 
 // Engine exposes the underlying engine for advanced integrations
 // (the network server and the benchmark harness use it).
@@ -153,6 +195,14 @@ func (db *DB) CreateTag(owner Principal, name string, compounds ...string) (Tag,
 
 // LookupTag resolves a tag name.
 func (db *DB) LookupTag(name string) (Tag, bool) { return db.eng.LookupTag(name) }
+
+// LookupPrincipal finds a principal by its diagnostic name. Durable
+// applications use this after reopening a DataDir: principals (and
+// their authority) survive restarts, so bootstrap code re-finds them
+// instead of creating duplicates.
+func (db *DB) LookupPrincipal(name string) (Principal, bool) {
+	return db.eng.Authority().PrincipalByName(name)
+}
 
 // Delegate grants authority for tag t from grantor to grantee.
 // (Grantor-side checks are in the authority state; sessions expose a

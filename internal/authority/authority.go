@@ -48,6 +48,34 @@ type State struct {
 	// idSource produces unpredictable ids (allocation-channel
 	// mitigation, paper §7.3). Overridable for deterministic tests.
 	idSource func() uint64
+
+	// log, when set, receives every successful authority mutation so
+	// the engine can record it in the write-ahead log. Hooks run after
+	// the state lock is released (the WAL append must never happen
+	// under a state lock — see wal.Writer.Checkpoint).
+	log ChangeLogger
+}
+
+// ChangeLogger receives authority-state mutations for durability.
+// Implementations must be safe for concurrent use.
+type ChangeLogger interface {
+	LogPrincipal(id uint64, name string) error
+	LogTag(id, owner uint64, name string, parents []uint64) error
+	LogDelegate(tag, grantor, grantee uint64) error
+	LogRevoke(tag, revoker, grantee uint64) error
+}
+
+// SetChangeLogger installs the mutation hook (nil disables logging).
+func (s *State) SetChangeLogger(l ChangeLogger) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.log = l
+}
+
+func (s *State) logger() ChangeLogger {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.log
 }
 
 type principalInfo struct {
@@ -101,9 +129,9 @@ func (s *State) Hierarchy() *label.Hierarchy { return s.hier }
 // authority, so creation reveals nothing).
 func (s *State) CreatePrincipal(name string) Principal {
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	var id Principal
 	for {
-		id := Principal(s.idSource())
+		id = Principal(s.idSource())
 		if id == NoPrincipal {
 			continue
 		}
@@ -111,8 +139,15 @@ func (s *State) CreatePrincipal(name string) Principal {
 			continue
 		}
 		s.principals[id] = &principalInfo{name: name}
-		return id
+		break
 	}
+	s.mu.Unlock()
+	if l := s.logger(); l != nil {
+		// Best effort: the signature predates durability, so a failed
+		// append (disk full) cannot be surfaced here.
+		_ = l.LogPrincipal(uint64(id), name)
+	}
+	return id
 }
 
 // PrincipalName returns the diagnostic name of p.
@@ -175,6 +210,19 @@ func (s *State) CreateTag(owner Principal, name string, compounds ...label.Tag) 
 		s.mu.Unlock()
 		return label.InvalidTag, err
 	}
+	if l := s.logger(); l != nil {
+		parents := make([]uint64, len(compounds))
+		for i, c := range compounds {
+			parents[i] = uint64(c)
+		}
+		if err := l.LogTag(uint64(t), uint64(owner), name, parents); err != nil {
+			s.mu.Lock()
+			delete(s.tags, t)
+			s.mu.Unlock()
+			s.hier.Retract(t)
+			return label.InvalidTag, err
+		}
+	}
 	return t, nil
 }
 
@@ -213,14 +261,16 @@ func (s *State) TagOwner(t label.Tag) (Principal, bool) {
 // graph; authority holds while any chain from the tag owner remains.
 func (s *State) Delegate(grantor, grantee Principal, t label.Tag) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if _, ok := s.tags[t]; !ok {
+		s.mu.Unlock()
 		return fmt.Errorf("authority: unknown tag %d", t)
 	}
 	if _, ok := s.principals[grantee]; !ok {
+		s.mu.Unlock()
 		return fmt.Errorf("authority: unknown grantee principal %d", grantee)
 	}
 	if !s.hasAuthorityLocked(grantor, t) {
+		s.mu.Unlock()
 		return fmt.Errorf("authority: principal %d lacks authority for tag %d", grantor, t)
 	}
 	byGrantee := s.delegations[t]
@@ -234,6 +284,10 @@ func (s *State) Delegate(grantor, grantee Principal, t label.Tag) error {
 		byGrantee[grantee] = grantors
 	}
 	grantors[grantor] = true
+	s.mu.Unlock()
+	if l := s.logger(); l != nil {
+		return l.LogDelegate(uint64(t), uint64(grantor), uint64(grantee))
+	}
 	return nil
 }
 
@@ -242,23 +296,28 @@ func (s *State) Delegate(grantor, grantee Principal, t label.Tag) error {
 // that the grantee still derives via other chains is unaffected.
 func (s *State) Revoke(revoker, grantee Principal, t label.Tag) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	info, ok := s.tags[t]
 	if !ok {
+		s.mu.Unlock()
 		return fmt.Errorf("authority: unknown tag %d", t)
 	}
 	grantors := s.delegations[t][grantee]
 	if info.owner == revoker {
 		// The owner may strike any grantor's edge to this grantee.
 		delete(s.delegations[t], grantee)
-		return nil
+	} else {
+		if grantors == nil || !grantors[revoker] {
+			s.mu.Unlock()
+			return fmt.Errorf("authority: principal %d has no delegation to %d for tag %d", revoker, grantee, t)
+		}
+		delete(grantors, revoker)
+		if len(grantors) == 0 {
+			delete(s.delegations[t], grantee)
+		}
 	}
-	if grantors == nil || !grantors[revoker] {
-		return fmt.Errorf("authority: principal %d has no delegation to %d for tag %d", revoker, grantee, t)
-	}
-	delete(grantors, revoker)
-	if len(grantors) == 0 {
-		delete(s.delegations[t], grantee)
+	s.mu.Unlock()
+	if l := s.logger(); l != nil {
+		return l.LogRevoke(uint64(t), uint64(revoker), uint64(grantee))
 	}
 	return nil
 }
@@ -312,6 +371,117 @@ func (s *State) authForExactLocked(p Principal, t label.Tag, visited map[Princip
 		}
 	}
 	return false
+}
+
+// ---------------------------------------------------------------------------
+// Recovery and checkpoint support
+
+// RestorePrincipal re-creates a principal with its original id during
+// crash recovery (ids must be stable across restarts: they appear in
+// delegations, closures, and application state). Idempotent.
+func (s *State) RestorePrincipal(id Principal, name string) {
+	if id == NoPrincipal {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.principals[id]; !exists {
+		s.principals[id] = &principalInfo{name: name}
+	}
+}
+
+// RestoreTag re-creates a tag with its original id, owner, and
+// compound links during crash recovery. Idempotent.
+func (s *State) RestoreTag(t label.Tag, owner Principal, name string, parents []label.Tag) error {
+	s.mu.Lock()
+	if _, exists := s.tags[t]; exists {
+		s.mu.Unlock()
+		return nil
+	}
+	s.tags[t] = &tagInfo{name: name, owner: owner}
+	s.mu.Unlock()
+	if err := s.hier.Declare(t, parents...); err != nil {
+		s.mu.Lock()
+		delete(s.tags, t)
+		s.mu.Unlock()
+		return err
+	}
+	return nil
+}
+
+// RestoreDelegation re-adds a delegation edge without authority checks
+// or logging (the edge was vetted when first granted). Idempotent.
+func (s *State) RestoreDelegation(grantor, grantee Principal, t label.Tag) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	byGrantee := s.delegations[t]
+	if byGrantee == nil {
+		byGrantee = make(map[Principal]map[Principal]bool)
+		s.delegations[t] = byGrantee
+	}
+	grantors := byGrantee[grantee]
+	if grantors == nil {
+		grantors = make(map[Principal]bool)
+		byGrantee[grantee] = grantors
+	}
+	grantors[grantor] = true
+}
+
+// PrincipalByName finds a principal by its diagnostic name (first
+// match; names are not required to be unique). Recovery-aware
+// applications use this to re-find their principals after a restart.
+func (s *State) PrincipalByName(name string) (Principal, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for id, info := range s.principals {
+		if info.name == name {
+			return id, true
+		}
+	}
+	return NoPrincipal, false
+}
+
+// ExportedPrincipal is one principal in a checkpoint snapshot.
+type ExportedPrincipal struct {
+	ID   Principal
+	Name string
+}
+
+// ExportedTag is one tag in a checkpoint snapshot.
+type ExportedTag struct {
+	ID      label.Tag
+	Owner   Principal
+	Name    string
+	Parents []label.Tag
+}
+
+// ExportedDelegation is one delegation edge in a checkpoint snapshot.
+type ExportedDelegation struct {
+	Tag              label.Tag
+	Grantor, Grantee Principal
+}
+
+// Export returns the full authority state for checkpointing.
+func (s *State) Export() ([]ExportedPrincipal, []ExportedTag, []ExportedDelegation) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	prins := make([]ExportedPrincipal, 0, len(s.principals))
+	for id, info := range s.principals {
+		prins = append(prins, ExportedPrincipal{ID: id, Name: info.name})
+	}
+	tags := make([]ExportedTag, 0, len(s.tags))
+	for id, info := range s.tags {
+		tags = append(tags, ExportedTag{ID: id, Owner: info.owner, Name: info.name, Parents: s.hier.Parents(id)})
+	}
+	var dels []ExportedDelegation
+	for t, byGrantee := range s.delegations {
+		for grantee, grantors := range byGrantee {
+			for grantor := range grantors {
+				dels = append(dels, ExportedDelegation{Tag: t, Grantor: grantor, Grantee: grantee})
+			}
+		}
+	}
+	return prins, tags, dels
 }
 
 // AuthorityFor returns the subset of l that principal p may declassify.

@@ -70,7 +70,7 @@ type Bench struct {
 // GPS traces.
 func Setup(cfg Config) (*Bench, error) {
 	cartel.ResetCountersForTest()
-	db := ifdb.Open(ifdb.Config{IFC: cfg.IFC})
+	db := ifdb.MustOpen(ifdb.Config{IFC: cfg.IFC})
 	app, err := cartel.Setup(db)
 	if err != nil {
 		return nil, err

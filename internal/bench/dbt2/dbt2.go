@@ -65,7 +65,7 @@ type Bench struct {
 
 // Setup creates and loads the database.
 func Setup(cfg Config) (*Bench, error) {
-	db := ifdb.Open(ifdb.Config{IFC: cfg.IFC, BufferPoolPages: cfg.BufferPoolPages})
+	db := ifdb.MustOpen(ifdb.Config{IFC: cfg.IFC, BufferPoolPages: cfg.BufferPoolPages})
 	b := &Bench{DB: db, Cfg: cfg}
 
 	admin := db.AdminSession()

@@ -30,7 +30,7 @@ type Bench struct {
 // per car, as CarTel's per-car upload batches imply).
 func Setup(ifc bool, cars int) (*Bench, error) {
 	cartel.ResetCountersForTest()
-	db := ifdb.Open(ifdb.Config{IFC: ifc})
+	db := ifdb.MustOpen(ifdb.Config{IFC: ifc})
 	app, err := cartel.Setup(db)
 	if err != nil {
 		return nil, err

@@ -10,7 +10,7 @@ import (
 // index backfill, and catalog name rules.
 
 func TestCreateTableTypeZoo(t *testing.T) {
-	e := New(Config{})
+	e := MustNew(Config{})
 	s := e.NewSession(e.Admin())
 	mustExec(t, s, `CREATE TABLE zoo (
 		a INT, b INTEGER, c BIGINT, d SERIAL,
@@ -33,7 +33,7 @@ func TestCreateTableTypeZoo(t *testing.T) {
 }
 
 func TestCreateTableIfNotExists(t *testing.T) {
-	e := New(Config{})
+	e := MustNew(Config{})
 	s := e.NewSession(e.Admin())
 	mustExec(t, s, `CREATE TABLE t (a BIGINT)`)
 	mustExec(t, s, `CREATE TABLE IF NOT EXISTS t (a BIGINT)`)
@@ -51,7 +51,7 @@ func TestCreateTableIfNotExists(t *testing.T) {
 }
 
 func TestCreateIndexBackfill(t *testing.T) {
-	e := New(Config{})
+	e := MustNew(Config{})
 	s := e.NewSession(e.Admin())
 	mustExec(t, s, `CREATE TABLE b (id BIGINT PRIMARY KEY, grp BIGINT)`)
 	for i := int64(0); i < 100; i++ {
@@ -71,7 +71,7 @@ func TestCreateIndexBackfill(t *testing.T) {
 }
 
 func TestTriggerOnMissingProcRejected(t *testing.T) {
-	e := New(Config{})
+	e := MustNew(Config{})
 	s := e.NewSession(e.Admin())
 	mustExec(t, s, `CREATE TABLE t (a BIGINT)`)
 	if _, err := s.Exec(`CREATE TRIGGER x AFTER INSERT ON t EXECUTE PROCEDURE ghost`); err == nil {
@@ -89,7 +89,7 @@ func TestTriggerOnMissingProcRejected(t *testing.T) {
 }
 
 func TestDuplicateProcRegistration(t *testing.T) {
-	e := New(Config{})
+	e := MustNew(Config{})
 	fn := func(*Session, []types.Value) (types.Value, error) { return types.Null, nil }
 	if err := e.RegisterProc("p", fn); err != nil {
 		t.Fatal(err)
@@ -104,7 +104,7 @@ func TestDuplicateProcRegistration(t *testing.T) {
 }
 
 func TestStatsCounters(t *testing.T) {
-	e := New(Config{})
+	e := MustNew(Config{})
 	s := e.NewSession(e.Admin())
 	mustExec(t, s, `CREATE TABLE a (x BIGINT); CREATE TABLE b (y BIGINT) USING DISK`)
 	mustExec(t, s, `CREATE VIEW v AS SELECT x FROM a`)

@@ -260,6 +260,9 @@ func (s *Session) insertRow(t *catalog.Table, row []types.Value, declTags label.
 	}
 	lk.Unlock()
 	s.stmtTx.RecordInsert(t.Heap, tid, lw, liw)
+	if err := s.logInsert(t, tid, lw, liw, row); err != nil {
+		return err
+	}
 
 	// The Foreign Key Rule (§5.2.2).
 	for i := range t.ForeignKeys {
@@ -634,6 +637,12 @@ func (s *Session) executeUpdate(up *sql.UpdateStmt, qc *qctx) (int, error) {
 		}
 		lk.Unlock()
 		s.stmtTx.RecordInsert(t.Heap, tid, lw, liw)
+		if err := s.logDelete(t, tg.tid); err != nil {
+			return n, err
+		}
+		if err := s.logInsert(t, tid, lw, liw, newRow); err != nil {
+			return n, err
+		}
 
 		// Re-verify FKs whose columns changed.
 		for i := range t.ForeignKeys {
@@ -774,6 +783,9 @@ func (s *Session) deleteOne(t *catalog.Table, tg target, qc *qctx) error {
 		return fmt.Errorf("%w: %q is referenced by %q (%s)", ErrForeignKey, t.Name, rf.Table.Name, rf.FK.Name)
 	}
 	if err := s.stmtTx.Delete(t.Heap, tg.tid, tg.tv.Label, tg.tv.ILabel); err != nil {
+		return err
+	}
+	if err := s.logDelete(t, tg.tid); err != nil {
 		return err
 	}
 	return s.fireTriggers(t, "AFTER", "DELETE", tg.tv.Row, nil, tg.tv.Label, qc)

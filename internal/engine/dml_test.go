@@ -8,7 +8,7 @@ import (
 )
 
 func TestInsertDefaultsAndNotNull(t *testing.T) {
-	e := New(Config{})
+	e := MustNew(Config{})
 	s := e.NewSession(e.Admin())
 	mustExec(t, s, `CREATE TABLE t (
 		id BIGINT PRIMARY KEY,
@@ -37,7 +37,7 @@ func TestInsertDefaultsAndNotNull(t *testing.T) {
 }
 
 func TestUniqueConstraintPlain(t *testing.T) {
-	e := New(Config{})
+	e := MustNew(Config{})
 	s := e.NewSession(e.Admin())
 	mustExec(t, s, `CREATE TABLE u (
 		id BIGINT PRIMARY KEY,
@@ -127,7 +127,7 @@ func TestForeignKeyRestrict(t *testing.T) {
 }
 
 func TestForeignKeyCascade(t *testing.T) {
-	e := New(Config{})
+	e := MustNew(Config{})
 	s := e.NewSession(e.Admin())
 	mustExec(t, s, `
 	CREATE TABLE parent (id BIGINT PRIMARY KEY);
@@ -153,7 +153,7 @@ func TestForeignKeyCascade(t *testing.T) {
 }
 
 func TestCheckConstraint(t *testing.T) {
-	e := New(Config{})
+	e := MustNew(Config{})
 	s := e.NewSession(e.Admin())
 	mustExec(t, s, `CREATE TABLE acc (id BIGINT PRIMARY KEY, bal BIGINT, CHECK (bal >= 0))`)
 	mustExec(t, s, `INSERT INTO acc VALUES (1, 10)`)
@@ -237,7 +237,7 @@ func TestWriteWriteConflictAcrossSessions(t *testing.T) {
 }
 
 func TestTriggersOrdinary(t *testing.T) {
-	e := New(Config{})
+	e := MustNew(Config{})
 	s := e.NewSession(e.Admin())
 	mustExec(t, s, `CREATE TABLE audit (what TEXT)`)
 	mustExec(t, s, `CREATE TABLE work (id BIGINT PRIMARY KEY, v BIGINT)`)
@@ -269,7 +269,7 @@ func TestTriggersOrdinary(t *testing.T) {
 }
 
 func TestBeforeTriggerMutatesRow(t *testing.T) {
-	e := New(Config{})
+	e := MustNew(Config{})
 	s := e.NewSession(e.Admin())
 	mustExec(t, s, `CREATE TABLE norm (id BIGINT PRIMARY KEY, name TEXT)`)
 	if err := e.RegisterProc("normalize", func(ps *Session, _ []types.Value) (types.Value, error) {
@@ -286,7 +286,7 @@ func TestBeforeTriggerMutatesRow(t *testing.T) {
 }
 
 func TestTriggerFailureAbortsStatement(t *testing.T) {
-	e := New(Config{})
+	e := MustNew(Config{})
 	s := e.NewSession(e.Admin())
 	mustExec(t, s, `CREATE TABLE guarded (id BIGINT PRIMARY KEY)`)
 	if err := e.RegisterProc("refuse", func(ps *Session, _ []types.Value) (types.Value, error) {
@@ -347,7 +347,7 @@ func TestDropTable(t *testing.T) {
 }
 
 func TestOnDiskTableDML(t *testing.T) {
-	e := New(Config{BufferPoolPages: 4})
+	e := MustNew(Config{BufferPoolPages: 4})
 	s := e.NewSession(e.Admin())
 	mustExec(t, s, `CREATE TABLE big (id BIGINT PRIMARY KEY, payload TEXT) USING DISK`)
 	long := types.NewText(string(make([]byte, 512)))

@@ -14,8 +14,10 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"os"
 	"strings"
 	"sync"
+	"time"
 
 	"ifdb/internal/authority"
 	"ifdb/internal/catalog"
@@ -25,6 +27,7 @@ import (
 	"ifdb/internal/storage"
 	"ifdb/internal/txn"
 	"ifdb/internal/types"
+	"ifdb/internal/wal"
 )
 
 // Errors surfaced by the engine. Tests and applications match on
@@ -88,6 +91,19 @@ type Config struct {
 	// BufferPoolPages is the per-table buffer pool capacity for disk
 	// tables (default 256 pages = 2 MiB).
 	BufferPoolPages int
+
+	// SyncMode selects the WAL durability discipline: "off", "commit"
+	// (one fsync per commit), or "group" (batched fsyncs; the default).
+	// Meaningful only when DataDir is set — without a data directory
+	// there is no log.
+	SyncMode string
+
+	// CheckpointEvery, when positive, checkpoints the database on that
+	// period: the catalog, authority state, and in-memory heaps are
+	// snapshotted, dirty disk pages flushed, and the WAL truncated.
+	// Zero disables periodic checkpoints (Checkpoint can still be
+	// called explicitly, and Close always takes a final one).
+	CheckpointEvery time.Duration
 }
 
 // Engine is one IFDB database instance.
@@ -124,6 +140,28 @@ type Engine struct {
 
 	// diskTables counts tables created USING DISK (for stats).
 	diskTables int
+
+	// Durability state (nil / zero when DataDir is unset): the
+	// write-ahead log, the DDL history replayed from checkpoint
+	// snapshots, and the background checkpointer. recovering marks the
+	// replay phase, during which DDL re-execution tolerates duplicates
+	// and skips authority/procedure checks already vetted at original
+	// execution time.
+	wal        *wal.Writer
+	recovering bool
+	ddlMu      sync.Mutex
+	ddlLog     []ddlEntry
+
+	ckptMu   sync.Mutex // serializes whole checkpoints
+	ckptStop chan struct{}
+	ckptDone chan struct{}
+	closed   bool
+}
+
+// ddlEntry is one replayable DDL statement with its issuing principal.
+type ddlEntry struct {
+	Principal uint64
+	Text      string
 }
 
 // Proc is a stored procedure: a Go function executing with access to
@@ -141,8 +179,10 @@ type Proc struct {
 // the proc is an authority closure).
 type ProcFunc func(s *Session, args []types.Value) (types.Value, error)
 
-// New creates an engine.
-func New(cfg Config) *Engine {
+// New creates an engine. When cfg.DataDir is set the engine is
+// durable: it replays the checkpoint snapshot and write-ahead log
+// found there (crash recovery), then logs every subsequent mutation.
+func New(cfg Config) (*Engine, error) {
 	if cfg.BufferPoolPages <= 0 {
 		cfg.BufferPoolPages = 256
 	}
@@ -159,7 +199,32 @@ func New(cfg Config) *Engine {
 		nameOf:   make(map[label.Tag]string),
 		procs:    make(map[string]*Proc),
 	}
-	e.admin = auth.CreatePrincipal("admin")
+	if cfg.DataDir != "" {
+		if err := e.openDurable(); err != nil {
+			return nil, err
+		}
+	}
+	if e.admin == authority.NoPrincipal {
+		// Fresh database (or no durability): mint the administrator.
+		// With a WAL attached, the authority hook logs the principal so
+		// recovery restores the same id.
+		e.admin = auth.CreatePrincipal("admin")
+	}
+	if cfg.CheckpointEvery > 0 && e.wal != nil {
+		e.ckptStop = make(chan struct{})
+		e.ckptDone = make(chan struct{})
+		go e.checkpointLoop(cfg.CheckpointEvery)
+	}
+	return e, nil
+}
+
+// MustNew is New for callers that cannot fail (no DataDir, so no
+// recovery I/O); it panics on error.
+func MustNew(cfg Config) *Engine {
+	e, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
 	return e
 }
 
@@ -328,7 +393,7 @@ func (e *Engine) newHeap(name string, onDisk bool) (storage.Heap, error) {
 	}
 	var store pager.PageStore
 	if e.cfg.DataDir != "" {
-		fs, err := pager.OpenFileStore(e.cfg.DataDir + "/" + strings.ToLower(name) + ".heap")
+		fs, err := pager.OpenFileStore(e.heapPath(name))
 		if err != nil {
 			return nil, err
 		}
@@ -338,6 +403,24 @@ func (e *Engine) newHeap(name string, onDisk bool) (storage.Heap, error) {
 	}
 	e.diskTables++
 	return pager.NewPagedHeap(store, e.cfg.BufferPoolPages), nil
+}
+
+// dropTable removes a table from the catalog and, for disk tables,
+// deletes the backing heap file — otherwise re-creating the table
+// would resurrect stale pages.
+func (e *Engine) dropTable(name string) error {
+	t, _ := e.cat.Table(name)
+	if err := e.cat.DropTable(name); err != nil {
+		return err
+	}
+	if t != nil && t.OnDisk {
+		e.diskTables--
+		if ph, ok := t.Heap.(*pager.PagedHeap); ok && e.cfg.DataDir != "" {
+			_ = ph.Close(true)
+			_ = os.Remove(e.heapPath(t.Name))
+		}
+	}
+	return nil
 }
 
 // Vacuum reclaims dead tuple versions in every table and prunes index

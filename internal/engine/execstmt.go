@@ -110,23 +110,38 @@ func (s *Session) ExecStmt(st sql.Statement, params ...types.Value) (*Result, er
 			return nil
 		case *sql.CreateTableStmt:
 			res = &Result{}
-			return s.executeCreateTable(x)
+			if err := s.executeCreateTable(x); err != nil {
+				return err
+			}
+			return s.eng.logDDL(s.principal, x.Text)
 		case *sql.DropTableStmt:
 			res = &Result{}
-			err := s.eng.cat.DropTable(x.Name)
-			if err != nil && x.IfExists {
+			err := s.eng.dropTable(x.Name)
+			if err != nil && (x.IfExists || s.eng.recovering) {
 				return nil
 			}
-			return err
+			if err != nil {
+				return err
+			}
+			return s.eng.logDDL(s.principal, x.Text)
 		case *sql.CreateIndexStmt:
 			res = &Result{}
-			return s.executeCreateIndex(x)
+			if err := s.executeCreateIndex(x); err != nil {
+				return err
+			}
+			return s.eng.logDDL(s.principal, x.Text)
 		case *sql.CreateViewStmt:
 			res = &Result{}
-			return s.executeCreateView(x)
+			if err := s.executeCreateView(x); err != nil {
+				return err
+			}
+			return s.eng.logDDL(s.principal, x.Text)
 		case *sql.CreateTriggerStmt:
 			res = &Result{}
-			return s.executeCreateTrigger(x)
+			if err := s.executeCreateTrigger(x); err != nil {
+				return err
+			}
+			return s.eng.logDDL(s.principal, x.Text)
 		default:
 			return fmt.Errorf("engine: unsupported statement %T", st)
 		}

@@ -20,7 +20,7 @@ type ifcFixture struct {
 
 func newIFC(t *testing.T) *ifcFixture {
 	t.Helper()
-	e := New(Config{IFC: true})
+	e := MustNew(Config{IFC: true})
 	f := &ifcFixture{e: e}
 	f.admin = e.NewSession(e.Admin())
 	mustExec(t, f.admin, `CREATE TABLE records (
@@ -459,7 +459,7 @@ func TestReducedAuthorityCall(t *testing.T) {
 }
 
 func TestIFCOffBehavesLikePlainDB(t *testing.T) {
-	e := New(Config{IFC: false})
+	e := MustNew(Config{IFC: false})
 	s := e.NewSession(e.Admin())
 	mustExec(t, s, `CREATE TABLE t (id BIGINT PRIMARY KEY)`)
 	mustExec(t, s, `INSERT INTO t VALUES (1)`)

@@ -18,7 +18,7 @@ import (
 func TestQuickNoQueryLeaksLabels(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
-		e := New(Config{IFC: true})
+		e := MustNew(Config{IFC: true})
 		admin := e.NewSession(e.Admin())
 		if _, err := admin.Exec(`
 			CREATE TABLE data (id BIGINT PRIMARY KEY, grp BIGINT, v BIGINT);
@@ -110,7 +110,7 @@ func TestQuickNoQueryLeaksLabels(t *testing.T) {
 func TestQuickVisibilityCompleteness(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
-		e := New(Config{IFC: true})
+		e := MustNew(Config{IFC: true})
 		admin := e.NewSession(e.Admin())
 		if _, err := admin.Exec(`CREATE TABLE d (id BIGINT PRIMARY KEY)`); err != nil {
 			t.Fatal(err)
@@ -185,7 +185,7 @@ func TestQuickVisibilityCompleteness(t *testing.T) {
 func TestQuickPolyinstantiationInvariant(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
-		e := New(Config{IFC: true})
+		e := MustNew(Config{IFC: true})
 		admin := e.NewSession(e.Admin())
 		if _, err := admin.Exec(`CREATE TABLE p (k BIGINT PRIMARY KEY, who BIGINT)`); err != nil {
 			t.Fatal(err)

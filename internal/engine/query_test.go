@@ -12,7 +12,7 @@ import (
 // query tests.
 func newTestDB(t *testing.T, ifc bool) (*Engine, *Session) {
 	t.Helper()
-	e := New(Config{IFC: ifc})
+	e := MustNew(Config{IFC: ifc})
 	s := e.NewSession(e.Admin())
 	mustExec(t, s, `
 	CREATE TABLE dept (

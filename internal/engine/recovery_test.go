@@ -1,0 +1,440 @@
+package engine
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ifdb/internal/txn"
+	"ifdb/internal/types"
+)
+
+// openDurableEngine opens an engine on dir; crash-simulation tests
+// simply drop the returned engine without Close.
+func openDurableEngine(t *testing.T, dir string, ifc bool) *Engine {
+	t.Helper()
+	e, err := New(Config{IFC: ifc, DataDir: dir, SyncMode: "off"})
+	if err != nil {
+		t.Fatalf("open %s: %v", dir, err)
+	}
+	return e
+}
+
+func countRows(t *testing.T, s *Session, q string) int {
+	t.Helper()
+	res, err := s.Exec(q)
+	if err != nil {
+		t.Fatalf("%s: %v", q, err)
+	}
+	return len(res.Rows)
+}
+
+// TestTornRestartMemTable is the core crash-recovery contract on an
+// in-memory table: committed transactions survive an unclean reopen,
+// in-flight and aborted ones do not.
+func TestTornRestartMemTable(t *testing.T) {
+	for _, disk := range []bool{false, true} {
+		name := "mem"
+		using := ""
+		if disk {
+			name, using = "disk", " USING DISK"
+		}
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			e1 := openDurableEngine(t, dir, false)
+			s := e1.NewSession(e1.Admin())
+			mustExec(t, s, `CREATE TABLE accounts (id BIGINT PRIMARY KEY, balance BIGINT)`+using)
+			mustExec(t, s, `INSERT INTO accounts VALUES (1, 100), (2, 200), (3, 300)`)
+			mustExec(t, s, `UPDATE accounts SET balance = 150 WHERE id = 1`)
+			mustExec(t, s, `DELETE FROM accounts WHERE id = 3`)
+
+			// An explicitly aborted transaction.
+			mustExec(t, s, `BEGIN`)
+			mustExec(t, s, `INSERT INTO accounts VALUES (50, 1)`)
+			mustExec(t, s, `ROLLBACK`)
+
+			// In flight at the "crash": began, wrote, never committed.
+			// It deletes id=2 as well — the stamp must not survive.
+			s2 := e1.NewSession(e1.Admin())
+			mustExec(t, s2, `BEGIN`)
+			mustExec(t, s2, `INSERT INTO accounts VALUES (99, 999)`)
+			mustExec(t, s2, `DELETE FROM accounts WHERE id = 2`)
+			// no COMMIT: crash here.
+
+			e2 := openDurableEngine(t, dir, false)
+			r := e2.NewSession(e2.Admin())
+			res := mustExec(t, r, `SELECT id, balance FROM accounts ORDER BY id`)
+			if len(res.Rows) != 2 {
+				t.Fatalf("after recovery: %d rows, want 2: %v", len(res.Rows), res.Rows)
+			}
+			if res.Rows[0][1].Int() != 150 || res.Rows[1][0].Int() != 2 {
+				t.Fatalf("wrong rows after recovery: %v", res.Rows)
+			}
+			// The in-flight deleter's xmax stamp must be gone: id=2 is
+			// updatable without a serialization failure.
+			mustExec(t, r, `UPDATE accounts SET balance = 250 WHERE id = 2`)
+			// Primary key index recovered: uniqueness still enforced.
+			if _, err := r.Exec(`INSERT INTO accounts VALUES (1, 0)`); !errors.Is(err, ErrUnique) {
+				t.Fatalf("unique constraint lost in recovery: %v", err)
+			}
+			// Index lookups see recovered rows.
+			res = mustExec(t, r, `SELECT balance FROM accounts WHERE id = 2`)
+			if len(res.Rows) != 1 || res.Rows[0][0].Int() != 250 {
+				t.Fatalf("index probe after recovery: %v", res.Rows)
+			}
+		})
+	}
+}
+
+// TestRecoveryIFCState checks that labels, principals, tags, and
+// delegations survive a torn restart: the security state is data too.
+func TestRecoveryIFCState(t *testing.T) {
+	dir := t.TempDir()
+	e1 := openDurableEngine(t, dir, true)
+	s := e1.NewSession(e1.Admin())
+	mustExec(t, s, `CREATE TABLE secrets (k TEXT PRIMARY KEY, v TEXT)`)
+
+	alice := e1.CreatePrincipal("alice")
+	bob := e1.CreatePrincipal("bob")
+	tag, err := e1.CreateTag(alice, "alice_medical")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e1.Authority().Delegate(alice, bob, tag); err != nil {
+		t.Fatal(err)
+	}
+
+	sa := e1.NewSession(alice)
+	if err := sa.AddSecrecy(tag); err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, sa, `INSERT INTO secrets VALUES ('diagnosis', 'HIV')`)
+	// Unlabeled, public row.
+	mustExec(t, s, `INSERT INTO secrets VALUES ('motd', 'hello')`)
+	// crash.
+
+	e2 := openDurableEngine(t, dir, true)
+	alice2, ok := e2.Authority().PrincipalByName("alice")
+	if !ok || alice2 != alice {
+		t.Fatalf("alice not recovered: got %d want %d", alice2, alice)
+	}
+	bob2, _ := e2.Authority().PrincipalByName("bob")
+	if bob2 != bob {
+		t.Fatalf("bob not recovered")
+	}
+	tag2, ok := e2.LookupTag("alice_medical")
+	if !ok || tag2 != tag {
+		t.Fatalf("tag not recovered: got %d want %d", tag2, tag)
+	}
+	if e2.Admin() != e1.Admin() {
+		t.Fatalf("admin principal changed across restart: %d vs %d", e2.Admin(), e1.Admin())
+	}
+
+	// Label confinement still holds on the recovered heap.
+	pub := e2.NewSession(e2.Admin())
+	if n := countRows(t, pub, `SELECT * FROM secrets`); n != 1 {
+		t.Fatalf("empty-label session sees %d rows, want 1", n)
+	}
+	sa2 := e2.NewSession(alice2)
+	if err := sa2.AddSecrecy(tag2); err != nil {
+		t.Fatal(err)
+	}
+	if n := countRows(t, sa2, `SELECT * FROM secrets`); n != 2 {
+		t.Fatalf("contaminated session sees %d rows, want 2", n)
+	}
+	// Authority (including the recovered delegation) still works.
+	if err := sa2.Declassify(tag2); err != nil {
+		t.Fatalf("alice lost her own authority: %v", err)
+	}
+	if !e2.Authority().HasAuthority(bob2, tag2) {
+		t.Fatalf("bob's delegated authority lost in recovery")
+	}
+}
+
+// TestCheckpointThenCrash covers the snapshot + tail-of-log replay
+// path: work before the checkpoint comes from the snapshot, work
+// after it from the WAL, and the WAL is actually truncated.
+func TestCheckpointThenCrash(t *testing.T) {
+	dir := t.TempDir()
+	e1 := openDurableEngine(t, dir, false)
+	s := e1.NewSession(e1.Admin())
+	mustExec(t, s, `CREATE TABLE log (id BIGINT PRIMARY KEY, msg TEXT) USING DISK`)
+	mustExec(t, s, `CREATE TABLE memlog (id BIGINT PRIMARY KEY, msg TEXT)`)
+	for i := 1; i <= 10; i++ {
+		mustExec(t, s, `INSERT INTO log VALUES ($1, 'before')`, types.NewInt(int64(i)))
+		mustExec(t, s, `INSERT INTO memlog VALUES ($1, 'before')`, types.NewInt(int64(i)))
+	}
+	if err := e1.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	walSize := func() int64 {
+		st, err := os.Stat(filepath.Join(dir, "wal.log"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.Size()
+	}
+	small := walSize()
+	for i := 11; i <= 20; i++ {
+		mustExec(t, s, `INSERT INTO log VALUES ($1, 'after')`, types.NewInt(int64(i)))
+		mustExec(t, s, `INSERT INTO memlog VALUES ($1, 'after')`, types.NewInt(int64(i)))
+	}
+	mustExec(t, s, `DELETE FROM memlog WHERE id = 1`)
+	if walSize() <= small {
+		t.Fatalf("WAL did not grow after checkpoint")
+	}
+	// crash.
+
+	e2 := openDurableEngine(t, dir, false)
+	r := e2.NewSession(e2.Admin())
+	if n := countRows(t, r, `SELECT * FROM log`); n != 20 {
+		t.Fatalf("disk table: %d rows, want 20", n)
+	}
+	if n := countRows(t, r, `SELECT * FROM memlog`); n != 19 {
+		t.Fatalf("mem table: %d rows, want 19", n)
+	}
+	// Both snapshot-restored and WAL-replayed rows must be indexed.
+	for _, id := range []int64{2, 15} {
+		res := mustExec(t, r, `SELECT msg FROM memlog WHERE id = $1`, types.NewInt(id))
+		if len(res.Rows) != 1 {
+			t.Fatalf("memlog id %d not found via index", id)
+		}
+	}
+}
+
+// TestCleanShutdownRecoversFromSnapshotAlone: Close checkpoints, so a
+// reopened database replays an empty log.
+func TestCleanShutdown(t *testing.T) {
+	dir := t.TempDir()
+	e1 := openDurableEngine(t, dir, false)
+	s := e1.NewSession(e1.Admin())
+	mustExec(t, s, `CREATE TABLE t (a BIGINT PRIMARY KEY)`)
+	mustExec(t, s, `INSERT INTO t VALUES (1), (2)`)
+	if err := e1.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if err := e1.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	e2 := openDurableEngine(t, dir, false)
+	r := e2.NewSession(e2.Admin())
+	if n := countRows(t, r, `SELECT * FROM t`); n != 2 {
+		t.Fatalf("after clean shutdown: %d rows, want 2", n)
+	}
+	if err := e2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCorruptWALTail appends garbage to the log (a torn final write)
+// and checks recovery keeps everything before it.
+func TestCorruptWALTail(t *testing.T) {
+	dir := t.TempDir()
+	e1 := openDurableEngine(t, dir, false)
+	s := e1.NewSession(e1.Admin())
+	mustExec(t, s, `CREATE TABLE t (a BIGINT)`)
+	mustExec(t, s, `INSERT INTO t VALUES (1), (2), (3)`)
+	// crash, with junk after the last record.
+	f, err := os.OpenFile(filepath.Join(dir, "wal.log"), os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0xDE, 0xAD, 0xBE, 0xEF, 0x01, 0x02}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	e2 := openDurableEngine(t, dir, false)
+	r := e2.NewSession(e2.Admin())
+	if n := countRows(t, r, `SELECT * FROM t`); n != 3 {
+		t.Fatalf("after torn tail: %d rows, want 3", n)
+	}
+	// And the engine can keep writing + survive another restart.
+	mustExec(t, r, `INSERT INTO t VALUES (4)`)
+	e3 := openDurableEngine(t, dir, false)
+	r3 := e3.NewSession(e3.Admin())
+	if n := countRows(t, r3, `SELECT * FROM t`); n != 4 {
+		t.Fatalf("after re-append: %d rows, want 4", n)
+	}
+}
+
+// TestRecoveryDDLObjects: views (incl. declassifying), secondary
+// indexes, triggers, and DROP TABLE all replay.
+func TestRecoveryDDLObjects(t *testing.T) {
+	dir := t.TempDir()
+	e1 := openDurableEngine(t, dir, true)
+	s := e1.NewSession(e1.Admin())
+	mustExec(t, s, `CREATE TABLE cars (id BIGINT PRIMARY KEY, owner TEXT, speed BIGINT)`)
+	mustExec(t, s, `CREATE INDEX cars_owner ON cars (owner)`)
+	mustExec(t, s, `CREATE TABLE scratch (x BIGINT)`)
+	mustExec(t, s, `DROP TABLE scratch`)
+
+	alice := e1.CreatePrincipal("alice")
+	tag, err := e1.CreateTag(alice, "alice_loc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa := e1.NewSession(alice)
+	if err := sa.AddSecrecy(tag); err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, sa, `INSERT INTO cars VALUES (1, 'alice', 88)`)
+	if err := sa.Declassify(tag); err != nil {
+		t.Fatal(err)
+	}
+	// A declassifying view created under alice's authority.
+	mustExec(t, sa, `CREATE VIEW fast_cars AS SELECT id, speed FROM cars WHERE speed > 50 WITH DECLASSIFYING (alice_loc)`)
+
+	// A trigger bound to a stored procedure.
+	if err := e1.RegisterProc("audit", func(s *Session, args []types.Value) (types.Value, error) {
+		return types.Null, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, s, `CREATE TRIGGER cars_audit AFTER INSERT ON cars EXECUTE PROCEDURE audit`)
+	// crash.
+
+	e2 := openDurableEngine(t, dir, true)
+	if _, ok := e2.Catalog().Table("scratch"); ok {
+		t.Fatalf("dropped table resurrected")
+	}
+	ct, ok := e2.Catalog().Table("cars")
+	if !ok {
+		t.Fatalf("cars not recovered")
+	}
+	foundIdx := false
+	for _, ix := range ct.Indexes {
+		if ix.Name == "cars_owner" {
+			foundIdx = true
+		}
+	}
+	if !foundIdx {
+		t.Fatalf("secondary index not recovered")
+	}
+	v, ok := e2.Catalog().View("fast_cars")
+	if !ok || !v.IsDeclassifying() {
+		t.Fatalf("declassifying view not recovered: %+v", v)
+	}
+	// The view declassifies: an empty-label session sees the row.
+	pub := e2.NewSession(e2.Admin())
+	if n := countRows(t, pub, `SELECT * FROM fast_cars`); n != 1 {
+		t.Fatalf("declassifying view returned %d rows, want 1", n)
+	}
+	// The trigger survives; after the app re-registers the proc it
+	// fires (and without registration the insert fails loudly).
+	alice2, _ := e2.Authority().PrincipalByName("alice")
+	sa2 := e2.NewSession(alice2)
+	tag2, _ := e2.LookupTag("alice_loc")
+	if err := sa2.AddSecrecy(tag2); err != nil {
+		t.Fatal(err)
+	}
+	fired := false
+	if err := e2.RegisterProc("audit", func(s *Session, args []types.Value) (types.Value, error) {
+		fired = true
+		return types.Null, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, sa2, `INSERT INTO cars VALUES (2, 'alice', 30)`)
+	if !fired {
+		t.Fatalf("recovered trigger did not fire")
+	}
+}
+
+// TestRecoverySequences: allocated values never repeat after a crash.
+func TestRecoverySequences(t *testing.T) {
+	dir := t.TempDir()
+	e1 := openDurableEngine(t, dir, false)
+	if err := e1.CreateSequence("ids"); err != nil {
+		t.Fatal(err)
+	}
+	s := e1.NewSession(e1.Admin())
+	mustExec(t, s, `CREATE TABLE t (id BIGINT PRIMARY KEY)`)
+	mustExec(t, s, `INSERT INTO t VALUES (nextval('ids')), (nextval('ids')), (nextval('ids'))`)
+	// crash.
+
+	e2 := openDurableEngine(t, dir, false)
+	if err := e2.CreateSequence("ids"); err != nil {
+		t.Fatalf("re-registering recovered sequence: %v", err)
+	}
+	s2 := e2.NewSession(e2.Admin())
+	mustExec(t, s2, `INSERT INTO t VALUES (nextval('ids'))`)
+	res := mustExec(t, s2, `SELECT id FROM t ORDER BY id DESC`)
+	if len(res.Rows) != 4 || res.Rows[0][0].Int() <= 3 {
+		t.Fatalf("sequence regressed after recovery: %v", res.Rows)
+	}
+}
+
+// TestRecoveryCommitDurabilityModes runs the torn-restart flow under
+// each sync mode; all must recover identically in-process (fsync
+// matters only for power loss, which tests cannot simulate).
+func TestRecoveryCommitDurabilityModes(t *testing.T) {
+	for _, mode := range []string{"off", "commit", "group"} {
+		t.Run(mode, func(t *testing.T) {
+			dir := t.TempDir()
+			e1, err := New(Config{DataDir: dir, SyncMode: mode})
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := e1.NewSession(e1.Admin())
+			mustExec(t, s, `CREATE TABLE t (a BIGINT)`)
+			mustExec(t, s, `INSERT INTO t VALUES (1)`)
+			e2, err := New(Config{DataDir: dir, SyncMode: mode})
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := e2.NewSession(e2.Admin())
+			if n := countRows(t, r, `SELECT * FROM t`); n != 1 {
+				t.Fatalf("mode %s: %d rows, want 1", mode, n)
+			}
+		})
+	}
+}
+
+// TestSnapshotCoversInFlightWrites: a transaction spanning a
+// checkpoint (wrote before it, commits after) must be recovered
+// complete — its pre-checkpoint writes come from the snapshot, its
+// commit record from the post-checkpoint log.
+func TestSnapshotCoversInFlightWrites(t *testing.T) {
+	dir := t.TempDir()
+	e1 := openDurableEngine(t, dir, false)
+	s := e1.NewSession(e1.Admin())
+	mustExec(t, s, `CREATE TABLE t (a BIGINT)`)
+
+	s2 := e1.NewSession(e1.Admin())
+	mustExec(t, s2, `BEGIN`)
+	mustExec(t, s2, `INSERT INTO t VALUES (42)`)
+	if err := e1.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, s2, `COMMIT`)
+	// crash.
+
+	e2 := openDurableEngine(t, dir, false)
+	r := e2.NewSession(e2.Admin())
+	res := mustExec(t, r, `SELECT a FROM t`)
+	if len(res.Rows) != 1 || res.Rows[0][0].Int() != 42 {
+		t.Fatalf("txn spanning checkpoint lost: %v", res.Rows)
+	}
+}
+
+// TestRecoveredXIDsDoNotCollide: new transactions after recovery must
+// draw XIDs above everything in the log, or visibility would corrupt.
+func TestRecoveredXIDsDoNotCollide(t *testing.T) {
+	dir := t.TempDir()
+	e1 := openDurableEngine(t, dir, false)
+	s := e1.NewSession(e1.Admin())
+	mustExec(t, s, `CREATE TABLE t (a BIGINT)`)
+	for i := 0; i < 5; i++ {
+		mustExec(t, s, `INSERT INTO t VALUES (1)`)
+	}
+	hi := e1.TxnManager().NextXID()
+
+	e2 := openDurableEngine(t, dir, false)
+	tx := e2.TxnManager().Begin(txn.SnapshotIsolation)
+	if uint64(tx.XID()) <= hi {
+		t.Fatalf("xid %d reused (pre-crash high water %d)", tx.XID(), hi)
+	}
+	tx.Abort()
+}

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"ifdb/internal/types"
@@ -29,17 +30,32 @@ import (
 type sequence struct {
 	mu       sync.Mutex
 	counters map[string]int64 // label-key -> last value
+
+	// recovered marks a sequence whose counters were rebuilt by crash
+	// recovery before the application re-registered it; the next
+	// CreateSequence call adopts it instead of erroring.
+	recovered bool
 }
 
 // CreateSequence registers a sequence. Creating one requires nothing
-// special: the sequence object itself carries no data.
+// special: the sequence object itself carries no data. Sequences are
+// registered from application code each run (like stored procedures),
+// but their counters are durable: re-creating a sequence recovery
+// already rebuilt adopts the recovered counters.
 func (e *Engine) CreateSequence(name string) error {
 	e.seqMu.Lock()
 	defer e.seqMu.Unlock()
 	if e.sequences == nil {
 		e.sequences = make(map[string]*sequence)
 	}
-	if _, dup := e.sequences[name]; dup {
+	if existing, dup := e.sequences[name]; dup {
+		existing.mu.Lock()
+		wasRecovered := existing.recovered
+		existing.recovered = false
+		existing.mu.Unlock()
+		if wasRecovered {
+			return nil
+		}
 		return fmt.Errorf("engine: sequence %q already exists", name)
 	}
 	e.sequences[name] = &sequence{counters: make(map[string]int64)}
@@ -47,7 +63,9 @@ func (e *Engine) CreateSequence(name string) error {
 }
 
 // nextval returns the next value of the named sequence in the calling
-// session's label partition.
+// session's label partition. Each allocation is WAL-logged so a
+// recovered database never re-issues a value a committed transaction
+// already consumed (durability rides on that transaction's fsync).
 func (s *Session) nextval(name string) (types.Value, error) {
 	s.eng.seqMu.RLock()
 	seq, ok := s.eng.sequences[name]
@@ -63,5 +81,70 @@ func (s *Session) nextval(name string) (types.Value, error) {
 	seq.counters[key]++
 	v := seq.counters[key]
 	seq.mu.Unlock()
+	s.eng.logSeqVal(name, key, v)
 	return types.NewInt(v), nil
+}
+
+// restoreSeqVal replays one RecSeqVal record: counters only move
+// forward, and the sequence is created (marked recovered) if the
+// application has not re-registered it yet.
+func (e *Engine) restoreSeqVal(name, key string, value int64) {
+	e.seqMu.Lock()
+	if e.sequences == nil {
+		e.sequences = make(map[string]*sequence)
+	}
+	seq, ok := e.sequences[name]
+	if !ok {
+		seq = &sequence{counters: make(map[string]int64), recovered: true}
+		e.sequences[name] = seq
+	}
+	e.seqMu.Unlock()
+	seq.mu.Lock()
+	if value > seq.counters[key] {
+		seq.counters[key] = value
+	}
+	seq.mu.Unlock()
+}
+
+// appendSequenceSnapshot serializes sequence counters for a
+// checkpoint: name count, then per sequence its name, partition
+// count, and (label key, last value) pairs.
+func (e *Engine) appendSequenceSnapshot(body []byte) []byte {
+	e.seqMu.RLock()
+	names := make([]string, 0, len(e.sequences))
+	for n := range e.sequences {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	body = appendUv(body, uint64(len(names)))
+	for _, n := range names {
+		seq := e.sequences[n]
+		seq.mu.Lock()
+		keys := make([]string, 0, len(seq.counters))
+		for k := range seq.counters {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		body = appendStr(body, n)
+		body = appendUv(body, uint64(len(keys)))
+		for _, k := range keys {
+			body = appendStr(body, k)
+			body = appendUv(body, uint64(seq.counters[k]))
+		}
+		seq.mu.Unlock()
+	}
+	e.seqMu.RUnlock()
+	return body
+}
+
+// loadSequenceSnapshot is the inverse of appendSequenceSnapshot.
+func (e *Engine) loadSequenceSnapshot(r *snapReader) {
+	for n := r.uv(); n > 0; n-- {
+		name := r.str()
+		for p := r.uv(); p > 0; p-- {
+			key := r.str()
+			value := int64(r.uv())
+			e.restoreSeqVal(name, key, value)
+		}
+	}
 }

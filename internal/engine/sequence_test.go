@@ -50,7 +50,7 @@ func TestSequenceViaSQLCreate(t *testing.T) {
 }
 
 func TestSequenceConcurrentSameLabel(t *testing.T) {
-	e := New(Config{IFC: true})
+	e := MustNew(Config{IFC: true})
 	if err := e.CreateSequence("c"); err != nil {
 		t.Fatal(err)
 	}

@@ -37,7 +37,7 @@ func TestVacuumRespectsActiveSnapshots(t *testing.T) {
 // TestVacuumIsLabelExempt: vacuum reclaims high-labeled garbage even
 // though no session could see it (paper §7.1: the GC task is exempt).
 func TestVacuumIsLabelExempt(t *testing.T) {
-	e := New(Config{IFC: true})
+	e := MustNew(Config{IFC: true})
 	admin := e.NewSession(e.Admin())
 	mustExec(t, admin, `CREATE TABLE t (id BIGINT PRIMARY KEY)`)
 	alice := e.CreatePrincipal("alice")
@@ -65,7 +65,7 @@ func TestVacuumIsLabelExempt(t *testing.T) {
 
 // TestConcurrentNewSessionsAndVacuum races queries, churn, and vacuum.
 func TestConcurrentChurnWithVacuum(t *testing.T) {
-	e := New(Config{})
+	e := MustNew(Config{})
 	setup := e.NewSession(e.Admin())
 	mustExec(t, setup, `CREATE TABLE c (id BIGINT PRIMARY KEY, v BIGINT)`)
 	for i := int64(0); i < 50; i++ {

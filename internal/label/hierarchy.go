@@ -53,6 +53,16 @@ func (h *Hierarchy) Declare(t Tag, compounds ...Tag) error {
 	return nil
 }
 
+// Retract removes a tag's compound links. Links are immutable for
+// live tags; this exists solely so tag *creation* can roll back
+// cleanly when a later step (e.g. the WAL append) fails — at that
+// point no other thread has seen the tag.
+func (h *Hierarchy) Retract(t Tag) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	delete(h.parents, t)
+}
+
 // reachableLocked reports whether `to` is an ancestor of (or equal to)
 // `from` following parent links. Caller holds at least a read lock.
 func (h *Hierarchy) reachableLocked(from, to Tag) bool {

@@ -21,6 +21,13 @@ type PageStore interface {
 	Close() error
 }
 
+// SizedStore is implemented by stores that know how many pages they
+// already hold. The paged heap uses it to rediscover its page count
+// when a heap file is reopened after a restart.
+type SizedStore interface {
+	NumPages() (int, error)
+}
+
 // FileStore stores pages in a single flat file.
 type FileStore struct {
 	f *os.File
@@ -33,6 +40,15 @@ func OpenFileStore(path string) (*FileStore, error) {
 		return nil, fmt.Errorf("pager: open %s: %w", path, err)
 	}
 	return &FileStore{f: f}, nil
+}
+
+// NumPages reports how many pages the file currently holds.
+func (s *FileStore) NumPages() (int, error) {
+	st, err := s.f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return int((st.Size() + PageSize - 1) / PageSize), nil
 }
 
 // ReadPage reads page id into buf.
@@ -226,5 +242,15 @@ func (bp *BufferPool) Close() error {
 	if err := bp.FlushAll(); err != nil {
 		return err
 	}
+	return bp.store.Close()
+}
+
+// CloseDiscard closes the store without writing dirty pages back
+// (the caller is deleting the backing file).
+func (bp *BufferPool) CloseDiscard() error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	bp.frames = make(map[PageID]*frame)
+	bp.lru.Init()
 	return bp.store.Close()
 }

@@ -33,9 +33,18 @@ type PagedHeap struct {
 var _ storage.Heap = (*PagedHeap)(nil)
 
 // NewPagedHeap creates a heap over the given store with a buffer pool
-// of poolPages pages.
+// of poolPages pages. If the store already holds pages (a heap file
+// reopened after restart), the heap resumes from them; call Recount
+// after recovery to rebuild the live/bytes counters.
 func NewPagedHeap(store PageStore, poolPages int) *PagedHeap {
-	return &PagedHeap{pool: NewBufferPool(store, poolPages)}
+	h := &PagedHeap{pool: NewBufferPool(store, poolPages)}
+	if sized, ok := store.(SizedStore); ok {
+		if n, err := sized.NumPages(); err == nil && n > 0 {
+			h.nPages = n
+			h.lastPage = PageID(n - 1)
+		}
+	}
+	return h
 }
 
 // Pool exposes the buffer pool for cache accounting in benchmarks.
@@ -297,6 +306,94 @@ func (h *PagedHeap) ApproxBytes() int64 {
 	h.mu.RLock()
 	defer h.mu.RUnlock()
 	return h.bytes
+}
+
+// RestoreAt implements storage.RecoverableHeap: it re-places a logged
+// version at its exact (page, slot) during replay. Slots the flushed
+// page already allocated are left untouched (placed=false) — the
+// record's effect reached disk before the crash, or was vacuumed.
+func (h *PagedHeap) RestoreAt(tid storage.TID, tv storage.TupleVersion) (bool, error) {
+	rec, err := encodeRecord(tv)
+	if err != nil {
+		return false, err
+	}
+	pid, slot := unpackTID(tid)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if int(pid) >= h.nPages {
+		h.nPages = int(pid) + 1
+		h.lastPage = pid
+	}
+	placed := false
+	err = h.pool.WithPageDirty(pid, func(p page) error {
+		ok, err := p.restoreAt(slot, rec)
+		placed = ok
+		return err
+	})
+	if err != nil {
+		return false, err
+	}
+	if placed {
+		h.live++
+		h.bytes += int64(len(rec))
+	}
+	return placed, nil
+}
+
+// ForceXmax implements storage.RecoverableHeap: replay stamps only
+// committed deleters, which override any stale in-flight stamp a
+// flushed page may carry.
+func (h *PagedHeap) ForceXmax(tid storage.TID, xid storage.XID) {
+	pid, slot := unpackTID(tid)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if int(pid) >= h.nPages {
+		return
+	}
+	_ = h.pool.WithPageDirty(pid, func(p page) error {
+		if rec := p.record(slot); rec != nil {
+			binary.LittleEndian.PutUint64(rec[8:], uint64(xid))
+		}
+		return nil
+	})
+}
+
+// Recount rebuilds the live/bytes counters by scanning every page;
+// recovery calls it after reopening a heap file (whose counters are
+// not persisted).
+func (h *PagedHeap) Recount() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	live := 0
+	var bytes int64
+	for pid := PageID(0); int(pid) < h.nPages; pid++ {
+		err := h.pool.WithPage(pid, func(p page) error {
+			for s := 0; s < p.nSlots(); s++ {
+				if rec := p.record(s); rec != nil {
+					live++
+					bytes += int64(len(rec))
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	h.live, h.bytes = live, bytes
+	return nil
+}
+
+// Close releases the underlying store. With discard set, dirty pages
+// are dropped instead of written back (used when the table is being
+// dropped and its file deleted).
+func (h *PagedHeap) Close(discard bool) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if discard {
+		return h.pool.CloseDiscard()
+	}
+	return h.pool.Close()
 }
 
 // NPages returns the number of allocated pages (for space accounting).

@@ -104,6 +104,32 @@ func (p page) record(i int) []byte {
 	return p[off : off+ln]
 }
 
+// restoreAt places a record at exactly slot during crash recovery,
+// creating tombstones for any gap (slots of inserts replay skipped).
+// An already-allocated slot — occupied or tombstoned — is left alone:
+// the page reached disk after that insert (or after its vacuum), so
+// the log record's effect is already present.
+func (p page) restoreAt(slot int, rec []byte) (bool, error) {
+	if slot < p.nSlots() {
+		return false, nil
+	}
+	need := (slot + 1 - p.nSlots()) * slotSize
+	newHigh := p.freeHigh() - len(rec)
+	if pageHeaderSize+(slot+1)*slotSize > newHigh {
+		return false, fmt.Errorf("pager: restore of %d bytes at slot %d does not fit (%d slots, %d free)",
+			len(rec), slot, p.nSlots(), p.freeSpace()+slotSize-need)
+	}
+	for i := p.nSlots(); i < slot; i++ {
+		p.setSlot(i, 0, 0)
+	}
+	copy(p[newHigh:], rec)
+	p.setFreeHigh(newHigh)
+	p.setSlot(slot, newHigh, len(rec))
+	p.setNSlots(slot + 1)
+	p.setFreeLow(pageHeaderSize + (slot+1)*slotSize)
+	return true, nil
+}
+
 // tombstone marks slot i vacuumed. The space is reclaimed by compact.
 func (p page) tombstone(i int) {
 	if i < p.nSlots() {

@@ -42,14 +42,34 @@ func ParseAll(src string) ([]Statement, error) {
 		if p.peek().Kind == TokEOF {
 			return stmts, nil
 		}
+		start := p.peek().Pos
 		s, err := p.parseStatement()
 		if err != nil {
 			return nil, err
 		}
+		setStmtText(s, strings.TrimSpace(src[start:p.peek().Pos]))
 		stmts = append(stmts, s)
 		if !p.acceptOp(";") && p.peek().Kind != TokEOF {
 			return nil, p.errf("expected ';' or end of input")
 		}
+	}
+}
+
+// setStmtText records the source text of DDL statements. The engine's
+// write-ahead log replays DDL logically, by re-parsing this text, so
+// only statement kinds the log records carry it.
+func setStmtText(s Statement, text string) {
+	switch x := s.(type) {
+	case *CreateTableStmt:
+		x.Text = text
+	case *DropTableStmt:
+		x.Text = text
+	case *CreateIndexStmt:
+		x.Text = text
+	case *CreateViewStmt:
+		x.Text = text
+	case *CreateTriggerStmt:
+		x.Text = text
 	}
 }
 

@@ -101,6 +101,34 @@ func (h *MemHeap) Scan(fn func(tid TID, tv *TupleVersion) bool) {
 	}
 }
 
+// RestoreAt implements RecoverableHeap: it places tv at exactly tid,
+// growing the version slice as needed (gap entries stay nil, i.e.
+// tombstoned — they belonged to inserts replay skipped).
+func (h *MemHeap) RestoreAt(tid TID, tv TupleVersion) (bool, error) {
+	cp := tv
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for int(tid) >= len(h.versions) {
+		h.versions = append(h.versions, nil)
+	}
+	if h.versions[tid] != nil {
+		return false, nil
+	}
+	h.versions[tid] = &cp
+	h.live++
+	h.bytes += approxVersionBytes(&cp)
+	return true, nil
+}
+
+// ForceXmax implements RecoverableHeap.
+func (h *MemHeap) ForceXmax(tid TID, xid XID) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if int(tid) < len(h.versions) && h.versions[tid] != nil {
+		h.versions[tid].Xmax = xid
+	}
+}
+
 // Vacuum tombstones versions judged dead.
 func (h *MemHeap) Vacuum(dead func(tv *TupleVersion) bool) int {
 	h.mu.Lock()

@@ -118,3 +118,24 @@ type Heap interface {
 	// experiment (E7).
 	ApproxBytes() int64
 }
+
+// RecoverableHeap is the extra surface crash recovery needs. Both
+// heap backends implement it; replay uses these instead of the normal
+// mutation path because WAL records carry explicit TIDs and must be
+// re-applied idempotently at their original slots.
+type RecoverableHeap interface {
+	Heap
+
+	// RestoreAt places a version at exactly tid, filling any slot gap
+	// with tombstones (gaps arise when an uncommitted insert was
+	// skipped during replay). If the slot is already occupied or
+	// tombstoned — because a dirty page reached disk before the crash,
+	// or the version was vacuumed — RestoreAt is a no-op and reports
+	// placed=false.
+	RestoreAt(tid TID, tv TupleVersion) (placed bool, err error)
+
+	// ForceXmax unconditionally stamps tid's xmax (replay applies only
+	// committed deleters, which always win over any stale stamp a
+	// flushed page may carry).
+	ForceXmax(tid TID, xid XID)
+}

@@ -8,6 +8,7 @@ import (
 
 	"ifdb/internal/label"
 	"ifdb/internal/storage"
+	"ifdb/internal/wal"
 )
 
 // Errors returned by the transaction layer.
@@ -47,6 +48,12 @@ type Manager struct {
 
 	activeMu sync.Mutex
 	active   map[storage.XID]uint64 // xid -> snapshot seq (for vacuum horizon)
+
+	// wal, when attached, receives commit/abort records for
+	// transactions that logged at least one write. The commit record is
+	// appended while commitMu is held, so log order equals
+	// commit-sequence order — the prefix property group commit needs.
+	wal *wal.Writer
 }
 
 // NewManager returns a fresh transaction manager.
@@ -82,6 +89,11 @@ type Txn struct {
 	mode    Mode
 	done    bool
 	writes  []writeRec
+
+	// walLogged is set once the engine logs this transaction's first
+	// write; only such transactions get commit/abort records (read-only
+	// transactions leave no WAL trace).
+	walLogged bool
 
 	// deferred holds engine callbacks queued to run at commit time
 	// (deferred triggers and FK checks). Each runs with the label its
@@ -241,9 +253,30 @@ func (t *Txn) Commit(hier *label.Hierarchy, commitLabel, commitILabel label.Labe
 	}
 	t.m.commitMu.Lock()
 	seq := t.m.seq.Add(1)
+	var commitLSN wal.LSN
+	if t.m.wal != nil && t.walLogged {
+		lsn, err := t.m.wal.Append(&wal.Record{Type: wal.RecCommit, XID: t.xid, Seq: seq})
+		if err != nil {
+			// Nothing is visible yet; abort rather than commit a
+			// transaction whose outcome cannot be made durable.
+			t.m.commitMu.Unlock()
+			t.Abort()
+			return err
+		}
+		commitLSN = lsn
+	}
 	t.m.status.set(t.xid, seq)
 	t.m.commitMu.Unlock()
 	t.finish()
+	if t.m.wal != nil && t.walLogged {
+		// Durability wait per SyncMode (group commit batches this).
+		// The commit is already visible to concurrent transactions;
+		// any of them that commits afterwards appends behind us, so an
+		// fsync covering it covers us too — no read-then-lose anomaly.
+		if err := t.m.wal.WaitDurable(commitLSN); err != nil {
+			return fmt.Errorf("txn: commit %d applied but not durable: %w", t.xid, err)
+		}
+	}
 	return nil
 }
 
@@ -259,6 +292,11 @@ func (t *Txn) Abort() {
 		if w.kind == wDelete {
 			w.heap.ClearXmax(w.tid, t.xid)
 		}
+	}
+	if t.m.wal != nil && t.walLogged {
+		// Best effort: replay treats a transaction with no commit
+		// record as aborted anyway, so a lost abort record is harmless.
+		_, _ = t.m.wal.Append(&wal.Record{Type: wal.RecAbort, XID: t.xid})
 	}
 	t.finish()
 }
@@ -298,6 +336,75 @@ func (m *Manager) OldestSnapshot() uint64 {
 		}
 	}
 	return oldest
+}
+
+// ---------------------------------------------------------------------------
+// Durability plumbing
+
+// AttachWAL wires the write-ahead log into the commit/abort path.
+// Call before the manager hands out transactions that must be durable.
+func (m *Manager) AttachWAL(w *wal.Writer) { m.wal = w }
+
+// MarkLogged records that the engine has logged a WAL record for this
+// transaction, returning true on the first call (the engine uses that
+// to emit the lazy BEGIN record).
+func (t *Txn) MarkLogged() bool {
+	first := !t.walLogged
+	t.walLogged = true
+	return first
+}
+
+// RestoreCommitted marks xid committed with the given sequence during
+// recovery, advancing the commit-sequence counter past it. Idempotent.
+func (m *Manager) RestoreCommitted(xid storage.XID, seq uint64) {
+	if seq < firstSeq {
+		seq = firstSeq
+	}
+	m.status.set(xid, seq)
+	for {
+		cur := m.seq.Load()
+		if seq <= cur || m.seq.CompareAndSwap(cur, seq) {
+			break
+		}
+	}
+	m.BumpXID(xid)
+}
+
+// RestoreAborted marks xid aborted during recovery. Recovery also uses
+// this for transactions that were in flight at the crash: no commit
+// record means no commit.
+func (m *Manager) RestoreAborted(xid storage.XID) {
+	m.status.set(xid, statusAborted)
+	m.BumpXID(xid)
+}
+
+// BumpXID ensures future transactions get XIDs above x.
+func (m *Manager) BumpXID(x storage.XID) {
+	for {
+		cur := m.nextXID.Load()
+		if uint64(x) <= cur || m.nextXID.CompareAndSwap(cur, uint64(x)) {
+			return
+		}
+	}
+}
+
+// CommitSeq returns the last assigned commit sequence (checkpoint
+// capture stores it so recovery restarts the counter correctly).
+func (m *Manager) CommitSeq() uint64 { return m.seq.Load() }
+
+// NextXID returns the highest XID assigned so far.
+func (m *Manager) NextXID() uint64 { return m.nextXID.Load() }
+
+// RestoreCounters primes the XID and commit-sequence counters from a
+// checkpoint snapshot (both only ever move forward).
+func (m *Manager) RestoreCounters(nextXID, seq uint64) {
+	m.BumpXID(storage.XID(nextXID))
+	for {
+		cur := m.seq.Load()
+		if seq <= cur || m.seq.CompareAndSwap(cur, seq) {
+			return
+		}
+	}
 }
 
 // DeadVersion returns a predicate for Heap.Vacuum: a version is dead if

@@ -1,0 +1,748 @@
+// Package wal implements the write-ahead log underneath the IFDB
+// engine: an append-only file of CRC-protected, typed records that
+// makes commits durable and the whole in-memory state (catalog,
+// heaps, authority) reconstructible after a crash.
+//
+// The paper's prototype inherited durability from PostgreSQL's WAL;
+// this package supplies the equivalent for the Go reproduction. The
+// log is *logical*: it records tuple-level and catalog-level events
+// (insert, xmax stamp, DDL statement, authority change) rather than
+// page images, and recovery replays them in LSN order against the
+// last checkpoint snapshot. Replay is idempotent — a record whose
+// effect is already present (because a dirty page was flushed, or the
+// checkpoint raced the append) is skipped — so the engine may apply a
+// mutation first and log it second without a global quiesce.
+//
+// Commit ordering: commit records are appended while the transaction
+// manager holds its commit mutex, so log order equals commit-sequence
+// order and an fsync at LSN L makes every commit at or before L
+// durable. Group commit (SyncGroup) exploits exactly that prefix
+// property: one leader fsyncs on behalf of every committer that
+// appended while the previous fsync was in flight.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"runtime"
+	"sync"
+
+	"ifdb/internal/label"
+	"ifdb/internal/storage"
+	"ifdb/internal/types"
+)
+
+// LSN is a log sequence number: the logical byte offset of a
+// record's frame in the append stream. LSNs are monotonic for the
+// life of a Writer — a checkpoint truncates the *file* but does not
+// reset the logical stream, so durability positions never regress
+// and a committer waiting on a pre-checkpoint LSN is satisfied the
+// moment the checkpoint covers it. In a freshly opened log the LSN
+// equals the file offset.
+type LSN uint64
+
+// headerSize is the length of the file header ("IFDBWAL1"); the first
+// record lives at LSN 8.
+const headerSize = 8
+
+var fileMagic = [headerSize]byte{'I', 'F', 'D', 'B', 'W', 'A', 'L', '1'}
+
+// SyncMode selects the durability discipline for commits.
+type SyncMode uint8
+
+const (
+	// SyncOff never fsyncs: commits are durable only as the OS flushes.
+	SyncOff SyncMode = iota
+	// SyncCommit fsyncs once per commit (the safe, slow baseline).
+	SyncCommit
+	// SyncGroup batches concurrent commits into shared fsyncs: each
+	// committer waits until a group fsync covers its commit LSN.
+	SyncGroup
+)
+
+// ParseSyncMode maps the -sync flag spellings to a SyncMode.
+func ParseSyncMode(s string) (SyncMode, error) {
+	switch s {
+	case "", "group":
+		return SyncGroup, nil
+	case "off":
+		return SyncOff, nil
+	case "commit":
+		return SyncCommit, nil
+	}
+	return SyncOff, fmt.Errorf("wal: unknown sync mode %q (want off|commit|group)", s)
+}
+
+func (m SyncMode) String() string {
+	switch m {
+	case SyncOff:
+		return "off"
+	case SyncCommit:
+		return "commit"
+	case SyncGroup:
+		return "group"
+	}
+	return fmt.Sprintf("SyncMode(%d)", uint8(m))
+}
+
+// RecType identifies a log record.
+type RecType uint8
+
+// Record types.
+const (
+	RecInvalid RecType = iota
+	// Transaction lifecycle. Begin is logged lazily at a transaction's
+	// first logged write, so read-only transactions leave no trace.
+	RecBegin  // xid
+	RecCommit // xid, commit seq
+	RecAbort  // xid
+	// Tuple events. TIDs are logged explicitly so replay re-places
+	// versions at their exact slots, keeping index entries and xmax
+	// stamps valid.
+	RecInsert  // xid, table, tid, label, ilabel, row
+	RecSetXmax // xid, table, tid
+	// Catalog and authority events.
+	RecDDL       // principal, statement text
+	RecPrincipal // id, name
+	RecTag       // id, name, owner, parent compound tags
+	RecDelegate  // tag, grantor, grantee
+	RecRevoke    // tag, revoker, grantee
+	// Sequence allocation (value per label partition, see
+	// engine/sequence.go).
+	RecSeqVal // sequence name, label key, value
+	// Checkpoint markers. Begin goes to the old log just before the
+	// state capture (forensics only); End is the first record of the
+	// truncated log and records that a snapshot covers everything
+	// before it.
+	RecCheckpointBegin
+	RecCheckpointEnd
+)
+
+func (t RecType) String() string {
+	switch t {
+	case RecBegin:
+		return "BEGIN"
+	case RecCommit:
+		return "COMMIT"
+	case RecAbort:
+		return "ABORT"
+	case RecInsert:
+		return "INSERT"
+	case RecSetXmax:
+		return "SETXMAX"
+	case RecDDL:
+		return "DDL"
+	case RecPrincipal:
+		return "PRINCIPAL"
+	case RecTag:
+		return "TAG"
+	case RecDelegate:
+		return "DELEGATE"
+	case RecRevoke:
+		return "REVOKE"
+	case RecSeqVal:
+		return "SEQVAL"
+	case RecCheckpointBegin:
+		return "CKPT-BEGIN"
+	case RecCheckpointEnd:
+		return "CKPT-END"
+	}
+	return fmt.Sprintf("RecType(%d)", uint8(t))
+}
+
+// Record is the decoded form of one log record. Only the fields
+// meaningful for its Type are set; the reader and the dump tool share
+// this representation.
+type Record struct {
+	Type RecType
+	LSN  LSN
+
+	XID   storage.XID
+	Seq   uint64 // RecCommit: commit sequence
+	Table string // RecInsert/RecSetXmax
+	TID   storage.TID
+
+	Label  label.Label
+	ILabel label.Label
+	Row    []types.Value
+
+	Principal uint64 // RecDDL (issuer), RecPrincipal (id)
+	Text      string // RecDDL statement / RecPrincipal, RecTag, RecSeqVal names
+
+	Tag     uint64   // RecTag id, RecDelegate/RecRevoke tag
+	Owner   uint64   // RecTag owner
+	Parents []uint64 // RecTag compound parents
+	From    uint64   // RecDelegate grantor / RecRevoke revoker
+	To      uint64   // grantee
+
+	SeqKey string // RecSeqVal label partition key
+	Value  int64  // RecSeqVal value
+}
+
+// Summary renders a record for ifdb-dump.
+func (r *Record) Summary() string {
+	switch r.Type {
+	case RecBegin, RecAbort:
+		return fmt.Sprintf("lsn=%-8d %-10s xid=%d", r.LSN, r.Type, r.XID)
+	case RecCommit:
+		return fmt.Sprintf("lsn=%-8d %-10s xid=%d seq=%d", r.LSN, r.Type, r.XID, r.Seq)
+	case RecInsert:
+		return fmt.Sprintf("lsn=%-8d %-10s xid=%d table=%s tid=%d label=%v cols=%d", r.LSN, r.Type, r.XID, r.Table, r.TID, r.Label, len(r.Row))
+	case RecSetXmax:
+		return fmt.Sprintf("lsn=%-8d %-10s xid=%d table=%s tid=%d", r.LSN, r.Type, r.XID, r.Table, r.TID)
+	case RecDDL:
+		return fmt.Sprintf("lsn=%-8d %-10s principal=%d %q", r.LSN, r.Type, r.Principal, r.Text)
+	case RecPrincipal:
+		return fmt.Sprintf("lsn=%-8d %-10s id=%d name=%q", r.LSN, r.Type, r.Principal, r.Text)
+	case RecTag:
+		return fmt.Sprintf("lsn=%-8d %-10s id=%d name=%q owner=%d parents=%v", r.LSN, r.Type, r.Tag, r.Text, r.Owner, r.Parents)
+	case RecDelegate, RecRevoke:
+		return fmt.Sprintf("lsn=%-8d %-10s tag=%d from=%d to=%d", r.LSN, r.Type, r.Tag, r.From, r.To)
+	case RecSeqVal:
+		return fmt.Sprintf("lsn=%-8d %-10s seq=%q part=%q value=%d", r.LSN, r.Type, r.Text, r.SeqKey, r.Value)
+	case RecCheckpointBegin, RecCheckpointEnd:
+		return fmt.Sprintf("lsn=%-8d %-10s", r.LSN, r.Type)
+	}
+	return fmt.Sprintf("lsn=%-8d %v", r.LSN, r.Type)
+}
+
+// ---------------------------------------------------------------------------
+// Record encoding
+//
+// Frame layout:
+//
+//	uint32 payload length
+//	uint32 CRC-32 (Castagnoli) over the payload
+//	payload: 1 type byte + type-specific fields
+//
+// A torn tail (short frame or CRC mismatch) terminates replay, which
+// is the correct crash semantics: everything before the tear was
+// appended earlier and is intact.
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func readString(buf []byte) (string, int, error) {
+	n, sz := binary.Uvarint(buf)
+	if sz <= 0 || uint64(len(buf)-sz) < n {
+		return "", 0, fmt.Errorf("wal: truncated string")
+	}
+	return string(buf[sz : sz+int(n)]), sz + int(n), nil
+}
+
+func (r *Record) encodePayload(buf []byte) ([]byte, error) {
+	buf = append(buf, byte(r.Type))
+	var err error
+	switch r.Type {
+	case RecBegin, RecAbort:
+		buf = binary.AppendUvarint(buf, uint64(r.XID))
+	case RecCommit:
+		buf = binary.AppendUvarint(buf, uint64(r.XID))
+		buf = binary.AppendUvarint(buf, r.Seq)
+	case RecInsert:
+		buf = binary.AppendUvarint(buf, uint64(r.XID))
+		buf = appendString(buf, r.Table)
+		buf = binary.AppendUvarint(buf, uint64(r.TID))
+		if buf, err = label.AppendEncode(buf, r.Label); err != nil {
+			return nil, err
+		}
+		if buf, err = label.AppendEncode(buf, r.ILabel); err != nil {
+			return nil, err
+		}
+		if buf, err = types.EncodeRow(buf, r.Row); err != nil {
+			return nil, err
+		}
+	case RecSetXmax:
+		buf = binary.AppendUvarint(buf, uint64(r.XID))
+		buf = appendString(buf, r.Table)
+		buf = binary.AppendUvarint(buf, uint64(r.TID))
+	case RecDDL:
+		buf = binary.AppendUvarint(buf, r.Principal)
+		buf = appendString(buf, r.Text)
+	case RecPrincipal:
+		buf = binary.AppendUvarint(buf, r.Principal)
+		buf = appendString(buf, r.Text)
+	case RecTag:
+		buf = binary.AppendUvarint(buf, r.Tag)
+		buf = binary.AppendUvarint(buf, r.Owner)
+		buf = appendString(buf, r.Text)
+		buf = binary.AppendUvarint(buf, uint64(len(r.Parents)))
+		for _, p := range r.Parents {
+			buf = binary.AppendUvarint(buf, p)
+		}
+	case RecDelegate, RecRevoke:
+		buf = binary.AppendUvarint(buf, r.Tag)
+		buf = binary.AppendUvarint(buf, r.From)
+		buf = binary.AppendUvarint(buf, r.To)
+	case RecSeqVal:
+		buf = appendString(buf, r.Text)
+		buf = appendString(buf, r.SeqKey)
+		buf = binary.AppendUvarint(buf, uint64(r.Value))
+	case RecCheckpointBegin, RecCheckpointEnd:
+		// no payload beyond the type byte
+	default:
+		return nil, fmt.Errorf("wal: cannot encode record type %v", r.Type)
+	}
+	return buf, nil
+}
+
+func decodePayload(payload []byte) (r Record, err error) {
+	if len(payload) < 1 {
+		return r, fmt.Errorf("wal: empty payload")
+	}
+	r.Type = RecType(payload[0])
+	b := payload[1:]
+	u := func() uint64 {
+		n, sz := binary.Uvarint(b)
+		if sz <= 0 {
+			panic(errTruncated)
+		}
+		b = b[sz:]
+		return n
+	}
+	str := func() string {
+		s, n, err := readString(b)
+		if err != nil {
+			panic(errTruncated)
+		}
+		b = b[n:]
+		return s
+	}
+	defer func() {
+		if rec := recover(); rec != nil {
+			if rec == errTruncated {
+				err = fmt.Errorf("wal: truncated %v payload", r.Type)
+				return
+			}
+			panic(rec)
+		}
+	}()
+	switch r.Type {
+	case RecBegin, RecAbort:
+		r.XID = storage.XID(u())
+	case RecCommit:
+		r.XID = storage.XID(u())
+		r.Seq = u()
+	case RecInsert:
+		r.XID = storage.XID(u())
+		r.Table = str()
+		r.TID = storage.TID(u())
+		l, n, derr := label.Decode(b)
+		if derr != nil {
+			return r, derr
+		}
+		r.Label, b = l, b[n:]
+		il, n, derr := label.Decode(b)
+		if derr != nil {
+			return r, derr
+		}
+		r.ILabel, b = il, b[n:]
+		row, _, derr := types.DecodeRow(b)
+		if derr != nil {
+			return r, derr
+		}
+		r.Row = row
+	case RecSetXmax:
+		r.XID = storage.XID(u())
+		r.Table = str()
+		r.TID = storage.TID(u())
+	case RecDDL:
+		r.Principal = u()
+		r.Text = str()
+	case RecPrincipal:
+		r.Principal = u()
+		r.Text = str()
+	case RecTag:
+		r.Tag = u()
+		r.Owner = u()
+		r.Text = str()
+		n := u()
+		for i := uint64(0); i < n; i++ {
+			r.Parents = append(r.Parents, u())
+		}
+	case RecDelegate, RecRevoke:
+		r.Tag = u()
+		r.From = u()
+		r.To = u()
+	case RecSeqVal:
+		r.Text = str()
+		r.SeqKey = str()
+		r.Value = int64(u())
+	case RecCheckpointBegin, RecCheckpointEnd:
+	default:
+		return r, fmt.Errorf("wal: unknown record type %d", payload[0])
+	}
+	return r, err
+}
+
+var errTruncated = fmt.Errorf("wal: truncated payload")
+
+// ---------------------------------------------------------------------------
+// Writer
+
+// Writer is the append side of the log. Appends serialize on an
+// internal mutex; durability waits use the group-commit machinery and
+// never hold the append lock across an fsync.
+type Writer struct {
+	mode SyncMode
+
+	mu   sync.Mutex // append lock; also guards f offset, end, base
+	f    *os.File
+	end  LSN // next logical append position
+	base LSN // logical LSN currently mapped to file offset headerSize
+
+	// Group commit: durable is the highest LSN covered by a completed
+	// fsync; syncing marks a leader's fsync in flight. Guarded by gmu.
+	gmu     sync.Mutex
+	gcond   *sync.Cond
+	durable LSN
+	syncing bool
+
+	// waiters counts committers currently blocked in groupWait; the
+	// leader uses it to decide whether a short gather pause will grow
+	// the batch (see groupWait).
+	waiters int
+
+	// Syncs counts fsync calls, for the group-commit benchmark.
+	Syncs int64
+}
+
+// Open opens (creating if absent) the log at path for appending. The
+// file is scanned to find the end of the last intact record; any torn
+// tail beyond it is truncated away so new appends extend a valid log.
+func Open(path string, mode SyncMode) (*Writer, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open %s: %w", path, err)
+	}
+	w := &Writer{mode: mode, f: f}
+	w.gcond = sync.NewCond(&w.gmu)
+
+	recs, endLSN, err := scan(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if len(recs) == 0 && endLSN == headerSize {
+		// Fresh or empty file: (re)write the header.
+		if err := f.Truncate(0); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if _, err := f.WriteAt(fileMagic[:], 0); err != nil {
+			f.Close()
+			return nil, err
+		}
+	} else if err := f.Truncate(int64(endLSN)); err != nil {
+		// Drop any torn tail so appends extend intact records.
+		f.Close()
+		return nil, err
+	}
+	w.base = headerSize
+	w.end = endLSN
+	w.durable = endLSN
+	return w, nil
+}
+
+// fileOff maps a logical LSN to its offset in the current log file.
+// Caller holds mu.
+func (w *Writer) fileOff(lsn LSN) int64 {
+	return int64(headerSize + (lsn - w.base))
+}
+
+// Mode returns the writer's sync mode.
+func (w *Writer) Mode() SyncMode { return w.mode }
+
+// Append encodes and appends rec, returning its LSN. The record is in
+// the OS page cache when Append returns; call WaitDurable (or rely on
+// a commit's group fsync) to force it to stable storage.
+func (w *Writer) Append(rec *Record) (LSN, error) {
+	payload, err := rec.encodePayload(make([]byte, 0, 128))
+	if err != nil {
+		return 0, err
+	}
+	frame := make([]byte, 8, 8+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:], crc32.Checksum(payload, crcTable))
+	frame = append(frame, payload...)
+
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	lsn := w.end
+	if _, err := w.f.WriteAt(frame, w.fileOff(lsn)); err != nil {
+		return 0, fmt.Errorf("wal: append: %w", err)
+	}
+	w.end = lsn + LSN(len(frame))
+	return lsn, nil
+}
+
+// End returns the LSN one past the last appended record.
+func (w *Writer) End() LSN {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.end
+}
+
+// Sync forces everything appended so far to stable storage,
+// regardless of mode (used for DDL and clean shutdown).
+func (w *Writer) Sync() error {
+	if w.mode == SyncOff {
+		return nil
+	}
+	w.mu.Lock()
+	target := w.end
+	w.mu.Unlock()
+	return w.syncTo(target)
+}
+
+// WaitDurable blocks until the record at lsn is on stable storage,
+// per the writer's sync mode:
+//
+//   - SyncOff: returns immediately.
+//   - SyncCommit: issues a private fsync (serialized, one per caller).
+//   - SyncGroup: leader/follower group commit — one caller fsyncs on
+//     behalf of everyone who appended before the fsync started; the
+//     rest wait for the covering sync.
+func (w *Writer) WaitDurable(lsn LSN) error {
+	switch w.mode {
+	case SyncOff:
+		return nil
+	case SyncCommit:
+		// Read the covered position before the fsync: appends landing
+		// during the fsync are not necessarily on stable storage.
+		w.mu.Lock()
+		target := w.end
+		w.mu.Unlock()
+		w.gmu.Lock()
+		defer w.gmu.Unlock()
+		w.Syncs++
+		if err := w.f.Sync(); err != nil {
+			return err
+		}
+		if target > w.durable {
+			w.durable = target
+		}
+		return nil
+	}
+	return w.groupWait(lsn)
+}
+
+func (w *Writer) groupWait(lsn LSN) error {
+	w.gmu.Lock()
+	defer w.gmu.Unlock()
+	w.waiters++
+	defer func() { w.waiters-- }()
+	for w.durable < lsn {
+		if w.syncing {
+			w.gcond.Wait()
+			continue
+		}
+		// Become the leader: fsync everything appended so far, then
+		// wake the group. New appends during the fsync are covered by
+		// the next leader.
+		w.syncing = true
+		w.Syncs++
+		gather := w.waiters > 1
+		w.gmu.Unlock()
+		w.mu.Lock()
+		target := w.end
+		w.mu.Unlock()
+		if gather {
+			// Other committers are active: yield to them so they can
+			// finish their appends and ride this fsync instead of the
+			// next one (the spirit of PostgreSQL's commit_delay,
+			// implemented as scheduler yields because sub-millisecond
+			// sleeps overshoot on coarse-timer kernels). Keep yielding
+			// while the log keeps growing, within a small budget.
+			for i := 0; i < gatherYields; i++ {
+				runtime.Gosched()
+				w.mu.Lock()
+				cur := w.end
+				w.mu.Unlock()
+				if cur == target && i > 1 {
+					break
+				}
+				target = cur
+			}
+		}
+		err := w.f.Sync()
+		w.gmu.Lock()
+		w.syncing = false
+		if err != nil {
+			w.gcond.Broadcast()
+			return err
+		}
+		if target > w.durable {
+			w.durable = target
+		}
+		w.gcond.Broadcast()
+	}
+	return nil
+}
+
+// gatherYields bounds the leader's pre-fsync yield loop: enough for a
+// plausible number of in-flight committers to append, but a hard cap
+// so a steady stream of appends cannot starve the fsync.
+const gatherYields = 64
+
+// syncTo fsyncs and advances durable to at least target.
+func (w *Writer) syncTo(target LSN) error {
+	w.gmu.Lock()
+	defer w.gmu.Unlock()
+	w.Syncs++
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	if target > w.durable {
+		w.durable = target
+	}
+	return nil
+}
+
+// Checkpoint runs the engine's state capture with appends blocked,
+// then truncates the log: everything the truncated records described
+// is covered by the snapshot capture wrote. capture must persist the
+// snapshot (including its own fsync) before returning nil; if it
+// errors, the log is left untouched.
+//
+// Lock order: callers of Append never hold engine/storage locks while
+// appending (the engine applies first, logs second), so capture may
+// take catalog/heap/authority read locks freely under the append lock.
+func (w *Writer) Checkpoint(capture func() error) error {
+	// Forensic marker in the outgoing log (best effort; ignore errors
+	// so a full disk does not block checkpointing, which frees space).
+	_, _ = w.Append(&Record{Type: RecCheckpointBegin})
+
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := capture(); err != nil {
+		return err
+	}
+	if err := w.f.Truncate(headerSize); err != nil {
+		return fmt.Errorf("wal: truncate: %w", err)
+	}
+	// The logical stream continues: the current end now maps to the
+	// file's first record slot, and — since the snapshot is already on
+	// stable storage — everything appended so far is durable. Advance
+	// durable and wake committers still waiting on pre-checkpoint
+	// LSNs; LSNs are monotonic, so a leader that raced us can only
+	// move durable forward, never poison the new file's positions.
+	w.base = w.end
+	w.gmu.Lock()
+	if w.end > w.durable {
+		w.durable = w.end
+	}
+	w.gcond.Broadcast()
+	w.gmu.Unlock()
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+
+	// First record after the truncation (we hold mu, so inline the
+	// append).
+	payload, _ := (&Record{Type: RecCheckpointEnd}).encodePayload(nil)
+	frame := make([]byte, 8, 8+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:], crc32.Checksum(payload, crcTable))
+	frame = append(frame, payload...)
+	if _, err := w.f.WriteAt(frame, w.fileOff(w.end)); err != nil {
+		return err
+	}
+	w.end += LSN(len(frame))
+	return nil
+}
+
+// Close fsyncs (per mode) and closes the file.
+func (w *Writer) Close() error {
+	if err := w.Sync(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+
+// ReadAll decodes every intact record in the log at path. A missing
+// file yields no records. A torn or corrupt tail ends the scan
+// without error (torn reports it): that is the normal shape of a
+// crash mid-append, and everything before the tear is returned.
+func ReadAll(path string) (recs []Record, torn bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, false, nil
+		}
+		return nil, false, err
+	}
+	defer f.Close()
+	recs, end, err := scan(f)
+	if err != nil {
+		return nil, false, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		return nil, false, err
+	}
+	return recs, int64(end) != st.Size(), nil
+}
+
+// scan reads records from an open log file, returning the intact
+// records and the offset just past the last one. Corruption past that
+// point is ignored (torn tail). A file with a bad header is treated
+// as empty (endLSN == headerSize) so Open can rewrite it.
+func scan(f *os.File) ([]Record, LSN, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return nil, 0, err
+	}
+	size := st.Size()
+	if size < headerSize {
+		return nil, headerSize, nil
+	}
+	var hdr [headerSize]byte
+	if _, err := f.ReadAt(hdr[:], 0); err != nil {
+		return nil, 0, err
+	}
+	if hdr != fileMagic {
+		return nil, headerSize, nil
+	}
+	var recs []Record
+	off := int64(headerSize)
+	var frameHdr [8]byte
+	for {
+		if off+8 > size {
+			return recs, LSN(off), nil
+		}
+		if _, err := f.ReadAt(frameHdr[:], off); err != nil {
+			return recs, LSN(off), nil
+		}
+		plen := int64(binary.LittleEndian.Uint32(frameHdr[0:]))
+		crc := binary.LittleEndian.Uint32(frameHdr[4:])
+		if plen <= 0 || off+8+plen > size {
+			return recs, LSN(off), nil
+		}
+		payload := make([]byte, plen)
+		if _, err := f.ReadAt(payload, off+8); err != nil {
+			return recs, LSN(off), nil
+		}
+		if crc32.Checksum(payload, crcTable) != crc {
+			return recs, LSN(off), nil
+		}
+		rec, err := decodePayload(payload)
+		if err != nil {
+			// CRC passed but the payload is malformed: treat as tear.
+			return recs, LSN(off), nil
+		}
+		rec.LSN = LSN(off)
+		recs = append(recs, rec)
+		off += 8 + plen
+	}
+}

@@ -12,7 +12,7 @@ import (
 
 func setup(t *testing.T) (*platform.Runtime, ifdb.Principal, ifdb.Tag) {
 	t.Helper()
-	db := ifdb.Open(ifdb.Config{IFC: true})
+	db := ifdb.MustOpen(ifdb.Config{IFC: true})
 	if _, err := db.AdminSession().Exec(`CREATE TABLE diary (id BIGINT PRIMARY KEY, text TEXT)`); err != nil {
 		t.Fatal(err)
 	}

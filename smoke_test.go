@@ -11,7 +11,7 @@ import (
 // Query by Label visibility, the Write Rule, declassification with
 // authority, polyinstantiation, and the commit-label rule.
 func TestSmoke(t *testing.T) {
-	db := ifdb.Open(ifdb.Config{IFC: true})
+	db := ifdb.MustOpen(ifdb.Config{IFC: true})
 	admin := db.AdminSession()
 	if _, err := admin.Exec(`CREATE TABLE hivpatients (
 		patient_name TEXT,
@@ -114,7 +114,7 @@ func TestSmoke(t *testing.T) {
 // TestCommitLabelRule reproduces the §5.1 attack verbatim and checks
 // the commit-label rule stops it.
 func TestCommitLabelRule(t *testing.T) {
-	db := ifdb.Open(ifdb.Config{IFC: true})
+	db := ifdb.MustOpen(ifdb.Config{IFC: true})
 	admin := db.AdminSession()
 	mustExec(t, admin, `CREATE TABLE foo (msg TEXT)`)
 	mustExec(t, admin, `CREATE TABLE hivpatients (pname TEXT PRIMARY KEY)`)
