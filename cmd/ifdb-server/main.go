@@ -4,11 +4,18 @@
 //
 //	ifdb-server -addr :5433 -token secret [-no-ifc] [-datadir /var/lib/ifdb]
 //	            [-sync group|commit|off] [-checkpoint-interval 1m]
+//	            [-repl-listen :5434] [-replica-of primary:5434]
 //
 // With -datadir the server is durable: it recovers from the
 // write-ahead log at startup, group-commits by default, checkpoints
 // periodically, and SIGINT/SIGTERM trigger a clean shutdown (final
 // checkpoint, WAL close).
+//
+// Replication: -repl-listen makes this server a primary, serving its
+// WAL to followers on the given address; -replica-of makes it a
+// read-only replica of the named primary — it bootstraps (or resumes)
+// from the primary's stream and serves queries, rejecting writes.
+// -repl-token authenticates followers (defaults to -token).
 //
 // An optional -init script (SQL, semicolon-separated) runs as the
 // administrator before serving, for schema bootstrap.
@@ -23,6 +30,7 @@ import (
 	"time"
 
 	"ifdb"
+	"ifdb/internal/repl"
 	"ifdb/internal/wire"
 )
 
@@ -36,14 +44,29 @@ func main() {
 		ckptIvl  = flag.Duration("checkpoint-interval", time.Minute, "checkpoint period (0 disables; requires -datadir)")
 		initSQL  = flag.String("init", "", "path to a SQL script to run at startup")
 		vacuum   = flag.Duration("vacuum-interval", time.Minute, "autovacuum period (0 disables)")
+
+		replListen = flag.String("repl-listen", "", "serve the WAL to replicas on this address (primary; requires -datadir)")
+		replicaOf  = flag.String("replica-of", "", "run as a read-only replica of the primary at this address (requires -datadir)")
+		replToken  = flag.String("repl-token", "", "replication token (defaults to -token)")
 	)
 	flag.Parse()
+	if *replToken == "" {
+		*replToken = *token
+	}
+	if *replicaOf != "" && *replListen != "" {
+		log.Fatal("ifdb-server: -replica-of and -repl-listen are mutually exclusive (cascading replication is not supported)")
+	}
+	if *replicaOf != "" && *initSQL != "" {
+		log.Fatal("ifdb-server: -init is meaningless on a replica (schema comes from the primary)")
+	}
 
 	db, err := ifdb.Open(ifdb.Config{
 		IFC:             !*noIFC,
 		DataDir:         *dataDir,
 		SyncMode:        *syncMode,
 		CheckpointEvery: *ckptIvl,
+		ReplicaOf:       *replicaOf,
+		ReplToken:       *replToken,
 	})
 	if err != nil {
 		log.Fatalf("ifdb-server: open: %v", err)
@@ -79,6 +102,22 @@ func main() {
 	srv := wire.NewServer(db.Engine(), *token)
 	srv.ErrorLog = log.Default()
 
+	// Primary side of replication: serve the WAL to followers.
+	var primary *repl.Primary
+	if *replListen != "" {
+		if *dataDir == "" {
+			log.Fatal("ifdb-server: -repl-listen requires -datadir (no WAL to ship without one)")
+		}
+		primary = repl.NewPrimary(db.Engine(), *replToken)
+		primary.ErrorLog = log.Default()
+		go func() {
+			if err := primary.ListenAndServe(*replListen); err != nil {
+				log.Fatalf("ifdb-server: repl listener: %v", err)
+			}
+		}()
+		log.Printf("ifdb-server: serving replication on %s", *replListen)
+	}
+
 	// Clean shutdown: stop accepting, checkpoint, close the WAL.
 	// shuttingDown closes *before* the listener so the main goroutine
 	// can tell a shutdown-induced accept error from a real one.
@@ -91,6 +130,11 @@ func main() {
 		log.Printf("ifdb-server: %v: shutting down", sig)
 		close(shuttingDown)
 		close(stopVacuum)
+		if primary != nil {
+			if err := primary.Close(); err != nil {
+				log.Printf("ifdb-server: close repl listener: %v", err)
+			}
+		}
 		if err := srv.Close(); err != nil {
 			log.Printf("ifdb-server: close listener: %v", err)
 		}
@@ -100,7 +144,11 @@ func main() {
 		close(done)
 	}()
 
-	log.Printf("ifdb-server: listening on %s (IFC=%v, datadir=%q, sync=%s)", *addr, !*noIFC, *dataDir, *syncMode)
+	role := "primary"
+	if db.IsReplica() {
+		role = "replica of " + *replicaOf
+	}
+	log.Printf("ifdb-server: listening on %s (IFC=%v, datadir=%q, sync=%s, %s)", *addr, !*noIFC, *dataDir, *syncMode, role)
 	if err := srv.ListenAndServe(*addr); err != nil {
 		select {
 		case <-shuttingDown:

@@ -33,7 +33,9 @@ func TestDurabilityAcrossReopen(t *testing.T) {
 	if _, err := sa.Exec(`INSERT INTO patients VALUES ('Alice', 'HIV')`); err != nil {
 		t.Fatal(err)
 	}
-	// Crash: no Close.
+	// Crash: no Close, no flush — only the DataDir lock is released,
+	// as process death would.
+	db.Crash()
 
 	db2, err := ifdb.Open(ifdb.Config{IFC: true, DataDir: dir})
 	if err != nil {

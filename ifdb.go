@@ -42,6 +42,7 @@ import (
 	"ifdb/internal/authority"
 	"ifdb/internal/engine"
 	"ifdb/internal/label"
+	"ifdb/internal/repl"
 	"ifdb/internal/types"
 )
 
@@ -97,6 +98,11 @@ var (
 	ErrAuthority       = engine.ErrAuthority
 	ErrContaminated    = engine.ErrContaminated
 	ErrClearance       = engine.ErrClearance
+	// ErrReadOnlyReplica rejects writes on a replica opened with
+	// Config.ReplicaOf; writes must go to the primary.
+	ErrReadOnlyReplica = engine.ErrReadOnlyReplica
+	// ErrDataDirLocked means another process owns the data directory.
+	ErrDataDirLocked = engine.ErrDataDirLocked
 )
 
 // Config configures a database instance.
@@ -122,18 +128,49 @@ type Config struct {
 	// the background checkpointer; DB.Checkpoint and DB.Close still
 	// checkpoint on demand.
 	CheckpointEvery time.Duration
+
+	// ReplicaOf makes this database a read-only replica of the primary
+	// whose replication listener is at the given address. Requires
+	// DataDir. Open bootstraps (or resumes) the replica and streams
+	// the primary's WAL continuously in the background; queries see
+	// the replicated state with full IFC label enforcement, and every
+	// write is rejected with ErrReadOnlyReplica. Serve a primary's
+	// stream with ifdb-server -repl-listen (or repl.NewPrimary).
+	ReplicaOf string
+
+	// ReplToken authenticates this replica to the primary (replicas
+	// are part of the trusted base, like client platforms).
+	ReplToken string
 }
 
 // DB is one IFDB database instance.
 type DB struct {
-	eng *engine.Engine
+	eng      *engine.Engine
+	follower *repl.Follower // non-nil when opened with ReplicaOf
 }
 
 // Open creates a database. When cfg.DataDir is set it runs crash
 // recovery first: committed transactions reappear, in-flight ones are
 // rolled back, and the catalog, authority state, and sequences are
-// rebuilt. Call Close for a clean shutdown (final checkpoint).
+// rebuilt. With cfg.ReplicaOf it instead opens a read-only replica
+// that follows the named primary. Call Close for a clean shutdown
+// (final checkpoint).
 func Open(cfg Config) (*DB, error) {
+	if cfg.ReplicaOf != "" {
+		f, err := repl.Open(repl.Config{
+			Addr:            cfg.ReplicaOf,
+			Token:           cfg.ReplToken,
+			DataDir:         cfg.DataDir,
+			IFC:             cfg.IFC,
+			SyncMode:        cfg.SyncMode,
+			CheckpointEvery: cfg.CheckpointEvery,
+			BufferPoolPages: cfg.BufferPoolPages,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &DB{eng: f.Engine(), follower: f}, nil
+	}
 	eng, err := engine.New(engine.Config{
 		IFC:             cfg.IFC,
 		DataDir:         cfg.DataDir,
@@ -158,13 +195,56 @@ func MustOpen(cfg Config) *DB {
 }
 
 // Close shuts the database down cleanly: it takes a final checkpoint
-// and closes the write-ahead log and heap files. A no-op for
-// in-memory databases.
-func (db *DB) Close() error { return db.eng.Close() }
+// and closes the write-ahead log and heap files (a replica also stops
+// its replication stream first). A no-op for in-memory databases.
+func (db *DB) Close() error {
+	if db.follower != nil {
+		return db.follower.Close()
+	}
+	return db.eng.Close()
+}
+
+// IsReplica reports whether this database is a read-only replica.
+func (db *DB) IsReplica() bool { return db.follower != nil }
+
+// ReplicaAppliedLSN returns the primary WAL position this replica has
+// applied through (0 when not a replica). Comparing it against the
+// primary's DB.WALEnd gauges replication lag.
+func (db *DB) ReplicaAppliedLSN() uint64 {
+	if db.follower == nil {
+		return 0
+	}
+	return uint64(db.follower.AppliedLSN())
+}
+
+// ReplicationErr returns the fatal error that stopped this replica's
+// stream, if any (e.g. it fell behind the primary's retained log and
+// must be restarted to re-bootstrap). Nil while healthy.
+func (db *DB) ReplicationErr() error {
+	if db.follower == nil {
+		return nil
+	}
+	return db.follower.Err()
+}
+
+// WALEnd returns the current end of the write-ahead log (0 without a
+// DataDir). On a primary this is the position a fully caught-up
+// replica converges to.
+func (db *DB) WALEnd() uint64 {
+	if w := db.eng.WAL(); w != nil {
+		return uint64(w.End())
+	}
+	return 0
+}
 
 // Checkpoint forces a checkpoint: snapshot the state, flush dirty
 // disk pages, truncate the WAL. A no-op for in-memory databases.
 func (db *DB) Checkpoint() error { return db.eng.Checkpoint() }
+
+// Crash simulates process death for crash-recovery tests: the DataDir
+// lock is released (as the kernel would on exit) but nothing is
+// flushed, checkpointed, or synced.
+func (db *DB) Crash() { db.eng.Crash() }
 
 // Engine exposes the underlying engine for advanced integrations
 // (the network server and the benchmark harness use it).

@@ -427,6 +427,30 @@ func (s *State) RestoreDelegation(grantor, grantee Principal, t label.Tag) {
 	grantors[grantor] = true
 }
 
+// RestoreRevoke re-applies a logged revocation without authority
+// checks or logging. Idempotent: replay (and replication re-shipping)
+// can present a revocation whose edge is already gone — because the
+// snapshot reflects it, or the batch is being re-applied after a
+// reconnect — and re-striking an absent edge is a no-op, not an
+// error.
+func (s *State) RestoreRevoke(revoker, grantee Principal, t label.Tag) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	info, ok := s.tags[t]
+	if !ok {
+		return
+	}
+	grantors := s.delegations[t][grantee]
+	if info.owner == revoker {
+		delete(s.delegations[t], grantee)
+		return
+	}
+	delete(grantors, revoker)
+	if len(grantors) == 0 {
+		delete(s.delegations[t], grantee)
+	}
+}
+
 // PrincipalByName finds a principal by its diagnostic name (first
 // match; names are not required to be unique). Recovery-aware
 // applications use this to re-find their principals after a restart.

@@ -15,7 +15,7 @@ import (
 // key, unique and foreign key constraints, and label constraints.
 func (s *Session) executeCreateTable(ct *sql.CreateTableStmt) error {
 	if _, exists := s.eng.cat.Table(ct.Name); exists {
-		if ct.IfNotExists || s.eng.recovering {
+		if ct.IfNotExists || s.eng.replaying() {
 			// During recovery a table can already exist when a DDL
 			// record overlaps the checkpoint snapshot; replay skips it.
 			return nil
@@ -176,7 +176,7 @@ func (s *Session) executeCreateTable(ct *sql.CreateTableStmt) error {
 		}
 		addUnique(fmt.Sprintf("%s_%s_key", t.Name, cn), cols, false)
 	}
-	if s.eng.recovering && len(t.Indexes) > 0 {
+	if s.eng.replaying() && len(t.Indexes) > 0 {
 		// Recovery reopens USING DISK heap files that already hold
 		// flushed versions; their index entries must be rebuilt here —
 		// WAL replay only indexes versions it places itself.
@@ -202,7 +202,7 @@ func (s *Session) executeCreateIndex(ci *sql.CreateIndexStmt) error {
 	if !ok {
 		return fmt.Errorf("engine: no table %q", ci.Table)
 	}
-	if s.eng.recovering {
+	if s.eng.replaying() {
 		for _, ix := range t.Indexes {
 			if ix.Name == ci.Name {
 				return nil // snapshot/WAL overlap: index already rebuilt
@@ -253,14 +253,14 @@ func (s *Session) executeCreateView(cv *sql.CreateViewStmt) error {
 			// Recovery replays a view whose authority was verified at
 			// original creation time (and may since have been revoked —
 			// revocation does not retract existing views).
-			if !s.eng.recovering && !s.eng.auth.HasAuthority(s.principal, t) {
+			if !s.eng.replaying() && !s.eng.auth.HasAuthority(s.principal, t) {
 				name, _ := s.eng.TagName(t)
 				return fmt.Errorf("%w: creating view %q requires authority for tag %q", ErrAuthority, cv.Name, name)
 			}
 		}
 		v.Declassify = decl
 	}
-	if s.eng.recovering {
+	if s.eng.replaying() {
 		if _, exists := s.eng.cat.View(v.Name); exists {
 			return nil
 		}
@@ -276,7 +276,7 @@ func (s *Session) executeCreateTrigger(tr *sql.CreateTriggerStmt) error {
 	if !ok {
 		return fmt.Errorf("engine: no table %q", tr.Table)
 	}
-	if _, ok := s.eng.LookupProc(tr.Proc); !ok && !s.eng.recovering {
+	if _, ok := s.eng.LookupProc(tr.Proc); !ok && !s.eng.replaying() {
 		// During recovery stored procedures are not registered yet
 		// (applications re-register them after Open); the trigger is
 		// restored by name and resolves at fire time.
@@ -284,7 +284,7 @@ func (s *Session) executeCreateTrigger(tr *sql.CreateTriggerStmt) error {
 	}
 	for _, existing := range t.Triggers {
 		if existing.Name == tr.Name {
-			if s.eng.recovering {
+			if s.eng.replaying() {
 				return nil
 			}
 			return fmt.Errorf("engine: trigger %q already exists on %q", tr.Name, tr.Table)

@@ -17,6 +17,7 @@ import (
 	"os"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ifdb/internal/authority"
@@ -104,6 +105,19 @@ type Config struct {
 	// Zero disables periodic checkpoints (Checkpoint can still be
 	// called explicitly, and Close always takes a final one).
 	CheckpointEvery time.Duration
+
+	// Replica puts the engine in read-only continuous-apply mode: it
+	// serves queries (with full IFC enforcement) but rejects every
+	// write, DDL, and authority mutation from sessions; state changes
+	// arrive only through ApplyReplicated (see replica.go). Requires
+	// DataDir.
+	Replica bool
+
+	// DisableLock skips the exclusive DataDir lock. Only for callers
+	// that already hold it via AcquireDirLock (the replication
+	// follower, which must keep the directory locked across engine
+	// restarts during bootstrap).
+	DisableLock bool
 }
 
 // Engine is one IFDB database instance.
@@ -148,9 +162,24 @@ type Engine struct {
 	// and skips authority/procedure checks already vetted at original
 	// execution time.
 	wal        *wal.Writer
+	dirLock    *DirLock
 	recovering bool
 	ddlMu      sync.Mutex
 	ddlLog     []ddlEntry
+
+	// snapLSN is the log position the loaded checkpoint snapshot
+	// covers (set by loadSnapshot, consumed by recoverState): records
+	// below it are already reflected in the snapshot and are not
+	// replayed.
+	snapLSN wal.LSN
+
+	// Replication state (see replica.go). replApplied is the primary
+	// LSN this replica has applied through with every earlier
+	// transaction resolved; replPending buffers records of in-flight
+	// replicated transactions (touched only by the single applier
+	// goroutine).
+	replApplied atomic.Uint64
+	replPending map[storage.XID]*replTxn
 
 	ckptMu   sync.Mutex // serializes whole checkpoints
 	ckptStop chan struct{}
@@ -198,6 +227,9 @@ func New(cfg Config) (*Engine, error) {
 		tagNames: make(map[string]label.Tag),
 		nameOf:   make(map[label.Tag]string),
 		procs:    make(map[string]*Proc),
+	}
+	if cfg.Replica && cfg.DataDir == "" {
+		return nil, fmt.Errorf("engine: replica mode requires a DataDir")
 	}
 	if cfg.DataDir != "" {
 		if err := e.openDurable(); err != nil {

@@ -76,6 +76,14 @@ func (s *Session) ExecStmt(st sql.Statement, params ...types.Value) (*Result, er
 		return &Result{}, nil
 	}
 
+	// Replica read-only enforcement: everything except SELECT (and the
+	// transaction-control statements handled above) mutates state.
+	if _, isSelect := st.(*sql.SelectStmt); !isSelect {
+		if err := s.requireWritable(); err != nil {
+			return nil, err
+		}
+	}
+
 	var res *Result
 	err := s.withStmt(func(t *txn.Txn) error {
 		qc := &qctx{params: params}
@@ -117,7 +125,7 @@ func (s *Session) ExecStmt(st sql.Statement, params ...types.Value) (*Result, er
 		case *sql.DropTableStmt:
 			res = &Result{}
 			err := s.eng.dropTable(x.Name)
-			if err != nil && (x.IfExists || s.eng.recovering) {
+			if err != nil && (x.IfExists || s.eng.replaying()) {
 				return nil
 			}
 			if err != nil {

@@ -1,0 +1,56 @@
+package engine
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestDataDirLock: a second engine opening the same DataDir must fail
+// with ErrDataDirLocked instead of silently sharing (and corrupting)
+// the WAL and heap files; after a clean Close the directory is free.
+func TestDataDirLock(t *testing.T) {
+	dir := t.TempDir()
+	e1, err := New(Config{DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := New(Config{DataDir: dir}); !errors.Is(err, ErrDataDirLocked) {
+		t.Fatalf("second open: want ErrDataDirLocked, got %v", err)
+	}
+
+	if err := e1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	e2, err := New(Config{DataDir: dir})
+	if err != nil {
+		t.Fatalf("open after close: %v", err)
+	}
+	if err := e2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDataDirLockExternal: DisableLock trusts a caller-held
+// AcquireDirLock — the lock still excludes third parties, and engine
+// Close does not release it.
+func TestDataDirLockExternal(t *testing.T) {
+	dir := t.TempDir()
+	l, err := AcquireDirLock(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Release()
+
+	e, err := New(Config{DataDir: dir, DisableLock: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Engine closed, but the external lock still holds.
+	if _, err := AcquireDirLock(dir); !errors.Is(err, ErrDataDirLocked) {
+		t.Fatalf("want ErrDataDirLocked while external lock held, got %v", err)
+	}
+}

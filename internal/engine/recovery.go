@@ -102,7 +102,9 @@ func (s *Session) logDelete(t *catalog.Table, tid storage.TID) error {
 // record is synced immediately rather than waiting for a commit's
 // group fsync.
 func (e *Engine) logDDL(p authority.Principal, text string) error {
-	if e.wal == nil || e.recovering || text == "" {
+	// Replaying DDL (recovery or replica apply) is never re-logged: a
+	// replica persists the shipped records verbatim instead.
+	if e.wal == nil || e.replaying() || text == "" {
 		return nil
 	}
 	e.ddlMu.Lock()
@@ -118,7 +120,7 @@ func (e *Engine) logDDL(p authority.Principal, text string) error {
 // the next commit fsync (the allocation only matters if the consuming
 // transaction commits, and its commit record is appended later).
 func (e *Engine) logSeqVal(name, key string, value int64) {
-	if e.wal == nil || e.recovering {
+	if e.wal == nil || e.replaying() {
 		return
 	}
 	_, _ = e.wal.Append(&wal.Record{Type: wal.RecSeqVal, Text: name, SeqKey: key, Value: value})
@@ -157,48 +159,94 @@ func (a authLogger) LogRevoke(tag, revoker, grantee uint64) error {
 // openDurable runs crash recovery against DataDir and attaches the
 // write-ahead log. Called by New; the engine is not yet shared.
 func (e *Engine) openDurable() error {
-	if err := os.MkdirAll(e.cfg.DataDir, 0o755); err != nil {
-		return fmt.Errorf("engine: datadir: %w", err)
+	if e.cfg.DisableLock {
+		// Caller holds the DataDir lock (replication follower).
+		if err := os.MkdirAll(e.cfg.DataDir, 0o755); err != nil {
+			return fmt.Errorf("engine: datadir: %w", err)
+		}
+	} else {
+		l, err := AcquireDirLock(e.cfg.DataDir)
+		if err != nil {
+			return err
+		}
+		e.dirLock = l
 	}
 	mode, err := wal.ParseSyncMode(e.cfg.SyncMode)
 	if err != nil {
+		e.releaseLock()
 		return err
 	}
 
 	e.recovering = true
-	if err := e.recoverState(); err != nil {
-		e.recovering = false
+	orphans, err := e.recoverState()
+	e.recovering = false
+	if err != nil {
+		e.releaseLock()
 		return fmt.Errorf("engine: recovery: %w", err)
 	}
-	e.recovering = false
 
 	w, err := wal.Open(e.walPath(), mode)
 	if err != nil {
+		e.releaseLock()
 		return err
 	}
 	e.wal = w
 	e.txns.AttachWAL(w)
 	e.auth.SetChangeLogger(authLogger{e})
+
+	// Transactions in flight at the crash have no outcome record in
+	// the surviving log. Recovery marked them aborted in memory; log
+	// those aborts so a replica streaming this log region can resolve
+	// them too (an unresolved transaction would pin its resume
+	// position forever).
+	for _, xid := range orphans {
+		if _, err := w.Append(&wal.Record{Type: wal.RecAbort, XID: xid}); err != nil {
+			w.Close()
+			e.wal = nil
+			e.releaseLock()
+			return err
+		}
+	}
+	if len(orphans) > 0 {
+		if err := w.Sync(); err != nil {
+			w.Close()
+			e.wal = nil
+			e.releaseLock()
+			return err
+		}
+	}
 	return nil
 }
 
-// recoverState loads the checkpoint snapshot and replays the WAL.
-func (e *Engine) recoverState() error {
+// releaseLock drops the DataDir lock during failed opens (Close
+// releases it on the normal path).
+func (e *Engine) releaseLock() {
+	if e.dirLock != nil {
+		_ = e.dirLock.Release()
+		e.dirLock = nil
+	}
+}
+
+// recoverState loads the checkpoint snapshot and replays the WAL. It
+// returns the XIDs of orphaned transactions: in flight at the crash,
+// with writes in the log but no outcome record.
+func (e *Engine) recoverState() ([]storage.XID, error) {
 	if err := e.loadSnapshot(); err != nil {
-		return err
+		return nil, err
 	}
 	recs, _, err := wal.ReadAll(e.walPath())
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if len(recs) == 0 {
-		return e.reconcile(nil)
+		return nil, e.reconcile(nil)
 	}
 
 	// Pass 1: transaction outcomes. A transaction whose commit record
 	// is missing — in flight at the crash, or its record in the torn
 	// tail — did not commit: its durable commit fsync never returned.
 	committed := make(map[storage.XID]uint64)
+	aborted := make(map[storage.XID]bool)
 	seen := make(map[storage.XID]bool)
 	for i := range recs {
 		r := &recs[i]
@@ -206,7 +254,10 @@ func (e *Engine) recoverState() error {
 		case wal.RecCommit:
 			committed[r.XID] = r.Seq
 			seen[r.XID] = true
-		case wal.RecBegin, wal.RecAbort, wal.RecInsert, wal.RecSetXmax:
+		case wal.RecAbort:
+			aborted[r.XID] = true
+			seen[r.XID] = true
+		case wal.RecBegin, wal.RecInsert, wal.RecSetXmax:
 			seen[r.XID] = true
 		}
 	}
@@ -218,9 +269,16 @@ func (e *Engine) recoverState() error {
 		return ok
 	}
 
-	// Pass 2: apply in LSN order.
+	// Pass 2: apply in LSN order. Records below the snapshot's covered
+	// LSN were applied before its capture began (apply-first,
+	// log-second) and are already reflected in it — the log can hold
+	// such records when a checkpoint kept the file for a lagging
+	// replica subscription. Pass 1 still read their outcomes above.
 	for i := range recs {
 		r := &recs[i]
+		if r.LSN < e.snapLSN {
+			continue
+		}
 		switch r.Type {
 		case wal.RecCommit:
 			e.txns.RestoreCommitted(r.XID, r.Seq)
@@ -232,12 +290,12 @@ func (e *Engine) recoverState() error {
 			}
 			t, ok := e.cat.Table(r.Table)
 			if !ok {
-				return fmt.Errorf("wal insert at lsn %d references unknown table %q", r.LSN, r.Table)
+				return nil, fmt.Errorf("wal insert at lsn %d references unknown table %q", r.LSN, r.Table)
 			}
 			if err := e.restoreVersion(t, r.TID, storage.TupleVersion{
 				Row: r.Row, Label: r.Label, ILabel: r.ILabel, Xmin: r.XID,
 			}); err != nil {
-				return err
+				return nil, err
 			}
 		case wal.RecSetXmax:
 			if !isCommitted(r.XID) {
@@ -245,12 +303,12 @@ func (e *Engine) recoverState() error {
 			}
 			t, ok := e.cat.Table(r.Table)
 			if !ok {
-				return fmt.Errorf("wal setxmax at lsn %d references unknown table %q", r.LSN, r.Table)
+				return nil, fmt.Errorf("wal setxmax at lsn %d references unknown table %q", r.LSN, r.Table)
 			}
 			t.Heap.(storage.RecoverableHeap).ForceXmax(r.TID, r.XID)
 		case wal.RecDDL:
 			if err := e.applyDDL(authority.Principal(r.Principal), r.Text); err != nil {
-				return fmt.Errorf("replay ddl %q: %w", r.Text, err)
+				return nil, fmt.Errorf("replay ddl %q: %w", r.Text, err)
 			}
 			e.ddlLog = append(e.ddlLog, ddlEntry{Principal: r.Principal, Text: r.Text})
 		case wal.RecPrincipal:
@@ -262,27 +320,39 @@ func (e *Engine) recoverState() error {
 			}
 		case wal.RecTag:
 			if err := e.restoreTag(r.Tag, r.Owner, r.Text, r.Parents); err != nil {
-				return err
+				return nil, err
 			}
 		case wal.RecDelegate:
 			e.auth.RestoreDelegation(authority.Principal(r.From), authority.Principal(r.To), label.Tag(r.Tag))
 		case wal.RecRevoke:
-			if err := e.auth.Revoke(authority.Principal(r.From), authority.Principal(r.To), label.Tag(r.Tag)); err != nil {
-				return fmt.Errorf("replay revoke: %w", err)
-			}
+			// Idempotent restore: the edge may already be gone.
+			e.auth.RestoreRevoke(authority.Principal(r.From), authority.Principal(r.To), label.Tag(r.Tag))
 		case wal.RecSeqVal:
 			e.restoreSeqVal(r.Text, r.SeqKey, r.Value)
+		case wal.RecReplLSN:
+			if r.Seq > e.replApplied.Load() {
+				e.replApplied.Store(r.Seq)
+			}
 		}
 	}
 
 	// In-flight transactions are over: mark them aborted so their
-	// versions are invisible and vacuumable.
+	// versions are invisible and vacuumable. Only transactions with
+	// *no* outcome record at all are orphans needing an abort logged
+	// (an explicitly aborted one already has its record — re-logging
+	// it would add a state record that defeats the replica
+	// fast-forward check after a clean restart).
+	var orphans []storage.XID
 	for xid := range seen {
-		if _, ok := committed[xid]; !ok {
-			e.txns.RestoreAborted(xid)
+		if _, ok := committed[xid]; ok {
+			continue
+		}
+		e.txns.RestoreAborted(xid)
+		if !aborted[xid] {
+			orphans = append(orphans, xid)
 		}
 	}
-	return e.reconcile(seen)
+	return orphans, e.reconcile(seen)
 }
 
 // restoreVersion re-places a version at its exact TID and, when it was
@@ -354,6 +424,7 @@ func (e *Engine) applyDDL(p authority.Principal, text string) error {
 		return err
 	}
 	s := e.NewSession(p)
+	s.replApply = true // replayed DDL was vetted on first execution
 	for _, st := range stmts {
 		if _, err := s.ExecStmt(st); err != nil {
 			return err
@@ -401,6 +472,7 @@ func (e *Engine) Close() error {
 		<-done
 	}
 	if e.wal == nil {
+		e.releaseLock()
 		return nil
 	}
 	// Final checkpoint + close under ckptMu. A concurrent Checkpoint()
@@ -419,6 +491,7 @@ func (e *Engine) Close() error {
 			}
 		}
 	}
+	e.releaseLock()
 	return err
 }
 
@@ -442,8 +515,8 @@ func (e *Engine) Checkpoint() error {
 }
 
 func (e *Engine) checkpointLocked() error {
-	return e.wal.Checkpoint(func() error {
-		snap, err := e.captureSnapshot()
+	return e.wal.Checkpoint(func(covered wal.LSN) error {
+		snap, err := e.captureSnapshot(covered)
 		if err != nil {
 			return err
 		}
@@ -510,9 +583,12 @@ func writeFileAtomic(path string, data []byte) error {
 // Binary layout (all integers uvarint unless noted; strings are
 // uvarint length + bytes; labels use the label package encoding):
 //
-//	"IFDBSNP1"
+//	"IFDBSNP2"
 //	admin principal (8 bytes LE)
-//	nextXID, commitSeq
+//	nextXID, commitSeq, replApplied (primary LSN, 0 on a primary)
+//	coveredLSN — the log position this snapshot covers: recovery
+//	             applies only WAL records at or above it (their
+//	             effects are the ones the capture could not have seen)
 //	nCommitted, (xid, seq)*      — statuses of xids referenced by live versions
 //	nAborted, xid*
 //	nPrincipals, (id, name)*
@@ -527,7 +603,7 @@ func writeFileAtomic(path string, data []byte) error {
 // fsynced by the same checkpoint, and the DDL history recreates their
 // catalog entries (reopening the heap files) on recovery.
 
-var snapMagic = []byte("IFDBSNP1")
+var snapMagic = []byte("IFDBSNP2")
 
 func appendUv(b []byte, v uint64) []byte { return binary.AppendUvarint(b, v) }
 
@@ -539,13 +615,16 @@ func appendStr(b []byte, s string) []byte {
 // captureSnapshot serializes the engine state. It runs with WAL
 // appends blocked (see Checkpoint): every mutation already applied is
 // either visible to the capture scans or will land in the new log
-// generation, whose idempotent replay re-applies it.
-func (e *Engine) captureSnapshot() ([]byte, error) {
+// generation, whose idempotent replay re-applies it. covered is the
+// log LSN below which every record's effect is in this capture.
+func (e *Engine) captureSnapshot(covered wal.LSN) ([]byte, error) {
 	buf := append([]byte(nil), snapMagic...)
 	body := make([]byte, 0, 1<<16)
 	body = binary.LittleEndian.AppendUint64(body, uint64(e.admin))
 	body = appendUv(body, e.txns.NextXID())
 	body = appendUv(body, e.txns.CommitSeq())
+	body = appendUv(body, e.replApplied.Load())
+	body = appendUv(body, uint64(covered))
 
 	// Heap scans: mem-table versions, plus the set of xids any live
 	// version references (their statuses must survive log truncation).
@@ -747,6 +826,8 @@ func (e *Engine) loadSnapshot() (err error) {
 	nextXID := r.uv()
 	commitSeq := r.uv()
 	e.txns.RestoreCounters(nextXID, commitSeq)
+	e.replApplied.Store(r.uv())
+	e.snapLSN = wal.LSN(r.uv())
 
 	for n := r.uv(); n > 0; n-- {
 		xid := r.uv()

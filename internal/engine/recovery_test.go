@@ -4,20 +4,30 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 
 	"ifdb/internal/txn"
 	"ifdb/internal/types"
+	"ifdb/internal/wal"
 )
 
-// openDurableEngine opens an engine on dir; crash-simulation tests
-// simply drop the returned engine without Close.
+// openDurableEngine opens an engine on dir. Crash-simulation tests
+// simply drop the returned engine without Close; reopening the same
+// dir first crashes the previous incarnation (releasing the DataDir
+// lock the way process death would, with no flush or checkpoint).
+var crashReg sync.Map // dir -> *Engine
+
 func openDurableEngine(t *testing.T, dir string, ifc bool) *Engine {
 	t.Helper()
+	if prev, ok := crashReg.Load(dir); ok {
+		prev.(*Engine).Crash()
+	}
 	e, err := New(Config{IFC: ifc, DataDir: dir, SyncMode: "off"})
 	if err != nil {
 		t.Fatalf("open %s: %v", dir, err)
 	}
+	crashReg.Store(dir, e)
 	return e
 }
 
@@ -380,6 +390,7 @@ func TestRecoveryCommitDurabilityModes(t *testing.T) {
 			s := e1.NewSession(e1.Admin())
 			mustExec(t, s, `CREATE TABLE t (a BIGINT)`)
 			mustExec(t, s, `INSERT INTO t VALUES (1)`)
+			e1.Crash()
 			e2, err := New(Config{DataDir: dir, SyncMode: mode})
 			if err != nil {
 				t.Fatal(err)
@@ -389,6 +400,108 @@ func TestRecoveryCommitDurabilityModes(t *testing.T) {
 				t.Fatalf("mode %s: %d rows, want 1", mode, n)
 			}
 		})
+	}
+}
+
+// TestExplicitAbortNotRelogged: recovery appends abort records only
+// for transactions with *no* outcome record. An explicitly rolled
+// back transaction already has one — re-logging it on every
+// crash-restart would accumulate duplicates and spuriously advance
+// the log's last-state position (defeating the replica fast-forward
+// path after clean restarts).
+func TestExplicitAbortNotRelogged(t *testing.T) {
+	dir := t.TempDir()
+	e1 := openDurableEngine(t, dir, false)
+	s := e1.NewSession(e1.Admin())
+	mustExec(t, s, `CREATE TABLE t (a BIGINT)`)
+	mustExec(t, s, `BEGIN`)
+	mustExec(t, s, `INSERT INTO t VALUES (1)`)
+	mustExec(t, s, `ROLLBACK`)
+
+	countAborts := func() int {
+		recs, _, err := wal.ReadAll(filepath.Join(dir, "wal.log"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for _, r := range recs {
+			if r.Type == wal.RecAbort {
+				n++
+			}
+		}
+		return n
+	}
+	if n := countAborts(); n != 1 {
+		t.Fatalf("%d abort records before restart, want 1", n)
+	}
+	openDurableEngine(t, dir, false) // crash + reopen
+	if n := countAborts(); n != 1 {
+		t.Fatalf("%d abort records after crash-restart, want 1 (no duplicate)", n)
+	}
+}
+
+// TestRecoveryWithRetainedLog: when a checkpoint keeps the log file
+// (a lagging replica subscription pins it), the snapshot overlaps the
+// retained records. Recovery must replay that shape cleanly — in
+// particular a non-owner REVOKE whose edge the snapshot already
+// reflects must not error, and the DDL history must not duplicate.
+func TestRecoveryWithRetainedLog(t *testing.T) {
+	dir := t.TempDir()
+	e1 := openDurableEngine(t, dir, true)
+	s := e1.NewSession(e1.Admin())
+	mustExec(t, s, `CREATE TABLE t (a BIGINT)`)
+	mustExec(t, s, `INSERT INTO t VALUES (1)`)
+
+	owner := e1.CreatePrincipal("owner")
+	mid := e1.CreatePrincipal("mid")
+	leaf := e1.CreatePrincipal("leaf")
+	tag, err := e1.CreateTag(owner, "secret")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e1.Authority().Delegate(owner, mid, tag); err != nil {
+		t.Fatal(err)
+	}
+	if err := e1.Authority().Delegate(mid, leaf, tag); err != nil {
+		t.Fatal(err)
+	}
+	// Non-owner revoke: the replay shape Revoke() rejects when the
+	// edge is already gone.
+	if err := e1.Authority().Revoke(mid, leaf, tag); err != nil {
+		t.Fatal(err)
+	}
+
+	// Pin the log so the checkpoint keeps every record, then
+	// checkpoint: snapshot and retained log now overlap.
+	baseBefore := e1.WAL().Base()
+	sub := e1.WAL().Subscribe(0)
+	if err := e1.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if e1.WAL().Base() != baseBefore {
+		t.Fatal("test premise broken: checkpoint truncated despite subscription")
+	}
+	sub.Close()
+	mustExec(t, s, `INSERT INTO t VALUES (2)`)
+
+	e2 := openDurableEngine(t, dir, true)
+	r := e2.NewSession(e2.Admin())
+	if n := countRows(t, r, `SELECT * FROM t`); n != 2 {
+		t.Fatalf("%d rows after recovery over retained log, want 2", n)
+	}
+	leaf2, _ := e2.Authority().PrincipalByName("leaf")
+	mid2, _ := e2.Authority().PrincipalByName("mid")
+	if e2.Authority().HasAuthority(leaf2, tag) {
+		t.Fatal("revoked delegation resurrected by replay")
+	}
+	if !e2.Authority().HasAuthority(mid2, tag) {
+		t.Fatal("mid's delegation lost in replay")
+	}
+	// DDL history must not duplicate across snapshot + retained log.
+	e3 := openDurableEngine(t, dir, true)
+	r3 := e3.NewSession(e3.Admin())
+	if n := countRows(t, r3, `SELECT * FROM t`); n != 2 {
+		t.Fatalf("%d rows after second recovery, want 2", n)
 	}
 }
 

@@ -39,6 +39,11 @@ type Session struct {
 	// trigCtx is the active trigger context while a trigger procedure
 	// runs (nil otherwise).
 	trigCtx *TriggerCtx
+
+	// replApply marks the replication applier's internal session: on a
+	// replica engine, only it may execute mutating statements (the DDL
+	// it replays arrived from the primary, already vetted there).
+	replApply bool
 }
 
 // NewSession opens a session acting as the given principal with an
@@ -155,9 +160,21 @@ func (s *Session) requireEmptyLabel() error {
 	return nil
 }
 
+// requireWritable gates every session-level mutation on a replica:
+// state changes arrive only through the replication stream.
+func (s *Session) requireWritable() error {
+	if s.eng.cfg.Replica && !s.replApply {
+		return ErrReadOnlyReplica
+	}
+	return nil
+}
+
 // CreateTag creates a tag owned by the session's principal. Tag
 // creation mutates the authority state, so it requires an empty label.
 func (s *Session) CreateTag(name string, compounds ...string) (label.Tag, error) {
+	if err := s.requireWritable(); err != nil {
+		return label.InvalidTag, err
+	}
 	if err := s.requireEmptyLabel(); err != nil {
 		return label.InvalidTag, err
 	}
@@ -166,6 +183,9 @@ func (s *Session) CreateTag(name string, compounds ...string) (label.Tag, error)
 
 // CreatePrincipal creates a new principal; requires an empty label.
 func (s *Session) CreatePrincipal(name string) (authority.Principal, error) {
+	if err := s.requireWritable(); err != nil {
+		return authority.NoPrincipal, err
+	}
 	if err := s.requireEmptyLabel(); err != nil {
 		return authority.NoPrincipal, err
 	}
@@ -175,6 +195,9 @@ func (s *Session) CreatePrincipal(name string) (authority.Principal, error) {
 // Delegate grants authority for tag t from the session's principal to
 // grantee; requires an empty label.
 func (s *Session) Delegate(grantee authority.Principal, t label.Tag) error {
+	if err := s.requireWritable(); err != nil {
+		return err
+	}
 	if err := s.requireEmptyLabel(); err != nil {
 		return err
 	}
@@ -183,6 +206,9 @@ func (s *Session) Delegate(grantee authority.Principal, t label.Tag) error {
 
 // Revoke withdraws a delegation; requires an empty label.
 func (s *Session) Revoke(grantee authority.Principal, t label.Tag) error {
+	if err := s.requireWritable(); err != nil {
+		return err
+	}
 	if err := s.requireEmptyLabel(); err != nil {
 		return err
 	}
@@ -228,13 +254,22 @@ func (s *Session) runAs(p authority.Principal, fn func() error) error {
 // ---------------------------------------------------------------------------
 // Transactions
 
-// Begin starts an explicit transaction.
+// Begin starts an explicit transaction. On a replica, local
+// transactions are read-only and XID-less: the primary owns the XID
+// space (see txn.Manager.BeginReadOnly).
 func (s *Session) Begin(mode txn.Mode) error {
 	if s.tx != nil && !s.tx.Done() {
 		return fmt.Errorf("engine: transaction already open")
 	}
-	s.tx = s.eng.txns.Begin(mode)
+	s.tx = s.beginTxn(mode)
 	return nil
+}
+
+func (s *Session) beginTxn(mode txn.Mode) *txn.Txn {
+	if s.requireWritable() != nil {
+		return s.eng.txns.BeginReadOnly(mode)
+	}
+	return s.eng.txns.Begin(mode)
 }
 
 // Commit commits the open transaction, enforcing the commit-label rule
@@ -291,7 +326,7 @@ func (s *Session) withStmt(fn func(t *txn.Txn) error) error {
 		return err
 	}
 	// Autocommit.
-	t := s.eng.txns.Begin(txn.SnapshotIsolation)
+	t := s.beginTxn(txn.SnapshotIsolation)
 	s.stmtTx = t
 	err := fn(t)
 	s.stmtTx = nil

@@ -51,20 +51,34 @@ func (s *FileStore) NumPages() (int, error) {
 	return int((st.Size() + PageSize - 1) / PageSize), nil
 }
 
-// ReadPage reads page id into buf.
+// ReadPage reads page id into buf, verifying its checksum. A page
+// beyond EOF or an all-zero page (a hole left by out-of-order flushes)
+// reads as a fresh page; anything else that fails verification is
+// disk corruption and surfaces as a loud error, never as garbage
+// tuples.
 func (s *FileStore) ReadPage(id PageID, buf []byte) error {
 	_, err := s.f.ReadAt(buf, int64(id)*PageSize)
 	if err == io.EOF {
-		// Page beyond EOF: a fresh page (all zero is an empty page
-		// with freeHigh==0, so initialize properly).
 		copy(buf, newPage())
 		return nil
 	}
-	return err
+	if err != nil {
+		return err
+	}
+	p := page(buf)
+	if p.isZero() {
+		copy(buf, newPage())
+		return nil
+	}
+	if err := p.verifyChecksum(); err != nil {
+		return fmt.Errorf("%w (page %d of %s)", err, id, s.f.Name())
+	}
+	return nil
 }
 
-// WritePage writes page id from buf.
+// WritePage stamps buf's checksum and writes it as page id.
 func (s *FileStore) WritePage(id PageID, buf []byte) error {
+	page(buf).stampChecksum()
 	_, err := s.f.WriteAt(buf, int64(id)*PageSize)
 	return err
 }

@@ -3,6 +3,7 @@ package pager
 import (
 	"encoding/binary"
 	"fmt"
+	"io"
 	"sync"
 
 	"ifdb/internal/label"
@@ -405,3 +406,29 @@ func (h *PagedHeap) NPages() int {
 
 // Flush writes back all dirty pages.
 func (h *PagedHeap) Flush() error { return h.pool.FlushAll() }
+
+// WritePagesTo streams every page, checksum stamped, to w — the
+// basebackup serialization replication uses. Each page image is
+// internally consistent (copied under the buffer-pool frame lock);
+// cross-page skew is repaired by the idempotent WAL replay that
+// follows a basebackup, exactly as it is after a crash.
+func (h *PagedHeap) WritePagesTo(w io.Writer) error {
+	h.mu.RLock()
+	n := h.nPages
+	h.mu.RUnlock()
+	buf := make(page, PageSize)
+	for pid := PageID(0); int(pid) < n; pid++ {
+		err := h.pool.WithPage(pid, func(p page) error {
+			copy(buf, p)
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		buf.stampChecksum()
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -13,6 +13,7 @@ package pager
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 )
 
 // PageSize is the size of every page in bytes (PostgreSQL's default).
@@ -26,14 +27,22 @@ type PageID uint32
 //	offset 0:  uint16 nslots
 //	offset 2:  uint16 freeLow  — end of slot array (grows up)
 //	offset 4:  uint16 freeHigh — start of tuple data (grows down)
-//	offset 6:  slot array, 4 bytes per slot: {uint16 off, uint16 len}
+//	offset 6:  uint32 CRC-32C  — stamped on flush, verified on read
+//	offset 10: slot array, 4 bytes per slot: {uint16 off, uint16 len}
 //	...
 //	freeHigh..PageSize: tuple records
+//
+// The checksum is a property of the page *on disk*: it is stamped by
+// the file store as the page is written and verified as it is read, so
+// silent media corruption surfaces as a loud error instead of garbage
+// tuples. In memory the field is ignored. An all-zero page reads as a
+// fresh page (a hole left by out-of-order flushes), as in PostgreSQL.
 //
 // A slot with len == 0 is a tombstone (vacuumed); its slot number is
 // never reused so TIDs stay stable.
 const (
-	pageHeaderSize = 6
+	pageHeaderSize = 10
+	checksumOff    = 6
 	slotSize       = 4
 )
 
@@ -55,6 +64,39 @@ func (p page) freeHigh() int    { return int(binary.LittleEndian.Uint16(p[4:])) 
 func (p page) setFreeHigh(n int) {
 	binary.LittleEndian.PutUint16(p[4:], uint16(n))
 }
+
+// checksum computes the page's CRC-32C with the checksum field itself
+// excluded.
+func (p page) checksum() uint32 {
+	c := crc32.Update(0, castagnoli, p[:checksumOff])
+	return crc32.Update(c, castagnoli, p[checksumOff+4:])
+}
+
+// stampChecksum writes the current checksum into the header.
+func (p page) stampChecksum() {
+	binary.LittleEndian.PutUint32(p[checksumOff:], p.checksum())
+}
+
+// verifyChecksum checks the stored checksum against the contents.
+func (p page) verifyChecksum() error {
+	want := binary.LittleEndian.Uint32(p[checksumOff:])
+	if got := p.checksum(); got != want {
+		return fmt.Errorf("pager: page checksum mismatch (stored %08x, computed %08x)", want, got)
+	}
+	return nil
+}
+
+// isZero reports whether the page is entirely zero bytes (a hole).
+func (p page) isZero() bool {
+	for _, b := range p {
+		if b != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 func (p page) slot(i int) (off, ln int) {
 	base := pageHeaderSize + i*slotSize

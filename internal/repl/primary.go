@@ -1,0 +1,286 @@
+// Package repl implements WAL log shipping: physical replication of
+// an IFDB primary to read-only followers over the wire layer's framed
+// protocol.
+//
+// Primary side (this file): a listener that serves the write-ahead
+// log from whatever LSN a follower presents — reading retained log
+// bytes from disk, then tailing live appends through a wal
+// subscription. A follower whose position has been truncated away (or
+// a fresh one, position 0) first receives a basebackup: the checkpoint
+// snapshot plus every disk table's checksummed pages, produced under
+// the checkpoint lock.
+//
+// Follower side (follower.go): opens its own DataDir, recovers, and
+// applies the stream continuously through the engine's replica mode.
+//
+// Only durable log bytes are shipped (wal.ShipLimit): a follower must
+// never apply a commit the primary could still lose to a crash —
+// otherwise a failed-over replica could show state the primary never
+// acknowledged.
+package repl
+
+import (
+	"bufio"
+	"crypto/subtle"
+	"log"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ifdb/internal/engine"
+	"ifdb/internal/wal"
+	"ifdb/internal/wire"
+)
+
+// sendChunk bounds one ReplFile / ReplRecs payload. Well under
+// wire.MaxFrame; big enough to amortize framing.
+const sendChunk = 1 << 20
+
+// tailPoll bounds how long a caught-up sender sleeps between wakeup
+// checks (subscription signals normally wake it much sooner).
+const tailPoll = 250 * time.Millisecond
+
+// Primary serves the replication stream over an engine's WAL.
+type Primary struct {
+	eng   *engine.Engine
+	token string
+
+	mu       sync.Mutex
+	ln       net.Listener
+	closed   bool
+	conns    map[net.Conn]bool
+	ErrorLog *log.Logger
+
+	// Basebackups counts full state transfers served (monitoring: a
+	// climbing count means followers keep falling off the retained
+	// log).
+	Basebackups atomic.Int64
+}
+
+// NewPrimary creates a replication server over eng (which must have a
+// DataDir). token guards connections, like the platform token: a
+// replica receives every tuple regardless of label, so it must be part
+// of the trusted base. Empty accepts anyone (tests, local examples).
+func NewPrimary(eng *engine.Engine, token string) *Primary {
+	return &Primary{eng: eng, token: token, conns: make(map[net.Conn]bool)}
+}
+
+// Serve accepts follower connections on ln until Close.
+func (p *Primary) Serve(ln net.Listener) error {
+	p.mu.Lock()
+	p.ln = ln
+	p.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			p.mu.Lock()
+			closed := p.closed
+			p.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		p.mu.Lock()
+		if p.closed {
+			// Close already swept conns; don't leak a handler whose
+			// subscription would pin the WAL.
+			p.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		p.conns[conn] = true
+		p.mu.Unlock()
+		go p.handle(conn)
+	}
+}
+
+// ListenAndServe listens on addr and serves.
+func (p *Primary) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return p.Serve(ln)
+}
+
+// Addr returns the bound listener address (nil before Serve).
+func (p *Primary) Addr() net.Addr {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.ln == nil {
+		return nil
+	}
+	return p.ln.Addr()
+}
+
+// Close stops accepting and tears down live streams.
+func (p *Primary) Close() error {
+	p.mu.Lock()
+	p.closed = true
+	ln := p.ln
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+	if ln != nil {
+		return ln.Close()
+	}
+	return nil
+}
+
+func (p *Primary) logf(format string, args ...interface{}) {
+	if p.ErrorLog != nil {
+		p.ErrorLog.Printf(format, args...)
+	}
+}
+
+// bail sends a fatal ReplErr before hanging up.
+func bail(w *bufio.Writer, msg string) {
+	_ = wire.WriteFrame(w, wire.MsgReplErr, (&wire.ReplErr{Msg: msg}).Encode())
+	_ = w.Flush()
+}
+
+func (p *Primary) handle(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		p.mu.Lock()
+		delete(p.conns, conn)
+		p.mu.Unlock()
+	}()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriterSize(conn, 64<<10)
+
+	typ, payload, err := wire.ReadFrame(r)
+	if err != nil || typ != wire.MsgReplHello {
+		p.logf("repl: expected ReplHello, got %s (%v)", wire.ReplFrameName(typ), err)
+		return
+	}
+	hello, err := wire.DecodeReplHello(payload)
+	if err != nil {
+		p.logf("repl: bad hello: %v", err)
+		return
+	}
+	if p.token != "" && subtle.ConstantTimeCompare([]byte(hello.Token), []byte(p.token)) != 1 {
+		bail(w, "repl: bad token")
+		return
+	}
+	wlog := p.eng.WAL()
+	if wlog == nil {
+		bail(w, "repl: primary has no WAL (no DataDir)")
+		return
+	}
+	from := wal.LSN(hello.From)
+	if from > wlog.End() {
+		// The follower is ahead of us: it replicated a different
+		// history (or we were restored from an older backup). Refusing
+		// beats silently diverging.
+		bail(w, "repl: follower position ahead of primary log")
+		return
+	}
+
+	// Subscribe before deciding how to start: from here on, checkpoint
+	// truncation cannot outrun this stream.
+	sub := wlog.Subscribe(from)
+	defer sub.Close()
+
+	// A connection-reader goroutine turns a follower hangup into a
+	// wakeup (followers send nothing after the hello).
+	connDone := make(chan struct{})
+	go func() {
+		defer close(connDone)
+		buf := make([]byte, 1)
+		for {
+			if _, err := conn.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+
+	if from < wlog.Base() && from >= wlog.TruncatedStateLSN() {
+		// The follower's position was truncated away, but everything
+		// it missed was state-free checkpoint markers (the shape a
+		// clean restart leaves): fast-forward it to the retained base
+		// instead of re-bootstrapping.
+		from = wlog.Base()
+		sub.Advance(from)
+	}
+	if from < wlog.Base() {
+		// Position truncated away (or fresh follower): basebackup.
+		// Park the subscription far ahead so the backup's own
+		// checkpoint may truncate the log and hand us a short stream.
+		p.Basebackups.Add(1)
+		sub.Advance(1 << 62)
+		if err := wire.WriteFrame(w, wire.MsgReplSnap, nil); err != nil {
+			return
+		}
+		start, err := p.eng.Basebackup(func(name string, data []byte) error {
+			for off := 0; ; off += sendChunk {
+				end := off + sendChunk
+				if end > len(data) {
+					end = len(data)
+				}
+				f := &wire.ReplFile{Name: name, Data: data[off:end]}
+				if err := wire.WriteFrame(w, wire.MsgReplFile, f.Encode()); err != nil {
+					return err
+				}
+				if end == len(data) {
+					return w.Flush()
+				}
+			}
+		}, sub.Advance) // re-pin under the checkpoint lock: no later
+		// checkpoint may truncate past the backup's start before we
+		// begin streaming from it
+		if err != nil {
+			p.logf("repl: basebackup: %v", err)
+			bail(w, "repl: basebackup failed: "+err.Error())
+			return
+		}
+		from = start
+		e := &wire.ReplSnapEnd{Start: uint64(from)}
+		if err := wire.WriteFrame(w, wire.MsgReplSnapEnd, e.Encode()); err != nil {
+			return
+		}
+	} else {
+		ok := &wire.ReplOK{Resume: uint64(from)}
+		if err := wire.WriteFrame(w, wire.MsgReplOK, ok.Encode()); err != nil {
+			return
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return
+	}
+
+	// Stream: retained bytes first, then tail live appends.
+	ticker := time.NewTicker(tailPoll)
+	defer ticker.Stop()
+	for {
+		raw, next, err := wlog.ReadRaw(from, sendChunk)
+		if err != nil {
+			// ErrPositionGone cannot normally happen while subscribed;
+			// treat any read error as fatal for this connection.
+			p.logf("repl: read at %d: %v", from, err)
+			bail(w, "repl: "+err.Error())
+			return
+		}
+		if len(raw) == 0 {
+			select {
+			case <-sub.C:
+			case <-ticker.C:
+			case <-connDone:
+				return
+			}
+			continue
+		}
+		rr := &wire.ReplRecs{From: uint64(from), To: uint64(next), Data: raw}
+		if err := wire.WriteFrame(w, wire.MsgReplRecs, rr.Encode()); err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+		from = next
+		sub.Advance(from)
+	}
+}

@@ -46,8 +46,13 @@ type Manager struct {
 	commitMu sync.Mutex
 	seq      atomic.Uint64 // last assigned commit sequence
 
-	activeMu sync.Mutex
-	active   map[storage.XID]uint64 // xid -> snapshot seq (for vacuum horizon)
+	// active tracks the snapshot of every live transaction (for the
+	// vacuum horizon), keyed by a private token rather than the XID:
+	// read-only transactions have no XID (see BeginReadOnly) but still
+	// pin the horizon.
+	activeMu  sync.Mutex
+	activeKey uint64
+	active    map[uint64]uint64 // token -> snapshot seq
 
 	// wal, when attached, receives commit/abort records for
 	// transactions that logged at least one write. The commit record is
@@ -58,7 +63,7 @@ type Manager struct {
 
 // NewManager returns a fresh transaction manager.
 func NewManager() *Manager {
-	m := &Manager{status: newStatusTable(), active: make(map[storage.XID]uint64)}
+	m := &Manager{status: newStatusTable(), active: make(map[uint64]uint64)}
 	m.seq.Store(firstSeq - 1)
 	return m
 }
@@ -84,7 +89,8 @@ const (
 // goroutines (like a database session).
 type Txn struct {
 	m       *Manager
-	xid     storage.XID
+	xid     storage.XID // InvalidXID for read-only transactions
+	akey    uint64      // key in m.active
 	snapSeq uint64
 	mode    Mode
 	done    bool
@@ -108,10 +114,29 @@ func (m *Manager) Begin(mode Mode) *Txn {
 	snap := m.seq.Load()
 	xid := storage.XID(m.nextXID.Add(1))
 	m.commitMu.Unlock()
+	return m.register(&Txn{m: m, xid: xid, snapSeq: snap, mode: mode})
+}
+
+// BeginReadOnly starts a transaction that may only read: it takes a
+// snapshot (and pins the vacuum horizon) but allocates no XID.
+// Replicas run local queries in these — the primary owns the XID
+// space, and a locally allocated XID could collide with a primary
+// transaction arriving later in the replication stream, making its
+// uncommitted versions self-visible to the reader.
+func (m *Manager) BeginReadOnly(mode Mode) *Txn {
+	m.commitMu.Lock()
+	snap := m.seq.Load()
+	m.commitMu.Unlock()
+	return m.register(&Txn{m: m, xid: storage.InvalidXID, snapSeq: snap, mode: mode})
+}
+
+func (m *Manager) register(t *Txn) *Txn {
 	m.activeMu.Lock()
-	m.active[xid] = snap
+	m.activeKey++
+	t.akey = m.activeKey
+	m.active[t.akey] = t.snapSeq
 	m.activeMu.Unlock()
-	return &Txn{m: m, xid: xid, snapSeq: snap, mode: mode}
+	return t
 }
 
 // XID returns the transaction id.
@@ -172,6 +197,9 @@ func (t *Txn) RecordInsert(h storage.Heap, tid storage.TID, l, il label.Label) {
 func (t *Txn) Delete(h storage.Heap, tid storage.TID, l, il label.Label) error {
 	if t.done {
 		return ErrTxnDone
+	}
+	if t.xid == storage.InvalidXID {
+		return fmt.Errorf("txn: write in read-only transaction")
 	}
 	if !h.SetXmax(tid, t.xid) {
 		return ErrSerialization
@@ -251,6 +279,12 @@ func (t *Txn) Commit(hier *label.Hierarchy, commitLabel, commitILabel label.Labe
 		t.Abort()
 		return err
 	}
+	if t.xid == storage.InvalidXID {
+		// Read-only transaction: nothing to make visible or durable,
+		// and no commit sequence to burn.
+		t.finish()
+		return nil
+	}
 	t.m.commitMu.Lock()
 	seq := t.m.seq.Add(1)
 	var commitLSN wal.LSN
@@ -287,6 +321,10 @@ func (t *Txn) Abort() {
 	if t.done {
 		return
 	}
+	if t.xid == storage.InvalidXID {
+		t.finish()
+		return
+	}
 	t.m.status.set(t.xid, statusAborted)
 	for _, w := range t.writes {
 		if w.kind == wDelete {
@@ -305,7 +343,7 @@ func (t *Txn) finish() {
 	t.done = true
 	t.deferred = nil
 	t.m.activeMu.Lock()
-	delete(t.m.active, t.xid)
+	delete(t.m.active, t.akey)
 	t.m.activeMu.Unlock()
 }
 

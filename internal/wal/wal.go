@@ -36,18 +36,32 @@ import (
 
 // LSN is a log sequence number: the logical byte offset of a
 // record's frame in the append stream. LSNs are monotonic for the
-// life of a Writer — a checkpoint truncates the *file* but does not
-// reset the logical stream, so durability positions never regress
-// and a committer waiting on a pre-checkpoint LSN is satisfied the
-// moment the checkpoint covers it. In a freshly opened log the LSN
-// equals the file offset.
+// life of the *log*, not just one Writer: a checkpoint truncates the
+// file but persists the logical position of the new file start in the
+// header, so the stream continues across restarts. Durability
+// positions never regress, a committer waiting on a pre-checkpoint
+// LSN is satisfied the moment the checkpoint covers it, and a
+// replica's applied position stays meaningful after the primary
+// restarts. In a freshly created log the first record is at LSN 16.
 type LSN uint64
 
-// headerSize is the length of the file header ("IFDBWAL1"); the first
-// record lives at LSN 8.
-const headerSize = 8
+// headerSize is the length of the file header: 8 magic bytes
+// ("IFDBWAL2"), the uint64 logical LSN of the first record slot
+// (advanced by each truncating checkpoint), and the uint64 last-state
+// LSN — the position just past the newest record that carries state
+// (everything logged after it is checkpoint/replication markers). A
+// replica whose position is at or past it has missed nothing but
+// markers and may fast-forward instead of re-bootstrapping.
+const headerSize = 24
 
-var fileMagic = [headerSize]byte{'I', 'F', 'D', 'B', 'W', 'A', 'L', '1'}
+var fileMagic = [8]byte{'I', 'F', 'D', 'B', 'W', 'A', 'L', '2'}
+
+// isMarker reports record types that carry no database state: a
+// stream position at or past the last non-marker record covers the
+// full state.
+func isMarker(t RecType) bool {
+	return t == RecCheckpointBegin || t == RecCheckpointEnd || t == RecReplLSN
+}
 
 // SyncMode selects the durability discipline for commits.
 type SyncMode uint8
@@ -118,6 +132,12 @@ const (
 	// before it.
 	RecCheckpointBegin
 	RecCheckpointEnd
+	// Replication progress. A replica appends RecReplLSN (Seq = the
+	// primary LSN it has applied through, with all transactions before
+	// it resolved) to its *own* log after applying a shipped batch, so
+	// a restarted replica knows where to resume the stream. Never
+	// written by a primary.
+	RecReplLSN
 )
 
 func (t RecType) String() string {
@@ -148,6 +168,8 @@ func (t RecType) String() string {
 		return "CKPT-BEGIN"
 	case RecCheckpointEnd:
 		return "CKPT-END"
+	case RecReplLSN:
+		return "REPL-LSN"
 	}
 	return fmt.Sprintf("RecType(%d)", uint8(t))
 }
@@ -204,6 +226,8 @@ func (r *Record) Summary() string {
 		return fmt.Sprintf("lsn=%-8d %-10s seq=%q part=%q value=%d", r.LSN, r.Type, r.Text, r.SeqKey, r.Value)
 	case RecCheckpointBegin, RecCheckpointEnd:
 		return fmt.Sprintf("lsn=%-8d %-10s", r.LSN, r.Type)
+	case RecReplLSN:
+		return fmt.Sprintf("lsn=%-8d %-10s applied=%d", r.LSN, r.Type, r.Seq)
 	}
 	return fmt.Sprintf("lsn=%-8d %v", r.LSN, r.Type)
 }
@@ -286,6 +310,8 @@ func (r *Record) encodePayload(buf []byte) ([]byte, error) {
 		buf = binary.AppendUvarint(buf, uint64(r.Value))
 	case RecCheckpointBegin, RecCheckpointEnd:
 		// no payload beyond the type byte
+	case RecReplLSN:
+		buf = binary.AppendUvarint(buf, r.Seq)
 	default:
 		return nil, fmt.Errorf("wal: cannot encode record type %v", r.Type)
 	}
@@ -375,6 +401,8 @@ func decodePayload(payload []byte) (r Record, err error) {
 		r.SeqKey = str()
 		r.Value = int64(u())
 	case RecCheckpointBegin, RecCheckpointEnd:
+	case RecReplLSN:
+		r.Seq = u()
 	default:
 		return r, fmt.Errorf("wal: unknown record type %d", payload[0])
 	}
@@ -392,10 +420,16 @@ var errTruncated = fmt.Errorf("wal: truncated payload")
 type Writer struct {
 	mode SyncMode
 
-	mu   sync.Mutex // append lock; also guards f offset, end, base
-	f    *os.File
-	end  LSN // next logical append position
-	base LSN // logical LSN currently mapped to file offset headerSize
+	mu        sync.Mutex // append lock; also guards f offset, end, base, lastState, truncState
+	f         *os.File
+	end       LSN // next logical append position
+	base      LSN // logical LSN currently mapped to file offset headerSize
+	lastState LSN // position past the newest state-carrying record
+	// truncState is lastState as of the last truncating checkpoint
+	// (the header's persisted value): every state record below base is
+	// below it, so a replica at or past truncState missed only markers
+	// in the truncated region and may fast-forward to base.
+	truncState LSN
 
 	// Group commit: durable is the highest LSN covered by a completed
 	// fsync; syncing marks a leader's fsync in flight. Guarded by gmu.
@@ -409,6 +443,12 @@ type Writer struct {
 	// the batch (see groupWait).
 	waiters int
 
+	// subs are replica-sender subscriptions (see ship.go): notified on
+	// appends and durability advances, and pinning the log against
+	// checkpoint truncation while a sender is behind.
+	smu  sync.Mutex
+	subs map[*Subscription]bool
+
 	// Syncs counts fsync calls, for the group-commit benchmark.
 	Syncs int64
 }
@@ -421,39 +461,53 @@ func Open(path string, mode SyncMode) (*Writer, error) {
 	if err != nil {
 		return nil, fmt.Errorf("wal: open %s: %w", path, err)
 	}
-	w := &Writer{mode: mode, f: f}
+	w := &Writer{mode: mode, f: f, subs: make(map[*Subscription]bool)}
 	w.gcond = sync.NewCond(&w.gmu)
 
-	recs, endLSN, err := scan(f)
+	sc, err := scan(f)
 	if err != nil {
 		f.Close()
 		return nil, err
 	}
-	if len(recs) == 0 && endLSN == headerSize {
-		// Fresh or empty file: (re)write the header.
+	if sc.base == 0 {
+		// Fresh file (or unrecognizable header): write a new header.
+		// The logical stream starts at headerSize.
+		sc.base, sc.end = headerSize, headerSize
+		sc.hdrState, sc.lastState = headerSize, headerSize
 		if err := f.Truncate(0); err != nil {
 			f.Close()
 			return nil, err
 		}
-		if _, err := f.WriteAt(fileMagic[:], 0); err != nil {
+		if _, err := f.WriteAt(headerBytes(sc.base, sc.hdrState), 0); err != nil {
 			f.Close()
 			return nil, err
 		}
-	} else if err := f.Truncate(int64(endLSN)); err != nil {
+	} else if err := f.Truncate(int64(headerSize + (sc.end - sc.base))); err != nil {
 		// Drop any torn tail so appends extend intact records.
 		f.Close()
 		return nil, err
 	}
-	w.base = headerSize
-	w.end = endLSN
-	w.durable = endLSN
+	w.base = sc.base
+	w.end = sc.end
+	w.truncState = sc.hdrState
+	w.lastState = sc.lastState
+	w.durable = sc.end
 	return w, nil
+}
+
+// headerBytes renders the file header.
+func headerBytes(base, lastState LSN) []byte {
+	var h [headerSize]byte
+	copy(h[:8], fileMagic[:])
+	binary.LittleEndian.PutUint64(h[8:], uint64(base))
+	binary.LittleEndian.PutUint64(h[16:], uint64(lastState))
+	return h[:]
 }
 
 // fileOff maps a logical LSN to its offset in the current log file.
 // Caller holds mu.
 func (w *Writer) fileOff(lsn LSN) int64 {
-	return int64(headerSize + (lsn - w.base))
+	return int64(headerSize + uint64(lsn-w.base))
 }
 
 // Mode returns the writer's sync mode.
@@ -473,12 +527,17 @@ func (w *Writer) Append(rec *Record) (LSN, error) {
 	frame = append(frame, payload...)
 
 	w.mu.Lock()
-	defer w.mu.Unlock()
 	lsn := w.end
 	if _, err := w.f.WriteAt(frame, w.fileOff(lsn)); err != nil {
+		w.mu.Unlock()
 		return 0, fmt.Errorf("wal: append: %w", err)
 	}
 	w.end = lsn + LSN(len(frame))
+	if !isMarker(rec.Type) {
+		w.lastState = w.end
+	}
+	w.mu.Unlock()
+	w.notifySubs()
 	return lsn, nil
 }
 
@@ -527,6 +586,7 @@ func (w *Writer) WaitDurable(lsn LSN) error {
 		}
 		if target > w.durable {
 			w.durable = target
+			w.notifySubs()
 		}
 		return nil
 	}
@@ -580,6 +640,7 @@ func (w *Writer) groupWait(lsn LSN) error {
 		}
 		if target > w.durable {
 			w.durable = target
+			w.notifySubs()
 		}
 		w.gcond.Broadcast()
 	}
@@ -591,6 +652,18 @@ func (w *Writer) groupWait(lsn LSN) error {
 // so a steady stream of appends cannot starve the fsync.
 const gatherYields = 64
 
+// advanceDurable raises the durable horizon to lsn, waking group
+// committers and replica-sender subscriptions.
+func (w *Writer) advanceDurable(lsn LSN) {
+	w.gmu.Lock()
+	if lsn > w.durable {
+		w.durable = lsn
+		w.notifySubs()
+	}
+	w.gcond.Broadcast()
+	w.gmu.Unlock()
+}
+
 // syncTo fsyncs and advances durable to at least target.
 func (w *Writer) syncTo(target LSN) error {
 	w.gmu.Lock()
@@ -601,29 +674,58 @@ func (w *Writer) syncTo(target LSN) error {
 	}
 	if target > w.durable {
 		w.durable = target
+		w.notifySubs()
 	}
 	return nil
 }
 
 // Checkpoint runs the engine's state capture with appends blocked,
 // then truncates the log: everything the truncated records described
-// is covered by the snapshot capture wrote. capture must persist the
-// snapshot (including its own fsync) before returning nil; if it
-// errors, the log is left untouched.
+// is covered by the snapshot capture wrote. capture receives the
+// logical end of the log at capture time — every record below it was
+// applied before the capture began (apply-first, log-second), so the
+// snapshot covers exactly the records below that LSN. capture must
+// persist the snapshot (including its own fsync) before returning
+// nil; if it errors, the log is left untouched.
 //
 // Lock order: callers of Append never hold engine/storage locks while
 // appending (the engine applies first, logs second), so capture may
 // take catalog/heap/authority read locks freely under the append lock.
-func (w *Writer) Checkpoint(capture func() error) error {
+func (w *Writer) Checkpoint(capture func(covered LSN) error) error {
 	// Forensic marker in the outgoing log (best effort; ignore errors
 	// so a full disk does not block checkpointing, which frees space).
 	_, _ = w.Append(&Record{Type: RecCheckpointBegin})
 
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	if err := capture(); err != nil {
+	if err := capture(w.end); err != nil {
 		return err
 	}
+	// Retention: a replica sender still needs bytes below the end, so
+	// leave the file intact (the snapshot is still written — recovery
+	// replays the overlapping records idempotently). The single-file
+	// analogue of a held replication slot.
+	if min, ok := w.minSubPos(); ok && min < w.end {
+		if err := w.f.Sync(); err != nil {
+			return err
+		}
+		w.advanceDurable(w.end)
+		return nil
+	}
+	// Persist the new logical base, fsynced, *before* truncating: a
+	// crash in between leaves old records re-interpreted at new LSNs
+	// (harmless — replay is idempotent), whereas the other order could
+	// leave a stale base under an empty file, assigning future records
+	// LSNs the snapshot claims to already cover. The last-state
+	// position rides along so replicas parked past it survive the
+	// truncation.
+	if _, err := w.f.WriteAt(headerBytes(w.end, w.lastState), 0); err != nil {
+		return fmt.Errorf("wal: write header: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.truncState = w.lastState
 	if err := w.f.Truncate(headerSize); err != nil {
 		return fmt.Errorf("wal: truncate: %w", err)
 	}
@@ -634,18 +736,15 @@ func (w *Writer) Checkpoint(capture func() error) error {
 	// LSNs; LSNs are monotonic, so a leader that raced us can only
 	// move durable forward, never poison the new file's positions.
 	w.base = w.end
-	w.gmu.Lock()
-	if w.end > w.durable {
-		w.durable = w.end
-	}
-	w.gcond.Broadcast()
-	w.gmu.Unlock()
-	if err := w.f.Sync(); err != nil {
-		return err
-	}
+	// The snapshot is on stable storage: everything logged so far is
+	// effectively durable; wake committers still waiting on
+	// pre-checkpoint LSNs.
+	w.advanceDurable(w.end)
 
 	// First record after the truncation (we hold mu, so inline the
-	// append).
+	// append). Written before the fsync so the durable horizon covers
+	// it — an idle primary must still be able to ship its whole log to
+	// replicas, which read only durable bytes.
 	payload, _ := (&Record{Type: RecCheckpointEnd}).encodePayload(nil)
 	frame := make([]byte, 8, 8+len(payload))
 	binary.LittleEndian.PutUint32(frame[0:], uint32(len(payload)))
@@ -655,6 +754,10 @@ func (w *Writer) Checkpoint(capture func() error) error {
 		return err
 	}
 	w.end += LSN(len(frame))
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.advanceDurable(w.end)
 	return nil
 }
 
@@ -674,6 +777,7 @@ func (w *Writer) Close() error {
 // file yields no records. A torn or corrupt tail ends the scan
 // without error (torn reports it): that is the normal shape of a
 // crash mid-append, and everything before the tear is returned.
+// Record LSNs are logical (the header's base plus in-file position).
 func ReadAll(path string) (recs []Record, torn bool, err error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -683,66 +787,93 @@ func ReadAll(path string) (recs []Record, torn bool, err error) {
 		return nil, false, err
 	}
 	defer f.Close()
-	recs, end, err := scan(f)
+	sc, err := scan(f)
 	if err != nil {
 		return nil, false, err
+	}
+	if sc.base == 0 {
+		return nil, false, nil
 	}
 	st, err := f.Stat()
 	if err != nil {
 		return nil, false, err
 	}
-	return recs, int64(end) != st.Size(), nil
+	return sc.recs, int64(headerSize+(sc.end-sc.base)) != st.Size(), nil
 }
 
-// scan reads records from an open log file, returning the intact
-// records and the offset just past the last one. Corruption past that
-// point is ignored (torn tail). A file with a bad header is treated
-// as empty (endLSN == headerSize) so Open can rewrite it.
-func scan(f *os.File) ([]Record, LSN, error) {
+// scanResult is what scan recovers from a log file: the intact
+// records, the header's logical base, the logical end just past the
+// last intact record, the header's persisted last-state position
+// (truncState: the state floor of the truncated history), and the
+// running last-state position including the surviving records.
+// Corruption past the last intact record is ignored (torn tail). A
+// file with a bad or missing header reports base 0 so Open can
+// rewrite it.
+type scanResult struct {
+	recs      []Record
+	base      LSN
+	end       LSN
+	hdrState  LSN
+	lastState LSN
+}
+
+func scan(f *os.File) (scanResult, error) {
 	st, err := f.Stat()
 	if err != nil {
-		return nil, 0, err
+		return scanResult{}, err
 	}
 	size := st.Size()
 	if size < headerSize {
-		return nil, headerSize, nil
+		return scanResult{}, nil
 	}
 	var hdr [headerSize]byte
 	if _, err := f.ReadAt(hdr[:], 0); err != nil {
-		return nil, 0, err
+		return scanResult{}, err
 	}
-	if hdr != fileMagic {
-		return nil, headerSize, nil
+	if [8]byte(hdr[:8]) != fileMagic {
+		return scanResult{}, nil
 	}
-	var recs []Record
+	sc := scanResult{
+		base:     LSN(binary.LittleEndian.Uint64(hdr[8:])),
+		hdrState: LSN(binary.LittleEndian.Uint64(hdr[16:])),
+	}
+	if sc.base < headerSize {
+		return scanResult{}, nil
+	}
+	sc.lastState = sc.hdrState
 	off := int64(headerSize)
+	lsnAt := func(off int64) LSN { return sc.base + LSN(off-headerSize) }
 	var frameHdr [8]byte
 	for {
+		sc.end = lsnAt(off)
 		if off+8 > size {
-			return recs, LSN(off), nil
+			return sc, nil
 		}
 		if _, err := f.ReadAt(frameHdr[:], off); err != nil {
-			return recs, LSN(off), nil
+			return sc, nil
 		}
 		plen := int64(binary.LittleEndian.Uint32(frameHdr[0:]))
 		crc := binary.LittleEndian.Uint32(frameHdr[4:])
 		if plen <= 0 || off+8+plen > size {
-			return recs, LSN(off), nil
+			return sc, nil
 		}
 		payload := make([]byte, plen)
 		if _, err := f.ReadAt(payload, off+8); err != nil {
-			return recs, LSN(off), nil
+			return sc, nil
 		}
 		if crc32.Checksum(payload, crcTable) != crc {
-			return recs, LSN(off), nil
+			return sc, nil
 		}
 		rec, err := decodePayload(payload)
 		if err != nil {
 			// CRC passed but the payload is malformed: treat as tear.
-			return recs, LSN(off), nil
+			return sc, nil
 		}
-		rec.LSN = LSN(off)
-		recs = append(recs, rec)
+		rec.LSN = lsnAt(off)
+		sc.recs = append(sc.recs, rec)
 		off += 8 + plen
+		if !isMarker(rec.Type) && lsnAt(off) > sc.lastState {
+			sc.lastState = lsnAt(off)
+		}
 	}
 }

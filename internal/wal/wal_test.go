@@ -213,7 +213,7 @@ func TestCheckpointTruncates(t *testing.T) {
 		}
 	}
 	captured := false
-	if err := w.Checkpoint(func() error { captured = true; return nil }); err != nil {
+	if err := w.Checkpoint(func(LSN) error { captured = true; return nil }); err != nil {
 		t.Fatal(err)
 	}
 	if !captured {
@@ -237,7 +237,7 @@ func TestCheckpointCaptureErrorLeavesLog(t *testing.T) {
 	if _, err := w.Append(&Record{Type: RecBegin, XID: 1}); err != nil {
 		t.Fatal(err)
 	}
-	if err := w.Checkpoint(func() error { return os.ErrInvalid }); err == nil {
+	if err := w.Checkpoint(func(LSN) error { return os.ErrInvalid }); err == nil {
 		t.Fatal("expected capture error")
 	}
 	w.Close()
@@ -286,7 +286,7 @@ func TestCheckpointDuringGroupCommit(t *testing.T) {
 			case <-stop:
 				return
 			default:
-				if err := w.Checkpoint(func() error { return nil }); err != nil {
+				if err := w.Checkpoint(func(LSN) error { return nil }); err != nil {
 					t.Errorf("checkpoint: %v", err)
 					return
 				}

@@ -1,0 +1,183 @@
+package wire
+
+import "fmt"
+
+// Replication protocol messages. A follower connects, sends ReplHello
+// with the primary LSN it has applied through, and the primary replies
+// with either ReplOK (the log still holds that position — streaming
+// starts there) or a basebackup (ReplSnap, then ReplFile chunks, then
+// ReplSnapEnd naming the LSN streaming starts at). Either way the
+// connection then carries an endless sequence of ReplRecs frames: raw
+// WAL bytes — whole frames, primary CRCs intact — covering [From, To).
+const (
+	MsgReplHello   byte = 'P' // follower → primary: token, applied LSN
+	MsgReplOK      byte = 'K' // primary → follower: streaming from Resume
+	MsgReplSnap    byte = 'S' // primary → follower: basebackup follows
+	MsgReplFile    byte = 'F' // primary → follower: one basebackup file chunk
+	MsgReplSnapEnd byte = 'E' // primary → follower: basebackup done, start LSN
+	MsgReplRecs    byte = 'W' // primary → follower: raw WAL frames
+	MsgReplErr     byte = '!' // primary → follower: fatal error, closing
+)
+
+// ReplHello opens a replication stream. Token is the platform token
+// (replicas are part of the trusted base, like client platforms); From
+// is the primary LSN the follower has applied through.
+type ReplHello struct {
+	Token string
+	From  uint64
+}
+
+// Encode marshals h.
+func (h *ReplHello) Encode() []byte {
+	buf := appendString(nil, h.Token)
+	return appendU64(buf, h.From)
+}
+
+// DecodeReplHello unmarshals a ReplHello payload.
+func DecodeReplHello(buf []byte) (*ReplHello, error) {
+	var h ReplHello
+	var err error
+	h.Token, buf, err = readString(buf)
+	if err != nil {
+		return nil, err
+	}
+	h.From, _, err = readU64(buf)
+	if err != nil {
+		return nil, err
+	}
+	return &h, nil
+}
+
+// ReplOK accepts a stream: records flow from Resume. Resume is
+// usually the follower's hello LSN, but may be *ahead* of it when a
+// truncating checkpoint discarded only state-free markers in between
+// (the primary restarted cleanly) — the follower fast-forwards.
+type ReplOK struct {
+	Resume uint64
+}
+
+// Encode marshals o.
+func (o *ReplOK) Encode() []byte { return appendU64(nil, o.Resume) }
+
+// DecodeReplOK unmarshals a ReplOK payload.
+func DecodeReplOK(buf []byte) (*ReplOK, error) {
+	v, _, err := readU64(buf)
+	if err != nil {
+		return nil, err
+	}
+	return &ReplOK{Resume: v}, nil
+}
+
+// ReplFile is one chunk of a basebackup file. Chunks of one file
+// arrive in order under the same name; a new name starts a new file.
+// Names are bare file names (the follower places them in its own
+// DataDir and must reject path separators).
+type ReplFile struct {
+	Name string
+	Data []byte
+}
+
+// Encode marshals f.
+func (f *ReplFile) Encode() []byte {
+	buf := appendString(nil, f.Name)
+	return append(buf, f.Data...)
+}
+
+// DecodeReplFile unmarshals a ReplFile payload. Data aliases buf.
+func DecodeReplFile(buf []byte) (*ReplFile, error) {
+	var f ReplFile
+	var err error
+	f.Name, buf, err = readString(buf)
+	if err != nil {
+		return nil, err
+	}
+	f.Data = buf
+	return &f, nil
+}
+
+// ReplSnapEnd finishes a basebackup: the follower's state now
+// corresponds to primary LSN Start, where streaming begins.
+type ReplSnapEnd struct {
+	Start uint64
+}
+
+// Encode marshals e.
+func (e *ReplSnapEnd) Encode() []byte { return appendU64(nil, e.Start) }
+
+// DecodeReplSnapEnd unmarshals a ReplSnapEnd payload.
+func DecodeReplSnapEnd(buf []byte) (*ReplSnapEnd, error) {
+	v, _, err := readU64(buf)
+	if err != nil {
+		return nil, err
+	}
+	return &ReplSnapEnd{Start: v}, nil
+}
+
+// ReplRecs carries raw WAL frames covering primary LSNs [From, To).
+type ReplRecs struct {
+	From uint64
+	To   uint64
+	Data []byte
+}
+
+// Encode marshals r.
+func (r *ReplRecs) Encode() []byte {
+	buf := appendU64(nil, r.From)
+	buf = appendU64(buf, r.To)
+	return append(buf, r.Data...)
+}
+
+// DecodeReplRecs unmarshals a ReplRecs payload. Data aliases buf.
+func DecodeReplRecs(buf []byte) (*ReplRecs, error) {
+	var r ReplRecs
+	var err error
+	r.From, buf, err = readU64(buf)
+	if err != nil {
+		return nil, err
+	}
+	r.To, buf, err = readU64(buf)
+	if err != nil {
+		return nil, err
+	}
+	r.Data = buf
+	return &r, nil
+}
+
+// ReplErr reports a fatal stream error before the primary closes the
+// connection.
+type ReplErr struct {
+	Msg string
+}
+
+// Encode marshals e.
+func (e *ReplErr) Encode() []byte { return appendString(nil, e.Msg) }
+
+// DecodeReplErr unmarshals a ReplErr payload.
+func DecodeReplErr(buf []byte) (*ReplErr, error) {
+	s, _, err := readString(buf)
+	if err != nil {
+		return nil, err
+	}
+	return &ReplErr{Msg: s}, nil
+}
+
+// ReplFrameName names a replication frame type for diagnostics.
+func ReplFrameName(typ byte) string {
+	switch typ {
+	case MsgReplHello:
+		return "ReplHello"
+	case MsgReplOK:
+		return "ReplOK"
+	case MsgReplSnap:
+		return "ReplSnap"
+	case MsgReplFile:
+		return "ReplFile"
+	case MsgReplSnapEnd:
+		return "ReplSnapEnd"
+	case MsgReplRecs:
+		return "ReplRecs"
+	case MsgReplErr:
+		return "ReplErr"
+	}
+	return fmt.Sprintf("frame %q", typ)
+}

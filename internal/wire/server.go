@@ -53,6 +53,12 @@ func (s *Server) Serve(ln net.Listener) error {
 			return err
 		}
 		s.mu.Lock()
+		if s.closed {
+			// Close already swept conns; don't leak a handler.
+			s.mu.Unlock()
+			conn.Close()
+			continue
+		}
 		s.conns[conn] = true
 		s.mu.Unlock()
 		go s.handle(conn)
