@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"time"
 
 	"ifdb/internal/label"
 	"ifdb/internal/types"
@@ -30,11 +31,71 @@ type Result struct {
 	Rows      [][]Value
 	RowLabels []Label
 	Affected  int64
+
+	// Epoch and LSN are the server's promotion generation and WAL
+	// position after the statement. On a primary the pair covers every
+	// commit the statement made — the Router keeps it from its last
+	// write as the read-your-writes token.
+	Epoch uint64
+	LSN   uint64
+}
+
+// Status is a node's replication role, as answered by a STATUS probe.
+type Status struct {
+	// Replica reports whether the node is a read-only replica.
+	Replica bool
+	// Epoch is the node's promotion generation.
+	Epoch uint64
+	// AppliedLSN is the primary LSN a replica has applied through (in
+	// the primary's LSN space); 0 on a primary.
+	AppliedLSN uint64
+	// WALEnd is the node's own WAL append edge (0 in-memory). On a
+	// primary, AppliedLSN of an attached replica approaches it.
+	WALEnd uint64
+	// Err is the replica's fatal stream error, if any.
+	Err string
+}
+
+// Config configures a connection.
+type Config struct {
+	// Addr is the server address; Token attests that this client is a
+	// trusted platform (§2); Principal is the acting principal
+	// established by the platform's authentication code.
+	Addr      string
+	Token     string
+	Principal uint64
+
+	// DialTimeout bounds each connection attempt (0 = no timeout).
+	DialTimeout time.Duration
+
+	// AutoReconnect redials transparently when the connection breaks
+	// mid-use, re-syncing the client's label and principal before the
+	// statement is retried — the client-side label state (the paper's
+	// libpq design, §7.2) is exactly what makes this safe: the client
+	// owns the authoritative view, so a fresh server session can be
+	// brought back to it with one lazy sync. A statement is retried at
+	// most once, on a connection error only (never on a server-reported
+	// error); an explicit transaction that was open at the break is
+	// gone, and the retried statement runs in a fresh autocommit
+	// context. The retry is at-least-once: when the break lands
+	// between the server's commit and the client reading the Result,
+	// the retry re-executes an already-committed statement, so a
+	// non-idempotent write (v = v + 1) can apply twice. Keep
+	// AutoReconnect off where either distinction matters.
+	AutoReconnect bool
+
+	// RedialTimeout bounds the total time AutoReconnect spends trying
+	// to reach the server again (default 10s); RedialInterval paces the
+	// attempts (default 100ms).
+	RedialTimeout  time.Duration
+	RedialInterval time.Duration
 }
 
 // Conn is one connection to an IFDB server. Not safe for concurrent
 // use (one connection per worker, like libpq).
 type Conn struct {
+	cfg Config
+
 	c net.Conn
 	r *bufio.Reader
 	w *bufio.Writer
@@ -45,43 +106,114 @@ type Conn struct {
 	dirty     bool // label/principal changed since last sync
 }
 
+// serverError marks an error the server reported (SQL errors, refused
+// control operations): the connection is healthy and the statement
+// definitively failed, so AutoReconnect must not retry it.
+type serverError struct{ msg string }
+
+func (e *serverError) Error() string { return e.msg }
+
 // Dial connects and performs the Hello handshake. token attests that
 // this client is a trusted platform (§2); principal is the acting
 // principal established by the platform's authentication code.
 func Dial(addr, token string, principal uint64) (*Conn, error) {
-	nc, err := net.Dial("tcp", addr)
+	return DialConfig(Config{Addr: addr, Token: token, Principal: principal})
+}
+
+// DialConfig connects with explicit configuration (timeouts,
+// auto-reconnect).
+func DialConfig(cfg Config) (*Conn, error) {
+	if cfg.RedialTimeout <= 0 {
+		cfg.RedialTimeout = 10 * time.Second
+	}
+	if cfg.RedialInterval <= 0 {
+		cfg.RedialInterval = 100 * time.Millisecond
+	}
+	c := &Conn{cfg: cfg, principal: cfg.Principal}
+	if err := c.handshake(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// handshake dials and performs Hello as the connection's *current*
+// principal (which SetPrincipal may have moved past cfg.Principal).
+func (c *Conn) handshake() error {
+	var nc net.Conn
+	var err error
+	if c.cfg.DialTimeout > 0 {
+		nc, err = net.DialTimeout("tcp", c.cfg.Addr, c.cfg.DialTimeout)
+	} else {
+		nc, err = net.Dial("tcp", c.cfg.Addr)
+	}
 	if err != nil {
-		return nil, err
+		return err
 	}
-	c := &Conn{c: nc, r: bufio.NewReader(nc), w: bufio.NewWriter(nc), principal: principal}
-	h := &wire.Hello{Token: token, Principal: principal}
-	if err := wire.WriteFrame(c.w, wire.MsgHello, h.Encode()); err != nil {
+	r := bufio.NewReader(nc)
+	w := bufio.NewWriter(nc)
+	h := &wire.Hello{Token: c.cfg.Token, Principal: c.principal}
+	if err := wire.WriteFrame(w, wire.MsgHello, h.Encode()); err != nil {
 		nc.Close()
-		return nil, err
+		return err
 	}
-	if err := c.w.Flush(); err != nil {
+	if err := w.Flush(); err != nil {
 		nc.Close()
-		return nil, err
+		return err
 	}
-	typ, payload, err := wire.ReadFrame(c.r)
+	typ, payload, err := wire.ReadFrame(r)
 	if err != nil {
 		nc.Close()
-		return nil, err
+		return err
 	}
 	switch typ {
 	case wire.MsgHelloOK:
-		return c, nil
+		c.c, c.r, c.w = nc, r, w
+		return nil
 	case wire.MsgCtrlRes:
 		res, derr := wire.DecodeCtrlRes(payload)
 		nc.Close()
 		if derr != nil {
-			return nil, derr
+			return derr
 		}
-		return nil, errors.New(res.Err)
+		return &serverError{msg: res.Err}
 	default:
 		nc.Close()
-		return nil, fmt.Errorf("client: unexpected handshake frame %c", typ)
+		return fmt.Errorf("client: unexpected handshake frame %c", typ)
 	}
+}
+
+// redial re-establishes a broken connection within the redial budget
+// and marks the label/principal state dirty so the next statement
+// re-syncs it (the fresh server session starts empty).
+func (c *Conn) redial() error {
+	if c.c != nil {
+		c.c.Close()
+	}
+	deadline := time.Now().Add(c.cfg.RedialTimeout)
+	for {
+		err := c.handshake()
+		if err == nil {
+			c.dirty = true
+			return nil
+		}
+		var se *serverError
+		if errors.As(err, &se) {
+			// The server is back but refuses us (e.g. token changed):
+			// retrying cannot help.
+			return err
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("client: reconnect to %s failed: %w", c.cfg.Addr, err)
+		}
+		time.Sleep(c.cfg.RedialInterval)
+	}
+}
+
+// retryable reports whether err warrants a redial-and-retry: any
+// transport-level failure qualifies; server-reported errors never do.
+func retryable(err error) bool {
+	var se *serverError
+	return err != nil && !errors.As(err, &se)
 }
 
 // Close says goodbye and closes the socket.
@@ -142,9 +274,30 @@ func (c *Conn) Declassify(t Tag) error {
 // Exec sends one statement (with lazily-coalesced label sync) and
 // returns the result. The connection adopts the server's post-
 // statement label, which reflects any addsecrecy()/declassify() the
-// statement performed.
+// statement performed. With AutoReconnect, a broken connection is
+// redialed, the label/principal re-synced, and the statement retried
+// once.
 func (c *Conn) Exec(sql string, params ...Value) (*Result, error) {
-	q := &wire.Query{SQL: sql, Params: params}
+	return c.ExecWait(0, sql, params...)
+}
+
+// ExecWait is Exec with a read-your-writes token: when waitLSN is
+// non-zero and the server is a replica, execution is delayed until the
+// replica has applied the primary's log through waitLSN. The Router
+// stamps replica reads with the token from its last primary write.
+func (c *Conn) ExecWait(waitLSN uint64, sql string, params ...Value) (*Result, error) {
+	res, err := c.execOnce(waitLSN, sql, params)
+	if err == nil || !c.cfg.AutoReconnect || !retryable(err) {
+		return res, err
+	}
+	if rerr := c.redial(); rerr != nil {
+		return nil, rerr
+	}
+	return c.execOnce(waitLSN, sql, params)
+}
+
+func (c *Conn) execOnce(waitLSN uint64, sql string, params []Value) (*Result, error) {
+	q := &wire.Query{SQL: sql, Params: params, WaitLSN: waitLSN}
 	if c.dirty {
 		q.SyncLabel = true
 		q.Label = c.plabel
@@ -176,42 +329,106 @@ func (c *Conn) Exec(sql string, params ...Value) (*Result, error) {
 	c.plabel = res.Label
 	c.pilabel = res.ILabel
 	if res.Err != "" {
-		return nil, errors.New(res.Err)
+		return nil, &serverError{msg: res.Err}
 	}
-	return &Result{Cols: res.Cols, Rows: res.Rows, RowLabels: res.RowLabels, Affected: res.Affected}, nil
+	return &Result{
+		Cols: res.Cols, Rows: res.Rows, RowLabels: res.RowLabels,
+		Affected: res.Affected, Epoch: res.Epoch, LSN: res.LSN,
+	}, nil
 }
 
 // control round-trips a control message. Pending label/principal
 // changes are flushed first (control frames carry no sync fields, and
 // authority operations must run under the client's true identity and
-// label).
+// label). AutoReconnect applies as in Exec.
 func (c *Conn) control(ctl *wire.Control) (*wire.CtrlRes, error) {
+	res, err := c.controlOnce(ctl)
+	if err == nil || !c.cfg.AutoReconnect || !retryable(err) {
+		return res, err
+	}
+	if rerr := c.redial(); rerr != nil {
+		return nil, rerr
+	}
+	return c.controlOnce(ctl)
+}
+
+func (c *Conn) controlOnce(ctl *wire.Control) (*wire.CtrlRes, error) {
 	if c.dirty {
-		if _, err := c.Exec("SELECT 1"); err != nil {
+		if _, err := c.execOnce(0, "SELECT 1", nil); err != nil {
 			return nil, err
 		}
 	}
-	if err := wire.WriteFrame(c.w, wire.MsgControl, ctl.Encode()); err != nil {
-		return nil, err
-	}
-	if err := c.w.Flush(); err != nil {
-		return nil, err
-	}
-	typ, resp, err := wire.ReadFrame(c.r)
+	resp, err := c.roundTrip(wire.MsgControl, ctl.Encode(), wire.MsgCtrlRes)
 	if err != nil {
 		return nil, err
-	}
-	if typ != wire.MsgCtrlRes {
-		return nil, fmt.Errorf("client: unexpected frame %c", typ)
 	}
 	res, err := wire.DecodeCtrlRes(resp)
 	if err != nil {
 		return nil, err
 	}
 	if res.Err != "" {
-		return nil, errors.New(res.Err)
+		return nil, &serverError{msg: res.Err}
 	}
 	return res, nil
+}
+
+// roundTrip sends one frame and reads one expected response frame.
+func (c *Conn) roundTrip(typ byte, payload []byte, wantTyp byte) ([]byte, error) {
+	if err := wire.WriteFrame(c.w, typ, payload); err != nil {
+		return nil, err
+	}
+	if err := c.w.Flush(); err != nil {
+		return nil, err
+	}
+	gotTyp, resp, err := wire.ReadFrame(c.r)
+	if err != nil {
+		return nil, err
+	}
+	if gotTyp != wantTyp {
+		return nil, fmt.Errorf("client: unexpected frame %c", gotTyp)
+	}
+	return resp, nil
+}
+
+// Status probes the server's replication role (replica?, epoch,
+// applied LSN, WAL end). The coordinator's health checks and the
+// Router's primary discovery are built on it.
+func (c *Conn) Status() (*Status, error) {
+	return c.statusRequest(wire.MsgStatus)
+}
+
+// PromoteNode asks a replica server to promote itself to a writable
+// primary (failover). The returned status reflects the node after the
+// attempt; a non-nil error reports why promotion was refused.
+func (c *Conn) PromoteNode() (*Status, error) {
+	return c.statusRequest(wire.MsgPromote)
+}
+
+func (c *Conn) statusRequest(typ byte) (*Status, error) {
+	resp, err := c.roundTrip(typ, nil, wire.MsgStatusRes)
+	// STATUS is idempotent and safe to retry; PROMOTE is not — a break
+	// after the server promoted but before the reply would re-send the
+	// command (and report failure for a promotion that succeeded),
+	// tempting the caller into promoting a second node. The caller
+	// resolves an ambiguous PROMOTE with a fresh Status probe instead.
+	if typ == wire.MsgStatus && retryable(err) && c.cfg.AutoReconnect {
+		if rerr := c.redial(); rerr != nil {
+			return nil, rerr
+		}
+		resp, err = c.roundTrip(typ, nil, wire.MsgStatusRes)
+	}
+	if err != nil {
+		return nil, err
+	}
+	st, err := wire.DecodeStatus(resp)
+	if err != nil {
+		return nil, err
+	}
+	out := &Status{Replica: st.Replica, Epoch: st.Epoch, AppliedLSN: st.AppliedLSN, WALEnd: st.WALEnd, Err: st.Err}
+	if typ == wire.MsgPromote && st.Err != "" {
+		return out, &serverError{msg: st.Err}
+	}
+	return out, nil
 }
 
 // CreatePrincipal creates a principal server-side (requires an empty

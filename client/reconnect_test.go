@@ -1,0 +1,122 @@
+package client_test
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"ifdb"
+	"ifdb/client"
+	"ifdb/internal/wire"
+)
+
+// TestAutoReconnectResyncsLabel kills a durable server mid-session and
+// restarts it on the same port: a Conn with AutoReconnect redials,
+// re-syncs its label and principal (the client owns the authoritative
+// view, §7.2), and the retried statements behave as if the connection
+// had never broken — the contaminated read still sees the secret row,
+// and the principal's authority still declassifies.
+func TestAutoReconnectResyncsLabel(t *testing.T) {
+	dir := t.TempDir()
+	db, err := ifdb.Open(ifdb.Config{IFC: true, DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := wire.NewServer(db.Engine(), "tok")
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	go srv.Serve(ln)
+
+	if _, err := db.AdminSession().Exec(`CREATE TABLE notes (id BIGINT PRIMARY KEY, body TEXT)`); err != nil {
+		t.Fatal(err)
+	}
+
+	conn, err := client.DialConfig(client.Config{
+		Addr: addr, Token: "tok", AutoReconnect: true,
+		RedialTimeout: 10 * time.Second, RedialInterval: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	alice, err := conn.CreatePrincipal("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.SetPrincipal(alice)
+	tag, err := conn.CreateTag("alice_notes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.AddSecrecy(tag)
+	if _, err := conn.Exec(`INSERT INTO notes VALUES (1, 'secret')`); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the server (connections die, state persists in the
+	// DataDir), then restart it on the same port.
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := ifdb.Open(ifdb.Config{IFC: true, DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	srv2 := wire.NewServer(db2.Engine(), "tok")
+	var ln2 net.Listener
+	for deadline := time.Now().Add(5 * time.Second); ; {
+		ln2, err = net.Listen("tcp", addr)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("relisten on %s: %v", addr, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	go srv2.Serve(ln2)
+	defer srv2.Close()
+
+	// The next statement rides the auto-reconnect: the fresh server
+	// session starts with an empty label and no principal, so the
+	// redial's lazy re-sync is what makes this read see the secret row
+	// under alice's tag.
+	res, err := conn.Exec(`SELECT body FROM notes WHERE id = 1`)
+	if err != nil {
+		t.Fatalf("exec across restart: %v", err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].Text() != "secret" {
+		t.Fatalf("contaminated read after reconnect: %v", res.Rows)
+	}
+	if !conn.Label().Equal(client.Label{tag}) {
+		t.Fatalf("label lost across reconnect: %v", conn.Label())
+	}
+	// Principal re-sync: alice's authority still works.
+	if err := conn.Declassify(tag); err != nil {
+		t.Fatalf("declassify after reconnect: %v", err)
+	}
+	// Writes work on the reconnected session too.
+	if _, err := conn.Exec(`INSERT INTO notes VALUES (2, 'post-restart')`); err != nil {
+		t.Fatal(err)
+	}
+
+	// A conn *without* AutoReconnect fails outright when its server
+	// goes away — the retry is opt-in.
+	plain, err := client.Dial(addr, "tok", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Close()
+	srv2.Close()
+	if _, err := plain.Exec(`SELECT 1`); err == nil {
+		t.Fatal("plain conn survived server death")
+	}
+}

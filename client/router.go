@@ -1,0 +1,578 @@
+// The routing client: a concurrency-safe pool over per-node Conns
+// that sends writes to the current primary, load-balances reads across
+// replicas, follows promotions when the primary fails over, and
+// preserves read-your-writes through commit-LSN tokens.
+//
+// The token flow is the part worth spelling out. Every primary write
+// returns (epoch, LSN) — the primary's WAL position covering the
+// write's commit. The Router keeps the freshest such pair; a read
+// routed to a replica carries the LSN as Query.WaitLSN, so the replica
+// delays the read until its applied position covers the client's last
+// acknowledged write. LSN spaces are only comparable within one epoch
+// chain, so after a failover (new epoch) the stale token is not applied
+// to replicas: reads fall back to the primary until a write under the
+// new epoch re-bases the token. With asynchronous replication a
+// failover may lose the tail of acknowledged writes — the token makes
+// reads monotone with respect to what *this* Router observed, it
+// cannot resurrect commits the failover discarded.
+//
+// Label discipline: the Router multiplexes statements from many
+// goroutines over pooled connections, so it only suits workloads whose
+// process label stays empty (the common case for web-style read
+// scale-out). A statement that contaminates its connection — e.g.
+// SELECT addsecrecy(...) — poisons label state the next borrower must
+// not inherit; such connections are closed instead of repooled, and
+// label-changing statements are routed to the primary like writes.
+// Workloads that manage labels should dial their own Conn.
+package client
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// RouterConfig configures a Router.
+type RouterConfig struct {
+	// Addrs are the client addresses of every cluster node (primary
+	// and replicas, in any order); Token and Principal as in Config.
+	Addrs     []string
+	Token     string
+	Principal uint64
+
+	// PoolSize caps idle pooled connections per node (default 4).
+	PoolSize int
+
+	// FailoverTimeout bounds how long a write waits for a new primary
+	// to appear after the current one fails (default 10s).
+	FailoverTimeout time.Duration
+
+	// DialTimeout bounds each probe/pool connection attempt
+	// (default 2s).
+	DialTimeout time.Duration
+
+	// AllowStaleReads drops the read-your-writes guarantee: reads
+	// carry no commit-LSN token, so a replica answers immediately from
+	// whatever it has applied — eventual consistency in exchange for
+	// not paying replication lag on every read after a write. The
+	// guarantee is per-Router either way; workloads that need both pick
+	// per call by running two Routers over the same addresses.
+	AllowStaleReads bool
+}
+
+// Router routes statements across a replicated IFDB cluster. Safe for
+// concurrent use by any number of goroutines.
+type Router struct {
+	cfg RouterConfig
+
+	mu      sync.Mutex
+	nodes   map[string]*routerNode
+	primary string // addr of the current primary ("" = unknown)
+	epoch   uint64 // highest epoch observed across the cluster
+	closed  bool
+
+	rr        atomic.Uint64         // read round-robin cursor
+	token     atomic.Pointer[rwTok] // read-your-writes token
+	lastProbe atomic.Int64          // unix nanos of the last Reprobe (rate limit)
+}
+
+// rwTok is the read-your-writes token: the primary WAL position of the
+// Router's last acknowledged write, with the epoch that position lives
+// in.
+type rwTok struct {
+	epoch uint64
+	lsn   uint64
+}
+
+type routerNode struct {
+	addr string
+
+	mu      sync.Mutex
+	free    []*Conn
+	replica bool
+	epoch   uint64
+	down    bool
+}
+
+// OpenRouter probes every node, locates the primary, and returns a
+// ready Router. It fails if no reachable node claims to be a primary.
+func OpenRouter(cfg RouterConfig) (*Router, error) {
+	if len(cfg.Addrs) == 0 {
+		return nil, errors.New("client: router needs at least one address")
+	}
+	if cfg.PoolSize <= 0 {
+		cfg.PoolSize = 4
+	}
+	if cfg.FailoverTimeout <= 0 {
+		cfg.FailoverTimeout = 10 * time.Second
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 2 * time.Second
+	}
+	r := &Router{cfg: cfg, nodes: make(map[string]*routerNode)}
+	for _, addr := range cfg.Addrs {
+		r.nodes[addr] = &routerNode{addr: addr}
+	}
+	if err := r.Reprobe(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// maybeReprobe runs Reprobe at most once per two seconds. Reads call
+// it when their candidate pool has shrunk (a node marked down, or
+// every replica epoch-stale after a failover), so transient failures
+// heal instead of permanently evicting replicas from the read pool.
+func (r *Router) maybeReprobe() {
+	const every = 2 * time.Second
+	now := time.Now().UnixNano()
+	last := r.lastProbe.Load()
+	if now-last < int64(every) {
+		return
+	}
+	if r.lastProbe.CompareAndSwap(last, now) {
+		_ = r.Reprobe()
+	}
+}
+
+// Reprobe re-discovers every node's role and the current primary.
+// Called automatically when a write can't reach the primary; callers
+// may also invoke it after known topology changes.
+func (r *Router) Reprobe() error {
+	r.lastProbe.Store(time.Now().UnixNano())
+	// Probe concurrently: a black-holed host costs one DialTimeout for
+	// the whole sweep, not one per node — this runs inline on the
+	// triggering statement's path.
+	type probe struct {
+		addr string
+		st   *Status
+	}
+	addrs := r.addrs()
+	results := make(chan probe, len(addrs))
+	for _, addr := range addrs {
+		go func(addr string) {
+			conn, err := r.dial(addr)
+			if err != nil {
+				r.setDown(addr)
+				results <- probe{addr, nil}
+				return
+			}
+			st, err := conn.Status()
+			conn.Close()
+			if err != nil {
+				r.setDown(addr)
+				results <- probe{addr, nil}
+				return
+			}
+			results <- probe{addr, st}
+		}(addr)
+	}
+	var probes []probe
+	for range addrs {
+		if p := <-results; p.st != nil {
+			probes = append(probes, p)
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.primary = ""
+	for _, p := range probes {
+		n := r.nodes[p.addr]
+		// A replica whose stream died fatally keeps answering probes
+		// with a frozen applied position; treating it as down keeps
+		// read-your-writes reads from stalling on it until its
+		// operator restarts it.
+		dead := p.st.Replica && p.st.Err != ""
+		n.mu.Lock()
+		n.replica, n.epoch, n.down = p.st.Replica, p.st.Epoch, dead
+		n.mu.Unlock()
+		if p.st.Epoch > r.epoch {
+			r.epoch = p.st.Epoch
+		}
+	}
+	// The primary is the non-replica at the highest epoch: after a
+	// failover a fenced stale primary may still answer probes, but its
+	// epoch gives it away.
+	for _, p := range probes {
+		if !p.st.Replica && p.st.Epoch == r.epoch {
+			r.primary = p.addr
+		}
+	}
+	if r.primary == "" {
+		return fmt.Errorf("client: no reachable primary among %v", r.cfg.Addrs)
+	}
+	return nil
+}
+
+// dial opens one configured connection to addr (probes, pool refills,
+// and stale-pool retries all share it).
+func (r *Router) dial(addr string) (*Conn, error) {
+	return DialConfig(Config{
+		Addr: addr, Token: r.cfg.Token, Principal: r.cfg.Principal,
+		DialTimeout: r.cfg.DialTimeout,
+	})
+}
+
+func (r *Router) addrs() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.nodes))
+	for a := range r.nodes {
+		out = append(out, a)
+	}
+	return out
+}
+
+func (r *Router) setDown(addr string) {
+	r.mu.Lock()
+	n := r.nodes[addr]
+	r.mu.Unlock()
+	if n != nil {
+		n.mu.Lock()
+		n.down = true
+		n.mu.Unlock()
+	}
+}
+
+// flushPool closes every idle connection to addr (they went stale
+// together: a restarted server orphans the whole pool at once).
+func (r *Router) flushPool(addr string) {
+	r.mu.Lock()
+	n := r.nodes[addr]
+	r.mu.Unlock()
+	if n == nil {
+		return
+	}
+	n.mu.Lock()
+	free := n.free
+	n.free = nil
+	n.mu.Unlock()
+	for _, c := range free {
+		c.Close()
+	}
+}
+
+// Primary returns the address writes currently route to.
+func (r *Router) Primary() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.primary
+}
+
+// Close closes every pooled connection and marks the Router unusable:
+// later Execs fail, and in-flight statements' checkins close their
+// connections instead of repooling them.
+func (r *Router) Close() error {
+	r.mu.Lock()
+	r.closed = true
+	nodes := make([]*routerNode, 0, len(r.nodes))
+	for _, n := range r.nodes {
+		nodes = append(nodes, n)
+	}
+	r.mu.Unlock()
+	for _, n := range nodes {
+		n.mu.Lock()
+		free := n.free
+		n.free = nil
+		n.mu.Unlock()
+		for _, c := range free {
+			c.Close()
+		}
+	}
+	return nil
+}
+
+// checkout borrows a connection to addr, dialing if the pool is
+// empty; pooled reports which (a pooled connection may have gone
+// stale while idle, so its first failure warrants a fresh-dial retry
+// rather than declaring the node down).
+func (r *Router) checkout(addr string) (c *Conn, pooled bool, err error) {
+	r.mu.Lock()
+	n := r.nodes[addr]
+	closed := r.closed
+	r.mu.Unlock()
+	if closed {
+		return nil, false, errors.New("client: router is closed")
+	}
+	if n == nil {
+		return nil, false, fmt.Errorf("client: unknown node %s", addr)
+	}
+	n.mu.Lock()
+	if len(n.free) > 0 {
+		c := n.free[len(n.free)-1]
+		n.free = n.free[:len(n.free)-1]
+		n.mu.Unlock()
+		return c, true, nil
+	}
+	n.mu.Unlock()
+	c, err = r.dial(addr)
+	return c, false, err
+}
+
+// checkin returns a healthy connection to its pool. Contaminated
+// connections (non-empty label) are closed instead: the next borrower
+// must not inherit another statement's secrecy state.
+func (r *Router) checkin(addr string, c *Conn) {
+	if !c.Label().IsEmpty() || !c.Integrity().IsEmpty() {
+		c.Close()
+		return
+	}
+	r.mu.Lock()
+	n := r.nodes[addr]
+	closed := r.closed
+	r.mu.Unlock()
+	if n == nil || closed {
+		c.Close()
+		return
+	}
+	n.mu.Lock()
+	if len(n.free) < r.cfg.PoolSize {
+		n.free = append(n.free, c)
+		n.mu.Unlock()
+		return
+	}
+	n.mu.Unlock()
+	c.Close()
+}
+
+// isReadOnly classifies a statement for routing: plain SELECTs load-
+// balance to replicas; everything else — DML, DDL, transaction
+// control, and SELECT-invocable functions with side effects (label
+// changes, sequence allocation, stored procedures) — goes to the
+// primary, which is also where a replica's ErrReadOnlyReplica would
+// send them anyway.
+func isReadOnly(sql string) bool {
+	s := strings.TrimSpace(sql)
+	up := strings.ToUpper(s)
+	if !strings.HasPrefix(up, "SELECT") {
+		return false
+	}
+	for _, fn := range []string{
+		"ADDSECRECY", "DECLASSIFY", "ENDORSE", "DROPINTEGRITY",
+		"NEXTVAL", "CREATE_SEQUENCE", "CALL",
+	} {
+		if strings.Contains(up, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// isTxnControl reports BEGIN/COMMIT/ROLLBACK, which the Router cannot
+// honor: statements are routed independently, so a transaction would
+// straddle connections.
+func isTxnControl(sql string) bool {
+	up := strings.ToUpper(strings.TrimSpace(sql))
+	return strings.HasPrefix(up, "BEGIN") || strings.HasPrefix(up, "COMMIT") || strings.HasPrefix(up, "ROLLBACK")
+}
+
+// Exec routes one statement: reads to replicas (with the
+// read-your-writes token), everything else to the primary. On primary
+// failure it reprobes — following a promotion — and retries within
+// FailoverTimeout.
+func (r *Router) Exec(sql string, params ...Value) (*Result, error) {
+	if isTxnControl(sql) {
+		return nil, errors.New("client: the Router routes statements independently and cannot carry explicit transactions; dial a Conn to the primary instead")
+	}
+	if isReadOnly(sql) {
+		return r.read(sql, params)
+	}
+	return r.write(sql, params)
+}
+
+// write executes on the primary, following promotions: a connection
+// failure or an ErrReadOnlyReplica answer (the node we thought primary
+// was demoted-by-comparison: a promotion happened elsewhere) triggers
+// a reprobe and a retry against the new primary. Failover retries are
+// at-least-once — a break between the old primary's commit and the
+// Result frame re-executes the statement — so route non-idempotent
+// writes through idempotent SQL (keyed inserts, absolute updates)
+// when double-apply matters.
+func (r *Router) write(sql string, params []Value) (*Result, error) {
+	deadline := time.Now().Add(r.cfg.FailoverTimeout)
+	var lastErr error
+	for {
+		addr := r.Primary()
+		if addr != "" {
+			res, err := r.execOn(addr, 0, sql, params)
+			if err == nil {
+				r.noteWrite(res)
+				return res, nil
+			}
+			lastErr = err
+			if !retryable(err) && !isReadOnlyReplicaErr(err) {
+				return nil, err // real SQL error: routing can't help
+			}
+		} else if lastErr == nil {
+			lastErr = errors.New("client: no known primary")
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("client: write failed over for %v: %w", r.cfg.FailoverTimeout, lastErr)
+		}
+		// Follow the promotion; rate-limited so a herd of blocked
+		// writers shares one probe sweep instead of each serially
+		// dialing every node per retry.
+		r.maybeReprobe()
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// read load-balances across replicas whose epoch matches the token
+// (stale-epoch tokens would be incomparable), falling back to the
+// primary when no replica qualifies or every candidate fails.
+func (r *Router) read(sql string, params []Value) (*Result, error) {
+	var tok *rwTok
+	if !r.cfg.AllowStaleReads {
+		tok = r.token.Load()
+	}
+	candidates := r.readCandidates(tok)
+	if len(candidates) == 0 {
+		// No usable replica (all down, or all epoch-stale after a
+		// failover): heal the pool for future reads while this one
+		// falls through to the primary.
+		r.maybeReprobe()
+		candidates = r.readCandidates(tok)
+	}
+	var lastErr error
+	for _, addr := range candidates {
+		wait := uint64(0)
+		if tok != nil {
+			wait = tok.lsn
+		}
+		res, err := r.execOn(addr, wait, sql, params)
+		if err == nil {
+			return res, nil
+		}
+		lastErr = err
+		if !retryable(err) {
+			if isReadOnlyReplicaErr(err) {
+				// Misclassified mutator (e.g. a stored procedure that
+				// writes, invoked as SELECT proc(...)): the primary
+				// below can execute it.
+				continue
+			}
+			if !isWaitTimeoutErr(err) {
+				return nil, err // genuine SQL error: every node agrees
+			}
+			// The replica is too far behind (or its stream died with
+			// its applied position frozen): take it out of the pool —
+			// the next reprobe restores it if it was merely lagging —
+			// and let the primary below answer without any wait.
+			r.setDown(addr)
+			continue
+		}
+		r.setDown(addr)
+		r.maybeReprobe()
+	}
+	// Last resort: the primary answers reads without any wait.
+	if addr := r.Primary(); addr != "" {
+		res, err := r.execOn(addr, 0, sql, params)
+		if err == nil {
+			return res, nil
+		}
+		lastErr = err
+	}
+	if lastErr == nil {
+		lastErr = errors.New("client: no nodes available")
+	}
+	return nil, lastErr
+}
+
+// readCandidates orders replica addresses round-robin, skipping down
+// nodes and epoch-mismatched replicas when a token is in play.
+func (r *Router) readCandidates(tok *rwTok) []string {
+	r.mu.Lock()
+	var reps []*routerNode
+	for _, n := range r.nodes {
+		if n.addr != r.primary {
+			reps = append(reps, n)
+		}
+	}
+	r.mu.Unlock()
+	var out []string
+	for _, n := range reps {
+		n.mu.Lock()
+		ok := !n.down && n.replica && (tok == nil || n.epoch == tok.epoch)
+		n.mu.Unlock()
+		if ok {
+			out = append(out, n.addr)
+		}
+	}
+	if len(out) > 1 {
+		rot := int(r.rr.Add(1)) % len(out)
+		out = append(out[rot:], out[:rot]...)
+	}
+	return out
+}
+
+func (r *Router) execOn(addr string, waitLSN uint64, sql string, params []Value) (*Result, error) {
+	c, pooled, err := r.checkout(addr)
+	if err != nil {
+		return nil, err
+	}
+	res, err := c.ExecWait(waitLSN, sql, params...)
+	if err != nil && retryable(err) && pooled {
+		// The pooled connection likely went stale while idle (server
+		// restart, dropped keepalive) — and if one did, its poolmates
+		// did too: flush them all and retry once on a genuinely fresh
+		// dial. At-least-once caveat as in write(): the stale conn
+		// died *sending*, not mid-commit, in the overwhelmingly common
+		// case.
+		c.Close()
+		r.flushPool(addr)
+		if c, err = r.dial(addr); err != nil {
+			return nil, err
+		}
+		res, err = c.ExecWait(waitLSN, sql, params...)
+	}
+	if err != nil {
+		if retryable(err) {
+			// Transport-level failure: the connection is broken.
+			c.Close()
+		} else {
+			// Server-reported error: the connection is healthy (and
+			// its label state already re-synced); keep it pooled.
+			r.checkin(addr, c)
+		}
+		return nil, err
+	}
+	r.checkin(addr, c)
+	return res, nil
+}
+
+// noteWrite advances the read-your-writes token to the result of a
+// primary write (the token only ever moves forward within an epoch,
+// and re-bases on the first write of a newer epoch).
+func (r *Router) noteWrite(res *Result) {
+	if res.LSN == 0 {
+		return // in-memory primary: no LSN space, nothing to wait on
+	}
+	for {
+		cur := r.token.Load()
+		if cur != nil && cur.epoch == res.Epoch && cur.lsn >= res.LSN {
+			return
+		}
+		if cur != nil && cur.epoch > res.Epoch {
+			return
+		}
+		if r.token.CompareAndSwap(cur, &rwTok{epoch: res.Epoch, lsn: res.LSN}) {
+			return
+		}
+	}
+}
+
+// isReadOnlyReplicaErr matches the server-reported rejection a demoted
+// (or never-primary) node gives writes; it signals the Router to chase
+// the real primary rather than surface the error.
+func isReadOnlyReplicaErr(err error) bool {
+	return err != nil && strings.Contains(err.Error(), "read-only replica")
+}
+
+// isWaitTimeoutErr matches a replica's read-your-writes wait timeout —
+// a routing signal (pick another node), not a statement failure.
+func isWaitTimeoutErr(err error) bool {
+	return err != nil && strings.Contains(err.Error(), "read-your-writes wait timed out")
+}

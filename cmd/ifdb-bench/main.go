@@ -10,7 +10,17 @@
 //	ifdb-bench -exp sensor   # §8.2.2: sensor ingest throughput
 //	ifdb-bench -exp space    # §8.3: bytes/tuple vs tags
 //	ifdb-bench -exp trustedbase  # §6.3: trusted-base accounting
+//	ifdb-bench -exp replica-read # read scale-out through the Router
 //	ifdb-bench -all          # everything (EXPERIMENTS.md source)
+//
+// replica-read goes beyond the paper: it stands up an in-process
+// cluster (one durable primary, -replicas read replicas fed by WAL
+// shipping, all behind real sockets), then drives a 90/10 read/write
+// mix through client.Router — writes to the primary, reads
+// load-balanced across replicas with read-your-writes LSN tokens — and
+// compares against the same mix aimed at the primary alone, so the
+// scale-out from adding replicas is a measured number rather than a
+// promise.
 //
 // Absolute numbers differ from the paper's 2013 testbed; the shapes —
 // who wins, by roughly what factor, where the slope lies — are the
@@ -20,17 +30,24 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math/rand"
+	"net"
 	"os"
 	"path/filepath"
 	"runtime"
 	"runtime/debug"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"ifdb"
+	"ifdb/client"
 	"ifdb/internal/bench/cartelweb"
 	"ifdb/internal/bench/dbt2"
 	"ifdb/internal/bench/sensor"
+	"ifdb/internal/repl"
+	"ifdb/internal/wire"
 )
 
 var (
@@ -41,6 +58,7 @@ var (
 	workersFlag  = flag.Int("workers", 8, "concurrent clients for throughput runs")
 	srcFlag      = flag.String("src", ".", "repository root (for trusted-base line counts)")
 	tagSweepFlag = flag.String("tags", "0,1,2,4,6,8,10", "tag counts for fig 6")
+	replicasFlag = flag.Int("replicas", 2, "read replicas for -exp replica-read")
 )
 
 func main() {
@@ -72,6 +90,10 @@ func main() {
 	}
 	if *allFlag || *expFlag == "trustedbase" {
 		expTrustedBase()
+		ran = true
+	}
+	if *allFlag || *expFlag == "replica-read" {
+		expReplicaRead()
 		ran = true
 	}
 	if !ran {
@@ -321,6 +343,102 @@ func expSpace() {
 }
 
 func errOf(_ *ifdb.Result, err error) error { return err }
+
+// expReplicaRead measures read scale-out through the routing client:
+// a durable primary plus -replicas WAL-shipped read replicas, all
+// behind real sockets, driven with a 90/10 read/write mix. The
+// baseline is the identical mix against the primary alone.
+func expReplicaRead() {
+	fmt.Println("== replica-read: read scale-out through client.Router ==")
+	fmt.Printf("(in-process cluster on GOMAXPROCS=%d; replicas only pay off once\n", runtime.GOMAXPROCS(0))
+	fmt.Println(" the primary is CPU-bound, so expect overhead-only numbers on few cores)")
+	const seedRows = 1000
+
+	// Primary: durable engine, client server, replication listener.
+	primDir, err := os.MkdirTemp("", "ifdb-bench-prim")
+	check(err)
+	defer os.RemoveAll(primDir)
+	db, err := ifdb.Open(ifdb.Config{DataDir: primDir, SyncMode: "off"})
+	check(err)
+	defer db.Close()
+	admin := db.AdminSession()
+	check(errOf(admin.Exec(`CREATE TABLE kv (k BIGINT PRIMARY KEY, v BIGINT)`)))
+	for i := 0; i < seedRows; i++ {
+		check(errOf(admin.Exec(`INSERT INTO kv VALUES ($1, $2)`, ifdb.Int(int64(i)), ifdb.Int(0))))
+	}
+	primSrv := wire.NewServer(db.Engine(), "")
+	primLn, err := net.Listen("tcp", "127.0.0.1:0")
+	check(err)
+	go primSrv.Serve(primLn)
+	defer primSrv.Close()
+	replPrim := repl.NewPrimary(db.Engine(), "")
+	replLn, err := net.Listen("tcp", "127.0.0.1:0")
+	check(err)
+	go replPrim.Serve(replLn)
+	defer replPrim.Close()
+
+	// Replicas: followers over the stream, each with a client server.
+	addrs := []string{primLn.Addr().String()}
+	for i := 0; i < *replicasFlag; i++ {
+		dir, err := os.MkdirTemp("", "ifdb-bench-repl")
+		check(err)
+		defer os.RemoveAll(dir)
+		f, err := repl.Open(repl.Config{Addr: replLn.Addr().String(), DataDir: dir, SyncMode: "off"})
+		check(err)
+		defer f.Close()
+		srv := wire.NewServer(f.Engine(), "")
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		check(err)
+		go srv.Serve(ln)
+		defer srv.Close()
+		addrs = append(addrs, ln.Addr().String())
+	}
+
+	mix := func(addrs []string, stale bool, label string) {
+		router, err := client.OpenRouter(client.RouterConfig{Addrs: addrs, AllowStaleReads: stale})
+		check(err)
+		defer router.Close()
+		var reads, writes, failures atomic.Int64
+		deadline := time.Now().Add(*durFlag)
+		var wg sync.WaitGroup
+		for w := 0; w < *workersFlag; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(w)))
+				for i := 0; time.Now().Before(deadline); i++ {
+					k := ifdb.Int(int64(rng.Intn(seedRows)))
+					if i%10 == 9 {
+						if _, err := router.Exec(`UPDATE kv SET v = v + 1 WHERE k = $1`, k); err != nil {
+							failures.Add(1)
+							continue
+						}
+						writes.Add(1)
+					} else {
+						if _, err := router.Exec(`SELECT v FROM kv WHERE k = $1`, k); err != nil {
+							failures.Add(1)
+							continue
+						}
+						reads.Add(1)
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		secs := durFlag.Seconds()
+		fmt.Printf("%-26s %9.0f reads/s %8.0f writes/s", label, float64(reads.Load())/secs, float64(writes.Load())/secs)
+		if n := failures.Load(); n > 0 {
+			fmt.Printf("  (%d failures)", n)
+		}
+		fmt.Println()
+	}
+	mix(addrs[:1], false, "primary only")
+	mix(addrs, false, fmt.Sprintf("router + %d replicas (RYW)", *replicasFlag))
+	mix(addrs, true, fmt.Sprintf("router + %d replicas (stale)", *replicasFlag))
+	fmt.Println("(RYW = read-your-writes tokens: each read waits out the")
+	fmt.Println(" replication lag of the router's last write; stale drops that.)")
+	fmt.Println()
+}
 
 // expTrustedBase counts authority-bearing code in the two app ports —
 // the §6.3 accounting (380/10k LoC in CarTel, 760/29k in HotCRP).

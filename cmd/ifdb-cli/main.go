@@ -12,6 +12,8 @@
 //	\declassify <tag>      lower the label (requires authority)
 //	\tag <name>            create a tag owned by the current principal
 //	\principal <name>      create a principal and switch to it
+//	\status                show the node's replication role, epoch, LSNs
+//	\promote               promote this replica to primary (failover)
 //	\q                     quit
 package main
 
@@ -120,10 +122,40 @@ func metaCommand(conn *client.Conn, line string) (quit bool) {
 		}
 		conn.SetPrincipal(p)
 		fmt.Printf("now acting as principal %d (%s)\n", p, fields[1])
+	case "\\status":
+		st, err := conn.Status()
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		printStatus(st)
+	case "\\promote":
+		st, err := conn.PromoteNode()
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Println("promoted to primary")
+		printStatus(st)
 	default:
 		fmt.Println("unknown meta-command", fields[0])
 	}
 	return false
+}
+
+func printStatus(st *client.Status) {
+	role := "primary"
+	if st.Replica {
+		role = "replica"
+	}
+	fmt.Printf("role=%s epoch=%d wal-end=%d", role, st.Epoch, st.WALEnd)
+	if st.Replica {
+		fmt.Printf(" applied-lsn=%d", st.AppliedLSN)
+	}
+	if st.Err != "" {
+		fmt.Printf(" stream-error=%q", st.Err)
+	}
+	fmt.Println()
 }
 
 func resolveTag(conn *client.Conn, s string) (client.Tag, error) {

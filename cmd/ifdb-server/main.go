@@ -5,6 +5,7 @@
 //	ifdb-server -addr :5433 -token secret [-no-ifc] [-datadir /var/lib/ifdb]
 //	            [-sync group|commit|off] [-checkpoint-interval 1m]
 //	            [-repl-listen :5434] [-replica-of primary:5434]
+//	            [-repl-retain 64MB] [-cluster a:5433,b:5433] [-auto-failover]
 //
 // With -datadir the server is durable: it recovers from the
 // write-ahead log at startup, group-commits by default, checkpoints
@@ -16,6 +17,19 @@
 // read-only replica of the named primary — it bootstraps (or resumes)
 // from the primary's stream and serves queries, rejecting writes.
 // -repl-token authenticates followers (defaults to -token).
+// -repl-retain caps how many WAL bytes a lagging replica may pin
+// against checkpoint truncation (0 = unlimited).
+//
+// Failover: a replica accepts the PROMOTE command over the client
+// protocol (ifdb-cli \promote, or the cluster coordinator) and turns
+// into a writable primary under a bumped WAL epoch; a stale primary is
+// fenced and can only rejoin by re-bootstrapping as a replica. When
+// both -replica-of and -repl-listen are given, the replication
+// listener starts at the moment of promotion, so fenced peers can
+// rejoin as replicas of the new primary. -cluster names every node's
+// client address and runs the health-checking coordinator in-process;
+// with -auto-failover it promotes the most-caught-up replica after the
+// primary has been unreachable for -fail-after probes.
 //
 // An optional -init script (SQL, semicolon-separated) runs as the
 // administrator before serving, for schema bootstrap.
@@ -26,10 +40,13 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
+	"sync"
 	"syscall"
 	"time"
 
 	"ifdb"
+	"ifdb/internal/cluster"
 	"ifdb/internal/repl"
 	"ifdb/internal/wire"
 )
@@ -45,28 +62,32 @@ func main() {
 		initSQL  = flag.String("init", "", "path to a SQL script to run at startup")
 		vacuum   = flag.Duration("vacuum-interval", time.Minute, "autovacuum period (0 disables)")
 
-		replListen = flag.String("repl-listen", "", "serve the WAL to replicas on this address (primary; requires -datadir)")
+		replListen = flag.String("repl-listen", "", "serve the WAL to replicas on this address (on a replica: armed, starts at promotion)")
 		replicaOf  = flag.String("replica-of", "", "run as a read-only replica of the primary at this address (requires -datadir)")
 		replToken  = flag.String("repl-token", "", "replication token (defaults to -token)")
+		replRetain = flag.Int64("repl-retain", 0, "retained-WAL budget in bytes a lagging replica may pin (0 = unlimited)")
+
+		clusterNodes = flag.String("cluster", "", "comma-separated client addresses of every cluster node: runs the failover coordinator")
+		autoFailover = flag.Bool("auto-failover", false, "with -cluster: automatically promote the most-caught-up replica when the primary dies")
+		probeIvl     = flag.Duration("probe-interval", time.Second, "with -cluster: health probe period")
+		failAfter    = flag.Int("fail-after", 3, "with -cluster: consecutive failed primary probes before automatic failover")
 	)
 	flag.Parse()
 	if *replToken == "" {
 		*replToken = *token
-	}
-	if *replicaOf != "" && *replListen != "" {
-		log.Fatal("ifdb-server: -replica-of and -repl-listen are mutually exclusive (cascading replication is not supported)")
 	}
 	if *replicaOf != "" && *initSQL != "" {
 		log.Fatal("ifdb-server: -init is meaningless on a replica (schema comes from the primary)")
 	}
 
 	db, err := ifdb.Open(ifdb.Config{
-		IFC:             !*noIFC,
-		DataDir:         *dataDir,
-		SyncMode:        *syncMode,
-		CheckpointEvery: *ckptIvl,
-		ReplicaOf:       *replicaOf,
-		ReplToken:       *replToken,
+		IFC:              !*noIFC,
+		DataDir:          *dataDir,
+		SyncMode:         *syncMode,
+		CheckpointEvery:  *ckptIvl,
+		ReplicaOf:        *replicaOf,
+		ReplToken:        *replToken,
+		ReplRetainBudget: *replRetain,
 	})
 	if err != nil {
 		log.Fatalf("ifdb-server: open: %v", err)
@@ -101,21 +122,69 @@ func main() {
 
 	srv := wire.NewServer(db.Engine(), *token)
 	srv.ErrorLog = log.Default()
+	srv.StatusErr = db.ReplicationErr
 
-	// Primary side of replication: serve the WAL to followers.
-	var primary *repl.Primary
-	if *replListen != "" {
-		if *dataDir == "" {
-			log.Fatal("ifdb-server: -repl-listen requires -datadir (no WAL to ship without one)")
+	// Primary side of replication: serve the WAL to followers. On a
+	// replica with -repl-listen the listener is armed but deferred to
+	// promotion: a replica must not serve a stream (no cascading
+	// replication), but the moment it is promoted, fenced peers need
+	// somewhere to rejoin.
+	var (
+		primaryMu sync.Mutex
+		primary   *repl.Primary
+	)
+	startReplListener := func() {
+		primaryMu.Lock()
+		defer primaryMu.Unlock()
+		if primary != nil || *replListen == "" {
+			return
 		}
-		primary = repl.NewPrimary(db.Engine(), *replToken)
-		primary.ErrorLog = log.Default()
+		p := repl.NewPrimary(db.Engine(), *replToken)
+		p.ErrorLog = log.Default()
+		primary = p
 		go func() {
-			if err := primary.ListenAndServe(*replListen); err != nil {
+			if err := p.ListenAndServe(*replListen); err != nil {
 				log.Fatalf("ifdb-server: repl listener: %v", err)
 			}
 		}()
 		log.Printf("ifdb-server: serving replication on %s", *replListen)
+	}
+	if *replListen != "" && !db.IsReplica() {
+		if *dataDir == "" {
+			log.Fatal("ifdb-server: -repl-listen requires -datadir (no WAL to ship without one)")
+		}
+		startReplListener()
+	}
+
+	// Failover: replicas honor PROMOTE over the client protocol.
+	if db.IsReplica() {
+		srv.Promote = func() error {
+			if err := db.Promote(); err != nil {
+				return err
+			}
+			log.Printf("ifdb-server: promoted to primary (epoch %d)", db.Epoch())
+			startReplListener()
+			return nil
+		}
+	}
+
+	// The in-process failover coordinator (health checks + optional
+	// automatic promotion of the most-caught-up replica).
+	stopCoord := make(chan struct{})
+	if *clusterNodes != "" {
+		coord, err := cluster.New(cluster.Config{
+			Nodes:         strings.Split(*clusterNodes, ","),
+			Token:         *token,
+			ProbeInterval: *probeIvl,
+			FailAfter:     *failAfter,
+			AutoPromote:   *autoFailover,
+			ErrorLog:      log.Default(),
+		})
+		if err != nil {
+			log.Fatalf("ifdb-server: coordinator: %v", err)
+		}
+		go coord.Run(stopCoord)
+		log.Printf("ifdb-server: coordinating %s (auto-failover=%v)", *clusterNodes, *autoFailover)
 	}
 
 	// Clean shutdown: stop accepting, checkpoint, close the WAL.
@@ -130,8 +199,12 @@ func main() {
 		log.Printf("ifdb-server: %v: shutting down", sig)
 		close(shuttingDown)
 		close(stopVacuum)
-		if primary != nil {
-			if err := primary.Close(); err != nil {
+		close(stopCoord)
+		primaryMu.Lock()
+		p := primary
+		primaryMu.Unlock()
+		if p != nil {
+			if err := p.Close(); err != nil {
 				log.Printf("ifdb-server: close repl listener: %v", err)
 			}
 		}
@@ -148,7 +221,7 @@ func main() {
 	if db.IsReplica() {
 		role = "replica of " + *replicaOf
 	}
-	log.Printf("ifdb-server: listening on %s (IFC=%v, datadir=%q, sync=%s, %s)", *addr, !*noIFC, *dataDir, *syncMode, role)
+	log.Printf("ifdb-server: listening on %s (IFC=%v, datadir=%q, sync=%s, %s, epoch=%d)", *addr, !*noIFC, *dataDir, *syncMode, role, db.Epoch())
 	if err := srv.ListenAndServe(*addr); err != nil {
 		select {
 		case <-shuttingDown:

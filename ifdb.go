@@ -141,6 +141,15 @@ type Config struct {
 	// ReplToken authenticates this replica to the primary (replicas
 	// are part of the trusted base, like client platforms).
 	ReplToken string
+
+	// ReplRetainBudget caps how many bytes of write-ahead log a
+	// lagging replica may pin against checkpoint truncation. Beyond
+	// it the replica's slot is dropped — checkpoints truncate freely
+	// again, and that replica must re-bootstrap via basebackup when it
+	// reconnects. Zero (the default) retains the log for every
+	// attached replica indefinitely, which lets one slow follower pin
+	// unbounded disk.
+	ReplRetainBudget int64
 }
 
 // DB is one IFDB database instance.
@@ -158,13 +167,14 @@ type DB struct {
 func Open(cfg Config) (*DB, error) {
 	if cfg.ReplicaOf != "" {
 		f, err := repl.Open(repl.Config{
-			Addr:            cfg.ReplicaOf,
-			Token:           cfg.ReplToken,
-			DataDir:         cfg.DataDir,
-			IFC:             cfg.IFC,
-			SyncMode:        cfg.SyncMode,
-			CheckpointEvery: cfg.CheckpointEvery,
-			BufferPoolPages: cfg.BufferPoolPages,
+			Addr:             cfg.ReplicaOf,
+			Token:            cfg.ReplToken,
+			DataDir:          cfg.DataDir,
+			IFC:              cfg.IFC,
+			SyncMode:         cfg.SyncMode,
+			CheckpointEvery:  cfg.CheckpointEvery,
+			BufferPoolPages:  cfg.BufferPoolPages,
+			ReplRetainBudget: cfg.ReplRetainBudget,
 		})
 		if err != nil {
 			return nil, err
@@ -172,11 +182,12 @@ func Open(cfg Config) (*DB, error) {
 		return &DB{eng: f.Engine(), follower: f}, nil
 	}
 	eng, err := engine.New(engine.Config{
-		IFC:             cfg.IFC,
-		DataDir:         cfg.DataDir,
-		BufferPoolPages: cfg.BufferPoolPages,
-		SyncMode:        cfg.SyncMode,
-		CheckpointEvery: cfg.CheckpointEvery,
+		IFC:              cfg.IFC,
+		DataDir:          cfg.DataDir,
+		BufferPoolPages:  cfg.BufferPoolPages,
+		SyncMode:         cfg.SyncMode,
+		CheckpointEvery:  cfg.CheckpointEvery,
+		ReplRetainBudget: cfg.ReplRetainBudget,
 	})
 	if err != nil {
 		return nil, err
@@ -204,14 +215,34 @@ func (db *DB) Close() error {
 	return db.eng.Close()
 }
 
-// IsReplica reports whether this database is a read-only replica.
-func (db *DB) IsReplica() bool { return db.follower != nil }
+// IsReplica reports whether this database is a read-only replica
+// (false again after a successful Promote).
+func (db *DB) IsReplica() bool { return db.eng.IsReplica() }
+
+// Promote turns a replica into a writable primary: the replication
+// stream stops, in-flight replicated transactions abort, the WAL
+// epoch is bumped durably — fencing the old primary, whose stale
+// streams every node refuses from here on — and writes open. Open
+// sessions stay valid. To let fenced peers rejoin as replicas of this
+// node, serve its WAL with repl.NewPrimary(db.Engine()) (what
+// ifdb-server's -repl-listen does after promotion).
+func (db *DB) Promote() error {
+	if db.follower == nil {
+		return engine.ErrNotReplica
+	}
+	return db.follower.Promote()
+}
+
+// Epoch returns the WAL promotion generation (0 for in-memory
+// databases). Each failover promotion bumps it by one; replication
+// positions are only comparable within one epoch.
+func (db *DB) Epoch() uint64 { return db.eng.Epoch() }
 
 // ReplicaAppliedLSN returns the primary WAL position this replica has
 // applied through (0 when not a replica). Comparing it against the
 // primary's DB.WALEnd gauges replication lag.
 func (db *DB) ReplicaAppliedLSN() uint64 {
-	if db.follower == nil {
+	if db.follower == nil || !db.eng.IsReplica() {
 		return 0
 	}
 	return uint64(db.follower.AppliedLSN())

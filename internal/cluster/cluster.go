@@ -1,0 +1,263 @@
+// Package cluster implements the failover coordinator for a
+// replicated IFDB deployment: a health checker that probes every
+// node's replication role over the client protocol's STATUS frames,
+// detects primary failure, and orchestrates promotion of the
+// most-caught-up replica — manually (PromoteBest, what ifdb-cli's
+// \promote and operators' runbooks call) or automatically (Config
+// .AutoPromote, after FailAfter consecutive failed primary probes).
+//
+// The coordinator is deliberately an *observer with one verb*: all
+// safety lives below it. Promotion bumps the WAL epoch on the promoted
+// node, and epoch fencing in internal/repl guarantees a stale primary
+// — one the coordinator gave up on that was merely partitioned — can
+// never feed bytes to the promoted side or its replicas. The worst a
+// confused coordinator can do is promote a lagging replica, losing the
+// unshipped tail of an asynchronous stream; it cannot corrupt or fork
+// a node's history.
+package cluster
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"ifdb/client"
+)
+
+// Config configures a Coordinator.
+type Config struct {
+	// Nodes are the client addresses of every cluster node (primary
+	// and replicas); Token authenticates probes (the platform token).
+	Nodes []string
+	Token string
+
+	// ProbeInterval paces health probes (default 1s).
+	ProbeInterval time.Duration
+
+	// FailAfter is how many consecutive sweeps without a reachable
+	// primary trigger automatic failover (default 3).
+	FailAfter int
+
+	// AutoPromote enables automatic failover. Off, the coordinator
+	// only observes; promotion happens through PromoteBest.
+	AutoPromote bool
+
+	// DialTimeout bounds each probe connection (default 2s).
+	DialTimeout time.Duration
+
+	// ErrorLog, when set, receives probe and failover diagnostics.
+	ErrorLog *log.Logger
+}
+
+// NodeStatus is one node's health as seen by a probe sweep.
+type NodeStatus struct {
+	Addr string
+	// Ok reports the probe reached the node and got a STATUS answer.
+	Ok  bool
+	Err string // dial/probe error, or the replica's fatal stream error
+
+	Replica    bool
+	Epoch      uint64
+	AppliedLSN uint64
+	WALEnd     uint64
+	// Lag is WALEnd(primary) - AppliedLSN(this replica), when a
+	// primary was reachable in the same sweep (LSN spaces only compare
+	// within one epoch, so it is set only for same-epoch replicas).
+	Lag uint64
+}
+
+// Coordinator watches a cluster and promotes on failure. Run it from
+// one place (an operator box, or alongside one of the servers); it
+// holds no state the cluster depends on — restarting it is free.
+type Coordinator struct {
+	cfg Config
+
+	// failedSweeps counts consecutive sweeps with no reachable
+	// primary. Touched only by the Run goroutine.
+	failedSweeps int
+}
+
+// New creates a coordinator.
+func New(cfg Config) (*Coordinator, error) {
+	if len(cfg.Nodes) == 0 {
+		return nil, fmt.Errorf("cluster: coordinator needs at least one node")
+	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = time.Second
+	}
+	if cfg.FailAfter <= 0 {
+		cfg.FailAfter = 3
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 2 * time.Second
+	}
+	return &Coordinator{cfg: cfg}, nil
+}
+
+func (c *Coordinator) logf(format string, args ...interface{}) {
+	if c.cfg.ErrorLog != nil {
+		c.cfg.ErrorLog.Printf(format, args...)
+	}
+}
+
+// Probe sweeps every node once and returns their statuses, with
+// replica lag computed against the highest-epoch reachable primary.
+// Nodes are probed concurrently: sweep latency bounds failover time,
+// so an unreachable (black-holed) node must cost one DialTimeout for
+// the whole sweep, not one per node.
+func (c *Coordinator) Probe() []NodeStatus {
+	out := make([]NodeStatus, len(c.cfg.Nodes))
+	var wg sync.WaitGroup
+	for i, addr := range c.cfg.Nodes {
+		wg.Add(1)
+		go func(i int, addr string) {
+			defer wg.Done()
+			ns := NodeStatus{Addr: addr}
+			defer func() { out[i] = ns }()
+			conn, err := client.DialConfig(client.Config{
+				Addr: addr, Token: c.cfg.Token, DialTimeout: c.cfg.DialTimeout,
+			})
+			if err != nil {
+				ns.Err = err.Error()
+				return
+			}
+			st, err := conn.Status()
+			conn.Close()
+			if err != nil {
+				ns.Err = err.Error()
+				return
+			}
+			ns.Ok = true
+			ns.Replica, ns.Epoch = st.Replica, st.Epoch
+			ns.AppliedLSN, ns.WALEnd, ns.Err = st.AppliedLSN, st.WALEnd, st.Err
+		}(i, addr)
+	}
+	wg.Wait()
+	// Lag: against the primary at the highest epoch seen this sweep.
+	var primary *NodeStatus
+	for i := range out {
+		n := &out[i]
+		if n.Ok && !n.Replica && (primary == nil || n.Epoch > primary.Epoch) {
+			primary = n
+		}
+	}
+	if primary != nil {
+		for i := range out {
+			n := &out[i]
+			if n.Ok && n.Replica && n.Epoch == primary.Epoch && primary.WALEnd > n.AppliedLSN {
+				n.Lag = primary.WALEnd - n.AppliedLSN
+			}
+		}
+	}
+	return out
+}
+
+// hasPrimary reports whether a sweep saw a live primary *at the
+// highest epoch any reachable node knows*. A fenced stale primary —
+// one a failover already moved past, still running because nobody
+// stopped it — answers probes as a primary at an older epoch; counting
+// it would suppress failover forever after the real primary dies.
+func hasPrimary(sweep []NodeStatus) bool {
+	var maxEpoch uint64
+	for _, n := range sweep {
+		if n.Ok && n.Epoch > maxEpoch {
+			maxEpoch = n.Epoch
+		}
+	}
+	for _, n := range sweep {
+		if n.Ok && !n.Replica && n.Epoch == maxEpoch {
+			return true
+		}
+	}
+	return false
+}
+
+// pickBest selects the promotion candidate: the healthy replica with
+// the highest applied LSN — the least data lost to the asynchronous
+// tail — at the highest replica epoch seen (applied positions only
+// compare within one epoch chain). Ties break by address for
+// determinism. A replica whose stream died fatally still qualifies:
+// its applied position is real, and the primary it lost is exactly the
+// one being failed away from.
+func pickBest(sweep []NodeStatus) *NodeStatus {
+	var epoch uint64
+	for i := range sweep {
+		if n := &sweep[i]; n.Ok && n.Replica && n.Epoch > epoch {
+			epoch = n.Epoch
+		}
+	}
+	var best *NodeStatus
+	for i := range sweep {
+		n := &sweep[i]
+		if !n.Ok || !n.Replica || n.Epoch != epoch {
+			continue
+		}
+		if best == nil || n.AppliedLSN > best.AppliedLSN ||
+			(n.AppliedLSN == best.AppliedLSN && n.Addr < best.Addr) {
+			best = n
+		}
+	}
+	return best
+}
+
+// PromoteBest promotes the most-caught-up healthy replica (ties broken
+// by address, for determinism) and returns its address. It refuses to
+// act while a primary is still reachable, unless force is set — the
+// manual override for planned switchovers where the operator stops the
+// old primary themselves.
+func (c *Coordinator) PromoteBest(force bool) (string, error) {
+	sweep := c.Probe()
+	if !force && hasPrimary(sweep) {
+		return "", fmt.Errorf("cluster: a primary is still reachable; not promoting (use force for a planned switchover)")
+	}
+	best := pickBest(sweep)
+	if best == nil {
+		return "", fmt.Errorf("cluster: no healthy replica to promote")
+	}
+	conn, err := client.DialConfig(client.Config{
+		Addr: best.Addr, Token: c.cfg.Token, DialTimeout: c.cfg.DialTimeout,
+	})
+	if err != nil {
+		return "", fmt.Errorf("cluster: dial %s for promotion: %w", best.Addr, err)
+	}
+	defer conn.Close()
+	st, err := conn.PromoteNode()
+	if err != nil {
+		return "", fmt.Errorf("cluster: promote %s: %w", best.Addr, err)
+	}
+	c.logf("cluster: promoted %s to primary at epoch %d", best.Addr, st.Epoch)
+	return best.Addr, nil
+}
+
+// Run probes on the configured interval until stop closes, counting
+// consecutive primary-less sweeps and (with AutoPromote) promoting the
+// most-caught-up replica once FailAfter is reached.
+func (c *Coordinator) Run(stop <-chan struct{}) {
+	t := time.NewTicker(c.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+		}
+		sweep := c.Probe()
+		if hasPrimary(sweep) {
+			c.failedSweeps = 0
+			continue
+		}
+		c.failedSweeps++
+		c.logf("cluster: no reachable primary (%d/%d sweeps)", c.failedSweeps, c.cfg.FailAfter)
+		if !c.cfg.AutoPromote || c.failedSweeps < c.cfg.FailAfter {
+			continue
+		}
+		addr, err := c.PromoteBest(false)
+		if err != nil {
+			c.logf("cluster: automatic failover failed: %v", err)
+			continue
+		}
+		c.logf("cluster: automatic failover: %s is the new primary", addr)
+		c.failedSweeps = 0
+	}
+}

@@ -1,0 +1,222 @@
+// Coordinator tests: probe sweeps, promotion-candidate selection, and
+// automatic failover over a real in-process cluster (sockets and all).
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"ifdb/internal/engine"
+	"ifdb/internal/repl"
+	"ifdb/internal/wire"
+)
+
+// node is one in-process cluster member: an engine, its client-facing
+// wire server, and (for replicas) the follower whose promotion the
+// server's PROMOTE handler triggers.
+type node struct {
+	eng  *engine.Engine
+	srv  *wire.Server
+	addr string
+	f    *repl.Follower
+}
+
+func startNode(t *testing.T, eng *engine.Engine, f *repl.Follower) *node {
+	t.Helper()
+	srv := wire.NewServer(eng, "")
+	if f != nil {
+		srv.Promote = f.Promote
+		srv.StatusErr = f.Err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+	return &node{eng: eng, srv: srv, addr: ln.Addr().String(), f: f}
+}
+
+// startCluster brings up a durable primary with its replication
+// listener and n replicas, all converged.
+func startCluster(t *testing.T, replicas int) (*node, *repl.Primary, []*node) {
+	t.Helper()
+	eng, err := engine.New(engine.Config{DataDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eng.Close() })
+	rp := repl.NewPrimary(eng, "")
+	rln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go rp.Serve(rln)
+	t.Cleanup(func() { rp.Close() })
+	prim := startNode(t, eng, nil)
+
+	s := eng.NewSession(eng.Admin())
+	if _, err := s.Exec(`CREATE TABLE t (id BIGINT PRIMARY KEY, v TEXT)`); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := s.Exec(fmt.Sprintf(`INSERT INTO t VALUES (%d, 'seed')`, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var reps []*node
+	for i := 0; i < replicas; i++ {
+		f, err := repl.Open(repl.Config{
+			Addr: rln.Addr().String(), DataDir: t.TempDir(),
+			RetryInterval: 20 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { f.Close() })
+		reps = append(reps, startNode(t, f.Engine(), f))
+	}
+	// Converge everyone.
+	if err := eng.WAL().Sync(); err != nil {
+		t.Fatal(err)
+	}
+	target := eng.WAL().End()
+	deadline := time.Now().Add(10 * time.Second)
+	for _, r := range reps {
+		for r.f.AppliedLSN() < target {
+			if time.Now().After(deadline) {
+				t.Fatalf("replica %s stuck at %d, want %d", r.addr, r.f.AppliedLSN(), target)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	return prim, rp, reps
+}
+
+func addrs(prim *node, reps []*node) []string {
+	out := []string{prim.addr}
+	for _, r := range reps {
+		out = append(out, r.addr)
+	}
+	return out
+}
+
+// TestProbeSweep: the coordinator sees roles, epochs, and lag.
+func TestProbeSweep(t *testing.T) {
+	prim, _, reps := startCluster(t, 2)
+	c, err := New(Config{Nodes: addrs(prim, reps), DialTimeout: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweep := c.Probe()
+	if len(sweep) != 3 {
+		t.Fatalf("sweep size %d", len(sweep))
+	}
+	if !sweep[0].Ok || sweep[0].Replica {
+		t.Fatalf("primary probe: %+v", sweep[0])
+	}
+	for _, n := range sweep[1:] {
+		if !n.Ok || !n.Replica || n.Epoch != 1 {
+			t.Fatalf("replica probe: %+v", n)
+		}
+		if n.Lag != 0 {
+			t.Fatalf("converged replica reports lag %d", n.Lag)
+		}
+	}
+	// PromoteBest refuses while the primary is healthy.
+	if _, err := c.PromoteBest(false); err == nil {
+		t.Fatal("promoted despite a healthy primary")
+	}
+}
+
+// TestPickBest: selection prefers the highest applied LSN at the
+// newest replica epoch, breaking ties by address, skipping unhealthy
+// and non-replica nodes.
+func TestPickBest(t *testing.T) {
+	sweep := []NodeStatus{
+		{Addr: "p", Ok: true, Replica: false, WALEnd: 900},
+		{Addr: "dead", Ok: false, Replica: true, AppliedLSN: 999},
+		{Addr: "b", Ok: true, Replica: true, Epoch: 1, AppliedLSN: 500},
+		{Addr: "a", Ok: true, Replica: true, Epoch: 1, AppliedLSN: 700},
+	}
+	if best := pickBest(sweep); best == nil || best.Addr != "a" {
+		t.Fatalf("pickBest = %+v, want a", best)
+	}
+	// Tie: lowest address wins.
+	sweep[2].AppliedLSN = 700
+	if best := pickBest(sweep); best == nil || best.Addr != "a" {
+		t.Fatalf("tie pickBest = %+v, want a", best)
+	}
+	// A newer-epoch replica outranks a higher LSN from an older epoch
+	// (cross-epoch LSNs are incomparable).
+	sweep = append(sweep, NodeStatus{Addr: "z", Ok: true, Replica: true, Epoch: 2, AppliedLSN: 10})
+	if best := pickBest(sweep); best == nil || best.Addr != "z" {
+		t.Fatalf("epoch pickBest = %+v, want z", best)
+	}
+	if pickBest(sweep[:2]) != nil {
+		t.Fatal("picked an unhealthy node")
+	}
+}
+
+// TestAutoFailover: the primary dies; the coordinator notices after
+// FailAfter sweeps and promotes the most-caught-up replica, which then
+// accepts writes at epoch 2 while the other node stays a replica.
+func TestAutoFailover(t *testing.T) {
+	prim, rp, reps := startCluster(t, 2)
+	c, err := New(Config{
+		Nodes:         addrs(prim, reps),
+		ProbeInterval: 20 * time.Millisecond,
+		FailAfter:     2,
+		AutoPromote:   true,
+		DialTimeout:   time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	defer close(stop)
+	go c.Run(stop)
+
+	// Let a few healthy sweeps pass (no spurious promotion).
+	time.Sleep(100 * time.Millisecond)
+	for _, r := range reps {
+		if !r.eng.IsReplica() {
+			t.Fatal("replica promoted while the primary was healthy")
+		}
+	}
+
+	// Kill the primary: client server, repl listener, engine.
+	prim.srv.Close()
+	rp.Close()
+	prim.eng.Crash()
+
+	deadline := time.Now().Add(10 * time.Second)
+	var promoted *node
+	for promoted == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("automatic failover never promoted a replica")
+		}
+		for _, r := range reps {
+			if !r.eng.IsReplica() {
+				promoted = r
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := promoted.eng.Epoch(); got != 2 {
+		t.Fatalf("promoted epoch = %d, want 2", got)
+	}
+	s := promoted.eng.NewSession(promoted.eng.Admin())
+	if _, err := s.Exec(`INSERT INTO t VALUES (100, 'after-failover')`); err != nil {
+		t.Fatalf("write on promoted node: %v", err)
+	}
+	// Exactly one promotion: the other node is still a replica.
+	for _, r := range reps {
+		if r != promoted && !r.eng.IsReplica() {
+			t.Fatal("both replicas were promoted")
+		}
+	}
+}

@@ -110,8 +110,14 @@ type Config struct {
 	// serves queries (with full IFC enforcement) but rejects every
 	// write, DDL, and authority mutation from sessions; state changes
 	// arrive only through ApplyReplicated (see replica.go). Requires
-	// DataDir.
+	// DataDir. Promote ends replica mode at runtime (failover).
 	Replica bool
+
+	// ReplRetainBudget caps how many WAL bytes a lagging replica
+	// subscription may pin against checkpoint truncation (see
+	// wal.Writer.SetRetainBudget). Zero retains the log for every
+	// attached replica indefinitely.
+	ReplRetainBudget int64
 
 	// DisableLock skips the exclusive DataDir lock. Only for callers
 	// that already hold it via AcquireDirLock (the replication
@@ -173,11 +179,13 @@ type Engine struct {
 	// replayed.
 	snapLSN wal.LSN
 
-	// Replication state (see replica.go). replApplied is the primary
-	// LSN this replica has applied through with every earlier
-	// transaction resolved; replPending buffers records of in-flight
-	// replicated transactions (touched only by the single applier
-	// goroutine).
+	// Replication state (see replica.go). replica mirrors cfg.Replica
+	// but is atomic because Promote clears it at runtime while sessions
+	// read it concurrently. replApplied is the primary LSN this replica
+	// has applied through with every earlier transaction resolved;
+	// replPending buffers records of in-flight replicated transactions
+	// (touched only by the single applier goroutine).
+	replica     atomic.Bool
 	replApplied atomic.Uint64
 	replPending map[storage.XID]*replTxn
 
@@ -231,6 +239,7 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.Replica && cfg.DataDir == "" {
 		return nil, fmt.Errorf("engine: replica mode requires a DataDir")
 	}
+	e.replica.Store(cfg.Replica)
 	if cfg.DataDir != "" {
 		if err := e.openDurable(); err != nil {
 			return nil, err

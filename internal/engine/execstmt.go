@@ -121,7 +121,7 @@ func (s *Session) ExecStmt(st sql.Statement, params ...types.Value) (*Result, er
 			if err := s.executeCreateTable(x); err != nil {
 				return err
 			}
-			return s.eng.logDDL(s.principal, x.Text)
+			return s.logDDLNoted(x.Text)
 		case *sql.DropTableStmt:
 			res = &Result{}
 			err := s.eng.dropTable(x.Name)
@@ -131,25 +131,25 @@ func (s *Session) ExecStmt(st sql.Statement, params ...types.Value) (*Result, er
 			if err != nil {
 				return err
 			}
-			return s.eng.logDDL(s.principal, x.Text)
+			return s.logDDLNoted(x.Text)
 		case *sql.CreateIndexStmt:
 			res = &Result{}
 			if err := s.executeCreateIndex(x); err != nil {
 				return err
 			}
-			return s.eng.logDDL(s.principal, x.Text)
+			return s.logDDLNoted(x.Text)
 		case *sql.CreateViewStmt:
 			res = &Result{}
 			if err := s.executeCreateView(x); err != nil {
 				return err
 			}
-			return s.eng.logDDL(s.principal, x.Text)
+			return s.logDDLNoted(x.Text)
 		case *sql.CreateTriggerStmt:
 			res = &Result{}
 			if err := s.executeCreateTrigger(x); err != nil {
 				return err
 			}
-			return s.eng.logDDL(s.principal, x.Text)
+			return s.logDDLNoted(x.Text)
 		default:
 			return fmt.Errorf("engine: unsupported statement %T", st)
 		}

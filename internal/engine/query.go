@@ -136,6 +136,11 @@ func (f sessionFuncs) CallFunc(name string, args []types.Value) (types.Value, er
 		if len(args) != 1 || args[0].Kind() != types.KindText {
 			return types.Null, fmt.Errorf("engine: create_sequence('name')")
 		}
+		if err := s.requireWritable(); err != nil {
+			// A replica's sequences arrive through the stream; a local
+			// registration would fork from the primary's.
+			return types.Null, err
+		}
 		if err := eng.CreateSequence(args[0].Text()); err != nil {
 			return types.Null, err
 		}

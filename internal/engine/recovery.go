@@ -98,22 +98,23 @@ func (s *Session) logDelete(t *catalog.Table, tid storage.TID) error {
 }
 
 // logDDL records a successful DDL statement (by source text) and
-// appends it to the replayable DDL history. DDL is rare, so each
-// record is synced immediately rather than waiting for a commit's
-// group fsync.
-func (e *Engine) logDDL(p authority.Principal, text string) error {
+// appends it to the replayable DDL history, returning the record's
+// LSN (0 when nothing was logged). DDL is rare, so each record is
+// synced immediately rather than waiting for a commit's group fsync.
+func (e *Engine) logDDL(p authority.Principal, text string) (wal.LSN, error) {
 	// Replaying DDL (recovery or replica apply) is never re-logged: a
 	// replica persists the shipped records verbatim instead.
 	if e.wal == nil || e.replaying() || text == "" {
-		return nil
+		return 0, nil
 	}
 	e.ddlMu.Lock()
 	e.ddlLog = append(e.ddlLog, ddlEntry{Principal: uint64(p), Text: text})
 	e.ddlMu.Unlock()
-	if _, err := e.wal.Append(&wal.Record{Type: wal.RecDDL, Principal: uint64(p), Text: text}); err != nil {
-		return err
+	lsn, err := e.wal.Append(&wal.Record{Type: wal.RecDDL, Principal: uint64(p), Text: text})
+	if err != nil {
+		return 0, err
 	}
-	return e.wal.Sync()
+	return lsn, e.wal.Sync()
 }
 
 // logSeqVal records a sequence allocation; durability piggybacks on
@@ -191,6 +192,7 @@ func (e *Engine) openDurable() error {
 		return err
 	}
 	e.wal = w
+	w.SetRetainBudget(e.cfg.ReplRetainBudget)
 	e.txns.AttachWAL(w)
 	e.auth.SetChangeLogger(authLogger{e})
 

@@ -46,21 +46,71 @@ import (
 // replica. Writes must go to the primary.
 var ErrReadOnlyReplica = errors.New("engine: read-only replica: writes must go to the primary")
 
+// ErrNotReplica is returned by Promote on an engine that is not (or is
+// no longer) a replica.
+var ErrNotReplica = errors.New("engine: not a replica")
+
 // replTxn buffers one in-flight replicated transaction.
 type replTxn struct {
 	firstLSN wal.LSN // LSN of its earliest record (resume barrier)
 	recs     []wal.Record
 }
 
-// IsReplica reports whether the engine is in replica mode.
-func (e *Engine) IsReplica() bool { return e.cfg.Replica }
+// IsReplica reports whether the engine is in replica mode (false again
+// after Promote).
+func (e *Engine) IsReplica() bool { return e.replica.Load() }
+
+// Epoch returns the WAL promotion generation (0 without a DataDir).
+// Replication fencing compares it: LSN spaces and byte streams are
+// only meaningful within one epoch chain.
+func (e *Engine) Epoch() uint64 {
+	if e.wal == nil {
+		return 0
+	}
+	return e.wal.Epoch()
+}
 
 // replaying reports whether DDL is being re-executed from the log —
 // during crash recovery, or continuously on a replica — in which case
 // the executors tolerate already-present effects and skip checks
 // vetted at original execution time, and nothing is re-logged (the
 // replica appends the shipped records verbatim instead).
-func (e *Engine) replaying() bool { return e.recovering || e.cfg.Replica }
+func (e *Engine) replaying() bool { return e.recovering || e.replica.Load() }
+
+// Promote turns a replica engine into a writable primary. The caller
+// must have stopped the replication applier first (repl.Follower does;
+// its goroutine is the only writer of replPending). Promotion:
+//
+//  1. resolves replicated transactions still in flight at the cut —
+//     their writes were buffered, never applied, and the old primary
+//     is gone, so they abort (logged, like recovery orphans, so a
+//     future follower streaming this log region can resolve them);
+//  2. bumps the WAL epoch, durably, fencing the old primary: its
+//     epoch-stale streams are refused everywhere from here on;
+//  3. opens the engine for writes.
+//
+// The order matters: nothing may commit under the new epoch until the
+// epoch itself is on stable storage.
+func (e *Engine) Promote() error {
+	if !e.IsReplica() {
+		return ErrNotReplica
+	}
+	for xid := range e.replPending {
+		e.txns.RestoreAborted(xid)
+		if _, err := e.wal.Append(&wal.Record{Type: wal.RecAbort, XID: xid}); err != nil {
+			return err
+		}
+	}
+	e.replPending = nil
+	if _, err := e.wal.BumpEpoch(); err != nil {
+		return err
+	}
+	if err := e.wal.Sync(); err != nil {
+		return err
+	}
+	e.replica.Store(false)
+	return nil
+}
 
 // ReplAppliedLSN returns the primary LSN this replica has applied
 // through, with every earlier transaction resolved. Streaming resumes
@@ -76,7 +126,7 @@ func (e *Engine) ResetReplApply() { e.replPending = nil }
 // left this replica at (its recovered state corresponds to primary
 // LSN lsn, with nothing in flight).
 func (e *Engine) SetReplResumeLSN(lsn wal.LSN) error {
-	if !e.cfg.Replica {
+	if !e.IsReplica() {
 		return fmt.Errorf("engine: SetReplResumeLSN on a non-replica")
 	}
 	e.replApplied.Store(uint64(lsn))
@@ -92,7 +142,7 @@ func (e *Engine) SetReplResumeLSN(lsn wal.LSN) error {
 // were decoded from, upto the primary LSN just past the batch. Called
 // only from the single applier goroutine.
 func (e *Engine) ApplyReplicated(recs []wal.Record, raw []byte, upto wal.LSN) error {
-	if !e.cfg.Replica {
+	if !e.IsReplica() {
 		return fmt.Errorf("engine: ApplyReplicated on a non-replica")
 	}
 	if e.replPending == nil {

@@ -67,6 +67,12 @@ func (e *Engine) CreateSequence(name string) error {
 // recovered database never re-issues a value a committed transaction
 // already consumed (durability rides on that transaction's fsync).
 func (s *Session) nextval(name string) (types.Value, error) {
+	// Allocation is a mutation: on a replica the stream owns the
+	// counters (an unlogged local bump would collide with the value
+	// the primary hands out next).
+	if err := s.requireWritable(); err != nil {
+		return types.Null, err
+	}
 	s.eng.seqMu.RLock()
 	seq, ok := s.eng.sequences[name]
 	s.eng.seqMu.RUnlock()

@@ -8,6 +8,7 @@ import (
 	"ifdb/internal/storage"
 	"ifdb/internal/txn"
 	"ifdb/internal/types"
+	"ifdb/internal/wal"
 )
 
 // Session is one client process's connection to the engine. It carries
@@ -44,6 +45,10 @@ type Session struct {
 	// replica engine, only it may execute mutating statements (the DDL
 	// it replays arrived from the primary, already vetted there).
 	replApply bool
+
+	// lastCommit is the WAL position of this session's most recent
+	// logged commit (see CommitToken).
+	lastCommit wal.LSN
 }
 
 // NewSession opens a session acting as the given principal with an
@@ -163,7 +168,7 @@ func (s *Session) requireEmptyLabel() error {
 // requireWritable gates every session-level mutation on a replica:
 // state changes arrive only through the replication stream.
 func (s *Session) requireWritable() error {
-	if s.eng.cfg.Replica && !s.replApply {
+	if s.eng.IsReplica() && !s.replApply {
 		return ErrReadOnlyReplica
 	}
 	return nil
@@ -285,7 +290,42 @@ func (s *Session) Commit() error {
 		commitLabel = s.plabel
 		commitILabel = s.pilabel
 	}
-	return t.Commit(s.eng.hier, commitLabel, commitILabel)
+	err := t.Commit(s.eng.hier, commitLabel, commitILabel)
+	if err == nil {
+		s.noteCommit(t)
+	}
+	return err
+}
+
+// noteCommit records a committed transaction's log position for
+// CommitToken.
+func (s *Session) noteCommit(t *txn.Txn) {
+	if lsn := t.CommitLSN(); lsn > s.lastCommit {
+		s.lastCommit = lsn
+	}
+}
+
+// logDDLNoted logs a DDL statement and folds its position into the
+// session's commit token, so read-your-writes covers DDL too.
+func (s *Session) logDDLNoted(text string) error {
+	lsn, err := s.eng.logDDL(s.principal, text)
+	if err == nil && lsn > s.lastCommit {
+		s.lastCommit = lsn
+	}
+	return err
+}
+
+// CommitToken returns the read-your-writes token for this session: the
+// smallest replication barrier that proves its last logged commit (or
+// DDL) is applied — one past the record — or 0 if it never logged
+// anything. Unlike the WAL append edge, the token never includes
+// other sessions' in-flight transactions, so a replica read waiting on
+// it cannot stall behind an unrelated long-running transaction.
+func (s *Session) CommitToken() uint64 {
+	if s.lastCommit == 0 {
+		return 0
+	}
+	return uint64(s.lastCommit) + 1
 }
 
 // Abort rolls back the open transaction.
@@ -339,7 +379,11 @@ func (s *Session) withStmt(fn func(t *txn.Txn) error) error {
 		commitLabel = s.plabel
 		commitILabel = s.pilabel
 	}
-	return t.Commit(s.eng.hier, commitLabel, commitILabel)
+	err = t.Commit(s.eng.hier, commitLabel, commitILabel)
+	if err == nil {
+		s.noteCommit(t)
+	}
+	return err
 }
 
 // ---------------------------------------------------------------------------

@@ -26,11 +26,15 @@ type Config struct {
 	// state and persisted stream position live there.
 	DataDir string
 
-	// Engine knobs, mirroring ifdb.Config.
-	IFC             bool
-	SyncMode        string
-	CheckpointEvery time.Duration
-	BufferPoolPages int
+	// Engine knobs, mirroring ifdb.Config. ReplRetainBudget matters
+	// the moment this follower is *promoted*: its armed replication
+	// service inherits the engine, and a rejoining laggard must not
+	// pin the new primary's log unboundedly.
+	IFC              bool
+	SyncMode         string
+	CheckpointEvery  time.Duration
+	BufferPoolPages  int
+	ReplRetainBudget int64
 
 	// DialTimeout bounds each connection attempt (default 5s);
 	// RetryInterval paces reconnects (default 1s).
@@ -50,19 +54,23 @@ type Follower struct {
 	lock *engine.DirLock
 	eng  *engine.Engine
 
-	mu      sync.Mutex
-	conn    net.Conn
-	closed  bool
-	fatal   error
-	done    chan struct{}
-	started bool
+	mu       sync.Mutex
+	conn     net.Conn
+	closed   bool
+	released bool // engine closed + lock dropped (Close ran to the end)
+	fatal    error
+	done     chan struct{}
+	started  bool
 }
 
 // errNeedBootstrap marks a reconnect that would require a new
-// basebackup. Bootstrap is only safe before the engine is shared
-// (sessions hold the engine pointer), so mid-life it is fatal: the
-// operator restarts the replica process, and Open re-bootstraps.
-var errNeedBootstrap = fmt.Errorf("repl: follower fell behind the primary's retained log; restart to re-bootstrap")
+// basebackup — the follower fell off the primary's retained log (or
+// its budget), or a promotion moved the cluster to a new epoch whose
+// byte stream its position cannot resume. Bootstrap is only safe
+// before the engine is shared (sessions hold the engine pointer), so
+// mid-life it is fatal: the operator restarts the replica process, and
+// Open re-bootstraps.
+var errNeedBootstrap = fmt.Errorf("repl: follower needs a new basebackup (fell behind the retained log, or crossed an epoch boundary); restart to re-bootstrap")
 
 // Open starts a follower: it locks and recovers DataDir, connects to
 // the primary (taking a basebackup if the local state is fresh or too
@@ -100,13 +108,14 @@ func Open(cfg Config) (*Follower, error) {
 
 func (f *Follower) openEngine() (*engine.Engine, error) {
 	return engine.New(engine.Config{
-		IFC:             f.cfg.IFC,
-		DataDir:         f.cfg.DataDir,
-		SyncMode:        f.cfg.SyncMode,
-		CheckpointEvery: f.cfg.CheckpointEvery,
-		BufferPoolPages: f.cfg.BufferPoolPages,
-		Replica:         true,
-		DisableLock:     true, // we hold it across bootstrap restarts
+		IFC:              f.cfg.IFC,
+		DataDir:          f.cfg.DataDir,
+		SyncMode:         f.cfg.SyncMode,
+		CheckpointEvery:  f.cfg.CheckpointEvery,
+		BufferPoolPages:  f.cfg.BufferPoolPages,
+		ReplRetainBudget: f.cfg.ReplRetainBudget,
+		Replica:          true,
+		DisableLock:      true, // we hold it across bootstrap restarts
 	})
 }
 
@@ -125,15 +134,49 @@ func (f *Follower) Err() error {
 	return f.fatal
 }
 
-// Close stops the stream, closes the engine, and releases the DataDir
-// lock.
+// Close stops the stream (if Promote has not already), closes the
+// engine, and releases the DataDir lock. It remains the shutdown path
+// after a promotion: the engine it closes is then the promoted
+// primary.
 func (f *Follower) Close() error {
+	f.mu.Lock()
+	wasClosed := f.closed
+	f.closed = true
+	conn := f.conn
+	released := f.released
+	f.released = true
+	f.mu.Unlock()
+	if !wasClosed {
+		if conn != nil {
+			conn.Close()
+		}
+		if f.started {
+			<-f.done
+		}
+	}
+	if released {
+		return nil
+	}
+	err := f.eng.Close()
+	if lerr := f.lock.Release(); err == nil {
+		err = lerr
+	}
+	return err
+}
+
+// Promote stops the replication stream and turns the local engine into
+// a writable primary under a bumped, durably-persisted WAL epoch (see
+// engine.Promote for the fencing argument). The follower's engine —
+// shared with every open session — is the promoted primary; Close
+// still owns its shutdown. After Promote the caller typically starts a
+// repl.Primary over Engine() so fenced peers can rejoin as replicas.
+func (f *Follower) Promote() error {
 	f.mu.Lock()
 	if f.closed {
 		f.mu.Unlock()
-		return nil
+		return fmt.Errorf("repl: promote on a closed follower")
 	}
-	f.closed = true
+	f.closed = true // stops the apply/reconnect loop for good
 	conn := f.conn
 	f.mu.Unlock()
 	if conn != nil {
@@ -142,11 +185,7 @@ func (f *Follower) Close() error {
 	if f.started {
 		<-f.done
 	}
-	err := f.eng.Close()
-	if lerr := f.lock.Release(); err == nil {
-		err = lerr
-	}
-	return err
+	return f.eng.Promote()
 }
 
 func (f *Follower) isClosed() bool {
@@ -173,7 +212,7 @@ func (f *Follower) connect(allowBootstrap bool) (net.Conn, *bufio.Reader, wal.LS
 	r := bufio.NewReaderSize(conn, 64<<10)
 	w := bufio.NewWriter(conn)
 	pos := f.eng.ReplAppliedLSN()
-	h := &wire.ReplHello{Token: f.cfg.Token, From: uint64(pos)}
+	h := &wire.ReplHello{Token: f.cfg.Token, From: uint64(pos), Epoch: f.eng.Epoch()}
 	if err := wire.WriteFrame(w, wire.MsgReplHello, h.Encode()); err != nil {
 		conn.Close()
 		return nil, nil, 0, err
@@ -191,6 +230,13 @@ func (f *Follower) connect(allowBootstrap bool) (net.Conn, *bufio.Reader, wal.LS
 	case wire.MsgReplOK:
 		ok, err := wire.DecodeReplOK(payload)
 		if err != nil {
+			conn.Close()
+			return nil, nil, 0, err
+		}
+		// Adopt the primary's epoch durably (a resume implies equal
+		// epochs today, but the adoption is what keeps that invariant
+		// self-healing).
+		if err := f.eng.WAL().SetEpoch(ok.Epoch); err != nil {
 			conn.Close()
 			return nil, nil, 0, err
 		}
@@ -256,6 +302,7 @@ func (f *Follower) bootstrap(r *bufio.Reader) (wal.LSN, error) {
 	}
 	curName := ""
 	var start wal.LSN
+	var epoch uint64
 recv:
 	for {
 		typ, payload, err := wire.ReadFrame(r)
@@ -297,7 +344,7 @@ recv:
 			if err != nil {
 				return 0, err
 			}
-			start = wal.LSN(e.Start)
+			start, epoch = wal.LSN(e.Start), e.Epoch
 			break recv
 		case wire.MsgReplErr:
 			closeCur()
@@ -320,10 +367,13 @@ recv:
 		return 0, fmt.Errorf("repl: reopen after basebackup: %w", err)
 	}
 	f.eng = eng
+	if err := eng.WAL().SetEpoch(epoch); err != nil {
+		return 0, err
+	}
 	if err := eng.SetReplResumeLSN(start); err != nil {
 		return 0, err
 	}
-	f.logf("repl: bootstrapped from basebackup, streaming from lsn %d", start)
+	f.logf("repl: bootstrapped from basebackup, streaming from lsn %d (epoch %d)", start, epoch)
 	return start, nil
 }
 
@@ -411,6 +461,7 @@ func (e *applyError) Unwrap() error { return e.err }
 
 // stream applies ReplRecs frames until the connection errors.
 func (f *Follower) stream(r *bufio.Reader, pos wal.LSN) error {
+	epoch := f.eng.Epoch()
 	for {
 		typ, payload, err := wire.ReadFrame(r)
 		if err != nil {
@@ -421,6 +472,12 @@ func (f *Follower) stream(r *bufio.Reader, pos wal.LSN) error {
 			rr, err := wire.DecodeReplRecs(payload)
 			if err != nil {
 				return err
+			}
+			if rr.Epoch != epoch {
+				// A primary's epoch is fixed for its lifetime, so a
+				// mid-stream change means the peer is not the primary we
+				// handshook with. Never apply cross-epoch bytes.
+				return &applyError{fmt.Errorf("repl: stream epoch changed: batch at epoch %d, connected at %d", rr.Epoch, epoch)}
 			}
 			if wal.LSN(rr.From) != pos {
 				return &applyError{fmt.Errorf("repl: stream gap: batch at %d, expected %d", rr.From, pos)}

@@ -22,6 +22,7 @@ package repl
 import (
 	"bufio"
 	"crypto/subtle"
+	"fmt"
 	"log"
 	"net"
 	"sync"
@@ -171,13 +172,34 @@ func (p *Primary) handle(conn net.Conn) {
 		bail(w, "repl: primary has no WAL (no DataDir)")
 		return
 	}
+	// Epoch fencing. A primary's epoch is fixed for its lifetime
+	// (promotion happens on a *follower*, before it serves), so read it
+	// once and stamp every frame with it.
+	epoch := wlog.Epoch()
 	from := wal.LSN(hello.From)
-	if from > wlog.End() {
-		// The follower is ahead of us: it replicated a different
-		// history (or we were restored from an older backup). Refusing
-		// beats silently diverging.
-		bail(w, "repl: follower position ahead of primary log")
+	switch {
+	case hello.Epoch > epoch:
+		// The follower streamed under a newer epoch: somewhere a
+		// replica was promoted and this primary never heard — it is the
+		// stale side of a failover. Refusing is the fence: accepting
+		// would let a split brain feed an up-to-date replica.
+		bail(w, fmt.Sprintf("repl: fenced: follower at epoch %d, this primary at stale epoch %d", hello.Epoch, epoch))
 		return
+	case hello.Epoch < epoch:
+		// The follower's history predates a promotion this primary's
+		// chain went through (typically: it *is* the old primary,
+		// rejoining). Its byte position may cover writes the failover
+		// cut discarded, so the position is meaningless here — force a
+		// full re-bootstrap.
+		from = 0
+	default:
+		if from > wlog.End() {
+			// Same epoch but ahead of us: it replicated a different
+			// history (or we were restored from an older backup).
+			// Refusing beats silently diverging.
+			bail(w, "repl: follower position ahead of primary log")
+			return
+		}
 	}
 
 	// Subscribe before deciding how to start: from here on, checkpoint
@@ -238,12 +260,12 @@ func (p *Primary) handle(conn net.Conn) {
 			return
 		}
 		from = start
-		e := &wire.ReplSnapEnd{Start: uint64(from)}
+		e := &wire.ReplSnapEnd{Start: uint64(from), Epoch: epoch}
 		if err := wire.WriteFrame(w, wire.MsgReplSnapEnd, e.Encode()); err != nil {
 			return
 		}
 	} else {
-		ok := &wire.ReplOK{Resume: uint64(from)}
+		ok := &wire.ReplOK{Resume: uint64(from), Epoch: epoch}
 		if err := wire.WriteFrame(w, wire.MsgReplOK, ok.Encode()); err != nil {
 			return
 		}
@@ -256,6 +278,14 @@ func (p *Primary) handle(conn net.Conn) {
 	ticker := time.NewTicker(tailPoll)
 	defer ticker.Stop()
 	for {
+		if sub.Dropped() {
+			// A checkpoint dropped this subscription for exceeding the
+			// retained-WAL budget: the bytes this follower still needs
+			// are gone. Tell it why before hanging up; it re-bootstraps.
+			p.logf("repl: follower at %d exceeded the retained-WAL budget; dropping", from)
+			bail(w, "repl: follower exceeded the retained-WAL budget; re-bootstrap required")
+			return
+		}
 		raw, next, err := wlog.ReadRaw(from, sendChunk)
 		if err != nil {
 			// ErrPositionGone cannot normally happen while subscribed;
@@ -273,7 +303,7 @@ func (p *Primary) handle(conn net.Conn) {
 			}
 			continue
 		}
-		rr := &wire.ReplRecs{From: uint64(from), To: uint64(next), Data: raw}
+		rr := &wire.ReplRecs{From: uint64(from), To: uint64(next), Epoch: epoch, Data: raw}
 		if err := wire.WriteFrame(w, wire.MsgReplRecs, rr.Encode()); err != nil {
 			return
 		}

@@ -180,6 +180,10 @@ func TestReplicaRejectsWrites(t *testing.T) {
 		`CREATE TABLE u (a BIGINT)`,
 		`DROP TABLE t`,
 		`CREATE INDEX t_a ON t (a)`,
+		// SELECT-invocable mutations: sequence allocation draws from
+		// counters the stream owns, and registration would fork them.
+		`SELECT create_sequence('sneaky_seq')`,
+		`SELECT nextval('sneaky_seq')`,
 	} {
 		if _, err := r.Exec(q); !errors.Is(err, engine.ErrReadOnlyReplica) {
 			t.Fatalf("%s: want ErrReadOnlyReplica, got %v", q, err)

@@ -219,7 +219,7 @@ type TableConstraint struct {
 
 // CreateTableStmt is CREATE TABLE.
 type CreateTableStmt struct {
-	Text string // original source, for WAL replay
+	Text        string // original source, for WAL replay
 	Name        string
 	IfNotExists bool
 	Columns     []ColumnDef
@@ -229,14 +229,14 @@ type CreateTableStmt struct {
 
 // DropTableStmt is DROP TABLE.
 type DropTableStmt struct {
-	Text string // original source, for WAL replay
+	Text     string // original source, for WAL replay
 	Name     string
 	IfExists bool
 }
 
 // CreateIndexStmt is CREATE [UNIQUE] INDEX.
 type CreateIndexStmt struct {
-	Text string // original source, for WAL replay
+	Text    string // original source, for WAL replay
 	Name    string
 	Table   string
 	Columns []string
@@ -246,7 +246,7 @@ type CreateIndexStmt struct {
 // CreateViewStmt is CREATE VIEW, optionally a declassifying view
 // (paper §4.3).
 type CreateViewStmt struct {
-	Text string // original source, for WAL replay
+	Text          string // original source, for WAL replay
 	Name          string
 	Columns       []string // optional column name overrides
 	Select        *SelectStmt
@@ -258,7 +258,7 @@ type CreateViewStmt struct {
 // as a stored authority closure it runs with its bound authority
 // (paper §5.2.3).
 type CreateTriggerStmt struct {
-	Text string // original source, for WAL replay
+	Text   string // original source, for WAL replay
 	Name   string
 	Timing string // "BEFORE", "AFTER"
 	Event  string // "INSERT", "UPDATE", "DELETE"

@@ -98,8 +98,10 @@ type Txn struct {
 
 	// walLogged is set once the engine logs this transaction's first
 	// write; only such transactions get commit/abort records (read-only
-	// transactions leave no WAL trace).
+	// transactions leave no WAL trace). commitLSN is the log position
+	// of the commit record, once appended.
 	walLogged bool
+	commitLSN wal.LSN
 
 	// deferred holds engine callbacks queued to run at commit time
 	// (deferred triggers and FK checks). Each runs with the label its
@@ -298,6 +300,7 @@ func (t *Txn) Commit(hier *label.Hierarchy, commitLabel, commitILabel label.Labe
 			return err
 		}
 		commitLSN = lsn
+		t.commitLSN = lsn
 	}
 	t.m.status.set(t.xid, seq)
 	t.m.commitMu.Unlock()
@@ -382,6 +385,12 @@ func (m *Manager) OldestSnapshot() uint64 {
 // AttachWAL wires the write-ahead log into the commit/abort path.
 // Call before the manager hands out transactions that must be durable.
 func (m *Manager) AttachWAL(w *wal.Writer) { m.wal = w }
+
+// CommitLSN returns the log position of this transaction's commit
+// record (0 for read-only or never-logged transactions, or before
+// Commit). The smallest replication barrier proving the commit applied
+// is any position strictly past it — see Session.CommitToken.
+func (t *Txn) CommitLSN() wal.LSN { return t.commitLSN }
 
 // MarkLogged records that the engine has logged a WAL record for this
 // transaction, returning true on the first call (the engine uses that

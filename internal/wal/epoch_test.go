@@ -1,0 +1,144 @@
+package wal
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestEpochPersists: a fresh log starts at epoch 1; BumpEpoch and
+// SetEpoch persist across reopen (the header survives truncating
+// checkpoints too).
+func TestEpochPersists(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, err := Open(path, SyncCommit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Epoch(); got != 1 {
+		t.Fatalf("fresh epoch = %d, want 1", got)
+	}
+	if _, err := w.Append(&Record{Type: RecBegin, XID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	e, err := w.BumpEpoch()
+	if err != nil || e != 2 {
+		t.Fatalf("BumpEpoch = %d, %v", e, err)
+	}
+	// SetEpoch never regresses.
+	if err := w.SetEpoch(1); err != nil || w.Epoch() != 2 {
+		t.Fatalf("SetEpoch regressed: %d, %v", w.Epoch(), err)
+	}
+	if err := w.SetEpoch(7); err != nil || w.Epoch() != 7 {
+		t.Fatalf("SetEpoch(7): %d, %v", w.Epoch(), err)
+	}
+	end := w.End()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, err := Open(path, SyncCommit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if got := w2.Epoch(); got != 7 {
+		t.Fatalf("epoch after reopen = %d, want 7", got)
+	}
+	if w2.End() != end {
+		t.Fatalf("end moved across reopen: %d vs %d", w2.End(), end)
+	}
+	// A truncating checkpoint rewrites the header; the epoch rides
+	// along.
+	if err := w2.Checkpoint(func(LSN) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w3, err := Open(path, SyncCommit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w3.Close()
+	if got := w3.Epoch(); got != 7 {
+		t.Fatalf("epoch after checkpoint+reopen = %d, want 7", got)
+	}
+}
+
+// TestOldFormatRefused: a log written by an earlier header format
+// must refuse to open — silently truncating it would discard every
+// record since its last checkpoint.
+func TestOldFormatRefused(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	old := make([]byte, 24)
+	copy(old, "IFDBWAL2")
+	if err := os.WriteFile(path, old, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path, SyncCommit); err == nil {
+		t.Fatal("old-format log opened (and truncated) silently")
+	}
+}
+
+// TestRetainBudgetDropsLaggard: a subscription pinning more log than
+// the retained-WAL budget is dropped at checkpoint — the file
+// truncates and Dropped reports true — while an in-budget subscription
+// keeps pinning.
+func TestRetainBudgetDropsLaggard(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, err := Open(path, SyncCommit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+
+	laggard := w.Subscribe(w.End())
+	defer laggard.Close()
+	for i := 0; i < 100; i++ {
+		if _, err := w.Append(&Record{Type: RecBegin, XID: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// No budget: the laggard pins the whole file.
+	if err := w.Checkpoint(func(LSN) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if w.Base() > laggard.Pos() {
+		t.Fatalf("laggard position %d truncated away without a budget (base %d)", laggard.Pos(), w.Base())
+	}
+	if laggard.Dropped() {
+		t.Fatal("laggard dropped without a budget")
+	}
+
+	// With a budget the laggard is dropped and the log truncates.
+	w.SetRetainBudget(64)
+	if err := w.Checkpoint(func(LSN) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if !laggard.Dropped() {
+		t.Fatal("laggard not dropped despite exceeding the budget")
+	}
+	if w.Base() <= laggard.Pos() {
+		t.Fatalf("log not truncated past the dropped laggard: base %d, laggard %d", w.Base(), laggard.Pos())
+	}
+	// The dropped position is gone: ReadRaw reports ErrPositionGone,
+	// which is what sends the follower into re-bootstrap.
+	if _, _, err := w.ReadRaw(laggard.Pos(), 1<<20); err == nil {
+		t.Fatal("reading the dropped position succeeded")
+	}
+
+	// A subscription within the budget still pins the log across a
+	// checkpoint (the replication-slot behavior survives).
+	current := w.Subscribe(w.End())
+	defer current.Close()
+	if err := w.Checkpoint(func(LSN) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if current.Dropped() {
+		t.Fatal("in-budget subscription dropped")
+	}
+	if w.Base() > current.Pos() {
+		t.Fatalf("in-budget position %d truncated away (base %d)", current.Pos(), w.Base())
+	}
+}

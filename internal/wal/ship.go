@@ -60,6 +60,15 @@ func (w *Writer) TruncatedStateLSN() LSN {
 	return w.truncState
 }
 
+// SetRetainBudget caps how many log bytes a lagging subscription may
+// pin against checkpoint truncation. When a checkpoint finds a
+// subscription more than budget bytes behind the append edge, the
+// subscription is dropped (Dropped reports true, its channel is
+// signalled) and the log truncates; the follower behind it must
+// re-bootstrap via basebackup. Zero (the default) retains the log for
+// every subscriber indefinitely.
+func (w *Writer) SetRetainBudget(bytes int64) { w.retainBudget.Store(bytes) }
+
 // ShipLimit returns the LSN up to which records may be shipped to a
 // replica: the durable horizon, or the append edge in SyncOff mode
 // (where no fsync ever runs and "durable" is meaningless).
@@ -195,8 +204,9 @@ type Subscription struct {
 	// ReadRaw and wait again.
 	C chan struct{}
 
-	pos    atomic.Uint64
-	closed atomic.Bool
+	pos     atomic.Uint64
+	closed  atomic.Bool
+	dropped atomic.Bool
 }
 
 // Subscribe registers a subscription whose consumer has shipped
@@ -216,6 +226,12 @@ func (s *Subscription) Advance(lsn LSN) { s.pos.Store(uint64(lsn)) }
 
 // Pos returns the subscription's current position.
 func (s *Subscription) Pos() LSN { return LSN(s.pos.Load()) }
+
+// Dropped reports whether a checkpoint dropped this subscription for
+// exceeding the retained-WAL budget. The sender must stop streaming:
+// the bytes it still needed are gone, and its follower has to
+// re-bootstrap.
+func (s *Subscription) Dropped() bool { return s.dropped.Load() }
 
 // Close unregisters the subscription; the log is no longer pinned.
 func (s *Subscription) Close() {
@@ -240,18 +256,37 @@ func (w *Writer) notifySubs() {
 	w.smu.Unlock()
 }
 
-// minSubPos returns the lowest subscriber position and whether any
-// subscriber exists. Caller may hold mu (smu is independent).
+// minSubPos returns the lowest live (non-dropped) subscriber position
+// and whether any exists. Caller may hold mu (smu is independent).
 func (w *Writer) minSubPos() (LSN, bool) {
 	w.smu.Lock()
 	defer w.smu.Unlock()
 	var min LSN
 	found := false
 	for s := range w.subs {
+		if s.Dropped() {
+			continue
+		}
 		p := s.Pos()
 		if !found || p < min {
 			min, found = p, true
 		}
 	}
 	return min, found
+}
+
+// dropSubsBelow marks every subscription positioned below lsn as
+// dropped — it no longer pins the log — and wakes it so its sender
+// notices promptly. Caller may hold mu.
+func (w *Writer) dropSubsBelow(lsn LSN) {
+	w.smu.Lock()
+	defer w.smu.Unlock()
+	for s := range w.subs {
+		if s.Pos() < lsn && !s.dropped.Swap(true) {
+			select {
+			case s.C <- struct{}{}:
+			default:
+			}
+		}
+	}
 }

@@ -28,6 +28,7 @@ import (
 	"os"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"ifdb/internal/label"
 	"ifdb/internal/storage"
@@ -42,19 +43,23 @@ import (
 // positions never regress, a committer waiting on a pre-checkpoint
 // LSN is satisfied the moment the checkpoint covers it, and a
 // replica's applied position stays meaningful after the primary
-// restarts. In a freshly created log the first record is at LSN 16.
+// restarts. In a freshly created log the first record is at LSN 32.
 type LSN uint64
 
 // headerSize is the length of the file header: 8 magic bytes
-// ("IFDBWAL2"), the uint64 logical LSN of the first record slot
-// (advanced by each truncating checkpoint), and the uint64 last-state
+// ("IFDBWAL3"), the uint64 logical LSN of the first record slot
+// (advanced by each truncating checkpoint), the uint64 last-state
 // LSN — the position just past the newest record that carries state
-// (everything logged after it is checkpoint/replication markers). A
+// (everything logged after it is checkpoint/replication markers; a
 // replica whose position is at or past it has missed nothing but
-// markers and may fast-forward instead of re-bootstrapping.
-const headerSize = 24
+// markers and may fast-forward instead of re-bootstrapping) — and the
+// uint64 epoch: the promotion generation of this log's history. The
+// epoch starts at 1, is bumped exactly once per replica promotion
+// (BumpEpoch), and fences stale primaries: a replication peer whose
+// epoch disagrees cannot resume a byte stream (see internal/repl).
+const headerSize = 32
 
-var fileMagic = [8]byte{'I', 'F', 'D', 'B', 'W', 'A', 'L', '2'}
+var fileMagic = [8]byte{'I', 'F', 'D', 'B', 'W', 'A', 'L', '3'}
 
 // isMarker reports record types that carry no database state: a
 // stream position at or past the last non-marker record covers the
@@ -430,6 +435,12 @@ type Writer struct {
 	// below it, so a replica at or past truncState missed only markers
 	// in the truncated region and may fast-forward to base.
 	truncState LSN
+	// epoch is the promotion generation (header-persisted, starts at 1).
+	epoch uint64
+
+	// retainBudget caps how many log bytes a lagging subscription may
+	// pin against checkpoint truncation (0 = unlimited; see ship.go).
+	retainBudget atomic.Int64
 
 	// Group commit: durable is the highest LSN covered by a completed
 	// fsync; syncing marks a leader's fsync in flight. Guarded by gmu.
@@ -470,15 +481,28 @@ func Open(path string, mode SyncMode) (*Writer, error) {
 		return nil, err
 	}
 	if sc.base == 0 {
+		// Distinguish a genuinely fresh file from an older-format log
+		// (e.g. "IFDBWAL2"): rewriting the latter would silently
+		// discard every record since its last checkpoint. Refuse and
+		// make the operator decide.
+		var magic [8]byte
+		if n, _ := f.ReadAt(magic[:], 0); n == 8 &&
+			string(magic[:7]) == string(fileMagic[:7]) && magic != fileMagic {
+			f.Close()
+			return nil, fmt.Errorf("wal: %s is a %q log, this build writes %q; no in-place migration — restore from a basebackup or start fresh", path, magic, fileMagic)
+		}
+	}
+	if sc.base == 0 {
 		// Fresh file (or unrecognizable header): write a new header.
-		// The logical stream starts at headerSize.
+		// The logical stream starts at headerSize, in epoch 1.
 		sc.base, sc.end = headerSize, headerSize
 		sc.hdrState, sc.lastState = headerSize, headerSize
+		sc.epoch = 1
 		if err := f.Truncate(0); err != nil {
 			f.Close()
 			return nil, err
 		}
-		if _, err := f.WriteAt(headerBytes(sc.base, sc.hdrState), 0); err != nil {
+		if _, err := f.WriteAt(headerBytes(sc.base, sc.hdrState, sc.epoch), 0); err != nil {
 			f.Close()
 			return nil, err
 		}
@@ -487,21 +511,72 @@ func Open(path string, mode SyncMode) (*Writer, error) {
 		f.Close()
 		return nil, err
 	}
+	if sc.epoch == 0 {
+		sc.epoch = 1 // header predates epochs or was zeroed; repair
+	}
 	w.base = sc.base
 	w.end = sc.end
 	w.truncState = sc.hdrState
 	w.lastState = sc.lastState
+	w.epoch = sc.epoch
 	w.durable = sc.end
 	return w, nil
 }
 
 // headerBytes renders the file header.
-func headerBytes(base, lastState LSN) []byte {
+func headerBytes(base, lastState LSN, epoch uint64) []byte {
 	var h [headerSize]byte
 	copy(h[:8], fileMagic[:])
 	binary.LittleEndian.PutUint64(h[8:], uint64(base))
 	binary.LittleEndian.PutUint64(h[16:], uint64(lastState))
+	binary.LittleEndian.PutUint64(h[24:], epoch)
 	return h[:]
+}
+
+// Epoch returns the log's promotion generation.
+func (w *Writer) Epoch() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.epoch
+}
+
+// SetEpoch durably adopts an epoch a replication peer announced
+// (followers call it when a connection hands them the primary's
+// epoch). The epoch never regresses.
+func (w *Writer) SetEpoch(epoch uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if epoch <= w.epoch {
+		return nil
+	}
+	return w.setEpochLocked(epoch)
+}
+
+// BumpEpoch starts the next promotion generation, durably, and returns
+// it. Called exactly once per promotion, before the promoted engine
+// accepts its first write: any peer still speaking the old epoch is
+// fenced from that point on.
+func (w *Writer) BumpEpoch() (uint64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.setEpochLocked(w.epoch + 1); err != nil {
+		return 0, err
+	}
+	return w.epoch, nil
+}
+
+// setEpochLocked rewrites the header in place (preserving the
+// persisted base and truncation-state positions) and fsyncs before
+// adopting the new epoch. Caller holds mu.
+func (w *Writer) setEpochLocked(epoch uint64) error {
+	if _, err := w.f.WriteAt(headerBytes(w.base, w.truncState, epoch), 0); err != nil {
+		return fmt.Errorf("wal: write header: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.epoch = epoch
+	return nil
 }
 
 // fileOff maps a logical LSN to its offset in the current log file.
@@ -704,7 +779,13 @@ func (w *Writer) Checkpoint(capture func(covered LSN) error) error {
 	// Retention: a replica sender still needs bytes below the end, so
 	// leave the file intact (the snapshot is still written — recovery
 	// replays the overlapping records idempotently). The single-file
-	// analogue of a held replication slot.
+	// analogue of a held replication slot — bounded by the retained-WAL
+	// budget: a subscription pinning more than the budget is dropped
+	// (its follower must re-bootstrap via basebackup) rather than
+	// letting one laggard pin the log forever.
+	if budget := w.retainBudget.Load(); budget > 0 && w.end > LSN(budget) {
+		w.dropSubsBelow(w.end - LSN(budget))
+	}
 	if min, ok := w.minSubPos(); ok && min < w.end {
 		if err := w.f.Sync(); err != nil {
 			return err
@@ -719,7 +800,7 @@ func (w *Writer) Checkpoint(capture func(covered LSN) error) error {
 	// LSNs the snapshot claims to already cover. The last-state
 	// position rides along so replicas parked past it survive the
 	// truncation.
-	if _, err := w.f.WriteAt(headerBytes(w.end, w.lastState), 0); err != nil {
+	if _, err := w.f.WriteAt(headerBytes(w.end, w.lastState, w.epoch), 0); err != nil {
 		return fmt.Errorf("wal: write header: %w", err)
 	}
 	if err := w.f.Sync(); err != nil {
@@ -815,6 +896,7 @@ type scanResult struct {
 	end       LSN
 	hdrState  LSN
 	lastState LSN
+	epoch     uint64
 }
 
 func scan(f *os.File) (scanResult, error) {
@@ -836,6 +918,7 @@ func scan(f *os.File) (scanResult, error) {
 	sc := scanResult{
 		base:     LSN(binary.LittleEndian.Uint64(hdr[8:])),
 		hdrState: LSN(binary.LittleEndian.Uint64(hdr[16:])),
+		epoch:    binary.LittleEndian.Uint64(hdr[24:]),
 	}
 	if sc.base < headerSize {
 		return scanResult{}, nil

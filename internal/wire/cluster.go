@@ -1,0 +1,67 @@
+package wire
+
+import "fmt"
+
+// Cluster-management protocol messages, spoken on ordinary client
+// connections (after the Hello handshake, like queries): a STATUS
+// probe answering role/epoch/LSN questions — what the coordinator's
+// health checks and the routing client's discovery are built on — and
+// a PROMOTE command that turns a replica server into a writable
+// primary under a bumped WAL epoch.
+const (
+	MsgPromote   byte = 'M' // client → server: promote this replica to primary
+	MsgStatus    byte = 'T' // client → server: role/epoch/LSN probe
+	MsgStatusRes byte = 't' // server → client: Status (also answers Promote)
+)
+
+// Status describes one node's replication role. For a replica,
+// AppliedLSN is the primary LSN it has applied through (in the
+// *primary's* LSN space); for a primary, WALEnd is its append edge (in
+// its own space). Lag is their difference, computed by whoever can see
+// both nodes — LSN spaces are only comparable within one epoch chain.
+// Err carries a PROMOTE failure, or a replica's fatal stream error.
+type Status struct {
+	Replica    bool
+	Epoch      uint64
+	AppliedLSN uint64
+	WALEnd     uint64
+	Err        string
+}
+
+// Encode marshals s.
+func (s *Status) Encode() []byte {
+	buf := make([]byte, 0, 40)
+	if s.Replica {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = appendU64(buf, s.Epoch)
+	buf = appendU64(buf, s.AppliedLSN)
+	buf = appendU64(buf, s.WALEnd)
+	return appendString(buf, s.Err)
+}
+
+// DecodeStatus unmarshals a Status payload.
+func DecodeStatus(buf []byte) (*Status, error) {
+	var s Status
+	if len(buf) < 1 {
+		return nil, fmt.Errorf("wire: truncated status")
+	}
+	s.Replica = buf[0] == 1
+	buf = buf[1:]
+	var err error
+	if s.Epoch, buf, err = readU64(buf); err != nil {
+		return nil, err
+	}
+	if s.AppliedLSN, buf, err = readU64(buf); err != nil {
+		return nil, err
+	}
+	if s.WALEnd, buf, err = readU64(buf); err != nil {
+		return nil, err
+	}
+	if s.Err, _, err = readString(buf); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}

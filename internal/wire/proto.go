@@ -157,6 +157,15 @@ type Query struct {
 	Label     label.Label
 	ILabel    label.Label // integrity label
 	Principal uint64
+
+	// WaitLSN, when non-zero on a replica server, delays execution
+	// until the replica has applied the primary's log through that LSN
+	// — the read-your-writes token flow: a routing client stamps reads
+	// with the commit LSN of its last primary write, so a replica can
+	// never answer with state older than what the client already saw
+	// acknowledged. Ignored on a primary (its own log trivially covers
+	// its own commits).
+	WaitLSN uint64
 }
 
 // Encode marshals q.
@@ -175,7 +184,7 @@ func (q *Query) Encode() ([]byte, error) {
 	} else {
 		buf = append(buf, 0)
 	}
-	return buf, nil
+	return appendU64(buf, q.WaitLSN), nil
 }
 
 // DecodeQuery unmarshals a Query payload.
@@ -206,10 +215,16 @@ func DecodeQuery(buf []byte) (*Query, error) {
 		if err != nil {
 			return nil, err
 		}
-		q.Principal, _, err = readU64(buf)
+		q.Principal, buf, err = readU64(buf)
 		if err != nil {
 			return nil, err
 		}
+	} else {
+		buf = buf[1:]
+	}
+	q.WaitLSN, _, err = readU64(buf)
+	if err != nil {
+		return nil, err
 	}
 	return &q, nil
 }
@@ -227,6 +242,18 @@ type Result struct {
 	Affected  int64
 	Label     label.Label // server's process label after the statement
 	ILabel    label.Label // server's integrity label after the statement
+
+	// Epoch is the server's promotion generation; LSN is the session's
+	// commit token: the smallest replication barrier proving its most
+	// recent logged commit (or DDL) applied, 0 if the session never
+	// logged anything (reads, in-memory servers). Deliberately *not*
+	// the WAL append edge — the edge includes other sessions' open
+	// transactions, which a replica's applied barrier cannot pass. The
+	// routing client keeps the pair from its last write as the
+	// read-your-writes token; LSN spaces are only comparable within
+	// one epoch.
+	Epoch uint64
+	LSN   uint64
 }
 
 // Encode marshals r.
@@ -255,6 +282,8 @@ func (r *Result) Encode() ([]byte, error) {
 	buf = appendU64(buf, uint64(r.Affected))
 	buf = appendLabel(buf, r.Label)
 	buf = appendLabel(buf, r.ILabel)
+	buf = appendU64(buf, r.Epoch)
+	buf = appendU64(buf, r.LSN)
 	return buf, nil
 }
 
@@ -316,7 +345,15 @@ func DecodeResult(buf []byte) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	r.ILabel, _, err = readLabel(buf)
+	r.ILabel, buf, err = readLabel(buf)
+	if err != nil {
+		return nil, err
+	}
+	r.Epoch, buf, err = readU64(buf)
+	if err != nil {
+		return nil, err
+	}
+	r.LSN, _, err = readU64(buf)
 	if err != nil {
 		return nil, err
 	}

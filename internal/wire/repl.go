@@ -21,16 +21,24 @@ const (
 
 // ReplHello opens a replication stream. Token is the platform token
 // (replicas are part of the trusted base, like client platforms); From
-// is the primary LSN the follower has applied through.
+// is the primary LSN the follower has applied through; Epoch is the
+// promotion generation the follower last streamed under. The primary
+// fences on it: a follower from a *newer* epoch proves this primary is
+// stale (its hello is refused outright), and a follower from an
+// *older* epoch may carry divergent history past the failover cut, so
+// its byte position is meaningless and it is forced through a
+// basebackup.
 type ReplHello struct {
 	Token string
 	From  uint64
+	Epoch uint64
 }
 
 // Encode marshals h.
 func (h *ReplHello) Encode() []byte {
 	buf := appendString(nil, h.Token)
-	return appendU64(buf, h.From)
+	buf = appendU64(buf, h.From)
+	return appendU64(buf, h.Epoch)
 }
 
 // DecodeReplHello unmarshals a ReplHello payload.
@@ -41,7 +49,11 @@ func DecodeReplHello(buf []byte) (*ReplHello, error) {
 	if err != nil {
 		return nil, err
 	}
-	h.From, _, err = readU64(buf)
+	h.From, buf, err = readU64(buf)
+	if err != nil {
+		return nil, err
+	}
+	h.Epoch, _, err = readU64(buf)
 	if err != nil {
 		return nil, err
 	}
@@ -51,21 +63,31 @@ func DecodeReplHello(buf []byte) (*ReplHello, error) {
 // ReplOK accepts a stream: records flow from Resume. Resume is
 // usually the follower's hello LSN, but may be *ahead* of it when a
 // truncating checkpoint discarded only state-free markers in between
-// (the primary restarted cleanly) — the follower fast-forwards.
+// (the primary restarted cleanly) — the follower fast-forwards. Epoch
+// is the primary's epoch, which the follower adopts durably.
 type ReplOK struct {
 	Resume uint64
+	Epoch  uint64
 }
 
 // Encode marshals o.
-func (o *ReplOK) Encode() []byte { return appendU64(nil, o.Resume) }
+func (o *ReplOK) Encode() []byte {
+	return appendU64(appendU64(nil, o.Resume), o.Epoch)
+}
 
 // DecodeReplOK unmarshals a ReplOK payload.
 func DecodeReplOK(buf []byte) (*ReplOK, error) {
-	v, _, err := readU64(buf)
+	var o ReplOK
+	var err error
+	o.Resume, buf, err = readU64(buf)
 	if err != nil {
 		return nil, err
 	}
-	return &ReplOK{Resume: v}, nil
+	o.Epoch, _, err = readU64(buf)
+	if err != nil {
+		return nil, err
+	}
+	return &o, nil
 }
 
 // ReplFile is one chunk of a basebackup file. Chunks of one file
@@ -96,34 +118,49 @@ func DecodeReplFile(buf []byte) (*ReplFile, error) {
 }
 
 // ReplSnapEnd finishes a basebackup: the follower's state now
-// corresponds to primary LSN Start, where streaming begins.
+// corresponds to primary LSN Start, where streaming begins, under the
+// primary's Epoch (which the follower adopts durably).
 type ReplSnapEnd struct {
 	Start uint64
+	Epoch uint64
 }
 
 // Encode marshals e.
-func (e *ReplSnapEnd) Encode() []byte { return appendU64(nil, e.Start) }
+func (e *ReplSnapEnd) Encode() []byte {
+	return appendU64(appendU64(nil, e.Start), e.Epoch)
+}
 
 // DecodeReplSnapEnd unmarshals a ReplSnapEnd payload.
 func DecodeReplSnapEnd(buf []byte) (*ReplSnapEnd, error) {
-	v, _, err := readU64(buf)
+	var e ReplSnapEnd
+	var err error
+	e.Start, buf, err = readU64(buf)
 	if err != nil {
 		return nil, err
 	}
-	return &ReplSnapEnd{Start: v}, nil
+	e.Epoch, _, err = readU64(buf)
+	if err != nil {
+		return nil, err
+	}
+	return &e, nil
 }
 
-// ReplRecs carries raw WAL frames covering primary LSNs [From, To).
+// ReplRecs carries raw WAL frames covering primary LSNs [From, To),
+// stamped with the primary's Epoch: a follower refuses a batch whose
+// epoch disagrees with the one it adopted at connection time (a stale
+// primary must never feed an up-to-date replica).
 type ReplRecs struct {
-	From uint64
-	To   uint64
-	Data []byte
+	From  uint64
+	To    uint64
+	Epoch uint64
+	Data  []byte
 }
 
 // Encode marshals r.
 func (r *ReplRecs) Encode() []byte {
 	buf := appendU64(nil, r.From)
 	buf = appendU64(buf, r.To)
+	buf = appendU64(buf, r.Epoch)
 	return append(buf, r.Data...)
 }
 
@@ -136,6 +173,10 @@ func DecodeReplRecs(buf []byte) (*ReplRecs, error) {
 		return nil, err
 	}
 	r.To, buf, err = readU64(buf)
+	if err != nil {
+		return nil, err
+	}
+	r.Epoch, buf, err = readU64(buf)
 	if err != nil {
 		return nil, err
 	}

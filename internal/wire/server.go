@@ -8,10 +8,12 @@ import (
 	"log"
 	"net"
 	"sync"
+	"time"
 
 	"ifdb/internal/authority"
 	"ifdb/internal/engine"
 	"ifdb/internal/label"
+	"ifdb/internal/wal"
 )
 
 // Server accepts client-platform connections and maps each to an
@@ -28,6 +30,22 @@ type Server struct {
 	closed   bool
 	conns    map[net.Conn]bool
 	ErrorLog *log.Logger
+
+	// Promote, when set, handles MsgPromote frames: it must stop the
+	// node's replication stream and promote the engine (typically
+	// repl.Follower.Promote via ifdb.DB.Promote — the server cannot
+	// reach the follower's socket loop through the engine alone). Nil
+	// rejects promotion requests.
+	Promote func() error
+
+	// StatusErr, when set, supplies the replica's fatal stream error
+	// for MsgStatus replies (the follower owns that state, not the
+	// engine).
+	StatusErr func() error
+
+	// WaitTimeout bounds a replica's read-your-writes wait (Query
+	// frames carrying WaitLSN). Zero means 10s.
+	WaitTimeout time.Duration
 }
 
 // NewServer creates a server over eng. token guards Hello; empty means
@@ -179,6 +197,30 @@ func (s *Server) handle(conn net.Conn) {
 			if err := w.Flush(); err != nil {
 				return
 			}
+		case MsgStatus:
+			if err := WriteFrame(w, MsgStatusRes, s.status().Encode()); err != nil {
+				return
+			}
+			if err := w.Flush(); err != nil {
+				return
+			}
+		case MsgPromote:
+			var perr error
+			if s.Promote != nil {
+				perr = s.Promote()
+			} else {
+				perr = errors.New("wire: this server does not support promotion")
+			}
+			st := s.status()
+			if perr != nil {
+				st.Err = perr.Error()
+			}
+			if err := WriteFrame(w, MsgStatusRes, st.Encode()); err != nil {
+				return
+			}
+			if err := w.Flush(); err != nil {
+				return
+			}
 		default:
 			s.logf("wire: unexpected frame %c", typ)
 			return
@@ -186,8 +228,62 @@ func (s *Server) handle(conn net.Conn) {
 	}
 }
 
+// status snapshots this node's replication role for STATUS probes.
+func (s *Server) status() *Status {
+	st := &Status{Replica: s.eng.IsReplica(), Epoch: s.eng.Epoch()}
+	if st.Replica {
+		st.AppliedLSN = uint64(s.eng.ReplAppliedLSN())
+		if s.StatusErr != nil {
+			if err := s.StatusErr(); err != nil {
+				st.Err = err.Error()
+			}
+		}
+	}
+	if w := s.eng.WAL(); w != nil {
+		st.WALEnd = uint64(w.End())
+	}
+	return st
+}
+
+// waitApplied blocks until this replica has applied the primary's log
+// through lsn — the server half of the read-your-writes token flow. A
+// primary (including a just-promoted one) returns immediately: its own
+// log covers its own commits, and a stale token from a previous epoch
+// is not comparable here anyway (the routing client re-bases its token
+// on the first write after a failover).
+func (s *Server) waitApplied(lsn uint64) error {
+	timeout := s.WaitTimeout
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	deadline := time.Now().Add(timeout)
+	// Exponential backoff: the common case (replica a batch behind)
+	// resolves within the first microsecond-scale polls; a genuinely
+	// lagging replica must not burn its CPU spinning — that CPU is
+	// what applies the stream.
+	sleep := 50 * time.Microsecond
+	for s.eng.IsReplica() && s.eng.ReplAppliedLSN() < wal.LSN(lsn) {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("wire: read-your-writes wait timed out: want lsn %d, applied %d", lsn, s.eng.ReplAppliedLSN())
+		}
+		time.Sleep(sleep)
+		if sleep < 5*time.Millisecond {
+			sleep *= 2
+		}
+	}
+	return nil
+}
+
 func (s *Server) runQuery(sess *engine.Session, q *Query) *Result {
 	out := &Result{}
+	if q.WaitLSN > 0 {
+		if err := s.waitApplied(q.WaitLSN); err != nil {
+			out.Err = err.Error()
+			out.Label = sess.Label()
+			out.ILabel = sess.Integrity()
+			return out
+		}
+	}
 	res, err := sess.Exec(q.SQL, q.Params...)
 	if err != nil {
 		out.Err = err.Error()
@@ -199,6 +295,14 @@ func (s *Server) runQuery(sess *engine.Session, q *Query) *Result {
 	}
 	out.Label = sess.Label()
 	out.ILabel = sess.Integrity()
+	// Stamp the session's commit token as the read-your-writes
+	// position. Deliberately *not* the WAL append edge: the edge
+	// includes other sessions' in-flight transactions, and a replica's
+	// applied barrier cannot pass an unresolved transaction — a token
+	// built from it would stall every replica read behind whichever
+	// unrelated long-running transaction happens to be open.
+	out.Epoch = s.eng.Epoch()
+	out.LSN = sess.CommitToken()
 	return out
 }
 
