@@ -1,7 +1,7 @@
-// Package client is the network client library for IFDB — the analog
-// of the paper's modified libpq (§7.2). It keeps the process label and
-// acting principal locally and transmits changes lazily, coalesced
-// with the next statement, exactly as the paper's protocol does.
+// Conn: one connection to one IFDB server, with client-held label
+// state transmitted lazily (the paper's modified-libpq design, §7.2).
+// See doc.go for the package overview.
+
 package client
 
 import (
@@ -108,10 +108,26 @@ type Conn struct {
 
 // serverError marks an error the server reported (SQL errors, refused
 // control operations): the connection is healthy and the statement
-// definitively failed, so AutoReconnect must not retry it.
-type serverError struct{ msg string }
+// definitively failed, so AutoReconnect must not retry it. shardMap
+// carries the server's current shard map when the refusal was a
+// stale-shard-map fence (see StaleShardMap).
+type serverError struct {
+	msg      string
+	shardMap *wire.ShardMap
+}
 
 func (e *serverError) Error() string { return e.msg }
+
+// StaleShardMap extracts the fresh shard map a server attached to a
+// stale-map refusal, or nil if err was anything else. The Router
+// adopts it and re-routes; other callers can surface it to operators.
+func StaleShardMap(err error) *ShardMap {
+	var se *serverError
+	if errors.As(err, &se) {
+		return se.shardMap
+	}
+	return nil
+}
 
 // Dial connects and performs the Hello handshake. token attests that
 // this client is a trusted platform (§2); principal is the acting
@@ -286,18 +302,26 @@ func (c *Conn) Exec(sql string, params ...Value) (*Result, error) {
 // replica has applied the primary's log through waitLSN. The Router
 // stamps replica reads with the token from its last primary write.
 func (c *Conn) ExecWait(waitLSN uint64, sql string, params ...Value) (*Result, error) {
-	res, err := c.execOnce(waitLSN, sql, params)
+	return c.ExecShard(waitLSN, 0, sql, params...)
+}
+
+// ExecShard is ExecWait carrying a shard-map version: a sharded server
+// refuses the statement when shardVer is non-zero and outdated,
+// attaching its current map to the error (StaleShardMap). The Router
+// stamps every statement it routes by the map with the map's version.
+func (c *Conn) ExecShard(waitLSN, shardVer uint64, sql string, params ...Value) (*Result, error) {
+	res, err := c.execOnce(waitLSN, shardVer, sql, params)
 	if err == nil || !c.cfg.AutoReconnect || !retryable(err) {
 		return res, err
 	}
 	if rerr := c.redial(); rerr != nil {
 		return nil, rerr
 	}
-	return c.execOnce(waitLSN, sql, params)
+	return c.execOnce(waitLSN, shardVer, sql, params)
 }
 
-func (c *Conn) execOnce(waitLSN uint64, sql string, params []Value) (*Result, error) {
-	q := &wire.Query{SQL: sql, Params: params, WaitLSN: waitLSN}
+func (c *Conn) execOnce(waitLSN, shardVer uint64, sql string, params []Value) (*Result, error) {
+	q := &wire.Query{SQL: sql, Params: params, WaitLSN: waitLSN, ShardVer: shardVer}
 	if c.dirty {
 		q.SyncLabel = true
 		q.Label = c.plabel
@@ -329,7 +353,7 @@ func (c *Conn) execOnce(waitLSN uint64, sql string, params []Value) (*Result, er
 	c.plabel = res.Label
 	c.pilabel = res.ILabel
 	if res.Err != "" {
-		return nil, &serverError{msg: res.Err}
+		return nil, &serverError{msg: res.Err, shardMap: res.ShardMap}
 	}
 	return &Result{
 		Cols: res.Cols, Rows: res.Rows, RowLabels: res.RowLabels,
@@ -354,7 +378,7 @@ func (c *Conn) control(ctl *wire.Control) (*wire.CtrlRes, error) {
 
 func (c *Conn) controlOnce(ctl *wire.Control) (*wire.CtrlRes, error) {
 	if c.dirty {
-		if _, err := c.execOnce(0, "SELECT 1", nil); err != nil {
+		if _, err := c.execOnce(0, 0, "SELECT 1", nil); err != nil {
 			return nil, err
 		}
 	}
@@ -429,6 +453,21 @@ func (c *Conn) statusRequest(typ byte) (*Status, error) {
 		return out, &serverError{msg: st.Err}
 	}
 	return out, nil
+}
+
+// ShardMap fetches the server's current view of the cluster shard map
+// (nil when the deployment is unsharded). The Router calls it at open
+// to discover the topology; operators can watch it via ifdb-cli
+// \shardmap.
+func (c *Conn) ShardMap() (*ShardMap, error) {
+	resp, err := c.roundTrip(wire.MsgShardMap, nil, wire.MsgShardMapRes)
+	if err != nil {
+		return nil, err
+	}
+	if len(resp) == 0 {
+		return nil, nil
+	}
+	return wire.DecodeShardMap(resp)
 }
 
 // CreatePrincipal creates a principal server-side (requires an empty

@@ -1,0 +1,40 @@
+// Package client is the network client library for IFDB — the analog
+// of the paper's modified libpq (§7.2), grown cluster-aware.
+//
+// Two entry points:
+//
+//   - Conn is one connection to one server. It keeps the process
+//     label and acting principal client-side and transmits changes
+//     lazily, coalesced with the next statement, exactly as the
+//     paper's protocol does — which is also what makes AutoReconnect
+//     sound: the client owns the authoritative label state, so a
+//     fresh server session is brought back to it with one sync.
+//   - Router is a concurrency-safe pool over per-node Conns for
+//     replicated and sharded clusters: writes go to the primary (per
+//     shard, when a shard map is in play), reads load-balance across
+//     replicas, promotions are followed automatically, and
+//     read-your-writes is preserved through commit-LSN tokens.
+//
+// Invariants worth knowing before building on this package:
+//
+//   - Read-your-writes tokens are (epoch, LSN) pairs from the last
+//     acknowledged write; a replica read carries the LSN and waits
+//     until the replica has applied it. LSN spaces are only
+//     comparable within one epoch chain, so after a failover the
+//     token is not applied until a new-epoch write re-bases it — and
+//     in a sharded cluster each shard keeps its own token, because
+//     each shard is its own epoch chain.
+//   - Failover retries are at-least-once: a connection break between
+//     a commit and its Result re-executes the statement. Route
+//     non-idempotent writes through idempotent SQL where double-apply
+//     matters.
+//   - Sharded statements are version-fenced: the Router stamps each
+//     statement with its shard-map version, and a server holding a
+//     newer map refuses it with the new map attached, which the
+//     Router adopts and re-routes — stale routing fails closed, never
+//     silently writes to the wrong shard.
+//
+// See ARCHITECTURE.md § Failover & epochs (tokens, promotion
+// following) and § Sharding (the shard map, routing and fan-out
+// rules).
+package client

@@ -22,8 +22,11 @@
 // scale-out). A statement that contaminates its connection — e.g.
 // SELECT addsecrecy(...) — poisons label state the next borrower must
 // not inherit; such connections are closed instead of repooled, and
-// label-changing statements are routed to the primary like writes.
-// Workloads that manage labels should dial their own Conn.
+// label-changing statements are routed to the primary like writes
+// (a *sharded* Router refuses them outright: there is no single
+// primary to pin label state to). Workloads that manage labels
+// should dial their own Conn.
+
 package client
 
 import (
@@ -61,6 +64,13 @@ type RouterConfig struct {
 	// guarantee is per-Router either way; workloads that need both pick
 	// per call by running two Routers over the same addresses.
 	AllowStaleReads bool
+
+	// ShardMap shards the Router explicitly (see shard.go and
+	// ARCHITECTURE.md § Sharding). Nil asks every configured address
+	// for its SHARDMAP at open and adopts the first answer; when no
+	// node is sharded either, the Router runs in the classic
+	// one-replication-group mode.
+	ShardMap *ShardMap
 }
 
 // Router routes statements across a replicated IFDB cluster. Safe for
@@ -72,11 +82,18 @@ type Router struct {
 	nodes   map[string]*routerNode
 	primary string // addr of the current primary ("" = unknown)
 	epoch   uint64 // highest epoch observed across the cluster
+	smap    *ShardMap
 	closed  bool
 
 	rr        atomic.Uint64         // read round-robin cursor
-	token     atomic.Pointer[rwTok] // read-your-writes token
+	token     atomic.Pointer[rwTok] // read-your-writes token (unsharded mode)
 	lastProbe atomic.Int64          // unix nanos of the last Reprobe (rate limit)
+
+	// stoks are the per-shard read-your-writes tokens: each shard is
+	// its own replication group with its own epoch chain and LSN space,
+	// so one global token would be incomparable across shards.
+	stokMu sync.Mutex
+	stoks  map[uint32]rwTok
 }
 
 // rwTok is the read-your-writes token: the primary WAL position of the
@@ -112,14 +129,65 @@ func OpenRouter(cfg RouterConfig) (*Router, error) {
 	if cfg.DialTimeout <= 0 {
 		cfg.DialTimeout = 2 * time.Second
 	}
-	r := &Router{cfg: cfg, nodes: make(map[string]*routerNode)}
+	r := &Router{cfg: cfg, nodes: make(map[string]*routerNode), stoks: make(map[uint32]rwTok)}
 	for _, addr := range cfg.Addrs {
 		r.nodes[addr] = &routerNode{addr: addr}
+	}
+	if cfg.ShardMap != nil {
+		if err := cfg.ShardMap.Validate(); err != nil {
+			return nil, err
+		}
+		r.adoptMap(cfg.ShardMap.Clone())
+	} else {
+		r.discoverShardMap()
 	}
 	if err := r.Reprobe(); err != nil {
 		return nil, err
 	}
 	return r, nil
+}
+
+// discoverShardMap asks each configured address for its shard map and
+// adopts the first answer (unsharded nodes answer "none").
+func (r *Router) discoverShardMap() {
+	for _, addr := range r.addrs() {
+		conn, err := r.dial(addr)
+		if err != nil {
+			continue
+		}
+		m, err := conn.ShardMap()
+		conn.Close()
+		if err == nil && m != nil {
+			r.adoptMap(m)
+			return
+		}
+	}
+}
+
+// adoptMap installs a newer shard map (no-op when the Router already
+// holds that version or newer) and registers any member addresses the
+// node table hasn't seen.
+func (r *Router) adoptMap(m *ShardMap) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.smap != nil && m.Version <= r.smap.Version {
+		return
+	}
+	r.smap = m
+	for _, sh := range m.Shards {
+		for _, addr := range append([]string{sh.Primary}, sh.Replicas...) {
+			if _, ok := r.nodes[addr]; !ok {
+				r.nodes[addr] = &routerNode{addr: addr}
+			}
+		}
+	}
+}
+
+// shardMap returns the Router's current map (nil = unsharded).
+func (r *Router) shardMap() *ShardMap {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.smap
 }
 
 // maybeReprobe runs Reprobe at most once per two seconds. Reads call
@@ -202,6 +270,18 @@ func (r *Router) Reprobe() error {
 		}
 	}
 	if r.primary == "" {
+		if r.smap != nil {
+			// Sharded mode has no single primary: per-shard primaries
+			// are derived from the freshly-probed roles on demand, and a
+			// shard mid-failover must not fail the whole sweep. A sweep
+			// that reached nobody still fails — OpenRouter against a
+			// dead or misaddressed cluster should say so immediately,
+			// not spin out a FailoverTimeout on the first statement.
+			if len(probes) == 0 {
+				return fmt.Errorf("client: no reachable nodes among %v", r.cfg.Addrs)
+			}
+			return nil
+		}
 		return fmt.Errorf("client: no reachable primary among %v", r.cfg.Addrs)
 	}
 	return nil
@@ -377,6 +457,9 @@ func (r *Router) Exec(sql string, params ...Value) (*Result, error) {
 	if isTxnControl(sql) {
 		return nil, errors.New("client: the Router routes statements independently and cannot carry explicit transactions; dial a Conn to the primary instead")
 	}
+	if r.shardMap() != nil {
+		return r.execSharded(sql, params)
+	}
 	if isReadOnly(sql) {
 		return r.read(sql, params)
 	}
@@ -403,7 +486,7 @@ func (r *Router) write(sql string, params []Value) (*Result, error) {
 				return res, nil
 			}
 			lastErr = err
-			if !retryable(err) && !isReadOnlyReplicaErr(err) {
+			if !retryable(err) && !isReadOnlyReplicaErr(err) && !isFencedErr(err) {
 				return nil, err // real SQL error: routing can't help
 			}
 		} else if lastErr == nil {
@@ -509,11 +592,15 @@ func (r *Router) readCandidates(tok *rwTok) []string {
 }
 
 func (r *Router) execOn(addr string, waitLSN uint64, sql string, params []Value) (*Result, error) {
+	return r.execOnShard(addr, waitLSN, 0, sql, params)
+}
+
+func (r *Router) execOnShard(addr string, waitLSN, shardVer uint64, sql string, params []Value) (*Result, error) {
 	c, pooled, err := r.checkout(addr)
 	if err != nil {
 		return nil, err
 	}
-	res, err := c.ExecWait(waitLSN, sql, params...)
+	res, err := c.ExecShard(waitLSN, shardVer, sql, params...)
 	if err != nil && retryable(err) && pooled {
 		// The pooled connection likely went stale while idle (server
 		// restart, dropped keepalive) — and if one did, its poolmates
@@ -526,7 +613,7 @@ func (r *Router) execOn(addr string, waitLSN uint64, sql string, params []Value)
 		if c, err = r.dial(addr); err != nil {
 			return nil, err
 		}
-		res, err = c.ExecWait(waitLSN, sql, params...)
+		res, err = c.ExecShard(waitLSN, shardVer, sql, params...)
 	}
 	if err != nil {
 		if retryable(err) {
@@ -564,11 +651,334 @@ func (r *Router) noteWrite(res *Result) {
 	}
 }
 
+// ---------------------------------------------------------------------------
+// Sharded routing (see shard.go for key extraction and the package
+// comment of client/shard.go for the routing rules).
+
+// execSharded routes one statement across the shard map: DDL fans out
+// to every shard primary (each shard holds the full schema), a
+// statement confined to one key routes to its owning shard, reads
+// without a derivable key fan out and merge, and writes without one
+// are refused — the Router will not guess where a write belongs.
+func (r *Router) execSharded(sqlText string, params []Value) (*Result, error) {
+	if isDDL(sqlText) {
+		return r.ddlFanout(sqlText, params)
+	}
+	m := r.shardMap()
+	table, key, ok := shardTarget(m, sqlText, params)
+	if isReadOnly(sqlText) {
+		if ok {
+			return r.readSharded(func(m *ShardMap) (uint32, bool) {
+				return m.ShardOf(key), true
+			}, sqlText, params)
+		}
+		return r.fanoutRead(sqlText, params)
+	}
+	if !ok {
+		if table == "" {
+			// Label, sequence, and procedure statements (SELECT
+			// addsecrecy(...), nextval, CALL) have no table to route by
+			// and no meaningful shard to run on.
+			return nil, fmt.Errorf("client: label, sequence, and procedure statements are not routable in a sharded cluster; dial a Conn to the relevant shard's primary")
+		}
+		return nil, fmt.Errorf("client: cannot derive a shard key: a sharded write must be confined to one shard (single-row INSERT, or key equality in WHERE with no OR)")
+	}
+	return r.writeKey(key, sqlText, params)
+}
+
+// writeKey writes the statement to the shard owning key, re-hashing
+// under whatever map each retry holds (a stale-map refusal's adopted
+// map may have a different shard count).
+func (r *Router) writeKey(key string, sqlText string, params []Value) (*Result, error) {
+	return r.writeSharded(func(m *ShardMap) (uint32, error) {
+		return m.ShardOf(key), nil
+	}, sqlText, params)
+}
+
+// writeSharded executes a write on the shard that target derives from
+// the current map, following both failovers (per-shard promotion,
+// discovered by reprobe) and shard-map reconfiguration (a stale-map
+// refusal carries the new map, which is adopted and the target
+// re-derived).
+func (r *Router) writeSharded(target func(m *ShardMap) (uint32, error), sqlText string, params []Value) (*Result, error) {
+	deadline := time.Now().Add(r.cfg.FailoverTimeout)
+	var lastErr error
+	for {
+		m := r.shardMap()
+		sid, err := target(m)
+		if err != nil {
+			return nil, err
+		}
+		if addr := r.shardPrimary(m, sid); addr != "" {
+			res, err := r.execOnShard(addr, 0, m.Version, sqlText, params)
+			if err == nil {
+				r.noteShardWrite(sid, res)
+				return res, nil
+			}
+			lastErr = err
+			if nm := StaleShardMap(err); nm != nil {
+				if nm.Version > m.Version {
+					r.adoptMap(nm)
+					continue // re-route immediately under the new map
+				}
+				// The node is behind our map (mid-reconfiguration): the
+				// deadline loop below retries until it catches up.
+			} else if !retryable(err) && !isReadOnlyReplicaErr(err) && !isFencedErr(err) {
+				return nil, err // real SQL error: routing can't help
+			}
+		} else if lastErr == nil {
+			lastErr = fmt.Errorf("client: no known primary for shard %d", sid)
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("client: shard write failed over for %v: %w", r.cfg.FailoverTimeout, lastErr)
+		}
+		r.maybeReprobe()
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// readSharded reads from the shard that target derives from the
+// current map: its replicas first (carrying the shard's
+// read-your-writes token), its primary as the fallback — the
+// single-group read path scoped to the shard's members. A stale-map
+// refusal carrying a newer map is adopted and the read re-routed
+// once, with the target re-derived (the new map's shard count may
+// differ). target returning false skips the attempt (the shard is
+// gone from the adopted map).
+func (r *Router) readSharded(target func(m *ShardMap) (uint32, bool), sqlText string, params []Value) (*Result, error) {
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		m := r.shardMap()
+		sid, ok := target(m)
+		if !ok {
+			break
+		}
+		var tok *rwTok
+		if !r.cfg.AllowStaleReads {
+			r.stokMu.Lock()
+			if t, ok := r.stoks[sid]; ok {
+				tok = &t
+			}
+			r.stokMu.Unlock()
+		}
+		adopted := false
+		candidates := append(r.shardReadCandidates(m, sid, tok), "")
+		for _, addr := range candidates {
+			wait := uint64(0)
+			if tok != nil && addr != "" {
+				wait = tok.lsn
+			}
+			if addr == "" {
+				// Last resort: the shard primary answers without a wait.
+				if addr = r.shardPrimary(m, sid); addr == "" {
+					continue
+				}
+			}
+			res, err := r.execOnShard(addr, wait, m.Version, sqlText, params)
+			if err == nil {
+				return res, nil
+			}
+			lastErr = err
+			if nm := StaleShardMap(err); nm != nil {
+				if nm.Version > m.Version {
+					r.adoptMap(nm)
+					adopted = true
+					break // second attempt under the new map
+				}
+				continue // node behind our map: try another
+			}
+			if !retryable(err) {
+				if isReadOnlyReplicaErr(err) || isWaitTimeoutErr(err) {
+					if isWaitTimeoutErr(err) {
+						r.setDown(addr)
+					}
+					continue // the shard primary fallback can answer
+				}
+				return nil, err
+			}
+			r.setDown(addr)
+			r.maybeReprobe()
+		}
+		if !adopted {
+			break
+		}
+	}
+	if lastErr == nil {
+		lastErr = errors.New("client: no nodes available for the target shard")
+	}
+	return nil, lastErr
+}
+
+// fanoutRead runs a shard-agnostic read on every shard concurrently
+// and merges the results: rows concatenate, Affected sums. The merge
+// is a union, not a re-aggregation — an aggregate query (COUNT, SUM)
+// returns one row *per shard*; aggregate across shards client-side,
+// or confine the query by key.
+func (r *Router) fanoutRead(sqlText string, params []Value) (*Result, error) {
+	m := r.shardMap()
+	type out struct {
+		res *Result
+		err error
+	}
+	results := make([]out, len(m.Shards))
+	var wg sync.WaitGroup
+	for i := range m.Shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := r.readSharded(func(m *ShardMap) (uint32, bool) {
+				return uint32(i), i < len(m.Shards)
+			}, sqlText, params)
+			results[i] = out{res, err}
+		}(i)
+	}
+	wg.Wait()
+	merged := &Result{}
+	anyLabels := false
+	for sid, o := range results {
+		if o.err != nil {
+			return nil, fmt.Errorf("client: fan-out read on shard %d: %w", sid, o.err)
+		}
+		if merged.Cols == nil {
+			merged.Cols = o.res.Cols
+		}
+		if o.res.RowLabels != nil {
+			anyLabels = true
+		}
+	}
+	for _, o := range results {
+		if anyLabels {
+			labels := o.res.RowLabels
+			if labels == nil {
+				labels = make([]Label, len(o.res.Rows))
+			}
+			merged.RowLabels = append(merged.RowLabels, labels...)
+		}
+		merged.Rows = append(merged.Rows, o.res.Rows...)
+		merged.Affected += o.res.Affected
+	}
+	return merged, nil
+}
+
+// ddlFanout applies a schema statement to every shard primary in
+// shard order: rows are what shards partition; the schema (and the
+// authority state it depends on) must exist everywhere.
+func (r *Router) ddlFanout(sqlText string, params []Value) (*Result, error) {
+	m := r.shardMap()
+	var last *Result
+	for sid := range m.Shards {
+		res, err := r.writeToShard(uint32(sid), sqlText, params)
+		if err != nil {
+			return nil, fmt.Errorf("client: DDL on shard %d: %w", sid, err)
+		}
+		last = res
+	}
+	return last, nil
+}
+
+// writeToShard is writeSharded for statements addressed to a shard id
+// directly (DDL fan-out).
+func (r *Router) writeToShard(sid uint32, sqlText string, params []Value) (*Result, error) {
+	return r.writeSharded(func(m *ShardMap) (uint32, error) {
+		if int(sid) >= len(m.Shards) {
+			return 0, fmt.Errorf("client: shard %d no longer exists (map version %d)", sid, m.Version)
+		}
+		return sid, nil
+	}, sqlText, params)
+}
+
+// shardPrimary derives shard sid's current primary from the last
+// probe: the non-replica member at the highest epoch (each shard is
+// its own epoch chain — after a failover the promoted member's bumped
+// epoch gives it away, exactly like unsharded discovery). Before any
+// probe has classified the members, the map's static assignment wins.
+func (r *Router) shardPrimary(m *ShardMap, sid uint32) string {
+	if m == nil || int(sid) >= len(m.Shards) {
+		return ""
+	}
+	sh := m.Shards[sid]
+	best, bestEpoch := "", uint64(0)
+	for _, addr := range append([]string{sh.Primary}, sh.Replicas...) {
+		r.mu.Lock()
+		n := r.nodes[addr]
+		r.mu.Unlock()
+		if n == nil {
+			continue
+		}
+		n.mu.Lock()
+		ok := !n.down && !n.replica
+		epoch := n.epoch
+		n.mu.Unlock()
+		if ok && (best == "" || epoch > bestEpoch) {
+			best, bestEpoch = addr, epoch
+		}
+	}
+	if best == "" {
+		return sh.Primary
+	}
+	return best
+}
+
+// shardReadCandidates orders shard sid's replica members round-robin,
+// skipping down nodes and (token in play) epoch-mismatched replicas.
+func (r *Router) shardReadCandidates(m *ShardMap, sid uint32, tok *rwTok) []string {
+	if m == nil || int(sid) >= len(m.Shards) {
+		return nil
+	}
+	primary := r.shardPrimary(m, sid)
+	sh := m.Shards[sid]
+	var out []string
+	for _, addr := range append([]string{sh.Primary}, sh.Replicas...) {
+		if addr == primary {
+			continue
+		}
+		r.mu.Lock()
+		n := r.nodes[addr]
+		r.mu.Unlock()
+		if n == nil {
+			continue
+		}
+		n.mu.Lock()
+		ok := !n.down && n.replica && (tok == nil || n.epoch == tok.epoch)
+		n.mu.Unlock()
+		if ok {
+			out = append(out, addr)
+		}
+	}
+	if len(out) > 1 {
+		rot := int(r.rr.Add(1)) % len(out)
+		out = append(out[rot:], out[:rot]...)
+	}
+	return out
+}
+
+// noteShardWrite advances shard sid's read-your-writes token (forward
+// within an epoch, re-based on the first write of a newer epoch).
+func (r *Router) noteShardWrite(sid uint32, res *Result) {
+	if res.LSN == 0 {
+		return // in-memory shard: no LSN space, nothing to wait on
+	}
+	r.stokMu.Lock()
+	defer r.stokMu.Unlock()
+	cur, ok := r.stoks[sid]
+	if ok && (cur.epoch > res.Epoch || (cur.epoch == res.Epoch && cur.lsn >= res.LSN)) {
+		return
+	}
+	r.stoks[sid] = rwTok{epoch: res.Epoch, lsn: res.LSN}
+}
+
 // isReadOnlyReplicaErr matches the server-reported rejection a demoted
 // (or never-primary) node gives writes; it signals the Router to chase
 // the real primary rather than surface the error.
 func isReadOnlyReplicaErr(err error) bool {
 	return err != nil && strings.Contains(err.Error(), "read-only replica")
+}
+
+// isFencedErr matches a write-fenced primary's rejection (it observed
+// a newer epoch): like a read-only-replica answer, it means a
+// promotion happened elsewhere and the Router should chase it.
+func isFencedErr(err error) bool {
+	return err != nil && strings.Contains(err.Error(), "engine: fenced")
 }
 
 // isWaitTimeoutErr matches a replica's read-your-writes wait timeout —

@@ -1,0 +1,111 @@
+package client
+
+import (
+	"testing"
+
+	"ifdb/internal/types"
+	"ifdb/internal/wire"
+)
+
+func extractionMap() *ShardMap {
+	return &wire.ShardMap{
+		Version: 1,
+		Keys:    map[string]string{"kv": "k", "users": "name"},
+		Shards:  []wire.Shard{{ID: 0, Primary: "a:1"}, {ID: 1, Primary: "b:1"}},
+	}
+}
+
+// TestShardTargetExtraction pins the statement shapes the Router can
+// (and deliberately cannot) confine to one shard.
+func TestShardTargetExtraction(t *testing.T) {
+	m := extractionMap()
+	params := []Value{types.NewInt(42), types.NewText("bob")}
+	cases := []struct {
+		sql       string
+		wantTable string
+		wantKey   string
+		wantOK    bool
+	}{
+		// INSERT: leading-key convention, explicit columns, params.
+		{`INSERT INTO kv VALUES (7, 1)`, "kv", "7", true},
+		{`INSERT INTO kv VALUES ($1, $2)`, "kv", "42", true},
+		{`INSERT INTO kv (k, v) VALUES (7, 1)`, "kv", "7", true},
+		{`INSERT INTO kv (v, k) VALUES (1, 7)`, "kv", "7", true},
+		{`insert into kv values (7, 1)`, "kv", "7", true},
+		{`INSERT INTO users (name, age) VALUES ('alice', 30)`, "users", "alice", true},
+		{`INSERT INTO users (name) VALUES ($2)`, "users", "bob", true},
+		{`INSERT INTO users (name) VALUES ('it''s')`, "users", "it's", true},
+		// Not derivable: key column absent, multi-row, INSERT..SELECT.
+		{`INSERT INTO kv (v) VALUES (1)`, "kv", "", false},
+		{`INSERT INTO kv VALUES (1, 2), (3, 4)`, "kv", "", false},
+		{`INSERT INTO kv SELECT * FROM old`, "kv", "", false},
+		// WHERE key equality for SELECT/UPDATE/DELETE.
+		{`SELECT v FROM kv WHERE k = 7`, "kv", "7", true},
+		{`SELECT v FROM kv WHERE k = $1`, "kv", "42", true},
+		{`SELECT v FROM kv WHERE k = 7 AND v > 2`, "kv", "7", true},
+		{`UPDATE kv SET v = v + 1 WHERE k = $1`, "kv", "42", true},
+		{`DELETE FROM kv WHERE k = 7`, "kv", "7", true},
+		{`SELECT * FROM users WHERE name = 'alice'`, "users", "alice", true},
+		// Not confined: no WHERE, OR, expression values, joins,
+		// column-name near-misses, unsharded tables.
+		{`SELECT v FROM kv`, "kv", "", false},
+		{`UPDATE kv SET v = 0`, "kv", "", false},
+		{`SELECT v FROM kv WHERE k = 7 OR k = 9`, "kv", "", false},
+		// A negation turns key equality into its complement: the
+		// statement reaches every shard and must not route by the key.
+		{`DELETE FROM kv WHERE NOT k = 7`, "kv", "", false},
+		{`SELECT v FROM kv WHERE NOT (k = 7)`, "kv", "", false},
+		{"SELECT v FROM kv WHERE v = 2\nOR k = 9", "kv", "", false},
+		{`SELECT v FROM kv WHERE v = 2 OR(k = 9)`, "kv", "", false},
+		{`SELECT v FROM kv WHERE k = 7 ORDER BY v`, "kv", "", false},
+		{`SELECT v FROM kv WHERE k = 7 + 1`, "kv", "", false},
+		// String literals must not fool the scan: a quoted 'k = 5' is
+		// data, not a predicate (routes by the real k = 7)...
+		{`DELETE FROM kv WHERE v = 'k = 5 AND x' AND k = 7`, "kv", "7", true},
+		// ...and a quoted ' OR ' is not a disjunction.
+		{`SELECT * FROM users WHERE name = 'a OR b'`, "users", "a OR b", true},
+		{`SELECT v FROM kv JOIN other ON kv.k = other.k WHERE k = 7`, "kv", "", false},
+		{`SELECT v FROM kv WHERE pk = 7`, "kv", "", false},
+		{`SELECT v FROM kv WHERE k2 = 7`, "kv", "", false},
+		{`SELECT x FROM unsharded WHERE id = 3`, "unsharded", "", false},
+	}
+	for _, c := range cases {
+		table, key, ok := shardTarget(m, c.sql, params)
+		if ok != c.wantOK || (ok && key != c.wantKey) || table != c.wantTable {
+			t.Errorf("%q: got table=%q key=%q ok=%v, want table=%q key=%q ok=%v",
+				c.sql, table, key, ok, c.wantTable, c.wantKey, c.wantOK)
+		}
+	}
+}
+
+// TestShardTargetCanonicalAgreement checks that the extracted literal
+// hashes exactly like the datum the server stores — the property the
+// whole routing scheme rests on.
+func TestShardTargetCanonicalAgreement(t *testing.T) {
+	m := extractionMap()
+	_, lit, ok := shardTarget(m, `INSERT INTO kv VALUES (1234, 0)`, nil)
+	if !ok {
+		t.Fatal("literal insert not derivable")
+	}
+	_, par, ok := shardTarget(m, `INSERT INTO kv VALUES ($1, 0)`, []Value{types.NewInt(1234)})
+	if !ok {
+		t.Fatal("param insert not derivable")
+	}
+	if lit != par || wire.ShardKeyHashString(lit) != wire.ShardKeyHash(types.NewInt(1234)) {
+		t.Fatalf("canonical forms disagree: literal %q, param %q", lit, par)
+	}
+}
+
+func TestIsDDL(t *testing.T) {
+	for sql, want := range map[string]bool{
+		`CREATE TABLE t (id BIGINT)`: true,
+		`DROP TABLE t`:               true,
+		`ALTER TABLE t ADD c BIGINT`: true,
+		`INSERT INTO t VALUES (1)`:   false,
+		`SELECT 1`:                   false,
+	} {
+		if got := isDDL(sql); got != want {
+			t.Errorf("isDDL(%q) = %v, want %v", sql, got, want)
+		}
+	}
+}

@@ -14,6 +14,7 @@
 //	\principal <name>      create a principal and switch to it
 //	\status                show the node's replication role, epoch, LSNs
 //	\promote               promote this replica to primary (failover)
+//	\shardmap              show the node's current shard map
 //	\q                     quit
 package main
 
@@ -137,6 +138,17 @@ func metaCommand(conn *client.Conn, line string) (quit bool) {
 		}
 		fmt.Println("promoted to primary")
 		printStatus(st)
+	case "\\shardmap":
+		m, err := conn.ShardMap()
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		if m == nil {
+			fmt.Println("unsharded")
+			return
+		}
+		fmt.Print(m.Format())
 	default:
 		fmt.Println("unknown meta-command", fields[0])
 	}

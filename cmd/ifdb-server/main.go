@@ -6,6 +6,7 @@
 //	            [-sync group|commit|off] [-checkpoint-interval 1m]
 //	            [-repl-listen :5434] [-replica-of primary:5434]
 //	            [-repl-retain 64MB] [-cluster a:5433,b:5433] [-auto-failover]
+//	            [-shard-id 0 -shard-map shards.conf]
 //
 // With -datadir the server is durable: it recovers from the
 // write-ahead log at startup, group-commits by default, checkpoints
@@ -31,12 +32,24 @@
 // with -auto-failover it promotes the most-caught-up replica after the
 // primary has been unreachable for -fail-after probes.
 //
+// Sharding: -shard-map names a shard map file (see the README's
+// sharded-cluster walkthrough for the format) and makes this server
+// shard-aware: it serves the map over SHARDMAP frames and refuses
+// statements routed under a stale map version. -shard-id additionally
+// pins the server to one shard: inserts whose shard key hashes to a
+// different shard are refused (defense against misrouted or
+// shard-unaware clients). When the in-process coordinator runs
+// (-cluster, or -shard-map alone with -auto-failover), a shard
+// failover rewrites the served map with a bumped version, and routers
+// follow it.
+//
 // An optional -init script (SQL, semicolon-separated) runs as the
 // administrator before serving, for schema bootstrap.
 package main
 
 import (
 	"flag"
+	"fmt"
 	"log"
 	"os"
 	"os/signal"
@@ -46,8 +59,11 @@ import (
 	"time"
 
 	"ifdb"
+	"ifdb/internal/catalog"
 	"ifdb/internal/cluster"
+	"ifdb/internal/engine"
 	"ifdb/internal/repl"
+	"ifdb/internal/types"
 	"ifdb/internal/wire"
 )
 
@@ -71,6 +87,9 @@ func main() {
 		autoFailover = flag.Bool("auto-failover", false, "with -cluster: automatically promote the most-caught-up replica when the primary dies")
 		probeIvl     = flag.Duration("probe-interval", time.Second, "with -cluster: health probe period")
 		failAfter    = flag.Int("fail-after", 3, "with -cluster: consecutive failed primary probes before automatic failover")
+
+		shardID      = flag.Int("shard-id", -1, "this server's shard id (with -shard-map): refuse rows owned by other shards")
+		shardMapFile = flag.String("shard-map", "", "shard map file: serve SHARDMAP frames and fence stale-map statements")
 	)
 	flag.Parse()
 	if *replToken == "" {
@@ -124,6 +143,58 @@ func main() {
 	srv.ErrorLog = log.Default()
 	srv.StatusErr = db.ReplicationErr
 
+	// Sharding: parse the map, serve it over SHARDMAP frames (the
+	// coordinator's live copy once one runs — its failovers bump the
+	// version), and pin this server to its shard. The coordinator is
+	// created below, before the server accepts its first connection, so
+	// the closure's read of coord is ordered after its assignment.
+	var coord *cluster.Coordinator
+	var staticMap *wire.ShardMap
+	if *shardMapFile != "" {
+		text, err := os.ReadFile(*shardMapFile)
+		if err != nil {
+			log.Fatalf("ifdb-server: read shard map: %v", err)
+		}
+		staticMap, err = wire.ParseShardMap(string(text))
+		if err != nil {
+			log.Fatalf("ifdb-server: shard map: %v", err)
+		}
+		if *shardID >= staticMap.NumShards() {
+			log.Fatalf("ifdb-server: -shard-id %d out of range (map has %d shards)", *shardID, staticMap.NumShards())
+		}
+		currentMap := func() *wire.ShardMap {
+			if coord != nil {
+				if m := coord.ShardMap(); m != nil {
+					return m
+				}
+			}
+			return staticMap
+		}
+		srv.ShardMap = currentMap
+		if *shardID >= 0 {
+			sid := uint32(*shardID)
+			db.Engine().SetShardGuard(func(t *catalog.Table, row []types.Value) error {
+				m := currentMap()
+				keyCol := m.KeyColumn(t.Name)
+				if keyCol == "" {
+					return nil // table not sharded by key
+				}
+				for i, col := range t.Columns {
+					if strings.EqualFold(col.Name, keyCol) {
+						if own := m.ShardOf(row[i].String()); own != sid {
+							return fmt.Errorf("%w: key %s of table %s hashes to shard %d, this server is shard %d",
+								engine.ErrShardOwnership, row[i], t.Name, own, sid)
+						}
+						return nil
+					}
+				}
+				return nil
+			})
+		}
+	} else if *shardID >= 0 {
+		log.Fatal("ifdb-server: -shard-id requires -shard-map")
+	}
+
 	// Primary side of replication: serve the WAL to followers. On a
 	// replica with -repl-listen the listener is armed but deferred to
 	// promotion: a replica must not serve a stream (no cascading
@@ -169,22 +240,30 @@ func main() {
 	}
 
 	// The in-process failover coordinator (health checks + optional
-	// automatic promotion of the most-caught-up replica).
+	// automatic promotion of the most-caught-up replica; per shard when
+	// a shard map is loaded). With -shard-map alone, -auto-failover is
+	// enough to run it — the map's members are the node set.
 	stopCoord := make(chan struct{})
-	if *clusterNodes != "" {
-		coord, err := cluster.New(cluster.Config{
-			Nodes:         strings.Split(*clusterNodes, ","),
+	if *clusterNodes != "" || (staticMap != nil && *autoFailover) {
+		var nodes []string
+		if *clusterNodes != "" {
+			nodes = strings.Split(*clusterNodes, ",")
+		}
+		c, err := cluster.New(cluster.Config{
+			Nodes:         nodes,
 			Token:         *token,
 			ProbeInterval: *probeIvl,
 			FailAfter:     *failAfter,
 			AutoPromote:   *autoFailover,
 			ErrorLog:      log.Default(),
+			ShardMap:      staticMap,
 		})
 		if err != nil {
 			log.Fatalf("ifdb-server: coordinator: %v", err)
 		}
+		coord = c
 		go coord.Run(stopCoord)
-		log.Printf("ifdb-server: coordinating %s (auto-failover=%v)", *clusterNodes, *autoFailover)
+		log.Printf("ifdb-server: coordinating %s (auto-failover=%v, sharded=%v)", *clusterNodes, *autoFailover, staticMap != nil)
 	}
 
 	// Clean shutdown: stop accepting, checkpoint, close the WAL.

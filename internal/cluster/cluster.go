@@ -13,7 +13,18 @@
 // never feed bytes to the promoted side or its replicas. The worst a
 // confused coordinator can do is promote a lagging replica, losing the
 // unshipped tail of an asynchronous stream; it cannot corrupt or fork
-// a node's history.
+// a node's history. (It is also a single observer: see ARCHITECTURE.md
+// § Failover & epochs, "Known limitations", before running two.)
+//
+// With Config.ShardMap the coordinator watches a *sharded* cluster:
+// each shard is an independent epoch-fenced replication group, health
+// is tracked per shard, and a failover promotes the most-caught-up
+// replica *within the dead primary's shard* — then bumps the shard
+// map's version with the new primary recorded, so routers following
+// the map (served through wire.Server's SHARDMAP frame) re-route that
+// shard while every other shard keeps its assignment. Version fencing
+// of statements mirrors epoch fencing one level up; see
+// ARCHITECTURE.md § Sharding.
 package cluster
 
 import (
@@ -23,6 +34,7 @@ import (
 	"time"
 
 	"ifdb/client"
+	"ifdb/internal/wire"
 )
 
 // Config configures a Coordinator.
@@ -48,6 +60,12 @@ type Config struct {
 
 	// ErrorLog, when set, receives probe and failover diagnostics.
 	ErrorLog *log.Logger
+
+	// ShardMap, when set, runs the coordinator in sharded mode: health
+	// and failover are per shard, and a promotion rewrites the map (new
+	// primary recorded, version bumped). Nodes may be left empty — the
+	// map's members are the node set.
+	ShardMap *wire.ShardMap
 }
 
 // NodeStatus is one node's health as seen by a probe sweep.
@@ -74,12 +92,32 @@ type Coordinator struct {
 	cfg Config
 
 	// failedSweeps counts consecutive sweeps with no reachable
-	// primary. Touched only by the Run goroutine.
+	// primary (unsharded mode); shardFails is its per-shard analog.
+	// Touched only by the Run goroutine.
 	failedSweeps int
+	shardFails   map[uint32]int
+
+	// smap is the live shard map: copy-on-write (a failover installs
+	// an edited clone under mu), so ShardMap callers — the wire
+	// server's SHARDMAP frames — can hold a returned pointer without
+	// observing a half-edit.
+	mu   sync.Mutex
+	smap *wire.ShardMap
 }
 
 // New creates a coordinator.
 func New(cfg Config) (*Coordinator, error) {
+	if cfg.ShardMap != nil {
+		if err := cfg.ShardMap.Validate(); err != nil {
+			return nil, err
+		}
+		if len(cfg.Nodes) == 0 {
+			for _, sh := range cfg.ShardMap.Shards {
+				cfg.Nodes = append(cfg.Nodes, sh.Primary)
+				cfg.Nodes = append(cfg.Nodes, sh.Replicas...)
+			}
+		}
+	}
 	if len(cfg.Nodes) == 0 {
 		return nil, fmt.Errorf("cluster: coordinator needs at least one node")
 	}
@@ -92,7 +130,21 @@ func New(cfg Config) (*Coordinator, error) {
 	if cfg.DialTimeout <= 0 {
 		cfg.DialTimeout = 2 * time.Second
 	}
-	return &Coordinator{cfg: cfg}, nil
+	c := &Coordinator{cfg: cfg, shardFails: make(map[uint32]int)}
+	if cfg.ShardMap != nil {
+		c.smap = cfg.ShardMap.Clone()
+	}
+	return c, nil
+}
+
+// ShardMap returns the coordinator's current shard map (nil when
+// unsharded). The returned map is immutable — failovers install a
+// fresh clone — so it is safe to encode concurrently; wire.Server's
+// ShardMap hook serves it to routers and peers.
+func (c *Coordinator) ShardMap() *wire.ShardMap {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.smap
 }
 
 func (c *Coordinator) logf(format string, args ...interface{}) {
@@ -107,9 +159,15 @@ func (c *Coordinator) logf(format string, args ...interface{}) {
 // so an unreachable (black-holed) node must cost one DialTimeout for
 // the whole sweep, not one per node.
 func (c *Coordinator) Probe() []NodeStatus {
-	out := make([]NodeStatus, len(c.cfg.Nodes))
+	return c.probeAddrs(c.cfg.Nodes)
+}
+
+// probeAddrs is Probe over an explicit address set (a shard's members
+// in sharded mode).
+func (c *Coordinator) probeAddrs(addrs []string) []NodeStatus {
+	out := make([]NodeStatus, len(addrs))
 	var wg sync.WaitGroup
-	for i, addr := range c.cfg.Nodes {
+	for i, addr := range addrs {
 		wg.Add(1)
 		go func(i int, addr string) {
 			defer wg.Done()
@@ -205,12 +263,21 @@ func pickBest(sweep []NodeStatus) *NodeStatus {
 // by address, for determinism) and returns its address. It refuses to
 // act while a primary is still reachable, unless force is set — the
 // manual override for planned switchovers where the operator stops the
-// old primary themselves.
+// old primary themselves. In sharded mode use PromoteBestShard: "the
+// cluster" has no single primary to reason about.
 func (c *Coordinator) PromoteBest(force bool) (string, error) {
+	if c.ShardMap() != nil {
+		return "", fmt.Errorf("cluster: sharded coordinator: promote per shard with PromoteBestShard")
+	}
 	sweep := c.Probe()
 	if !force && hasPrimary(sweep) {
 		return "", fmt.Errorf("cluster: a primary is still reachable; not promoting (use force for a planned switchover)")
 	}
+	return c.promoteFrom(sweep)
+}
+
+// promoteFrom promotes the best candidate of one sweep.
+func (c *Coordinator) promoteFrom(sweep []NodeStatus) (string, error) {
 	best := pickBest(sweep)
 	if best == nil {
 		return "", fmt.Errorf("cluster: no healthy replica to promote")
@@ -230,9 +297,58 @@ func (c *Coordinator) PromoteBest(force bool) (string, error) {
 	return best.Addr, nil
 }
 
+// shardMembers lists one shard's member addresses, static primary
+// first.
+func shardMembers(sh *wire.Shard) []string {
+	return append([]string{sh.Primary}, sh.Replicas...)
+}
+
+// PromoteBestShard promotes the most-caught-up healthy replica of one
+// shard and rewrites the shard map: the promoted node becomes the
+// shard's primary, the old primary is kept as a (future) replica —
+// it rejoins by re-bootstrapping under the new epoch — and the map
+// version is bumped so routers re-route on their next statement.
+func (c *Coordinator) PromoteBestShard(sid uint32, force bool) (string, error) {
+	m := c.ShardMap()
+	if m == nil || int(sid) >= len(m.Shards) {
+		return "", fmt.Errorf("cluster: no shard %d", sid)
+	}
+	sweep := c.probeAddrs(shardMembers(&m.Shards[sid]))
+	if !force && hasPrimary(sweep) {
+		return "", fmt.Errorf("cluster: shard %d still has a reachable primary; not promoting", sid)
+	}
+	addr, err := c.promoteFrom(sweep)
+	if err != nil {
+		return "", err
+	}
+	c.recordShardPrimary(sid, addr)
+	return addr, nil
+}
+
+// recordShardPrimary installs a fresh map clone with addr as shard
+// sid's primary and the version bumped.
+func (c *Coordinator) recordShardPrimary(sid uint32, addr string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m := c.smap.Clone()
+	sh := &m.Shards[sid]
+	members := shardMembers(sh)
+	sh.Primary = addr
+	sh.Replicas = sh.Replicas[:0]
+	for _, a := range members {
+		if a != addr {
+			sh.Replicas = append(sh.Replicas, a)
+		}
+	}
+	m.Version++
+	c.smap = m
+	c.logf("cluster: shard map v%d: shard %d primary is now %s", m.Version, sid, addr)
+}
+
 // Run probes on the configured interval until stop closes, counting
-// consecutive primary-less sweeps and (with AutoPromote) promoting the
-// most-caught-up replica once FailAfter is reached.
+// consecutive primary-less sweeps — per shard in sharded mode — and
+// (with AutoPromote) promoting the most-caught-up replica of the
+// affected group once FailAfter is reached.
 func (c *Coordinator) Run(stop <-chan struct{}) {
 	t := time.NewTicker(c.cfg.ProbeInterval)
 	defer t.Stop()
@@ -241,6 +357,10 @@ func (c *Coordinator) Run(stop <-chan struct{}) {
 		case <-stop:
 			return
 		case <-t.C:
+		}
+		if m := c.ShardMap(); m != nil {
+			c.sweepShards(m)
+			continue
 		}
 		sweep := c.Probe()
 		if hasPrimary(sweep) {
@@ -259,5 +379,32 @@ func (c *Coordinator) Run(stop <-chan struct{}) {
 		}
 		c.logf("cluster: automatic failover: %s is the new primary", addr)
 		c.failedSweeps = 0
+	}
+}
+
+// sweepShards runs one health pass over every shard, promoting within
+// any shard whose primary has been gone FailAfter sweeps. Shards fail
+// independently: one shard mid-failover never blocks another's health
+// accounting.
+func (c *Coordinator) sweepShards(m *wire.ShardMap) {
+	for i := range m.Shards {
+		sid := m.Shards[i].ID
+		sweep := c.probeAddrs(shardMembers(&m.Shards[i]))
+		if hasPrimary(sweep) {
+			c.shardFails[sid] = 0
+			continue
+		}
+		c.shardFails[sid]++
+		c.logf("cluster: shard %d: no reachable primary (%d/%d sweeps)", sid, c.shardFails[sid], c.cfg.FailAfter)
+		if !c.cfg.AutoPromote || c.shardFails[sid] < c.cfg.FailAfter {
+			continue
+		}
+		addr, err := c.PromoteBestShard(sid, false)
+		if err != nil {
+			c.logf("cluster: shard %d automatic failover failed: %v", sid, err)
+			continue
+		}
+		c.logf("cluster: shard %d automatic failover: %s is the new primary", sid, addr)
+		c.shardFails[sid] = 0
 	}
 }

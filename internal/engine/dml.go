@@ -219,6 +219,10 @@ func (s *Session) insertRow(t *catalog.Table, row []types.Value, declTags label.
 		row[i] = v
 	}
 
+	if err := s.checkShardOwnership(t, row); err != nil {
+		return err
+	}
+
 	if err := s.fireTriggers(t, "BEFORE", "INSERT", nil, row, nil, qc); err != nil {
 		return err
 	}
@@ -596,6 +600,13 @@ func (s *Session) executeUpdate(up *sql.UpdateStmt, qc *qctx) (int, error) {
 				return n, fmt.Errorf("engine: column %q: %w", sc.Column, err)
 			}
 			newRow[setIdx[i]] = cv
+		}
+
+		// An UPDATE that rewrites the shard-key column would scatter the
+		// key onto a shard that doesn't own it; the ownership guard vets
+		// the new version exactly like an inserted row.
+		if err := s.checkShardOwnership(t, newRow); err != nil {
+			return n, err
 		}
 
 		if err := s.fireTriggers(t, "BEFORE", "UPDATE", tg.tv.Row, newRow, tg.tv.Label, qc); err != nil {

@@ -189,6 +189,12 @@ type Engine struct {
 	replApplied atomic.Uint64
 	replPending map[storage.XID]*replTxn
 
+	// Sharding and write fencing (see shard.go): shardGuard vets insert
+	// rows against shard ownership; fencedAt, when non-zero, is the
+	// newer epoch whose observation fenced this node's writes.
+	shardGuard atomic.Pointer[shardGuardHolder]
+	fencedAt   atomic.Uint64
+
 	ckptMu   sync.Mutex // serializes whole checkpoints
 	ckptStop chan struct{}
 	ckptDone chan struct{}

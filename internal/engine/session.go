@@ -165,11 +165,19 @@ func (s *Session) requireEmptyLabel() error {
 	return nil
 }
 
-// requireWritable gates every session-level mutation on a replica:
-// state changes arrive only through the replication stream.
+// requireWritable gates every session-level mutation on a replica
+// (state changes arrive only through the replication stream) and on a
+// fenced primary (a newer epoch was observed: a failover moved past
+// this node, and accepting writes would grow a doomed history).
 func (s *Session) requireWritable() error {
-	if s.eng.IsReplica() && !s.replApply {
+	if s.replApply {
+		return nil
+	}
+	if s.eng.IsReplica() {
 		return ErrReadOnlyReplica
+	}
+	if s.eng.fencedAt.Load() != 0 {
+		return s.eng.fenceErr()
 	}
 	return nil
 }

@@ -1,0 +1,99 @@
+// Sharding hooks: per-row write-ownership enforcement, and the
+// write-side epoch fence.
+//
+// In a sharded deployment every shard is an ordinary epoch-fenced
+// replication group; the engine itself stays shard-oblivious except
+// for two guards installed from outside:
+//
+//   - a ShardGuard, called for every row an INSERT is about to write,
+//     which refuses rows whose shard key hashes to a different shard
+//     (defense against misrouted or shard-unaware clients — the
+//     Router normally routes correctly, but a stale map or a direct
+//     ifdb-cli connection must not scatter a key across shards);
+//   - a write fence (FenceWrites), flipped when this node learns —
+//     via an incoming replica hello carrying a newer epoch — that a
+//     failover has moved past it. A fenced primary refuses direct
+//     client writes instead of accepting them into a doomed history.
+//
+// See ARCHITECTURE.md § Sharding and § Failover & epochs.
+
+package engine
+
+import (
+	"errors"
+	"fmt"
+
+	"ifdb/internal/catalog"
+	"ifdb/internal/types"
+)
+
+// ErrShardOwnership rejects a row whose shard key belongs to a
+// different shard.
+var ErrShardOwnership = errors.New("engine: shard ownership violation: key belongs to another shard")
+
+// ErrFenced rejects writes on a primary that has observed a newer
+// epoch: a failover happened elsewhere, and anything committed here
+// would be discarded when this node rejoins as a replica.
+var ErrFenced = errors.New("engine: fenced: a newer epoch exists; this node was failed over and must rejoin as a replica")
+
+// ShardGuard vets one fully-mapped row an INSERT is about to write.
+// It runs after column mapping and type coercion (so the shard-key
+// value is in its canonical column type) and never on the replication
+// apply path (the row was vetted on its shard's primary).
+type ShardGuard func(t *catalog.Table, row []types.Value) error
+
+// shardGuardHolder wraps the installed guard for atomic.Pointer
+// storage (installed once at server startup, read on every insert
+// from many sessions).
+type shardGuardHolder struct{ fn ShardGuard }
+
+// SetShardGuard installs fn as the engine's shard-ownership check;
+// nil removes it.
+func (e *Engine) SetShardGuard(fn ShardGuard) {
+	if fn == nil {
+		e.shardGuard.Store(nil)
+		return
+	}
+	e.shardGuard.Store(&shardGuardHolder{fn: fn})
+}
+
+// checkShardOwnership applies the installed guard to one insert row.
+func (s *Session) checkShardOwnership(t *catalog.Table, row []types.Value) error {
+	if s.replApply {
+		return nil
+	}
+	h := s.eng.shardGuard.Load()
+	if h == nil || h.fn == nil {
+		return nil
+	}
+	return h.fn(t, row)
+}
+
+// FenceWrites marks the engine write-fenced: a peer at newerEpoch was
+// observed, proving a failover moved past this node. From here on
+// every session-level mutation fails with ErrFenced until the process
+// is restarted (rejoining as a replica is the only way back). The
+// replication layer already refuses to *ship* from a fenced primary;
+// this closes the remaining gap where direct client writes kept
+// landing in the doomed history (see ROADMAP "write-side epoch
+// check").
+func (e *Engine) FenceWrites(newerEpoch uint64) {
+	for {
+		cur := e.fencedAt.Load()
+		if newerEpoch <= cur {
+			return // keep the highest epoch observed; 0 never fences
+		}
+		if e.fencedAt.CompareAndSwap(cur, newerEpoch) {
+			return
+		}
+	}
+}
+
+// Fenced reports the newer epoch that fenced this node's writes (0 =
+// not fenced).
+func (e *Engine) Fenced() uint64 { return e.fencedAt.Load() }
+
+// fenceErr builds the session-facing rejection.
+func (e *Engine) fenceErr() error {
+	return fmt.Errorf("%w (observed epoch %d, local epoch %d)", ErrFenced, e.fencedAt.Load(), e.Epoch())
+}

@@ -13,10 +13,22 @@
 // Follower side (follower.go): opens its own DataDir, recovers, and
 // applies the stream continuously through the engine's replica mode.
 //
-// Only durable log bytes are shipped (wal.ShipLimit): a follower must
-// never apply a commit the primary could still lose to a crash —
-// otherwise a failed-over replica could show state the primary never
-// acknowledged.
+// The package's two safety invariants:
+//
+//   - ship-only-durable (wal.ShipLimit): only fsynced log bytes ship,
+//     so a follower can never apply a commit the primary could still
+//     lose to a crash — a failed-over replica never shows state the
+//     primary did not acknowledge;
+//   - epoch fencing: every hello and every shipped batch carries the
+//     promotion epoch, and LSNs are only comparable within one epoch
+//     chain. A follower from a newer epoch proves this primary is the
+//     stale side of a failover — its hello is refused AND the engine's
+//     write side is fenced (direct client writes stop); a follower
+//     from an older epoch may carry history the failover cut
+//     discarded, so it is forced through a basebackup.
+//
+// See ARCHITECTURE.md § Replication (stream protocol, LSN handoff,
+// retention) and § Failover & epochs (the fencing rules in full).
 package repl
 
 import (
@@ -182,7 +194,13 @@ func (p *Primary) handle(conn net.Conn) {
 		// The follower streamed under a newer epoch: somewhere a
 		// replica was promoted and this primary never heard — it is the
 		// stale side of a failover. Refusing is the fence: accepting
-		// would let a split brain feed an up-to-date replica.
+		// would let a split brain feed an up-to-date replica. And since
+		// the hello just *proved* a newer epoch exists, fence the write
+		// side too: direct client writes stop landing in this doomed
+		// history (they were previously accepted until the operator
+		// stopped the node — the ROADMAP's write-side epoch check).
+		p.eng.FenceWrites(hello.Epoch)
+		p.logf("repl: fenced by follower hello at epoch %d (local epoch %d); client writes now refused", hello.Epoch, epoch)
 		bail(w, fmt.Sprintf("repl: fenced: follower at epoch %d, this primary at stale epoch %d", hello.Epoch, epoch))
 		return
 	case hello.Epoch < epoch:

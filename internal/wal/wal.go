@@ -19,6 +19,21 @@
 // durable. Group commit (SyncGroup) exploits exactly that prefix
 // property: one leader fsyncs on behalf of every committer that
 // appended while the previous fsync was in flight.
+//
+// The log is also the replication substrate (internal/repl ships its
+// raw frames) and carries two cluster-wide invariants in its header:
+//
+//   - ship-only-durable: subscribers only ever read bytes at or below
+//     the durable position, so a follower can never apply a commit the
+//     primary could still lose to a crash;
+//   - the epoch: the promotion generation of this node's history,
+//     bumped durably (BumpEpoch) before a promoted replica accepts its
+//     first write. LSNs are byte offsets in one specific history, so
+//     they are only comparable within one epoch chain — everything in
+//     replication fencing follows from that.
+//
+// See ARCHITECTURE.md § Durability for the record format and
+// § Failover & epochs for the epoch rules.
 package wal
 
 import (
@@ -655,6 +670,13 @@ func (w *Writer) WaitDurable(lsn LSN) error {
 		w.mu.Unlock()
 		w.gmu.Lock()
 		defer w.gmu.Unlock()
+		if w.durable >= lsn {
+			// A committer that queued ahead of us already fsynced past
+			// our record (its covered position was read after our append
+			// landed): the commit is on stable storage, and repeating
+			// the fsync would only serialize the queue further.
+			return nil
+		}
 		w.Syncs++
 		if err := w.f.Sync(); err != nil {
 			return err

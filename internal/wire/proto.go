@@ -3,6 +3,26 @@
 // acting principal piggybacked lazily on queries and results — the
 // paper's design for keeping the platform's and the DBMS's view of the
 // process label synchronized without extra round trips (§7.1–7.2).
+//
+// Beyond statements, the protocol carries the cluster-management
+// surface:
+//
+//   - STATUS/PROMOTE frames (cluster.go): role, epoch, and LSN probes
+//     — what the coordinator's health checks and the Router's primary
+//     discovery are built on — and replica promotion;
+//   - replication frames (repl.go): the WAL-shipping stream between a
+//     primary and its followers, epoch-stamped on every batch;
+//   - SHARDMAP frames (shard.go): the version-stamped shard map, plus
+//     version fencing — a statement routed under a stale map version
+//     is refused with the current map attached to the Result;
+//   - read-your-writes plumbing: Query.WaitLSN delays a replica read
+//     until the replica has applied the client's last acknowledged
+//     write; Result carries the (epoch, LSN) commit token that feeds
+//     it.
+//
+// See ARCHITECTURE.md § Replication (stream protocol), § Failover &
+// epochs (STATUS/PROMOTE and tokens), and § Sharding (map format and
+// version fencing).
 package wire
 
 import (
@@ -166,6 +186,14 @@ type Query struct {
 	// acknowledged. Ignored on a primary (its own log trivially covers
 	// its own commits).
 	WaitLSN uint64
+
+	// ShardVer, when non-zero, is the shard-map version the client
+	// routed this statement under. A sharded server holding a newer map
+	// refuses the statement and attaches its current map to the Result
+	// (version fencing, see shard.go). Zero marks a shard-unaware
+	// client: the statement is accepted and only the per-row shard-
+	// ownership guard protects misdirected writes.
+	ShardVer uint64
 }
 
 // Encode marshals q.
@@ -184,7 +212,8 @@ func (q *Query) Encode() ([]byte, error) {
 	} else {
 		buf = append(buf, 0)
 	}
-	return appendU64(buf, q.WaitLSN), nil
+	buf = appendU64(buf, q.WaitLSN)
+	return appendU64(buf, q.ShardVer), nil
 }
 
 // DecodeQuery unmarshals a Query payload.
@@ -222,7 +251,11 @@ func DecodeQuery(buf []byte) (*Query, error) {
 	} else {
 		buf = buf[1:]
 	}
-	q.WaitLSN, _, err = readU64(buf)
+	q.WaitLSN, buf, err = readU64(buf)
+	if err != nil {
+		return nil, err
+	}
+	q.ShardVer, _, err = readU64(buf)
 	if err != nil {
 		return nil, err
 	}
@@ -254,6 +287,12 @@ type Result struct {
 	// one epoch.
 	Epoch uint64
 	LSN   uint64
+
+	// ShardMap rides along when the server refused the statement for a
+	// stale shard-map version (Err starts with StaleShardMapErr): the
+	// client adopts it and re-routes without an extra round trip. Nil
+	// otherwise.
+	ShardMap *ShardMap
 }
 
 // Encode marshals r.
@@ -284,6 +323,12 @@ func (r *Result) Encode() ([]byte, error) {
 	buf = appendLabel(buf, r.ILabel)
 	buf = appendU64(buf, r.Epoch)
 	buf = appendU64(buf, r.LSN)
+	if r.ShardMap != nil {
+		buf = append(buf, 1)
+		buf = append(buf, r.ShardMap.Encode()...)
+	} else {
+		buf = append(buf, 0)
+	}
 	return buf, nil
 }
 
@@ -353,9 +398,18 @@ func DecodeResult(buf []byte) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	r.LSN, _, err = readU64(buf)
+	r.LSN, buf, err = readU64(buf)
 	if err != nil {
 		return nil, err
+	}
+	if len(buf) < 1 {
+		return nil, fmt.Errorf("wire: truncated result")
+	}
+	if buf[0] == 1 {
+		r.ShardMap, err = DecodeShardMap(buf[1:])
+		if err != nil {
+			return nil, err
+		}
 	}
 	return &r, nil
 }

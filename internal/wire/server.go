@@ -43,6 +43,15 @@ type Server struct {
 	// engine).
 	StatusErr func() error
 
+	// ShardMap, when set, supplies this node's current view of the
+	// cluster shard map (typically the coordinator's live copy, or the
+	// static -shard-map file). It answers MsgShardMap probes, and every
+	// Query carrying a non-zero, non-matching ShardVer is refused with
+	// the current map attached — version fencing, so a router holding
+	// an outdated map re-routes instead of writing to the wrong shard.
+	// Nil means unsharded.
+	ShardMap func() *ShardMap
+
 	// WaitTimeout bounds a replica's read-your-writes wait (Query
 	// frames carrying WaitLSN). Zero means 10s.
 	WaitTimeout time.Duration
@@ -204,6 +213,19 @@ func (s *Server) handle(conn net.Conn) {
 			if err := w.Flush(); err != nil {
 				return
 			}
+		case MsgShardMap:
+			var payload []byte
+			if s.ShardMap != nil {
+				if m := s.ShardMap(); m != nil {
+					payload = m.Encode()
+				}
+			}
+			if err := WriteFrame(w, MsgShardMapRes, payload); err != nil {
+				return
+			}
+			if err := w.Flush(); err != nil {
+				return
+			}
 		case MsgPromote:
 			var perr error
 			if s.Promote != nil {
@@ -276,6 +298,26 @@ func (s *Server) waitApplied(lsn uint64) error {
 
 func (s *Server) runQuery(sess *engine.Session, q *Query) *Result {
 	out := &Result{}
+	// Shard-map version fencing: a statement routed under an outdated
+	// map may be aimed at the wrong shard entirely (a failover moved a
+	// primary, a reconfiguration moved keys), so it is refused with the
+	// current map attached rather than half-trusted. A client *ahead*
+	// of this node's map is accepted: version bumps propagate through
+	// the coordinator's process first, so after a failover the other
+	// shards' servers briefly lag the routers — their placement didn't
+	// change, and the engine's per-row ownership guard (which hashes
+	// with this node's own map) still refuses genuinely misplaced rows.
+	// ShardVer 0 marks a shard-unaware client (ifdb-cli, tests); those
+	// are accepted under the same guard-only protection.
+	if s.ShardMap != nil && q.ShardVer != 0 {
+		if m := s.ShardMap(); m != nil && q.ShardVer < m.Version {
+			out.Err = fmt.Sprintf("%s: statement routed under version %d, server at version %d", StaleShardMapErr, q.ShardVer, m.Version)
+			out.ShardMap = m
+			out.Label = sess.Label()
+			out.ILabel = sess.Integrity()
+			return out
+		}
+	}
 	if q.WaitLSN > 0 {
 		if err := s.waitApplied(q.WaitLSN); err != nil {
 			out.Err = err.Error()
