@@ -104,6 +104,31 @@ type Conn struct {
 	plabel    Label
 	pilabel   Label
 	dirty     bool // label/principal changed since last sync
+
+	// Cancellation identity from the HelloOK handshake: the session id
+	// and the key that authorizes an out-of-band CANCEL for it (zero =
+	// v1 server, no cancellation).
+	sessID    uint64
+	cancelKey uint64
+
+	// gen counts successful handshakes. Server-side prepared handles
+	// die with their connection, so a Stmt records the gen it was
+	// prepared under and re-prepares itself when the conn redialed.
+	gen int
+
+	// stream is the open streaming result, if any: the connection is
+	// pinned to it until the stream is drained or closed.
+	stream *connRows
+
+	// broken marks a connection whose stream died mid-frame: the
+	// socket position is undefined, so every later operation fails
+	// (retryably — AutoReconnect redials) instead of desynchronizing.
+	broken bool
+
+	// stmts caches prepared statements by text for the Router, which
+	// multiplexes statements over pooled conns and wants each conn to
+	// prepare a routed statement at most once (see preparedFor).
+	stmts map[string]*Stmt
 }
 
 // serverError marks an error the server reported (SQL errors, refused
@@ -117,6 +142,27 @@ type serverError struct {
 }
 
 func (e *serverError) Error() string { return e.msg }
+
+// clientError marks a local usage error (e.g. a statement issued
+// while a streaming result is still open): the connection did not
+// fail and redialing cannot help, so AutoReconnect must not retry.
+type clientError struct{ msg string }
+
+func (e *clientError) Error() string { return e.msg }
+
+// errBroken is returned for every operation on a connection whose
+// stream died mid-frame. It is retryable: a redial resets the
+// connection to a clean frame boundary.
+var errBroken = errors.New("client: connection broken by an aborted result stream")
+
+// IsTransportError reports whether err was a connection-level failure
+// (broken socket, unexpected frame) rather than a server-reported
+// statement error or a local usage error. After a transport error the
+// connection's state is unknown: the statement may or may not have
+// executed, and the conn should be discarded (or left to
+// AutoReconnect). The database/sql driver uses this to retire pooled
+// connections.
+func IsTransportError(err error) bool { return retryable(err) }
 
 // StaleShardMap extracts the fresh shard map a server attached to a
 // stale-map refusal, or nil if err was anything else. The Router
@@ -183,7 +229,16 @@ func (c *Conn) handshake() error {
 	}
 	switch typ {
 	case wire.MsgHelloOK:
+		ok, derr := wire.DecodeHelloOK(payload)
+		if derr != nil {
+			nc.Close()
+			return derr
+		}
 		c.c, c.r, c.w = nc, r, w
+		c.sessID, c.cancelKey = ok.SessionID, ok.CancelKey
+		c.gen++
+		c.broken = false
+		c.stream = nil
 		return nil
 	case wire.MsgCtrlRes:
 		res, derr := wire.DecodeCtrlRes(payload)
@@ -226,10 +281,12 @@ func (c *Conn) redial() error {
 }
 
 // retryable reports whether err warrants a redial-and-retry: any
-// transport-level failure qualifies; server-reported errors never do.
+// transport-level failure qualifies; server-reported errors and local
+// usage errors never do.
 func retryable(err error) bool {
 	var se *serverError
-	return err != nil && !errors.As(err, &se)
+	var ce *clientError
+	return err != nil && !errors.As(err, &se) && !errors.As(err, &ce)
 }
 
 // Close says goodbye and closes the socket.
@@ -320,45 +377,71 @@ func (c *Conn) ExecShard(waitLSN, shardVer uint64, sql string, params ...Value) 
 	return c.execOnce(waitLSN, shardVer, sql, params)
 }
 
+// execOnce runs one statement over the v2 EXECUTE/ROWS path and
+// buffers the stream into a Result — the text API is a shim over the
+// streaming protocol.
 func (c *Conn) execOnce(waitLSN, shardVer uint64, sql string, params []Value) (*Result, error) {
-	q := &wire.Query{SQL: sql, Params: params, WaitLSN: waitLSN, ShardVer: shardVer}
-	if c.dirty {
-		q.SyncLabel = true
-		q.Label = c.plabel
-		q.ILabel = c.pilabel
-		q.Principal = c.principal
-	}
-	payload, err := q.Encode()
+	rows, err := c.startExec(0, sql, waitLSN, shardVer, params, 0, nil, nil)
 	if err != nil {
 		return nil, err
 	}
-	if err := wire.WriteFrame(c.w, wire.MsgQuery, payload); err != nil {
-		return nil, err
+	return rows.drain()
+}
+
+// startExec sends one EXECUTE frame — a prepared handle (stmtID != 0)
+// or inline one-shot SQL — and reads the stream's first frame, so a
+// statement failure (including a stale-shard-map refusal) surfaces
+// here rather than mid-iteration. stopWatch and onClose, when set,
+// are owned by the returned stream and are guaranteed to run exactly
+// once whenever it ends, including on every failure path of this
+// call.
+func (c *Conn) startExec(stmtID uint64, sqlText string, waitLSN, shardVer uint64, params []Value, chunkRows uint32, stopWatch func(), onClose func(error)) (*connRows, error) {
+	finish := func(err error) error {
+		if stopWatch != nil {
+			stopWatch()
+		}
+		if onClose != nil {
+			onClose(err)
+		}
+		return err
+	}
+	if c.broken {
+		return nil, finish(errBroken)
+	}
+	if c.stream != nil {
+		return nil, finish(&clientError{msg: "client: a streaming result is still open on this connection"})
+	}
+	e := &wire.Execute{
+		StmtID: stmtID, SQL: sqlText, Params: params,
+		WaitLSN: waitLSN, ShardVer: shardVer, ChunkRows: chunkRows,
+	}
+	if c.dirty {
+		e.SyncLabel = true
+		e.Label = c.plabel
+		e.ILabel = c.pilabel
+		e.Principal = c.principal
+	}
+	payload, err := e.Encode()
+	if err != nil {
+		return nil, finish(err)
+	}
+	if err := wire.WriteFrame(c.w, wire.MsgExecute, payload); err != nil {
+		return nil, finish(err)
 	}
 	if err := c.w.Flush(); err != nil {
-		return nil, err
+		return nil, finish(err)
 	}
-	typ, resp, err := wire.ReadFrame(c.r)
-	if err != nil {
-		return nil, err
+	rows := &connRows{c: c, i: -1, stopWatch: stopWatch, onClose: onClose}
+	c.stream = rows
+	if !rows.fetch() {
+		// First frame failed: a transport error (stream released, conn
+		// marked broken) or a single-chunk statement error.
+		return nil, rows.err
 	}
-	if typ != wire.MsgResult {
-		return nil, fmt.Errorf("client: unexpected frame %c", typ)
+	if rows.err != nil {
+		return nil, rows.err
 	}
-	res, err := wire.DecodeResult(resp)
-	if err != nil {
-		return nil, err
-	}
-	c.dirty = false
-	c.plabel = res.Label
-	c.pilabel = res.ILabel
-	if res.Err != "" {
-		return nil, &serverError{msg: res.Err, shardMap: res.ShardMap}
-	}
-	return &Result{
-		Cols: res.Cols, Rows: res.Rows, RowLabels: res.RowLabels,
-		Affected: res.Affected, Epoch: res.Epoch, LSN: res.LSN,
-	}, nil
+	return rows, nil
 }
 
 // control round-trips a control message. Pending label/principal
@@ -398,6 +481,12 @@ func (c *Conn) controlOnce(ctl *wire.Control) (*wire.CtrlRes, error) {
 
 // roundTrip sends one frame and reads one expected response frame.
 func (c *Conn) roundTrip(typ byte, payload []byte, wantTyp byte) ([]byte, error) {
+	if c.broken {
+		return nil, errBroken
+	}
+	if c.stream != nil {
+		return nil, &clientError{msg: "client: a streaming result is still open on this connection"}
+	}
 	if err := wire.WriteFrame(c.w, typ, payload); err != nil {
 		return nil, err
 	}

@@ -15,6 +15,19 @@
 //     replicas, promotions are followed automatically, and
 //     read-your-writes is preserved through commit-LSN tokens.
 //
+// Both speak API v2 (see ARCHITECTURE.md § Client API v2): Prepare
+// pins a statement's parsed AST server-side and executions ship only
+// a handle and parameters; Query/QueryContext stream results in
+// chunks through the Rows iterator (a Router fan-out read merges
+// per-shard streams lazily); ExecContext/QueryContext propagate
+// context deadlines and cancellation as an out-of-band wire CANCEL
+// that aborts the statement — and its transaction — server-side. A
+// Router-prepared statement's shard-key derivation is computed once
+// at prepare time by the SQL parser and applied to each execution's
+// parameters. The classic text Exec is a shim over the same frames.
+// For stdlib integration, the ifdb/driver package wraps all of this
+// as a database/sql driver.
+//
 // Invariants worth knowing before building on this package:
 //
 //   - Read-your-writes tokens are (epoch, LSN) pairs from the last

@@ -30,6 +30,7 @@
 package client
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -37,6 +38,17 @@ import (
 	"sync/atomic"
 	"time"
 )
+
+// routedStmt is one statement as the routing paths see it: its text,
+// its (cached) analysis, and whether to execute it through prepared
+// handles — the Router prepares a statement at most once per pooled
+// connection, so repeated executions ship only a handle and
+// parameters.
+type routedStmt struct {
+	sqlText  string
+	plan     *stmtPlan
+	prepared bool
+}
 
 // RouterConfig configures a Router.
 type RouterConfig struct {
@@ -418,52 +430,38 @@ func (r *Router) checkin(addr string, c *Conn) {
 	c.Close()
 }
 
-// isReadOnly classifies a statement for routing: plain SELECTs load-
-// balance to replicas; everything else — DML, DDL, transaction
-// control, and SELECT-invocable functions with side effects (label
-// changes, sequence allocation, stored procedures) — goes to the
-// primary, which is also where a replica's ErrReadOnlyReplica would
-// send them anyway.
-func isReadOnly(sql string) bool {
-	s := strings.TrimSpace(sql)
-	up := strings.ToUpper(s)
-	if !strings.HasPrefix(up, "SELECT") {
-		return false
-	}
-	for _, fn := range []string{
-		"ADDSECRECY", "DECLASSIFY", "ENDORSE", "DROPINTEGRITY",
-		"NEXTVAL", "CREATE_SEQUENCE", "CALL",
-	} {
-		if strings.Contains(up, fn) {
-			return false
-		}
-	}
-	return true
-}
-
-// isTxnControl reports BEGIN/COMMIT/ROLLBACK, which the Router cannot
-// honor: statements are routed independently, so a transaction would
-// straddle connections.
-func isTxnControl(sql string) bool {
-	up := strings.ToUpper(strings.TrimSpace(sql))
-	return strings.HasPrefix(up, "BEGIN") || strings.HasPrefix(up, "COMMIT") || strings.HasPrefix(up, "ROLLBACK")
-}
+// Statement classification — read-only (replica-balanced), DDL,
+// transaction control, side-effecting — lives in classify.go: one
+// parser-backed classifier shared by the text path, the prepared
+// path, and shard routing, with the old prefix scans kept only as
+// the fallback for unparsable input.
 
 // Exec routes one statement: reads to replicas (with the
 // read-your-writes token), everything else to the primary. On primary
 // failure it reprobes — following a promotion — and retries within
 // FailoverTimeout.
 func (r *Router) Exec(sql string, params ...Value) (*Result, error) {
-	if isTxnControl(sql) {
-		return nil, errors.New("client: the Router routes statements independently and cannot carry explicit transactions; dial a Conn to the primary instead")
+	return r.ExecContext(context.Background(), sql, params...)
+}
+
+// ExecContext is Exec with deadline/cancel propagation: the context
+// bounds routing retries, and its cancellation crosses the wire as a
+// CANCEL frame aborting the statement server-side.
+func (r *Router) ExecContext(ctx context.Context, sql string, params ...Value) (*Result, error) {
+	return r.exec(ctx, routedStmt{sqlText: sql, plan: planFor(sql)}, params)
+}
+
+func (r *Router) exec(ctx context.Context, rs routedStmt, params []Value) (*Result, error) {
+	if rs.plan.txnControl {
+		return nil, errors.New("client: the Router routes statements independently and cannot carry explicit transactions; dial a Conn to the primary instead (or use the ifdb database/sql driver, whose Tx pins one connection)")
 	}
 	if r.shardMap() != nil {
-		return r.execSharded(sql, params)
+		return r.execSharded(ctx, rs, params)
 	}
-	if isReadOnly(sql) {
-		return r.read(sql, params)
+	if rs.plan.readOnly {
+		return r.read(ctx, rs, params)
 	}
-	return r.write(sql, params)
+	return r.write(ctx, rs, params)
 }
 
 // write executes on the primary, following promotions: a connection
@@ -474,13 +472,16 @@ func (r *Router) Exec(sql string, params ...Value) (*Result, error) {
 // Result frame re-executes the statement — so route non-idempotent
 // writes through idempotent SQL (keyed inserts, absolute updates)
 // when double-apply matters.
-func (r *Router) write(sql string, params []Value) (*Result, error) {
+func (r *Router) write(ctx context.Context, rs routedStmt, params []Value) (*Result, error) {
 	deadline := time.Now().Add(r.cfg.FailoverTimeout)
 	var lastErr error
 	for {
+		if err := ctxErr(ctx); err != nil {
+			return nil, err
+		}
 		addr := r.Primary()
 		if addr != "" {
-			res, err := r.execOn(addr, 0, sql, params)
+			res, err := r.execOn(ctx, rs, addr, 0, params)
 			if err == nil {
 				r.noteWrite(res)
 				return res, nil
@@ -506,7 +507,7 @@ func (r *Router) write(sql string, params []Value) (*Result, error) {
 // read load-balances across replicas whose epoch matches the token
 // (stale-epoch tokens would be incomparable), falling back to the
 // primary when no replica qualifies or every candidate fails.
-func (r *Router) read(sql string, params []Value) (*Result, error) {
+func (r *Router) read(ctx context.Context, rs routedStmt, params []Value) (*Result, error) {
 	var tok *rwTok
 	if !r.cfg.AllowStaleReads {
 		tok = r.token.Load()
@@ -521,11 +522,14 @@ func (r *Router) read(sql string, params []Value) (*Result, error) {
 	}
 	var lastErr error
 	for _, addr := range candidates {
+		if err := ctxErr(ctx); err != nil {
+			return nil, err
+		}
 		wait := uint64(0)
 		if tok != nil {
 			wait = tok.lsn
 		}
-		res, err := r.execOn(addr, wait, sql, params)
+		res, err := r.execOn(ctx, rs, addr, wait, params)
 		if err == nil {
 			return res, nil
 		}
@@ -552,7 +556,7 @@ func (r *Router) read(sql string, params []Value) (*Result, error) {
 	}
 	// Last resort: the primary answers reads without any wait.
 	if addr := r.Primary(); addr != "" {
-		res, err := r.execOn(addr, 0, sql, params)
+		res, err := r.execOn(ctx, rs, addr, 0, params)
 		if err == nil {
 			return res, nil
 		}
@@ -591,17 +595,32 @@ func (r *Router) readCandidates(tok *rwTok) []string {
 	return out
 }
 
-func (r *Router) execOn(addr string, waitLSN uint64, sql string, params []Value) (*Result, error) {
-	return r.execOnShard(addr, waitLSN, 0, sql, params)
+func (r *Router) execOn(ctx context.Context, rs routedStmt, addr string, waitLSN uint64, params []Value) (*Result, error) {
+	return r.execOnShard(ctx, rs, addr, waitLSN, 0, params)
 }
 
-func (r *Router) execOnShard(addr string, waitLSN, shardVer uint64, sql string, params []Value) (*Result, error) {
+// execOnConn runs one statement on a borrowed connection — through
+// the conn's cached prepared handle when the routed statement asked
+// for it, else as one-shot text. Either way it is the v2 streaming
+// path under the hood.
+func execOnConn(ctx context.Context, c *Conn, rs routedStmt, waitLSN, shardVer uint64, params []Value) (*Result, error) {
+	if rs.prepared {
+		st, err := c.preparedFor(rs.sqlText)
+		if err != nil {
+			return nil, err
+		}
+		return c.execCtx(ctx, st, waitLSN, shardVer, "", params)
+	}
+	return c.execCtx(ctx, nil, waitLSN, shardVer, rs.sqlText, params)
+}
+
+func (r *Router) execOnShard(ctx context.Context, rs routedStmt, addr string, waitLSN, shardVer uint64, params []Value) (*Result, error) {
 	c, pooled, err := r.checkout(addr)
 	if err != nil {
 		return nil, err
 	}
-	res, err := c.ExecShard(waitLSN, shardVer, sql, params...)
-	if err != nil && retryable(err) && pooled {
+	res, err := execOnConn(ctx, c, rs, waitLSN, shardVer, params)
+	if err != nil && retryable(err) && pooled && !ctxDone(ctx) {
 		// The pooled connection likely went stale while idle (server
 		// restart, dropped keepalive) — and if one did, its poolmates
 		// did too: flush them all and retry once on a genuinely fresh
@@ -613,7 +632,7 @@ func (r *Router) execOnShard(addr string, waitLSN, shardVer uint64, sql string, 
 		if c, err = r.dial(addr); err != nil {
 			return nil, err
 		}
-		res, err = c.ExecShard(waitLSN, shardVer, sql, params...)
+		res, err = execOnConn(ctx, c, rs, waitLSN, shardVer, params)
 	}
 	if err != nil {
 		if retryable(err) {
@@ -657,42 +676,53 @@ func (r *Router) noteWrite(res *Result) {
 
 // execSharded routes one statement across the shard map: DDL fans out
 // to every shard primary (each shard holds the full schema), a
-// statement confined to one key routes to its owning shard, reads
-// without a derivable key fan out and merge, and writes without one
-// are refused — the Router will not guess where a write belongs.
-func (r *Router) execSharded(sqlText string, params []Value) (*Result, error) {
-	if isDDL(sqlText) {
-		return r.ddlFanout(sqlText, params)
+// statement confined to one key — or to an IN (...) list whose keys
+// all hash to one shard — routes to its owning shard, reads without a
+// derivable key fan out and merge, and writes without one are refused
+// — the Router will not guess where a write belongs.
+func (r *Router) execSharded(ctx context.Context, rs routedStmt, params []Value) (*Result, error) {
+	if rs.plan.ddl {
+		return r.ddlFanout(ctx, rs, params)
 	}
 	m := r.shardMap()
-	table, key, ok := shardTarget(m, sqlText, params)
-	if isReadOnly(sqlText) {
+	table, keys, ok := rs.plan.shardKeys(m, params)
+	if rs.plan.readOnly {
 		if ok {
-			return r.readSharded(func(m *ShardMap) (uint32, bool) {
-				return m.ShardOf(key), true
-			}, sqlText, params)
+			if _, single := singleShardOf(m, keys); single {
+				return r.readSharded(ctx, rs, func(m *ShardMap) (uint32, bool) {
+					return singleShardOf(m, keys)
+				}, params)
+			}
 		}
-		return r.fanoutRead(sqlText, params)
+		return r.fanoutRead(ctx, rs, params)
 	}
 	if !ok {
 		if table == "" {
 			// Label, sequence, and procedure statements (SELECT
-			// addsecrecy(...), nextval, CALL) have no table to route by
-			// and no meaningful shard to run on.
-			return nil, fmt.Errorf("client: label, sequence, and procedure statements are not routable in a sharded cluster; dial a Conn to the relevant shard's primary")
+			// addsecrecy(...), nextval, CALL) have no table to route
+			// by and no meaningful shard to run on; multi-statement
+			// batches land here too — they cannot be confined to one
+			// shard as a unit.
+			return nil, fmt.Errorf("client: statement is not routable in a sharded cluster (label/sequence/procedure statements and multi-statement batches have no single shard); dial a Conn to the relevant shard's primary")
 		}
-		return nil, fmt.Errorf("client: cannot derive a shard key: a sharded write must be confined to one shard (single-row INSERT, or key equality in WHERE with no OR)")
+		return nil, fmt.Errorf("client: cannot derive a shard key: a sharded write must be confined to one shard (single-row INSERT, or key equality / single-shard IN list in WHERE with no OR)")
 	}
-	return r.writeKey(key, sqlText, params)
+	return r.writeKeys(ctx, rs, keys, params)
 }
 
-// writeKey writes the statement to the shard owning key, re-hashing
+// writeKeys writes the statement to the shard owning keys, re-hashing
 // under whatever map each retry holds (a stale-map refusal's adopted
-// map may have a different shard count).
-func (r *Router) writeKey(key string, sqlText string, params []Value) (*Result, error) {
-	return r.writeSharded(func(m *ShardMap) (uint32, error) {
-		return m.ShardOf(key), nil
-	}, sqlText, params)
+// map may have a different shard count; an IN list that spanned one
+// shard under the old map may span several under the new one, which
+// refuses the write rather than splitting it).
+func (r *Router) writeKeys(ctx context.Context, rs routedStmt, keys []string, params []Value) (*Result, error) {
+	return r.writeSharded(ctx, rs, func(m *ShardMap) (uint32, error) {
+		sid, single := singleShardOf(m, keys)
+		if !single {
+			return 0, fmt.Errorf("client: the statement's keys no longer map to one shard under map version %d", m.Version)
+		}
+		return sid, nil
+	}, params)
 }
 
 // writeSharded executes a write on the shard that target derives from
@@ -700,17 +730,20 @@ func (r *Router) writeKey(key string, sqlText string, params []Value) (*Result, 
 // discovered by reprobe) and shard-map reconfiguration (a stale-map
 // refusal carries the new map, which is adopted and the target
 // re-derived).
-func (r *Router) writeSharded(target func(m *ShardMap) (uint32, error), sqlText string, params []Value) (*Result, error) {
+func (r *Router) writeSharded(ctx context.Context, rs routedStmt, target func(m *ShardMap) (uint32, error), params []Value) (*Result, error) {
 	deadline := time.Now().Add(r.cfg.FailoverTimeout)
 	var lastErr error
 	for {
+		if err := ctxErr(ctx); err != nil {
+			return nil, err
+		}
 		m := r.shardMap()
 		sid, err := target(m)
 		if err != nil {
 			return nil, err
 		}
 		if addr := r.shardPrimary(m, sid); addr != "" {
-			res, err := r.execOnShard(addr, 0, m.Version, sqlText, params)
+			res, err := r.execOnShard(ctx, rs, addr, 0, m.Version, params)
 			if err == nil {
 				r.noteShardWrite(sid, res)
 				return res, nil
@@ -745,7 +778,7 @@ func (r *Router) writeSharded(target func(m *ShardMap) (uint32, error), sqlText 
 // once, with the target re-derived (the new map's shard count may
 // differ). target returning false skips the attempt (the shard is
 // gone from the adopted map).
-func (r *Router) readSharded(target func(m *ShardMap) (uint32, bool), sqlText string, params []Value) (*Result, error) {
+func (r *Router) readSharded(ctx context.Context, rs routedStmt, target func(m *ShardMap) (uint32, bool), params []Value) (*Result, error) {
 	var lastErr error
 	for attempt := 0; attempt < 2; attempt++ {
 		m := r.shardMap()
@@ -764,6 +797,9 @@ func (r *Router) readSharded(target func(m *ShardMap) (uint32, bool), sqlText st
 		adopted := false
 		candidates := append(r.shardReadCandidates(m, sid, tok), "")
 		for _, addr := range candidates {
+			if err := ctxErr(ctx); err != nil {
+				return nil, err
+			}
 			wait := uint64(0)
 			if tok != nil && addr != "" {
 				wait = tok.lsn
@@ -774,7 +810,7 @@ func (r *Router) readSharded(target func(m *ShardMap) (uint32, bool), sqlText st
 					continue
 				}
 			}
-			res, err := r.execOnShard(addr, wait, m.Version, sqlText, params)
+			res, err := r.execOnShard(ctx, rs, addr, wait, m.Version, params)
 			if err == nil {
 				return res, nil
 			}
@@ -814,7 +850,7 @@ func (r *Router) readSharded(target func(m *ShardMap) (uint32, bool), sqlText st
 // is a union, not a re-aggregation — an aggregate query (COUNT, SUM)
 // returns one row *per shard*; aggregate across shards client-side,
 // or confine the query by key.
-func (r *Router) fanoutRead(sqlText string, params []Value) (*Result, error) {
+func (r *Router) fanoutRead(ctx context.Context, rs routedStmt, params []Value) (*Result, error) {
 	m := r.shardMap()
 	type out struct {
 		res *Result
@@ -826,9 +862,9 @@ func (r *Router) fanoutRead(sqlText string, params []Value) (*Result, error) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			res, err := r.readSharded(func(m *ShardMap) (uint32, bool) {
+			res, err := r.readSharded(ctx, rs, func(m *ShardMap) (uint32, bool) {
 				return uint32(i), i < len(m.Shards)
-			}, sqlText, params)
+			}, params)
 			results[i] = out{res, err}
 		}(i)
 	}
@@ -863,11 +899,11 @@ func (r *Router) fanoutRead(sqlText string, params []Value) (*Result, error) {
 // ddlFanout applies a schema statement to every shard primary in
 // shard order: rows are what shards partition; the schema (and the
 // authority state it depends on) must exist everywhere.
-func (r *Router) ddlFanout(sqlText string, params []Value) (*Result, error) {
+func (r *Router) ddlFanout(ctx context.Context, rs routedStmt, params []Value) (*Result, error) {
 	m := r.shardMap()
 	var last *Result
 	for sid := range m.Shards {
-		res, err := r.writeToShard(uint32(sid), sqlText, params)
+		res, err := r.writeToShard(ctx, rs, uint32(sid), params)
 		if err != nil {
 			return nil, fmt.Errorf("client: DDL on shard %d: %w", sid, err)
 		}
@@ -878,13 +914,13 @@ func (r *Router) ddlFanout(sqlText string, params []Value) (*Result, error) {
 
 // writeToShard is writeSharded for statements addressed to a shard id
 // directly (DDL fan-out).
-func (r *Router) writeToShard(sid uint32, sqlText string, params []Value) (*Result, error) {
-	return r.writeSharded(func(m *ShardMap) (uint32, error) {
+func (r *Router) writeToShard(ctx context.Context, rs routedStmt, sid uint32, params []Value) (*Result, error) {
+	return r.writeSharded(ctx, rs, func(m *ShardMap) (uint32, error) {
 		if int(sid) >= len(m.Shards) {
 			return 0, fmt.Errorf("client: shard %d no longer exists (map version %d)", sid, m.Version)
 		}
 		return sid, nil
-	}, sqlText, params)
+	}, params)
 }
 
 // shardPrimary derives shard sid's current primary from the last

@@ -1,0 +1,466 @@
+// Router streaming and prepared statements: the Router half of API
+// v2. Reads stream — a fan-out read merges the per-shard streams
+// LAZILY, opening shard i+1's stream only after shard i's is
+// exhausted, so the client holds one chunk of one shard at a time —
+// and prepared statements route off the shard-key derivation computed
+// once at prepare time by the SQL parser (classify.go / shardkey.go),
+// executing through per-connection prepared handles.
+
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// Query routes one statement and streams the result.
+func (r *Router) Query(sqlText string, params ...Value) (Rows, error) {
+	return r.QueryContext(context.Background(), sqlText, params...)
+}
+
+// QueryContext routes one statement and streams the result under
+// ctx. Read-only statements stream from the serving node (fan-out
+// reads merge the per-shard streams lazily); anything else executes
+// exactly like ExecContext and the buffered result is replayed
+// through the Rows interface.
+func (r *Router) QueryContext(ctx context.Context, sqlText string, params ...Value) (Rows, error) {
+	return r.query(ctx, routedStmt{sqlText: sqlText, plan: planFor(sqlText)}, params)
+}
+
+func (r *Router) query(ctx context.Context, rs routedStmt, params []Value) (Rows, error) {
+	if rs.plan.txnControl {
+		return nil, errors.New("client: the Router routes statements independently and cannot carry explicit transactions; dial a Conn to the primary instead (or use the ifdb database/sql driver, whose Tx pins one connection)")
+	}
+	if !rs.plan.readOnly {
+		res, err := r.exec(ctx, rs, params)
+		if err != nil {
+			return nil, err
+		}
+		return &bufferedRows{res: res, i: -1}, nil
+	}
+	if m := r.shardMap(); m != nil {
+		if _, keys, ok := rs.plan.shardKeys(m, params); ok {
+			if _, single := singleShardOf(m, keys); single {
+				return r.readShardedStream(ctx, rs, func(m *ShardMap) (uint32, bool) {
+					return singleShardOf(m, keys)
+				}, params)
+			}
+		}
+		return r.newFanoutRows(ctx, rs, params)
+	}
+	return r.queryRead(ctx, rs, params)
+}
+
+// queryRead is read() in streaming form: replicas first (with the
+// read-your-writes token), the primary as the fallback. Routing
+// failures are retried before the stream is handed out; once rows
+// flow, failures surface through the Rows.
+func (r *Router) queryRead(ctx context.Context, rs routedStmt, params []Value) (Rows, error) {
+	var tok *rwTok
+	if !r.cfg.AllowStaleReads {
+		tok = r.token.Load()
+	}
+	candidates := r.readCandidates(tok)
+	if len(candidates) == 0 {
+		r.maybeReprobe()
+		candidates = r.readCandidates(tok)
+	}
+	var lastErr error
+	for _, addr := range candidates {
+		if err := ctxErr(ctx); err != nil {
+			return nil, err
+		}
+		wait := uint64(0)
+		if tok != nil {
+			wait = tok.lsn
+		}
+		rows, err := r.queryOnShard(ctx, rs, addr, wait, 0, params)
+		if err == nil {
+			return rows, nil
+		}
+		lastErr = err
+		if !retryable(err) {
+			if isReadOnlyReplicaErr(err) {
+				continue
+			}
+			if !isWaitTimeoutErr(err) {
+				return nil, err
+			}
+			r.setDown(addr)
+			continue
+		}
+		r.setDown(addr)
+		r.maybeReprobe()
+	}
+	if addr := r.Primary(); addr != "" {
+		rows, err := r.queryOnShard(ctx, rs, addr, 0, 0, params)
+		if err == nil {
+			return rows, nil
+		}
+		lastErr = err
+	}
+	if lastErr == nil {
+		lastErr = errors.New("client: no nodes available")
+	}
+	return nil, lastErr
+}
+
+// openStream borrows nothing: it runs the statement on an
+// already-checked-out connection and wires the stream's end to the
+// pool — a cleanly finished (or server-failed) stream checks the conn
+// back in, a transport failure closes it.
+func (r *Router) openStream(ctx context.Context, c *Conn, rs routedStmt, addr string, waitLSN, shardVer uint64, params []Value) (Rows, error) {
+	onClose := func(err error) {
+		if err == nil || !retryable(err) {
+			r.checkin(addr, c)
+		} else {
+			c.Close()
+		}
+	}
+	if rs.prepared {
+		st, err := c.preparedFor(rs.sqlText)
+		if err != nil {
+			onClose(err)
+			return nil, err
+		}
+		return c.queryCtx(ctx, st, waitLSN, shardVer, "", params, onClose)
+	}
+	return c.queryCtx(ctx, nil, waitLSN, shardVer, rs.sqlText, params, onClose)
+}
+
+// queryOnShard opens one node's stream with the pool discipline of
+// execOnShard (including the stale-pooled-conn fresh-dial retry).
+func (r *Router) queryOnShard(ctx context.Context, rs routedStmt, addr string, waitLSN, shardVer uint64, params []Value) (Rows, error) {
+	c, pooled, err := r.checkout(addr)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := r.openStream(ctx, c, rs, addr, waitLSN, shardVer, params)
+	if err != nil && retryable(err) && pooled && !ctxDone(ctx) {
+		r.flushPool(addr)
+		if c, err = r.dial(addr); err != nil {
+			return nil, err
+		}
+		rows, err = r.openStream(ctx, c, rs, addr, waitLSN, shardVer, params)
+	}
+	return rows, err
+}
+
+// readShardedStream is readSharded in streaming form, with the same
+// stale-map discipline: a refusal (which arrives on the stream's
+// FIRST frame, before any rows are surfaced) carries the new map,
+// which is adopted and the target re-derived for a second attempt.
+func (r *Router) readShardedStream(ctx context.Context, rs routedStmt, target func(m *ShardMap) (uint32, bool), params []Value) (Rows, error) {
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		m := r.shardMap()
+		sid, ok := target(m)
+		if !ok {
+			break
+		}
+		var tok *rwTok
+		if !r.cfg.AllowStaleReads {
+			r.stokMu.Lock()
+			if t, ok := r.stoks[sid]; ok {
+				tok = &t
+			}
+			r.stokMu.Unlock()
+		}
+		adopted := false
+		candidates := append(r.shardReadCandidates(m, sid, tok), "")
+		for _, addr := range candidates {
+			if err := ctxErr(ctx); err != nil {
+				return nil, err
+			}
+			wait := uint64(0)
+			if tok != nil && addr != "" {
+				wait = tok.lsn
+			}
+			if addr == "" {
+				if addr = r.shardPrimary(m, sid); addr == "" {
+					continue
+				}
+			}
+			rows, err := r.queryOnShard(ctx, rs, addr, wait, m.Version, params)
+			if err == nil {
+				return rows, nil
+			}
+			lastErr = err
+			if nm := StaleShardMap(err); nm != nil {
+				if nm.Version > m.Version {
+					r.adoptMap(nm)
+					adopted = true
+					break
+				}
+				continue
+			}
+			if !retryable(err) {
+				if isReadOnlyReplicaErr(err) || isWaitTimeoutErr(err) {
+					if isWaitTimeoutErr(err) {
+						r.setDown(addr)
+					}
+					continue
+				}
+				return nil, err
+			}
+			r.setDown(addr)
+			r.maybeReprobe()
+		}
+		if !adopted {
+			break
+		}
+	}
+	if lastErr == nil {
+		lastErr = errors.New("client: no nodes available for the target shard")
+	}
+	return nil, lastErr
+}
+
+// ---------------------------------------------------------------------------
+// Lazy fan-out merge
+
+// multiRows merges per-shard streams lazily: shard i+1's stream is
+// opened only when shard i's is exhausted, so a fan-out read holds
+// one chunk of one shard in memory at a time. A stale-map refusal
+// mid-merge (shard k refuses after shards < k streamed) is adopted
+// and shard k re-routed by readShardedStream — rows already surfaced
+// stay surfaced; the merge carries on under the new map's addressing
+// for the remaining shard ids. As with fanoutRead, the merge is a
+// union, not a re-aggregation.
+type multiRows struct {
+	r      *Router
+	ctx    context.Context
+	rs     routedStmt
+	params []Value
+
+	nshards int
+	next    int // next shard id to open
+	cur     Rows
+	cols    []string
+	err     error
+	closed  bool
+}
+
+// newFanoutRows opens shard 0's stream eagerly (so Columns is
+// available before the first Next) and merges the rest lazily.
+func (r *Router) newFanoutRows(ctx context.Context, rs routedStmt, params []Value) (Rows, error) {
+	m := r.shardMap()
+	mr := &multiRows{r: r, ctx: ctx, rs: rs, params: params, nshards: len(m.Shards)}
+	if err := mr.advance(); err != nil {
+		return nil, err
+	}
+	return mr, nil
+}
+
+// advance opens the next shard's stream.
+func (mr *multiRows) advance() error {
+	sid := mr.next
+	rows, err := mr.r.readShardedStream(mr.ctx, mr.rs, func(m *ShardMap) (uint32, bool) {
+		return uint32(sid), sid < len(m.Shards)
+	}, mr.params)
+	if err != nil {
+		return fmt.Errorf("client: fan-out read on shard %d: %w", sid, err)
+	}
+	mr.cur = rows
+	mr.next++
+	if mr.cols == nil {
+		mr.cols = rows.Columns()
+	}
+	return nil
+}
+
+// Columns returns the merged result's column names.
+func (mr *multiRows) Columns() []string { return mr.cols }
+
+// Next advances across the per-shard streams in shard order.
+func (mr *multiRows) Next() bool {
+	for {
+		if mr.closed || mr.err != nil {
+			return false
+		}
+		if mr.cur != nil {
+			if mr.cur.Next() {
+				return true
+			}
+			err := mr.cur.Err()
+			mr.cur.Close()
+			mr.cur = nil
+			if err != nil {
+				mr.err = fmt.Errorf("client: fan-out read on shard %d: %w", mr.next-1, err)
+				return false
+			}
+		}
+		if mr.next >= mr.nshards {
+			return false
+		}
+		if err := mr.advance(); err != nil {
+			mr.err = err
+			return false
+		}
+	}
+}
+
+// Row returns the current row.
+func (mr *multiRows) Row() []Value {
+	if mr.cur == nil {
+		return nil
+	}
+	return mr.cur.Row()
+}
+
+// RowLabel returns the current row's label.
+func (mr *multiRows) RowLabel() Label {
+	if mr.cur == nil {
+		return nil
+	}
+	return mr.cur.RowLabel()
+}
+
+// Scan copies the current row into dest pointers.
+func (mr *multiRows) Scan(dest ...any) error { return scanRow(mr.Row(), dest) }
+
+// Err returns the error that ended the merge, if any.
+func (mr *multiRows) Err() error { return mr.err }
+
+// Close releases the current shard stream and stops the merge (shards
+// not yet opened are never contacted).
+func (mr *multiRows) Close() error {
+	if mr.closed {
+		return mr.err
+	}
+	mr.closed = true
+	if mr.cur != nil {
+		mr.cur.Close()
+		mr.cur = nil
+	}
+	return mr.err
+}
+
+// ---------------------------------------------------------------------------
+// Buffered replay (non-read statements issued through Query)
+
+// bufferedRows replays an already-buffered Result through the Rows
+// interface.
+type bufferedRows struct {
+	res    *Result
+	i      int
+	closed bool
+}
+
+func (b *bufferedRows) Columns() []string { return b.res.Cols }
+
+func (b *bufferedRows) Next() bool {
+	if b.closed {
+		return false
+	}
+	b.i++
+	return b.i < len(b.res.Rows)
+}
+
+func (b *bufferedRows) Row() []Value {
+	if b.i < 0 || b.i >= len(b.res.Rows) {
+		return nil
+	}
+	return b.res.Rows[b.i]
+}
+
+func (b *bufferedRows) RowLabel() Label {
+	if b.res.RowLabels == nil || b.i < 0 || b.i >= len(b.res.RowLabels) {
+		return nil
+	}
+	return b.res.RowLabels[b.i]
+}
+
+func (b *bufferedRows) Scan(dest ...any) error { return scanRow(b.Row(), dest) }
+func (b *bufferedRows) Err() error             { return nil }
+func (b *bufferedRows) Close() error           { b.closed = true; return nil }
+
+// ---------------------------------------------------------------------------
+// Router prepared statements
+
+// RouterStmt is a statement prepared against the cluster: its routing
+// plan — classification and shard-key derivation through the real SQL
+// parser — is computed once at prepare time, and executions route off
+// it, shipping per-connection prepared handles instead of text. The
+// plan derives the key from the statement's parameters on every
+// execution, so one prepared `INSERT ... VALUES ($1, ...)` hits
+// whichever shard each execution's $1 hashes to.
+type RouterStmt struct {
+	r      *Router
+	rs     routedStmt
+	closed bool
+}
+
+// Prepare analyzes sqlText once and validates it against a reachable
+// node (so SQL errors surface now, not on first execution). The
+// statement handles themselves are per pooled connection, prepared
+// lazily as executions touch each conn.
+func (r *Router) Prepare(sqlText string) (*RouterStmt, error) {
+	plan := planFor(sqlText)
+	if plan.txnControl {
+		return nil, errors.New("client: the Router cannot prepare transaction-control statements")
+	}
+	st := &RouterStmt{r: r, rs: routedStmt{sqlText: sqlText, plan: plan, prepared: true}}
+	// Best-effort eager validation on the primary (or shard 0's): a
+	// server-side parse error fails Prepare; an unreachable node does
+	// not — the statement will prepare lazily when the cluster heals.
+	addr := r.Primary()
+	if addr == "" {
+		if m := r.shardMap(); m != nil {
+			addr = r.shardPrimary(m, 0)
+		}
+	}
+	if addr != "" {
+		if c, _, err := r.checkout(addr); err == nil {
+			_, perr := c.preparedFor(sqlText)
+			if perr != nil && retryable(perr) {
+				c.Close()
+			} else {
+				r.checkin(addr, c)
+			}
+			if perr != nil && !retryable(perr) {
+				return nil, perr
+			}
+		}
+	}
+	return st, nil
+}
+
+// Exec executes the prepared statement, routing by the prepare-time
+// plan.
+func (s *RouterStmt) Exec(params ...Value) (*Result, error) {
+	return s.ExecContext(context.Background(), params...)
+}
+
+// ExecContext is Exec with deadline/cancel propagation.
+func (s *RouterStmt) ExecContext(ctx context.Context, params ...Value) (*Result, error) {
+	if s.closed {
+		return nil, &clientError{msg: "client: statement is closed"}
+	}
+	return s.r.exec(ctx, s.rs, params)
+}
+
+// Query executes the prepared statement and streams the result.
+func (s *RouterStmt) Query(params ...Value) (Rows, error) {
+	return s.QueryContext(context.Background(), params...)
+}
+
+// QueryContext is Query with deadline/cancel propagation.
+func (s *RouterStmt) QueryContext(ctx context.Context, params ...Value) (Rows, error) {
+	if s.closed {
+		return nil, &clientError{msg: "client: statement is closed"}
+	}
+	return s.r.query(ctx, s.rs, params)
+}
+
+// SQL returns the statement's text.
+func (s *RouterStmt) SQL() string { return s.rs.sqlText }
+
+// Close marks the statement closed. The per-connection handles are
+// owned by the conns' caches and stay warm for other statements of
+// the same text.
+func (s *RouterStmt) Close() error {
+	s.closed = true
+	return nil
+}

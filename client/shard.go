@@ -11,10 +11,14 @@
 // a derivable key are refused — the Router will not guess where a
 // write belongs.
 //
-// Key extraction is deliberately a conservative, text-level scan, not
-// a full parse: when in doubt it reports "not derivable" and the safe
-// path (fan-out read, refused write) is taken. The server's shard-
-// ownership guard backstops any residual misrouting.
+// Key extraction here is the conservative, text-level scan — since
+// API v2 it is only the FALLBACK for statements the client-side SQL
+// parser cannot handle; the primary path derives keys from the AST
+// (shardkey.go), which additionally understands IN (...) lists,
+// quoted identifiers, and key equalities alongside OR-bearing sibling
+// conjuncts. When in doubt either path reports "not derivable" and
+// the safe route (fan-out read, refused write) is taken. The server's
+// shard-ownership guard backstops any residual misrouting.
 
 package client
 
@@ -350,12 +354,4 @@ func firstWord(s string) string {
 
 func isIdentChar(c byte) bool {
 	return c == '_' || c >= '0' && c <= '9' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
-}
-
-// isDDL reports schema statements, which a sharded Router fans out to
-// every shard primary (each shard holds the full schema; rows are
-// what shards partition).
-func isDDL(sqlText string) bool {
-	up := strings.ToUpper(strings.TrimSpace(sqlText))
-	return strings.HasPrefix(up, "CREATE") || strings.HasPrefix(up, "DROP") || strings.HasPrefix(up, "ALTER")
 }

@@ -104,8 +104,8 @@ func TestIsDDL(t *testing.T) {
 		`INSERT INTO t VALUES (1)`:   false,
 		`SELECT 1`:                   false,
 	} {
-		if got := isDDL(sql); got != want {
-			t.Errorf("isDDL(%q) = %v, want %v", sql, got, want)
+		if got := planFor(sql).ddl; got != want {
+			t.Errorf("planFor(%q).ddl = %v, want %v", sql, got, want)
 		}
 	}
 }

@@ -12,6 +12,7 @@
 //	ifdb-bench -exp trustedbase  # §6.3: trusted-base accounting
 //	ifdb-bench -exp replica-read # read scale-out through the Router
 //	ifdb-bench -exp shard-write  # write scale-out across sharded primaries
+//	ifdb-bench -exp prepared     # prepared-vs-reparsed statement throughput
 //	ifdb-bench -all          # everything (EXPERIMENTS.md source)
 //
 // replica-read goes beyond the paper: it stands up an in-process
@@ -106,6 +107,10 @@ func main() {
 	}
 	if *allFlag || *expFlag == "replica-read" {
 		expReplicaRead()
+		ran = true
+	}
+	if *allFlag || *expFlag == "prepared" {
+		expPrepared()
 		ran = true
 	}
 	if *allFlag || *expFlag == "shard-write" {
@@ -453,6 +458,128 @@ func expReplicaRead() {
 	mix(addrs, true, fmt.Sprintf("router + %d replicas (stale)", *replicasFlag))
 	fmt.Println("(RYW = read-your-writes tokens: each read waits out the")
 	fmt.Println(" replication lag of the router's last write; stale drops that.)")
+	fmt.Println()
+}
+
+// expPrepared measures what wire-level prepared statements (API v2)
+// buy on a point-read workload against one server, three ways:
+//
+//   - inline literals: a distinct SQL text per call — the naive app
+//     pattern prepared statements exist to kill. Every call pays a
+//     full parse (and poisons the parse cache with dead entries).
+//   - parameterized text: one text, $1 parameters. The engine's
+//     parse cache absorbs the re-parse, but every call still ships
+//     the text and pays the cache lookup.
+//   - prepared handles: PREPARE once, EXECUTE a handle + parameters.
+//     No parser, no cache lookup, minimal bytes on the wire.
+//
+// The same comparison then runs through a single-node client.Router
+// (text vs RouterStmt). Engine parse counts are printed per mode, so
+// "skips re-parsing" is a measured number, not a promise.
+func expPrepared() {
+	fmt.Println("== prepared: prepared-vs-reparsed statement throughput ==")
+	const seedRows = 1000
+	db := ifdb.MustOpen(ifdb.Config{})
+	defer db.Close()
+	admin := db.AdminSession()
+	check(errOf(admin.Exec(`CREATE TABLE kv (k BIGINT PRIMARY KEY, v BIGINT)`)))
+	for i := 0; i < seedRows; i++ {
+		check(errOf(admin.Exec(`INSERT INTO kv VALUES ($1, $2)`, ifdb.Int(int64(i)), ifdb.Int(int64(i)))))
+	}
+	srv := wire.NewServer(db.Engine(), "")
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	check(err)
+	go srv.Serve(ln)
+	defer srv.Close()
+	addr := ln.Addr().String()
+
+	run := func(label string, worker func(w int) func(rng *rand.Rand) error) {
+		parse0 := db.Engine().ParseCount()
+		var ops, failures atomic.Int64
+		deadline := time.Now().Add(*durFlag)
+		var wg sync.WaitGroup
+		for w := 0; w < *workersFlag; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				op := worker(w)
+				rng := rand.New(rand.NewSource(int64(w)))
+				for time.Now().Before(deadline) {
+					if err := op(rng); err != nil {
+						failures.Add(1)
+						continue
+					}
+					ops.Add(1)
+				}
+			}(w)
+		}
+		wg.Wait()
+		n := ops.Load()
+		parses := db.Engine().ParseCount() - parse0
+		fmt.Printf("%-28s %9.0f stmts/s   %8d parses", label, float64(n)/durFlag.Seconds(), parses)
+		if n > 0 {
+			fmt.Printf(" (%.3f/stmt)", float64(parses)/float64(n))
+		}
+		if f := failures.Load(); f > 0 {
+			fmt.Printf("  (%d failures)", f)
+		}
+		fmt.Println()
+	}
+
+	dial := func() *client.Conn {
+		c, err := client.Dial(addr, "", 0)
+		check(err)
+		return c
+	}
+
+	fmt.Println("-- single node (one Conn per worker) --")
+	run("inline literals (re-parse)", func(w int) func(*rand.Rand) error {
+		c := dial()
+		return func(rng *rand.Rand) error {
+			// A fresh text per call: the worst case the parse cache
+			// cannot help with (every web app interpolating values).
+			_, err := c.Exec(fmt.Sprintf(`SELECT v FROM kv WHERE k = %d AND %d >= 0`, rng.Intn(seedRows), rng.Int63()))
+			return err
+		}
+	})
+	run("parameterized text", func(w int) func(*rand.Rand) error {
+		c := dial()
+		return func(rng *rand.Rand) error {
+			_, err := c.Exec(`SELECT v FROM kv WHERE k = $1`, ifdb.Int(int64(rng.Intn(seedRows))))
+			return err
+		}
+	})
+	run("prepared handles", func(w int) func(*rand.Rand) error {
+		c := dial()
+		st, err := c.Prepare(`SELECT v FROM kv WHERE k = $1`)
+		check(err)
+		return func(rng *rand.Rand) error {
+			_, err := st.Exec(ifdb.Int(int64(rng.Intn(seedRows))))
+			return err
+		}
+	})
+
+	fmt.Println("-- through client.Router (pooled conns, shared) --")
+	router, err := client.OpenRouter(client.RouterConfig{Addrs: []string{addr}, PoolSize: *workersFlag})
+	check(err)
+	defer router.Close()
+	run("router: text", func(w int) func(*rand.Rand) error {
+		return func(rng *rand.Rand) error {
+			_, err := router.Exec(`SELECT v FROM kv WHERE k = $1`, ifdb.Int(int64(rng.Intn(seedRows))))
+			return err
+		}
+	})
+	rst, err := router.Prepare(`SELECT v FROM kv WHERE k = $1`)
+	check(err)
+	defer rst.Close()
+	run("router: prepared", func(w int) func(*rand.Rand) error {
+		return func(rng *rand.Rand) error {
+			_, err := rst.Exec(ifdb.Int(int64(rng.Intn(seedRows))))
+			return err
+		}
+	})
+	fmt.Println("(parses = engine-side sql.ParseAll invocations during the run;")
+	fmt.Println(" prepared executions ship a statement handle, not text — see BENCH.md)")
 	fmt.Println()
 }
 

@@ -1,0 +1,76 @@
+// Command sqldriver is the README's "Using database/sql" walkthrough:
+// a stock database/sql program — prepared statements, transactions,
+// streamed rows — with IFDB underneath via the ifdb driver. The only
+// IFDB-specific line is the import.
+package main
+
+import (
+	"database/sql"
+	"flag"
+	"fmt"
+	"log"
+
+	_ "ifdb/driver"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:5433", "ifdb-server address")
+	token := flag.String("token", "demo", "platform token")
+	flag.Parse()
+
+	db, err := sql.Open("ifdb", fmt.Sprintf("ifdb://%s?token=%s", *addr, *token))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	if _, err := db.Exec(`CREATE TABLE IF NOT EXISTS tasks (
+		id BIGINT PRIMARY KEY, title TEXT, done BOOLEAN)`); err != nil {
+		log.Fatal(err)
+	}
+
+	// Prepared statements map to wire-level PREPARE/EXECUTE: the
+	// server parses once and pins the AST; executions ship a handle.
+	ins, err := db.Prepare(`INSERT INTO tasks VALUES ($1, $2, $3)`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ins.Close()
+	for i, title := range []string{"write paper", "ship database", "rest"} {
+		if _, err := ins.Exec(int64(i+1), title, false); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Transactions pin one connection: BEGIN/COMMIT (or ROLLBACK).
+	tx, err := db.Begin()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := tx.Exec(`UPDATE tasks SET done = TRUE WHERE id = $1`, int64(2)); err != nil {
+		log.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Rows stream from the server in chunks; Scan is stock stdlib.
+	rows, err := db.Query(`SELECT id, title, done FROM tasks ORDER BY id`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rows.Close()
+	for rows.Next() {
+		var id int64
+		var title string
+		var done bool
+		if err := rows.Scan(&id, &title, &done); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%d. %-14s done=%v\n", id, title, done)
+	}
+	if err := rows.Err(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("sqldriver: OK")
+}

@@ -154,6 +154,11 @@ type Engine struct {
 	// stmtCache caches parsed read/DML statements by query text.
 	stmtCache sync.Map // string -> []sql.Statement
 
+	// parses counts sql.ParseAll invocations (cache misses and DDL).
+	// Prepared-statement tests and benchmarks assert on it: executing
+	// a prepared handle must not move it.
+	parses atomic.Int64
+
 	// sequences are labeled sequences (see sequence.go).
 	seqMu     sync.RWMutex
 	sequences map[string]*sequence
@@ -412,24 +417,21 @@ func (e *Engine) parseCached(query string) ([]sql.Statement, error) {
 	if v, ok := e.stmtCache.Load(query); ok {
 		return v.([]sql.Statement), nil
 	}
+	e.parses.Add(1)
 	stmts, err := sql.ParseAll(query)
 	if err != nil {
 		return nil, err
 	}
-	cacheable := true
-	for _, st := range stmts {
-		switch st.(type) {
-		case *sql.SelectStmt, *sql.InsertStmt, *sql.UpdateStmt, *sql.DeleteStmt,
-			*sql.BeginStmt, *sql.CommitStmt, *sql.RollbackStmt:
-		default:
-			cacheable = false
-		}
-	}
-	if cacheable {
+	if cacheableStmts(stmts) {
 		e.stmtCache.Store(query, stmts)
 	}
 	return stmts, nil
 }
+
+// ParseCount reports how many times the engine has actually invoked
+// the SQL parser (as opposed to serving a statement from the parse
+// cache or a prepared handle).
+func (e *Engine) ParseCount() int64 { return e.parses.Load() }
 
 // ---------------------------------------------------------------------------
 // Heap construction and vacuum

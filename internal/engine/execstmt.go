@@ -54,6 +54,9 @@ func (s *Session) QueryRow(query string, params ...types.Value) ([]types.Value, 
 
 // ExecStmt executes one parsed statement.
 func (s *Session) ExecStmt(st sql.Statement, params ...types.Value) (*Result, error) {
+	if err := s.checkCanceled(); err != nil {
+		return nil, err
+	}
 	switch x := st.(type) {
 	case *sql.BeginStmt:
 		mode := txn.SnapshotIsolation

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"ifdb/internal/catalog"
 	"ifdb/internal/exec"
@@ -127,6 +128,17 @@ func (f sessionFuncs) CallFunc(name string, args []types.Value) (types.Value, er
 		return types.NewInt(int64(uint64(s.principal))), nil
 	case "now":
 		return types.NewTime(nowFunc()), nil
+	case "sleep":
+		// sleep(ms) — pauses the statement, checking for cancellation.
+		// Exists so context cancellation (client API v2) is testable
+		// deterministically; read-only, so replicas may serve it.
+		if len(args) != 1 || args[0].Kind() != types.KindInt || args[0].Int() < 0 {
+			return types.Null, fmt.Errorf("engine: sleep(milliseconds)")
+		}
+		if err := s.cancelableSleep(time.Duration(args[0].Int()) * time.Millisecond); err != nil {
+			return types.Null, err
+		}
+		return types.NewBool(true), nil
 	case "nextval":
 		if len(args) != 1 || args[0].Kind() != types.KindText {
 			return types.Null, fmt.Errorf("engine: nextval('sequence_name')")
@@ -305,25 +317,35 @@ func (s *Session) scanTable(t *catalog.Table, alias string, filter sql.Expr, qc 
 		})
 	}
 
+	// Cancellation check point: a scan is where a long statement
+	// spends its time, so the cancel flag is polled per tuple (an
+	// atomic load, noise next to visibility + label checks).
+	var scanErr error
 	if ix, n := t.BestIndexForCols(eqColSet(eq)); ix != nil && n > 0 {
 		key := make([]types.Value, n)
 		for i := 0; i < n; i++ {
 			key[i] = eq[ix.Cols[i]]
 		}
 		ix.Tree.AscendPrefix(key, func(_ index.Key, tid storage.TID) bool {
+			if scanErr = s.checkCanceled(); scanErr != nil {
+				return false
+			}
 			if tv, ok := t.Heap.Get(tid); ok {
 				accept(tid, &tv)
 			}
 			return true
 		})
-		return rel, nil
+		return rel, scanErr
 	}
 
 	t.Heap.Scan(func(tid storage.TID, tv *storage.TupleVersion) bool {
+		if scanErr = s.checkCanceled(); scanErr != nil {
+			return false
+		}
 		accept(tid, tv)
 		return true
 	})
-	return rel, nil
+	return rel, scanErr
 }
 
 // extractEqConsts walks the AND-tree of filter collecting

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"ifdb/internal/authority"
 	"ifdb/internal/label"
@@ -49,6 +50,12 @@ type Session struct {
 	// lastCommit is the WAL position of this session's most recent
 	// logged commit (see CommitToken).
 	lastCommit wal.LSN
+
+	// canceled interrupts the running statement (see Cancel in
+	// prepare.go). The one concurrently-touched field of a session:
+	// the wire server's out-of-band cancel path sets it from another
+	// goroutine.
+	canceled atomic.Bool
 }
 
 // NewSession opens a session acting as the given principal with an

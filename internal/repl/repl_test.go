@@ -246,7 +246,7 @@ func TestReplicaEnforcesLabels(t *testing.T) {
 		t.Fatal("mallory not replicated")
 	}
 
-	check := func(side string, e *engine.Engine, m, a engine.Session) {
+	check := func(side string, e *engine.Engine, m, a *engine.Session) {
 		t.Helper()
 		// Uncontaminated: the secret row is invisible.
 		res, err := m.Exec(`SELECT name FROM patients`)
@@ -278,8 +278,8 @@ func TestReplicaEnforcesLabels(t *testing.T) {
 			t.Fatalf("%s: alice denied her own authority: %v", side, err)
 		}
 	}
-	check("primary", eng, *eng.NewSession(mallory), *eng.NewSession(alice))
-	check("replica", re, *re.NewSession(rMallory), *re.NewSession(rAlice))
+	check("primary", eng, eng.NewSession(mallory), eng.NewSession(alice))
+	check("replica", re, re.NewSession(rMallory), re.NewSession(rAlice))
 }
 
 // TestFollowerRestartCatchesUp: a follower closed mid-stream reopens,

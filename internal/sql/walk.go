@@ -1,0 +1,120 @@
+package sql
+
+// WalkExprs calls fn on every expression node reachable from st, in
+// pre-order, descending into subqueries (IN/EXISTS/scalar) and
+// FROM-clause subselects. Clients use it for statement analysis —
+// parameter counting, shard-key derivation, side-effect detection —
+// without each duplicating the traversal.
+func WalkExprs(st Statement, fn func(Expr)) {
+	switch x := st.(type) {
+	case *SelectStmt:
+		walkSelect(x, fn)
+	case *InsertStmt:
+		for _, row := range x.Rows {
+			for _, e := range row {
+				walkExpr(e, fn)
+			}
+		}
+		if x.Select != nil {
+			walkSelect(x.Select, fn)
+		}
+	case *UpdateStmt:
+		for _, sc := range x.Set {
+			walkExpr(sc.Value, fn)
+		}
+		walkExpr(x.Where, fn)
+	case *DeleteStmt:
+		walkExpr(x.Where, fn)
+	case *CreateTableStmt:
+		for _, c := range x.Columns {
+			walkExpr(c.Default, fn)
+		}
+		for _, con := range x.Constraints {
+			for _, e := range con.LabelExprs {
+				walkExpr(e, fn)
+			}
+			walkExpr(con.Check, fn)
+		}
+	case *CreateViewStmt:
+		if x.Select != nil {
+			walkSelect(x.Select, fn)
+		}
+	}
+}
+
+func walkSelect(sel *SelectStmt, fn func(Expr)) {
+	if sel == nil {
+		return
+	}
+	for _, it := range sel.Items {
+		walkExpr(it.Expr, fn)
+	}
+	if sel.From != nil && sel.From.Sub != nil {
+		walkSelect(sel.From.Sub, fn)
+	}
+	for _, j := range sel.Joins {
+		if j.Table.Sub != nil {
+			walkSelect(j.Table.Sub, fn)
+		}
+		walkExpr(j.On, fn)
+	}
+	walkExpr(sel.Where, fn)
+	for _, e := range sel.GroupBy {
+		walkExpr(e, fn)
+	}
+	walkExpr(sel.Having, fn)
+	for _, ob := range sel.OrderBy {
+		walkExpr(ob.Expr, fn)
+	}
+	walkExpr(sel.Limit, fn)
+	walkExpr(sel.Offset, fn)
+}
+
+func walkExpr(e Expr, fn func(Expr)) {
+	if e == nil {
+		return
+	}
+	fn(e)
+	switch x := e.(type) {
+	case *BinaryExpr:
+		walkExpr(x.Left, fn)
+		walkExpr(x.Right, fn)
+	case *UnaryExpr:
+		walkExpr(x.Expr, fn)
+	case *IsNullExpr:
+		walkExpr(x.Expr, fn)
+	case *InExpr:
+		walkExpr(x.Expr, fn)
+		for _, le := range x.List {
+			walkExpr(le, fn)
+		}
+		walkSelect(x.Sub, fn)
+	case *BetweenExpr:
+		walkExpr(x.Expr, fn)
+		walkExpr(x.Lo, fn)
+		walkExpr(x.Hi, fn)
+	case *FuncCall:
+		for _, a := range x.Args {
+			walkExpr(a, fn)
+		}
+	case *ExistsExpr:
+		walkSelect(x.Sub, fn)
+	case *SubqueryExpr:
+		walkSelect(x.Sub, fn)
+	}
+}
+
+// MaxParam returns the largest positional-parameter index ($n)
+// referenced anywhere in stmts — the number of parameters an
+// execution must bind.
+func MaxParam(stmts []Statement) int {
+	max := 0
+	for _, st := range stmts {
+		WalkExprs(st, func(e Expr) {
+			if p, ok := e.(*Param); ok && p.Index > max {
+				max = p.Index
+			}
+		})
+	}
+	return max
+}

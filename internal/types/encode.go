@@ -110,7 +110,10 @@ func EncodeRow(buf []byte, row []Value) ([]byte, error) {
 // and bytes consumed.
 func DecodeRow(buf []byte) ([]Value, int, error) {
 	n, sz := binary.Uvarint(buf)
-	if sz <= 0 {
+	// Each value encodes to at least one byte: a count the remaining
+	// buffer cannot hold is corruption, caught before the allocation
+	// sized by it.
+	if sz <= 0 || n > uint64(len(buf)-sz) {
 		return nil, 0, fmt.Errorf("types: bad row header")
 	}
 	off := sz

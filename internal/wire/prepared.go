@@ -1,0 +1,455 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ifdb/internal/label"
+	"ifdb/internal/types"
+)
+
+// API v2: prepared statements, streaming results, and cancellation.
+//
+// PREPARE sends a statement's text once; the server parses it, pins
+// the parsed AST in a per-session statement table, and answers with a
+// handle. EXECUTE then ships only the handle and the parameters, and
+// the server streams the result back as chunked ROWS frames — the
+// last chunk carries the statement trailer (error, affected count,
+// label sync, commit token). CLOSESTMT drops a handle; it is
+// fire-and-forget (frames on one connection are processed in order,
+// so a following EXECUTE cannot observe the closed handle).
+//
+// EXECUTE with statement id 0 carries the SQL text inline: the
+// one-shot form the v1 text API is shimmed over. Either form streams,
+// so a result larger than MaxFrame — which the v1 Result frame simply
+// cannot carry — crosses the wire in bounded chunks.
+//
+// CANCEL is out-of-band, Postgres-style: the HelloOK handshake reply
+// hands the client a session id and a random cancel key; a CANCEL
+// frame opens a *fresh* connection, sends the pair as its first (and
+// only) frame, and the server interrupts that session's running
+// statement, aborting its transaction. The key — never sent on the
+// wire again — is what authorizes the cancel; the canceled statement
+// itself fails on its own connection with the engine's cancel error.
+//
+// See ARCHITECTURE.md § Client API v2 for the frame formats and the
+// statement-handle lifecycle.
+const (
+	MsgPrepare    byte = 'B' // client → server: statement text to prepare
+	MsgPrepareRes byte = 'b' // server → client: statement handle or error
+	MsgExecute    byte = 'e' // client → server: handle (or inline SQL) + params
+	MsgRows       byte = 'w' // server → client: one chunk of a streaming result
+	MsgCloseStmt  byte = 'k' // client → server: drop a statement handle (no reply)
+	MsgCancel     byte = 'N' // first frame on a fresh conn: cancel a session's statement
+)
+
+// HelloOK is the handshake reply payload. SessionID names the session
+// for out-of-band cancellation and CancelKey authorizes it (§ CANCEL
+// above). A v1 server sends an empty payload; both fields decode as
+// zero and the client treats cancellation as unsupported.
+type HelloOK struct {
+	SessionID uint64
+	CancelKey uint64
+}
+
+// Encode marshals h.
+func (h *HelloOK) Encode() []byte {
+	buf := appendU64(nil, h.SessionID)
+	return appendU64(buf, h.CancelKey)
+}
+
+// DecodeHelloOK unmarshals a HelloOK payload (empty = v1 server, no
+// cancellation support).
+func DecodeHelloOK(buf []byte) (*HelloOK, error) {
+	var h HelloOK
+	if len(buf) == 0 {
+		return &h, nil
+	}
+	var err error
+	h.SessionID, buf, err = readU64(buf)
+	if err != nil {
+		return nil, err
+	}
+	h.CancelKey, _, err = readU64(buf)
+	if err != nil {
+		return nil, err
+	}
+	return &h, nil
+}
+
+// Prepare asks the server to parse and pin one statement batch.
+type Prepare struct {
+	SQL string
+}
+
+// Encode marshals p.
+func (p *Prepare) Encode() []byte {
+	return appendString(nil, p.SQL)
+}
+
+// DecodePrepare unmarshals a Prepare payload.
+func DecodePrepare(buf []byte) (*Prepare, error) {
+	var p Prepare
+	var err error
+	p.SQL, _, err = readString(buf)
+	if err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// PrepareRes answers a Prepare: the per-session statement handle (ids
+// start at 1; 0 is reserved for the one-shot EXECUTE form) and the
+// number of positional parameters the statement binds.
+type PrepareRes struct {
+	Err       string // empty on success
+	StmtID    uint64
+	NumParams uint32
+}
+
+// Encode marshals r.
+func (r *PrepareRes) Encode() []byte {
+	buf := appendString(nil, r.Err)
+	buf = appendU64(buf, r.StmtID)
+	return binary.LittleEndian.AppendUint32(buf, r.NumParams)
+}
+
+// DecodePrepareRes unmarshals a PrepareRes payload.
+func DecodePrepareRes(buf []byte) (*PrepareRes, error) {
+	var r PrepareRes
+	var err error
+	r.Err, buf, err = readString(buf)
+	if err != nil {
+		return nil, err
+	}
+	r.StmtID, buf, err = readU64(buf)
+	if err != nil {
+		return nil, err
+	}
+	if len(buf) < 4 {
+		return nil, fmt.Errorf("wire: truncated prepare-res")
+	}
+	r.NumParams = binary.LittleEndian.Uint32(buf)
+	return &r, nil
+}
+
+// Execute runs a prepared statement (StmtID from PrepareRes) or, with
+// StmtID 0, the inline SQL — the one-shot form. The label-sync,
+// WaitLSN, and ShardVer fields carry exactly the Query (v1) meanings.
+type Execute struct {
+	StmtID uint64
+	SQL    string // used only when StmtID == 0
+	Params []types.Value
+
+	SyncLabel bool
+	Label     label.Label
+	ILabel    label.Label
+	Principal uint64
+
+	WaitLSN  uint64
+	ShardVer uint64
+
+	// ChunkRows asks the server to bound each ROWS frame to that many
+	// rows (0 = server default). The server may send smaller chunks —
+	// frames are also bounded by MaxFrame — but never larger ones.
+	ChunkRows uint32
+}
+
+// Encode marshals e.
+func (e *Execute) Encode() ([]byte, error) {
+	buf := appendU64(nil, e.StmtID)
+	buf = appendString(buf, e.SQL)
+	var err error
+	buf, err = types.EncodeRow(buf, e.Params)
+	if err != nil {
+		return nil, err
+	}
+	if e.SyncLabel {
+		buf = append(buf, 1)
+		buf = appendLabel(buf, e.Label)
+		buf = appendLabel(buf, e.ILabel)
+		buf = appendU64(buf, e.Principal)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = appendU64(buf, e.WaitLSN)
+	buf = appendU64(buf, e.ShardVer)
+	return binary.LittleEndian.AppendUint32(buf, e.ChunkRows), nil
+}
+
+// DecodeExecute unmarshals an Execute payload.
+func DecodeExecute(buf []byte) (*Execute, error) {
+	var e Execute
+	var err error
+	e.StmtID, buf, err = readU64(buf)
+	if err != nil {
+		return nil, err
+	}
+	e.SQL, buf, err = readString(buf)
+	if err != nil {
+		return nil, err
+	}
+	params, n, err := types.DecodeRow(buf)
+	if err != nil {
+		return nil, err
+	}
+	e.Params = params
+	buf = buf[n:]
+	if len(buf) < 1 {
+		return nil, fmt.Errorf("wire: truncated execute")
+	}
+	if buf[0] == 1 {
+		e.SyncLabel = true
+		buf = buf[1:]
+		e.Label, buf, err = readLabel(buf)
+		if err != nil {
+			return nil, err
+		}
+		e.ILabel, buf, err = readLabel(buf)
+		if err != nil {
+			return nil, err
+		}
+		e.Principal, buf, err = readU64(buf)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		buf = buf[1:]
+	}
+	e.WaitLSN, buf, err = readU64(buf)
+	if err != nil {
+		return nil, err
+	}
+	e.ShardVer, buf, err = readU64(buf)
+	if err != nil {
+		return nil, err
+	}
+	if len(buf) < 4 {
+		return nil, fmt.Errorf("wire: truncated execute")
+	}
+	e.ChunkRows = binary.LittleEndian.Uint32(buf)
+	return &e, nil
+}
+
+// RowsChunk is one frame of a streaming result. The first chunk
+// carries the column names; the final one (Done) carries the
+// statement trailer — the error, affected count, the server's
+// post-statement labels, the commit token, and (on a stale-shard-map
+// refusal) the server's current map. A failed statement is a single
+// chunk with Done set and Err non-empty; chunks after the first never
+// repeat Cols.
+type RowsChunk struct {
+	First     bool
+	Done      bool
+	Cols      []string // first chunk only
+	Rows      [][]types.Value
+	RowLabels []label.Label // nil when IFC off; else len == len(Rows)
+
+	// Trailer, meaningful when Done:
+	Err      string
+	Affected int64
+	Label    label.Label
+	ILabel   label.Label
+	Epoch    uint64
+	LSN      uint64
+	ShardMap *ShardMap
+}
+
+// Chunk flag bits.
+const (
+	chunkFirst    = 1 << 0
+	chunkDone     = 1 << 1
+	chunkLabels   = 1 << 2
+	chunkShardMap = 1 << 3
+)
+
+// Encode marshals c.
+func (c *RowsChunk) Encode() ([]byte, error) {
+	var flags byte
+	if c.First {
+		flags |= chunkFirst
+	}
+	if c.Done {
+		flags |= chunkDone
+	}
+	if c.RowLabels != nil {
+		flags |= chunkLabels
+	}
+	if c.Done && c.ShardMap != nil {
+		flags |= chunkShardMap
+	}
+	buf := []byte{flags}
+	if c.First {
+		buf = binary.AppendUvarint(buf, uint64(len(c.Cols)))
+		for _, col := range c.Cols {
+			buf = appendString(buf, col)
+		}
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(c.Rows)))
+	var err error
+	for _, row := range c.Rows {
+		buf, err = types.EncodeRow(buf, row)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if c.RowLabels != nil {
+		for _, l := range c.RowLabels {
+			buf = appendLabel(buf, l)
+		}
+	}
+	if c.Done {
+		buf = appendString(buf, c.Err)
+		buf = appendU64(buf, uint64(c.Affected))
+		buf = appendLabel(buf, c.Label)
+		buf = appendLabel(buf, c.ILabel)
+		buf = appendU64(buf, c.Epoch)
+		buf = appendU64(buf, c.LSN)
+		if c.ShardMap != nil {
+			buf = append(buf, c.ShardMap.Encode()...)
+		}
+	}
+	return buf, nil
+}
+
+// DecodeRowsChunk unmarshals a RowsChunk payload.
+func DecodeRowsChunk(buf []byte) (*RowsChunk, error) {
+	if len(buf) < 1 {
+		return nil, fmt.Errorf("wire: truncated rows chunk")
+	}
+	c := &RowsChunk{
+		First: buf[0]&chunkFirst != 0,
+		Done:  buf[0]&chunkDone != 0,
+	}
+	hasLabels := buf[0]&chunkLabels != 0
+	hasMap := buf[0]&chunkShardMap != 0
+	buf = buf[1:]
+	var err error
+	if c.First {
+		ncols, sz := binary.Uvarint(buf)
+		if sz <= 0 || ncols > uint64(len(buf)) {
+			return nil, fmt.Errorf("wire: bad rows chunk cols")
+		}
+		buf = buf[sz:]
+		c.Cols = make([]string, ncols)
+		for i := range c.Cols {
+			c.Cols[i], buf, err = readString(buf)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	nrows, sz := binary.Uvarint(buf)
+	if sz <= 0 || nrows > uint64(len(buf)) {
+		return nil, fmt.Errorf("wire: bad rows chunk rows")
+	}
+	buf = buf[sz:]
+	c.Rows = make([][]types.Value, nrows)
+	for i := range c.Rows {
+		row, n, err := types.DecodeRow(buf)
+		if err != nil {
+			return nil, err
+		}
+		c.Rows[i] = row
+		buf = buf[n:]
+	}
+	if hasLabels {
+		c.RowLabels = make([]label.Label, nrows)
+		for i := range c.RowLabels {
+			c.RowLabels[i], buf, err = readLabel(buf)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	if c.Done {
+		c.Err, buf, err = readString(buf)
+		if err != nil {
+			return nil, err
+		}
+		var aff uint64
+		aff, buf, err = readU64(buf)
+		if err != nil {
+			return nil, err
+		}
+		c.Affected = int64(aff)
+		c.Label, buf, err = readLabel(buf)
+		if err != nil {
+			return nil, err
+		}
+		c.ILabel, buf, err = readLabel(buf)
+		if err != nil {
+			return nil, err
+		}
+		c.Epoch, buf, err = readU64(buf)
+		if err != nil {
+			return nil, err
+		}
+		c.LSN, buf, err = readU64(buf)
+		if err != nil {
+			return nil, err
+		}
+		if hasMap {
+			c.ShardMap, err = DecodeShardMap(buf)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return c, nil
+}
+
+// CloseStmt drops a statement handle. Fire-and-forget: the server
+// sends no reply, and frame ordering guarantees a later EXECUTE on
+// the same connection cannot race the close.
+type CloseStmt struct {
+	StmtID uint64
+}
+
+// Encode marshals c.
+func (c *CloseStmt) Encode() []byte {
+	return appendU64(nil, c.StmtID)
+}
+
+// DecodeCloseStmt unmarshals a CloseStmt payload.
+func DecodeCloseStmt(buf []byte) (*CloseStmt, error) {
+	var c CloseStmt
+	var err error
+	c.StmtID, _, err = readU64(buf)
+	if err != nil {
+		return nil, err
+	}
+	return &c, nil
+}
+
+// Cancel interrupts another session's running statement. It must be
+// the first frame on a fresh connection (in place of Hello); the
+// server verifies the key, cancels, and closes the connection without
+// replying — exactly the Postgres cancel-request shape, so a client
+// blocked reading its own statement's reply never deadlocks on the
+// cancel path.
+type Cancel struct {
+	SessionID uint64
+	CancelKey uint64
+}
+
+// Encode marshals c.
+func (c *Cancel) Encode() []byte {
+	buf := appendU64(nil, c.SessionID)
+	return appendU64(buf, c.CancelKey)
+}
+
+// DecodeCancel unmarshals a Cancel payload.
+func DecodeCancel(buf []byte) (*Cancel, error) {
+	var c Cancel
+	var err error
+	c.SessionID, buf, err = readU64(buf)
+	if err != nil {
+		return nil, err
+	}
+	c.CancelKey, _, err = readU64(buf)
+	if err != nil {
+		return nil, err
+	}
+	return &c, nil
+}

@@ -15,6 +15,9 @@
 //   - SHARDMAP frames (shard.go): the version-stamped shard map, plus
 //     version fencing — a statement routed under a stale map version
 //     is refused with the current map attached to the Result;
+//   - API v2 frames (prepared.go): PREPARE/EXECUTE statement handles
+//     that pin the parsed AST server-side, chunked ROWS streaming,
+//     and out-of-band CANCEL keyed by the HelloOK handshake;
 //   - read-your-writes plumbing: Query.WaitLSN delays a replica read
 //     until the replica has applied the client's last acknowledged
 //     write; Result carries the (epoch, LSN) commit token that feeds
@@ -117,7 +120,9 @@ func appendLabel(buf []byte, l label.Label) []byte {
 
 func readLabel(buf []byte) (label.Label, []byte, error) {
 	n, sz := binary.Uvarint(buf)
-	if sz <= 0 {
+	// Each tag takes 8 bytes: a count the remaining payload cannot
+	// hold is corruption, caught before the allocation sized by it.
+	if sz <= 0 || n > uint64(len(buf)-sz)/8 {
 		return nil, nil, fmt.Errorf("wire: bad label")
 	}
 	buf = buf[sz:]

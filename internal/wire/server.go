@@ -2,12 +2,15 @@ package wire
 
 import (
 	"bufio"
+	"crypto/rand"
 	"crypto/subtle"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"log"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ifdb/internal/authority"
@@ -15,6 +18,17 @@ import (
 	"ifdb/internal/label"
 	"ifdb/internal/wal"
 )
+
+// DefaultChunkRows is the server's default bound on rows per
+// streaming ROWS frame when the Execute did not ask for one.
+const DefaultChunkRows = 256
+
+// MaxSessionStmts bounds one connection's prepared-statement table.
+// The limit is a hard refusal, not an eviction: silently dropping a
+// handle would break a client that still holds it. Well above the
+// client library's own per-conn cache (128), so only a leaky caller
+// preparing without closing ever sees it.
+const MaxSessionStmts = 512
 
 // Server accepts client-platform connections and maps each to an
 // engine session. Per the paper's architecture (§2), the server trusts
@@ -30,6 +44,15 @@ type Server struct {
 	closed   bool
 	conns    map[net.Conn]bool
 	ErrorLog *log.Logger
+
+	// Cancellation registry: session id → (cancel key, session). A
+	// CANCEL frame on a fresh connection names a session and proves
+	// knowledge of its key (handed out once, in HelloOK); the server
+	// interrupts that session's running statement. Keys never recross
+	// the wire after the handshake.
+	sessMu   sync.Mutex
+	sessions map[uint64]*cancelTarget
+	sessSeq  atomic.Uint64
 
 	// Promote, when set, handles MsgPromote frames: it must stop the
 	// node's replication stream and promote the engine (typically
@@ -60,7 +83,59 @@ type Server struct {
 // NewServer creates a server over eng. token guards Hello; empty means
 // accept anyone (tests, local examples).
 func NewServer(eng *engine.Engine, token string) *Server {
-	return &Server{eng: eng, token: token, conns: make(map[net.Conn]bool)}
+	return &Server{
+		eng: eng, token: token,
+		conns:    make(map[net.Conn]bool),
+		sessions: make(map[uint64]*cancelTarget),
+	}
+}
+
+// cancelTarget is one registered session as the cancel path sees it.
+type cancelTarget struct {
+	key  uint64
+	sess *engine.Session
+}
+
+// registerSession assigns a session id and a random cancel key.
+func (s *Server) registerSession(sess *engine.Session) (id, key uint64) {
+	id = s.sessSeq.Add(1)
+	var kb [8]byte
+	if _, err := rand.Read(kb[:]); err == nil {
+		key = binary.LittleEndian.Uint64(kb[:])
+	} else {
+		// No entropy: leave the key zero rather than fail the
+		// handshake; cancellation degrades, queries don't.
+		key = 0
+	}
+	s.sessMu.Lock()
+	s.sessions[id] = &cancelTarget{key: key, sess: sess}
+	s.sessMu.Unlock()
+	return id, key
+}
+
+func (s *Server) unregisterSession(id uint64) {
+	s.sessMu.Lock()
+	delete(s.sessions, id)
+	s.sessMu.Unlock()
+}
+
+// cancelSession services a CANCEL frame: constant-time key check,
+// then interrupt the target session's statement. Unknown ids and bad
+// keys are silently ignored (the requester is unauthenticated).
+func (s *Server) cancelSession(c *Cancel) {
+	s.sessMu.Lock()
+	t := s.sessions[c.SessionID]
+	s.sessMu.Unlock()
+	if t == nil {
+		return
+	}
+	var want, got [8]byte
+	binary.LittleEndian.PutUint64(want[:], t.key)
+	binary.LittleEndian.PutUint64(got[:], c.CancelKey)
+	if subtle.ConstantTimeCompare(want[:], got[:]) != 1 {
+		return
+	}
+	t.sess.Cancel()
 }
 
 // Serve accepts connections on ln until Close.
@@ -136,6 +211,15 @@ func (s *Server) handle(conn net.Conn) {
 	if err != nil {
 		return
 	}
+	if typ == MsgCancel {
+		// Out-of-band cancellation: a fresh connection whose first and
+		// only frame names a session and proves its key. No reply, no
+		// Hello — mirroring Postgres' cancel-request connections.
+		if c, err := DecodeCancel(payload); err == nil {
+			s.cancelSession(c)
+		}
+		return
+	}
 	if typ != MsgHello {
 		s.logf("wire: first frame %c, want Hello", typ)
 		return
@@ -153,12 +237,20 @@ func (s *Server) handle(conn net.Conn) {
 		return
 	}
 	sess := s.eng.NewSession(authority.Principal(hello.Principal))
-	if err := WriteFrame(w, MsgHelloOK, nil); err != nil {
+	sid, skey := s.registerSession(sess)
+	defer s.unregisterSession(sid)
+	if err := WriteFrame(w, MsgHelloOK, (&HelloOK{SessionID: sid, CancelKey: skey}).Encode()); err != nil {
 		return
 	}
 	if err := w.Flush(); err != nil {
 		return
 	}
+
+	// stmts is this connection's prepared-statement table: handle →
+	// pinned AST. Handles are connection-scoped (they die with it) and
+	// start at 1; 0 is the one-shot EXECUTE form.
+	stmts := make(map[uint64]*engine.Prepared)
+	var stmtSeq uint64
 
 	for {
 		typ, payload, err := ReadFrame(r)
@@ -188,6 +280,48 @@ func (s *Server) handle(conn net.Conn) {
 				return
 			}
 			if err := WriteFrame(w, MsgResult, enc); err != nil {
+				return
+			}
+			if err := w.Flush(); err != nil {
+				return
+			}
+		case MsgPrepare:
+			p, err := DecodePrepare(payload)
+			if err != nil {
+				s.logf("wire: bad prepare: %v", err)
+				return
+			}
+			res := &PrepareRes{}
+			if len(stmts) >= MaxSessionStmts {
+				res.Err = fmt.Sprintf("wire: too many prepared statements on this connection (max %d); close some", MaxSessionStmts)
+			} else if prep, perr := sess.Prepare(p.SQL); perr != nil {
+				res.Err = perr.Error()
+			} else {
+				stmtSeq++
+				stmts[stmtSeq] = prep
+				res.StmtID = stmtSeq
+				res.NumParams = uint32(prep.NumParams)
+			}
+			if err := WriteFrame(w, MsgPrepareRes, res.Encode()); err != nil {
+				return
+			}
+			if err := w.Flush(); err != nil {
+				return
+			}
+		case MsgCloseStmt:
+			c, err := DecodeCloseStmt(payload)
+			if err != nil {
+				s.logf("wire: bad closestmt: %v", err)
+				return
+			}
+			delete(stmts, c.StmtID) // no reply: fire-and-forget
+		case MsgExecute:
+			e, err := DecodeExecute(payload)
+			if err != nil {
+				s.logf("wire: bad execute: %v", err)
+				return
+			}
+			if err := s.runExecute(sess, stmts, e, w); err != nil {
 				return
 			}
 			if err := w.Flush(); err != nil {
@@ -346,6 +480,137 @@ func (s *Server) runQuery(sess *engine.Session, q *Query) *Result {
 	out.Epoch = s.eng.Epoch()
 	out.LSN = sess.CommitToken()
 	return out
+}
+
+// runExecute services one EXECUTE: the v2 statement path. It mirrors
+// runQuery's fencing and read-your-writes wait, executes the prepared
+// handle (or the inline one-shot SQL), and streams the result back as
+// chunked ROWS frames — each bounded by the requested chunk size and
+// by MaxFrame — with the statement trailer on the final chunk. A
+// returned error means the connection is broken; statement failures
+// travel inside the stream.
+func (s *Server) runExecute(sess *engine.Session, stmts map[uint64]*engine.Prepared, e *Execute, w *bufio.Writer) error {
+	// A cancel can only be meant for the statement that was running
+	// when it was sent; don't let a late one kill this fresh statement
+	// before it starts.
+	sess.ResetCancel()
+	if e.SyncLabel {
+		sess.SetLabelUnsafe(e.Label)
+		sess.SetIntegrityUnsafe(e.ILabel)
+		sess.SetPrincipalUnsafe(authority.Principal(e.Principal))
+	}
+	trailer := func(errMsg string, m *ShardMap) *RowsChunk {
+		return &RowsChunk{
+			Done: true, Err: errMsg, ShardMap: m,
+			Label: sess.Label(), ILabel: sess.Integrity(),
+			Epoch: s.eng.Epoch(), LSN: sess.CommitToken(),
+		}
+	}
+	// Shard-map version fencing, exactly as in runQuery.
+	if s.ShardMap != nil && e.ShardVer != 0 {
+		if m := s.ShardMap(); m != nil && e.ShardVer < m.Version {
+			msg := fmt.Sprintf("%s: statement routed under version %d, server at version %d", StaleShardMapErr, e.ShardVer, m.Version)
+			c := trailer(msg, m)
+			c.First = true
+			return writeChunk(w, c)
+		}
+	}
+	if e.WaitLSN > 0 {
+		if err := s.waitApplied(e.WaitLSN); err != nil {
+			c := trailer(err.Error(), nil)
+			c.First = true
+			return writeChunk(w, c)
+		}
+	}
+	var res *engine.Result
+	var err error
+	if e.StmtID != 0 {
+		p := stmts[e.StmtID]
+		if p == nil {
+			err = fmt.Errorf("wire: unknown statement handle %d", e.StmtID)
+		} else {
+			res, err = sess.ExecPrepared(p, e.Params...)
+		}
+	} else {
+		res, err = sess.Exec(e.SQL, e.Params...)
+	}
+	if err != nil {
+		c := trailer(err.Error(), nil)
+		c.First = true
+		return writeChunk(w, c)
+	}
+	return s.streamResult(w, res, e.ChunkRows, trailer)
+}
+
+// streamResult writes res as a sequence of ROWS chunks. The engine
+// still materializes results (streaming execution is future work);
+// what chunking buys today is bounded frames — a result bigger than
+// MaxFrame, which the v1 Result frame cannot carry at all — and a
+// client that never holds more than one chunk of a large fan-out
+// read in memory.
+func (s *Server) streamResult(w *bufio.Writer, res *engine.Result, chunkRows uint32, trailer func(string, *ShardMap) *RowsChunk) error {
+	chunk := int(chunkRows)
+	if chunk <= 0 || chunk > 1<<20 {
+		chunk = DefaultChunkRows
+	}
+	first := true
+	for off := 0; off < len(res.Rows); off += chunk {
+		end := off + chunk
+		if end > len(res.Rows) {
+			end = len(res.Rows)
+		}
+		c := &RowsChunk{Rows: res.Rows[off:end]}
+		if res.RowLabels != nil {
+			c.RowLabels = res.RowLabels[off:end]
+		}
+		if first {
+			c.First = true
+			c.Cols = res.Cols
+			first = false
+		}
+		if err := writeChunk(w, c); err != nil {
+			return err
+		}
+	}
+	t := trailer("", nil)
+	t.Affected = int64(res.Affected)
+	t.First = first // zero-row results: the trailer is also the first chunk
+	if first {
+		t.Cols = res.Cols
+	}
+	return writeChunk(w, t)
+}
+
+// writeChunk encodes and sends one ROWS frame, splitting the chunk in
+// half (recursively) when the encoding would exceed the frame limit —
+// only a single unencodable row gives up.
+func writeChunk(w *bufio.Writer, c *RowsChunk) error {
+	enc, err := c.Encode()
+	if err != nil {
+		return err
+	}
+	if len(enc)+1 <= MaxFrame {
+		return WriteFrame(w, MsgRows, enc)
+	}
+	if len(c.Rows) <= 1 {
+		return fmt.Errorf("wire: single row exceeds the %d-byte frame limit", MaxFrame)
+	}
+	half := len(c.Rows) / 2
+	left := &RowsChunk{First: c.First, Cols: c.Cols, Rows: c.Rows[:half]}
+	right := &RowsChunk{
+		Rows: c.Rows[half:],
+		Done: c.Done, Err: c.Err, Affected: c.Affected,
+		Label: c.Label, ILabel: c.ILabel, Epoch: c.Epoch, LSN: c.LSN,
+		ShardMap: c.ShardMap,
+	}
+	if c.RowLabels != nil {
+		left.RowLabels = c.RowLabels[:half]
+		right.RowLabels = c.RowLabels[half:]
+	}
+	if err := writeChunk(w, left); err != nil {
+		return err
+	}
+	return writeChunk(w, right)
 }
 
 func (s *Server) runControl(sess *engine.Session, c *Control) *CtrlRes {

@@ -44,6 +44,21 @@ if echo "$out" | grep -q "error:"; then
   exit 1
 fi
 
+# --- 1b. The "Using database/sql" walkthrough: the README's Go block
+# must be byte-identical to examples/sqldriver/main.go (no drift), and
+# the example must run green against the quickstart server still up on
+# 15433.
+awk '/<!-- sqldriver-begin -->/{f=1;next} /<!-- sqldriver-end -->/{f=0} f' README.md \
+  | sed '/^```/d' > "$workdir/sqldriver.go"
+if ! diff -u examples/sqldriver/main.go "$workdir/sqldriver.go"; then
+  echo "docs_smoke: README sqldriver block drifted from examples/sqldriver/main.go" >&2
+  exit 1
+fi
+driverout=$(go run ./examples/sqldriver -addr 127.0.0.1:15433 -token demo)
+echo "$driverout"
+echo "$driverout" | grep -q "sqldriver: OK" || { echo "docs_smoke: sqldriver walkthrough failed"; exit 1; }
+echo "$driverout" | grep -q "2. ship database  done=true" || { echo "docs_smoke: sqldriver output drifted"; exit 1; }
+
 # --- 2. The sharded-cluster walkthrough's map file parses and serves.
 awk '/# shards.conf/{f=1;next} /^```/{if(f)exit} f' README.md > "$workdir/shards.conf"
 if ! grep -q "^shard 0" "$workdir/shards.conf"; then

@@ -7,6 +7,7 @@ import (
 	"net"
 	"strconv"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -483,5 +484,138 @@ func TestRouterShardFailoverPerShard(t *testing.T) {
 	res, err := replica.AdminSession().Exec(`SELECT v FROM kv WHERE k = $1`, ifdb.Int(k0))
 	if err != nil || len(res.Rows) != 1 || res.Rows[0][0].Int() != 2 {
 		t.Fatalf("shard 0 write did not land on the promoted replica: %v %v", err, res)
+	}
+}
+
+// TestShardedPreparedStatements covers prepared statements through a
+// sharded Router: the shard-key derivation is computed once at
+// prepare time by the SQL parser, every execution routes off it with
+// that execution's parameters (the ownership guards would refuse any
+// misroute), executions never re-parse (asserted via the engines'
+// parse counters), IN lists route when single-shard, and a fan-out
+// streaming read survives a stale-map refusal that lands mid-merge —
+// after one shard's rows already streamed.
+func TestShardedPreparedStatements(t *testing.T) {
+	var mu sync.Mutex
+	cur := &wire.ShardMap{Version: 1, Keys: map[string]string{"kv": "k"}}
+	mapFn := func() *wire.ShardMap { mu.Lock(); defer mu.Unlock(); return cur }
+	addr0, db0, _ := startShard(t, mapFn, 0)
+	addr1, db1, _ := startShard(t, mapFn, 1)
+	cur.Shards = []wire.Shard{{ID: 0, Primary: addr0}, {ID: 1, Primary: addr1}}
+
+	router, err := client.OpenRouter(client.RouterConfig{Addrs: []string{addr0, addr1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer router.Close()
+	if _, err := router.Exec(`CREATE TABLE kv (k BIGINT PRIMARY KEY, v TEXT)`); err != nil {
+		t.Fatal(err)
+	}
+
+	// Prepared sharded inserts: one plan, routed per-execution by $1.
+	ins, err := router.Prepare(`INSERT INTO kv VALUES ($1, $2)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ins.Close()
+	const rows = 40
+	for i := 0; i < rows; i++ {
+		if _, err := ins.Exec(ifdb.Int(int64(i)), ifdb.Text(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatalf("prepared insert %d: %v", i, err)
+		}
+	}
+	count := func(db *ifdb.DB) int {
+		res, err := db.AdminSession().Exec(`SELECT k FROM kv`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(res.Rows)
+	}
+	n0, n1 := count(db0), count(db1)
+	if n0+n1 != rows || n0 == 0 || n1 == 0 {
+		t.Fatalf("prepared inserts split %d+%d, want %d across both shards", n0, n1, rows)
+	}
+
+	// Prepared single-key reads route to the owning shard, and — once
+	// each shard's pooled conn holds the handles — executions stop
+	// invoking either engine's parser entirely.
+	sel, err := router.Prepare(`SELECT v FROM kv WHERE k = $1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sel.Close()
+	for _, i := range []int{0, 7, 19, 33} { // warm both shards' handles
+		if res, err := sel.Exec(ifdb.Int(int64(i))); err != nil || len(res.Rows) != 1 ||
+			res.Rows[0][0].Text() != fmt.Sprintf("v%d", i) {
+			t.Fatalf("prepared read of key %d: %v %v", i, res, err)
+		}
+	}
+	base0, base1 := db0.Engine().ParseCount(), db1.Engine().ParseCount()
+	for round := 0; round < 3; round++ {
+		for i := 0; i < rows; i++ {
+			if _, err := sel.Exec(ifdb.Int(int64(i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if g0, g1 := db0.Engine().ParseCount(), db1.Engine().ParseCount(); g0 != base0 || g1 != base1 {
+		t.Fatalf("prepared executions re-parsed: shard0 %d->%d, shard1 %d->%d", base0, g0, base1, g1)
+	}
+
+	// IN lists: same-shard lists route (the guard on the other shard
+	// would refuse a misroute); cross-shard lists fan out — both
+	// return exactly the matching rows.
+	k0a := keyForShard(cur, 0)
+	k0b := keyForShard(cur, 0, k0a)
+	k1 := keyForShard(cur, 1)
+	selIn, err := router.Prepare(`SELECT v FROM kv WHERE k IN ($1, $2)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer selIn.Close()
+	if res, err := selIn.Exec(ifdb.Int(k0a), ifdb.Int(k0b)); err != nil || len(res.Rows) != 2 {
+		t.Fatalf("same-shard IN list: %v %v", res, err)
+	}
+	if res, err := selIn.Exec(ifdb.Int(k0a), ifdb.Int(k1)); err != nil || len(res.Rows) != 2 {
+		t.Fatalf("cross-shard IN list (fan-out): %v %v", res, err)
+	}
+
+	// Streaming fan-out with a stale-map refusal MID-MERGE: consume
+	// shard 0's rows, bump the servers' map version, and let the merge
+	// hit shard 1 under the now-stale version — the refusal's attached
+	// map is adopted and shard 1 re-routed, rows intact.
+	keyless, err := router.Prepare(`SELECT k FROM kv`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer keyless.Close()
+	stream, err := keyless.Query()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	for stream.Next() {
+		got++
+		if got == 3 {
+			// Shard 0's stream is open and partially consumed; shard
+			// 1 has not been contacted. Reconfigure now.
+			mu.Lock()
+			bumped := cur.Clone()
+			bumped.Version = 3
+			cur = bumped
+			mu.Unlock()
+		}
+	}
+	if err := stream.Close(); err != nil {
+		t.Fatalf("fan-out stream across map bump: %v", err)
+	}
+	if got != rows {
+		t.Fatalf("fan-out stream merged %d rows, want %d", got, rows)
+	}
+
+	// The Router adopted version 3 mid-stream: a prepared write now
+	// routes under it without another refusal round trip.
+	if _, err := ins.Exec(ifdb.Int(int64(rows)), ifdb.Text("post-bump")); err != nil {
+		t.Fatalf("prepared write after adopted map: %v", err)
 	}
 }
