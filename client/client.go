@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"ifdb/internal/label"
+	"ifdb/internal/obs"
 	"ifdb/internal/types"
 	"ifdb/internal/wire"
 )
@@ -129,6 +130,11 @@ type Conn struct {
 	// multiplexes statements over pooled conns and wants each conn to
 	// prepare a routed statement at most once (see preparedFor).
 	stmts map[string]*Stmt
+
+	// lastTraceID is the trace ID stamped on the most recent statement
+	// this connection sent; servers echo it in slow-query audit lines
+	// and the \stats breakdown, tying client and server views together.
+	lastTraceID uint64
 }
 
 // serverError marks an error the server reported (SQL errors, refused
@@ -414,7 +420,9 @@ func (c *Conn) startExec(stmtID uint64, sqlText string, waitLSN, shardVer uint64
 	e := &wire.Execute{
 		StmtID: stmtID, SQL: sqlText, Params: params,
 		WaitLSN: waitLSN, ShardVer: shardVer, ChunkRows: chunkRows,
+		TraceID: obs.NewTraceID(),
 	}
+	c.lastTraceID = e.TraceID
 	if c.dirty {
 		e.SyncLabel = true
 		e.Label = c.plabel
@@ -597,6 +605,51 @@ func (c *Conn) Delegate(grantee uint64, t Tag) error {
 func (c *Conn) Revoke(grantee uint64, t Tag) error {
 	_, err := c.control(&wire.Control{Op: "revoke", Nums: []uint64{grantee, uint64(t)}})
 	return err
+}
+
+// LastTraceID returns the trace ID stamped on the most recent
+// statement this connection sent (0 before the first statement). Grep
+// the server's audit/slow-query log for obs.TraceID-formatted IDs to
+// find the matching server-side lines.
+func (c *Conn) LastTraceID() uint64 { return c.lastTraceID }
+
+// StmtStats is the server-side timing breakdown of this connection's
+// most recent statement, as recorded by the server session.
+type StmtStats struct {
+	// TraceID echoes the ID the client stamped on the statement.
+	TraceID uint64
+	// ParseNs is parser time (0 for prepared executions — they never
+	// parse); PlanNs is server-side admission (label sync, shard
+	// fencing, read-your-writes waits); ExecNs is engine execution;
+	// StreamNs is result encoding and streaming.
+	ParseNs, PlanNs, ExecNs, StreamNs int64
+}
+
+// Stats fetches the server's timing breakdown for the most recent
+// statement on this connection (ifdb-cli's \stats). It deliberately
+// bypasses the label-sync flush and reconnect machinery: both would
+// run a statement of their own and overwrite the very breakdown being
+// asked for.
+func (c *Conn) Stats() (*StmtStats, error) {
+	resp, err := c.roundTrip(wire.MsgControl, (&wire.Control{Op: "stats"}).Encode(), wire.MsgCtrlRes)
+	if err != nil {
+		return nil, err
+	}
+	res, err := wire.DecodeCtrlRes(resp)
+	if err != nil {
+		return nil, err
+	}
+	if res.Err != "" {
+		return nil, &serverError{msg: res.Err}
+	}
+	if len(res.Nums) < 5 {
+		return nil, fmt.Errorf("client: malformed stats reply (%d fields)", len(res.Nums))
+	}
+	return &StmtStats{
+		TraceID: res.Nums[0],
+		ParseNs: int64(res.Nums[1]), PlanNs: int64(res.Nums[2]),
+		ExecNs: int64(res.Nums[3]), StreamNs: int64(res.Nums[4]),
+	}, nil
 }
 
 // HasAuthority asks whether the acting principal can declassify t.

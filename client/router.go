@@ -33,6 +33,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -229,6 +230,7 @@ func (r *Router) Reprobe() error {
 	type probe struct {
 		addr string
 		st   *Status
+		err  error
 	}
 	addrs := r.addrs()
 	results := make(chan probe, len(addrs))
@@ -237,23 +239,32 @@ func (r *Router) Reprobe() error {
 			conn, err := r.dial(addr)
 			if err != nil {
 				r.setDown(addr)
-				results <- probe{addr, nil}
+				mShardErrors.Inc()
+				results <- probe{addr: addr, err: fmt.Errorf("probe %s: %w", addr, err)}
 				return
 			}
 			st, err := conn.Status()
 			conn.Close()
 			if err != nil {
 				r.setDown(addr)
-				results <- probe{addr, nil}
+				mShardErrors.Inc()
+				results <- probe{addr: addr, err: fmt.Errorf("probe %s: %w", addr, err)}
 				return
 			}
-			results <- probe{addr, st}
+			results <- probe{addr: addr, st: st}
 		}(addr)
 	}
+	// Keep every failed probe's error: a sweep that finds no primary
+	// must say *why each node* was unusable, not silently report the
+	// aggregate as "unreachable".
 	var probes []probe
+	var probeErrs []error
 	for range addrs {
-		if p := <-results; p.st != nil {
+		p := <-results
+		if p.st != nil {
 			probes = append(probes, p)
+		} else if p.err != nil {
+			probeErrs = append(probeErrs, p.err)
 		}
 	}
 	r.mu.Lock()
@@ -282,6 +293,7 @@ func (r *Router) Reprobe() error {
 		}
 	}
 	if r.primary == "" {
+		perr := errors.Join(probeErrs...)
 		if r.smap != nil {
 			// Sharded mode has no single primary: per-shard primaries
 			// are derived from the freshly-probed roles on demand, and a
@@ -290,9 +302,12 @@ func (r *Router) Reprobe() error {
 			// dead or misaddressed cluster should say so immediately,
 			// not spin out a FailoverTimeout on the first statement.
 			if len(probes) == 0 {
-				return fmt.Errorf("client: no reachable nodes among %v", r.cfg.Addrs)
+				return fmt.Errorf("client: no reachable nodes among %v: %w", r.cfg.Addrs, perr)
 			}
 			return nil
+		}
+		if perr != nil {
+			return fmt.Errorf("client: no reachable primary among %v: %w", r.cfg.Addrs, perr)
 		}
 		return fmt.Errorf("client: no reachable primary among %v", r.cfg.Addrs)
 	}
@@ -499,6 +514,7 @@ func (r *Router) write(ctx context.Context, rs routedStmt, params []Value) (*Res
 		// Follow the promotion; rate-limited so a herd of blocked
 		// writers shares one probe sweep instead of each serially
 		// dialing every node per retry.
+		mRouterRetries.Inc()
 		r.maybeReprobe()
 		time.Sleep(100 * time.Millisecond)
 	}
@@ -629,6 +645,7 @@ func (r *Router) execOnShard(ctx context.Context, rs routedStmt, addr string, wa
 		// case.
 		c.Close()
 		r.flushPool(addr)
+		mRouterRetries.Inc()
 		if c, err = r.dial(addr); err != nil {
 			return nil, err
 		}
@@ -743,6 +760,7 @@ func (r *Router) writeSharded(ctx context.Context, rs routedStmt, target func(m 
 			return nil, err
 		}
 		if addr := r.shardPrimary(m, sid); addr != "" {
+			mShardRouted.With(strconv.FormatUint(uint64(sid), 10)).Inc()
 			res, err := r.execOnShard(ctx, rs, addr, 0, m.Version, params)
 			if err == nil {
 				r.noteShardWrite(sid, res)
@@ -750,8 +768,10 @@ func (r *Router) writeSharded(ctx context.Context, rs routedStmt, target func(m 
 			}
 			lastErr = err
 			if nm := StaleShardMap(err); nm != nil {
+				mStaleMapRefusals.Inc()
 				if nm.Version > m.Version {
 					r.adoptMap(nm)
+					mRouterRetries.Inc()
 					continue // re-route immediately under the new map
 				}
 				// The node is behind our map (mid-reconfiguration): the
@@ -765,6 +785,7 @@ func (r *Router) writeSharded(ctx context.Context, rs routedStmt, target func(m 
 		if time.Now().After(deadline) {
 			return nil, fmt.Errorf("client: shard write failed over for %v: %w", r.cfg.FailoverTimeout, lastErr)
 		}
+		mRouterRetries.Inc()
 		r.maybeReprobe()
 		time.Sleep(100 * time.Millisecond)
 	}
@@ -810,15 +831,18 @@ func (r *Router) readSharded(ctx context.Context, rs routedStmt, target func(m *
 					continue
 				}
 			}
+			mShardRouted.With(strconv.FormatUint(uint64(sid), 10)).Inc()
 			res, err := r.execOnShard(ctx, rs, addr, wait, m.Version, params)
 			if err == nil {
 				return res, nil
 			}
 			lastErr = err
 			if nm := StaleShardMap(err); nm != nil {
+				mStaleMapRefusals.Inc()
 				if nm.Version > m.Version {
 					r.adoptMap(nm)
 					adopted = true
+					mRouterRetries.Inc()
 					break // second attempt under the new map
 				}
 				continue // node behind our map: try another
@@ -852,6 +876,7 @@ func (r *Router) readSharded(ctx context.Context, rs routedStmt, target func(m *
 // or confine the query by key.
 func (r *Router) fanoutRead(ctx context.Context, rs routedStmt, params []Value) (*Result, error) {
 	m := r.shardMap()
+	mFanoutWidth.Observe(int64(len(m.Shards)))
 	type out struct {
 		res *Result
 		err error
@@ -869,12 +894,22 @@ func (r *Router) fanoutRead(ctx context.Context, rs routedStmt, params []Value) 
 		}(i)
 	}
 	wg.Wait()
-	merged := &Result{}
-	anyLabels := false
+	// Report *every* failed shard, not just the first: a fan-out that
+	// lost two shards to different causes (one down, one fenced) needs
+	// both visible to be diagnosable.
+	var errs []error
 	for sid, o := range results {
 		if o.err != nil {
-			return nil, fmt.Errorf("client: fan-out read on shard %d: %w", sid, o.err)
+			mShardErrors.Inc()
+			errs = append(errs, fmt.Errorf("shard %d: %w", sid, o.err))
 		}
+	}
+	if len(errs) > 0 {
+		return nil, fmt.Errorf("client: fan-out read: %w", errors.Join(errs...))
+	}
+	merged := &Result{}
+	anyLabels := false
+	for _, o := range results {
 		if merged.Cols == nil {
 			merged.Cols = o.res.Cols
 		}

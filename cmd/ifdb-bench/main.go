@@ -13,6 +13,7 @@
 //	ifdb-bench -exp replica-read # read scale-out through the Router
 //	ifdb-bench -exp shard-write  # write scale-out across sharded primaries
 //	ifdb-bench -exp prepared     # prepared-vs-reparsed statement throughput
+//	ifdb-bench -exp prepared -json BENCH_6.json  # + machine-readable record
 //	ifdb-bench -all          # everything (EXPERIMENTS.md source)
 //
 // replica-read goes beyond the paper: it stands up an in-process
@@ -38,6 +39,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -46,6 +48,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/debug"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -57,6 +60,7 @@ import (
 	"ifdb/internal/bench/dbt2"
 	"ifdb/internal/bench/sensor"
 	"ifdb/internal/catalog"
+	"ifdb/internal/obs"
 	"ifdb/internal/repl"
 	"ifdb/internal/types"
 	"ifdb/internal/wire"
@@ -64,7 +68,8 @@ import (
 
 var (
 	figFlag      = flag.Int("fig", 0, "figure to regenerate (3, 4, 5, 6)")
-	expFlag      = flag.String("exp", "", "experiment: sensor, space, trustedbase")
+	expFlag      = flag.String("exp", "", "experiment: sensor, space, trustedbase, replica-read, shard-write, prepared")
+	jsonFlag     = flag.String("json", "", "write machine-readable -exp prepared results to this file (e.g. BENCH_6.json)")
 	allFlag      = flag.Bool("all", false, "run everything")
 	durFlag      = flag.Duration("duration", 3*time.Second, "measurement duration per cell")
 	workersFlag  = flag.Int("workers", 8, "concurrent clients for throughput runs")
@@ -479,7 +484,17 @@ func expReplicaRead() {
 func expPrepared() {
 	fmt.Println("== prepared: prepared-vs-reparsed statement throughput ==")
 	const seedRows = 1000
-	db := ifdb.MustOpen(ifdb.Config{})
+	cfg := ifdb.Config{}
+	if *jsonFlag != "" {
+		// Durable engine when recording: the JSON snapshot includes WAL
+		// fsync counts, which an in-memory engine never produces. The
+		// measured workload is read-only, so only the seeding pays.
+		dir, err := os.MkdirTemp("", "ifdb-bench-prep")
+		check(err)
+		defer os.RemoveAll(dir)
+		cfg = ifdb.Config{DataDir: dir}
+	}
+	db := ifdb.MustOpen(cfg)
 	defer db.Close()
 	admin := db.AdminSession()
 	check(errOf(admin.Exec(`CREATE TABLE kv (k BIGINT PRIMARY KEY, v BIGINT)`)))
@@ -493,9 +508,11 @@ func expPrepared() {
 	defer srv.Close()
 	addr := ln.Addr().String()
 
+	var modes []preparedMode
 	run := func(label string, worker func(w int) func(rng *rand.Rand) error) {
 		parse0 := db.Engine().ParseCount()
-		var ops, failures atomic.Int64
+		var failures atomic.Int64
+		lats := make([][]int64, *workersFlag)
 		deadline := time.Now().Add(*durFlag)
 		var wg sync.WaitGroup
 		for w := 0; w < *workersFlag; w++ {
@@ -504,23 +521,48 @@ func expPrepared() {
 				defer wg.Done()
 				op := worker(w)
 				rng := rand.New(rand.NewSource(int64(w)))
+				samples := make([]int64, 0, 1<<15)
 				for time.Now().Before(deadline) {
-					if err := op(rng); err != nil {
+					t0 := time.Now()
+					err := op(rng)
+					lat := time.Since(t0).Nanoseconds()
+					if err != nil {
 						failures.Add(1)
 						continue
 					}
-					ops.Add(1)
+					samples = append(samples, lat)
 				}
+				lats[w] = samples
 			}(w)
 		}
 		wg.Wait()
-		n := ops.Load()
-		parses := db.Engine().ParseCount() - parse0
-		fmt.Printf("%-28s %9.0f stmts/s   %8d parses", label, float64(n)/durFlag.Seconds(), parses)
-		if n > 0 {
-			fmt.Printf(" (%.3f/stmt)", float64(parses)/float64(n))
+		var all []int64
+		for _, s := range lats {
+			all = append(all, s...)
 		}
-		if f := failures.Load(); f > 0 {
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		n := int64(len(all))
+		parses := db.Engine().ParseCount() - parse0
+		m := preparedMode{
+			Label:       label,
+			StmtsPerSec: float64(n) / durFlag.Seconds(),
+			Ops:         n,
+			Failures:    failures.Load(),
+			Parses:      int64(parses),
+			P50Us:       pctlUs(all, 0.50),
+			P99Us:       pctlUs(all, 0.99),
+			P999Us:      pctlUs(all, 0.999),
+		}
+		if n > 0 {
+			m.ParsesPerStmt = float64(parses) / float64(n)
+		}
+		modes = append(modes, m)
+		fmt.Printf("%-28s %9.0f stmts/s   %8d parses", label, m.StmtsPerSec, parses)
+		if n > 0 {
+			fmt.Printf(" (%.3f/stmt)", m.ParsesPerStmt)
+		}
+		fmt.Printf("   p50=%.0fµs p99=%.0fµs", m.P50Us, m.P99Us)
+		if f := m.Failures; f > 0 {
 			fmt.Printf("  (%d failures)", f)
 		}
 		fmt.Println()
@@ -581,6 +623,142 @@ func expPrepared() {
 	fmt.Println("(parses = engine-side sql.ParseAll invocations during the run;")
 	fmt.Println(" prepared executions ship a statement handle, not text — see BENCH.md)")
 	fmt.Println()
+
+	if *jsonFlag != "" {
+		writePreparedJSON(addr, seedRows, modes)
+	}
+}
+
+// preparedMode is one measured configuration of -exp prepared, as
+// recorded in the -json output.
+type preparedMode struct {
+	Label         string  `json:"label"`
+	StmtsPerSec   float64 `json:"stmts_per_sec"`
+	Ops           int64   `json:"ops"`
+	Failures      int64   `json:"failures"`
+	Parses        int64   `json:"parses"`
+	ParsesPerStmt float64 `json:"parses_per_stmt"`
+	P50Us         float64 `json:"p50_us"`
+	P99Us         float64 `json:"p99_us"`
+	P999Us        float64 `json:"p999_us"`
+}
+
+// pctlUs reads the q-quantile out of an ascending nanosecond sample
+// set, in microseconds.
+func pctlUs(sorted []int64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return float64(sorted[i]) / 1e3
+}
+
+// writePreparedJSON is the -json tail of -exp prepared: it re-runs the
+// prepared-handles mode with the metrics registry disabled and enabled
+// in alternating rounds (median-of-rounds, like fig4, so host drift
+// cancels), snapshots the registry counters the run produced, and
+// writes the whole record to the -json path.
+func writePreparedJSON(addr string, seedRows int, modes []preparedMode) {
+	fmt.Println("-- registry overhead (prepared handles, metrics off vs on) --")
+	// The true cost under measurement — one branch on a disabled flag
+	// versus a dozen uncontended atomic adds per statement — is far
+	// below scheduler noise, so this leans on precision rather than
+	// load: a single worker, fixed op counts per round, many finely
+	// interleaved rounds with the off/on order alternating (so
+	// monotonic host drift cancels), and the median of per-round
+	// ratios as the reported number.
+	c, err := client.Dial(addr, "", 0)
+	check(err)
+	defer c.Close()
+	st, err := c.Prepare(`SELECT v FROM kv WHERE k = $1`)
+	check(err)
+	rng := rand.New(rand.NewSource(99))
+	timed := func(n int) float64 {
+		t0 := time.Now()
+		for i := 0; i < n; i++ {
+			if _, err := st.Exec(ifdb.Int(int64(rng.Intn(seedRows)))); err != nil {
+				check(err)
+			}
+		}
+		return float64(n) / time.Since(t0).Seconds()
+	}
+	warmRate := timed(2000) // warm-up doubles as batch-size calibration
+	batch := int(warmRate * 0.005)
+	if batch < 200 {
+		batch = 200
+	}
+	const pairs = 150
+	var ratios []float64
+	var offSecs, onSecs float64
+	for p := 0; p < pairs; p++ {
+		var offR, onR float64
+		if p%2 == 0 {
+			obs.SetEnabled(false)
+			offR = timed(batch)
+			obs.SetEnabled(true)
+			onR = timed(batch)
+		} else {
+			obs.SetEnabled(true)
+			onR = timed(batch)
+			obs.SetEnabled(false)
+			offR = timed(batch)
+		}
+		offSecs += float64(batch) / offR
+		onSecs += float64(batch) / onR
+		ratios = append(ratios, onR/offR)
+	}
+	obs.SetEnabled(true)
+	sortFloats(ratios)
+	medOff := float64(pairs*batch) / offSecs
+	medOn := float64(pairs*batch) / onSecs
+	regress := 100 * (1 - ratios[pairs/2])
+	fmt.Printf("metrics off %9.0f stmts/s   metrics on %9.0f stmts/s   regression %.2f%% (median of %d paired ratios)\n",
+		medOff, medOn, regress, pairs)
+
+	// Counter lookups ride the registry's get-or-create registration:
+	// these names already exist (the instrumented packages registered
+	// them at init), so this returns the live collectors.
+	snap := map[string]int64{}
+	for _, name := range []string{
+		"ifdb_wal_fsync_total",
+		"ifdb_wal_appends_total",
+		"ifdb_engine_parses_total",
+		"ifdb_engine_parse_cache_hits_total",
+		"ifdb_txn_commits_total",
+	} {
+		snap[name] = obs.NewCounter(name, "").Value()
+	}
+
+	out := struct {
+		Experiment string           `json:"experiment"`
+		Timestamp  string           `json:"timestamp"`
+		Duration   string           `json:"duration_per_mode"`
+		Workers    int              `json:"workers"`
+		Modes      []preparedMode   `json:"modes"`
+		Registry   map[string]int64 `json:"registry"`
+		Overhead   struct {
+			Pairs               int     `json:"pairs"`
+			DisabledStmtsPerSec float64 `json:"disabled_stmts_per_sec"`
+			EnabledStmtsPerSec  float64 `json:"enabled_stmts_per_sec"`
+			RegressionPct       float64 `json:"regression_pct"`
+		} `json:"registry_overhead"`
+	}{
+		Experiment: "prepared",
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		Duration:   durFlag.String(),
+		Workers:    *workersFlag,
+		Modes:      modes,
+		Registry:   snap,
+	}
+	out.Overhead.Pairs = pairs
+	out.Overhead.DisabledStmtsPerSec = medOff
+	out.Overhead.EnabledStmtsPerSec = medOn
+	out.Overhead.RegressionPct = regress
+
+	data, err := json.MarshalIndent(out, "", "  ")
+	check(err)
+	check(os.WriteFile(*jsonFlag, append(data, '\n'), 0o644))
+	fmt.Printf("wrote %s\n\n", *jsonFlag)
 }
 
 // expShardWrite measures write scale-out across sharded primaries:

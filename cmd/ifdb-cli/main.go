@@ -13,6 +13,7 @@
 //	\tag <name>            create a tag owned by the current principal
 //	\principal <name>      create a principal and switch to it
 //	\status                show the node's replication role, epoch, LSNs
+//	\stats                 show the last statement's timing breakdown and trace ID
 //	\promote               promote this replica to primary (failover)
 //	\shardmap              show the node's current shard map
 //	\q                     quit
@@ -27,6 +28,7 @@ import (
 	"strings"
 
 	"ifdb/client"
+	"ifdb/internal/obs"
 )
 
 func main() {
@@ -130,6 +132,15 @@ func metaCommand(conn *client.Conn, line string) (quit bool) {
 			return
 		}
 		printStatus(st)
+	case "\\stats":
+		st, err := conn.Stats()
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Printf("trace=%s parse=%s plan=%s exec=%s stream=%s\n",
+			obs.TraceID(st.TraceID),
+			fmtNs(st.ParseNs), fmtNs(st.PlanNs), fmtNs(st.ExecNs), fmtNs(st.StreamNs))
 	case "\\promote":
 		st, err := conn.PromoteNode()
 		if err != nil {
@@ -153,6 +164,19 @@ func metaCommand(conn *client.Conn, line string) (quit bool) {
 		fmt.Println("unknown meta-command", fields[0])
 	}
 	return false
+}
+
+// fmtNs renders a nanosecond count with a human-scaled unit.
+func fmtNs(ns int64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2fs", float64(ns)/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2fms", float64(ns)/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.1fµs", float64(ns)/1e3)
+	}
+	return fmt.Sprintf("%dns", ns)
 }
 
 func printStatus(st *client.Status) {

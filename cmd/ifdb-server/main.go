@@ -7,6 +7,15 @@
 //	            [-repl-listen :5434] [-replica-of primary:5434]
 //	            [-repl-retain 64MB] [-cluster a:5433,b:5433] [-auto-failover]
 //	            [-shard-id 0 -shard-map shards.conf]
+//	            [-metrics-listen :9090] [-log-level info] [-slow-query 100ms]
+//
+// Observability: -metrics-listen serves the process metrics registry
+// in Prometheus text format on /metrics (plus net/http/pprof under
+// /debug/pprof). -log-level selects the slog level for the structured
+// diagnostics on stderr; IFC security events (declassifications,
+// authority denials) and -slow-query statements land on the same
+// stream tagged channel=audit, carrying per-statement trace IDs. See
+// ARCHITECTURE.md § Observability.
 //
 // With -datadir the server is durable: it recovers from the
 // write-ahead log at startup, group-commits by default, checkpoints
@@ -50,7 +59,8 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -62,6 +72,7 @@ import (
 	"ifdb/internal/catalog"
 	"ifdb/internal/cluster"
 	"ifdb/internal/engine"
+	"ifdb/internal/obs"
 	"ifdb/internal/repl"
 	"ifdb/internal/types"
 	"ifdb/internal/wire"
@@ -90,13 +101,42 @@ func main() {
 
 		shardID      = flag.Int("shard-id", -1, "this server's shard id (with -shard-map): refuse rows owned by other shards")
 		shardMapFile = flag.String("shard-map", "", "shard map file: serve SHARDMAP frames and fence stale-map statements")
+
+		metricsListen = flag.String("metrics-listen", "", "serve Prometheus /metrics and /debug/pprof on this address")
+		logLevel      = flag.String("log-level", "info", "log level: debug|info|warn|error")
+		slowQuery     = flag.Duration("slow-query", 0, "log statements slower than this to the audit channel (0 disables)")
 	)
 	flag.Parse()
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ifdb-server:", err)
+		os.Exit(2)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+	slog.SetDefault(logger)
+	// The audit/slow-query channel: IFC security events
+	// (declassifications, authority denials) and slow statements land
+	// here with their trace IDs, distinguishable by channel=audit.
+	obs.SetAudit(logger.With("channel", "audit"))
+	die := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
+
 	if *replToken == "" {
 		*replToken = *token
 	}
 	if *replicaOf != "" && *initSQL != "" {
-		log.Fatal("ifdb-server: -init is meaningless on a replica (schema comes from the primary)")
+		die("-init is meaningless on a replica (schema comes from the primary)")
+	}
+
+	if *metricsListen != "" {
+		go func() {
+			if err := http.ListenAndServe(*metricsListen, obs.Handler(obs.Default)); err != nil {
+				die("metrics listener failed", "err", err)
+			}
+		}()
+		logger.Info("serving metrics", "addr", *metricsListen)
 	}
 
 	db, err := ifdb.Open(ifdb.Config{
@@ -109,15 +149,15 @@ func main() {
 		ReplRetainBudget: *replRetain,
 	})
 	if err != nil {
-		log.Fatalf("ifdb-server: open: %v", err)
+		die("open failed", "err", err)
 	}
 	if *initSQL != "" {
 		script, err := os.ReadFile(*initSQL)
 		if err != nil {
-			log.Fatalf("ifdb-server: read init script: %v", err)
+			die("read init script failed", "err", err)
 		}
 		if _, err := db.AdminSession().Exec(string(script)); err != nil {
-			log.Fatalf("ifdb-server: init script: %v", err)
+			die("init script failed", "err", err)
 		}
 	}
 
@@ -132,7 +172,7 @@ func main() {
 					return
 				case <-t.C:
 					if n := db.Vacuum(); n > 0 {
-						log.Printf("ifdb-server: vacuum reclaimed %d versions", n)
+						logger.Debug("vacuum reclaimed versions", "count", n)
 					}
 				}
 			}
@@ -140,7 +180,8 @@ func main() {
 	}
 
 	srv := wire.NewServer(db.Engine(), *token)
-	srv.ErrorLog = log.Default()
+	srv.Logger = logger
+	srv.SlowQuery = *slowQuery
 	srv.StatusErr = db.ReplicationErr
 
 	// Sharding: parse the map, serve it over SHARDMAP frames (the
@@ -153,14 +194,14 @@ func main() {
 	if *shardMapFile != "" {
 		text, err := os.ReadFile(*shardMapFile)
 		if err != nil {
-			log.Fatalf("ifdb-server: read shard map: %v", err)
+			die("read shard map failed", "err", err)
 		}
 		staticMap, err = wire.ParseShardMap(string(text))
 		if err != nil {
-			log.Fatalf("ifdb-server: shard map: %v", err)
+			die("bad shard map", "err", err)
 		}
 		if *shardID >= staticMap.NumShards() {
-			log.Fatalf("ifdb-server: -shard-id %d out of range (map has %d shards)", *shardID, staticMap.NumShards())
+			die("-shard-id out of range", "shard_id", *shardID, "shards", staticMap.NumShards())
 		}
 		currentMap := func() *wire.ShardMap {
 			if coord != nil {
@@ -192,7 +233,7 @@ func main() {
 			})
 		}
 	} else if *shardID >= 0 {
-		log.Fatal("ifdb-server: -shard-id requires -shard-map")
+		die("-shard-id requires -shard-map")
 	}
 
 	// Primary side of replication: serve the WAL to followers. On a
@@ -211,18 +252,18 @@ func main() {
 			return
 		}
 		p := repl.NewPrimary(db.Engine(), *replToken)
-		p.ErrorLog = log.Default()
+		p.Logger = logger
 		primary = p
 		go func() {
 			if err := p.ListenAndServe(*replListen); err != nil {
-				log.Fatalf("ifdb-server: repl listener: %v", err)
+				die("repl listener failed", "err", err)
 			}
 		}()
-		log.Printf("ifdb-server: serving replication on %s", *replListen)
+		logger.Info("serving replication", "addr", *replListen)
 	}
 	if *replListen != "" && !db.IsReplica() {
 		if *dataDir == "" {
-			log.Fatal("ifdb-server: -repl-listen requires -datadir (no WAL to ship without one)")
+			die("-repl-listen requires -datadir (no WAL to ship without one)")
 		}
 		startReplListener()
 	}
@@ -233,7 +274,7 @@ func main() {
 			if err := db.Promote(); err != nil {
 				return err
 			}
-			log.Printf("ifdb-server: promoted to primary (epoch %d)", db.Epoch())
+			logger.Warn("promoted to primary", "epoch", db.Epoch())
 			startReplListener()
 			return nil
 		}
@@ -255,15 +296,15 @@ func main() {
 			ProbeInterval: *probeIvl,
 			FailAfter:     *failAfter,
 			AutoPromote:   *autoFailover,
-			ErrorLog:      log.Default(),
+			Logger:        logger,
 			ShardMap:      staticMap,
 		})
 		if err != nil {
-			log.Fatalf("ifdb-server: coordinator: %v", err)
+			die("coordinator failed", "err", err)
 		}
 		coord = c
 		go coord.Run(stopCoord)
-		log.Printf("ifdb-server: coordinating %s (auto-failover=%v, sharded=%v)", *clusterNodes, *autoFailover, staticMap != nil)
+		logger.Info("coordinating cluster", "nodes", *clusterNodes, "auto_failover", *autoFailover, "sharded", staticMap != nil)
 	}
 
 	// Clean shutdown: stop accepting, checkpoint, close the WAL.
@@ -275,7 +316,7 @@ func main() {
 	done := make(chan struct{})
 	go func() {
 		sig := <-sigc
-		log.Printf("ifdb-server: %v: shutting down", sig)
+		logger.Info("shutting down", "signal", sig.String())
 		close(shuttingDown)
 		close(stopVacuum)
 		close(stopCoord)
@@ -284,14 +325,14 @@ func main() {
 		primaryMu.Unlock()
 		if p != nil {
 			if err := p.Close(); err != nil {
-				log.Printf("ifdb-server: close repl listener: %v", err)
+				logger.Warn("close repl listener failed", "err", err)
 			}
 		}
 		if err := srv.Close(); err != nil {
-			log.Printf("ifdb-server: close listener: %v", err)
+			logger.Warn("close listener failed", "err", err)
 		}
 		if err := db.Close(); err != nil {
-			log.Printf("ifdb-server: close database: %v", err)
+			logger.Warn("close database failed", "err", err)
 		}
 		close(done)
 	}()
@@ -300,14 +341,15 @@ func main() {
 	if db.IsReplica() {
 		role = "replica of " + *replicaOf
 	}
-	log.Printf("ifdb-server: listening on %s (IFC=%v, datadir=%q, sync=%s, %s, epoch=%d)", *addr, !*noIFC, *dataDir, *syncMode, role, db.Epoch())
+	logger.Info("listening", "addr", *addr, "ifc", !*noIFC, "datadir", *dataDir,
+		"sync", *syncMode, "role", role, "epoch", db.Epoch())
 	if err := srv.ListenAndServe(*addr); err != nil {
 		select {
 		case <-shuttingDown:
 			// Listener closed by the shutdown path; wait for the final
 			// checkpoint before exiting.
 		default:
-			log.Fatalf("ifdb-server: %v", err)
+			die("serve failed", "err", err)
 		}
 	}
 	<-done

@@ -29,11 +29,12 @@ package cluster
 
 import (
 	"fmt"
-	"log"
+	"log/slog"
 	"sync"
 	"time"
 
 	"ifdb/client"
+	"ifdb/internal/obs"
 	"ifdb/internal/wire"
 )
 
@@ -58,8 +59,8 @@ type Config struct {
 	// DialTimeout bounds each probe connection (default 2s).
 	DialTimeout time.Duration
 
-	// ErrorLog, when set, receives probe and failover diagnostics.
-	ErrorLog *log.Logger
+	// Logger, when set, receives probe and failover diagnostics.
+	Logger *slog.Logger
 
 	// ShardMap, when set, runs the coordinator in sharded mode: health
 	// and failover are per shard, and a promotion rewrites the map (new
@@ -147,10 +148,11 @@ func (c *Coordinator) ShardMap() *wire.ShardMap {
 	return c.smap
 }
 
-func (c *Coordinator) logf(format string, args ...interface{}) {
-	if c.cfg.ErrorLog != nil {
-		c.cfg.ErrorLog.Printf(format, args...)
+func (c *Coordinator) logger() *slog.Logger {
+	if c.cfg.Logger != nil {
+		return c.cfg.Logger
 	}
+	return obs.Nop()
 }
 
 // Probe sweeps every node once and returns their statuses, with
@@ -178,12 +180,14 @@ func (c *Coordinator) probeAddrs(addrs []string) []NodeStatus {
 			})
 			if err != nil {
 				ns.Err = err.Error()
+				mProbeFailures.Inc()
 				return
 			}
 			st, err := conn.Status()
 			conn.Close()
 			if err != nil {
 				ns.Err = err.Error()
+				mProbeFailures.Inc()
 				return
 			}
 			ns.Ok = true
@@ -293,7 +297,9 @@ func (c *Coordinator) promoteFrom(sweep []NodeStatus) (string, error) {
 	if err != nil {
 		return "", fmt.Errorf("cluster: promote %s: %w", best.Addr, err)
 	}
-	c.logf("cluster: promoted %s to primary at epoch %d", best.Addr, st.Epoch)
+	mFailovers.Inc()
+	gEpoch.Set(int64(st.Epoch))
+	c.logger().Info("cluster: promoted replica to primary", "addr", best.Addr, "epoch", st.Epoch)
 	return best.Addr, nil
 }
 
@@ -342,7 +348,7 @@ func (c *Coordinator) recordShardPrimary(sid uint32, addr string) {
 	}
 	m.Version++
 	c.smap = m
-	c.logf("cluster: shard map v%d: shard %d primary is now %s", m.Version, sid, addr)
+	c.logger().Info("cluster: shard map updated", "version", m.Version, "shard", sid, "primary", addr)
 }
 
 // Run probes on the configured interval until stop closes, counting
@@ -368,16 +374,17 @@ func (c *Coordinator) Run(stop <-chan struct{}) {
 			continue
 		}
 		c.failedSweeps++
-		c.logf("cluster: no reachable primary (%d/%d sweeps)", c.failedSweeps, c.cfg.FailAfter)
+		c.logger().Warn("cluster: no reachable primary",
+			"sweeps", c.failedSweeps, "fail_after", c.cfg.FailAfter)
 		if !c.cfg.AutoPromote || c.failedSweeps < c.cfg.FailAfter {
 			continue
 		}
 		addr, err := c.PromoteBest(false)
 		if err != nil {
-			c.logf("cluster: automatic failover failed: %v", err)
+			c.logger().Error("cluster: automatic failover failed", "err", err)
 			continue
 		}
-		c.logf("cluster: automatic failover: %s is the new primary", addr)
+		c.logger().Warn("cluster: automatic failover complete", "primary", addr)
 		c.failedSweeps = 0
 	}
 }
@@ -395,16 +402,17 @@ func (c *Coordinator) sweepShards(m *wire.ShardMap) {
 			continue
 		}
 		c.shardFails[sid]++
-		c.logf("cluster: shard %d: no reachable primary (%d/%d sweeps)", sid, c.shardFails[sid], c.cfg.FailAfter)
+		c.logger().Warn("cluster: shard has no reachable primary",
+			"shard", sid, "sweeps", c.shardFails[sid], "fail_after", c.cfg.FailAfter)
 		if !c.cfg.AutoPromote || c.shardFails[sid] < c.cfg.FailAfter {
 			continue
 		}
 		addr, err := c.PromoteBestShard(sid, false)
 		if err != nil {
-			c.logf("cluster: shard %d automatic failover failed: %v", sid, err)
+			c.logger().Error("cluster: shard automatic failover failed", "shard", sid, "err", err)
 			continue
 		}
-		c.logf("cluster: shard %d automatic failover: %s is the new primary", sid, addr)
+		c.logger().Warn("cluster: shard automatic failover complete", "shard", sid, "primary", addr)
 		c.shardFails[sid] = 0
 	}
 }

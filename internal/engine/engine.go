@@ -415,9 +415,11 @@ func (e *Engine) LookupProc(name string) (*Proc, bool) {
 // must stay private to one call).
 func (e *Engine) parseCached(query string) ([]sql.Statement, error) {
 	if v, ok := e.stmtCache.Load(query); ok {
+		mParseCacheHits.Inc()
 		return v.([]sql.Statement), nil
 	}
 	e.parses.Add(1)
+	mParses.Inc()
 	stmts, err := sql.ParseAll(query)
 	if err != nil {
 		return nil, err

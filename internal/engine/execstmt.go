@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"time"
 
 	"ifdb/internal/label"
 	"ifdb/internal/sql"
@@ -17,12 +18,28 @@ import (
 // (the prepared-statement optimization every real DBMS has); DDL is
 // never cached because its execution consumes parts of the AST.
 func (s *Session) Exec(query string, params ...types.Value) (*Result, error) {
+	// Per-statement timing covers only top-level statements: nested
+	// Execs (triggers, stored procedures, QueryEach fan-out) run inside
+	// the enclosing statement and must not clobber its breakdown.
+	top := s.stmtTx == nil || s.stmtTx.Done()
+	var t0 time.Time
+	if top {
+		s.beginStmtStats(query)
+		t0 = time.Now()
+	}
 	stmts, err := s.eng.parseCached(query)
+	if top {
+		s.stats.ParseNs = time.Since(t0).Nanoseconds()
+	}
 	if err != nil {
 		return nil, err
 	}
 	if len(stmts) == 0 {
 		return &Result{}, nil
+	}
+	if top {
+		t0 = time.Now()
+		defer func() { s.stats.ExecNs = time.Since(t0).Nanoseconds() }()
 	}
 	var res *Result
 	for _, st := range stmts {

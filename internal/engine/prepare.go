@@ -74,6 +74,13 @@ func (s *Session) ExecPrepared(p *Prepared, params ...types.Value) (*Result, err
 	if p.stmts == nil {
 		return s.Exec(p.Text, params...)
 	}
+	if top := s.stmtTx == nil || s.stmtTx.Done(); top {
+		// ParseNs stays zero: that a prepared execution never parses is
+		// exactly what the breakdown should show.
+		s.beginStmtStats(p.Text)
+		t0 := time.Now()
+		defer func() { s.stats.ExecNs = time.Since(t0).Nanoseconds() }()
+	}
 	if len(p.stmts) == 0 {
 		return &Result{}, nil
 	}
@@ -102,7 +109,10 @@ func (s *Session) ExecPrepared(p *Prepared, params ...types.Value) (*Result, err
 // statements marks the *next* statement (the same benign race
 // PostgreSQL's cancel protocol has); ResetCancel clears the flag
 // before a new statement when the caller can bound the race.
-func (s *Session) Cancel() { s.canceled.Store(true) }
+func (s *Session) Cancel() {
+	s.canceled.Store(true)
+	mCancels.Inc()
+}
 
 // ResetCancel clears a pending cancel. The wire server calls it as
 // each statement arrives, bounding the cancel's scope to the

@@ -303,7 +303,11 @@ func (s *Session) scanTable(t *catalog.Table, alias string, filter sql.Expr, qc 
 	}
 	tx := s.stmtTx
 
+	// Visited tuples accumulate locally; one atomic add per scan keeps
+	// the counter off the per-tuple hot path.
+	var scanned int64
 	accept := func(tid storage.TID, tv *storage.TupleVersion) {
+		scanned++
 		if !tx.Visible(tv.Xmin, tv.Xmax) {
 			return
 		}
@@ -335,6 +339,7 @@ func (s *Session) scanTable(t *catalog.Table, alias string, filter sql.Expr, qc 
 			}
 			return true
 		})
+		mRowsScanned.Add(scanned)
 		return rel, scanErr
 	}
 
@@ -345,6 +350,7 @@ func (s *Session) scanTable(t *catalog.Table, alias string, filter sql.Expr, qc 
 		accept(tid, tv)
 		return true
 	})
+	mRowsScanned.Add(scanned)
 	return rel, scanErr
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"ifdb/internal/authority"
 	"ifdb/internal/label"
+	"ifdb/internal/obs"
 	"ifdb/internal/storage"
 	"ifdb/internal/txn"
 	"ifdb/internal/types"
@@ -56,6 +57,10 @@ type Session struct {
 	// the wire server's out-of-band cancel path sets it from another
 	// goroutine.
 	canceled atomic.Bool
+
+	// stats is the most recent statement's timing breakdown and trace
+	// ID (see metrics.go); read back through the wire server's stats op.
+	stats StmtStats
 }
 
 // NewSession opens a session acting as the given principal with an
@@ -109,7 +114,8 @@ func (s *Session) Endorse(t label.Tag) error {
 	if !s.eng.auth.TagExists(t) {
 		return fmt.Errorf("engine: unknown tag %d", t)
 	}
-	if !s.eng.auth.HasAuthority(s.principal, t) {
+	if !s.checkAuthority(t) {
+		s.auditDenied("endorse", t)
 		return fmt.Errorf("%w: endorse tag %d", ErrAuthority, t)
 	}
 	s.pilabel = s.pilabel.Add(t)
@@ -138,7 +144,8 @@ func (s *Session) AddSecrecy(t label.Tag) error {
 	if !s.eng.auth.TagExists(t) {
 		return fmt.Errorf("engine: unknown tag %d", t)
 	}
-	if s.tx != nil && s.tx.Mode() == txn.Serializable && !s.eng.auth.HasAuthority(s.principal, t) {
+	if s.tx != nil && s.tx.Mode() == txn.Serializable && !s.checkAuthority(t) {
+		s.auditDenied("addsecrecy", t)
 		return ErrClearance
 	}
 	s.plabel = s.plabel.Add(t)
@@ -155,11 +162,39 @@ func (s *Session) Declassify(t label.Tag) error {
 		// Removing an absent tag is a no-op, as in Aeolus.
 		return nil
 	}
-	if !s.eng.auth.HasAuthority(s.principal, t) {
+	if !s.checkAuthority(t) {
+		s.auditDenied("declassify", t)
 		return fmt.Errorf("%w: declassify tag %d", ErrAuthority, t)
 	}
 	s.plabel = s.plabel.Remove(t)
+	mDeclass.Inc()
+	if obs.AuditEnabled() {
+		obs.Audit().Info("declassify",
+			"trace", obs.TraceID(s.stats.TraceID),
+			"principal", uint64(s.principal), "tag", uint64(t))
+	}
 	return nil
+}
+
+// checkAuthority performs one counted authority check for the acting
+// principal.
+func (s *Session) checkAuthority(t label.Tag) bool {
+	mAuthChecks.Inc()
+	ok := s.eng.auth.HasAuthority(s.principal, t)
+	if !ok {
+		mAuthDenials.Inc()
+	}
+	return ok
+}
+
+// auditDenied records a failed authority-gated operation on the audit
+// channel (the paper's security-relevant events are exactly these).
+func (s *Session) auditDenied(op string, t label.Tag) {
+	if obs.AuditEnabled() {
+		obs.Audit().Warn("authority denied", "op", op,
+			"trace", obs.TraceID(s.stats.TraceID),
+			"principal", uint64(s.principal), "tag", uint64(t))
+	}
 }
 
 // requireEmptyLabel gates authority-state mutations: the authority
@@ -237,7 +272,7 @@ func (s *Session) Revoke(grantee authority.Principal, t label.Tag) error {
 
 // HasAuthority reports whether the acting principal may declassify t.
 func (s *Session) HasAuthority(t label.Tag) bool {
-	return s.eng.auth.HasAuthority(s.principal, t)
+	return s.checkAuthority(t)
 }
 
 // ---------------------------------------------------------------------------
@@ -308,6 +343,9 @@ func (s *Session) Commit() error {
 	err := t.Commit(s.eng.hier, commitLabel, commitILabel)
 	if err == nil {
 		s.noteCommit(t)
+		mTxnCommits.Inc()
+	} else {
+		mTxnAborts.Inc()
 	}
 	return err
 }
@@ -351,6 +389,7 @@ func (s *Session) Abort() error {
 	t := s.tx
 	s.tx = nil
 	t.Abort()
+	mTxnAborts.Inc()
 	return nil
 }
 
@@ -377,6 +416,7 @@ func (s *Session) withStmt(fn func(t *txn.Txn) error) error {
 			// the whole transaction (PostgreSQL semantics).
 			s.tx.Abort()
 			s.tx = nil
+			mTxnAborts.Inc()
 		}
 		return err
 	}
@@ -387,6 +427,7 @@ func (s *Session) withStmt(fn func(t *txn.Txn) error) error {
 	s.stmtTx = nil
 	if err != nil {
 		t.Abort()
+		mTxnAborts.Inc()
 		return err
 	}
 	var commitLabel, commitILabel label.Label
@@ -397,6 +438,9 @@ func (s *Session) withStmt(fn func(t *txn.Txn) error) error {
 	err = t.Commit(s.eng.hier, commitLabel, commitILabel)
 	if err == nil {
 		s.noteCommit(t)
+		mTxnCommits.Inc()
+	} else {
+		mTxnAborts.Inc()
 	}
 	return err
 }
@@ -412,7 +456,11 @@ func (s *Session) labelVisible(lt label.Label, strip label.Label) bool {
 		return true
 	}
 	eff := s.effectiveTupleLabel(lt, strip)
-	return s.eng.hier.Flows(eff, s.plabel)
+	if !s.eng.hier.Flows(eff, s.plabel) {
+		mLabelDenials.Inc()
+		return false
+	}
+	return true
 }
 
 // integrityVisible applies the integrity half of Query by Label: a
@@ -422,7 +470,11 @@ func (s *Session) integrityVisible(it label.Label) bool {
 	if !s.eng.cfg.IFC || len(s.pilabel) == 0 {
 		return true
 	}
-	return s.eng.hier.Flows(s.pilabel, it)
+	if !s.eng.hier.Flows(s.pilabel, it) {
+		mLabelDenials.Inc()
+		return false
+	}
+	return true
 }
 
 // tupleVisible combines both label filters.

@@ -1,0 +1,54 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+	"sync/atomic"
+)
+
+// audit is the process-wide audit/slow-query channel. nil until a
+// binary opts in with SetAudit; the accessor then hands out a no-op
+// logger so instrumented code never branches.
+var audit atomic.Pointer[slog.Logger]
+
+// nopLogger discards everything (level gate set above every level).
+var nopLogger = slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.Level(127)}))
+
+// SetAudit installs the audit/slow-query logger (typically the server
+// logger with a channel=audit attribute). Pass nil to disable.
+func SetAudit(l *slog.Logger) { audit.Store(l) }
+
+// Audit returns the audit logger, never nil. Callers log security
+// events (declassifications, authority denials) and slow queries here
+// with their trace IDs.
+func Audit() *slog.Logger {
+	if l := audit.Load(); l != nil {
+		return l
+	}
+	return nopLogger
+}
+
+// AuditEnabled reports whether an audit logger is installed; hot paths
+// use it to skip attribute construction entirely.
+func AuditEnabled() bool { return audit.Load() != nil }
+
+// Nop returns a logger that discards everything. Components with an
+// optional Logger field fall back to it so call sites never nil-check.
+func Nop() *slog.Logger { return nopLogger }
+
+// ParseLevel maps a -log-level flag value to a slog.Level.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("obs: unknown log level %q (debug, info, warn, error)", s)
+}

@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestRegistryGetOrCreate: registering the same name twice returns the
+// same collector, so multi-instance processes aggregate rather than
+// shadow.
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "first help wins")
+	b := r.Counter("x_total", "ignored")
+	if a != b {
+		t.Fatal("same name produced distinct counters")
+	}
+	a.Add(2)
+	if got := b.Value(); got != 2 {
+		t.Fatalf("aliased counter = %d, want 2", got)
+	}
+	if h := r.Histogram("h", "", 1000, 1e-9); h != r.Histogram("h", "", 1, 1) {
+		t.Fatal("same name produced distinct histograms")
+	}
+	if v := r.CounterVec("v", "", "l"); v.With("a") != v.With("a") {
+		t.Fatal("same label value produced distinct children")
+	}
+}
+
+// TestRegistryConcurrent hammers registration, mutation, and scraping
+// from many goroutines at once; its real assertion is the race
+// detector (the CI race job runs this package under -race).
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := r.Counter("conc_total", "")
+			h := r.Histogram("conc_seconds", "", 1000, 1e-9)
+			v := r.CounterVec("conc_by_shard", "", "shard")
+			gu := r.Gauge("conc_gauge", "")
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.Observe(int64(i) * 100)
+				v.With(string(rune('a' + g%3))).Inc()
+				gu.Set(int64(i))
+				if i%100 == 0 {
+					var sb strings.Builder
+					if err := r.WritePrometheus(&sb); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := r.Counter("conc_total", "").Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	if got := r.Histogram("conc_seconds", "", 1000, 1e-9).Count(); got != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", got)
+	}
+}
+
+// TestSetEnabled: the kill-switch drops counter adds and histogram
+// observations but leaves gauges (cheap, state-bearing) alone.
+func TestSetEnabled(t *testing.T) {
+	defer SetEnabled(true)
+	r := NewRegistry()
+	c := r.Counter("gate_total", "")
+	h := r.Histogram("gate_seconds", "", 1000, 1e-9)
+	g := r.Gauge("gate_gauge", "")
+	SetEnabled(false)
+	if Enabled() {
+		t.Fatal("Enabled() true after SetEnabled(false)")
+	}
+	c.Inc()
+	h.Observe(5)
+	g.Set(7)
+	if c.Value() != 0 || h.Count() != 0 {
+		t.Fatalf("disabled registry mutated: counter=%d hist=%d", c.Value(), h.Count())
+	}
+	if g.Value() != 7 {
+		t.Fatalf("gauge = %d, want 7 (gauges ignore the kill-switch)", g.Value())
+	}
+	SetEnabled(true)
+	c.Inc()
+	if c.Value() != 1 {
+		t.Fatalf("re-enabled counter = %d, want 1", c.Value())
+	}
+}
+
+// TestHistogramBuckets checks the doubling-bucket boundaries and the
+// upper-bound quantile estimate.
+func TestHistogramBuckets(t *testing.T) {
+	h := NewRegistry().Histogram("b_seconds", "", 1000, 1e-9)
+	for _, tc := range []struct {
+		v    int64
+		want int
+	}{
+		{0, 0}, {1, 0}, {1000, 0}, {1001, 1}, {2000, 1}, {2001, 2}, {4000, 2},
+	} {
+		if got := h.bucketOf(tc.v); got != tc.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", tc.v, got, tc.want)
+		}
+	}
+	// 90 fast observations and 10 slow: p50 lands in the fast bucket's
+	// bound, p99 in the slow one's.
+	for i := 0; i < 90; i++ {
+		h.Observe(500) // bucket 0, bound 1000
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(1_500_000) // bound 2_048_000
+	}
+	if got := h.Quantile(0.50); got != 1000 {
+		t.Fatalf("p50 = %d, want 1000", got)
+	}
+	if got := h.Quantile(0.99); got != 2_048_000 {
+		t.Fatalf("p99 = %d, want 2048000", got)
+	}
+	// Values beyond the last finite bound count toward +Inf only.
+	h2 := NewRegistry().Histogram("inf_seconds", "", 1000, 1e-9)
+	h2.Observe(1000 << 40)
+	if h2.Count() != 1 || h2.Quantile(1.0) != h2.Bound(histBuckets-1) {
+		t.Fatal("+Inf observation mishandled")
+	}
+}
+
+// TestTraceID: IDs are non-zero (zero means untraced on the wire),
+// distinct per call, and format as fixed-width lowercase hex.
+func TestTraceID(t *testing.T) {
+	seen := map[uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		id := NewTraceID()
+		if id == 0 {
+			t.Fatal("NewTraceID returned 0")
+		}
+		if seen[id] {
+			t.Fatalf("duplicate trace ID %x", id)
+		}
+		seen[id] = true
+	}
+	if got := TraceID(0xdeadbeef); got != "00000000deadbeef" {
+		t.Fatalf("TraceID(0xdeadbeef) = %q", got)
+	}
+	if got := TraceID(0); got != "0000000000000000" {
+		t.Fatalf("TraceID(0) = %q", got)
+	}
+}
+
+// TestParseLevel maps the -log-level spellings.
+func TestParseLevel(t *testing.T) {
+	if _, err := ParseLevel("chatty"); err == nil {
+		t.Fatal(`ParseLevel("chatty") accepted`)
+	}
+	for _, good := range []string{"debug", "", "info", "warn", "error"} {
+		if _, err := ParseLevel(good); err != nil {
+			t.Fatalf("ParseLevel(%q): %v", good, err)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strconv"
+)
+
+// WritePrometheus renders every registered collector in Prometheus
+// text exposition format (version 0.0.4), families sorted by name so
+// the output is stable and golden-testable.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	type family struct {
+		name string
+		kind string // "counter", "gauge", "histogram", "vec"
+	}
+	fams := make([]family, 0, len(r.counters)+len(r.gauges)+len(r.hists)+len(r.vecs))
+	for n := range r.counters {
+		fams = append(fams, family{n, "counter"})
+	}
+	for n := range r.gauges {
+		fams = append(fams, family{n, "gauge"})
+	}
+	for n := range r.hists {
+		fams = append(fams, family{n, "histogram"})
+	}
+	for n := range r.vecs {
+		fams = append(fams, family{n, "vec"})
+	}
+	counters, gauges, hists, vecs, help := r.counters, r.gauges, r.hists, r.vecs, r.help
+	r.mu.Unlock()
+
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	for _, f := range fams {
+		if h := help[f.name]; h != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, h); err != nil {
+				return err
+			}
+		}
+		typ := f.kind
+		if typ == "vec" {
+			typ = "counter"
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, typ); err != nil {
+			return err
+		}
+		var err error
+		switch f.kind {
+		case "counter":
+			_, err = fmt.Fprintf(w, "%s %d\n", f.name, counters[f.name].Value())
+		case "gauge":
+			_, err = fmt.Fprintf(w, "%s %d\n", f.name, gauges[f.name].Value())
+		case "vec":
+			v := vecs[f.name]
+			keys, kids := v.snapshot()
+			for i, k := range keys {
+				if _, err = fmt.Fprintf(w, "%s{%s=%q} %d\n", f.name, v.label, k, kids[i].Value()); err != nil {
+					break
+				}
+			}
+		case "histogram":
+			err = writeHistogram(w, hists[f.name], f.name)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeHistogram(w io.Writer, h *Histogram, name string) error {
+	// Empty buckets are omitted: a sparse, cumulative le set is valid
+	// exposition and keeps 31-bucket histograms readable.
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		cum += n
+		// 12 significant digits: enough for any bucket bound, and it
+		// rounds away float dust like 1000*1e-9 = 1.0000000000000002e-06.
+		le := strconv.FormatFloat(float64(h.Bound(i))*h.scale, 'g', 12, 64)
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, cum); err != nil {
+			return err
+		}
+	}
+	cum += h.inf.Load()
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum %s\n", name,
+		strconv.FormatFloat(float64(h.Sum())*h.scale, 'g', 12, 64)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count %d\n", name, h.Count())
+	return err
+}
+
+// Handler returns the HTTP mux served on -metrics-listen: /metrics in
+// Prometheus text format plus the full net/http/pprof suite under
+// /debug/pprof/ (CPU, heap, mutex, block, goroutine).
+func Handler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheusGolden pins the text exposition byte-for-byte:
+// families sorted by name, HELP/TYPE headers, one-label vec children
+// sorted by label value, and sparse cumulative histogram buckets.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("t_requests_total", "Total requests.").Add(3)
+	r.Gauge("t_depth", "Queue depth.").Set(-2)
+	v := r.CounterVec("t_by_shard_total", "Per-shard requests.", "shard")
+	v.With("1").Add(2)
+	v.With("0").Add(1)
+	h := r.Histogram("t_lat_seconds", "Request latency.", 1000, 1e-9)
+	h.Observe(500)
+	h.Observe(500)
+	h.Observe(1500)
+	h.Observe(1000 << 40) // beyond the last finite bound: +Inf only
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP t_by_shard_total Per-shard requests.
+# TYPE t_by_shard_total counter
+t_by_shard_total{shard="0"} 1
+t_by_shard_total{shard="1"} 2
+# HELP t_depth Queue depth.
+# TYPE t_depth gauge
+t_depth -2
+# HELP t_lat_seconds Request latency.
+# TYPE t_lat_seconds histogram
+t_lat_seconds_bucket{le="1e-06"} 2
+t_lat_seconds_bucket{le="2e-06"} 3
+t_lat_seconds_bucket{le="+Inf"} 4
+t_lat_seconds_sum 1099511.62778
+t_lat_seconds_count 4
+# HELP t_requests_total Total requests.
+# TYPE t_requests_total counter
+t_requests_total 3
+`
+	if got := sb.String(); got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestHandlerServesMetrics: the -metrics-listen mux serves /metrics
+// with the Prometheus content type and mounts pprof.
+func TestHandlerServesMetrics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("t_up_total", "Up.").Inc()
+	srv := httptest.NewServer(Handler(r))
+	defer srv.Close()
+
+	res, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(res.Body)
+	res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %d", res.StatusCode)
+	}
+	if ct := res.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("content type %q lacks exposition version", ct)
+	}
+	if !strings.Contains(string(body), "t_up_total 1") {
+		t.Fatalf("scrape missing counter:\n%s", body)
+	}
+
+	res, err = http.Get(srv.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, res.Body)
+	res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/pprof/cmdline: %d", res.StatusCode)
+	}
+}

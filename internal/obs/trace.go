@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"os"
+	"sync/atomic"
+	"time"
+)
+
+// traceSeq seeds per-statement trace IDs. The sequence base mixes
+// boot time and pid so IDs from different client processes don't
+// collide in a shared slow-query log; splitmix64 spreads consecutive
+// sequence numbers across the ID space.
+var traceSeq = func() *atomic.Uint64 {
+	var v atomic.Uint64
+	v.Store(uint64(time.Now().UnixNano()) ^ uint64(os.Getpid())<<32)
+	return &v
+}()
+
+// NewTraceID returns a non-zero statement trace ID. Zero means "no
+// trace" on the wire, so it is never returned.
+func NewTraceID() uint64 {
+	for {
+		if id := splitmix64(traceSeq.Add(1)); id != 0 {
+			return id
+		}
+	}
+}
+
+// splitmix64 is the finalizer of the SplitMix64 generator: a cheap,
+// well-distributed 64-bit mix.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// TraceID formats a trace ID the way log lines and \stats print it.
+func TraceID(id uint64) string {
+	const hex = "0123456789abcdef"
+	var b [16]byte
+	for i := 15; i >= 0; i-- {
+		b[i] = hex[id&0xf]
+		id >>= 4
+	}
+	return string(b[:])
+}

@@ -3,7 +3,7 @@ package repl
 import (
 	"bufio"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"os"
 	"path/filepath"
@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"ifdb/internal/engine"
+	"ifdb/internal/obs"
 	"ifdb/internal/wal"
 	"ifdb/internal/wire"
 )
@@ -41,8 +42,8 @@ type Config struct {
 	DialTimeout   time.Duration
 	RetryInterval time.Duration
 
-	// ErrorLog, when set, receives connection and stream diagnostics.
-	ErrorLog *log.Logger
+	// Logger, when set, receives connection and stream diagnostics.
+	Logger *slog.Logger
 }
 
 // Follower replicates a primary into a local read-only engine. It
@@ -194,10 +195,11 @@ func (f *Follower) isClosed() bool {
 	return f.closed
 }
 
-func (f *Follower) logf(format string, args ...interface{}) {
-	if f.cfg.ErrorLog != nil {
-		f.cfg.ErrorLog.Printf(format, args...)
+func (f *Follower) logger() *slog.Logger {
+	if f.cfg.Logger != nil {
+		return f.cfg.Logger
 	}
+	return obs.Nop()
 }
 
 // connect dials the primary, performs the hello exchange, and — when
@@ -373,7 +375,7 @@ recv:
 	if err := eng.SetReplResumeLSN(start); err != nil {
 		return 0, err
 	}
-	f.logf("repl: bootstrapped from basebackup, streaming from lsn %d (epoch %d)", start, epoch)
+	f.logger().Info("repl: bootstrapped from basebackup", "lsn", uint64(start), "epoch", epoch)
 	return start, nil
 }
 
@@ -410,7 +412,7 @@ func (f *Follower) run(conn net.Conn, r *bufio.Reader, pos wal.LSN) {
 			return
 		}
 		if err != nil {
-			f.logf("repl: stream: %v", err)
+			f.logger().Warn("repl: stream broke", "err", err)
 		}
 		if fatal, ok := err.(*applyError); ok {
 			f.setFatal(fatal)
@@ -423,6 +425,7 @@ func (f *Follower) run(conn net.Conn, r *bufio.Reader, pos wal.LSN) {
 			if f.isClosed() {
 				return
 			}
+			mReconnects.Inc()
 			var cerr error
 			conn, r, pos, cerr = f.connect(false)
 			if cerr == nil {
@@ -432,7 +435,7 @@ func (f *Follower) run(conn net.Conn, r *bufio.Reader, pos wal.LSN) {
 				f.setFatal(cerr)
 				return
 			}
-			f.logf("repl: reconnect: %v", cerr)
+			f.logger().Warn("repl: reconnect failed", "err", cerr)
 		}
 		f.mu.Lock()
 		if f.closed {
@@ -449,7 +452,7 @@ func (f *Follower) setFatal(err error) {
 	f.mu.Lock()
 	f.fatal = err
 	f.mu.Unlock()
-	f.logf("repl: follower stopped: %v", err)
+	f.logger().Error("repl: follower stopped", "err", err)
 }
 
 // applyError wraps local apply failures, which are fatal (retrying
@@ -490,6 +493,7 @@ func (f *Follower) stream(r *bufio.Reader, pos wal.LSN) error {
 				return &applyError{err}
 			}
 			pos = wal.LSN(rr.To)
+			gAppliedLSN.Set(int64(pos))
 		case wire.MsgReplErr:
 			if e, derr := wire.DecodeReplErr(payload); derr == nil {
 				return fmt.Errorf("repl: primary: %s", e.Msg)

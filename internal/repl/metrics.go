@@ -1,0 +1,26 @@
+package repl
+
+import "ifdb/internal/obs"
+
+// Replication metrics, registered at init so every series is present
+// (at zero) from the first scrape.
+//
+// The two gauges describe "the" stream from this process's point of
+// view: on a primary serving several followers, ifdb_repl_lag_bytes
+// holds the lag of whichever stream shipped most recently — a
+// per-follower breakdown would need labels the registry deliberately
+// keeps to one dimension, and the common deployments (one follower, or
+// "is anyone behind?") are answered by the last-writer value plus the
+// bytes-shipped rate.
+var (
+	mBytesShipped = obs.NewCounter("ifdb_repl_bytes_shipped_total",
+		"WAL bytes shipped to followers by the replication primary.")
+	mBasebackups = obs.NewCounter("ifdb_repl_basebackups_total",
+		"Full state transfers served; climbing means followers keep falling off the retained log.")
+	mReconnects = obs.NewCounter("ifdb_repl_reconnects_total",
+		"Follower reconnect attempts after a dropped stream.")
+	gAppliedLSN = obs.NewGauge("ifdb_repl_applied_lsn",
+		"Primary WAL position this follower has applied through.")
+	gLagBytes = obs.NewGauge("ifdb_repl_lag_bytes",
+		"Bytes between the primary's WAL end and the most recently shipped stream position.")
+)

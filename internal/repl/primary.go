@@ -35,13 +35,14 @@ import (
 	"bufio"
 	"crypto/subtle"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"ifdb/internal/engine"
+	"ifdb/internal/obs"
 	"ifdb/internal/wal"
 	"ifdb/internal/wire"
 )
@@ -59,11 +60,13 @@ type Primary struct {
 	eng   *engine.Engine
 	token string
 
-	mu       sync.Mutex
-	ln       net.Listener
-	closed   bool
-	conns    map[net.Conn]bool
-	ErrorLog *log.Logger
+	mu     sync.Mutex
+	ln     net.Listener
+	closed bool
+	conns  map[net.Conn]bool
+
+	// Logger, when set, receives connection and stream diagnostics.
+	Logger *slog.Logger
 
 	// Basebackups counts full state transfers served (monitoring: a
 	// climbing count means followers keep falling off the retained
@@ -143,10 +146,11 @@ func (p *Primary) Close() error {
 	return nil
 }
 
-func (p *Primary) logf(format string, args ...interface{}) {
-	if p.ErrorLog != nil {
-		p.ErrorLog.Printf(format, args...)
+func (p *Primary) logger() *slog.Logger {
+	if p.Logger != nil {
+		return p.Logger
 	}
+	return obs.Nop()
 }
 
 // bail sends a fatal ReplErr before hanging up.
@@ -167,12 +171,12 @@ func (p *Primary) handle(conn net.Conn) {
 
 	typ, payload, err := wire.ReadFrame(r)
 	if err != nil || typ != wire.MsgReplHello {
-		p.logf("repl: expected ReplHello, got %s (%v)", wire.ReplFrameName(typ), err)
+		p.logger().Warn("repl: expected ReplHello", "got", wire.ReplFrameName(typ), "err", err)
 		return
 	}
 	hello, err := wire.DecodeReplHello(payload)
 	if err != nil {
-		p.logf("repl: bad hello: %v", err)
+		p.logger().Warn("repl: bad hello", "err", err)
 		return
 	}
 	if p.token != "" && subtle.ConstantTimeCompare([]byte(hello.Token), []byte(p.token)) != 1 {
@@ -200,7 +204,8 @@ func (p *Primary) handle(conn net.Conn) {
 		// history (they were previously accepted until the operator
 		// stopped the node — the ROADMAP's write-side epoch check).
 		p.eng.FenceWrites(hello.Epoch)
-		p.logf("repl: fenced by follower hello at epoch %d (local epoch %d); client writes now refused", hello.Epoch, epoch)
+		p.logger().Warn("repl: fenced by follower hello; client writes now refused",
+			"follower_epoch", hello.Epoch, "local_epoch", epoch)
 		bail(w, fmt.Sprintf("repl: fenced: follower at epoch %d, this primary at stale epoch %d", hello.Epoch, epoch))
 		return
 	case hello.Epoch < epoch:
@@ -251,6 +256,7 @@ func (p *Primary) handle(conn net.Conn) {
 		// Park the subscription far ahead so the backup's own
 		// checkpoint may truncate the log and hand us a short stream.
 		p.Basebackups.Add(1)
+		mBasebackups.Inc()
 		sub.Advance(1 << 62)
 		if err := wire.WriteFrame(w, wire.MsgReplSnap, nil); err != nil {
 			return
@@ -273,7 +279,7 @@ func (p *Primary) handle(conn net.Conn) {
 		// checkpoint may truncate past the backup's start before we
 		// begin streaming from it
 		if err != nil {
-			p.logf("repl: basebackup: %v", err)
+			p.logger().Error("repl: basebackup failed", "err", err)
 			bail(w, "repl: basebackup failed: "+err.Error())
 			return
 		}
@@ -300,7 +306,7 @@ func (p *Primary) handle(conn net.Conn) {
 			// A checkpoint dropped this subscription for exceeding the
 			// retained-WAL budget: the bytes this follower still needs
 			// are gone. Tell it why before hanging up; it re-bootstraps.
-			p.logf("repl: follower at %d exceeded the retained-WAL budget; dropping", from)
+			p.logger().Warn("repl: follower exceeded the retained-WAL budget; dropping", "from", uint64(from))
 			bail(w, "repl: follower exceeded the retained-WAL budget; re-bootstrap required")
 			return
 		}
@@ -308,7 +314,7 @@ func (p *Primary) handle(conn net.Conn) {
 		if err != nil {
 			// ErrPositionGone cannot normally happen while subscribed;
 			// treat any read error as fatal for this connection.
-			p.logf("repl: read at %d: %v", from, err)
+			p.logger().Error("repl: log read failed", "from", uint64(from), "err", err)
 			bail(w, "repl: "+err.Error())
 			return
 		}
@@ -328,6 +334,8 @@ func (p *Primary) handle(conn net.Conn) {
 		if err := w.Flush(); err != nil {
 			return
 		}
+		mBytesShipped.Add(int64(len(raw)))
+		gLagBytes.Set(int64(wlog.End() - next))
 		from = next
 		sub.Advance(from)
 	}

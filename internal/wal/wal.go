@@ -44,10 +44,24 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ifdb/internal/label"
+	"ifdb/internal/obs"
 	"ifdb/internal/storage"
 	"ifdb/internal/types"
+)
+
+// WAL metrics (process-wide; see internal/obs).
+var (
+	mAppends = obs.NewCounter("ifdb_wal_appends_total",
+		"records appended to the write-ahead log")
+	mFsyncs = obs.NewCounter("ifdb_wal_fsync_total",
+		"fsync calls issued by the log writer")
+	mFsyncSeconds = obs.NewDurationHistogram("ifdb_wal_fsync_seconds",
+		"fsync latency")
+	mGroupBatch = obs.NewSizeHistogram("ifdb_wal_group_commit_batch",
+		"committers covered per group-commit fsync")
 )
 
 // LSN is a log sequence number: the logical byte offset of a
@@ -587,11 +601,21 @@ func (w *Writer) setEpochLocked(epoch uint64) error {
 	if _, err := w.f.WriteAt(headerBytes(w.base, w.truncState, epoch), 0); err != nil {
 		return fmt.Errorf("wal: write header: %w", err)
 	}
-	if err := w.f.Sync(); err != nil {
+	if err := w.fsync(); err != nil {
 		return err
 	}
 	w.epoch = epoch
 	return nil
+}
+
+// fsync forces the file to stable storage, counting the call and its
+// latency. Every fsync the writer issues goes through here.
+func (w *Writer) fsync() error {
+	t0 := time.Now()
+	err := w.f.Sync()
+	mFsyncs.Inc()
+	mFsyncSeconds.Observe(time.Since(t0).Nanoseconds())
+	return err
 }
 
 // fileOff maps a logical LSN to its offset in the current log file.
@@ -616,6 +640,7 @@ func (w *Writer) Append(rec *Record) (LSN, error) {
 	binary.LittleEndian.PutUint32(frame[4:], crc32.Checksum(payload, crcTable))
 	frame = append(frame, payload...)
 
+	mAppends.Inc()
 	w.mu.Lock()
 	lsn := w.end
 	if _, err := w.f.WriteAt(frame, w.fileOff(lsn)); err != nil {
@@ -678,7 +703,7 @@ func (w *Writer) WaitDurable(lsn LSN) error {
 			return nil
 		}
 		w.Syncs++
-		if err := w.f.Sync(); err != nil {
+		if err := w.fsync(); err != nil {
 			return err
 		}
 		if target > w.durable {
@@ -706,6 +731,7 @@ func (w *Writer) groupWait(lsn LSN) error {
 		w.syncing = true
 		w.Syncs++
 		gather := w.waiters > 1
+		batch := int64(w.waiters)
 		w.gmu.Unlock()
 		w.mu.Lock()
 		target := w.end
@@ -728,7 +754,8 @@ func (w *Writer) groupWait(lsn LSN) error {
 				target = cur
 			}
 		}
-		err := w.f.Sync()
+		err := w.fsync()
+		mGroupBatch.Observe(batch)
 		w.gmu.Lock()
 		w.syncing = false
 		if err != nil {
@@ -766,7 +793,7 @@ func (w *Writer) syncTo(target LSN) error {
 	w.gmu.Lock()
 	defer w.gmu.Unlock()
 	w.Syncs++
-	if err := w.f.Sync(); err != nil {
+	if err := w.fsync(); err != nil {
 		return err
 	}
 	if target > w.durable {
@@ -809,7 +836,7 @@ func (w *Writer) Checkpoint(capture func(covered LSN) error) error {
 		w.dropSubsBelow(w.end - LSN(budget))
 	}
 	if min, ok := w.minSubPos(); ok && min < w.end {
-		if err := w.f.Sync(); err != nil {
+		if err := w.fsync(); err != nil {
 			return err
 		}
 		w.advanceDurable(w.end)
@@ -825,7 +852,7 @@ func (w *Writer) Checkpoint(capture func(covered LSN) error) error {
 	if _, err := w.f.WriteAt(headerBytes(w.end, w.lastState, w.epoch), 0); err != nil {
 		return fmt.Errorf("wal: write header: %w", err)
 	}
-	if err := w.f.Sync(); err != nil {
+	if err := w.fsync(); err != nil {
 		return err
 	}
 	w.truncState = w.lastState
@@ -857,7 +884,7 @@ func (w *Writer) Checkpoint(capture func(covered LSN) error) error {
 		return err
 	}
 	w.end += LSN(len(frame))
-	if err := w.f.Sync(); err != nil {
+	if err := w.fsync(); err != nil {
 		return err
 	}
 	w.advanceDurable(w.end)

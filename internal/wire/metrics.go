@@ -1,0 +1,18 @@
+package wire
+
+import "ifdb/internal/obs"
+
+// Wire-server metrics, registered at init so every series is present
+// (at zero) from the first scrape.
+var (
+	gActiveSessions = obs.NewGauge("ifdb_server_active_sessions",
+		"Client sessions currently registered (post-Hello connections).")
+	mFramesIn = obs.NewCounter("ifdb_server_frames_in_total",
+		"Protocol frames read from clients on established sessions.")
+	mFramesOut = obs.NewCounter("ifdb_server_frames_out_total",
+		"Protocol frames written to clients (results, chunks, control replies).")
+	mSlowQueries = obs.NewCounter("ifdb_server_slow_queries_total",
+		"Statements whose total server-side time exceeded the slow-query threshold.")
+	mStmtSeconds = obs.NewDurationHistogram("ifdb_server_stmt_seconds",
+		"Total server-side statement time (admission + parse + execute + stream).")
+)

@@ -153,6 +153,10 @@ type Execute struct {
 	// rows (0 = server default). The server may send smaller chunks —
 	// frames are also bounded by MaxFrame — but never larger ones.
 	ChunkRows uint32
+
+	// TraceID is the client-generated statement trace ID (see
+	// Query.TraceID). Optional trailing field; zero means untraced.
+	TraceID uint64
 }
 
 // Encode marshals e.
@@ -174,7 +178,8 @@ func (e *Execute) Encode() ([]byte, error) {
 	}
 	buf = appendU64(buf, e.WaitLSN)
 	buf = appendU64(buf, e.ShardVer)
-	return binary.LittleEndian.AppendUint32(buf, e.ChunkRows), nil
+	buf = binary.LittleEndian.AppendUint32(buf, e.ChunkRows)
+	return appendU64(buf, e.TraceID), nil
 }
 
 // DecodeExecute unmarshals an Execute payload.
@@ -228,6 +233,12 @@ func DecodeExecute(buf []byte) (*Execute, error) {
 		return nil, fmt.Errorf("wire: truncated execute")
 	}
 	e.ChunkRows = binary.LittleEndian.Uint32(buf)
+	buf = buf[4:]
+	// Optional trailing trace ID (absent from pre-observability
+	// clients; zero means untraced).
+	if len(buf) >= 8 {
+		e.TraceID, _, _ = readU64(buf)
+	}
 	return &e, nil
 }
 

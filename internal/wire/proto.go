@@ -199,6 +199,13 @@ type Query struct {
 	// client: the statement is accepted and only the per-row shard-
 	// ownership guard protects misdirected writes.
 	ShardVer uint64
+
+	// TraceID is the client-generated statement trace ID, stamped into
+	// the server's slow-query/audit log lines and \stats timing
+	// breakdowns so one statement can be followed across tiers. Encoded
+	// as an optional trailing field: old decoders ignore it, and zero
+	// (or absence, from an old client) means untraced.
+	TraceID uint64
 }
 
 // Encode marshals q.
@@ -218,7 +225,8 @@ func (q *Query) Encode() ([]byte, error) {
 		buf = append(buf, 0)
 	}
 	buf = appendU64(buf, q.WaitLSN)
-	return appendU64(buf, q.ShardVer), nil
+	buf = appendU64(buf, q.ShardVer)
+	return appendU64(buf, q.TraceID), nil
 }
 
 // DecodeQuery unmarshals a Query payload.
@@ -260,9 +268,14 @@ func DecodeQuery(buf []byte) (*Query, error) {
 	if err != nil {
 		return nil, err
 	}
-	q.ShardVer, _, err = readU64(buf)
+	q.ShardVer, buf, err = readU64(buf)
 	if err != nil {
 		return nil, err
+	}
+	// Optional trailing trace ID: absent from pre-observability
+	// clients, so a short tail simply means untraced.
+	if len(buf) >= 8 {
+		q.TraceID, _, _ = readU64(buf)
 	}
 	return &q, nil
 }

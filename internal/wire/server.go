@@ -7,7 +7,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -16,6 +16,7 @@ import (
 	"ifdb/internal/authority"
 	"ifdb/internal/engine"
 	"ifdb/internal/label"
+	"ifdb/internal/obs"
 	"ifdb/internal/wal"
 )
 
@@ -39,11 +40,19 @@ type Server struct {
 	eng   *engine.Engine
 	token string
 
-	mu       sync.Mutex
-	ln       net.Listener
-	closed   bool
-	conns    map[net.Conn]bool
-	ErrorLog *log.Logger
+	mu     sync.Mutex
+	ln     net.Listener
+	closed bool
+	conns  map[net.Conn]bool
+
+	// Logger, when set, receives protocol diagnostics.
+	Logger *slog.Logger
+
+	// SlowQuery, when positive, logs any statement whose total
+	// server-side time (admission + parse + execute + stream) meets the
+	// threshold to the obs audit channel, with its trace ID and timing
+	// breakdown.
+	SlowQuery time.Duration
 
 	// Cancellation registry: session id → (cancel key, session). A
 	// CANCEL frame on a fresh connection names a session and proves
@@ -110,6 +119,7 @@ func (s *Server) registerSession(sess *engine.Session) (id, key uint64) {
 	s.sessMu.Lock()
 	s.sessions[id] = &cancelTarget{key: key, sess: sess}
 	s.sessMu.Unlock()
+	gActiveSessions.Add(1)
 	return id, key
 }
 
@@ -117,6 +127,7 @@ func (s *Server) unregisterSession(id uint64) {
 	s.sessMu.Lock()
 	delete(s.sessions, id)
 	s.sessMu.Unlock()
+	gActiveSessions.Add(-1)
 }
 
 // cancelSession services a CANCEL frame: constant-time key check,
@@ -191,10 +202,11 @@ func (s *Server) Close() error {
 	return nil
 }
 
-func (s *Server) logf(format string, args ...interface{}) {
-	if s.ErrorLog != nil {
-		s.ErrorLog.Printf(format, args...)
+func (s *Server) logger() *slog.Logger {
+	if s.Logger != nil {
+		return s.Logger
 	}
+	return obs.Nop()
 }
 
 func (s *Server) handle(conn net.Conn) {
@@ -221,12 +233,12 @@ func (s *Server) handle(conn net.Conn) {
 		return
 	}
 	if typ != MsgHello {
-		s.logf("wire: first frame %c, want Hello", typ)
+		s.logger().Warn("wire: unexpected first frame", "frame", string(typ))
 		return
 	}
 	hello, err := DecodeHello(payload)
 	if err != nil {
-		s.logf("wire: bad hello: %v", err)
+		s.logger().Warn("wire: bad hello", "err", err)
 		return
 	}
 	if s.token != "" && subtle.ConstantTimeCompare([]byte(hello.Token), []byte(s.token)) != 1 {
@@ -239,6 +251,7 @@ func (s *Server) handle(conn net.Conn) {
 	sess := s.eng.NewSession(authority.Principal(hello.Principal))
 	sid, skey := s.registerSession(sess)
 	defer s.unregisterSession(sid)
+	mFramesOut.Inc()
 	if err := WriteFrame(w, MsgHelloOK, (&HelloOK{SessionID: sid, CancelKey: skey}).Encode()); err != nil {
 		return
 	}
@@ -257,15 +270,17 @@ func (s *Server) handle(conn net.Conn) {
 		if err != nil {
 			return
 		}
+		mFramesIn.Inc()
 		switch typ {
 		case MsgClose:
 			return
 		case MsgQuery:
 			q, err := DecodeQuery(payload)
 			if err != nil {
-				s.logf("wire: bad query: %v", err)
+				s.logger().Warn("wire: bad query", "err", err)
 				return
 			}
+			sess.SetTraceID(q.TraceID)
 			if q.SyncLabel {
 				// Lazily-coalesced label/principal sync from the
 				// trusted platform (§7.1).
@@ -273,22 +288,29 @@ func (s *Server) handle(conn net.Conn) {
 				sess.SetIntegrityUnsafe(q.ILabel)
 				sess.SetPrincipalUnsafe(authority.Principal(q.Principal))
 			}
+			t0 := time.Now()
 			res := s.runQuery(sess, q)
+			tExec := time.Now()
 			enc, err := res.Encode()
 			if err != nil {
-				s.logf("wire: encode result: %v", err)
+				s.logger().Warn("wire: encode result", "err", err)
 				return
 			}
+			mFramesOut.Inc()
 			if err := WriteFrame(w, MsgResult, enc); err != nil {
 				return
 			}
 			if err := w.Flush(); err != nil {
 				return
 			}
+			// For the v1 protocol "streaming" is the single Result
+			// frame's encode+write.
+			sess.NoteStreamNs(time.Since(tExec).Nanoseconds())
+			s.noteStmtDone(sess, time.Since(t0))
 		case MsgPrepare:
 			p, err := DecodePrepare(payload)
 			if err != nil {
-				s.logf("wire: bad prepare: %v", err)
+				s.logger().Warn("wire: bad prepare", "err", err)
 				return
 			}
 			res := &PrepareRes{}
@@ -302,6 +324,7 @@ func (s *Server) handle(conn net.Conn) {
 				res.StmtID = stmtSeq
 				res.NumParams = uint32(prep.NumParams)
 			}
+			mFramesOut.Inc()
 			if err := WriteFrame(w, MsgPrepareRes, res.Encode()); err != nil {
 				return
 			}
@@ -311,29 +334,33 @@ func (s *Server) handle(conn net.Conn) {
 		case MsgCloseStmt:
 			c, err := DecodeCloseStmt(payload)
 			if err != nil {
-				s.logf("wire: bad closestmt: %v", err)
+				s.logger().Warn("wire: bad closestmt", "err", err)
 				return
 			}
 			delete(stmts, c.StmtID) // no reply: fire-and-forget
 		case MsgExecute:
 			e, err := DecodeExecute(payload)
 			if err != nil {
-				s.logf("wire: bad execute: %v", err)
+				s.logger().Warn("wire: bad execute", "err", err)
 				return
 			}
+			sess.SetTraceID(e.TraceID)
+			t0 := time.Now()
 			if err := s.runExecute(sess, stmts, e, w); err != nil {
 				return
 			}
 			if err := w.Flush(); err != nil {
 				return
 			}
+			s.noteStmtDone(sess, time.Since(t0))
 		case MsgControl:
 			c, err := DecodeControl(payload)
 			if err != nil {
-				s.logf("wire: bad control: %v", err)
+				s.logger().Warn("wire: bad control", "err", err)
 				return
 			}
 			res := s.runControl(sess, c)
+			mFramesOut.Inc()
 			if err := WriteFrame(w, MsgCtrlRes, res.Encode()); err != nil {
 				return
 			}
@@ -341,6 +368,7 @@ func (s *Server) handle(conn net.Conn) {
 				return
 			}
 		case MsgStatus:
+			mFramesOut.Inc()
 			if err := WriteFrame(w, MsgStatusRes, s.status().Encode()); err != nil {
 				return
 			}
@@ -354,6 +382,7 @@ func (s *Server) handle(conn net.Conn) {
 					payload = m.Encode()
 				}
 			}
+			mFramesOut.Inc()
 			if err := WriteFrame(w, MsgShardMapRes, payload); err != nil {
 				return
 			}
@@ -371,6 +400,7 @@ func (s *Server) handle(conn net.Conn) {
 			if perr != nil {
 				st.Err = perr.Error()
 			}
+			mFramesOut.Inc()
 			if err := WriteFrame(w, MsgStatusRes, st.Encode()); err != nil {
 				return
 			}
@@ -378,10 +408,28 @@ func (s *Server) handle(conn net.Conn) {
 				return
 			}
 		default:
-			s.logf("wire: unexpected frame %c", typ)
+			s.logger().Warn("wire: unexpected frame", "frame", string(typ))
 			return
 		}
 	}
+}
+
+// noteStmtDone finishes one statement's server-side accounting: the
+// total-time histogram, and — past the SlowQuery threshold — an audit
+// line carrying the trace ID and the per-phase breakdown.
+func (s *Server) noteStmtDone(sess *engine.Session, total time.Duration) {
+	mStmtSeconds.Observe(total.Nanoseconds())
+	if s.SlowQuery <= 0 || total < s.SlowQuery {
+		return
+	}
+	mSlowQueries.Inc()
+	st := sess.LastStmtStats()
+	obs.Audit().Warn("slow query",
+		"trace", obs.TraceID(st.TraceID),
+		"total_ns", total.Nanoseconds(),
+		"parse_ns", st.ParseNs, "plan_ns", st.PlanNs,
+		"exec_ns", st.ExecNs, "stream_ns", st.StreamNs,
+		"sql", st.SQL)
 }
 
 // status snapshots this node's replication role for STATUS probes.
@@ -432,6 +480,7 @@ func (s *Server) waitApplied(lsn uint64) error {
 
 func (s *Server) runQuery(sess *engine.Session, q *Query) *Result {
 	out := &Result{}
+	planT0 := time.Now()
 	// Shard-map version fencing: a statement routed under an outdated
 	// map may be aimed at the wrong shard entirely (a failover moved a
 	// primary, a reconfiguration moved keys), so it is refused with the
@@ -460,7 +509,11 @@ func (s *Server) runQuery(sess *engine.Session, q *Query) *Result {
 			return out
 		}
 	}
+	// Admission (fencing + read-your-writes wait) is the statement's
+	// "plan" phase; noted after Exec, which resets the breakdown.
+	planNs := time.Since(planT0).Nanoseconds()
 	res, err := sess.Exec(q.SQL, q.Params...)
+	sess.NotePlanNs(planNs)
 	if err != nil {
 		out.Err = err.Error()
 	} else {
@@ -494,6 +547,7 @@ func (s *Server) runExecute(sess *engine.Session, stmts map[uint64]*engine.Prepa
 	// when it was sent; don't let a late one kill this fresh statement
 	// before it starts.
 	sess.ResetCancel()
+	planT0 := time.Now()
 	if e.SyncLabel {
 		sess.SetLabelUnsafe(e.Label)
 		sess.SetIntegrityUnsafe(e.ILabel)
@@ -522,6 +576,7 @@ func (s *Server) runExecute(sess *engine.Session, stmts map[uint64]*engine.Prepa
 			return writeChunk(w, c)
 		}
 	}
+	planNs := time.Since(planT0).Nanoseconds()
 	var res *engine.Result
 	var err error
 	if e.StmtID != 0 {
@@ -534,12 +589,16 @@ func (s *Server) runExecute(sess *engine.Session, stmts map[uint64]*engine.Prepa
 	} else {
 		res, err = sess.Exec(e.SQL, e.Params...)
 	}
+	sess.NotePlanNs(planNs)
 	if err != nil {
 		c := trailer(err.Error(), nil)
 		c.First = true
 		return writeChunk(w, c)
 	}
-	return s.streamResult(w, res, e.ChunkRows, trailer)
+	streamT0 := time.Now()
+	serr := s.streamResult(w, res, e.ChunkRows, trailer)
+	sess.NoteStreamNs(time.Since(streamT0).Nanoseconds())
+	return serr
 }
 
 // streamResult writes res as a sequence of ROWS chunks. The engine
@@ -590,6 +649,7 @@ func writeChunk(w *bufio.Writer, c *RowsChunk) error {
 		return err
 	}
 	if len(enc)+1 <= MaxFrame {
+		mFramesOut.Inc()
 		return WriteFrame(w, MsgRows, enc)
 	}
 	if len(c.Rows) <= 1 {
@@ -668,6 +728,16 @@ func (s *Server) runControl(sess *engine.Session, c *Control) *CtrlRes {
 			v = 1
 		}
 		return &CtrlRes{Nums: []uint64{v}}
+	case "stats":
+		// Per-statement timing breakdown of the session's most recent
+		// statement (ifdb-cli \stats): trace ID, then nanoseconds spent
+		// in parse, plan (server-side admission), execute, and stream.
+		st := sess.LastStmtStats()
+		return &CtrlRes{Nums: []uint64{
+			st.TraceID,
+			uint64(st.ParseNs), uint64(st.PlanNs),
+			uint64(st.ExecNs), uint64(st.StreamNs),
+		}}
 	default:
 		return fail(fmt.Errorf("wire: unknown control op %q", c.Op))
 	}

@@ -1,0 +1,74 @@
+package ifdb_test
+
+import (
+	"net"
+	"testing"
+
+	"ifdb"
+	"ifdb/client"
+	"ifdb/internal/wire"
+)
+
+// TestTraceIDPropagation drives a statement through the full stack —
+// client EXECUTE frame with a client-generated trace ID, server-side
+// per-statement timing — and reads the breakdown back over the "stats"
+// control op, checking the ID the server recorded is the ID the client
+// sent.
+func TestTraceIDPropagation(t *testing.T) {
+	db := ifdb.MustOpen(ifdb.Config{})
+	defer db.Close()
+	admin := db.AdminSession()
+	if _, err := admin.Exec(`CREATE TABLE kv (k BIGINT PRIMARY KEY, v BIGINT)`); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := wire.NewServer(db.Engine(), "")
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	c, err := client.Dial(ln.Addr().String(), "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if _, err := c.Exec(`INSERT INTO kv VALUES ($1, $2)`, ifdb.Int(1), ifdb.Int(2)); err != nil {
+		t.Fatal(err)
+	}
+	want := c.LastTraceID()
+	if want == 0 {
+		t.Fatal("client did not stamp a trace ID")
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TraceID != want {
+		t.Fatalf("server recorded trace %016x, client sent %016x", st.TraceID, want)
+	}
+	if st.ParseNs <= 0 || st.ExecNs <= 0 {
+		t.Fatalf("timing breakdown not filled: %+v", st)
+	}
+	if st.PlanNs < 0 || st.StreamNs < 0 {
+		t.Fatalf("negative timing: %+v", st)
+	}
+
+	// A second statement gets a fresh ID, and \stats tracks the latest.
+	if _, err := c.Exec(`SELECT v FROM kv WHERE k = $1`, ifdb.Int(1)); err != nil {
+		t.Fatal(err)
+	}
+	if c.LastTraceID() == want {
+		t.Fatal("trace ID reused across statements")
+	}
+	st2, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.TraceID != c.LastTraceID() {
+		t.Fatalf("stats trace %016x, want latest %016x", st2.TraceID, c.LastTraceID())
+	}
+}

@@ -78,7 +78,30 @@ shardout=$(echo '\shardmap' | "$workdir/bin/ifdb-cli" -addr 127.0.0.1:15434 -tok
 echo "$shardout" | grep -q "shard 1 primary 127.0.0.1:5435" \
   || { echo "docs_smoke: served shard map does not match the README example"; exit 1; }
 
-# --- 3. Flag drift: every -flag the README's sh blocks pass to the
+# --- 3. The Monitoring walkthrough: a durable server with
+# -metrics-listen must serve a Prometheus scrape carrying the WAL and
+# IFC series the README shows, with real fsyncs counted.
+"$workdir/bin/ifdb-server" -addr 127.0.0.1:15435 -token demo \
+  -datadir "$workdir/data" -metrics-listen 127.0.0.1:19090 \
+  -log-level info -slow-query 50ms \
+  >"$workdir/server-metrics.log" 2>&1 &
+for i in $(seq 1 50); do
+  if "$workdir/bin/ifdb-cli" -addr 127.0.0.1:15435 -token demo </dev/null >/dev/null 2>&1; then
+    break
+  fi
+  sleep 0.1
+done
+printf 'CREATE TABLE m (k BIGINT PRIMARY KEY);\nINSERT INTO m VALUES (1);\n' \
+  | "$workdir/bin/ifdb-cli" -addr 127.0.0.1:15435 -token demo >/dev/null
+scrape=$(curl -sf http://127.0.0.1:19090/metrics)
+echo "$scrape" | grep -qE '^ifdb_wal_fsync_total [1-9]' \
+  || { echo "docs_smoke: /metrics missing nonzero ifdb_wal_fsync_total"; exit 1; }
+echo "$scrape" | grep -q '^ifdb_ifc_label_denials_total ' \
+  || { echo "docs_smoke: /metrics missing ifdb_ifc_label_denials_total"; exit 1; }
+echo "$scrape" | grep -q '^ifdb_server_active_sessions ' \
+  || { echo "docs_smoke: /metrics missing ifdb_server_active_sessions"; exit 1; }
+
+# --- 4. Flag drift: every -flag the README's sh blocks pass to the
 # binaries must still exist in some binary's -h output.
 help=$({ "$workdir/bin/ifdb-server" -h; "$workdir/bin/ifdb-cli" -h; "$workdir/bin/ifdb-bench" -h; } 2>&1 || true)
 flags=$(awk '/^```sh$/{f=1;next} /^```/{f=0} f && /ifdb-|^[[:space:]]*-/' README.md \
@@ -88,4 +111,4 @@ for f in $flags; do
     || { echo "docs_smoke: README mentions flag -$f, not found in any binary's -h"; exit 1; }
 done
 
-echo "docs_smoke: README quickstart, shard map example, and flags all check out"
+echo "docs_smoke: README quickstart, shard map, metrics scrape, and flags all check out"
