@@ -14,6 +14,7 @@ package client
 import (
 	"bufio"
 	"context"
+	"errors"
 	"fmt"
 	"net"
 	"time"
@@ -111,6 +112,7 @@ func (c *Conn) startExecCtx(ctx context.Context, stmt *Stmt, waitLSN, shardVer u
 	if err != nil {
 		return nil, ctxErrOr(ctx, err)
 	}
+	rows.ctx = ctx
 	return rows, nil
 }
 
@@ -186,7 +188,10 @@ func ctxErrOr(ctx context.Context, err error) error {
 	if err == nil {
 		return nil
 	}
-	if cerr := ctxErr(ctx); cerr != nil {
+	// Idempotent: an error that already carries ctx's cause (the stream
+	// wraps terminal errors, then drain's caller folds again) must not
+	// be wrapped twice.
+	if cerr := ctxErr(ctx); cerr != nil && !errors.Is(err, cerr) {
 		return fmt.Errorf("client: %w: %w", err, cerr)
 	}
 	return err

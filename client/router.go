@@ -84,12 +84,27 @@ type RouterConfig struct {
 	// node is sharded either, the Router runs in the classic
 	// one-replication-group mode.
 	ShardMap *ShardMap
+
+	// Secrecy, when set, gives every pooled connection a static
+	// process label made of these tags: dials adopt the tags before
+	// first use, and the repool check expects exactly this label
+	// instead of the empty one. That lets one Router serve a tenant
+	// cohort that runs contaminated by construction (reads confined by
+	// Query by Label, writes stamped with the cohort's tags) while
+	// keeping the discipline that a statement which *changes* the label
+	// retires its connection. The tag IDs must be valid on every node
+	// the Router reaches — on a sharded Router that means creating
+	// principals and tags in the same order on every shard.
+	Secrecy []Tag
 }
 
 // Router routes statements across a replicated IFDB cluster. Safe for
 // concurrent use by any number of goroutines.
 type Router struct {
 	cfg RouterConfig
+	// baseLabel is the label every pooled connection is expected to
+	// carry: cfg.Secrecy's tags, or empty.
+	baseLabel Label
 
 	mu      sync.Mutex
 	nodes   map[string]*routerNode
@@ -143,6 +158,9 @@ func OpenRouter(cfg RouterConfig) (*Router, error) {
 		cfg.DialTimeout = 2 * time.Second
 	}
 	r := &Router{cfg: cfg, nodes: make(map[string]*routerNode), stoks: make(map[uint32]rwTok)}
+	for _, t := range cfg.Secrecy {
+		r.baseLabel = r.baseLabel.Add(t)
+	}
 	for _, addr := range cfg.Addrs {
 		r.nodes[addr] = &routerNode{addr: addr}
 	}
@@ -317,10 +335,19 @@ func (r *Router) Reprobe() error {
 // dial opens one configured connection to addr (probes, pool refills,
 // and stale-pool retries all share it).
 func (r *Router) dial(addr string) (*Conn, error) {
-	return DialConfig(Config{
+	c, err := DialConfig(Config{
 		Addr: addr, Token: r.cfg.Token, Principal: r.cfg.Principal,
 		DialTimeout: r.cfg.DialTimeout,
 	})
+	if err != nil {
+		return nil, err
+	}
+	// Adopt the Router's static cohort label (lazy: it reaches the
+	// server coalesced with the connection's first statement).
+	for _, t := range r.cfg.Secrecy {
+		c.AddSecrecy(t)
+	}
+	return c, nil
 }
 
 func (r *Router) addrs() []string {
@@ -360,6 +387,26 @@ func (r *Router) flushPool(addr string) {
 	for _, c := range free {
 		c.Close()
 	}
+}
+
+// IdleConns reports the number of idle pooled connections per node
+// address — observability for tests and harnesses that assert the
+// pool discipline (e.g. that a canceled statement's connection was
+// retired rather than repooled).
+func (r *Router) IdleConns() map[string]int {
+	r.mu.Lock()
+	nodes := make([]*routerNode, 0, len(r.nodes))
+	for _, n := range r.nodes {
+		nodes = append(nodes, n)
+	}
+	r.mu.Unlock()
+	out := make(map[string]int, len(nodes))
+	for _, n := range nodes {
+		n.mu.Lock()
+		out[n.addr] = len(n.free)
+		n.mu.Unlock()
+	}
+	return out
 }
 
 // Primary returns the address writes currently route to.
@@ -420,10 +467,11 @@ func (r *Router) checkout(addr string) (c *Conn, pooled bool, err error) {
 }
 
 // checkin returns a healthy connection to its pool. Contaminated
-// connections (non-empty label) are closed instead: the next borrower
-// must not inherit another statement's secrecy state.
+// connections — any label other than the Router's base label (empty,
+// or cfg.Secrecy's tags) — are closed instead: the next borrower must
+// not inherit another statement's secrecy state.
 func (r *Router) checkin(addr string, c *Conn) {
-	if !c.Label().IsEmpty() || !c.Integrity().IsEmpty() {
+	if !c.Label().Equal(r.baseLabel) || !c.Integrity().IsEmpty() {
 		c.Close()
 		return
 	}
@@ -652,7 +700,12 @@ func (r *Router) execOnShard(ctx context.Context, rs routedStmt, addr string, wa
 		res, err = execOnConn(ctx, c, rs, waitLSN, shardVer, params)
 	}
 	if err != nil {
-		if retryable(err) {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			// Canceled cleanly, but the out-of-band CANCEL may still be
+			// in flight; repooling would let it land on the next
+			// borrower's statement. Retire the session instead.
+			c.Close()
+		} else if retryable(err) {
 			// Transport-level failure: the connection is broken.
 			c.Close()
 		} else {

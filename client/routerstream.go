@@ -112,7 +112,14 @@ func (r *Router) queryRead(ctx context.Context, rs routedStmt, params []Value) (
 // back in, a transport failure closes it.
 func (r *Router) openStream(ctx context.Context, c *Conn, rs routedStmt, addr string, waitLSN, shardVer uint64, params []Value) (Rows, error) {
 	onClose := func(err error) {
-		if err == nil || !retryable(err) {
+		// A canceled statement's connection is not repooled even when
+		// the server answered cleanly: the out-of-band CANCEL may still
+		// be in flight and could land after the session moves on,
+		// killing the next borrower's statement. Closing the conn ends
+		// the session, so a late CANCEL targets nothing.
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			c.Close()
+		} else if err == nil || !retryable(err) {
 			r.checkin(addr, c)
 		} else {
 			c.Close()

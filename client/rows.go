@@ -6,6 +6,7 @@
 package client
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -46,6 +47,13 @@ type connRows struct {
 	cols  []string
 	chunk *wire.RowsChunk
 	i     int // index of the current row within chunk
+
+	// ctx is the statement's context. A stream that dies while ctx is
+	// already over reports an error wrapping ctx's — the caller asked
+	// for cancellation and should be able to match context.Canceled,
+	// whether the server answered with its cancel error or the grace
+	// period severed the socket first.
+	ctx context.Context
 
 	recvDone bool // the Done chunk has been received
 	closed   bool
@@ -119,7 +127,7 @@ func (r *connRows) fetch() bool {
 		r.epoch, r.lsn = ch.Epoch, ch.LSN
 		r.c.stream = nil
 		if ch.Err != "" {
-			r.err = &serverError{msg: ch.Err, shardMap: ch.ShardMap}
+			r.err = ctxErrOr(r.ctx, &serverError{msg: ch.Err, shardMap: ch.ShardMap})
 			r.release()
 			return false
 		}
@@ -130,7 +138,7 @@ func (r *connRows) fetch() bool {
 // transportFail records a connection-level failure: the stream is
 // dead and so is the connection (frames may be left half-read).
 func (r *connRows) transportFail(err error) {
-	r.err = err
+	r.err = ctxErrOr(r.ctx, err)
 	r.c.broken = true
 	r.c.stream = nil
 	r.release()

@@ -1,5 +1,7 @@
 // Command ifdb-bench regenerates the tables and figures of the IFDB
-// paper's evaluation (§8) on this machine, printing paper-style rows.
+// paper's evaluation (§8) on this machine, printing paper-style rows,
+// and runs the deterministic sim-backed experiments that track this
+// repo's own perf trajectory across PRs.
 //
 // Usage:
 //
@@ -13,25 +15,46 @@
 //	ifdb-bench -exp replica-read # read scale-out through the Router
 //	ifdb-bench -exp shard-write  # write scale-out across sharded primaries
 //	ifdb-bench -exp prepared     # prepared-vs-reparsed statement throughput
-//	ifdb-bench -exp prepared -json BENCH_6.json  # + machine-readable record
+//	ifdb-bench -exp mixed-tenant # labeled tenant cohorts on one sharded cluster
 //	ifdb-bench -all          # everything (EXPERIMENTS.md source)
+//
+// The four sim-backed experiments (prepared, replica-read,
+// shard-write, mixed-tenant) consume deterministic schedules from
+// internal/sim: -seed pins every random choice, -arrival/-rate pick
+// the arrival process (closed loop, open-loop Poisson, bursty), and
+// -record/-replay round-trip the schedules through JSONL traces so
+// the exact operation sequence of one run replays byte-identically
+// against any topology. They compose with the report machinery:
+//
+//	ifdb-bench -exp prepared,replica-read,shard-write,mixed-tenant \
+//	    -json BENCH_7.json -overhead   # schema-versioned perf report
+//	ifdb-bench -seed 7 -record traces -exp prepared  # record the schedule
+//	ifdb-bench -replay traces -exp prepared          # replay it exactly
+//	ifdb-bench -diff BENCH_6.json BENCH_7.json       # perf-trajectory diff
 //
 // replica-read goes beyond the paper: it stands up an in-process
 // cluster (one durable primary, -replicas read replicas fed by WAL
 // shipping, all behind real sockets), then drives a 90/10 read/write
-// mix through client.Router — writes to the primary, reads
+// schedule through client.Router — writes to the primary, reads
 // load-balanced across replicas with read-your-writes LSN tokens — and
-// compares against the same mix aimed at the primary alone, so the
-// scale-out from adding replicas is a measured number rather than a
-// promise.
+// compares against the same schedule aimed at the primary alone, so
+// the scale-out from adding replicas is a measured number rather than
+// a promise.
 //
 // shard-write goes further: -shards primaries behind real sockets,
 // each owning one slice of the keyspace via a client.Router shard map,
-// driven with an insert-only workload routed by hashed key. The
-// baseline is the identical workload against a single shard, so the
+// driven with an insert-only schedule routed by hashed key. The
+// baseline is the identical schedule against a single shard, so the
 // write scale-out from adding primaries — the first number the HA pair
 // cannot produce — is measured, not promised. Per-tuple IFC labels are
 // ordinary row data, so they shard with their rows.
+//
+// mixed-tenant is the DIFC-under-load experiment: -tenants labeled
+// cohorts with distinct statement mixes share one sharded cluster,
+// each behind a Router whose pooled connections carry the cohort's
+// secrecy tag, so writes are stamped per-tenant and Query by Label
+// confines reads while the report tracks per-cohort throughput and
+// tail latency.
 //
 // Absolute numbers differ from the paper's 2013 testbed; the shapes —
 // who wins, by roughly what factor, where the slope lies — are the
@@ -39,48 +62,75 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
-	"math/rand"
-	"net"
 	"os"
 	"path/filepath"
 	"runtime"
 	"runtime/debug"
-	"sort"
 	"strings"
-	"sync"
-	"sync/atomic"
 	"time"
 
 	"ifdb"
-	"ifdb/client"
 	"ifdb/internal/bench/cartelweb"
 	"ifdb/internal/bench/dbt2"
 	"ifdb/internal/bench/sensor"
-	"ifdb/internal/catalog"
-	"ifdb/internal/obs"
-	"ifdb/internal/repl"
-	"ifdb/internal/types"
-	"ifdb/internal/wire"
 )
 
 var (
 	figFlag      = flag.Int("fig", 0, "figure to regenerate (3, 4, 5, 6)")
-	expFlag      = flag.String("exp", "", "experiment: sensor, space, trustedbase, replica-read, shard-write, prepared")
-	jsonFlag     = flag.String("json", "", "write machine-readable -exp prepared results to this file (e.g. BENCH_6.json)")
+	expFlag      = flag.String("exp", "", "comma-separated experiments: sensor, space, trustedbase, replica-read, shard-write, prepared, mixed-tenant")
+	jsonFlag     = flag.String("json", "", "write a schema-versioned perf report covering the sim experiments to this file (e.g. BENCH_7.json)")
 	allFlag      = flag.Bool("all", false, "run everything")
 	durFlag      = flag.Duration("duration", 3*time.Second, "measurement duration per cell")
 	workersFlag  = flag.Int("workers", 8, "concurrent clients for throughput runs")
 	srcFlag      = flag.String("src", ".", "repository root (for trusted-base line counts)")
 	tagSweepFlag = flag.String("tags", "0,1,2,4,6,8,10", "tag counts for fig 6")
 	replicasFlag = flag.Int("replicas", 2, "read replicas for -exp replica-read")
-	shardsFlag   = flag.Int("shards", 2, "shard primaries for -exp shard-write")
+	shardsFlag   = flag.Int("shards", 2, "shard primaries for -exp shard-write / mixed-tenant")
+
+	seedFlag      = flag.Int64("seed", 42, "sim workload seed: same seed, same schedule")
+	arrivalFlag   = flag.String("arrival", "closed", "sim arrival process: closed, poisson, bursty")
+	rateFlag      = flag.Float64("rate", 2000, "open-loop arrival rate in ops/sec (poisson, bursty)")
+	tenantsFlag   = flag.Int("tenants", 3, "tenant cohorts for -exp mixed-tenant")
+	recordFlag    = flag.String("record", "", "record each sim experiment's schedule to <dir>/<exp>.trace")
+	replayFlag    = flag.String("replay", "", "replay sim schedules from <dir>/<exp>.trace instead of generating")
+	diffFlag      = flag.Bool("diff", false, "diff two perf reports: ifdb-bench -diff [-diff-threshold pct] old.json new.json")
+	diffThreshold = flag.Float64("diff-threshold", 10, "regression threshold in percent for -diff")
+	overheadFlag  = flag.Bool("overhead", false, "measure metrics-registry on/off overhead during -exp prepared")
 )
+
+// simExperiments are the schedule-driven experiments (the ones -seed,
+// -arrival, -record/-replay, and -json apply to).
+var simExperiments = map[string]bool{
+	"prepared": true, "replica-read": true, "shard-write": true, "mixed-tenant": true,
+}
 
 func main() {
 	flag.Parse()
+	if *diffFlag {
+		runDiff(flag.Args())
+		return
+	}
+	exps := map[string]bool{}
+	for _, name := range strings.Split(*expFlag, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		switch name {
+		case "sensor", "space", "trustedbase":
+		default:
+			if !simExperiments[name] {
+				fmt.Fprintf(os.Stderr, "ifdb-bench: unknown experiment %q\n", name)
+				os.Exit(2)
+			}
+		}
+		exps[name] = true
+	}
+	want := func(name string) bool { return *allFlag || exps[name] }
+
+	benchReportInit()
 	ran := false
 	if *allFlag || *figFlag == 3 {
 		fig3()
@@ -98,34 +148,39 @@ func main() {
 		fig6()
 		ran = true
 	}
-	if *allFlag || *expFlag == "sensor" {
+	if want("sensor") {
 		expSensor()
 		ran = true
 	}
-	if *allFlag || *expFlag == "space" {
+	if want("space") {
 		expSpace()
 		ran = true
 	}
-	if *allFlag || *expFlag == "trustedbase" {
+	if want("trustedbase") {
 		expTrustedBase()
 		ran = true
 	}
-	if *allFlag || *expFlag == "replica-read" {
+	if want("replica-read") {
 		expReplicaRead()
 		ran = true
 	}
-	if *allFlag || *expFlag == "prepared" {
+	if want("prepared") {
 		expPrepared()
 		ran = true
 	}
-	if *allFlag || *expFlag == "shard-write" {
+	if want("shard-write") {
 		expShardWrite()
+		ran = true
+	}
+	if want("mixed-tenant") {
+		expMixedTenant()
 		ran = true
 	}
 	if !ran {
 		flag.Usage()
 		os.Exit(2)
 	}
+	benchReportFinish()
 }
 
 func check(err error) {
@@ -369,511 +424,6 @@ func expSpace() {
 }
 
 func errOf(_ *ifdb.Result, err error) error { return err }
-
-// expReplicaRead measures read scale-out through the routing client:
-// a durable primary plus -replicas WAL-shipped read replicas, all
-// behind real sockets, driven with a 90/10 read/write mix. The
-// baseline is the identical mix against the primary alone.
-func expReplicaRead() {
-	fmt.Println("== replica-read: read scale-out through client.Router ==")
-	fmt.Printf("(in-process cluster on GOMAXPROCS=%d; replicas only pay off once\n", runtime.GOMAXPROCS(0))
-	fmt.Println(" the primary is CPU-bound, so expect overhead-only numbers on few cores)")
-	const seedRows = 1000
-
-	// Primary: durable engine, client server, replication listener.
-	primDir, err := os.MkdirTemp("", "ifdb-bench-prim")
-	check(err)
-	defer os.RemoveAll(primDir)
-	db, err := ifdb.Open(ifdb.Config{DataDir: primDir, SyncMode: "off"})
-	check(err)
-	defer db.Close()
-	admin := db.AdminSession()
-	check(errOf(admin.Exec(`CREATE TABLE kv (k BIGINT PRIMARY KEY, v BIGINT)`)))
-	for i := 0; i < seedRows; i++ {
-		check(errOf(admin.Exec(`INSERT INTO kv VALUES ($1, $2)`, ifdb.Int(int64(i)), ifdb.Int(0))))
-	}
-	primSrv := wire.NewServer(db.Engine(), "")
-	primLn, err := net.Listen("tcp", "127.0.0.1:0")
-	check(err)
-	go primSrv.Serve(primLn)
-	defer primSrv.Close()
-	replPrim := repl.NewPrimary(db.Engine(), "")
-	replLn, err := net.Listen("tcp", "127.0.0.1:0")
-	check(err)
-	go replPrim.Serve(replLn)
-	defer replPrim.Close()
-
-	// Replicas: followers over the stream, each with a client server.
-	addrs := []string{primLn.Addr().String()}
-	for i := 0; i < *replicasFlag; i++ {
-		dir, err := os.MkdirTemp("", "ifdb-bench-repl")
-		check(err)
-		defer os.RemoveAll(dir)
-		f, err := repl.Open(repl.Config{Addr: replLn.Addr().String(), DataDir: dir, SyncMode: "off"})
-		check(err)
-		defer f.Close()
-		srv := wire.NewServer(f.Engine(), "")
-		ln, err := net.Listen("tcp", "127.0.0.1:0")
-		check(err)
-		go srv.Serve(ln)
-		defer srv.Close()
-		addrs = append(addrs, ln.Addr().String())
-	}
-
-	mix := func(addrs []string, stale bool, label string) {
-		router, err := client.OpenRouter(client.RouterConfig{Addrs: addrs, AllowStaleReads: stale})
-		check(err)
-		defer router.Close()
-		var reads, writes, failures atomic.Int64
-		deadline := time.Now().Add(*durFlag)
-		var wg sync.WaitGroup
-		for w := 0; w < *workersFlag; w++ {
-			wg.Add(1)
-			go func(w int) {
-				defer wg.Done()
-				rng := rand.New(rand.NewSource(int64(w)))
-				for i := 0; time.Now().Before(deadline); i++ {
-					k := ifdb.Int(int64(rng.Intn(seedRows)))
-					if i%10 == 9 {
-						if _, err := router.Exec(`UPDATE kv SET v = v + 1 WHERE k = $1`, k); err != nil {
-							failures.Add(1)
-							continue
-						}
-						writes.Add(1)
-					} else {
-						if _, err := router.Exec(`SELECT v FROM kv WHERE k = $1`, k); err != nil {
-							failures.Add(1)
-							continue
-						}
-						reads.Add(1)
-					}
-				}
-			}(w)
-		}
-		wg.Wait()
-		secs := durFlag.Seconds()
-		fmt.Printf("%-26s %9.0f reads/s %8.0f writes/s", label, float64(reads.Load())/secs, float64(writes.Load())/secs)
-		if n := failures.Load(); n > 0 {
-			fmt.Printf("  (%d failures)", n)
-		}
-		fmt.Println()
-	}
-	mix(addrs[:1], false, "primary only")
-	mix(addrs, false, fmt.Sprintf("router + %d replicas (RYW)", *replicasFlag))
-	mix(addrs, true, fmt.Sprintf("router + %d replicas (stale)", *replicasFlag))
-	fmt.Println("(RYW = read-your-writes tokens: each read waits out the")
-	fmt.Println(" replication lag of the router's last write; stale drops that.)")
-	fmt.Println()
-}
-
-// expPrepared measures what wire-level prepared statements (API v2)
-// buy on a point-read workload against one server, three ways:
-//
-//   - inline literals: a distinct SQL text per call — the naive app
-//     pattern prepared statements exist to kill. Every call pays a
-//     full parse (and poisons the parse cache with dead entries).
-//   - parameterized text: one text, $1 parameters. The engine's
-//     parse cache absorbs the re-parse, but every call still ships
-//     the text and pays the cache lookup.
-//   - prepared handles: PREPARE once, EXECUTE a handle + parameters.
-//     No parser, no cache lookup, minimal bytes on the wire.
-//
-// The same comparison then runs through a single-node client.Router
-// (text vs RouterStmt). Engine parse counts are printed per mode, so
-// "skips re-parsing" is a measured number, not a promise.
-func expPrepared() {
-	fmt.Println("== prepared: prepared-vs-reparsed statement throughput ==")
-	const seedRows = 1000
-	cfg := ifdb.Config{}
-	if *jsonFlag != "" {
-		// Durable engine when recording: the JSON snapshot includes WAL
-		// fsync counts, which an in-memory engine never produces. The
-		// measured workload is read-only, so only the seeding pays.
-		dir, err := os.MkdirTemp("", "ifdb-bench-prep")
-		check(err)
-		defer os.RemoveAll(dir)
-		cfg = ifdb.Config{DataDir: dir}
-	}
-	db := ifdb.MustOpen(cfg)
-	defer db.Close()
-	admin := db.AdminSession()
-	check(errOf(admin.Exec(`CREATE TABLE kv (k BIGINT PRIMARY KEY, v BIGINT)`)))
-	for i := 0; i < seedRows; i++ {
-		check(errOf(admin.Exec(`INSERT INTO kv VALUES ($1, $2)`, ifdb.Int(int64(i)), ifdb.Int(int64(i)))))
-	}
-	srv := wire.NewServer(db.Engine(), "")
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	check(err)
-	go srv.Serve(ln)
-	defer srv.Close()
-	addr := ln.Addr().String()
-
-	var modes []preparedMode
-	run := func(label string, worker func(w int) func(rng *rand.Rand) error) {
-		parse0 := db.Engine().ParseCount()
-		var failures atomic.Int64
-		lats := make([][]int64, *workersFlag)
-		deadline := time.Now().Add(*durFlag)
-		var wg sync.WaitGroup
-		for w := 0; w < *workersFlag; w++ {
-			wg.Add(1)
-			go func(w int) {
-				defer wg.Done()
-				op := worker(w)
-				rng := rand.New(rand.NewSource(int64(w)))
-				samples := make([]int64, 0, 1<<15)
-				for time.Now().Before(deadline) {
-					t0 := time.Now()
-					err := op(rng)
-					lat := time.Since(t0).Nanoseconds()
-					if err != nil {
-						failures.Add(1)
-						continue
-					}
-					samples = append(samples, lat)
-				}
-				lats[w] = samples
-			}(w)
-		}
-		wg.Wait()
-		var all []int64
-		for _, s := range lats {
-			all = append(all, s...)
-		}
-		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-		n := int64(len(all))
-		parses := db.Engine().ParseCount() - parse0
-		m := preparedMode{
-			Label:       label,
-			StmtsPerSec: float64(n) / durFlag.Seconds(),
-			Ops:         n,
-			Failures:    failures.Load(),
-			Parses:      int64(parses),
-			P50Us:       pctlUs(all, 0.50),
-			P99Us:       pctlUs(all, 0.99),
-			P999Us:      pctlUs(all, 0.999),
-		}
-		if n > 0 {
-			m.ParsesPerStmt = float64(parses) / float64(n)
-		}
-		modes = append(modes, m)
-		fmt.Printf("%-28s %9.0f stmts/s   %8d parses", label, m.StmtsPerSec, parses)
-		if n > 0 {
-			fmt.Printf(" (%.3f/stmt)", m.ParsesPerStmt)
-		}
-		fmt.Printf("   p50=%.0fµs p99=%.0fµs", m.P50Us, m.P99Us)
-		if f := m.Failures; f > 0 {
-			fmt.Printf("  (%d failures)", f)
-		}
-		fmt.Println()
-	}
-
-	dial := func() *client.Conn {
-		c, err := client.Dial(addr, "", 0)
-		check(err)
-		return c
-	}
-
-	fmt.Println("-- single node (one Conn per worker) --")
-	run("inline literals (re-parse)", func(w int) func(*rand.Rand) error {
-		c := dial()
-		return func(rng *rand.Rand) error {
-			// A fresh text per call: the worst case the parse cache
-			// cannot help with (every web app interpolating values).
-			_, err := c.Exec(fmt.Sprintf(`SELECT v FROM kv WHERE k = %d AND %d >= 0`, rng.Intn(seedRows), rng.Int63()))
-			return err
-		}
-	})
-	run("parameterized text", func(w int) func(*rand.Rand) error {
-		c := dial()
-		return func(rng *rand.Rand) error {
-			_, err := c.Exec(`SELECT v FROM kv WHERE k = $1`, ifdb.Int(int64(rng.Intn(seedRows))))
-			return err
-		}
-	})
-	run("prepared handles", func(w int) func(*rand.Rand) error {
-		c := dial()
-		st, err := c.Prepare(`SELECT v FROM kv WHERE k = $1`)
-		check(err)
-		return func(rng *rand.Rand) error {
-			_, err := st.Exec(ifdb.Int(int64(rng.Intn(seedRows))))
-			return err
-		}
-	})
-
-	fmt.Println("-- through client.Router (pooled conns, shared) --")
-	router, err := client.OpenRouter(client.RouterConfig{Addrs: []string{addr}, PoolSize: *workersFlag})
-	check(err)
-	defer router.Close()
-	run("router: text", func(w int) func(*rand.Rand) error {
-		return func(rng *rand.Rand) error {
-			_, err := router.Exec(`SELECT v FROM kv WHERE k = $1`, ifdb.Int(int64(rng.Intn(seedRows))))
-			return err
-		}
-	})
-	rst, err := router.Prepare(`SELECT v FROM kv WHERE k = $1`)
-	check(err)
-	defer rst.Close()
-	run("router: prepared", func(w int) func(*rand.Rand) error {
-		return func(rng *rand.Rand) error {
-			_, err := rst.Exec(ifdb.Int(int64(rng.Intn(seedRows))))
-			return err
-		}
-	})
-	fmt.Println("(parses = engine-side sql.ParseAll invocations during the run;")
-	fmt.Println(" prepared executions ship a statement handle, not text — see BENCH.md)")
-	fmt.Println()
-
-	if *jsonFlag != "" {
-		writePreparedJSON(addr, seedRows, modes)
-	}
-}
-
-// preparedMode is one measured configuration of -exp prepared, as
-// recorded in the -json output.
-type preparedMode struct {
-	Label         string  `json:"label"`
-	StmtsPerSec   float64 `json:"stmts_per_sec"`
-	Ops           int64   `json:"ops"`
-	Failures      int64   `json:"failures"`
-	Parses        int64   `json:"parses"`
-	ParsesPerStmt float64 `json:"parses_per_stmt"`
-	P50Us         float64 `json:"p50_us"`
-	P99Us         float64 `json:"p99_us"`
-	P999Us        float64 `json:"p999_us"`
-}
-
-// pctlUs reads the q-quantile out of an ascending nanosecond sample
-// set, in microseconds.
-func pctlUs(sorted []int64, q float64) float64 {
-	if len(sorted) == 0 {
-		return 0
-	}
-	i := int(q * float64(len(sorted)-1))
-	return float64(sorted[i]) / 1e3
-}
-
-// writePreparedJSON is the -json tail of -exp prepared: it re-runs the
-// prepared-handles mode with the metrics registry disabled and enabled
-// in alternating rounds (median-of-rounds, like fig4, so host drift
-// cancels), snapshots the registry counters the run produced, and
-// writes the whole record to the -json path.
-func writePreparedJSON(addr string, seedRows int, modes []preparedMode) {
-	fmt.Println("-- registry overhead (prepared handles, metrics off vs on) --")
-	// The true cost under measurement — one branch on a disabled flag
-	// versus a dozen uncontended atomic adds per statement — is far
-	// below scheduler noise, so this leans on precision rather than
-	// load: a single worker, fixed op counts per round, many finely
-	// interleaved rounds with the off/on order alternating (so
-	// monotonic host drift cancels), and the median of per-round
-	// ratios as the reported number.
-	c, err := client.Dial(addr, "", 0)
-	check(err)
-	defer c.Close()
-	st, err := c.Prepare(`SELECT v FROM kv WHERE k = $1`)
-	check(err)
-	rng := rand.New(rand.NewSource(99))
-	timed := func(n int) float64 {
-		t0 := time.Now()
-		for i := 0; i < n; i++ {
-			if _, err := st.Exec(ifdb.Int(int64(rng.Intn(seedRows)))); err != nil {
-				check(err)
-			}
-		}
-		return float64(n) / time.Since(t0).Seconds()
-	}
-	warmRate := timed(2000) // warm-up doubles as batch-size calibration
-	batch := int(warmRate * 0.005)
-	if batch < 200 {
-		batch = 200
-	}
-	const pairs = 150
-	var ratios []float64
-	var offSecs, onSecs float64
-	for p := 0; p < pairs; p++ {
-		var offR, onR float64
-		if p%2 == 0 {
-			obs.SetEnabled(false)
-			offR = timed(batch)
-			obs.SetEnabled(true)
-			onR = timed(batch)
-		} else {
-			obs.SetEnabled(true)
-			onR = timed(batch)
-			obs.SetEnabled(false)
-			offR = timed(batch)
-		}
-		offSecs += float64(batch) / offR
-		onSecs += float64(batch) / onR
-		ratios = append(ratios, onR/offR)
-	}
-	obs.SetEnabled(true)
-	sortFloats(ratios)
-	medOff := float64(pairs*batch) / offSecs
-	medOn := float64(pairs*batch) / onSecs
-	regress := 100 * (1 - ratios[pairs/2])
-	fmt.Printf("metrics off %9.0f stmts/s   metrics on %9.0f stmts/s   regression %.2f%% (median of %d paired ratios)\n",
-		medOff, medOn, regress, pairs)
-
-	// Counter lookups ride the registry's get-or-create registration:
-	// these names already exist (the instrumented packages registered
-	// them at init), so this returns the live collectors.
-	snap := map[string]int64{}
-	for _, name := range []string{
-		"ifdb_wal_fsync_total",
-		"ifdb_wal_appends_total",
-		"ifdb_engine_parses_total",
-		"ifdb_engine_parse_cache_hits_total",
-		"ifdb_txn_commits_total",
-	} {
-		snap[name] = obs.NewCounter(name, "").Value()
-	}
-
-	out := struct {
-		Experiment string           `json:"experiment"`
-		Timestamp  string           `json:"timestamp"`
-		Duration   string           `json:"duration_per_mode"`
-		Workers    int              `json:"workers"`
-		Modes      []preparedMode   `json:"modes"`
-		Registry   map[string]int64 `json:"registry"`
-		Overhead   struct {
-			Pairs               int     `json:"pairs"`
-			DisabledStmtsPerSec float64 `json:"disabled_stmts_per_sec"`
-			EnabledStmtsPerSec  float64 `json:"enabled_stmts_per_sec"`
-			RegressionPct       float64 `json:"regression_pct"`
-		} `json:"registry_overhead"`
-	}{
-		Experiment: "prepared",
-		Timestamp:  time.Now().UTC().Format(time.RFC3339),
-		Duration:   durFlag.String(),
-		Workers:    *workersFlag,
-		Modes:      modes,
-		Registry:   snap,
-	}
-	out.Overhead.Pairs = pairs
-	out.Overhead.DisabledStmtsPerSec = medOff
-	out.Overhead.EnabledStmtsPerSec = medOn
-	out.Overhead.RegressionPct = regress
-
-	data, err := json.MarshalIndent(out, "", "  ")
-	check(err)
-	check(os.WriteFile(*jsonFlag, append(data, '\n'), 0o644))
-	fmt.Printf("wrote %s\n\n", *jsonFlag)
-}
-
-// expShardWrite measures write scale-out across sharded primaries:
-// -shards engines behind real sockets, each pinned to its shard
-// (ownership guard installed), with an insert-only workload routed by
-// hashed key through a shard-mapped client.Router. The baseline is
-// the same workload against one shard.
-//
-// In-process, every shard shares this machine's cores, so the
-// aggregate write throughput scales with shards only until
-// GOMAXPROCS saturates — on a one-core box expect the curve to be
-// nearly flat, on N cores expect it to climb toward xN. (Deployed,
-// each shard is its own machine and the in-process cap disappears;
-// what this experiment demonstrates end-to-end is that the write path
-// — routing, ownership, version fencing — partitions, which the
-// per-shard row counts printed at the end make visible.)
-func expShardWrite() {
-	fmt.Println("== shard-write: write scale-out across sharded primaries ==")
-	fmt.Printf("(in-process shards on GOMAXPROCS=%d: aggregate scaling is capped by cores)\n", runtime.GOMAXPROCS(0))
-
-	run := func(nShards int, report bool) float64 {
-		type shard struct {
-			db  *ifdb.DB
-			srv *wire.Server
-			ln  net.Listener
-		}
-		shards := make([]shard, nShards)
-		var addrs []string
-		for i := range shards {
-			db := ifdb.MustOpen(ifdb.Config{})
-			srv := wire.NewServer(db.Engine(), "")
-			ln, err := net.Listen("tcp", "127.0.0.1:0")
-			check(err)
-			shards[i] = shard{db, srv, ln}
-			addrs = append(addrs, ln.Addr().String())
-		}
-		smap := &wire.ShardMap{Version: 1, Keys: map[string]string{"kv": "k"}}
-		for i, a := range addrs {
-			smap.Shards = append(smap.Shards, wire.Shard{ID: uint32(i), Primary: a})
-		}
-		// Hooks before Serve: handlers must not race hook installation.
-		for i := range shards {
-			sid := uint32(i)
-			shards[i].srv.ShardMap = func() *wire.ShardMap { return smap }
-			eng := shards[i].db.Engine()
-			eng.SetShardGuard(func(t *catalog.Table, row []types.Value) error {
-				if col := smap.KeyColumn(t.Name); col != "" && len(row) > 0 {
-					if own := smap.ShardOf(row[0].String()); own != sid {
-						return fmt.Errorf("misrouted key %s: owned by shard %d, landed on %d", row[0], own, sid)
-					}
-				}
-				return nil
-			})
-			go shards[i].srv.Serve(shards[i].ln)
-		}
-		defer func() {
-			for i := range shards {
-				shards[i].srv.Close()
-				shards[i].db.Close()
-			}
-		}()
-
-		// PoolSize = workers: every worker keeps a pooled connection per
-		// shard, so the measurement is the write path, not dial churn.
-		router, err := client.OpenRouter(client.RouterConfig{Addrs: addrs, ShardMap: smap, PoolSize: *workersFlag})
-		check(err)
-		defer router.Close()
-		_, err = router.Exec(`CREATE TABLE kv (k BIGINT PRIMARY KEY, v BIGINT)`) // DDL fans out
-		check(err)
-
-		var writes, failures atomic.Int64
-		deadline := time.Now().Add(*durFlag)
-		var wg sync.WaitGroup
-		for w := 0; w < *workersFlag; w++ {
-			wg.Add(1)
-			go func(w int) {
-				defer wg.Done()
-				for i := 0; time.Now().Before(deadline); i++ {
-					k := ifdb.Int(int64(w)*1_000_000_000 + int64(i))
-					if _, err := router.Exec(`INSERT INTO kv VALUES ($1, $2)`, k, ifdb.Int(int64(i))); err != nil {
-						failures.Add(1)
-						continue
-					}
-					writes.Add(1)
-				}
-			}(w)
-		}
-		wg.Wait()
-		rate := float64(writes.Load()) / durFlag.Seconds()
-		if n := failures.Load(); n > 0 {
-			fmt.Printf("  (%d failures at %d shards)\n", n, nShards)
-		}
-		if report {
-			// The tangible half of the demonstration: the keyspace
-			// really partitioned (every row passed its shard's
-			// ownership guard on the way in).
-			for i := range shards {
-				res, err := shards[i].db.AdminSession().Exec(`SELECT COUNT(*) FROM kv`)
-				check(err)
-				fmt.Printf("  shard %d holds %s rows\n", i, res.Rows[0][0])
-			}
-		}
-		return rate
-	}
-
-	base := run(1, false)
-	fmt.Printf("%-14s %10.0f writes/s\n", "1 shard", base)
-	scaled := run(*shardsFlag, true)
-	fmt.Printf("%-14s %10.0f writes/s   (x%.2f aggregate)\n", fmt.Sprintf("%d shards", *shardsFlag), scaled, scaled/base)
-	fmt.Println("(insert-only workload routed by hashed key; each shard is its own")
-	fmt.Println(" epoch-fenced replication group, so adding shard primaries scales the")
-	fmt.Println(" write path the way adding replicas scales reads — per machine, once")
-	fmt.Println(" shards stop sharing cores.)")
-	fmt.Println()
-}
 
 // expTrustedBase counts authority-bearing code in the two app ports —
 // the §6.3 accounting (380/10k LoC in CarTel, 760/29k in HotCRP).

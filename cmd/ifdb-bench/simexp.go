@@ -1,0 +1,813 @@
+// Sim-backed experiments. prepared, replica-read, shard-write, and
+// mixed-tenant all consume deterministic schedules from internal/sim:
+// two runs under the same -seed execute the same operations in the
+// same order, which is what lets a perf delta between two reports be
+// read as a code change rather than dice. -record/-replay round-trip
+// the schedules through JSONL traces (one file per experiment), -json
+// accumulates every sim experiment into one schema-versioned
+// report.Report, and -diff compares two such reports (the legacy
+// BENCH_6.json shape included) metric by metric.
+
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"ifdb"
+	"ifdb/client"
+	"ifdb/internal/bench/report"
+	"ifdb/internal/catalog"
+	"ifdb/internal/obs"
+	"ifdb/internal/repl"
+	"ifdb/internal/sim"
+	"ifdb/internal/types"
+	"ifdb/internal/wire"
+)
+
+// ---------------------------------------------------------------------------
+// Report accumulation (-json)
+
+var (
+	benchRep   *report.Report
+	benchSnap0 obs.Snapshot
+)
+
+// benchReportInit arms report accumulation: the registry snapshot
+// taken here makes the final report's Registry section a delta scoped
+// to this run, not process-lifetime totals.
+func benchReportInit() {
+	if *jsonFlag == "" {
+		return
+	}
+	benchSnap0 = obs.Default.Snapshot()
+	benchRep = &report.Report{
+		Schema:    report.Schema,
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Duration:  durFlag.String(),
+		Workers:   *workersFlag,
+		Seed:      *seedFlag,
+	}
+}
+
+func benchReportAdd(e report.Experiment) {
+	if benchRep != nil {
+		benchRep.Experiments = append(benchRep.Experiments, e)
+	}
+}
+
+func benchReportFinish() {
+	if benchRep == nil {
+		return
+	}
+	if len(benchRep.Experiments) == 0 {
+		fmt.Fprintln(os.Stderr, "ifdb-bench: -json set but no sim experiment ran; nothing to write")
+		return
+	}
+	delta := obs.Default.Snapshot().Sub(benchSnap0)
+	benchRep.Registry = &delta
+	check(benchRep.Save(*jsonFlag))
+	fmt.Printf("wrote %s\n\n", *jsonFlag)
+}
+
+// ---------------------------------------------------------------------------
+// Schedule plumbing (-seed/-arrival/-rate/-record/-replay)
+
+// simWorkload builds the flag-derived workload shared by the sim
+// experiments. Closed-loop schedules are a fixed lap the runner cycles
+// for -duration; open-loop schedules span -duration at -rate.
+func simWorkload(table string, keys int, cohorts []sim.Cohort) sim.Workload {
+	w := sim.Workload{
+		Seed:    *seedFlag,
+		Arrival: *arrivalFlag,
+		Workers: *workersFlag,
+		Table:   table,
+		Keys:    keys,
+		Cohorts: cohorts,
+	}
+	if w.Arrival == sim.ArrivalClosed {
+		w.Ops = 4096
+	} else {
+		w.Rate = *rateFlag
+		w.Duration = *durFlag
+	}
+	return w
+}
+
+func tracePath(dir, exp string) string { return filepath.Join(dir, exp+".trace") }
+
+// scheduleFor resolves one experiment's schedule: replayed from a
+// recorded trace when -replay is set, generated from the workload (and
+// optionally recorded) otherwise. A replayed schedule carries its own
+// workload from the trace header — seed, arrival, cohorts and all —
+// so it runs identically no matter what the current flags say.
+func scheduleFor(name string, w sim.Workload) *sim.Schedule {
+	if *replayFlag != "" {
+		p := tracePath(*replayFlag, name)
+		s, err := sim.ReadTraceFile(p)
+		check(err)
+		fmt.Printf("(replaying %s)\n", p)
+		return s
+	}
+	s, err := sim.Generate(w)
+	check(err)
+	if *recordFlag != "" {
+		check(os.MkdirAll(*recordFlag, 0o755))
+		p := tracePath(*recordFlag, name)
+		check(sim.WriteTraceFile(p, s))
+		fmt.Printf("(recorded %s: %d ops)\n", p, len(s.Ops))
+	}
+	return s
+}
+
+// simRunOpts: a closed-loop lap cycles for the wall-clock budget; an
+// open-loop schedule is its own timeline and plays exactly once.
+func simRunOpts(s *sim.Schedule) sim.Options {
+	if s.W.Arrival == sim.ArrivalClosed {
+		return sim.Options{Duration: *durFlag, Loop: true}
+	}
+	return sim.Options{}
+}
+
+func describeSched(s *sim.Schedule) string {
+	if s.W.Arrival == sim.ArrivalClosed {
+		return fmt.Sprintf("closed loop: %d-op lap, %d workers, seed %d, %v budget",
+			len(s.Ops), s.W.Workers, s.W.Seed, *durFlag)
+	}
+	return fmt.Sprintf("%s arrivals: %.0f ops/s over %v (%d ops), %d workers, seed %d",
+		s.W.Arrival, s.W.Rate, s.W.Duration, len(s.Ops), s.W.Workers, s.W.Seed)
+}
+
+// ---------------------------------------------------------------------------
+// Stats → report groups
+
+// mergeCohorts flattens a run's per-cohort stats into one aggregate
+// (for experiments whose comparison unit is the mode, not the cohort).
+func mergeCohorts(st *sim.Stats) *sim.CohortStats {
+	out := &sim.CohortStats{}
+	for _, cs := range st.Cohorts {
+		out.Ops += cs.Ops
+		out.Failures += cs.Failures
+		out.LatenciesUs = append(out.LatenciesUs, cs.LatenciesUs...)
+	}
+	sort.Slice(out.LatenciesUs, func(i, j int) bool { return out.LatenciesUs[i] < out.LatenciesUs[j] })
+	return out
+}
+
+func groupFrom(label string, cs *sim.CohortStats, elapsed time.Duration) report.Group {
+	ok := int64(len(cs.LatenciesUs))
+	g := report.Group{
+		Label:    label,
+		Ops:      ok,
+		Failures: cs.Failures,
+		P50Us:    float64(cs.Percentile(0.50)),
+		P99Us:    float64(cs.Percentile(0.99)),
+		P999Us:   float64(cs.Percentile(0.999)),
+	}
+	if secs := elapsed.Seconds(); secs > 0 {
+		g.StmtsPerSec = float64(ok) / secs
+	}
+	return g
+}
+
+func printGroup(g report.Group) {
+	fmt.Printf("%-28s %9.0f stmts/s", g.Label, g.StmtsPerSec)
+	if g.Parses > 0 || g.ParsesPerStmt > 0 {
+		fmt.Printf("   %8d parses (%.3f/stmt)", g.Parses, g.ParsesPerStmt)
+	}
+	fmt.Printf("   p50=%.0fµs p99=%.0fµs", g.P50Us, g.P99Us)
+	if g.Failures > 0 {
+		fmt.Printf("  (%d failures)", g.Failures)
+	}
+	fmt.Println()
+}
+
+func vals(args []int64) []ifdb.Value {
+	out := make([]ifdb.Value, len(args))
+	for i, a := range args {
+		out[i] = ifdb.Int(a)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// -exp prepared
+
+// expPrepared measures what wire-level prepared statements (API v2)
+// buy on a point-read schedule against one server, five ways:
+//
+//   - inline literals: every op rendered as a distinct SQL text
+//     (Op.InlineSQL) — the naive app pattern prepared statements exist
+//     to kill. Every call pays a full parse and poisons the parse
+//     cache with dead entries.
+//   - parameterized text: the canonical $1 text. The engine's parse
+//     cache absorbs the re-parse, but every call still ships the text
+//     and pays the cache lookup.
+//   - prepared handles: PREPARE once per worker connection, EXECUTE a
+//     handle + parameters. No parser, no cache lookup, minimal bytes.
+//   - router: text / router: prepared — the same pair through a
+//     single-node client.Router's pooled connections.
+//
+// All five modes execute the same sim schedule, so their numbers are
+// the execution style and nothing else. Engine parse counts are
+// printed per mode: "skips re-parsing" is a measured number.
+func expPrepared() {
+	fmt.Println("== prepared: prepared-vs-reparsed statement throughput ==")
+	const seedRows = 1000
+	sched := scheduleFor("prepared", simWorkload("kv", seedRows,
+		[]sim.Cohort{{Name: "kv", Weight: 1, Mix: sim.StmtMix{PointRead: 1}}}))
+	fmt.Printf("(%s)\n", describeSched(sched))
+
+	cfg := ifdb.Config{}
+	if benchRep != nil {
+		// Durable engine when recording: the JSON report's registry
+		// section includes WAL fsync counts, which an in-memory engine
+		// never produces. The measured workload is read-only, so only
+		// the seeding pays.
+		dir, err := os.MkdirTemp("", "ifdb-bench-prep")
+		check(err)
+		defer os.RemoveAll(dir)
+		cfg = ifdb.Config{DataDir: dir}
+	}
+	db := ifdb.MustOpen(cfg)
+	defer db.Close()
+	admin := db.AdminSession()
+	check(errOf(admin.Exec(`CREATE TABLE kv (k BIGINT PRIMARY KEY, v BIGINT)`)))
+	for i := 0; i < seedRows; i++ {
+		check(errOf(admin.Exec(`INSERT INTO kv VALUES ($1, $2)`, ifdb.Int(int64(i)), ifdb.Int(int64(i)))))
+	}
+	srv := wire.NewServer(db.Engine(), "")
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	check(err)
+	go srv.Serve(ln)
+	defer srv.Close()
+	addr := ln.Addr().String()
+
+	exp := report.Experiment{Name: "prepared", Arrival: sched.W.Arrival, Rate: sched.W.Rate}
+	runMode := func(label string, exec sim.Exec, cleanup func()) {
+		parse0 := db.Engine().ParseCount()
+		st, err := sim.Run(sched, simRunOpts(sched), exec)
+		check(err)
+		if cleanup != nil {
+			cleanup()
+		}
+		g := groupFrom(label, mergeCohorts(st), st.Elapsed)
+		g.Parses = int64(db.Engine().ParseCount() - parse0)
+		if g.Ops > 0 {
+			g.ParsesPerStmt = float64(g.Parses) / float64(g.Ops)
+		}
+		exp.Groups = append(exp.Groups, g)
+		printGroup(g)
+	}
+	dialN := func() []*client.Conn {
+		conns := make([]*client.Conn, sched.W.Workers)
+		for i := range conns {
+			c, err := client.Dial(addr, "", 0)
+			check(err)
+			conns[i] = c
+		}
+		return conns
+	}
+	closeAll := func(conns []*client.Conn) func() {
+		return func() {
+			for _, c := range conns {
+				c.Close()
+			}
+		}
+	}
+
+	fmt.Println("-- single node (one Conn per worker) --")
+	{
+		conns := dialN()
+		runMode("inline literals (re-parse)", func(op *sim.Op, lap int) error {
+			_, err := conns[op.Worker].Exec(op.InlineSQL(lap))
+			return err
+		}, closeAll(conns))
+	}
+	{
+		conns := dialN()
+		runMode("parameterized text", func(op *sim.Op, lap int) error {
+			_, err := conns[op.Worker].Exec(op.SQL, vals(op.LapArgs(lap))...)
+			return err
+		}, closeAll(conns))
+	}
+	{
+		conns := dialN()
+		// Per-worker handle caches: each worker is single-threaded, so
+		// its map needs no lock.
+		stmts := make([]map[string]*client.Stmt, len(conns))
+		for i := range stmts {
+			stmts[i] = map[string]*client.Stmt{}
+		}
+		runMode("prepared handles", func(op *sim.Op, lap int) error {
+			st := stmts[op.Worker][op.SQL]
+			if st == nil {
+				var err error
+				st, err = conns[op.Worker].Prepare(op.SQL)
+				if err != nil {
+					return err
+				}
+				stmts[op.Worker][op.SQL] = st
+			}
+			_, err := st.Exec(vals(op.LapArgs(lap))...)
+			return err
+		}, closeAll(conns))
+	}
+
+	fmt.Println("-- through client.Router (pooled conns, shared) --")
+	router, err := client.OpenRouter(client.RouterConfig{Addrs: []string{addr}, PoolSize: sched.W.Workers})
+	check(err)
+	defer router.Close()
+	runMode("router: text", func(op *sim.Op, lap int) error {
+		_, err := router.Exec(op.SQL, vals(op.LapArgs(lap))...)
+		return err
+	}, nil)
+	var rmu sync.Mutex
+	rstmts := map[string]*client.RouterStmt{}
+	runMode("router: prepared", func(op *sim.Op, lap int) error {
+		rmu.Lock()
+		st := rstmts[op.SQL]
+		if st == nil {
+			var err error
+			st, err = router.Prepare(op.SQL)
+			if err != nil {
+				rmu.Unlock()
+				return err
+			}
+			rstmts[op.SQL] = st
+		}
+		rmu.Unlock()
+		_, err := st.Exec(vals(op.LapArgs(lap))...)
+		return err
+	}, nil)
+	fmt.Println("(parses = engine-side sql.ParseAll invocations during the run;")
+	fmt.Println(" prepared executions ship a statement handle, not text — see BENCH.md)")
+	fmt.Println()
+
+	if *overheadFlag {
+		runOverhead(addr, seedRows)
+	}
+	benchReportAdd(exp)
+}
+
+// runOverhead is the metrics-registry A/B behind -overhead: the
+// prepared-handles mode re-run with the registry disabled and enabled
+// in alternating rounds. The true cost under measurement — one branch
+// on a disabled flag versus a dozen uncontended atomic adds per
+// statement — is far below scheduler noise, so this leans on precision
+// rather than load: a single worker, fixed op counts per round, many
+// finely interleaved rounds with the off/on order alternating (so
+// monotonic host drift cancels), and the median of per-round ratios as
+// the reported number.
+func runOverhead(addr string, seedRows int) {
+	fmt.Println("-- registry overhead (prepared handles, metrics off vs on) --")
+	c, err := client.Dial(addr, "", 0)
+	check(err)
+	defer c.Close()
+	st, err := c.Prepare(`SELECT v FROM kv WHERE k = $1`)
+	check(err)
+	rng := rand.New(rand.NewSource(99))
+	timed := func(n int) float64 {
+		t0 := time.Now()
+		for i := 0; i < n; i++ {
+			if _, err := st.Exec(ifdb.Int(int64(rng.Intn(seedRows)))); err != nil {
+				check(err)
+			}
+		}
+		return float64(n) / time.Since(t0).Seconds()
+	}
+	warmRate := timed(2000) // warm-up doubles as batch-size calibration
+	batch := int(warmRate * 0.005)
+	if batch < 200 {
+		batch = 200
+	}
+	const pairs = 150
+	var ratios []float64
+	var offSecs, onSecs float64
+	for p := 0; p < pairs; p++ {
+		var offR, onR float64
+		if p%2 == 0 {
+			obs.SetEnabled(false)
+			offR = timed(batch)
+			obs.SetEnabled(true)
+			onR = timed(batch)
+		} else {
+			obs.SetEnabled(true)
+			onR = timed(batch)
+			obs.SetEnabled(false)
+			offR = timed(batch)
+		}
+		offSecs += float64(batch) / offR
+		onSecs += float64(batch) / onR
+		ratios = append(ratios, onR/offR)
+	}
+	obs.SetEnabled(true)
+	sortFloats(ratios)
+	medOff := float64(pairs*batch) / offSecs
+	medOn := float64(pairs*batch) / onSecs
+	regress := 100 * (1 - ratios[pairs/2])
+	fmt.Printf("metrics off %9.0f stmts/s   metrics on %9.0f stmts/s   regression %.2f%% (median of %d paired ratios)\n\n",
+		medOff, medOn, regress, pairs)
+	if benchRep != nil {
+		benchRep.RegistryOverhead = &report.Overhead{
+			Pairs:             pairs,
+			DisabledStmtsRate: medOff,
+			EnabledStmtsRate:  medOn,
+			RegressionPct:     regress,
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// -exp replica-read
+
+// expReplicaRead measures read scale-out through the routing client:
+// a durable primary plus -replicas WAL-shipped read replicas, all
+// behind real sockets, driven with a 90/10 read/write sim schedule
+// (cohorts "reads" and "writes", so the report carries the two
+// statement classes separately). The baseline is the identical
+// schedule against the primary alone.
+func expReplicaRead() {
+	fmt.Println("== replica-read: read scale-out through client.Router ==")
+	fmt.Printf("(in-process cluster on GOMAXPROCS=%d; replicas only pay off once\n", runtime.GOMAXPROCS(0))
+	fmt.Println(" the primary is CPU-bound, so expect overhead-only numbers on few cores)")
+	const seedRows = 1000
+	sched := scheduleFor("replica-read", simWorkload("kv", seedRows, []sim.Cohort{
+		{Name: "reads", Weight: 9, Mix: sim.StmtMix{PointRead: 1}},
+		{Name: "writes", Weight: 1, Mix: sim.StmtMix{PointWrite: 1}},
+	}))
+	fmt.Printf("(%s)\n", describeSched(sched))
+
+	// Primary: durable engine, client server, replication listener.
+	primDir, err := os.MkdirTemp("", "ifdb-bench-prim")
+	check(err)
+	defer os.RemoveAll(primDir)
+	db, err := ifdb.Open(ifdb.Config{DataDir: primDir, SyncMode: "off"})
+	check(err)
+	defer db.Close()
+	admin := db.AdminSession()
+	check(errOf(admin.Exec(`CREATE TABLE kv (k BIGINT PRIMARY KEY, v BIGINT)`)))
+	// Seed every cohort's key domain: cohort i's point ops draw from
+	// [i·CohortKeyStride, i·CohortKeyStride+seedRows).
+	for ci := range sched.W.Cohorts {
+		base := int64(ci) * sim.CohortKeyStride
+		for i := 0; i < seedRows; i++ {
+			check(errOf(admin.Exec(`INSERT INTO kv VALUES ($1, $2)`, ifdb.Int(base+int64(i)), ifdb.Int(0))))
+		}
+	}
+	primSrv := wire.NewServer(db.Engine(), "")
+	primLn, err := net.Listen("tcp", "127.0.0.1:0")
+	check(err)
+	go primSrv.Serve(primLn)
+	defer primSrv.Close()
+	replPrim := repl.NewPrimary(db.Engine(), "")
+	replLn, err := net.Listen("tcp", "127.0.0.1:0")
+	check(err)
+	go replPrim.Serve(replLn)
+	defer replPrim.Close()
+
+	// Replicas: followers over the stream, each with a client server.
+	addrs := []string{primLn.Addr().String()}
+	for i := 0; i < *replicasFlag; i++ {
+		dir, err := os.MkdirTemp("", "ifdb-bench-repl")
+		check(err)
+		defer os.RemoveAll(dir)
+		f, err := repl.Open(repl.Config{Addr: replLn.Addr().String(), DataDir: dir, SyncMode: "off"})
+		check(err)
+		defer f.Close()
+		srv := wire.NewServer(f.Engine(), "")
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		check(err)
+		go srv.Serve(ln)
+		defer srv.Close()
+		addrs = append(addrs, ln.Addr().String())
+	}
+
+	exp := report.Experiment{Name: "replica-read", Arrival: sched.W.Arrival, Rate: sched.W.Rate}
+	runTopo := func(label string, addrs []string, stale bool) {
+		router, err := client.OpenRouter(client.RouterConfig{
+			Addrs: addrs, AllowStaleReads: stale, PoolSize: sched.W.Workers,
+		})
+		check(err)
+		defer router.Close()
+		st, err := sim.Run(sched, simRunOpts(sched), func(op *sim.Op, lap int) error {
+			_, err := router.Exec(op.SQL, vals(op.LapArgs(lap))...)
+			return err
+		})
+		check(err)
+		for _, c := range sched.W.Cohorts {
+			g := groupFrom(label+"/"+c.Name, st.Cohorts[c.Name], st.Elapsed)
+			exp.Groups = append(exp.Groups, g)
+			printGroup(g)
+		}
+	}
+	runTopo("primary", addrs[:1], false)
+	runTopo("ryw", addrs, false)
+	runTopo("stale", addrs, true)
+	benchReportAdd(exp)
+	fmt.Println("(RYW = read-your-writes tokens: each read waits out the")
+	fmt.Println(" replication lag of the router's last write; stale drops that.)")
+	fmt.Println()
+}
+
+// ---------------------------------------------------------------------------
+// Shard topology (shared by shard-write and mixed-tenant)
+
+type benchShard struct {
+	db  *ifdb.DB
+	srv *wire.Server
+	ln  net.Listener
+}
+
+// startShards stands up n primaries behind real sockets, each pinned
+// to its slice of the keyspace via an ownership guard, sharing one
+// shard map keyed on kv.k. Hooks are installed before Serve: handlers
+// must not race hook installation.
+func startShards(n int, ifc bool) ([]benchShard, *wire.ShardMap, []string) {
+	shards := make([]benchShard, n)
+	var addrs []string
+	for i := range shards {
+		db := ifdb.MustOpen(ifdb.Config{IFC: ifc})
+		srv := wire.NewServer(db.Engine(), "")
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		check(err)
+		shards[i] = benchShard{db, srv, ln}
+		addrs = append(addrs, ln.Addr().String())
+	}
+	smap := &wire.ShardMap{Version: 1, Keys: map[string]string{"kv": "k"}}
+	for i, a := range addrs {
+		smap.Shards = append(smap.Shards, wire.Shard{ID: uint32(i), Primary: a})
+	}
+	for i := range shards {
+		sid := uint32(i)
+		shards[i].srv.ShardMap = func() *wire.ShardMap { return smap }
+		eng := shards[i].db.Engine()
+		eng.SetShardGuard(func(t *catalog.Table, row []types.Value) error {
+			if col := smap.KeyColumn(t.Name); col != "" && len(row) > 0 {
+				if own := smap.ShardOf(row[0].String()); own != sid {
+					return fmt.Errorf("misrouted key %s: owned by shard %d, landed on %d", row[0], own, sid)
+				}
+			}
+			return nil
+		})
+		go shards[i].srv.Serve(shards[i].ln)
+	}
+	return shards, smap, addrs
+}
+
+func stopShards(shards []benchShard) {
+	for i := range shards {
+		shards[i].srv.Close()
+		shards[i].db.Close()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// -exp shard-write
+
+// expShardWrite measures write scale-out across sharded primaries:
+// -shards engines behind real sockets, an insert-only sim schedule
+// (unique per-worker ascending keys) routed by hashed key through a
+// shard-mapped client.Router. The baseline is the same schedule
+// against one shard.
+//
+// In-process, every shard shares this machine's cores, so the
+// aggregate write throughput scales with shards only until GOMAXPROCS
+// saturates — on a one-core box expect the curve to be nearly flat.
+// What this experiment demonstrates end-to-end is that the write path
+// — routing, ownership, version fencing — partitions, which the
+// per-shard row counts make visible.
+func expShardWrite() {
+	fmt.Println("== shard-write: write scale-out across sharded primaries ==")
+	fmt.Printf("(in-process shards on GOMAXPROCS=%d: aggregate scaling is capped by cores)\n", runtime.GOMAXPROCS(0))
+	sched := scheduleFor("shard-write", simWorkload("kv", 0,
+		[]sim.Cohort{{Name: "ingest", Weight: 1, Mix: sim.StmtMix{Insert: 1}}}))
+	fmt.Printf("(%s)\n", describeSched(sched))
+
+	exp := report.Experiment{Name: "shard-write", Arrival: sched.W.Arrival, Rate: sched.W.Rate, Notes: map[string]float64{}}
+	run := func(label string, nShards int, detail bool) float64 {
+		shards, smap, addrs := startShards(nShards, false)
+		defer stopShards(shards)
+		// PoolSize = workers: every worker keeps a pooled connection per
+		// shard, so the measurement is the write path, not dial churn.
+		router, err := client.OpenRouter(client.RouterConfig{Addrs: addrs, ShardMap: smap, PoolSize: sched.W.Workers})
+		check(err)
+		defer router.Close()
+		_, err = router.Exec(`CREATE TABLE kv (k BIGINT PRIMARY KEY, v BIGINT)`) // DDL fans out
+		check(err)
+
+		st, err := sim.Run(sched, simRunOpts(sched), func(op *sim.Op, lap int) error {
+			_, err := router.Exec(op.SQL, vals(op.LapArgs(lap))...)
+			return err
+		})
+		check(err)
+		g := groupFrom(label, mergeCohorts(st), st.Elapsed)
+		exp.Groups = append(exp.Groups, g)
+		printGroup(g)
+		if detail {
+			// The tangible half of the demonstration: the keyspace
+			// really partitioned (every row passed its shard's
+			// ownership guard on the way in).
+			for i := range shards {
+				res, err := shards[i].db.AdminSession().Exec(`SELECT COUNT(*) FROM kv`)
+				check(err)
+				var rows int64
+				check(client.ScanValue(res.Rows[0][0], &rows))
+				exp.Notes[fmt.Sprintf("shard%d_rows", i)] = float64(rows)
+				fmt.Printf("  shard %d holds %d rows\n", i, rows)
+			}
+		}
+		return g.StmtsPerSec
+	}
+	base := run("1 shard", 1, false)
+	scaled := run(fmt.Sprintf("%d shards", *shardsFlag), *shardsFlag, true)
+	if base > 0 {
+		fmt.Printf("aggregate scaling: x%.2f\n", scaled/base)
+	}
+	benchReportAdd(exp)
+	fmt.Println("(insert-only schedule routed by hashed key; each shard is its own")
+	fmt.Println(" epoch-fenced replication group, so adding shard primaries scales the")
+	fmt.Println(" write path the way adding replicas scales reads — per machine, once")
+	fmt.Println(" shards stop sharing cores.)")
+	fmt.Println()
+}
+
+// ---------------------------------------------------------------------------
+// -exp mixed-tenant
+
+// tenantCohorts builds n tenant classes with distinct traffic shares,
+// statement mixes, and prepared-statement appetites, each carrying its
+// own secrecy tag. Patterns cycle for n > 3.
+func tenantCohorts(n int) []sim.Cohort {
+	patterns := []sim.Cohort{
+		{Weight: 3, Mix: sim.StmtMix{PointRead: 8, PointWrite: 2}, PreparedPct: 100},
+		{Weight: 2, Mix: sim.StmtMix{PointRead: 5, PointWrite: 2, Insert: 2, Scan: 1}, PreparedPct: 50},
+		{Weight: 1, Mix: sim.StmtMix{PointWrite: 3, Insert: 6, Scan: 1}, PreparedPct: 0},
+	}
+	out := make([]sim.Cohort, n)
+	for i := range out {
+		c := patterns[i%len(patterns)]
+		c.Name = fmt.Sprintf("tenant%d", i)
+		c.Tags = []string{fmt.Sprintf("t_tenant%d", i)}
+		out[i] = c
+	}
+	return out
+}
+
+// expMixedTenant drives -tenants labeled cohorts through one shared
+// sharded cluster (-shards IFC-enabled primaries). Each cohort runs
+// behind its own client.Router whose pooled connections carry the
+// cohort's secrecy tag (RouterConfig.Secrecy), so every write is
+// stamped per-tenant and Query by Label confines every read — DIFC
+// isolation under multi-tenant load, with per-cohort throughput and
+// tail latency as the measured numbers.
+func expMixedTenant() {
+	fmt.Println("== mixed-tenant: labeled tenant cohorts on one sharded cluster ==")
+	fmt.Printf("(in-process shards on GOMAXPROCS=%d; IFC on, one secrecy tag per tenant)\n", runtime.GOMAXPROCS(0))
+	const keys = 256
+	sched := scheduleFor("mixed-tenant", simWorkload("kv", keys, tenantCohorts(*tenantsFlag)))
+	fmt.Printf("(%s, %d tenants)\n", describeSched(sched), len(sched.W.Cohorts))
+	cohorts := sched.W.Cohorts
+
+	shards, smap, addrs := startShards(*shardsFlag, true)
+	defer stopShards(shards)
+	// Tags are created in the same order on every shard, so the tag
+	// IDs align cluster-wide and one client.Tag value is valid on
+	// whichever shard a statement routes to.
+	tags := map[string]client.Tag{}
+	for i := range shards {
+		check(errOf(shards[i].db.AdminSession().Exec(`CREATE TABLE kv (k BIGINT PRIMARY KEY, v BIGINT)`)))
+		for _, c := range cohorts {
+			prin := shards[i].db.CreatePrincipal(c.Name)
+			for _, tn := range c.Tags {
+				tg, err := shards[i].db.CreateTag(prin, tn)
+				check(err)
+				if i == 0 {
+					tags[tn] = tg
+				}
+			}
+		}
+	}
+
+	// One Router per cohort: the cohort's secrecy label rides every
+	// pooled connection.
+	routers := map[string]*client.Router{}
+	stmts := map[string]map[string]*client.RouterStmt{}
+	var smu sync.Mutex
+	for _, c := range cohorts {
+		var sec []client.Tag
+		for _, tn := range c.Tags {
+			sec = append(sec, tags[tn])
+		}
+		r, err := client.OpenRouter(client.RouterConfig{
+			Addrs: addrs, ShardMap: smap, PoolSize: sched.W.Workers, Secrecy: sec,
+		})
+		check(err)
+		defer r.Close()
+		routers[c.Name] = r
+		stmts[c.Name] = map[string]*client.RouterStmt{}
+	}
+
+	// Seed each tenant's point-op key domain through the tenant's own
+	// labeled router, so every seeded row carries exactly that tenant's
+	// label — the IFDB write rule then lets the tenant (and only the
+	// tenant) update it.
+	for ci, c := range cohorts {
+		base := int64(ci) * sim.CohortKeyStride
+		r := routers[c.Name]
+		for k := int64(0); k < keys; k++ {
+			if _, err := r.Exec(`INSERT INTO kv VALUES ($1, $2)`, ifdb.Int(base+k), ifdb.Int(0)); err != nil {
+				check(err)
+			}
+		}
+	}
+
+	st, err := sim.Run(sched, simRunOpts(sched), func(op *sim.Op, lap int) error {
+		r := routers[op.Cohort]
+		if r == nil {
+			return fmt.Errorf("unknown cohort %q", op.Cohort)
+		}
+		args := vals(op.LapArgs(lap))
+		if op.Prepared {
+			smu.Lock()
+			pst := stmts[op.Cohort][op.SQL]
+			if pst == nil {
+				var perr error
+				pst, perr = r.Prepare(op.SQL)
+				if perr != nil {
+					smu.Unlock()
+					return perr
+				}
+				stmts[op.Cohort][op.SQL] = pst
+			}
+			smu.Unlock()
+			_, err := pst.Exec(args...)
+			return err
+		}
+		_, err := r.Exec(op.SQL, args...)
+		return err
+	})
+	check(err)
+
+	exp := report.Experiment{Name: "mixed-tenant", Arrival: sched.W.Arrival, Rate: sched.W.Rate, Notes: map[string]float64{}}
+	for _, c := range cohorts {
+		g := groupFrom(c.Name, st.Cohorts[c.Name], st.Elapsed)
+		exp.Groups = append(exp.Groups, g)
+		printGroup(g)
+	}
+	for i := range shards {
+		t := shards[i].db.Engine().Stats().Tuples
+		exp.Notes[fmt.Sprintf("shard%d_tuples", i)] = float64(t)
+		fmt.Printf("  shard %d holds %d tuples\n", i, t)
+	}
+	benchReportAdd(exp)
+	fmt.Println("(each tenant's rows carry its tag: writes are stamped with the")
+	fmt.Println(" cohort label, reads are confined by Query by Label, and the per-")
+	fmt.Println(" shard routing counters in the report's registry section show the")
+	fmt.Println(" fan-out. See the root simworkload e2e test for the isolation proof.)")
+	fmt.Println()
+}
+
+// ---------------------------------------------------------------------------
+// -diff mode
+
+// runDiff loads two BENCH_*.json reports (legacy BENCH_6 shape
+// included) and prints every comparable metric's movement, marking
+// those past -diff-threshold in the bad direction as regressions.
+// Positive change is always worse (throughput drop, latency rise);
+// the exit status stays 0 either way — short benchmark runs are noisy,
+// so the verdict is for a human (or a grep for REGRESSION) to act on.
+func runDiff(paths []string) {
+	if len(paths) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: ifdb-bench -diff [-diff-threshold pct] old.json new.json")
+		os.Exit(2)
+	}
+	prev, err := report.Load(paths[0])
+	check(err)
+	cur, err := report.Load(paths[1])
+	check(err)
+	deltas := report.Diff(prev, cur, *diffThreshold)
+	fmt.Printf("== diff: %s (schema %d) → %s (schema %d), threshold %.1f%% ==\n",
+		paths[0], prev.Schema, paths[1], cur.Schema, *diffThreshold)
+	if len(deltas) == 0 {
+		fmt.Println("no comparable metrics (no shared experiment/group pairs)")
+		return
+	}
+	fmt.Printf("%-52s %14s %14s %9s\n", "metric", "old", "new", "worse%")
+	for _, d := range deltas {
+		mark := ""
+		if d.Regression {
+			mark = "  REGRESSION"
+		}
+		fmt.Printf("%-52s %14.1f %14.1f %+8.1f%%%s\n", d.Metric, d.Old, d.New, d.Pct, mark)
+	}
+	regs := report.Regressions(deltas)
+	fmt.Printf("%d regressions past %.1f%% (of %d compared metrics)\n", len(regs), *diffThreshold, len(deltas))
+}

@@ -1,0 +1,288 @@
+// Package report defines the schema-versioned BENCH_*.json perf
+// report that ifdb-bench emits, a loader that also understands the
+// legacy (pre-schema) BENCH_6.json shape, and the threshold diff that
+// turns two reports into a perf-trajectory verdict. One file per PR,
+// committed; `ifdb-bench -diff old.json new.json` is how a reviewer
+// answers "did this PR cost us throughput?".
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+
+	"ifdb/internal/obs"
+)
+
+// Schema is the current report schema version. Loaders sniff this
+// field; its absence means the legacy BENCH_6 shape.
+const Schema = 2
+
+// Report is one benchmark run: several experiments, each with
+// per-group (mode or cohort) results, plus a registry snapshot scoped
+// to the run.
+type Report struct {
+	Schema int `json:"schema"`
+	// Generated is an RFC3339 timestamp. Informational only — the diff
+	// ignores it.
+	Generated string `json:"generated,omitempty"`
+	// Duration is the per-experiment wall-clock budget (Go duration
+	// string).
+	Duration string `json:"duration,omitempty"`
+	Workers  int    `json:"workers,omitempty"`
+	// Seed is the sim seed every experiment's schedule was generated
+	// from. Two reports with equal seeds measured identical workloads.
+	Seed        int64        `json:"seed,omitempty"`
+	Experiments []Experiment `json:"experiments"`
+	// Registry is the obs snapshot delta covering the whole run
+	// (fsyncs, parses, cancels, retries, fan-out widths, per-shard
+	// routing).
+	Registry *obs.Snapshot `json:"registry,omitempty"`
+	// RegistryOverhead is the optional metrics-off vs metrics-on A/B.
+	RegistryOverhead *Overhead `json:"registry_overhead,omitempty"`
+}
+
+// Experiment is one named experiment's results.
+type Experiment struct {
+	Name    string  `json:"name"`
+	Arrival string  `json:"arrival,omitempty"`
+	Rate    float64 `json:"rate,omitempty"`
+	// Groups are the experiment's comparison units: execution modes
+	// for `prepared`, tenant cohorts for `mixed-tenant`, roles for
+	// `replica-read`.
+	Groups []Group `json:"groups"`
+	// Notes carries experiment-specific scalars (per-shard row counts,
+	// replica read fractions). Diffed informationally, never a
+	// regression verdict.
+	Notes map[string]float64 `json:"notes,omitempty"`
+}
+
+// Group is one mode/cohort's measured numbers. Field names match the
+// legacy per-mode object so a legacy report converts losslessly.
+type Group struct {
+	Label         string  `json:"label"`
+	StmtsPerSec   float64 `json:"stmts_per_sec"`
+	Ops           int64   `json:"ops"`
+	Failures      int64   `json:"failures"`
+	Parses        int64   `json:"parses,omitempty"`
+	ParsesPerStmt float64 `json:"parses_per_stmt,omitempty"`
+	P50Us         float64 `json:"p50_us"`
+	P99Us         float64 `json:"p99_us"`
+	P999Us        float64 `json:"p999_us"`
+}
+
+// Overhead is the metrics-off vs metrics-on A/B result.
+type Overhead struct {
+	Pairs             int     `json:"pairs"`
+	DisabledStmtsRate float64 `json:"disabled_stmts_per_sec"`
+	EnabledStmtsRate  float64 `json:"enabled_stmts_per_sec"`
+	RegressionPct     float64 `json:"regression_pct"`
+}
+
+// legacyReport is the pre-schema BENCH_6.json shape.
+type legacyReport struct {
+	Experiment      string           `json:"experiment"`
+	Timestamp       string           `json:"timestamp"`
+	DurationPerMode string           `json:"duration_per_mode"`
+	Workers         int              `json:"workers"`
+	Modes           []Group          `json:"modes"`
+	Registry        map[string]int64 `json:"registry"`
+	Overhead        *Overhead        `json:"registry_overhead"`
+}
+
+// Load reads a BENCH_*.json report, accepting both the current schema
+// and the legacy BENCH_6 shape (converted to a Schema-1 Report so the
+// diff can compare across the format change).
+func Load(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var sniff struct {
+		Schema int `json:"schema"`
+	}
+	if err := json.Unmarshal(data, &sniff); err != nil {
+		return nil, fmt.Errorf("%s: not a JSON report: %w", path, err)
+	}
+	if sniff.Schema == 0 {
+		var leg legacyReport
+		if err := json.Unmarshal(data, &leg); err != nil {
+			return nil, fmt.Errorf("%s: decode legacy report: %w", path, err)
+		}
+		if leg.Experiment == "" || len(leg.Modes) == 0 {
+			return nil, fmt.Errorf("%s: neither a schema-%d nor a legacy report", path, Schema)
+		}
+		r := &Report{
+			Schema:           1,
+			Generated:        leg.Timestamp,
+			Duration:         leg.DurationPerMode,
+			Workers:          leg.Workers,
+			Experiments:      []Experiment{{Name: leg.Experiment, Groups: leg.Modes}},
+			RegistryOverhead: leg.Overhead,
+		}
+		if len(leg.Registry) > 0 {
+			r.Registry = &obs.Snapshot{Counters: leg.Registry}
+		}
+		return r, r.Validate()
+	}
+	if sniff.Schema > Schema {
+		return nil, fmt.Errorf("%s: schema %d is newer than this binary understands (%d)", path, sniff.Schema, Schema)
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: decode report: %w", path, err)
+	}
+	return &r, r.Validate()
+}
+
+// Validate checks structural invariants a diff relies on.
+func (r *Report) Validate() error {
+	if r.Schema < 1 || r.Schema > Schema {
+		return fmt.Errorf("report: schema %d out of range [1,%d]", r.Schema, Schema)
+	}
+	if len(r.Experiments) == 0 {
+		return fmt.Errorf("report: no experiments")
+	}
+	seenExp := map[string]bool{}
+	for _, e := range r.Experiments {
+		if e.Name == "" {
+			return fmt.Errorf("report: experiment with no name")
+		}
+		if seenExp[e.Name] {
+			return fmt.Errorf("report: duplicate experiment %q", e.Name)
+		}
+		seenExp[e.Name] = true
+		if len(e.Groups) == 0 {
+			return fmt.Errorf("report: experiment %q has no groups", e.Name)
+		}
+		seenGrp := map[string]bool{}
+		for _, g := range e.Groups {
+			if g.Label == "" {
+				return fmt.Errorf("report: experiment %q has a group with no label", e.Name)
+			}
+			if seenGrp[g.Label] {
+				return fmt.Errorf("report: experiment %q has duplicate group %q", e.Name, g.Label)
+			}
+			seenGrp[g.Label] = true
+			if g.Ops < 0 || g.Failures < 0 || g.StmtsPerSec < 0 ||
+				math.IsNaN(g.StmtsPerSec) || math.IsInf(g.StmtsPerSec, 0) {
+				return fmt.Errorf("report: experiment %q group %q has invalid numbers", e.Name, g.Label)
+			}
+		}
+	}
+	return nil
+}
+
+// Save writes the report to path as indented JSON.
+func (r *Report) Save(path string) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Delta is one metric's movement between two reports.
+type Delta struct {
+	// Metric is "experiment/group/metric" (or "registry/<counter>").
+	Metric string
+	Old    float64
+	New    float64
+	// Pct is the relative change in percent, signed so that positive
+	// is always *worse* (throughput drop, latency rise, failure rise).
+	Pct float64
+	// Regression marks deltas past the diff threshold on a
+	// quality-bearing metric. Informational deltas (registry counters,
+	// notes) never set it.
+	Regression bool
+}
+
+// Diff compares two reports group by group. A group metric that moved
+// in the bad direction by more than thresholdPct becomes a regression;
+// groups present in only one report are reported (as ±100%) but not
+// regressions, since the experiment set legitimately grows across PRs.
+// Registry counter deltas ride along informationally.
+func Diff(prev, cur *Report, thresholdPct float64) []Delta {
+	var out []Delta
+	oldExp := map[string]*Experiment{}
+	for i := range prev.Experiments {
+		oldExp[prev.Experiments[i].Name] = &prev.Experiments[i]
+	}
+	for i := range cur.Experiments {
+		ne := &cur.Experiments[i]
+		oe, ok := oldExp[ne.Name]
+		if !ok {
+			continue // new experiment: nothing to compare
+		}
+		oldGrp := map[string]*Group{}
+		for j := range oe.Groups {
+			oldGrp[oe.Groups[j].Label] = &oe.Groups[j]
+		}
+		for j := range ne.Groups {
+			ng := &ne.Groups[j]
+			og, ok := oldGrp[ng.Label]
+			if !ok {
+				continue
+			}
+			prefix := ne.Name + "/" + ng.Label + "/"
+			out = append(out,
+				delta(prefix+"stmts_per_sec", og.StmtsPerSec, ng.StmtsPerSec, -1, thresholdPct),
+				delta(prefix+"p50_us", og.P50Us, ng.P50Us, +1, thresholdPct),
+				delta(prefix+"p99_us", og.P99Us, ng.P99Us, +1, thresholdPct),
+				delta(prefix+"p999_us", og.P999Us, ng.P999Us, +1, thresholdPct),
+				delta(prefix+"failures", float64(og.Failures), float64(ng.Failures), +1, thresholdPct),
+			)
+		}
+	}
+	if prev.Registry != nil && cur.Registry != nil {
+		names := make([]string, 0, len(cur.Registry.Counters))
+		for name := range cur.Registry.Counters {
+			if _, ok := prev.Registry.Counters[name]; ok {
+				names = append(names, name)
+			}
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			ov, nv := float64(prev.Registry.Counters[name]), float64(cur.Registry.Counters[name])
+			if ov == 0 && nv == 0 {
+				continue
+			}
+			d := delta("registry/"+name, ov, nv, +1, thresholdPct)
+			d.Regression = false // registry counts are informational
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// delta builds one Delta. dir is +1 when an increase is bad (latency,
+// failures), -1 when a decrease is bad (throughput).
+func delta(metric string, prev, cur float64, dir float64, thresholdPct float64) Delta {
+	d := Delta{Metric: metric, Old: prev, New: cur}
+	switch {
+	case prev == 0 && cur == 0:
+		d.Pct = 0
+	case prev == 0:
+		d.Pct = 100 * dir // appeared from zero
+	default:
+		d.Pct = (cur - prev) / prev * 100 * dir
+	}
+	d.Regression = d.Pct > thresholdPct
+	return d
+}
+
+// Regressions filters a diff to the deltas flagged as regressions.
+func Regressions(deltas []Delta) []Delta {
+	var out []Delta
+	for _, d := range deltas {
+		if d.Regression {
+			out = append(out, d)
+		}
+	}
+	return out
+}

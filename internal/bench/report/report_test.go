@@ -1,0 +1,198 @@
+package report
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ifdb/internal/obs"
+)
+
+func sample() *Report {
+	return &Report{
+		Schema:   Schema,
+		Duration: "3s",
+		Workers:  8,
+		Seed:     42,
+		Experiments: []Experiment{
+			{
+				Name: "prepared",
+				Groups: []Group{
+					{Label: "inline literals (re-parse)", StmtsPerSec: 30000, Ops: 90000, P50Us: 150, P99Us: 2000, P999Us: 11000},
+					{Label: "prepared handles", StmtsPerSec: 50000, Ops: 150000, P50Us: 85, P99Us: 950, P999Us: 12000},
+				},
+			},
+			{
+				Name:    "mixed-tenant",
+				Arrival: "poisson",
+				Rate:    5000,
+				Groups: []Group{
+					{Label: "tenant-0", StmtsPerSec: 8000, Ops: 24000, P50Us: 200, P99Us: 3000, P999Us: 9000},
+				},
+				Notes: map[string]float64{"shards": 2},
+			},
+		},
+		Registry: &obs.Snapshot{Counters: map[string]int64{
+			"ifdb_wal_fsync_total":     1000,
+			"ifdb_engine_parses_total": 90000,
+		}},
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	r := sample()
+	path := filepath.Join(t.TempDir(), "BENCH_X.json")
+	if err := r.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != Schema || len(got.Experiments) != 2 {
+		t.Fatalf("round trip lost shape: %+v", got)
+	}
+	if got.Experiments[0].Groups[1].StmtsPerSec != 50000 {
+		t.Fatalf("round trip lost numbers")
+	}
+	if got.Registry.Counters["ifdb_wal_fsync_total"] != 1000 {
+		t.Fatalf("round trip lost registry")
+	}
+}
+
+// TestLoadLegacyBench6 loads the committed BENCH_6.json — the report
+// from the previous PR, in the pre-schema shape — which is exactly
+// what -diff must keep understanding.
+func TestLoadLegacyBench6(t *testing.T) {
+	r, err := Load(filepath.Join("..", "..", "..", "BENCH_6.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Schema != 1 {
+		t.Fatalf("legacy schema = %d, want 1", r.Schema)
+	}
+	if len(r.Experiments) != 1 || r.Experiments[0].Name != "prepared" {
+		t.Fatalf("legacy experiments = %+v", r.Experiments)
+	}
+	if len(r.Experiments[0].Groups) != 5 {
+		t.Fatalf("legacy groups = %d, want 5", len(r.Experiments[0].Groups))
+	}
+	g := r.Experiments[0].Groups[2]
+	if g.Label != "prepared handles" || g.StmtsPerSec != 51426 {
+		t.Fatalf("legacy group = %+v", g)
+	}
+	if r.Registry == nil || r.Registry.Counters["ifdb_wal_fsync_total"] != 1002 {
+		t.Fatalf("legacy registry not converted")
+	}
+	if r.RegistryOverhead == nil || r.RegistryOverhead.Pairs != 150 {
+		t.Fatalf("legacy overhead not converted")
+	}
+}
+
+// TestDiffAgainstLegacy is the acceptance criterion: a schema-2 report
+// diffs against the committed BENCH_6.json without error, matching on
+// the group labels both share.
+func TestDiffAgainstLegacy(t *testing.T) {
+	old, err := Load(filepath.Join("..", "..", "..", "BENCH_6.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deltas := Diff(old, sample(), 10)
+	var matched bool
+	for _, d := range deltas {
+		if strings.HasPrefix(d.Metric, "prepared/prepared handles/") {
+			matched = true
+		}
+	}
+	if !matched {
+		t.Fatalf("diff matched no shared groups: %+v", deltas)
+	}
+}
+
+func TestDiffDirections(t *testing.T) {
+	old := &Report{Schema: Schema, Experiments: []Experiment{{
+		Name: "e",
+		Groups: []Group{
+			{Label: "g", StmtsPerSec: 1000, Ops: 1, P50Us: 100, P99Us: 1000, P999Us: 2000},
+		},
+	}}}
+	cur := &Report{Schema: Schema, Experiments: []Experiment{{
+		Name: "e",
+		Groups: []Group{
+			{Label: "g", StmtsPerSec: 800, Ops: 1, P50Us: 100, P99Us: 1300, P999Us: 2000, Failures: 3},
+		},
+	}}}
+	deltas := Diff(old, cur, 10)
+	byMetric := map[string]Delta{}
+	for _, d := range deltas {
+		byMetric[d.Metric] = d
+	}
+	// 20% throughput drop: positive Pct, regression at 10%.
+	if d := byMetric["e/g/stmts_per_sec"]; !d.Regression || d.Pct < 19 || d.Pct > 21 {
+		t.Fatalf("throughput delta = %+v", d)
+	}
+	// 30% p99 rise: regression.
+	if d := byMetric["e/g/p99_us"]; !d.Regression || d.Pct < 29 || d.Pct > 31 {
+		t.Fatalf("p99 delta = %+v", d)
+	}
+	// Unchanged p50: no regression.
+	if d := byMetric["e/g/p50_us"]; d.Regression || d.Pct != 0 {
+		t.Fatalf("p50 delta = %+v", d)
+	}
+	// Failures appeared from zero: regression.
+	if d := byMetric["e/g/failures"]; !d.Regression {
+		t.Fatalf("failures delta = %+v", d)
+	}
+	if n := len(Regressions(deltas)); n != 3 {
+		t.Fatalf("regressions = %d, want 3", n)
+	}
+	// Generous threshold: only the failures (+100% from zero) trip it.
+	if n := len(Regressions(Diff(old, cur, 50))); n != 1 {
+		t.Fatalf("regressions at 50%% threshold = %d, want 1", n)
+	}
+	// Improvement is never a regression.
+	if n := len(Regressions(Diff(cur, old, 10))); n != 0 {
+		t.Fatalf("improvement flagged as regression: %d", n)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := map[string]func(*Report){
+		"bad schema":     func(r *Report) { r.Schema = Schema + 1 },
+		"no experiments": func(r *Report) { r.Experiments = nil },
+		"unnamed exp":    func(r *Report) { r.Experiments[0].Name = "" },
+		"dup exp":        func(r *Report) { r.Experiments[1].Name = r.Experiments[0].Name },
+		"no groups":      func(r *Report) { r.Experiments[0].Groups = nil },
+		"unnamed group":  func(r *Report) { r.Experiments[0].Groups[0].Label = "" },
+		"dup group":      func(r *Report) { r.Experiments[0].Groups[1].Label = r.Experiments[0].Groups[0].Label },
+		"negative ops":   func(r *Report) { r.Experiments[0].Groups[0].Ops = -1 },
+	}
+	for name, mutate := range cases {
+		r := sample()
+		mutate(r)
+		if err := r.Validate(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	for name, content := range map[string]string{
+		"notjson.json":  "][",
+		"wrongish.json": `{"hello":"world"}`,
+		"future.json":   `{"schema":99,"experiments":[]}`,
+	} {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Load(path); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	if _, err := Load(filepath.Join(dir, "missing.json")); err == nil {
+		t.Errorf("missing file accepted")
+	}
+}

@@ -119,6 +119,12 @@ func (s *Session) Cancel() {
 // statement that was actually running when it was sent.
 func (s *Session) ResetCancel() { s.canceled.Store(false) }
 
+// Canceled reports whether a cancel is pending. The wire server polls
+// it between ROWS chunks so a cancel that lands after execution but
+// mid-stream still cuts the response short instead of pushing the
+// rest of a large result at an uninterested client.
+func (s *Session) Canceled() bool { return s.canceled.Load() }
+
 // checkCanceled is the statement-side check point.
 func (s *Session) checkCanceled() error {
 	if s.canceled.Load() {

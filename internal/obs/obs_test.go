@@ -163,3 +163,54 @@ func TestParseLevel(t *testing.T) {
 		}
 	}
 }
+
+// TestSnapshot covers the point-in-time copy and the delta arithmetic
+// the bench harness uses to scope registry numbers to one experiment.
+func TestSnapshot(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	g := r.Gauge("g", "")
+	v := r.CounterVec("v_total", "", "shard")
+	h := r.Histogram("h_seconds", "", 1000, 1e-9)
+
+	c.Add(5)
+	g.Set(3)
+	v.With("0").Add(2)
+	v.With("1").Add(7)
+	for i := 0; i < 100; i++ {
+		h.Observe(1500) // second bucket (bound 2000)
+	}
+
+	s1 := r.Snapshot()
+	if s1.Counters["c_total"] != 5 || s1.Gauges["g"] != 3 {
+		t.Fatalf("scalar snapshot wrong: %+v", s1)
+	}
+	if s1.Vecs["v_total"]["0"] != 2 || s1.Vecs["v_total"]["1"] != 7 {
+		t.Fatalf("vec snapshot wrong: %+v", s1.Vecs)
+	}
+	hs := s1.Hists["h_seconds"]
+	if hs.Count != 100 || hs.Sum != 150000 || hs.P50 != 2000 || hs.P99 != 2000 {
+		t.Fatalf("hist snapshot wrong: %+v", hs)
+	}
+
+	c.Add(10)
+	g.Set(1)
+	v.With("1").Add(3)
+	v.With("2").Inc() // series born after s1
+	h.Observe(1_000_000)
+
+	d := r.Snapshot().Sub(s1)
+	if d.Counters["c_total"] != 10 {
+		t.Fatalf("counter delta = %d, want 10", d.Counters["c_total"])
+	}
+	if d.Gauges["g"] != 1 {
+		t.Fatalf("gauge keeps point-in-time value, got %d", d.Gauges["g"])
+	}
+	if d.Vecs["v_total"]["0"] != 0 || d.Vecs["v_total"]["1"] != 3 || d.Vecs["v_total"]["2"] != 1 {
+		t.Fatalf("vec delta wrong: %+v", d.Vecs["v_total"])
+	}
+	dh := d.Hists["h_seconds"]
+	if dh.Count != 1 || dh.Sum != 1_000_000 {
+		t.Fatalf("hist delta wrong: %+v", dh)
+	}
+}

@@ -1,0 +1,112 @@
+package obs
+
+// Snapshot is a point-in-time copy of every collector in a registry,
+// in plain maps the bench harness can embed in a JSON report or
+// subtract from an earlier snapshot. Values are read with the same
+// atomics the Prometheus encoder uses; a snapshot taken under
+// concurrent load is per-collector consistent, not cross-collector.
+type Snapshot struct {
+	Counters map[string]int64            `json:"counters,omitempty"`
+	Gauges   map[string]int64            `json:"gauges,omitempty"`
+	Vecs     map[string]map[string]int64 `json:"vecs,omitempty"`
+	Hists    map[string]HistSnap         `json:"hists,omitempty"`
+}
+
+// HistSnap summarizes one histogram: totals plus the quantiles a perf
+// report actually compares. Quantiles are bucket upper bounds in the
+// histogram's pre-scale unit (nanoseconds for duration histograms).
+type HistSnap struct {
+	Count int64 `json:"count"`
+	Sum   int64 `json:"sum"`
+	P50   int64 `json:"p50"`
+	P99   int64 `json:"p99"`
+	P999  int64 `json:"p999"`
+}
+
+// Snapshot copies the registry's current values.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	vecs := make(map[string]*CounterVec, len(r.vecs))
+	for k, v := range r.vecs {
+		vecs[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+
+	s := Snapshot{
+		Counters: make(map[string]int64, len(counters)),
+		Gauges:   make(map[string]int64, len(gauges)),
+		Vecs:     make(map[string]map[string]int64, len(vecs)),
+		Hists:    make(map[string]HistSnap, len(hists)),
+	}
+	for name, c := range counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, v := range vecs {
+		keys, kids := v.snapshot()
+		m := make(map[string]int64, len(keys))
+		for i, k := range keys {
+			m[k] = kids[i].Value()
+		}
+		s.Vecs[name] = m
+	}
+	for name, h := range hists {
+		s.Hists[name] = HistSnap{
+			Count: h.Count(),
+			Sum:   h.Sum(),
+			P50:   h.Quantile(0.50),
+			P99:   h.Quantile(0.99),
+			P999:  h.Quantile(0.999),
+		}
+	}
+	return s
+}
+
+// Sub returns s minus prev, per series: counters, vec members, and
+// histogram counts/sums become deltas (new series keep their value);
+// gauges and histogram quantiles keep s's point-in-time values, since
+// subtracting them is meaningless. Use it to scope registry numbers to
+// one experiment in a process that runs several.
+func (s Snapshot) Sub(prev Snapshot) Snapshot {
+	out := Snapshot{
+		Counters: make(map[string]int64, len(s.Counters)),
+		Gauges:   make(map[string]int64, len(s.Gauges)),
+		Vecs:     make(map[string]map[string]int64, len(s.Vecs)),
+		Hists:    make(map[string]HistSnap, len(s.Hists)),
+	}
+	for name, v := range s.Counters {
+		out.Counters[name] = v - prev.Counters[name]
+	}
+	for name, v := range s.Gauges {
+		out.Gauges[name] = v
+	}
+	for name, m := range s.Vecs {
+		pm := prev.Vecs[name]
+		om := make(map[string]int64, len(m))
+		for k, v := range m {
+			om[k] = v - pm[k]
+		}
+		out.Vecs[name] = om
+	}
+	for name, h := range s.Hists {
+		ph := prev.Hists[name]
+		h.Count -= ph.Count
+		h.Sum -= ph.Sum
+		out.Hists[name] = h
+	}
+	return out
+}

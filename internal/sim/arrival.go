@@ -1,0 +1,66 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// arrivals produces the schedule's arrival offsets (ns from run
+// start), one per op, from the workload's arrival process. The closed
+// loop returns n zero offsets (ops are issued on completion, not on a
+// clock); the open loops draw a Poisson process over Duration, thinned
+// for the bursty case.
+//
+// All draws come from rng, which the caller seeds from Workload.Seed —
+// that is the whole determinism story for timing.
+func arrivals(w Workload, rng *rand.Rand) ([]int64, error) {
+	switch w.Arrival {
+	case ArrivalClosed:
+		return make([]int64, w.Ops), nil
+	case ArrivalPoisson:
+		return poissonArrivals(w, rng, nil)
+	case ArrivalBursty:
+		// Thinned Poisson: draw candidates at the peak rate, accept
+		// each with probability rate(t)/peak. The accepted points are
+		// a Poisson process with the time-varying rate — the standard
+		// thinning construction, and exactly reproducible from the
+		// seed because acceptance uses the same rng stream.
+		peak := w.Rate * (1 + w.BurstAmp)
+		period := w.BurstPeriod.Seconds()
+		accept := func(tSec float64) bool {
+			rate := w.Rate * (1 + w.BurstAmp*math.Sin(2*math.Pi*tSec/period))
+			return rng.Float64()*peak < rate
+		}
+		return poissonArrivals(w, rng, accept)
+	}
+	return nil, fmt.Errorf("sim: unknown arrival process %q", w.Arrival)
+}
+
+// poissonArrivals draws exponential inter-arrival gaps at the
+// workload's peak rate until Duration is exhausted, keeping each point
+// iff accept says so (nil accept keeps everything, i.e. homogeneous
+// Poisson at w.Rate).
+func poissonArrivals(w Workload, rng *rand.Rand, accept func(tSec float64) bool) ([]int64, error) {
+	rate := w.Rate
+	if accept != nil {
+		rate = w.Rate * (1 + w.BurstAmp)
+	}
+	span := float64(w.Duration.Nanoseconds())
+	var out []int64
+	t := 0.0
+	for {
+		// Exponential gap with mean 1/rate seconds, in ns.
+		t += rng.ExpFloat64() / rate * 1e9
+		if t >= span {
+			return out, nil
+		}
+		if accept != nil && !accept(t/1e9) {
+			continue
+		}
+		if len(out) >= MaxOps {
+			return nil, fmt.Errorf("sim: arrival generation exceeded the %d-op cap", MaxOps)
+		}
+		out = append(out, int64(t))
+	}
+}

@@ -1,0 +1,105 @@
+package sim
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// fuzzSeedTrace is a small valid trace used to seed the corpus and the
+// deterministic corruption sweeps.
+func fuzzSeedTrace(t *testing.T) []byte {
+	t.Helper()
+	w := closedWorkload(99)
+	w.Ops = 24
+	return traceBytes(t, w)
+}
+
+// FuzzReadTrace feeds arbitrary bytes to the trace decoder: it must
+// never panic, and anything it accepts must re-encode and re-decode to
+// the same schedule (accepted input is canonical-equivalent, never
+// half-parsed garbage).
+func FuzzReadTrace(f *testing.F) {
+	w := closedWorkload(99)
+	w.Ops = 24
+	s, err := Generate(w)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, s); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte(""))
+	f.Add([]byte("{\"ifdb_trace\":1}\n"))
+	f.Add(bytes.Repeat([]byte("{"), 4096))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadTrace(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var re bytes.Buffer
+		if err := WriteTrace(&re, got); err != nil {
+			t.Fatalf("accepted trace failed to re-encode: %v", err)
+		}
+		again, err := ReadTrace(bytes.NewReader(re.Bytes()))
+		if err != nil {
+			t.Fatalf("re-encoded trace failed to decode: %v", err)
+		}
+		if len(again.Ops) != len(got.Ops) {
+			t.Fatalf("re-decode changed op count: %d -> %d", len(got.Ops), len(again.Ops))
+		}
+	})
+}
+
+// TestCorruptTraceFuzz is the deterministic corruption sweep (same
+// style as the wire-frame fuzzers): every truncation point, thousands
+// of seeded random byte flips, flip-then-truncate, and pure garbage.
+// The decoder must return an error or a valid schedule — never panic,
+// never accept a trace whose op count disagrees with its sequence
+// numbers.
+func TestCorruptTraceFuzz(t *testing.T) {
+	valid := fuzzSeedTrace(t)
+
+	decode := func(data []byte) {
+		s, err := ReadTrace(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i := range s.Ops {
+			if s.Ops[i].Seq != int64(i) {
+				t.Fatalf("accepted trace with bad seq at %d", i)
+			}
+		}
+	}
+
+	// Every truncation point.
+	for n := 0; n <= len(valid); n++ {
+		decode(valid[:n])
+	}
+
+	// Seeded random flips, occasionally truncated afterwards.
+	rng := rand.New(rand.NewSource(4242))
+	for i := 0; i < 2000; i++ {
+		data := append([]byte(nil), valid...)
+		for f := 0; f < 1+rng.Intn(4); f++ {
+			pos := rng.Intn(len(data))
+			data[pos] ^= byte(1 + rng.Intn(255))
+		}
+		if rng.Intn(4) == 0 {
+			data = data[:rng.Intn(len(data)+1)]
+		}
+		decode(data)
+	}
+
+	// Pure garbage.
+	for i := 0; i < 200; i++ {
+		data := make([]byte, rng.Intn(2048))
+		rng.Read(data)
+		decode(data)
+	}
+}

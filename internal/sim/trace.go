@@ -1,0 +1,169 @@
+package sim
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Trace format: line-oriented JSON. The first line is a header
+// carrying the format version and the normalized Workload that
+// produced the schedule; each subsequent line is one Op in schedule
+// order. Encoding uses encoding/json with struct-ordered fields and
+// no timestamps, so writing the same schedule twice produces
+// byte-identical files — the property the golden tests pin.
+
+// TraceVersion is the trace format version. Decoders reject other
+// versions rather than guessing.
+const TraceVersion = 1
+
+// maxTraceLine bounds one trace line. A corrupt or adversarial file
+// must not make the decoder buffer without limit.
+const maxTraceLine = 1 << 20
+
+// maxTraceArgs bounds an op's argument list on decode. Generated ops
+// carry at most two arguments; anything large is corruption.
+const maxTraceArgs = 64
+
+type traceHeader struct {
+	Version  int      `json:"ifdb_trace"`
+	Workload Workload `json:"workload"`
+}
+
+// WriteTrace encodes the schedule to w in trace format.
+func WriteTrace(w io.Writer, s *Schedule) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(traceHeader{Version: TraceVersion, Workload: s.W}); err != nil {
+		return fmt.Errorf("sim: encode trace header: %w", err)
+	}
+	for i := range s.Ops {
+		if err := enc.Encode(&s.Ops[i]); err != nil {
+			return fmt.Errorf("sim: encode op %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteTraceFile records the schedule to path (0644, truncating).
+func WriteTraceFile(path string, s *Schedule) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteTrace(f, s); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadTrace decodes a trace and validates it strictly: version match,
+// workload re-validation, dense sequence numbers, known op kinds,
+// bounded args, workers within the workload's range, cohorts that
+// exist, and nondecreasing arrival offsets. A trace that fails any of
+// these is rejected whole — replaying half a schedule would produce a
+// number that looks comparable and is not.
+func ReadTrace(r io.Reader) (*Schedule, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), maxTraceLine)
+
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("sim: read trace header: %w", err)
+		}
+		return nil, fmt.Errorf("sim: empty trace")
+	}
+	var hdr traceHeader
+	if err := strictUnmarshal(sc.Bytes(), &hdr); err != nil {
+		return nil, fmt.Errorf("sim: decode trace header: %w", err)
+	}
+	if hdr.Version != TraceVersion {
+		return nil, fmt.Errorf("sim: unsupported trace version %d (want %d)", hdr.Version, TraceVersion)
+	}
+	w, err := hdr.Workload.normalized()
+	if err != nil {
+		return nil, fmt.Errorf("sim: trace header workload: %w", err)
+	}
+	cohorts := make(map[string]bool, len(w.Cohorts))
+	for _, c := range w.Cohorts {
+		cohorts[c.Name] = true
+	}
+
+	var ops []Op
+	var lastAt int64
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(bytes.TrimSpace(line)) == 0 {
+			return nil, fmt.Errorf("sim: blank line at op %d", len(ops))
+		}
+		if len(ops) >= MaxOps {
+			return nil, fmt.Errorf("sim: trace exceeds the %d-op cap", MaxOps)
+		}
+		var op Op
+		if err := strictUnmarshal(line, &op); err != nil {
+			return nil, fmt.Errorf("sim: decode op %d: %w", len(ops), err)
+		}
+		if op.Seq != int64(len(ops)) {
+			return nil, fmt.Errorf("sim: op %d has seq %d (trace truncated or reordered)", len(ops), op.Seq)
+		}
+		if !op.Kind.valid() {
+			return nil, fmt.Errorf("sim: op %d has unknown kind %q", op.Seq, op.Kind)
+		}
+		if op.Worker < 0 || op.Worker >= w.Workers {
+			return nil, fmt.Errorf("sim: op %d worker %d out of range [0,%d)", op.Seq, op.Worker, w.Workers)
+		}
+		if !cohorts[op.Cohort] {
+			return nil, fmt.Errorf("sim: op %d names unknown cohort %q", op.Seq, op.Cohort)
+		}
+		if len(op.Args) > maxTraceArgs {
+			return nil, fmt.Errorf("sim: op %d has %d args (cap %d)", op.Seq, len(op.Args), maxTraceArgs)
+		}
+		if op.SQL == "" {
+			return nil, fmt.Errorf("sim: op %d has empty sql", op.Seq)
+		}
+		if op.At < lastAt {
+			return nil, fmt.Errorf("sim: op %d arrival %d precedes op %d arrival %d", op.Seq, op.At, op.Seq-1, lastAt)
+		}
+		if w.Arrival == ArrivalClosed && op.At != 0 {
+			return nil, fmt.Errorf("sim: op %d has arrival offset %d in a closed-loop trace", op.Seq, op.At)
+		}
+		lastAt = op.At
+		ops = append(ops, op)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("sim: read trace: %w", err)
+	}
+	return &Schedule{W: w, Ops: ops}, nil
+}
+
+// ReadTraceFile replays a trace from path.
+func ReadTraceFile(path string) (*Schedule, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	s, err := ReadTrace(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// strictUnmarshal decodes one JSON value, rejecting unknown fields and
+// trailing data — both are corruption in a generator-written trace.
+func strictUnmarshal(line []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(line))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return fmt.Errorf("trailing data after JSON value")
+	}
+	return nil
+}

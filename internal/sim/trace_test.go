@@ -1,0 +1,136 @@
+package sim
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestTraceRoundTrip is the satellite property test: record→replay
+// reproduces the schedule exactly — same workload, same ops in the
+// same order — for all three generators. Subtests run in parallel so
+// `go test -race` exercises concurrent encode/decode.
+func TestTraceRoundTrip(t *testing.T) {
+	for name, w := range allWorkloads(77) {
+		w := w
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			orig, err := Generate(w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := WriteTrace(&buf, orig); err != nil {
+				t.Fatal(err)
+			}
+			recorded := append([]byte(nil), buf.Bytes()...)
+
+			replayed, err := ReadTrace(&buf)
+			if err != nil {
+				t.Fatalf("ReadTrace: %v", err)
+			}
+			if !reflect.DeepEqual(orig.W, replayed.W) {
+				t.Fatalf("workload changed in round trip:\n  out: %+v\n  in:  %+v", orig.W, replayed.W)
+			}
+			if len(orig.Ops) != len(replayed.Ops) {
+				t.Fatalf("op count changed: %d -> %d", len(orig.Ops), len(replayed.Ops))
+			}
+			for i := range orig.Ops {
+				if !reflect.DeepEqual(orig.Ops[i], replayed.Ops[i]) {
+					t.Fatalf("op %d changed:\n  out: %+v\n  in:  %+v", i, orig.Ops[i], replayed.Ops[i])
+				}
+			}
+
+			// Re-recording the replayed schedule must reproduce the
+			// original bytes — replay loses nothing the format carries.
+			var again bytes.Buffer
+			if err := WriteTrace(&again, replayed); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(recorded, again.Bytes()) {
+				t.Fatalf("re-recorded trace differs from original (%d vs %d bytes)",
+					len(recorded), again.Len())
+			}
+		})
+	}
+}
+
+func TestTraceFileRoundTrip(t *testing.T) {
+	s, err := Generate(closedWorkload(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "w.trace")
+	if err := WriteTraceFile(path, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTraceFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s, got) {
+		t.Fatalf("file round trip changed the schedule")
+	}
+	if _, err := ReadTraceFile(filepath.Join(t.TempDir(), "missing.trace")); err == nil {
+		t.Fatalf("missing file accepted")
+	}
+}
+
+// mutateTrace returns the valid trace with one line replaced.
+func mutateTrace(valid []byte, lineIdx int, repl func(string) string) []byte {
+	lines := strings.Split(strings.TrimSuffix(string(valid), "\n"), "\n")
+	lines[lineIdx] = repl(lines[lineIdx])
+	return []byte(strings.Join(lines, "\n") + "\n")
+}
+
+func TestTraceValidation(t *testing.T) {
+	valid := traceBytes(t, closedWorkload(21))
+
+	cases := map[string][]byte{
+		"empty":      nil,
+		"bad header": []byte("{\"nope\":1}\n"),
+		"wrong version": mutateTrace(valid, 0, func(l string) string {
+			return strings.Replace(l, "\"ifdb_trace\":1", "\"ifdb_trace\":9", 1)
+		}),
+		"unknown field": mutateTrace(valid, 1, func(l string) string {
+			return strings.Replace(l, "\"seq\":0", "\"seq\":0,\"extra\":true", 1)
+		}),
+		"seq gap": mutateTrace(valid, 1, func(l string) string {
+			return strings.Replace(l, "\"seq\":0", "\"seq\":5", 1)
+		}),
+		"bad kind": mutateTrace(valid, 1, func(l string) string {
+			return strings.Replace(l, "\"kind\":\"", "\"kind\":\"x", 1)
+		}),
+		"unknown cohort": mutateTrace(valid, 1, func(l string) string {
+			l = strings.Replace(l, "\"cohort\":\"gold\"", "\"cohort\":\"ghost\"", 1)
+			return strings.Replace(l, "\"cohort\":\"silver\"", "\"cohort\":\"ghost\"", 1)
+		}),
+		"worker range": mutateTrace(valid, 1, func(l string) string {
+			return strings.Replace(l, "\"worker\":0", "\"worker\":99", 1)
+		}),
+		"closed at nonzero": mutateTrace(valid, 1, func(l string) string {
+			return strings.Replace(l, "\"at_ns\":0", "\"at_ns\":5", 1)
+		}),
+		"blank line":    append(append([]byte(nil), valid...), '\n'),
+		"trailing junk": mutateTrace(valid, 1, func(l string) string { return l + " garbage" }),
+		"truncated op": func() []byte {
+			lines := bytes.SplitAfter(valid, []byte("\n"))
+			last := lines[len(lines)-2]
+			return bytes.Join(append(lines[:len(lines)-2], last[:len(last)/2]), nil)
+		}(),
+	}
+	for name, data := range cases {
+		if _, err := ReadTrace(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: corrupt trace accepted", name)
+		}
+	}
+
+	// Oversized line must error (scanner cap), not allocate unbounded.
+	big := append([]byte(nil), valid...)
+	big = append(big, bytes.Repeat([]byte("x"), maxTraceLine+10)...)
+	if _, err := ReadTrace(bytes.NewReader(big)); err == nil {
+		t.Errorf("oversized line accepted")
+	}
+}

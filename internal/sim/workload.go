@@ -1,0 +1,127 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Generate expands a Workload into a concrete Schedule: arrival
+// offsets from the arrival process, then per-op cohort, worker,
+// statement-class, and argument draws — all from one seeded rng, so
+// the same Workload always yields the same Schedule.
+func Generate(w Workload) (*Schedule, error) {
+	nw, err := w.normalized()
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(nw.Seed))
+	ats, err := arrivals(nw, rng)
+	if err != nil {
+		return nil, err
+	}
+
+	totalWeight := 0
+	for _, c := range nw.Cohorts {
+		totalWeight += c.Weight
+	}
+
+	// nextKey tracks per-worker ascending keys for the unique-key mode
+	// (Keys == 0): worker i draws from [i·uniqueKeyStride, ...).
+	nextKey := make([]int64, nw.Workers)
+	for i := range nextKey {
+		nextKey[i] = int64(i) * uniqueKeyStride
+	}
+
+	ops := make([]Op, len(ats))
+	for i, at := range ats {
+		ci := pickWeighted(rng, nw.Cohorts, totalWeight)
+		c := &nw.Cohorts[ci]
+		worker := i % nw.Workers
+		kind := pickKind(rng, c.Mix)
+		op := Op{
+			Seq:    int64(i),
+			At:     at,
+			Worker: worker,
+			Cohort: c.Name,
+			Kind:   kind,
+		}
+		if c.PreparedPct > 0 && kind != OpDDL && rng.Intn(100) < c.PreparedPct {
+			op.Prepared = true
+		}
+		fillStatement(&op, nw, ci, rng, nextKey)
+		ops[i] = op
+	}
+	return &Schedule{W: nw, Ops: ops}, nil
+}
+
+// pickWeighted draws a cohort index proportionally to Weight.
+func pickWeighted(rng *rand.Rand, cohorts []Cohort, total int) int {
+	n := rng.Intn(total)
+	for i, c := range cohorts {
+		n -= c.Weight
+		if n < 0 {
+			return i
+		}
+	}
+	return len(cohorts) - 1
+}
+
+// pickKind draws a statement class proportionally to the mix weights.
+func pickKind(rng *rand.Rand, m StmtMix) OpKind {
+	n := rng.Intn(m.total())
+	if n -= m.PointRead; n < 0 {
+		return OpPointRead
+	}
+	if n -= m.PointWrite; n < 0 {
+		return OpPointWrite
+	}
+	if n -= m.Insert; n < 0 {
+		return OpInsert
+	}
+	if n -= m.Scan; n < 0 {
+		return OpScan
+	}
+	return OpDDL
+}
+
+// fillStatement sets the op's SQL text and arguments. Point ops draw
+// keys from the cohort's own key domain (see CohortKeyStride) so each
+// tenant's writes stay inside rows its own label stamped — the IFDB
+// write rule only lets a process update exact-label rows.
+func fillStatement(op *Op, w Workload, cohortIdx int, rng *rand.Rand, nextKey []int64) {
+	base := int64(cohortIdx) * CohortKeyStride
+	key := func() int64 {
+		if w.Keys <= 0 {
+			k := nextKey[op.Worker]
+			nextKey[op.Worker]++
+			return base + k
+		}
+		return base + int64(rng.Intn(w.Keys))
+	}
+	switch op.Kind {
+	case OpPointRead:
+		op.SQL = fmt.Sprintf("SELECT v FROM %s WHERE k = $1", w.Table)
+		op.Args = []int64{key()}
+	case OpPointWrite:
+		op.SQL = fmt.Sprintf("UPDATE %s SET v = v + 1 WHERE k = $1", w.Table)
+		op.Args = []int64{key()}
+	case OpInsert:
+		// Inserts always take the unique ascending path so repeated
+		// inserts never collide, even when point ops share a small
+		// keyspace. Offset past the point-op keyspace.
+		k := nextKey[op.Worker]
+		nextKey[op.Worker]++
+		op.SQL = fmt.Sprintf("INSERT INTO %s VALUES ($1, $2)", w.Table)
+		op.Args = []int64{base + int64(w.Keys) + k, rng.Int63n(1_000_000)}
+	case OpScan:
+		lo := key()
+		op.SQL = fmt.Sprintf("SELECT COUNT(*) FROM %s WHERE k >= $1 AND k < $2", w.Table)
+		op.Args = []int64{lo, lo + int64(w.ScanSpan)}
+	case OpDDL:
+		// Rotate through a small fixed set of per-cohort table names;
+		// IF NOT EXISTS makes re-running (and replaying) idempotent.
+		n := rng.Intn(ddlTables)
+		op.SQL = fmt.Sprintf("CREATE TABLE IF NOT EXISTS %s_sim_%s_%d (k INT PRIMARY KEY, v INT)",
+			w.Table, op.Cohort, n)
+	}
+}

@@ -596,7 +596,7 @@ func (s *Server) runExecute(sess *engine.Session, stmts map[uint64]*engine.Prepa
 		return writeChunk(w, c)
 	}
 	streamT0 := time.Now()
-	serr := s.streamResult(w, res, e.ChunkRows, trailer)
+	serr := s.streamResult(sess, w, res, e.ChunkRows, trailer)
 	sess.NoteStreamNs(time.Since(streamT0).Nanoseconds())
 	return serr
 }
@@ -607,13 +607,27 @@ func (s *Server) runExecute(sess *engine.Session, stmts map[uint64]*engine.Prepa
 // MaxFrame, which the v1 Result frame cannot carry at all — and a
 // client that never holds more than one chunk of a large fan-out
 // read in memory.
-func (s *Server) streamResult(w *bufio.Writer, res *engine.Result, chunkRows uint32, trailer func(string, *ShardMap) *RowsChunk) error {
+//
+// Between chunks it polls the session's cancel flag: an out-of-band
+// CANCEL that lands after execution but mid-stream aborts the
+// session's open transaction (statement effects in autocommit are
+// already committed and stay) and terminates the stream with an
+// ErrCanceled trailer instead of shipping the rest of the result.
+func (s *Server) streamResult(sess *engine.Session, w *bufio.Writer, res *engine.Result, chunkRows uint32, trailer func(string, *ShardMap) *RowsChunk) error {
 	chunk := int(chunkRows)
 	if chunk <= 0 || chunk > 1<<20 {
 		chunk = DefaultChunkRows
 	}
 	first := true
 	for off := 0; off < len(res.Rows); off += chunk {
+		if off > 0 && sess.Canceled() {
+			if sess.InTxn() {
+				sess.Abort()
+			}
+			t := trailer(engine.ErrCanceled.Error(), nil)
+			t.First = false
+			return writeChunk(w, t)
+		}
 		end := off + chunk
 		if end > len(res.Rows) {
 			end = len(res.Rows)

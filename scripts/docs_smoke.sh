@@ -101,6 +101,22 @@ echo "$scrape" | grep -q '^ifdb_ifc_label_denials_total ' \
 echo "$scrape" | grep -q '^ifdb_server_active_sessions ' \
   || { echo "docs_smoke: /metrics missing ifdb_server_active_sessions"; exit 1; }
 
+# --- 3b. The "Benchmarking & workload simulation" walkthrough: the
+# README's record → replay → diff cycle must work end to end (tiny
+# duration; numbers are irrelevant, the flags and files are the claim).
+"$workdir/bin/ifdb-bench" -exp prepared -seed 7 -duration 50ms \
+  -record "$workdir/traces" -json "$workdir/bench.json" >/dev/null
+[ -s "$workdir/traces/prepared.trace" ] \
+  || { echo "docs_smoke: -record produced no trace"; exit 1; }
+grep -q '"schema": 2' "$workdir/bench.json" \
+  || { echo "docs_smoke: -json report missing schema marker"; exit 1; }
+"$workdir/bin/ifdb-bench" -exp prepared -replay "$workdir/traces" >/dev/null \
+  || { echo "docs_smoke: -replay failed on a just-recorded trace"; exit 1; }
+"$workdir/bin/ifdb-bench" -diff -diff-threshold 10 \
+  "$workdir/bench.json" "$workdir/bench.json" \
+  | grep -q "0 regressions" \
+  || { echo "docs_smoke: -diff self-comparison reported regressions"; exit 1; }
+
 # --- 4. Flag drift: every -flag the README's sh blocks pass to the
 # binaries must still exist in some binary's -h output.
 help=$({ "$workdir/bin/ifdb-server" -h; "$workdir/bin/ifdb-cli" -h; "$workdir/bin/ifdb-bench" -h; } 2>&1 || true)
