@@ -191,6 +191,7 @@ func (s *Session) executeCreateTable(ct *sql.CreateTableStmt) error {
 			return true
 		})
 	}
+	s.eng.invalidatePlans()
 	return s.eng.cat.AddTable(t)
 }
 
@@ -227,6 +228,7 @@ func (s *Session) executeCreateIndex(ci *sql.CreateIndexStmt) error {
 		return true
 	})
 	t.Indexes = append(t.Indexes, ix)
+	s.eng.invalidatePlans()
 	return nil
 }
 
@@ -265,6 +267,7 @@ func (s *Session) executeCreateView(cv *sql.CreateViewStmt) error {
 			return nil
 		}
 	}
+	s.eng.invalidatePlans()
 	return s.eng.cat.AddView(v)
 }
 

@@ -124,6 +124,13 @@ type Config struct {
 	// follower, which must keep the directory locked across engine
 	// restarts during bootstrap).
 	DisableLock bool
+
+	// LegacyExec routes SELECT execution through the old materializing
+	// tree-walking executor instead of the plan-based streaming one. It
+	// exists as the oracle of the differential executor harness
+	// (internal/plan/difftest) and will be removed once the streaming
+	// executor has soaked for a release.
+	LegacyExec bool
 }
 
 // Engine is one IFDB database instance.
@@ -153,6 +160,14 @@ type Engine struct {
 
 	// stmtCache caches parsed read/DML statements by query text.
 	stmtCache sync.Map // string -> []sql.Statement
+
+	// planCache caches analyzed query plans by (pinned) SELECT AST
+	// node. Entries are validated against planEpoch, which every
+	// catalog-shape change (DDL, DROP, shard-guard install) bumps —
+	// a cached plan holds direct *catalog.Table and *catalog.Index
+	// pointers, so any schema change must invalidate it.
+	planCache sync.Map // *sql.SelectStmt -> *planEntry
+	planEpoch atomic.Uint64
 
 	// parses counts sql.ParseAll invocations (cache misses and DDL).
 	// Prepared-statement tests and benchmarks assert on it: executing
@@ -464,6 +479,7 @@ func (e *Engine) dropTable(name string) error {
 	if err := e.cat.DropTable(name); err != nil {
 		return err
 	}
+	e.invalidatePlans()
 	if t != nil && t.OnDisk {
 		e.diskTables--
 		if ph, ok := t.Heap.(*pager.PagedHeap); ok && e.cfg.DataDir != "" {

@@ -96,9 +96,12 @@ func (s *Session) ExecStmt(st sql.Statement, params ...types.Value) (*Result, er
 		return &Result{}, nil
 	}
 
-	// Replica read-only enforcement: everything except SELECT (and the
-	// transaction-control statements handled above) mutates state.
-	if _, isSelect := st.(*sql.SelectStmt); !isSelect {
+	// Replica read-only enforcement: everything except SELECT and
+	// EXPLAIN (and the transaction-control statements handled above)
+	// mutates state.
+	switch st.(type) {
+	case *sql.SelectStmt, *sql.ExplainStmt:
+	default:
 		if err := s.requireWritable(); err != nil {
 			return nil, err
 		}
@@ -114,6 +117,17 @@ func (s *Session) ExecStmt(st sql.Statement, params ...types.Value) (*Result, er
 				return err
 			}
 			res = relationToResult(rel, s.eng.cfg.IFC)
+			return nil
+		case *sql.ExplainStmt:
+			sel, ok := x.Stmt.(*sql.SelectStmt)
+			if !ok {
+				return fmt.Errorf("engine: EXPLAIN supports only SELECT")
+			}
+			r, err := s.explainSelect(sel)
+			if err != nil {
+				return err
+			}
+			res = r
 			return nil
 		case *sql.InsertStmt:
 			n, err := s.executeInsert(x, qc)

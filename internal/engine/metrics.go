@@ -13,6 +13,10 @@ var (
 		"statement-cache hits that skipped the parser")
 	mRowsScanned = obs.NewCounter("ifdb_engine_rows_scanned_total",
 		"tuple versions visited by table and index scans")
+	mPlans = obs.NewCounter("ifdb_engine_plans_total",
+		"query plans built (plan-cache misses)")
+	mPlanCacheHits = obs.NewCounter("ifdb_engine_plan_cache_hits_total",
+		"plan-cache hits that skipped analysis")
 	mTxnCommits = obs.NewCounter("ifdb_txn_commits_total",
 		"committed transactions (explicit and autocommit)")
 	mTxnAborts = obs.NewCounter("ifdb_txn_aborts_total",

@@ -59,8 +59,8 @@ func (s *Session) Prepare(query string) (*Prepared, error) {
 func cacheableStmts(stmts []sql.Statement) bool {
 	for _, st := range stmts {
 		switch st.(type) {
-		case *sql.SelectStmt, *sql.InsertStmt, *sql.UpdateStmt, *sql.DeleteStmt,
-			*sql.BeginStmt, *sql.CommitStmt, *sql.RollbackStmt:
+		case *sql.SelectStmt, *sql.ExplainStmt, *sql.InsertStmt, *sql.UpdateStmt,
+			*sql.DeleteStmt, *sql.BeginStmt, *sql.CommitStmt, *sql.RollbackStmt:
 		default:
 			return false
 		}

@@ -653,8 +653,11 @@ func hashKey(vals []types.Value, cols []int, _ int, _ bool) string {
 // ---------------------------------------------------------------------------
 // SELECT
 
-// executeSelect runs a SELECT to a materialized relation.
-func (s *Session) executeSelect(sel *sql.SelectStmt, qc *qctx) (*relation, error) {
+// executeSelectLegacy runs a SELECT to a materialized relation with
+// the original tree-walking executor. It is kept (behind
+// Config.LegacyExec) as the oracle of the differential executor
+// harness; see internal/plan for the streaming replacement.
+func (s *Session) executeSelectLegacy(sel *sql.SelectStmt, qc *qctx) (*relation, error) {
 	var input *relation
 	if sel.From == nil {
 		input = &relation{rows: []qrow{{}}}

@@ -50,6 +50,7 @@ type shardGuardHolder struct{ fn ShardGuard }
 // SetShardGuard installs fn as the engine's shard-ownership check;
 // nil removes it.
 func (e *Engine) SetShardGuard(fn ShardGuard) {
+	e.invalidatePlans()
 	if fn == nil {
 		e.shardGuard.Store(nil)
 		return

@@ -291,6 +291,90 @@ func (t *Btree) AscendPrefix(prefix Key, fn func(key Key, tid storage.TID) bool)
 	t.ascendPrefix(t.root, prefix, fn)
 }
 
+// AscendPrefixAfter is the resumable form of AscendPrefix for the
+// pull-based executor: it visits entries whose key begins with prefix
+// and that sort strictly after (afterKey, afterTID) in the tree's
+// (key, TID) total order, delivering at most max of them. A nil
+// afterKey starts at the beginning. It returns the position of the
+// last delivered entry — the resume point for the next batch — and
+// whether the batch stopped on the max budget (more=true) rather than
+// exhausting the prefix. Returned keys alias tree memory and are
+// immutable. The read lock is released between batches; entries
+// inserted meanwhile may be visited, which is sound because a
+// statement snapshot cannot see their tuples.
+func (t *Btree) AscendPrefixAfter(prefix, afterKey Key, afterTID storage.TID, max int, fn func(key Key, tid storage.TID) bool) (lastKey Key, lastTID storage.TID, more bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var after *entry
+	if afterKey != nil {
+		after = &entry{key: afterKey, tid: afterTID}
+	}
+	n := 0
+	t.ascendPrefixAfter(t.root, prefix, after, func(k Key, tid storage.TID) bool {
+		if n >= max {
+			more = true
+			return false
+		}
+		n++
+		lastKey, lastTID = k, tid
+		return fn(k, tid)
+	})
+	return lastKey, lastTID, more
+}
+
+// ascendPrefixAfter mirrors ascendPrefix with a resume bound: entries
+// at or before after are skipped via binary search, and the bound is
+// dropped once the walk passes it (descend whole subtrees after that).
+func (t *Btree) ascendPrefixAfter(n *node, prefix Key, after *entry, fn func(Key, storage.TID) bool) bool {
+	matches := func(k Key) int {
+		if len(k) < len(prefix) {
+			return Compare(k, prefix)
+		}
+		return Compare(k[:len(prefix)], prefix)
+	}
+	start := 0
+	{
+		s, e := 0, len(n.entries)
+		for s < e {
+			mid := (s + e) / 2
+			var skip bool
+			if after != nil {
+				skip = !entryLess(*after, n.entries[mid]) // entries[mid] <= after
+			} else {
+				skip = matches(n.entries[mid].key) < 0
+			}
+			if skip {
+				s = mid + 1
+			} else {
+				e = mid
+			}
+		}
+		start = s
+	}
+	for i := start; i <= len(n.entries); i++ {
+		if !n.leaf() {
+			if !t.ascendPrefixAfter(n.children[i], prefix, after, fn) {
+				return false
+			}
+		}
+		if i == len(n.entries) {
+			break
+		}
+		e := n.entries[i]
+		c := matches(e.key)
+		if c > 0 {
+			return false
+		}
+		if c == 0 {
+			if !fn(e.key, e.tid) {
+				return false
+			}
+		}
+		after = nil
+	}
+	return true
+}
+
 func (t *Btree) ascendPrefix(n *node, prefix Key, fn func(Key, storage.TID) bool) bool {
 	matches := func(k Key) int {
 		if len(k) < len(prefix) {

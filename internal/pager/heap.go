@@ -261,6 +261,52 @@ func (h *PagedHeap) Scan(fn func(tid storage.TID, tv *storage.TupleVersion) bool
 	}
 }
 
+// ScanFrom implements storage.BatchScanner: a resumable Scan that
+// returns after max visits, rounded up to a whole page so the resume
+// position is always a page boundary (start's slot bits are ignored
+// past the first call because batches end at page edges).
+func (h *PagedHeap) ScanFrom(start storage.TID, max int, fn func(tid storage.TID, tv *storage.TupleVersion) bool) (next storage.TID, more bool) {
+	h.mu.RLock()
+	n := h.nPages
+	h.mu.RUnlock()
+	pid, slot0 := unpackTID(start)
+	type item struct {
+		tid storage.TID
+		tv  storage.TupleVersion
+	}
+	visited := 0
+	for ; int(pid) < n; pid++ {
+		var batch []item
+		_ = h.pool.WithPage(pid, func(p page) error {
+			for s := 0; s < p.nSlots(); s++ {
+				if pid == PageID(start>>16) && s < slot0 {
+					continue
+				}
+				rec := p.record(s)
+				if rec == nil {
+					continue
+				}
+				tv, err := decodeRecord(rec)
+				if err != nil {
+					return err
+				}
+				batch = append(batch, item{packTID(pid, s), tv})
+			}
+			return nil
+		})
+		for i := range batch {
+			visited++
+			if !fn(batch[i].tid, &batch[i].tv) {
+				return batch[i].tid + 1, true
+			}
+		}
+		if visited >= max {
+			return packTID(pid+1, 0), int(pid+1) < n
+		}
+	}
+	return packTID(PageID(n), 0), false
+}
+
 // Vacuum tombstones dead versions and compacts touched pages.
 func (h *PagedHeap) Vacuum(dead func(tv *storage.TupleVersion) bool) int {
 	h.mu.Lock()

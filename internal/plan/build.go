@@ -1,0 +1,555 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"ifdb/internal/catalog"
+	"ifdb/internal/exec"
+	"ifdb/internal/label"
+	"ifdb/internal/sql"
+)
+
+// Build compiles sel into an analyzed, executable Plan against cat.
+// strip is the declassification context in effect (non-empty only when
+// building the body of a declassifying view). The AST is treated as
+// read-only, so a plan may be cached and shared across sessions.
+//
+// Build mirrors the legacy executor's structure level by level: any
+// error the legacy executor raised while assembling a relation (no
+// such table, view column mismatch, star matching nothing) surfaces
+// here, with the identical message.
+func Build(cat *catalog.Catalog, sel *sql.SelectStmt, strip label.Label) (*Plan, error) {
+	root, err := buildSelect(cat, sel, strip)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{Root: root, blocking: hasBlocking(root)}, nil
+}
+
+// buildSelect compiles one SELECT level: sources and joins first, then
+// the ordered analysis rules, then the projection pipeline on top.
+func buildSelect(cat *catalog.Catalog, sel *sql.SelectStmt, strip label.Label) (Node, error) {
+	lv := &level{cat: cat, sel: sel, strip: strip}
+	if sel.From != nil {
+		if err := lv.addSource(sel.From, sel.Where, nil); err != nil {
+			return nil, err
+		}
+		for i := range sel.Joins {
+			if err := lv.addJoinSource(&sel.Joins[i]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := lv.prepareExprs(); err != nil {
+		return nil, err
+	}
+	for _, r := range rules {
+		if err := r.apply(lv); err != nil {
+			return nil, err
+		}
+	}
+	return lv.assemble()
+}
+
+// level is the per-SELECT working state shared by the builder and the
+// analysis rules.
+type level struct {
+	cat   *catalog.Catalog
+	sel   *sql.SelectStmt
+	strip label.Label
+
+	// sources[0] is the FROM item; sources[1+i] belongs to Joins[i].
+	sources []*source
+	// full is the concatenated, unpruned schema of all sources — the
+	// scope column references resolve in, exactly what the legacy
+	// executor's combined relation schema was.
+	full exec.Schema
+
+	items      []sql.SelectItem // star-expanded select items
+	aggregated bool
+	orderExprs []sql.Expr // ORDER BY with output aliases substituted
+
+	residual sql.Expr // WHERE conjuncts not pushed into the FROM scan
+
+	// canPrune is set by the resolve rule: every column reference in
+	// the level resolved unambiguously, so removing unreferenced scan
+	// columns cannot change any resolution outcome.
+	canPrune bool
+}
+
+// source is one FROM/JOIN input in level order.
+type source struct {
+	jc *sql.JoinClause // nil for the FROM source
+
+	scan *ScanNode // base-table source
+	node Node      // view or derived-table subtree (already wrapped)
+
+	// isIndexJoin marks a joined base table that will be probed
+	// through an index per left row instead of scanned; the node is
+	// constructed at assemble time, when the left side is final.
+	isIndexJoin bool
+	table       *catalog.Table
+	alias       string
+
+	schema exec.Schema  // full (unpruned) contribution to level.full
+	needed map[int]bool // ordinals the level references (resolve rule)
+}
+
+func (lv *level) addSource(tr *sql.TableRef, filter sql.Expr, jc *sql.JoinClause) error {
+	src, err := lv.buildTableRef(tr, filter)
+	if err != nil {
+		return err
+	}
+	src.jc = jc
+	lv.sources = append(lv.sources, src)
+	lv.full = append(lv.full, src.schema...)
+	return nil
+}
+
+// addJoinSource adds one joined source, first checking index-join
+// eligibility against the level schema accumulated so far — the same
+// inputs the legacy executor inspected per join at run time, so the
+// decision is identical, just made once.
+func (lv *level) addJoinSource(jc *sql.JoinClause) error {
+	if jc.Table.Sub == nil {
+		if t, ok := lv.cat.Table(jc.Table.Name); ok {
+			alias := jc.Table.Alias
+			if alias == "" {
+				alias = jc.Table.Name
+			}
+			rightSchema := tableSchema(t, alias)
+			if _, _, _, prefix := indexJoinProbe(t, jc.On, lv.full, rightSchema); prefix > 0 {
+				src := &source{jc: jc, isIndexJoin: true, table: t, alias: alias, schema: rightSchema}
+				lv.sources = append(lv.sources, src)
+				lv.full = append(lv.full, rightSchema...)
+				return nil
+			}
+		}
+	}
+	return lv.addSource(&jc.Table, nil, jc)
+}
+
+// buildTableRef compiles one table reference: derived table, base
+// table, or view — checked in the legacy executor's order.
+func (lv *level) buildTableRef(tr *sql.TableRef, filter sql.Expr) (*source, error) {
+	if tr.Sub != nil {
+		child, err := buildSelect(lv.cat, tr.Sub, lv.strip)
+		if err != nil {
+			return nil, err
+		}
+		rn := &RenameNode{Child: child, Alias: tr.Alias}
+		rn.schema = aliasSchema(child.Schema(), tr.Alias)
+		return &source{node: rn, schema: rn.schema}, nil
+	}
+	if t, ok := lv.cat.Table(tr.Name); ok {
+		alias := tr.Alias
+		if alias == "" {
+			alias = tr.Name
+		}
+		scan := &ScanNode{Table: t, Alias: alias, Strip: lv.strip, Filter: filter}
+		scan.fullSchema = tableSchema(t, alias)
+		return &source{scan: scan, table: t, alias: alias, schema: scan.fullSchema}, nil
+	}
+	if v, ok := lv.cat.View(tr.Name); ok {
+		return lv.buildView(v, tr)
+	}
+	return nil, fmt.Errorf("engine: no table or view %q", tr.Name)
+}
+
+// buildView compiles a view body. Declassifying views extend the strip
+// set with their bound tags, so base scans inside see (and return)
+// tuples with those tags removed (§4.3). Build errors inside the body
+// carry the same "engine: view ..." envelope runtime errors do.
+func (lv *level) buildView(v *catalog.View, tr *sql.TableRef) (*source, error) {
+	sub := lv.strip
+	if v.IsDeclassifying() {
+		sub = lv.strip.Union(v.Declassify)
+	}
+	child, err := buildSelect(lv.cat, v.Select, sub)
+	if err != nil {
+		return nil, fmt.Errorf("engine: view %q: %w", v.Name, err)
+	}
+	cs := child.Schema()
+	names := make([]string, len(cs))
+	for i, c := range cs {
+		names[i] = c.Name
+	}
+	if len(v.Columns) > 0 {
+		if len(v.Columns) != len(cs) {
+			return nil, fmt.Errorf("engine: view %q declares %d columns but query yields %d", v.Name, len(v.Columns), len(cs))
+		}
+		for i, n := range v.Columns {
+			names[i] = strings.ToLower(n)
+		}
+	}
+	alias := tr.Alias
+	if alias == "" {
+		alias = v.Name
+	}
+	rn := &RenameNode{Child: child, Alias: alias, ViewName: v.Name, Strip: v.Declassify}
+	rn.schema = make(exec.Schema, len(cs))
+	for i, n := range names {
+		rn.schema[i] = exec.ColMeta{Table: alias, Name: n}
+	}
+	return &source{node: rn, schema: rn.schema}, nil
+}
+
+func aliasSchema(s exec.Schema, alias string) exec.Schema {
+	out := make(exec.Schema, len(s))
+	for i, c := range s {
+		out[i] = exec.ColMeta{Table: alias, Name: c.Name}
+	}
+	return out
+}
+
+// prepareExprs expands stars, detects aggregation, and substitutes
+// output aliases into ORDER BY, all against the full level schema.
+func (lv *level) prepareExprs() error {
+	items, err := expandStars(lv.sel.Items, lv.full)
+	if err != nil {
+		return err
+	}
+	lv.items = items
+
+	lv.aggregated = len(lv.sel.GroupBy) > 0 || exec.HasAggregate(lv.sel.Having)
+	for _, it := range items {
+		if exec.HasAggregate(it.Expr) {
+			lv.aggregated = true
+		}
+	}
+
+	aliasMap := map[string]sql.Expr{}
+	for _, it := range items {
+		if it.Alias != "" {
+			aliasMap[it.Alias] = it.Expr
+		}
+	}
+	lv.orderExprs = make([]sql.Expr, len(lv.sel.OrderBy))
+	for i, ob := range lv.sel.OrderBy {
+		lv.orderExprs[i] = substituteAliases(ob.Expr, aliasMap)
+	}
+	return nil
+}
+
+// assemble wires the analyzed level into its operator pipeline,
+// mirroring the legacy executeSelect stage order: sources+joins →
+// residual filter → aggregate/project → sort → distinct → offset →
+// limit.
+func (lv *level) assemble() (Node, error) {
+	var input Node
+	if lv.sel.From == nil {
+		input = &ValuesNode{}
+	} else {
+		input = lv.sources[0].finalNode()
+		for _, src := range lv.sources[1:] {
+			input = lv.buildJoinNode(input, src)
+		}
+	}
+	if lv.residual != nil {
+		input = &FilterNode{Child: input, Cond: lv.residual, Strip: lv.strip}
+	}
+
+	var out Node
+	if lv.aggregated {
+		a := &AggregateNode{
+			Child: input, Items: lv.items,
+			GroupBy: lv.sel.GroupBy, Having: lv.sel.Having,
+			OrderExprs: lv.orderExprs, Strip: lv.strip,
+		}
+		a.schema = outputSchema(lv.items)
+		out = a
+	} else {
+		p := &ProjectNode{Child: input, Items: lv.items, OrderExprs: lv.orderExprs, Strip: lv.strip}
+		p.schema = outputSchema(lv.items)
+		out = p
+	}
+
+	if len(lv.sel.OrderBy) > 0 {
+		desc := make([]bool, len(lv.sel.OrderBy))
+		for i, ob := range lv.sel.OrderBy {
+			desc[i] = ob.Desc
+		}
+		out = &SortNode{Child: out, Exprs: lv.orderExprs, Desc: desc}
+	}
+	if lv.sel.Distinct {
+		out = &DistinctNode{Child: out}
+	}
+	if lv.sel.Offset != nil {
+		out = &OffsetNode{Child: out, Expr: lv.sel.Offset, Strip: lv.strip}
+	}
+	if lv.sel.Limit != nil {
+		out = &LimitNode{Child: out, Expr: lv.sel.Limit, Pure: selectPure(lv.cat, lv.sel, nil), Strip: lv.strip}
+	}
+	return out, nil
+}
+
+// finalNode materializes a source's operator, applying any pruning the
+// analysis decided.
+func (src *source) finalNode() Node {
+	if src.scan != nil {
+		if src.scan.Out == nil {
+			src.scan.schema = src.scan.fullSchema
+		} else {
+			pruned := make(exec.Schema, len(src.scan.Out))
+			for i, c := range src.scan.Out {
+				pruned[i] = src.scan.fullSchema[c]
+			}
+			src.scan.schema = pruned
+		}
+		return src.scan
+	}
+	return src.node
+}
+
+// buildJoinNode attaches one joined source to the pipeline built so
+// far, picking the same strategy the legacy executor would: index
+// probe, then hash for pure equi-joins, then nested loop.
+func (lv *level) buildJoinNode(left Node, src *source) Node {
+	jc := src.jc
+	if src.isIndexJoin {
+		rightSchema := tableSchema(src.table, src.alias)
+		ix, prefix, probe, n := indexJoinProbe(src.table, jc.On, left.Schema(), rightSchema)
+		if n > 0 {
+			return &IndexJoinNode{
+				Left: left, Table: src.table, Alias: src.alias,
+				Kind: jc.Kind, On: jc.On,
+				Index: ix, Prefix: prefix, ProbeCols: probe,
+				Strip:       lv.strip,
+				schema:      append(append(exec.Schema{}, left.Schema()...), rightSchema...),
+				rightSchema: rightSchema,
+			}
+		}
+		// Unreachable in practice: eligibility was established against
+		// the unpruned left schema and pruning keeps every ON column.
+		// Fall through to a plain scan + loop join just in case.
+		src.scan = &ScanNode{Table: src.table, Alias: src.alias, Strip: lv.strip}
+		src.scan.fullSchema = rightSchema
+	}
+	right := src.finalNode()
+	n := &JoinNode{
+		Left: left, Right: right, Kind: jc.Kind, On: jc.On,
+		Strip:  lv.strip,
+		schema: append(append(exec.Schema{}, left.Schema()...), right.Schema()...),
+	}
+	lk, rk, pure := equiJoinKeys(jc.On, left.Schema(), right.Schema())
+	if pure && len(lk) > 0 {
+		n.Strategy, n.LeftKeys, n.RightKeys = JoinHash, lk, rk
+	} else {
+		n.Strategy = JoinLoop
+	}
+	return n
+}
+
+// indexJoinProbe decides whether a right base table can be probed via
+// an index: the ON clause must be a pure conjunction of cross-side
+// column equalities and some index's leading columns must all be
+// equi-join columns. It returns the chosen index, the bound prefix
+// length, and for each prefix position the left-row ordinal supplying
+// the probe value. prefix is 0 when the shape does not fit.
+func indexJoinProbe(t *catalog.Table, on sql.Expr, left, right exec.Schema) (ix *catalog.Index, prefix int, probe []int, n int) {
+	lk, rk, pure := equiJoinKeys(on, left, right)
+	if !pure || len(lk) == 0 {
+		return nil, 0, nil, 0
+	}
+	rkPos := make(map[int]int, len(rk)) // right col ordinal -> position in rk/lk
+	for i, c := range rk {
+		rkPos[c] = i
+	}
+	for _, cand := range t.Indexes {
+		m := 0
+		for _, c := range cand.Cols {
+			if _, ok := rkPos[c]; ok {
+				m++
+			} else {
+				break
+			}
+		}
+		if m > prefix {
+			ix, prefix = cand, m
+		}
+	}
+	if ix == nil {
+		return nil, 0, nil, 0
+	}
+	probe = make([]int, prefix)
+	for i := 0; i < prefix; i++ {
+		probe[i] = lk[rkPos[ix.Cols[i]]]
+	}
+	return ix, prefix, probe, prefix
+}
+
+// equiJoinKeys decomposes an ON clause into column-ordinal pairs when
+// it is a pure conjunction of cross-side column equalities. Ported
+// verbatim from the legacy executor.
+func equiJoinKeys(on sql.Expr, left, right exec.Schema) (lk, rk []int, pure bool) {
+	var walk func(e sql.Expr) bool
+	walk = func(e sql.Expr) bool {
+		b, ok := e.(*sql.BinaryExpr)
+		if !ok {
+			return false
+		}
+		switch b.Op {
+		case "AND":
+			return walk(b.Left) && walk(b.Right)
+		case "=":
+			lc, lok := b.Left.(*sql.ColumnRef)
+			rc, rok := b.Right.(*sql.ColumnRef)
+			if !lok || !rok || lc.Column == "_label" || rc.Column == "_label" {
+				return false
+			}
+			li, lerr := left.Resolve(lc.Table, lc.Column)
+			ri, rerr := right.Resolve(rc.Table, rc.Column)
+			if lerr == nil && rerr == nil {
+				lk = append(lk, li)
+				rk = append(rk, ri)
+				return true
+			}
+			// Maybe written the other way around.
+			li2, lerr2 := left.Resolve(rc.Table, rc.Column)
+			ri2, rerr2 := right.Resolve(lc.Table, lc.Column)
+			if lerr2 == nil && rerr2 == nil {
+				lk = append(lk, li2)
+				rk = append(rk, ri2)
+				return true
+			}
+			return false
+		default:
+			return false
+		}
+	}
+	if on == nil {
+		return nil, nil, false
+	}
+	ok := walk(on)
+	return lk, rk, ok
+}
+
+// pureScalarFuncs are the scalar functions that neither mutate state
+// nor observe anything a skipped evaluation would change. LIMIT may
+// stop pulling early only when every function below it is in this set
+// — the legacy executor materialized everything before slicing, so
+// state-changing calls (nextval, addsecrecy, ...) must keep running
+// for every row even past the limit.
+var pureScalarFuncs = map[string]bool{
+	"lower": true, "upper": true, "length": true, "abs": true,
+	"coalesce": true, "label_contains": true, "label_size": true,
+	"getlabel": true, "getintegrity": true, "tag": true,
+	"has_authority": true, "current_principal": true, "now": true,
+	"sleep": true,
+}
+
+// selectPure reports whether executing sel evaluates only pure scalar
+// functions, looking through subqueries, derived tables, and view
+// bodies. seen guards against view cycles.
+func selectPure(cat *catalog.Catalog, sel *sql.SelectStmt, seen map[string]bool) bool {
+	pure := true
+	var checkExpr func(e sql.Expr)
+	var checkSel func(s *sql.SelectStmt)
+	var checkRef func(tr *sql.TableRef)
+	checkExpr = func(e sql.Expr) {
+		if !pure {
+			return
+		}
+		switch x := e.(type) {
+		case *sql.BinaryExpr:
+			checkExpr(x.Left)
+			checkExpr(x.Right)
+		case *sql.UnaryExpr:
+			checkExpr(x.Expr)
+		case *sql.IsNullExpr:
+			checkExpr(x.Expr)
+		case *sql.BetweenExpr:
+			checkExpr(x.Expr)
+			checkExpr(x.Lo)
+			checkExpr(x.Hi)
+		case *sql.InExpr:
+			checkExpr(x.Expr)
+			for _, it := range x.List {
+				checkExpr(it)
+			}
+			if x.Sub != nil {
+				checkSel(x.Sub)
+			}
+		case *sql.ExistsExpr:
+			checkSel(x.Sub)
+		case *sql.SubqueryExpr:
+			checkSel(x.Sub)
+		case *sql.FuncCall:
+			if !exec.IsAggregateName(x.Name) && !pureScalarFuncs[x.Name] {
+				pure = false
+				return
+			}
+			for _, a := range x.Args {
+				checkExpr(a)
+			}
+		}
+	}
+	checkRef = func(tr *sql.TableRef) {
+		if tr.Sub != nil {
+			checkSel(tr.Sub)
+			return
+		}
+		if _, ok := cat.Table(tr.Name); ok {
+			return
+		}
+		if v, ok := cat.View(tr.Name); ok {
+			if seen == nil {
+				seen = map[string]bool{}
+			}
+			if !seen[v.Name] {
+				seen[v.Name] = true
+				checkSel(v.Select)
+			}
+		}
+	}
+	checkSel = func(s *sql.SelectStmt) {
+		if !pure {
+			return
+		}
+		for _, it := range s.Items {
+			checkExpr(it.Expr)
+		}
+		if s.From != nil {
+			checkRef(s.From)
+		}
+		for i := range s.Joins {
+			checkRef(&s.Joins[i].Table)
+			checkExpr(s.Joins[i].On)
+		}
+		checkExpr(s.Where)
+		for _, e := range s.GroupBy {
+			checkExpr(e)
+		}
+		checkExpr(s.Having)
+		for _, ob := range s.OrderBy {
+			checkExpr(ob.Expr)
+		}
+		checkExpr(s.Limit)
+		checkExpr(s.Offset)
+	}
+	checkSel(sel)
+	return pure
+}
+
+// hasBlocking reports whether any operator under n materializes its
+// input.
+func hasBlocking(n Node) bool {
+	switch x := n.(type) {
+	case *ScanNode, *ValuesNode:
+		return false
+	case *RenameNode:
+		return hasBlocking(x.Child)
+	case *FilterNode:
+		return hasBlocking(x.Child)
+	case *ProjectNode:
+		return hasBlocking(x.Child)
+	case *OffsetNode:
+		return hasBlocking(x.Child)
+	case *LimitNode:
+		return hasBlocking(x.Child)
+	default:
+		// joins, aggregate, sort, distinct
+		return true
+	}
+}

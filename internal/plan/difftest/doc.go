@@ -1,0 +1,25 @@
+// Package difftest is the differential harness proving the plan-based
+// streaming executor equivalent to the legacy materializing executor.
+//
+// Every test in this package stands up two IFC-enabled engines that
+// differ in exactly one bit — Config.LegacyExec — applies identical
+// schema, principals, tags, and data to both, and then drives the same
+// statement stream through each, asserting byte-identical results:
+// column names, row values (kind-tagged renderings), per-row IFC
+// labels, affected counts, and exact error text.
+//
+// Statement streams come from two sources: deterministic sim-generated
+// workload mixes (internal/sim cohorts, including IFC-labeled tenants
+// with per-tenant secrecy tags, over a seed matrix extendable via
+// IFDB_DIFF_SEEDS), and a hand-written battery covering the planner's
+// interesting shapes — joins, views, declassifying views, aggregates,
+// sorting, DISTINCT, LIMIT/OFFSET, subqueries, predicate-pushdown and
+// index-selection candidates, and error paths. SELECTs additionally
+// run through the streaming cursor (Session.ExecStream) in small
+// batches, so the cursor's transaction lifecycle is diffed too, not
+// just the plan tree.
+//
+// The documented, intentional divergences between the executors (see
+// the package comment in internal/plan) are exactly the shapes this
+// harness avoids generating; everything else must match to the byte.
+package difftest

@@ -1,0 +1,124 @@
+package difftest
+
+import (
+	"strings"
+	"testing"
+
+	"ifdb/internal/engine"
+	"ifdb/internal/sql"
+	"ifdb/internal/types"
+)
+
+// FuzzNoLabelBypass fuzzes WHERE clauses over a table holding a
+// secret-labeled sentinel row and asserts two invariants on every
+// accepted clause:
+//
+//  1. No bypass: an unprivileged session never receives the sentinel
+//     through the plan-based executor, no matter what predicate the
+//     analyzer pushed below the scan — Label Confinement runs before
+//     pushed predicates, and pushing must never reorder that.
+//  2. Equivalence: the streaming executor's rows, labels, and error
+//     text match the legacy oracle's for the same clause.
+//
+// Session-label-mutating builtins (addsecrecy and friends) are
+// excluded: contaminating the probe session would make seeing the
+// sentinel legal, which is not a bypass.
+func FuzzNoLabelBypass(f *testing.F) {
+	legacy := engine.MustNew(engine.Config{IFC: true, LegacyExec: true})
+	stream := engine.MustNew(engine.Config{IFC: true})
+	const sentinel = "SENTINEL-SECRET"
+	sides := make([]*side, 2)
+	for i, e := range []*engine.Engine{legacy, stream} {
+		admin := e.NewSession(e.Admin())
+		for _, q := range []string{
+			`CREATE TABLE s (k BIGINT PRIMARY KEY, v TEXT, n BIGINT)`,
+			`CREATE INDEX s_n ON s (n)`,
+		} {
+			if _, err := admin.Exec(q); err != nil {
+				f.Fatal(err)
+			}
+		}
+		alice := e.CreatePrincipal("alice")
+		tg, err := e.CreateTag(alice, "t_alice")
+		if err != nil {
+			f.Fatal(err)
+		}
+		sa := e.NewSession(alice)
+		if err := sa.AddSecrecy(tg); err != nil {
+			f.Fatal(err)
+		}
+		if _, err := sa.Exec(`INSERT INTO s VALUES (1, $1, 7)`, types.NewText(sentinel)); err != nil {
+			f.Fatal(err)
+		}
+		for _, q := range []string{
+			`INSERT INTO s VALUES (2, 'pub2', 7)`,
+			`INSERT INTO s VALUES (3, 'pub3', 9)`,
+			`INSERT INTO s VALUES (4, NULL, 7)`,
+		} {
+			if _, err := admin.Exec(q); err != nil {
+				f.Fatal(err)
+			}
+		}
+		e.CreatePrincipal("probe")
+		name := "legacy"
+		if i == 1 {
+			name = "stream"
+		}
+		sides[i] = &side{name: name, e: e}
+	}
+	probeL := legacy.CreatePrincipal("probe0")
+	probeS := stream.CreatePrincipal("probe0")
+
+	for _, seed := range []string{
+		`v = 'SENTINEL-SECRET'`,
+		`k = 1`,
+		`n = 7 AND v IS NOT NULL`,
+		`k BETWEEN 0 AND 5`,
+		`v LIKE 'SENT%'`,
+		`1 = 1 OR v = 'SENTINEL-SECRET'`,
+		`label_size(_label) >= 0`,
+		`n = 7 AND k IN (SELECT k FROM s)`,
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, clause string) {
+		low := strings.ToLower(clause)
+		for _, banned := range []string{"sleep", "secrecy", "declassify", "endorse", "integrity", "nextval", "create_sequence"} {
+			if strings.Contains(low, banned) {
+				return
+			}
+		}
+		query := "SELECT k, v FROM s WHERE " + clause
+		stmts, err := sql.ParseAll(query)
+		if err != nil || len(stmts) != 1 {
+			return
+		}
+		if _, ok := stmts[0].(*sql.SelectStmt); !ok {
+			return
+		}
+		// Fresh unprivileged sessions: an earlier iteration must not be
+		// able to leave state that widens this one's view.
+		sl := legacy.NewSession(probeL)
+		ss := stream.NewSession(probeS)
+		lres, lerr := sl.Exec(query)
+		sres, serr := ss.Exec(query)
+		if (lerr == nil) != (serr == nil) || (lerr != nil && lerr.Error() != serr.Error()) {
+			t.Fatalf("executors diverged on %q:\n  legacy err: %v\n  stream err: %v", clause, lerr, serr)
+		}
+		if lerr != nil {
+			return
+		}
+		if want, got := renderResult(sides[0], lres), renderResult(sides[1], sres); want != got {
+			t.Fatalf("executors diverged on %q:\n-- legacy --\n%s-- stream --\n%s", clause, want, got)
+		}
+		for _, res := range []*engine.Result{sres, lres} {
+			for _, row := range res.Rows {
+				for _, v := range row {
+					if v.Kind() == types.KindText && strings.Contains(v.Text(), sentinel) {
+						t.Fatalf("label bypass: unprivileged session read the sentinel via %q", clause)
+					}
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,108 @@
+package difftest
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+
+	"ifdb/internal/sim"
+	"ifdb/internal/types"
+)
+
+// diffSeeds returns the seed matrix: IFDB_DIFF_SEEDS (comma-separated)
+// when set — CI fans the harness out across seeds this way — otherwise
+// a fixed five-seed default.
+func diffSeeds(t *testing.T) []int64 {
+	env := os.Getenv("IFDB_DIFF_SEEDS")
+	if env == "" {
+		return []int64{1, 2, 3, 4, 5}
+	}
+	var seeds []int64
+	for _, f := range strings.Split(env, ",") {
+		n, err := strconv.ParseInt(strings.TrimSpace(f), 10, 64)
+		if err != nil {
+			t.Fatalf("IFDB_DIFF_SEEDS: bad seed %q: %v", f, err)
+		}
+		seeds = append(seeds, n)
+	}
+	return seeds
+}
+
+// TestSimMixes drives sim-generated statement mixes — IFC-labeled
+// tenant cohorts with distinct statement classes and prepared-statement
+// appetites — through both executors and requires identical outcomes
+// for every operation, over the whole seed matrix.
+func TestSimMixes(t *testing.T) {
+	for _, seed := range diffSeeds(t) {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runSimDiff(t, seed)
+		})
+	}
+}
+
+func runSimDiff(t *testing.T, seed int64) {
+	const keys = 48
+	w := sim.Workload{
+		Seed:     seed,
+		Arrival:  sim.ArrivalClosed,
+		Workers:  4,
+		Ops:      500,
+		Table:    "kv",
+		Keys:     keys,
+		ScanSpan: 16,
+		Cohorts: []sim.Cohort{
+			{Name: "tenant0", Weight: 3, Tags: []string{"t_tenant0"},
+				Mix: sim.StmtMix{PointRead: 8, PointWrite: 2}, PreparedPct: 100},
+			{Name: "tenant1", Weight: 2, Tags: []string{"t_tenant1"},
+				Mix: sim.StmtMix{PointRead: 5, PointWrite: 2, Insert: 2, Scan: 1}, PreparedPct: 50},
+			{Name: "public", Weight: 2,
+				Mix: sim.StmtMix{PointRead: 3, PointWrite: 2, Insert: 3, Scan: 2, DDL: 1}},
+		},
+	}
+	sched, err := sim.Generate(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p := newPair(t)
+	p.setup("admin", `CREATE TABLE kv (k BIGINT PRIMARY KEY, v BIGINT)`)
+	for _, c := range w.Cohorts {
+		p.addUser(c.Name, c.Tags...)
+	}
+	// Seed each cohort's point-op key domain through the cohort's own
+	// session, so rows carry the tenant's label and the IFDB write rule
+	// lets the tenant's updates hit them.
+	for ci, c := range w.Cohorts {
+		base := int64(ci) * sim.CohortKeyStride
+		for k := int64(0); k < keys; k++ {
+			p.setup(c.Name, `INSERT INTO kv VALUES ($1, $2)`,
+				types.NewInt(base+k), types.NewInt(k))
+		}
+	}
+
+	// Replay the schedule in sequence order. The harness compares every
+	// op's rows, labels, affected count, and error text across the two
+	// executors; Prepared ops run through pinned handles, exercising the
+	// streaming side's plan cache.
+	for i := range sched.Ops {
+		op := &sched.Ops[i]
+		args := make([]types.Value, len(op.Args))
+		for j, a := range op.Args {
+			args[j] = types.NewInt(a)
+		}
+		if op.Prepared {
+			p.execPrepared(op.Cohort, op.SQL, args...)
+		} else {
+			p.exec(op.Cohort, op.SQL, args...)
+		}
+	}
+
+	// Close the loop on end state: full-table drains through the
+	// streaming cursor, per tenant and for the unlabeled public view.
+	for _, c := range w.Cohorts {
+		p.execStream(c.Name, `SELECT k, v, _label FROM kv ORDER BY k`, 7)
+		p.execStream(c.Name, `SELECT COUNT(*), SUM(v) FROM kv`, 1)
+	}
+}

@@ -1,0 +1,263 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"ifdb/internal/catalog"
+	"ifdb/internal/exec"
+	"ifdb/internal/label"
+	"ifdb/internal/sql"
+)
+
+// EqConst is one "col = const" conjunct harvested from the WHERE
+// clause for index selection, in AND-walk order. The constant side is
+// a Literal or Param, evaluated once when the scan opens (last
+// assignment to a column wins, like the legacy extractor's map).
+type EqConst struct {
+	Col  int // ordinal in the table's full column list
+	Expr sql.Expr
+}
+
+// ScanNode reads one base table: either a full heap scan resumable in
+// batches, or an index prefix scan when analysis bound the leading
+// columns of an index to constants.
+type ScanNode struct {
+	Table *catalog.Table
+	Alias string
+	Strip label.Label // declassify strip in effect at this level
+
+	// Filter is the WHERE expression index selection mines for
+	// equality constants; it is not evaluated as a whole here.
+	Filter sql.Expr
+
+	// Analysis results.
+	Eq     []EqConst      // "col = const" conjuncts from Filter
+	Index  *catalog.Index // chosen index, nil for a heap scan
+	Prefix int            // leading Index columns bound by Eq
+	Pushed []sql.Expr     // infallible conjuncts evaluated per tuple
+	Out    []int          // pruned output ordinals; nil keeps all
+
+	schema     exec.Schema // output schema (after pruning)
+	fullSchema exec.Schema // full table schema under Alias
+}
+
+func (n *ScanNode) Schema() exec.Schema { return n.schema }
+
+// ValuesNode is the FROM-less source: exactly one empty row, like the
+// legacy executor's single empty qrow.
+type ValuesNode struct{}
+
+func (n *ValuesNode) Schema() exec.Schema { return nil }
+
+// RenameNode re-tables its child's output under an alias. It covers
+// both derived tables (FROM (SELECT ...) AS a) and views; for views it
+// also applies the view's declared column names and wraps runtime
+// errors in the legacy "engine: view %q: %w" envelope.
+type RenameNode struct {
+	Child    Node
+	Alias    string
+	ViewName string      // "" for a plain derived table
+	Strip    label.Label // view strip (shown by EXPLAIN)
+
+	schema exec.Schema
+}
+
+func (n *RenameNode) Schema() exec.Schema { return n.schema }
+
+// FilterNode applies the residual WHERE conjuncts (those analysis did
+// not push below the scan).
+type FilterNode struct {
+	Child Node
+	Cond  sql.Expr
+	Strip label.Label
+}
+
+func (n *FilterNode) Schema() exec.Schema { return n.Child.Schema() }
+
+// Join strategies. The choice is static: analysis sees the same
+// operands the legacy executor inspected at run time, so the decision
+// is identical — it is just made once and recorded for EXPLAIN.
+const (
+	JoinLoop  = "loop"  // nested loop, right side buffered
+	JoinHash  = "hash"  // equi-join via hash table over the right side
+	JoinIndex = "index" // probe a right-table index per left row
+)
+
+// JoinNode is a hash or nested-loop join. It is a blocking operator:
+// the legacy join algorithm runs verbatim over the materialized
+// inputs, which keeps row order, label combination, and error order
+// identical to the oracle. (Streaming joins are future work.)
+type JoinNode struct {
+	Left      Node
+	Right     Node
+	Kind      string // "INNER" or "LEFT"
+	On        sql.Expr
+	Strategy  string // JoinLoop or JoinHash
+	LeftKeys  []int  // equi-join key ordinals (hash strategy)
+	RightKeys []int
+	Strip     label.Label
+
+	schema exec.Schema
+}
+
+func (n *JoinNode) Schema() exec.Schema { return n.schema }
+
+// IndexJoinNode probes a right-table index once per left row instead
+// of materializing the right side. The right table's full rows enter
+// the combined schema, exactly like the legacy index join.
+type IndexJoinNode struct {
+	Left   Node
+	Table  *catalog.Table
+	Alias  string
+	Kind   string // "INNER" or "LEFT"
+	On     sql.Expr
+	Index  *catalog.Index
+	Prefix int
+	// ProbeCols[i] is the left-row ordinal whose value binds
+	// Index.Cols[i], for i < Prefix.
+	ProbeCols []int
+	Strip     label.Label
+
+	schema      exec.Schema
+	rightSchema exec.Schema
+}
+
+func (n *IndexJoinNode) Schema() exec.Schema { return n.schema }
+
+// ProjectNode evaluates the (star-expanded) select items and the
+// alias-substituted ORDER BY keys for each input row.
+type ProjectNode struct {
+	Child      Node
+	Items      []sql.SelectItem
+	OrderExprs []sql.Expr
+	Strip      label.Label
+
+	schema exec.Schema
+}
+
+func (n *ProjectNode) Schema() exec.Schema { return n.schema }
+
+// AggregateNode groups and folds its input. Blocking by nature.
+type AggregateNode struct {
+	Child      Node
+	Items      []sql.SelectItem
+	GroupBy    []sql.Expr
+	Having     sql.Expr
+	OrderExprs []sql.Expr
+	Strip      label.Label
+
+	schema exec.Schema
+}
+
+func (n *AggregateNode) Schema() exec.Schema { return n.schema }
+
+// SortNode orders its input by the Sort keys the projection attached.
+type SortNode struct {
+	Child Node
+	// Exprs are the alias-substituted ORDER BY expressions (for
+	// EXPLAIN); Desc holds each key's direction.
+	Exprs []sql.Expr
+	Desc  []bool
+}
+
+func (n *SortNode) Schema() exec.Schema { return n.Child.Schema() }
+
+// DistinctNode drops rows whose full value tuple was already seen,
+// keeping the first occurrence (matching the legacy executor, which
+// applies DISTINCT after ORDER BY).
+type DistinctNode struct {
+	Child Node
+}
+
+func (n *DistinctNode) Schema() exec.Schema { return n.Child.Schema() }
+
+// OffsetNode skips the first N output rows.
+type OffsetNode struct {
+	Child Node
+	Expr  sql.Expr
+	Strip label.Label
+}
+
+func (n *OffsetNode) Schema() exec.Schema { return n.Child.Schema() }
+
+// LimitNode truncates the output to N rows. When the subtree below is
+// provably free of state-changing function calls, the iterator stops
+// pulling as soon as the limit is reached; otherwise it drains its
+// child completely (matching the legacy executor's materialize-then-
+// slice behaviour, whose side effects must be preserved).
+type LimitNode struct {
+	Child Node
+	Expr  sql.Expr
+	Pure  bool
+	Strip label.Label
+}
+
+func (n *LimitNode) Schema() exec.Schema { return n.Child.Schema() }
+
+// tableSchema builds the exec schema of a table under an alias.
+func tableSchema(t *catalog.Table, alias string) exec.Schema {
+	schema := make(exec.Schema, len(t.Columns))
+	for i, c := range t.Columns {
+		schema[i] = exec.ColMeta{Table: alias, Name: c.Name}
+	}
+	return schema
+}
+
+// outputSchema names the columns a projection produces, mirroring the
+// legacy executor's rules: explicit alias, else the bare column name,
+// else a positional "columnN".
+func outputSchema(items []sql.SelectItem) exec.Schema {
+	schema := make(exec.Schema, len(items))
+	for i, it := range items {
+		name := it.Alias
+		if name == "" {
+			if cr, ok := it.Expr.(*sql.ColumnRef); ok {
+				name = cr.Column
+			}
+		}
+		if name == "" {
+			name = fmt.Sprintf("column%d", i+1)
+		}
+		schema[i] = exec.ColMeta{Name: name}
+	}
+	return schema
+}
+
+// expandStars replaces * and table.* items with explicit column
+// references against schema, mirroring the legacy expansion.
+func expandStars(items []sql.SelectItem, schema exec.Schema) ([]sql.SelectItem, error) {
+	out := make([]sql.SelectItem, 0, len(items))
+	for _, it := range items {
+		if !it.Star {
+			out = append(out, it)
+			continue
+		}
+		matched := false
+		for _, c := range schema {
+			if it.Table != "" && !strings.EqualFold(c.Table, it.Table) {
+				continue
+			}
+			matched = true
+			out = append(out, sql.SelectItem{
+				Expr:  &sql.ColumnRef{Table: c.Table, Column: c.Name},
+				Alias: c.Name,
+			})
+		}
+		if !matched {
+			return nil, fmt.Errorf("engine: %s.* matches no columns", it.Table)
+		}
+	}
+	return out, nil
+}
+
+// substituteAliases rewrites bare column references that name a select
+// item alias into that item's expression, so ORDER BY aliases work.
+func substituteAliases(e sql.Expr, aliases map[string]sql.Expr) sql.Expr {
+	if cr, ok := e.(*sql.ColumnRef); ok && cr.Table == "" {
+		if repl, ok := aliases[cr.Column]; ok {
+			return repl
+		}
+	}
+	return e
+}

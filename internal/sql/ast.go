@@ -146,6 +146,15 @@ type SelectStmt struct {
 
 func (*SelectStmt) stmt() {}
 
+// ExplainStmt renders the analyzed plan of the wrapped statement
+// instead of executing it. Only SELECT is explainable today; the
+// parser accepts any statement and the engine rejects the rest.
+type ExplainStmt struct {
+	Stmt Statement
+}
+
+func (*ExplainStmt) stmt() {}
+
 // ---------------------------------------------------------------------------
 // DML
 

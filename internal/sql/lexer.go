@@ -56,7 +56,7 @@ var keywords = map[string]bool{
 	"TIMESTAMP": true, "DOUBLE": true, "PRECISION": true, "FLOAT": true,
 	"REAL": true, "FOR": true, "NO": true, "ACTION": true, "NUMERIC": true,
 	"DECIMAL": true, "CHAR": true, "SERIAL": true, "TRANSACTION": true,
-	"WORK": true, "LEVEL": true, "SNAPSHOT": true,
+	"WORK": true, "LEVEL": true, "SNAPSHOT": true, "EXPLAIN": true,
 }
 
 // Lexer tokenizes SQL input.

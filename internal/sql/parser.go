@@ -142,6 +142,13 @@ func (p *Parser) parseStatement() (Statement, error) {
 		return nil, p.errf("expected statement keyword")
 	}
 	switch t.Text {
+	case "EXPLAIN":
+		p.pos++
+		inner, err := p.parseStatement()
+		if err != nil {
+			return nil, err
+		}
+		return &ExplainStmt{Stmt: inner}, nil
 	case "SELECT":
 		return p.parseSelect()
 	case "INSERT":

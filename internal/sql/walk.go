@@ -39,6 +39,8 @@ func WalkExprs(st Statement, fn func(Expr)) {
 		if x.Select != nil {
 			walkSelect(x.Select, fn)
 		}
+	case *ExplainStmt:
+		WalkExprs(x.Stmt, fn)
 	}
 }
 

@@ -101,6 +101,33 @@ func (h *MemHeap) Scan(fn func(tid TID, tv *TupleVersion) bool) {
 	}
 }
 
+// ScanFrom implements BatchScanner: it visits live versions with
+// TID >= start in TID order, stopping after max visits. The read lock
+// is released between batches, so a pull-based iterator can hold a
+// scan position without pinning the heap; versions inserted between
+// batches may or may not be visited, which is sound because a
+// statement's MVCC snapshot cannot see them anyway.
+func (h *MemHeap) ScanFrom(start TID, max int, fn func(tid TID, tv *TupleVersion) bool) (next TID, more bool) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	i := int(start)
+	visited := 0
+	for ; i < len(h.versions); i++ {
+		if visited >= max {
+			return TID(i), true
+		}
+		tv := h.versions[i]
+		if tv == nil {
+			continue
+		}
+		visited++
+		if !fn(TID(i), tv) {
+			return TID(i + 1), true
+		}
+	}
+	return TID(i), false
+}
+
 // RestoreAt implements RecoverableHeap: it places tv at exactly tid,
 // growing the version slice as needed (gap entries stay nil, i.e.
 // tombstoned — they belonged to inserts replay skipped).

@@ -119,6 +119,22 @@ type Heap interface {
 	ApproxBytes() int64
 }
 
+// BatchScanner is the optional Heap capability the pull-based executor
+// needs: a scan that can pause after a bounded number of visits and
+// resume later, so an iterator can hold a position across Next() calls
+// without pinning the heap's lock for the whole statement. Both heap
+// backends implement it.
+type BatchScanner interface {
+	// ScanFrom visits live versions with TID >= start in TID order and
+	// returns after roughly max visits (implementations may overshoot
+	// to finish a physical unit such as a page). It returns the TID to
+	// resume from and whether further versions may remain; more=false
+	// means the scan reached the end of the heap as of this batch.
+	// Stopping early via fn returning false still yields a valid resume
+	// position. The *TupleVersion aliasing rules of Scan apply.
+	ScanFrom(start TID, max int, fn func(tid TID, tv *TupleVersion) bool) (next TID, more bool)
+}
+
 // RecoverableHeap is the extra surface crash recovery needs. Both
 // heap backends implement it; replay uses these instead of the normal
 // mutation path because WAL records carry explicit TIDs and must be

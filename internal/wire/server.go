@@ -577,17 +577,17 @@ func (s *Server) runExecute(sess *engine.Session, stmts map[uint64]*engine.Prepa
 		}
 	}
 	planNs := time.Since(planT0).Nanoseconds()
-	var res *engine.Result
+	var cur *engine.Cursor
 	var err error
 	if e.StmtID != 0 {
 		p := stmts[e.StmtID]
 		if p == nil {
 			err = fmt.Errorf("wire: unknown statement handle %d", e.StmtID)
 		} else {
-			res, err = sess.ExecPrepared(p, e.Params...)
+			cur, err = sess.ExecPreparedStream(p, e.Params...)
 		}
 	} else {
-		res, err = sess.Exec(e.SQL, e.Params...)
+		cur, err = sess.ExecStream(e.SQL, e.Params...)
 	}
 	sess.NotePlanNs(planNs)
 	if err != nil {
@@ -596,31 +596,32 @@ func (s *Server) runExecute(sess *engine.Session, stmts map[uint64]*engine.Prepa
 		return writeChunk(w, c)
 	}
 	streamT0 := time.Now()
-	serr := s.streamResult(sess, w, res, e.ChunkRows, trailer)
+	serr := s.streamCursor(sess, w, cur, e.ChunkRows, trailer)
 	sess.NoteStreamNs(time.Since(streamT0).Nanoseconds())
 	return serr
 }
 
-// streamResult writes res as a sequence of ROWS chunks. The engine
-// still materializes results (streaming execution is future work);
-// what chunking buys today is bounded frames — a result bigger than
-// MaxFrame, which the v1 Result frame cannot carry at all — and a
-// client that never holds more than one chunk of a large fan-out
-// read in memory.
+// streamCursor pulls the statement cursor batch by batch, writing each
+// as a ROWS chunk. A single SELECT streams end to end: the engine's
+// iterator produces one scan batch at a time, so neither the server
+// nor the client ever holds the full result, and each chunk is flushed
+// as it is pulled. Chunks are bounded by the requested chunk size and
+// by MaxFrame.
 //
 // Between chunks it polls the session's cancel flag: an out-of-band
-// CANCEL that lands after execution but mid-stream aborts the
-// session's open transaction (statement effects in autocommit are
-// already committed and stay) and terminates the stream with an
-// ErrCanceled trailer instead of shipping the rest of the result.
-func (s *Server) streamResult(sess *engine.Session, w *bufio.Writer, res *engine.Result, chunkRows uint32, trailer func(string, *ShardMap) *RowsChunk) error {
+// CANCEL lands within one batch — the cursor aborts the statement's
+// transaction and the stream terminates with an ErrCanceled trailer
+// instead of scanning (or shipping) the rest of the result.
+func (s *Server) streamCursor(sess *engine.Session, w *bufio.Writer, cur *engine.Cursor, chunkRows uint32, trailer func(string, *ShardMap) *RowsChunk) error {
+	defer cur.Close()
 	chunk := int(chunkRows)
 	if chunk <= 0 || chunk > 1<<20 {
 		chunk = DefaultChunkRows
 	}
 	first := true
-	for off := 0; off < len(res.Rows); off += chunk {
-		if off > 0 && sess.Canceled() {
+	for {
+		if !first && sess.Canceled() {
+			cur.Close()
 			if sess.InTxn() {
 				sess.Abort()
 			}
@@ -628,28 +629,33 @@ func (s *Server) streamResult(sess *engine.Session, w *bufio.Writer, res *engine
 			t.First = false
 			return writeChunk(w, t)
 		}
-		end := off + chunk
-		if end > len(res.Rows) {
-			end = len(res.Rows)
+		rows, labels, err := cur.NextBatch(chunk)
+		if err != nil {
+			t := trailer(err.Error(), nil)
+			t.First = first
+			return writeChunk(w, t)
 		}
-		c := &RowsChunk{Rows: res.Rows[off:end]}
-		if res.RowLabels != nil {
-			c.RowLabels = res.RowLabels[off:end]
+		if len(rows) == 0 {
+			break
 		}
+		c := &RowsChunk{Rows: rows, RowLabels: labels}
 		if first {
 			c.First = true
-			c.Cols = res.Cols
+			c.Cols = cur.Cols()
 			first = false
 		}
 		if err := writeChunk(w, c); err != nil {
 			return err
 		}
+		if err := w.Flush(); err != nil {
+			return err
+		}
 	}
 	t := trailer("", nil)
-	t.Affected = int64(res.Affected)
+	t.Affected = int64(cur.Affected())
 	t.First = first // zero-row results: the trailer is also the first chunk
 	if first {
-		t.Cols = res.Cols
+		t.Cols = cur.Cols()
 	}
 	return writeChunk(w, t)
 }

@@ -59,6 +59,31 @@ echo "$driverout"
 echo "$driverout" | grep -q "sqldriver: OK" || { echo "docs_smoke: sqldriver walkthrough failed"; exit 1; }
 echo "$driverout" | grep -q "2. ship database  done=true" || { echo "docs_smoke: sqldriver output drifted"; exit 1; }
 
+# --- 1c. The EXPLAIN walkthrough, verbatim from README.md, against
+# the quickstart server still up on 15433 (the session continues it):
+# the plan must show the index pick, the pushdown, and the pruned
+# column set the prose walks through.
+awk '/<!-- explain-cli-begin -->/{f=1;next} /<!-- explain-cli-end -->/{f=0} f' README.md \
+  | sed '/^```/d' > "$workdir/explain.sql"
+if ! grep -q "EXPLAIN" "$workdir/explain.sql"; then
+  echo "docs_smoke: README EXPLAIN session not found (markers moved?)" >&2
+  exit 1
+fi
+explout=$("$workdir/bin/ifdb-cli" -addr 127.0.0.1:15433 -token demo < "$workdir/explain.sql")
+echo "$explout"
+echo "$explout" | grep -q "scan visits AS v | index=visits_patient prefix=1" \
+  || { echo "docs_smoke: EXPLAIN lost the index selection the README shows"; exit 1; }
+echo "$explout" | grep -q "push=\[(v.patient = 'Alice') AND (v.day > 100)\]" \
+  || { echo "docs_smoke: EXPLAIN lost the predicate pushdown the README shows"; exit 1; }
+echo "$explout" | grep -q "cols=\[patient, day\]" \
+  || { echo "docs_smoke: EXPLAIN lost the projection pruning the README shows"; exit 1; }
+echo "$explout" | grep -q "join index INNER patients" \
+  || { echo "docs_smoke: EXPLAIN lost the index join the README shows"; exit 1; }
+if echo "$explout" | grep -q "error:"; then
+  echo "docs_smoke: EXPLAIN session reported an error" >&2
+  exit 1
+fi
+
 # --- 2. The sharded-cluster walkthrough's map file parses and serves.
 awk '/# shards.conf/{f=1;next} /^```/{if(f)exit} f' README.md > "$workdir/shards.conf"
 if ! grep -q "^shard 0" "$workdir/shards.conf"; then
