@@ -28,8 +28,9 @@ type stmtPlan struct {
 
 	txnControl bool // any BEGIN/COMMIT/ROLLBACK
 	ddl        bool // any CREATE/DROP
-	readOnly   bool // pure SELECT batch without side-effect functions
+	readOnly   bool // pure SELECT/EXPLAIN batch without side-effect functions
 	sideEffect bool // label/sequence/procedure-style function calls
+	explain    bool // a single EXPLAIN statement (distributed-plan path)
 
 	// Shard-key derivation inputs (single-statement, single-table
 	// plans only; see shardkey.go):
@@ -119,6 +120,10 @@ func analyzeStmt(sqlText string) *stmtPlan {
 			ddlCount++
 			allSelect = false
 		case *sql.SelectStmt:
+		case *sql.ExplainStmt:
+			// EXPLAIN executes everywhere a SELECT does (replicas
+			// included); a keyless sharded EXPLAIN of a splittable
+			// SELECT renders the distributed plan client-side.
 		default:
 			allSelect = false
 		}
@@ -137,6 +142,9 @@ func analyzeStmt(sqlText string) *stmtPlan {
 	p.readOnly = allSelect && !p.sideEffect
 
 	if len(stmts) == 1 {
+		if _, ok := stmts[0].(*sql.ExplainStmt); ok {
+			p.explain = true
+		}
 		p.deriveShardShape(stmts[0])
 	}
 	return p

@@ -49,6 +49,9 @@ type routedStmt struct {
 	sqlText  string
 	plan     *stmtPlan
 	prepared bool
+	// toks, when set, scopes read-your-writes to one RouterSession;
+	// nil uses the Router's shared default scope.
+	toks *sessTokens
 }
 
 // RouterConfig configures a Router.
@@ -85,6 +88,18 @@ type RouterConfig struct {
 	// one-replication-group mode.
 	ShardMap *ShardMap
 
+	// MaxFanout bounds how many shard streams a fan-out read holds in
+	// flight at once (default 8): the gateway merge consumes shards in
+	// order while up to MaxFanout fragment streams fill their buffers
+	// concurrently.
+	MaxFanout int
+
+	// DisableAggPushdown turns off partial-aggregate pushdown for
+	// split fan-out reads: aggregate statements ship their matching
+	// rows and aggregate entirely at the gateway. Exists as the
+	// ship-all-rows baseline for the scatter-agg benchmark.
+	DisableAggPushdown bool
+
 	// Secrecy, when set, gives every pooled connection a static
 	// process label made of these tags: dials adopt the tags before
 	// first use, and the repool check expects exactly this label
@@ -113,15 +128,12 @@ type Router struct {
 	smap    *ShardMap
 	closed  bool
 
-	rr        atomic.Uint64         // read round-robin cursor
-	token     atomic.Pointer[rwTok] // read-your-writes token (unsharded mode)
-	lastProbe atomic.Int64          // unix nanos of the last Reprobe (rate limit)
+	rr        atomic.Uint64 // read round-robin cursor
+	lastProbe atomic.Int64  // unix nanos of the last Reprobe (rate limit)
 
-	// stoks are the per-shard read-your-writes tokens: each shard is
-	// its own replication group with its own epoch chain and LSN space,
-	// so one global token would be incomparable across shards.
-	stokMu sync.Mutex
-	stoks  map[uint32]rwTok
+	// toks is the default read-your-writes scope, shared by every
+	// caller that doesn't carve out its own with Session().
+	toks *sessTokens
 }
 
 // rwTok is the read-your-writes token: the primary WAL position of the
@@ -130,6 +142,115 @@ type Router struct {
 type rwTok struct {
 	epoch uint64
 	lsn   uint64
+}
+
+// sessTokens is one read-your-writes scope: the freshest acknowledged
+// write position, global (unsharded mode) and per shard — each shard
+// is its own replication group with its own epoch chain and LSN
+// space, so one global token would be incomparable across shards.
+// The Router's default scope is shared by every caller: any caller's
+// write advances the token every other caller's reads wait on.
+// Session() carves out private scopes so one session's writes don't
+// make unrelated sessions pay its replication-lag wait.
+type sessTokens struct {
+	token atomic.Pointer[rwTok]
+	mu    sync.Mutex
+	stoks map[uint32]rwTok
+}
+
+func newSessTokens() *sessTokens {
+	return &sessTokens{stoks: make(map[uint32]rwTok)}
+}
+
+func (t *sessTokens) global() *rwTok { return t.token.Load() }
+
+func (t *sessTokens) shard(sid uint32) *rwTok {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if tok, ok := t.stoks[sid]; ok {
+		return &tok
+	}
+	return nil
+}
+
+// noteWrite advances the global token to the result of a primary
+// write (forward within an epoch, re-based on the first write of a
+// newer epoch).
+func (t *sessTokens) noteWrite(res *Result) {
+	if res.LSN == 0 {
+		return // in-memory primary: no LSN space, nothing to wait on
+	}
+	for {
+		cur := t.token.Load()
+		if cur != nil && cur.epoch == res.Epoch && cur.lsn >= res.LSN {
+			return
+		}
+		if cur != nil && cur.epoch > res.Epoch {
+			return
+		}
+		if t.token.CompareAndSwap(cur, &rwTok{epoch: res.Epoch, lsn: res.LSN}) {
+			return
+		}
+	}
+}
+
+// noteShardWrite advances shard sid's token under the same rules.
+func (t *sessTokens) noteShardWrite(sid uint32, res *Result) {
+	if res.LSN == 0 {
+		return // in-memory shard: no LSN space, nothing to wait on
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	cur, ok := t.stoks[sid]
+	if ok && (cur.epoch > res.Epoch || (cur.epoch == res.Epoch && cur.lsn >= res.LSN)) {
+		return
+	}
+	t.stoks[sid] = rwTok{epoch: res.Epoch, lsn: res.LSN}
+}
+
+// toksFor resolves a statement's read-your-writes scope.
+func (r *Router) toksFor(rs routedStmt) *sessTokens {
+	if rs.toks != nil {
+		return rs.toks
+	}
+	return r.toks
+}
+
+// RouterSession scopes read-your-writes to one logical caller. Its
+// reads wait only for writes issued through the same session (or none
+// yet), instead of the Router-wide freshest write; its writes advance
+// only its own token. Sessions are cheap (a token scope, no
+// connections — statements still route through the Router's shared
+// pools) and safe for concurrent use.
+type RouterSession struct {
+	r    *Router
+	toks *sessTokens
+}
+
+// Session returns a new private read-your-writes scope on the Router.
+func (r *Router) Session() *RouterSession {
+	return &RouterSession{r: r, toks: newSessTokens()}
+}
+
+// Exec routes one statement under the session's token scope.
+func (s *RouterSession) Exec(sqlText string, params ...Value) (*Result, error) {
+	return s.ExecContext(context.Background(), sqlText, params...)
+}
+
+// ExecContext is Exec with deadline/cancel propagation.
+func (s *RouterSession) ExecContext(ctx context.Context, sqlText string, params ...Value) (*Result, error) {
+	return s.r.exec(ctx, routedStmt{sqlText: sqlText, plan: planFor(sqlText), toks: s.toks}, params)
+}
+
+// Query routes one statement under the session's token scope and
+// streams the result.
+func (s *RouterSession) Query(sqlText string, params ...Value) (Rows, error) {
+	return s.QueryContext(context.Background(), sqlText, params...)
+}
+
+// QueryContext is Query with deadline/cancel propagation.
+func (s *RouterSession) QueryContext(ctx context.Context, sqlText string, params ...Value) (Rows, error) {
+	return s.r.query(ctx, routedStmt{sqlText: sqlText, plan: planFor(sqlText), toks: s.toks}, params)
 }
 
 type routerNode struct {
@@ -157,7 +278,10 @@ func OpenRouter(cfg RouterConfig) (*Router, error) {
 	if cfg.DialTimeout <= 0 {
 		cfg.DialTimeout = 2 * time.Second
 	}
-	r := &Router{cfg: cfg, nodes: make(map[string]*routerNode), stoks: make(map[uint32]rwTok)}
+	if cfg.MaxFanout <= 0 {
+		cfg.MaxFanout = 8
+	}
+	r := &Router{cfg: cfg, nodes: make(map[string]*routerNode), toks: newSessTokens()}
 	for _, t := range cfg.Secrecy {
 		r.baseLabel = r.baseLabel.Add(t)
 	}
@@ -546,7 +670,7 @@ func (r *Router) write(ctx context.Context, rs routedStmt, params []Value) (*Res
 		if addr != "" {
 			res, err := r.execOn(ctx, rs, addr, 0, params)
 			if err == nil {
-				r.noteWrite(res)
+				r.toksFor(rs).noteWrite(res)
 				return res, nil
 			}
 			lastErr = err
@@ -574,7 +698,7 @@ func (r *Router) write(ctx context.Context, rs routedStmt, params []Value) (*Res
 func (r *Router) read(ctx context.Context, rs routedStmt, params []Value) (*Result, error) {
 	var tok *rwTok
 	if !r.cfg.AllowStaleReads {
-		tok = r.token.Load()
+		tok = r.toksFor(rs).global()
 	}
 	candidates := r.readCandidates(tok)
 	if len(candidates) == 0 {
@@ -719,27 +843,6 @@ func (r *Router) execOnShard(ctx context.Context, rs routedStmt, addr string, wa
 	return res, nil
 }
 
-// noteWrite advances the read-your-writes token to the result of a
-// primary write (the token only ever moves forward within an epoch,
-// and re-bases on the first write of a newer epoch).
-func (r *Router) noteWrite(res *Result) {
-	if res.LSN == 0 {
-		return // in-memory primary: no LSN space, nothing to wait on
-	}
-	for {
-		cur := r.token.Load()
-		if cur != nil && cur.epoch == res.Epoch && cur.lsn >= res.LSN {
-			return
-		}
-		if cur != nil && cur.epoch > res.Epoch {
-			return
-		}
-		if r.token.CompareAndSwap(cur, &rwTok{epoch: res.Epoch, lsn: res.LSN}) {
-			return
-		}
-	}
-}
-
 // ---------------------------------------------------------------------------
 // Sharded routing (see shard.go for key extraction and the package
 // comment of client/shard.go for the routing rules).
@@ -816,7 +919,7 @@ func (r *Router) writeSharded(ctx context.Context, rs routedStmt, target func(m 
 			mShardRouted.With(strconv.FormatUint(uint64(sid), 10)).Inc()
 			res, err := r.execOnShard(ctx, rs, addr, 0, m.Version, params)
 			if err == nil {
-				r.noteShardWrite(sid, res)
+				r.toksFor(rs).noteShardWrite(sid, res)
 				return res, nil
 			}
 			lastErr = err
@@ -862,11 +965,7 @@ func (r *Router) readSharded(ctx context.Context, rs routedStmt, target func(m *
 		}
 		var tok *rwTok
 		if !r.cfg.AllowStaleReads {
-			r.stokMu.Lock()
-			if t, ok := r.stoks[sid]; ok {
-				tok = &t
-			}
-			r.stokMu.Unlock()
+			tok = r.toksFor(rs).shard(sid)
 		}
 		adopted := false
 		candidates := append(r.shardReadCandidates(m, sid, tok), "")
@@ -922,13 +1021,22 @@ func (r *Router) readSharded(ctx context.Context, rs routedStmt, target func(m *
 	return nil, lastErr
 }
 
-// fanoutRead runs a shard-agnostic read on every shard concurrently
-// and merges the results: rows concatenate, Affected sums. The merge
-// is a union, not a re-aggregation — an aggregate query (COUNT, SUM)
-// returns one row *per shard*; aggregate across shards client-side,
-// or confine the query by key.
+// fanoutRead runs a shard-agnostic read on every shard and merges the
+// results. Statements the distplan layer can split — keyless
+// aggregates, ORDER BY + LIMIT, and EXPLAINs of either — take the
+// scatter-gather path (scatter.go) and return the *distributed*
+// answer: COUNT/SUM/GROUP BY finalize across shards exactly as a
+// single node would compute them. Everything else keeps the plain
+// union merge below: rows concatenate, Affected sums.
 func (r *Router) fanoutRead(ctx context.Context, rs routedStmt, params []Value) (*Result, error) {
 	m := r.shardMap()
+	if rs.plan.explain || r.splitSpec(rs.sqlText, m) != nil {
+		rows, err := r.scatterRows(ctx, rs, params)
+		if err != nil {
+			return nil, err
+		}
+		return drainRows(rows)
+	}
 	mFanoutWidth.Observe(int64(len(m.Shards)))
 	type out struct {
 		res *Result
@@ -1074,21 +1182,6 @@ func (r *Router) shardReadCandidates(m *ShardMap, sid uint32, tok *rwTok) []stri
 		out = append(out[rot:], out[:rot]...)
 	}
 	return out
-}
-
-// noteShardWrite advances shard sid's read-your-writes token (forward
-// within an epoch, re-based on the first write of a newer epoch).
-func (r *Router) noteShardWrite(sid uint32, res *Result) {
-	if res.LSN == 0 {
-		return // in-memory shard: no LSN space, nothing to wait on
-	}
-	r.stokMu.Lock()
-	defer r.stokMu.Unlock()
-	cur, ok := r.stoks[sid]
-	if ok && (cur.epoch > res.Epoch || (cur.epoch == res.Epoch && cur.lsn >= res.LSN)) {
-		return
-	}
-	r.stoks[sid] = rwTok{epoch: res.Epoch, lsn: res.LSN}
 }
 
 // isReadOnlyReplicaErr matches the server-reported rejection a demoted

@@ -1,17 +1,17 @@
 // Router streaming and prepared statements: the Router half of API
-// v2. Reads stream — a fan-out read merges the per-shard streams
-// LAZILY, opening shard i+1's stream only after shard i's is
-// exhausted, so the client holds one chunk of one shard at a time —
-// and prepared statements route off the shard-key derivation computed
-// once at prepare time by the SQL parser (classify.go / shardkey.go),
-// executing through per-connection prepared handles.
+// v2. Reads stream — a fan-out read runs through the distplan
+// scatter-gather layer (scatter.go): split statements push work to
+// the shards and merge at the gateway, everything else concatenates
+// the per-shard streams in shard order with a bounded in-flight
+// window — and prepared statements route off the shard-key derivation
+// computed once at prepare time by the SQL parser (classify.go /
+// shardkey.go), executing through per-connection prepared handles.
 
 package client
 
 import (
 	"context"
 	"errors"
-	"fmt"
 )
 
 // Query routes one statement and streams the result.
@@ -47,7 +47,7 @@ func (r *Router) query(ctx context.Context, rs routedStmt, params []Value) (Rows
 				}, params)
 			}
 		}
-		return r.newFanoutRows(ctx, rs, params)
+		return r.scatterRows(ctx, rs, params)
 	}
 	return r.queryRead(ctx, rs, params)
 }
@@ -59,7 +59,7 @@ func (r *Router) query(ctx context.Context, rs routedStmt, params []Value) (Rows
 func (r *Router) queryRead(ctx context.Context, rs routedStmt, params []Value) (Rows, error) {
 	var tok *rwTok
 	if !r.cfg.AllowStaleReads {
-		tok = r.token.Load()
+		tok = r.toksFor(rs).global()
 	}
 	candidates := r.readCandidates(tok)
 	if len(candidates) == 0 {
@@ -168,11 +168,7 @@ func (r *Router) readShardedStream(ctx context.Context, rs routedStmt, target fu
 		}
 		var tok *rwTok
 		if !r.cfg.AllowStaleReads {
-			r.stokMu.Lock()
-			if t, ok := r.stoks[sid]; ok {
-				tok = &t
-			}
-			r.stokMu.Unlock()
+			tok = r.toksFor(rs).shard(sid)
 		}
 		adopted := false
 		candidates := append(r.shardReadCandidates(m, sid, tok), "")
@@ -222,126 +218,6 @@ func (r *Router) readShardedStream(ctx context.Context, rs routedStmt, target fu
 		lastErr = errors.New("client: no nodes available for the target shard")
 	}
 	return nil, lastErr
-}
-
-// ---------------------------------------------------------------------------
-// Lazy fan-out merge
-
-// multiRows merges per-shard streams lazily: shard i+1's stream is
-// opened only when shard i's is exhausted, so a fan-out read holds
-// one chunk of one shard in memory at a time. A stale-map refusal
-// mid-merge (shard k refuses after shards < k streamed) is adopted
-// and shard k re-routed by readShardedStream — rows already surfaced
-// stay surfaced; the merge carries on under the new map's addressing
-// for the remaining shard ids. As with fanoutRead, the merge is a
-// union, not a re-aggregation.
-type multiRows struct {
-	r      *Router
-	ctx    context.Context
-	rs     routedStmt
-	params []Value
-
-	nshards int
-	next    int // next shard id to open
-	cur     Rows
-	cols    []string
-	err     error
-	closed  bool
-}
-
-// newFanoutRows opens shard 0's stream eagerly (so Columns is
-// available before the first Next) and merges the rest lazily.
-func (r *Router) newFanoutRows(ctx context.Context, rs routedStmt, params []Value) (Rows, error) {
-	m := r.shardMap()
-	mr := &multiRows{r: r, ctx: ctx, rs: rs, params: params, nshards: len(m.Shards)}
-	if err := mr.advance(); err != nil {
-		return nil, err
-	}
-	return mr, nil
-}
-
-// advance opens the next shard's stream.
-func (mr *multiRows) advance() error {
-	sid := mr.next
-	rows, err := mr.r.readShardedStream(mr.ctx, mr.rs, func(m *ShardMap) (uint32, bool) {
-		return uint32(sid), sid < len(m.Shards)
-	}, mr.params)
-	if err != nil {
-		return fmt.Errorf("client: fan-out read on shard %d: %w", sid, err)
-	}
-	mr.cur = rows
-	mr.next++
-	if mr.cols == nil {
-		mr.cols = rows.Columns()
-	}
-	return nil
-}
-
-// Columns returns the merged result's column names.
-func (mr *multiRows) Columns() []string { return mr.cols }
-
-// Next advances across the per-shard streams in shard order.
-func (mr *multiRows) Next() bool {
-	for {
-		if mr.closed || mr.err != nil {
-			return false
-		}
-		if mr.cur != nil {
-			if mr.cur.Next() {
-				return true
-			}
-			err := mr.cur.Err()
-			mr.cur.Close()
-			mr.cur = nil
-			if err != nil {
-				mr.err = fmt.Errorf("client: fan-out read on shard %d: %w", mr.next-1, err)
-				return false
-			}
-		}
-		if mr.next >= mr.nshards {
-			return false
-		}
-		if err := mr.advance(); err != nil {
-			mr.err = err
-			return false
-		}
-	}
-}
-
-// Row returns the current row.
-func (mr *multiRows) Row() []Value {
-	if mr.cur == nil {
-		return nil
-	}
-	return mr.cur.Row()
-}
-
-// RowLabel returns the current row's label.
-func (mr *multiRows) RowLabel() Label {
-	if mr.cur == nil {
-		return nil
-	}
-	return mr.cur.RowLabel()
-}
-
-// Scan copies the current row into dest pointers.
-func (mr *multiRows) Scan(dest ...any) error { return scanRow(mr.Row(), dest) }
-
-// Err returns the error that ended the merge, if any.
-func (mr *multiRows) Err() error { return mr.err }
-
-// Close releases the current shard stream and stops the merge (shards
-// not yet opened are never contacted).
-func (mr *multiRows) Close() error {
-	if mr.closed {
-		return mr.err
-	}
-	mr.closed = true
-	if mr.cur != nil {
-		mr.cur.Close()
-		mr.cur = nil
-	}
-	return mr.err
 }
 
 // ---------------------------------------------------------------------------

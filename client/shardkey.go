@@ -122,6 +122,12 @@ func (p *stmtPlan) deriveShardShape(st sql.Statement) {
 		}
 		p.eqPairs = conjunctPairs(x.Where)
 		p.derivable = true
+	case *sql.ExplainStmt:
+		// EXPLAIN routes like the statement it explains: a keyed inner
+		// SELECT's plan comes from the owning shard.
+		if sel, ok := x.Stmt.(*sql.SelectStmt); ok {
+			p.deriveShardShape(sel)
+		}
 	}
 }
 

@@ -17,6 +17,7 @@
 //	ifdb-bench -exp prepared     # prepared-vs-reparsed statement throughput
 //	ifdb-bench -exp mixed-tenant # labeled tenant cohorts on one sharded cluster
 //	ifdb-bench -exp large-result # streaming vs materializing executor drain
+//	ifdb-bench -exp scatter-agg  # partial-aggregate pushdown vs ship-all-rows
 //	ifdb-bench -all          # everything (EXPERIMENTS.md source)
 //
 // The four sim-backed experiments (prepared, replica-read,
@@ -80,7 +81,7 @@ import (
 
 var (
 	figFlag      = flag.Int("fig", 0, "figure to regenerate (3, 4, 5, 6)")
-	expFlag      = flag.String("exp", "", "comma-separated experiments: sensor, space, trustedbase, replica-read, shard-write, prepared, mixed-tenant, large-result")
+	expFlag      = flag.String("exp", "", "comma-separated experiments: sensor, space, trustedbase, replica-read, shard-write, prepared, mixed-tenant, large-result, scatter-agg")
 	jsonFlag     = flag.String("json", "", "write a schema-versioned perf report covering the sim experiments to this file (e.g. BENCH_7.json)")
 	allFlag      = flag.Bool("all", false, "run everything")
 	durFlag      = flag.Duration("duration", 3*time.Second, "measurement duration per cell")
@@ -120,7 +121,7 @@ func main() {
 			continue
 		}
 		switch name {
-		case "sensor", "space", "trustedbase", "large-result":
+		case "sensor", "space", "trustedbase", "large-result", "scatter-agg":
 		default:
 			if !simExperiments[name] {
 				fmt.Fprintf(os.Stderr, "ifdb-bench: unknown experiment %q\n", name)
@@ -179,6 +180,10 @@ func main() {
 	}
 	if want("large-result") {
 		expLargeResult()
+		ran = true
+	}
+	if want("scatter-agg") {
+		expScatterAgg()
 		ran = true
 	}
 	if !ran {

@@ -1,0 +1,148 @@
+// -exp scatter-agg: the distributed-aggregation experiment. A keyless
+// GROUP BY aggregate fans out over 1/2/4 shards twice — once with
+// partial-aggregate pushdown (each shard ships one pre-aggregated row
+// per group) and once with pushdown disabled (every matching row ships
+// to the gateway, which aggregates alone) — and the report carries
+// throughput, drain latency, bytes-on-wire from the server-side
+// ifdb_wire_rows_bytes_total counter, and the Router's fan-out-width
+// histogram. The pushdown's claim is concrete: same answer, fewer
+// bytes, flatter drain latency as shards (and rows) grow.
+
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"ifdb"
+	"ifdb/client"
+	"ifdb/internal/bench/report"
+	"ifdb/internal/obs"
+	"ifdb/internal/sim"
+)
+
+const (
+	scatterRows   = 24000
+	scatterGroups = 16
+)
+
+// expScatterAgg runs the 1/2/4-shard × pushdown-on/off grid.
+func expScatterAgg() {
+	fmt.Println("== scatter-agg: partial-aggregate pushdown vs ship-all-rows ==")
+	fmt.Printf("(in-process shards on GOMAXPROCS=%d; %d rows, %d groups, keyless GROUP BY)\n",
+		runtime.GOMAXPROCS(0), scatterRows, scatterGroups)
+
+	exp := report.Experiment{Name: "scatter-agg", Notes: map[string]float64{}}
+	const stmt = `SELECT g, count(*), sum(v), avg(v) FROM kv GROUP BY g`
+	for _, nShards := range []int{1, 2, 4} {
+		for _, ship := range []bool{false, true} {
+			mode := "partial-agg"
+			if ship {
+				mode = "ship-rows"
+			}
+			label := fmt.Sprintf("%d shards %s", nShards, mode)
+			g, bytes, width := scatterAggCell(nShards, ship, stmt, label)
+			exp.Groups = append(exp.Groups, g)
+			exp.Notes[fmt.Sprintf("rows_bytes_%dshards_%s", nShards, mode)] = float64(bytes)
+			exp.Notes[fmt.Sprintf("fanout_width_p50_%dshards_%s", nShards, mode)] = float64(width)
+			printGroup(g)
+			perStmt := float64(0)
+			if g.Ops > 0 {
+				perStmt = float64(bytes) / float64(g.Ops)
+			}
+			fmt.Printf("  rows-frames bytes on wire: %d (%.0f B/stmt), fan-out width p50=%d\n",
+				bytes, perStmt, width)
+		}
+	}
+	benchReportAdd(exp)
+	fmt.Println("(each shard aggregates its slice and ships one partial row per group;")
+	fmt.Println(" the gateway merges SUM-of-COUNTs and recomposes AVG. ship-rows disables")
+	fmt.Println(" the pushdown, so every row crosses the wire and the gateway aggregates")
+	fmt.Println(" alone — the bytes-on-wire column is the pushdown's whole argument.)")
+	fmt.Println()
+}
+
+// scatterAggCell measures one (shards, mode) cell: seed the keyspace,
+// drive the keyless aggregate closed-loop for -duration, and report
+// the statement group plus the ROWS-bytes delta and the fan-out-width
+// histogram median observed during the measured window.
+func scatterAggCell(nShards int, disablePush bool, stmt, label string) (report.Group, int64, int64) {
+	shards, smap, addrs := startShards(nShards, false)
+	defer stopShards(shards)
+	router, err := client.OpenRouter(client.RouterConfig{
+		Addrs: addrs, ShardMap: smap, PoolSize: *workersFlag,
+		DisableAggPushdown: disablePush,
+	})
+	check(err)
+	defer router.Close()
+	_, err = router.Exec(`CREATE TABLE kv (k BIGINT PRIMARY KEY, g TEXT, v BIGINT)`)
+	check(err)
+
+	// Seed each shard directly (in-process): the measured window then
+	// contains only the fan-out reads, so the ROWS-bytes delta is the
+	// aggregate traffic and nothing else.
+	for k := 0; k < scatterRows; k++ {
+		sid := smap.ShardOf(strconv.Itoa(k))
+		_, err := shards[sid].db.AdminSession().Exec(
+			`INSERT INTO kv VALUES ($1, $2, $3)`,
+			ifdb.Int(int64(k)),
+			ifdb.Text(fmt.Sprintf("g%02d", k%scatterGroups)),
+			ifdb.Int(int64(k%997)))
+		check(err)
+	}
+
+	// One unmeasured statement warms the split cache, the per-conn
+	// prepared handles, and the shard streams' pools.
+	res, err := router.Exec(stmt)
+	check(err)
+	if len(res.Rows) != scatterGroups {
+		check(fmt.Errorf("scatter-agg: %d groups, want %d", len(res.Rows), scatterGroups))
+	}
+
+	snap0 := obs.Default.Snapshot()
+	var (
+		mu   sync.Mutex
+		lats []int64
+		fail int64
+	)
+	deadline := time.Now().Add(*durFlag)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < *workersFlag; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var mine []int64
+			var myFail int64
+			for time.Now().Before(deadline) {
+				t0 := time.Now()
+				if _, err := router.Exec(stmt); err != nil {
+					myFail++
+					continue
+				}
+				mine = append(mine, time.Since(t0).Microseconds())
+			}
+			mu.Lock()
+			lats = append(lats, mine...)
+			fail += myFail
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	delta := obs.Default.Snapshot().Sub(snap0)
+
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	cs := &sim.CohortStats{Ops: int64(len(lats)) + fail, Failures: fail, LatenciesUs: lats}
+	g := groupFrom(label, cs, elapsed)
+	bytes := delta.Counters["ifdb_wire_rows_bytes_total"]
+	var widthP50 int64
+	if h, ok := delta.Hists["ifdb_router_fanout_width"]; ok {
+		widthP50 = h.P50
+	}
+	return g, bytes, widthP50
+}

@@ -1,0 +1,242 @@
+package distplan
+
+import (
+	"strings"
+
+	"ifdb/internal/label"
+	"ifdb/internal/types"
+)
+
+// Stream is the gateway's view of one rows stream: the shard-side
+// fragment streams the Router opens satisfy it (client.Rows does,
+// structurally), and the gateway's merged output implements it again.
+type Stream interface {
+	Columns() []string
+	Next() bool
+	Row() []types.Value
+	RowLabel() label.Label
+	Err() error
+	Close() error
+}
+
+// Config wires a gateway merge to its cluster.
+type Config struct {
+	// Open opens the fragment stream on one shard. Implementations
+	// carry their own retry/self-healing (the Router re-resolves a
+	// stale shard map inside Open, mid-merge).
+	Open   func(shard int) (Stream, error)
+	Shards int
+	// Window bounds how many shard streams are in flight at once for
+	// consumption-ordered merges (union, aggregate gather). <=0 or
+	// more than Shards means all. The ordered k-way merge needs every
+	// stream's head and ignores it.
+	Window int
+	Params []types.Value
+	// Wrap decorates a shard error for the client surface (the Router
+	// keeps its historical fan-out error envelope). nil keeps errors
+	// raw.
+	Wrap func(shard int, err error) error
+	// OnClose runs exactly once when the merged stream shuts down,
+	// whether by exhaustion, error, or Close. The Router cancels the
+	// fan-out context here, which propagates CANCEL to every shard
+	// stream still open.
+	OnClose func()
+}
+
+func (cfg *Config) window() int {
+	w := cfg.Window
+	if w <= 0 || w > cfg.Shards {
+		w = cfg.Shards
+	}
+	return w
+}
+
+func (cfg *Config) wrap(shard int, err error) error {
+	if err == nil {
+		return nil
+	}
+	if cfg.Wrap != nil {
+		return cfg.Wrap(shard, err)
+	}
+	return err
+}
+
+// feedRow is one shard row in flight to the merge.
+type feedRow struct {
+	vals []types.Value
+	lbl  label.Label
+}
+
+// feed pumps one shard stream into a bounded channel from its own
+// goroutine, so every shard makes progress concurrently while the
+// merge consumes in whatever order it needs. cols is valid after ready
+// closes; err is valid after ch closes.
+type feed struct {
+	shard int
+	cols  []string
+	err   error
+	ready chan struct{}
+	ch    chan feedRow
+}
+
+// feedDepth is the per-shard channel buffer: enough to decouple the
+// producer from merge stalls without buffering unbounded rows.
+const feedDepth = 64
+
+func startFeed(cfg *Config, shard int, stop <-chan struct{}) *feed {
+	f := &feed{shard: shard, ready: make(chan struct{}), ch: make(chan feedRow, feedDepth)}
+	go func() {
+		defer close(f.ch)
+		s, err := cfg.Open(shard)
+		if err != nil {
+			f.err = cfg.wrap(shard, err)
+			close(f.ready)
+			return
+		}
+		f.cols = s.Columns()
+		close(f.ready)
+		for s.Next() {
+			select {
+			case f.ch <- feedRow{s.Row(), s.RowLabel()}:
+			case <-stop:
+				s.Close()
+				return
+			}
+		}
+		err = s.Err()
+		s.Close()
+		if err != nil {
+			f.err = cfg.wrap(shard, err)
+		}
+	}()
+	return f
+}
+
+// gather consumes shards strictly in shard order — deterministic
+// output — while up to window streams fill their feed buffers
+// concurrently. It is the engine under the union stream and both
+// aggregate merges.
+type gather struct {
+	cfg     *Config
+	stop    chan struct{}
+	feeds   []*feed
+	cur     int
+	started int
+	stopped bool
+}
+
+func newGather(cfg *Config) *gather {
+	g := &gather{cfg: cfg, stop: make(chan struct{}), feeds: make([]*feed, cfg.Shards)}
+	w := cfg.window()
+	for g.started < w {
+		g.feeds[g.started] = startFeed(cfg, g.started, g.stop)
+		g.started++
+	}
+	return g
+}
+
+// head blocks until shard 0's stream reports its header (or fails).
+func (g *gather) head() ([]string, error) {
+	if g.cfg.Shards == 0 {
+		return nil, nil
+	}
+	f := g.feeds[0]
+	<-f.ready
+	return f.cols, f.err
+}
+
+// next returns the next row in shard order. ok=false with err=nil is
+// clean exhaustion.
+func (g *gather) next() (feedRow, bool, error) {
+	for g.cur < len(g.feeds) {
+		f := g.feeds[g.cur]
+		r, ok := <-f.ch
+		if ok {
+			return r, true, nil
+		}
+		if f.err != nil {
+			return feedRow{}, false, f.err
+		}
+		g.cur++
+		if g.started < len(g.feeds) {
+			g.feeds[g.started] = startFeed(g.cfg, g.started, g.stop)
+			g.started++
+		}
+	}
+	return feedRow{}, false, nil
+}
+
+// shutdown releases the feeds and fires OnClose exactly once.
+func (g *gather) shutdown() {
+	if g.stopped {
+		return
+	}
+	g.stopped = true
+	close(g.stop)
+	if g.cfg.OnClose != nil {
+		g.cfg.OnClose()
+	}
+}
+
+// Union merges the shards' streams by plain concatenation in shard
+// order, with a bounded-concurrency prefetch window: the replacement
+// for the Router's historical one-shard-at-a-time fan-out drain. The
+// column header comes from shard 0. Construction never fails; open
+// errors surface from the first Next, like the sequential path did.
+func Union(cfg Config) Stream {
+	u := &unionStream{g: newGather(&cfg)}
+	u.cols, u.err = u.g.head()
+	return u
+}
+
+type unionStream struct {
+	g    *gather
+	cols []string
+	row  feedRow
+	err  error
+	done bool
+}
+
+func (u *unionStream) Columns() []string     { return u.cols }
+func (u *unionStream) Row() []types.Value    { return u.row.vals }
+func (u *unionStream) RowLabel() label.Label { return u.row.lbl }
+func (u *unionStream) Err() error            { return u.err }
+
+func (u *unionStream) Next() bool {
+	if u.done || u.err != nil {
+		return false
+	}
+	r, ok, err := u.g.next()
+	if err != nil {
+		u.err = err
+		u.done = true
+		u.g.shutdown()
+		return false
+	}
+	if !ok {
+		u.done = true
+		u.g.shutdown()
+		return false
+	}
+	u.row = r
+	return true
+}
+
+func (u *unionStream) Close() error {
+	u.done = true
+	u.g.shutdown()
+	return nil
+}
+
+// rowKey is the engine's canonical grouping/dedup key over a value
+// tuple (kind byte, string form, NUL), byte-compatible with the
+// executors' group and DISTINCT maps.
+func rowKey(vals []types.Value) string {
+	var b strings.Builder
+	for _, v := range vals {
+		b.WriteByte(byte(v.Kind()))
+		b.WriteString(v.String())
+		b.WriteByte(0)
+	}
+	return b.String()
+}

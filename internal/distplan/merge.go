@@ -1,0 +1,595 @@
+package distplan
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ifdb/internal/exec"
+	"ifdb/internal/label"
+	"ifdb/internal/sql"
+	"ifdb/internal/types"
+)
+
+// Gateway builds the merged output stream for a split statement.
+//
+// Ordered merges stream: rows flow as shards produce them, and an
+// error surfaces from Next like any rows stream. Aggregate merges are
+// blocking by nature — exactly like the engine's aggregation — so they
+// run to completion here and an error (shard failure, glue
+// evaluation) is returned directly, which the Router surfaces from
+// Query the same way a single node surfaces an aggregation error.
+func (sp *Spec) Gateway(cfg Config) (Stream, error) {
+	switch sp.Mode {
+	case ModeOrdered:
+		return sp.orderedGateway(&cfg)
+	case ModePartialAgg, ModeGatherAgg:
+		return sp.aggGateway(&cfg)
+	}
+	return nil, fmt.Errorf("distplan: unknown mode %d", sp.Mode)
+}
+
+// evalBound mirrors the engine's LIMIT/OFFSET evaluation, including
+// its error text.
+func evalBound(e sql.Expr, params []types.Value) (int64, bool, error) {
+	if e == nil {
+		return 0, false, nil
+	}
+	v, err := exec.Eval(e, &exec.Env{Params: params})
+	if err != nil {
+		return 0, false, err
+	}
+	if v.Kind() != types.KindInt || v.Int() < 0 {
+		return 0, false, fmt.Errorf("engine: LIMIT/OFFSET must be a non-negative integer")
+	}
+	return v.Int(), true, nil
+}
+
+// ---------------------------------------------------------------------------
+// Ordered k-way merge
+
+type shardHead struct {
+	row   feedRow
+	keys  []types.Value
+	alive bool
+}
+
+type orderedStream struct {
+	sp      *Spec
+	g       *gather
+	cols    []string
+	visible int
+	keyOrds []int
+	heads   []shardHead
+	primed  bool
+
+	seen       map[string]bool // DISTINCT on visible columns
+	skip, take int64
+	hasTake    bool
+	row        feedRow
+	err        error
+	done       bool
+}
+
+func (sp *Spec) orderedGateway(cfg *Config) (Stream, error) {
+	// Every shard's head row is needed before the first output row, so
+	// the window is the full shard count here.
+	full := *cfg
+	full.Window = cfg.Shards
+	st := &orderedStream{sp: sp, g: newGather(&full)}
+	var err error
+	if st.skip, _, err = evalBound(sp.offset, cfg.Params); err != nil {
+		st.g.shutdown()
+		return nil, err
+	}
+	if st.take, st.hasTake, err = evalBound(sp.limit, cfg.Params); err != nil {
+		st.g.shutdown()
+		return nil, err
+	}
+	if sp.distinct {
+		st.seen = map[string]bool{}
+	}
+	cols, err := st.g.head()
+	if err != nil {
+		// Shard 0 failed to open; report like the sequential fan-out
+		// did, from the stream, after Query returned it.
+		st.err = err
+		st.done = true
+		st.g.shutdown()
+		return st, nil
+	}
+	st.visible = len(cols) - sp.hidden
+	if st.visible < 0 {
+		st.visible = 0
+	}
+	st.cols = cols[:st.visible]
+	st.keyOrds = make([]int, len(sp.keyItems))
+	for i, ki := range sp.keyItems {
+		if ki >= 0 {
+			st.keyOrds[i] = ki
+		} else {
+			st.keyOrds[i] = st.visible + (-1 - ki)
+		}
+	}
+	return st, nil
+}
+
+func (st *orderedStream) Columns() []string     { return st.cols }
+func (st *orderedStream) Row() []types.Value    { return st.row.vals }
+func (st *orderedStream) RowLabel() label.Label { return st.row.lbl }
+func (st *orderedStream) Err() error            { return st.err }
+
+func (st *orderedStream) Close() error {
+	st.done = true
+	st.g.shutdown()
+	return nil
+}
+
+// advance pulls the next row from one shard's feed into its head slot.
+func (st *orderedStream) advance(shard int) error {
+	f := st.g.feeds[shard]
+	r, ok := <-f.ch
+	if !ok {
+		st.heads[shard].alive = false
+		return f.err
+	}
+	h := &st.heads[shard]
+	h.row, h.alive = r, true
+	if len(h.keys) != len(st.keyOrds) {
+		h.keys = make([]types.Value, len(st.keyOrds))
+	}
+	for i, ord := range st.keyOrds {
+		if ord < len(r.vals) {
+			h.keys[i] = r.vals[ord]
+		} else {
+			h.keys[i] = types.Null
+		}
+	}
+	return nil
+}
+
+// less orders two heads by the sort keys (types.Value.Compare, like
+// the engine's sort); the caller's shard-order scan breaks ties toward
+// the lower shard, which also preserves each shard's own stable order.
+func (st *orderedStream) less(a, b *shardHead) bool {
+	for k := range st.keyOrds {
+		c := a.keys[k].Compare(b.keys[k])
+		if c != 0 {
+			if st.sp.desc[k] {
+				return c > 0
+			}
+			return c < 0
+		}
+	}
+	return false
+}
+
+func (st *orderedStream) Next() bool {
+	if st.done || st.err != nil {
+		return false
+	}
+	if !st.primed {
+		st.primed = true
+		st.heads = make([]shardHead, st.g.cfg.Shards)
+		for s := range st.heads {
+			if err := st.advance(s); err != nil {
+				st.fail(err)
+				return false
+			}
+		}
+	}
+	for {
+		if st.hasTake && st.take == 0 {
+			st.finish()
+			return false
+		}
+		min := -1
+		for s := range st.heads {
+			if !st.heads[s].alive {
+				continue
+			}
+			if min < 0 || st.less(&st.heads[s], &st.heads[min]) {
+				min = s
+			}
+		}
+		if min < 0 {
+			st.finish()
+			return false
+		}
+		out := st.heads[min].row
+		if err := st.advance(min); err != nil {
+			st.fail(err)
+			return false
+		}
+		out.vals = out.vals[:st.visible]
+		if st.seen != nil {
+			k := rowKey(out.vals)
+			if st.seen[k] {
+				continue
+			}
+			st.seen[k] = true
+		}
+		if st.skip > 0 {
+			st.skip--
+			continue
+		}
+		if st.hasTake {
+			st.take--
+		}
+		st.row = out
+		return true
+	}
+}
+
+func (st *orderedStream) fail(err error) {
+	st.err = err
+	st.done = true
+	st.g.shutdown()
+}
+
+func (st *orderedStream) finish() {
+	st.done = true
+	st.g.shutdown()
+}
+
+// ---------------------------------------------------------------------------
+// Aggregate merge (partial finalization and full gather)
+
+// mergeAcc folds one aggregate across shards.
+//
+// Partial mode composes per-shard results: COUNTs add, SUMs fold
+// through a SUM accumulator (preserving the int/float promotion the
+// engine applies), MIN/MAX fold through the same comparator, and AVG
+// recomposes from its pushed SUM and COUNT columns. Gather mode runs
+// the engine's own accumulator over the shipped argument values — the
+// only composition that is correct for DISTINCT aggregates.
+type mergeAcc struct {
+	spec *aggSpec
+	cnt  int64          // partial count / avg denominator
+	sum  *exec.AggState // partial sum folding (sum, avg numerator)
+	mm   *exec.AggState // partial min/max folding
+	full *exec.AggState // gather mode: the real accumulator
+}
+
+func newMergeAcc(a *aggSpec, gatherMode bool) *mergeAcc {
+	m := &mergeAcc{spec: a}
+	if gatherMode {
+		m.full = exec.NewAggState(a.call)
+		return m
+	}
+	switch a.fn {
+	case "sum", "avg":
+		m.sum = exec.NewAggState(&sql.FuncCall{Name: "sum"})
+	case "min", "max":
+		m.mm = exec.NewAggState(&sql.FuncCall{Name: a.fn})
+	}
+	return m
+}
+
+// add folds this aggregate's slice of one shard row (partial mode) or
+// one shipped row (gather mode).
+func (m *mergeAcc) add(vals []types.Value, at int) error {
+	if m.full != nil {
+		if m.spec.star {
+			return m.full.Add(types.Null)
+		}
+		return m.full.Add(vals[at])
+	}
+	switch m.spec.fn {
+	case "count":
+		m.cnt += vals[at].Int()
+	case "sum":
+		return m.sum.Add(vals[at])
+	case "avg":
+		if err := m.sum.Add(vals[at]); err != nil {
+			return err
+		}
+		m.cnt += vals[at+1].Int()
+	case "min", "max":
+		return m.mm.Add(vals[at])
+	}
+	return nil
+}
+
+func (m *mergeAcc) result() types.Value {
+	if m.full != nil {
+		return m.full.Result()
+	}
+	switch m.spec.fn {
+	case "count":
+		return types.NewInt(m.cnt)
+	case "sum":
+		return m.sum.Result()
+	case "avg":
+		if m.cnt == 0 {
+			return types.Null
+		}
+		s := m.sum.Result()
+		num := s.Float()
+		if s.Kind() == types.KindInt {
+			num = float64(s.Int())
+		}
+		return types.NewFloat(num / float64(m.cnt))
+	case "min", "max":
+		return m.mm.Result()
+	}
+	return types.Null
+}
+
+type aggGroup struct {
+	keyVals []types.Value
+	accs    []*mergeAcc
+	lbl     label.Label
+}
+
+// bufferedStream replays finalized rows.
+type bufferedStream struct {
+	cols  []string
+	rows  []feedRow
+	pos   int
+	onEnd func()
+	ended bool
+}
+
+func (b *bufferedStream) Columns() []string     { return b.cols }
+func (b *bufferedStream) Err() error            { return nil }
+func (b *bufferedStream) Row() []types.Value    { return b.rows[b.pos-1].vals }
+func (b *bufferedStream) RowLabel() label.Label { return b.rows[b.pos-1].lbl }
+
+func (b *bufferedStream) Next() bool {
+	if b.pos < len(b.rows) {
+		b.pos++
+		return true
+	}
+	b.end()
+	return false
+}
+
+func (b *bufferedStream) Close() error {
+	b.pos = len(b.rows)
+	b.end()
+	return nil
+}
+
+func (b *bufferedStream) end() {
+	if !b.ended {
+		b.ended = true
+		if b.onEnd != nil {
+			b.onEnd()
+		}
+	}
+}
+
+func (sp *Spec) aggGateway(cfg *Config) (Stream, error) {
+	gatherMode := sp.Mode == ModeGatherAgg
+	g := newGather(cfg)
+	fail := func(err error) (Stream, error) {
+		g.shutdown()
+		return nil, err
+	}
+
+	groups := map[string]*aggGroup{}
+	var order []*aggGroup
+	for {
+		r, ok, err := g.next()
+		if err != nil {
+			return fail(err)
+		}
+		if !ok {
+			break
+		}
+		key := rowKey(r.vals[:min(sp.groupN, len(r.vals))])
+		grp := groups[key]
+		if grp == nil {
+			grp = &aggGroup{accs: make([]*mergeAcc, len(sp.aggs))}
+			grp.keyVals = append([]types.Value{}, r.vals[:min(sp.groupN, len(r.vals))]...)
+			for i := range sp.aggs {
+				grp.accs[i] = newMergeAcc(&sp.aggs[i], gatherMode)
+			}
+			groups[key] = grp
+			order = append(order, grp)
+		}
+		// The shard already applied Label Confinement, so the row's
+		// reported label covers everything that fed it there; the
+		// global group label is the union across shards, exactly the
+		// union the single node would have computed.
+		grp.lbl = grp.lbl.Union(r.lbl)
+		at := sp.groupN
+		for i := range sp.aggs {
+			if err := grp.accs[i].add(r.vals, at); err != nil {
+				return fail(err)
+			}
+			at += sp.aggs[i].width
+		}
+	}
+	g.shutdown()
+
+	// With no GROUP BY an empty input still yields one default group
+	// (shards ship theirs in partial mode; gather mode synthesizes it
+	// here, like the engine does over an empty relation).
+	if sp.groupN == 0 && len(order) == 0 {
+		grp := &aggGroup{accs: make([]*mergeAcc, len(sp.aggs))}
+		for i := range sp.aggs {
+			grp.accs[i] = newMergeAcc(&sp.aggs[i], gatherMode)
+		}
+		order = append(order, grp)
+	}
+
+	return sp.finalize(order, cfg)
+}
+
+// finalize evaluates HAVING, the output items, and the sort keys for
+// each merged group — aggregate calls substituted as placeholder
+// parameters allocated after the user's, exactly like the engine —
+// then sorts, de-duplicates, and bounds the result.
+func (sp *Spec) finalize(order []*aggGroup, cfg *Config) (Stream, error) {
+	base := len(cfg.Params)
+	mapping := make(map[*sql.FuncCall]int, len(sp.aggs))
+	for i := range sp.aggs {
+		mapping[sp.aggs[i].call] = base + i + 1
+	}
+	subItems := make([]sql.Expr, len(sp.items))
+	for i, e := range sp.items {
+		subItems[i] = exec.ReplaceAggs(e, mapping)
+	}
+	subHaving := exec.ReplaceAggs(sp.having, mapping)
+	subOrder := make([]sql.Expr, len(sp.orderGlue))
+	for i, e := range sp.orderGlue {
+		subOrder[i] = exec.ReplaceAggs(e, mapping)
+	}
+
+	schema := make(exec.Schema, sp.groupN)
+	for k := range schema {
+		schema[k] = exec.ColMeta{Name: fmt.Sprintf("__ifdb_g%d", k)}
+	}
+
+	type outRow struct {
+		feedRow
+		sort []types.Value
+	}
+	var out []outRow
+	for _, grp := range order {
+		params := make([]types.Value, base+len(sp.aggs))
+		copy(params, cfg.Params)
+		for i, acc := range grp.accs {
+			params[base+i] = acc.result()
+		}
+		row := grp.keyVals
+		if row == nil {
+			row = make([]types.Value, sp.groupN)
+		}
+		genv := &exec.Env{Schema: schema, Row: row, RowLabel: grp.lbl, Params: params}
+		if subHaving != nil {
+			hv, err := exec.Eval(subHaving, genv)
+			if err != nil {
+				return nil, err
+			}
+			if !hv.Truthy() {
+				continue
+			}
+		}
+		vals := make([]types.Value, len(subItems))
+		for i, ie := range subItems {
+			v, err := exec.Eval(ie, genv)
+			if err != nil {
+				return nil, err
+			}
+			vals[i] = v
+		}
+		var keys []types.Value
+		if len(subOrder) > 0 {
+			keys = make([]types.Value, len(subOrder))
+			for i, oe := range subOrder {
+				v, err := exec.Eval(oe, genv)
+				if err != nil {
+					return nil, err
+				}
+				keys[i] = v
+			}
+		}
+		out = append(out, outRow{feedRow{vals, grp.lbl}, keys})
+	}
+
+	if len(subOrder) > 0 {
+		sort.SliceStable(out, func(i, j int) bool {
+			a, b := out[i].sort, out[j].sort
+			for k := range subOrder {
+				c := a[k].Compare(b[k])
+				if c != 0 {
+					if sp.orderDesc[k] {
+						return c > 0
+					}
+					return c < 0
+				}
+			}
+			return false
+		})
+	}
+
+	rows := make([]feedRow, 0, len(out))
+	var seen map[string]bool
+	if sp.distinct {
+		seen = map[string]bool{}
+	}
+	for i := range out {
+		if seen != nil {
+			k := rowKey(out[i].vals)
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+		}
+		rows = append(rows, out[i].feedRow)
+	}
+
+	if skip, _, err := evalBound(sp.offset, cfg.Params); err != nil {
+		return nil, err
+	} else if skip > 0 {
+		if skip > int64(len(rows)) {
+			skip = int64(len(rows))
+		}
+		rows = rows[skip:]
+	}
+	if take, has, err := evalBound(sp.limit, cfg.Params); err != nil {
+		return nil, err
+	} else if has && take < int64(len(rows)) {
+		rows = rows[:take]
+	}
+	return &bufferedStream{cols: sp.names, rows: rows}, nil
+}
+
+// Describe renders the distributed plan for EXPLAIN and the docs
+// walkthrough: the gateway merge recipe, then the fragment every
+// shard executes.
+func (sp *Spec) Describe(shards, window int) []string {
+	if window <= 0 || window > shards || sp.Mode == ModeOrdered {
+		window = shards
+	}
+	lines := []string{fmt.Sprintf("Scatter [shards=%d window=%d mode=%s]", shards, window, sp.Mode)}
+	switch sp.Mode {
+	case ModeOrdered:
+		d := fmt.Sprintf("├─ Gateway: k-way ordered merge [keys=%d]", len(sp.keyItems))
+		if sp.distinct {
+			d += " distinct"
+		}
+		if sp.limit != nil {
+			d += " limit"
+			if sp.pushedLimit {
+				d += "(pushed)"
+			}
+		}
+		if sp.offset != nil {
+			d += " offset"
+		}
+		lines = append(lines, d)
+	default:
+		var aggDesc []string
+		for i := range sp.aggs {
+			a := &sp.aggs[i]
+			switch {
+			case sp.Mode == ModeGatherAgg:
+				aggDesc = append(aggDesc, a.fn+":full")
+			case a.fn == "count":
+				aggDesc = append(aggDesc, "count:sum-of-counts")
+			case a.fn == "avg":
+				aggDesc = append(aggDesc, "avg:sum/count")
+			default:
+				aggDesc = append(aggDesc, a.fn+":"+a.fn+"-of-partials")
+			}
+		}
+		d := fmt.Sprintf("├─ Gateway: %s finalize [groups=%d aggs=[%s]]",
+			sp.Mode, sp.groupN, strings.Join(aggDesc, " "))
+		if sp.having != nil {
+			d += " having"
+		}
+		if len(sp.orderGlue) > 0 {
+			d += fmt.Sprintf(" order=%d", len(sp.orderGlue))
+		}
+		if sp.limit != nil {
+			d += " limit"
+		}
+		lines = append(lines, d)
+	}
+	lines = append(lines, "└─ Fragment (each shard): "+sp.Fragment)
+	return lines
+}

@@ -1,0 +1,605 @@
+// Package distplan splits a keyless SELECT at the shard boundary into
+// a per-shard fragment (scan + pushed predicates + projection +
+// partial aggregation, rendered back to wire-executable SQL) and a
+// gateway merge plan that finalizes the fragments' streams into the
+// single-node answer: k-way ordered merge, SUM-of-COUNTs / AVG
+// recomposition, re-applied HAVING, top-K LIMIT.
+//
+// The split never weakens the paper's label semantics (Query by Label,
+// §7.1): each fragment executes on its shard under the session's full
+// IFC machinery, so every row or partial aggregate a shard ships is
+// already confined to the session label, and its reported secrecy
+// label is the union of its inputs. The gateway only ever unions
+// shard-reported labels — exactly what the single-node engine computes
+// for the same group, because the shards partition the rows. A
+// statement the gateway glue cannot reproduce exactly — declassify or
+// any other engine-resident function, a subquery, a join, rep-row
+// column references — is never split: Split returns nil and the caller
+// falls back to plain fan-out.
+package distplan
+
+import (
+	"fmt"
+
+	"ifdb/internal/exec"
+	"ifdb/internal/sql"
+	"ifdb/internal/types"
+)
+
+// Mode is the gateway merge strategy for a split statement.
+type Mode int
+
+const (
+	// ModeOrdered streams the per-shard sorted fragments through a
+	// k-way ordered merge (also used, with zero sort keys, for plain
+	// LIMIT/OFFSET/DISTINCT shipping).
+	ModeOrdered Mode = iota + 1
+	// ModePartialAgg ships per-shard partial aggregates and finalizes
+	// at the gateway (SUM of COUNTs, AVG = SUM/COUNT recomposition).
+	ModePartialAgg
+	// ModeGatherAgg ships the matching rows (group keys + aggregate
+	// arguments) and aggregates fully at the gateway. It is the
+	// fallback for DISTINCT aggregates, where partials cannot compose,
+	// and the ship-all-rows baseline when pushdown is disabled.
+	ModeGatherAgg
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeOrdered:
+		return "ordered-merge"
+	case ModePartialAgg:
+		return "partial-agg"
+	case ModeGatherAgg:
+		return "gather-agg"
+	}
+	return "?"
+}
+
+// Options tunes the split.
+type Options struct {
+	// NoPartial disables partial-aggregate pushdown: aggregated
+	// statements ship raw rows and aggregate at the gateway
+	// (ModeGatherAgg). Exists for the scatter-agg benchmark baseline.
+	NoPartial bool
+}
+
+// aggSpec describes one aggregate call and its fragment column layout.
+type aggSpec struct {
+	call     *sql.FuncCall // original node; identity key for glue rewrite
+	fn       string
+	star     bool
+	distinct bool
+	// width is the number of fragment columns the aggregate occupies
+	// after the group columns: partial AVG ships sum+count (2); a
+	// gathered COUNT(*) ships nothing (0); everything else ships 1.
+	width int
+}
+
+// Spec is a split statement: the fragment text to run on every shard
+// and the recipe for merging the fragment streams at the gateway.
+type Spec struct {
+	Table    string // lower-cased base table the fragment scans
+	Fragment string // rendered per-shard SQL
+	Mode     Mode
+
+	// Ordered mode. Sort keys are either user output ordinals or
+	// hidden trailing columns appended to the fragment projection.
+	keyItems    []int // >=0: output ordinal; -1-h: hidden column h
+	hidden      int   // number of hidden trailing sort columns
+	desc        []bool
+	distinct    bool
+	pushedLimit bool // fragment carries LIMIT limit+offset
+
+	// Aggregate modes. Glue expressions reference group values as
+	// __ifdb_g<k> columns and keep aggregate calls in place; the
+	// gateway substitutes finalized values the same way the engine
+	// substitutes placeholder parameters.
+	groupN    int
+	aggs      []aggSpec
+	items     []sql.Expr
+	names     []string // output column names (engine naming rules)
+	having    sql.Expr
+	orderGlue []sql.Expr
+	orderDesc []bool
+
+	// Applied at the gateway with the user's parameters.
+	limit, offset sql.Expr
+}
+
+// gatewayFns are the scalar functions exec.Eval computes without an
+// engine (callBuiltin): the only calls allowed in gateway glue.
+var gatewayFns = map[string]bool{
+	"lower": true, "upper": true, "length": true, "abs": true,
+	"coalesce": true, "label_contains": true, "label_size": true,
+}
+
+// Split parses one statement and, when it is a splittable single-table
+// SELECT, returns its shard/gateway decomposition. nil means "do not
+// split": the statement is not a SELECT, touches constructs the
+// gateway cannot finalize exactly, or simply has nothing to merge.
+// Split re-parses the text so the returned Spec shares no AST nodes
+// with any statement cache.
+func Split(sqlText string, opts Options) *Spec {
+	stmts, err := sql.ParseAll(sqlText)
+	if err != nil || len(stmts) != 1 {
+		return nil
+	}
+	sel, ok := stmts[0].(*sql.SelectStmt)
+	if !ok {
+		return nil
+	}
+	return splitSelect(sel, opts)
+}
+
+func splitSelect(sel *sql.SelectStmt, opts Options) *Spec {
+	if sel.ForUpdate || sel.From == nil || sel.From.Sub != nil || len(sel.Joins) > 0 {
+		return nil
+	}
+	if unsafeToSplit(sel) {
+		return nil
+	}
+	for _, it := range sel.Items {
+		if !it.Star && it.Expr == nil {
+			return nil
+		}
+	}
+	if !gatewayConst(sel.Limit) || !gatewayConst(sel.Offset) {
+		return nil
+	}
+
+	aggregated := len(sel.GroupBy) > 0 || exec.HasAggregate(sel.Having)
+	for _, it := range sel.Items {
+		if !it.Star && exec.HasAggregate(it.Expr) {
+			aggregated = true
+		}
+	}
+	if aggregated {
+		return splitAggregate(sel, opts)
+	}
+	return splitOrdered(sel)
+}
+
+// splitOrdered handles non-aggregated SELECTs. The fragment is the
+// statement itself (each shard sorts and, when safe, pre-truncates its
+// own rows), possibly with hidden trailing sort-key columns so the
+// gateway can run the k-way merge; the gateway re-applies DISTINCT,
+// OFFSET, and LIMIT exactly.
+func splitOrdered(sel *sql.SelectStmt) *Spec {
+	if len(sel.OrderBy) == 0 && sel.Limit == nil && sel.Offset == nil && !sel.Distinct {
+		return nil // plain fan-out concatenation is already correct
+	}
+
+	// Map ORDER BY keys onto output ordinals where the engine's alias
+	// rules guarantee the item carries the key's value: an explicit
+	// alias match (last declaration wins, like the engine's alias
+	// map), else a textual expression match. Star items shift the
+	// fragment's ordinals unpredictably, so any star disables ordinal
+	// mapping entirely.
+	aliasOrd := map[string]int{}
+	exprOrd := map[string]int{}
+	hasStar := false
+	for i, it := range sel.Items {
+		if it.Star {
+			hasStar = true
+			continue
+		}
+		if it.Alias != "" {
+			aliasOrd[it.Alias] = i
+		}
+		if txt, err := sql.FormatExpr(it.Expr); err == nil {
+			if _, dup := exprOrd[txt]; !dup {
+				exprOrd[txt] = i
+			}
+		}
+	}
+
+	sp := &Spec{
+		Table:    sel.From.Name,
+		Mode:     ModeOrdered,
+		distinct: sel.Distinct,
+		limit:    sel.Limit,
+		offset:   sel.Offset,
+	}
+	frag := *sel // shallow copy; only Items/Limit/Offset/Distinct change
+	var hiddenItems []sql.SelectItem
+	for _, ob := range sel.OrderBy {
+		if exec.HasAggregate(ob.Expr) {
+			return nil // ORDER BY count(*) without aggregation: let the engine reject it
+		}
+		sp.desc = append(sp.desc, ob.Desc)
+		ord := -1
+		if !hasStar {
+			if cr, ok := ob.Expr.(*sql.ColumnRef); ok && cr.Table == "" {
+				if i, ok := aliasOrd[cr.Column]; ok {
+					ord = i
+				}
+			}
+			if ord < 0 {
+				if txt, err := sql.FormatExpr(ob.Expr); err == nil {
+					if i, ok := exprOrd[txt]; ok {
+						ord = i
+					}
+				}
+			}
+		}
+		if ord >= 0 {
+			sp.keyItems = append(sp.keyItems, ord)
+			continue
+		}
+		if _, err := sql.FormatExpr(ob.Expr); err != nil {
+			return nil
+		}
+		h := len(hiddenItems)
+		hiddenItems = append(hiddenItems, sql.SelectItem{
+			Expr:  ob.Expr,
+			Alias: fmt.Sprintf("__ifdb_s%d", h),
+		})
+		sp.keyItems = append(sp.keyItems, -1-h)
+	}
+	sp.hidden = len(hiddenItems)
+	if sp.hidden > 0 {
+		frag.Items = append(append([]sql.SelectItem{}, sel.Items...), hiddenItems...)
+		// With extra columns in the projection, a per-shard DISTINCT
+		// would de-duplicate on the wrong tuple; the gateway dedupes
+		// on the visible columns instead.
+		frag.Distinct = false
+	}
+
+	// A shard only needs its own top limit+offset rows: every row of
+	// the global top-K lies in some shard's local top-K. Requires
+	// literal bounds (known at split time) and no DISTINCT (a local
+	// pre-dedup cut could drop rows the global dedup needed).
+	frag.Limit, frag.Offset = nil, nil
+	if !frag.Distinct && sel.Limit != nil {
+		if l, ok := intLiteral(sel.Limit); ok {
+			o := int64(0)
+			oOK := sel.Offset == nil
+			if !oOK {
+				o, oOK = intLiteral(sel.Offset)
+			}
+			if oOK && l >= 0 && o >= 0 {
+				frag.Limit = &sql.Literal{Value: intValue(l + o)}
+				sp.pushedLimit = true
+			}
+		}
+	}
+
+	text, err := sql.FormatSelect(&frag)
+	if err != nil {
+		return nil
+	}
+	sp.Fragment = text
+	return sp
+}
+
+// splitAggregate handles aggregated SELECTs. The output items, HAVING,
+// and ORDER BY must decompose into aggregate calls, GROUP BY
+// expressions, and gateway-computable scalar glue; otherwise (rep-row
+// column references, engine-resident functions such as declassify,
+// stars) the statement is not split.
+func splitAggregate(sel *sql.SelectStmt, opts Options) *Spec {
+	for _, it := range sel.Items {
+		if it.Star {
+			return nil // star under GROUP BY needs the engine's rep-row expansion
+		}
+	}
+
+	// The engine substitutes output aliases into ORDER BY before
+	// collecting aggregates; mirror that (last alias wins).
+	aliasMap := map[string]sql.Expr{}
+	for _, it := range sel.Items {
+		if it.Alias != "" {
+			aliasMap[it.Alias] = it.Expr
+		}
+	}
+	orderExprs := make([]sql.Expr, len(sel.OrderBy))
+	orderDesc := make([]bool, len(sel.OrderBy))
+	for i, ob := range sel.OrderBy {
+		e := ob.Expr
+		if cr, ok := e.(*sql.ColumnRef); ok && cr.Table == "" {
+			if repl, ok := aliasMap[cr.Column]; ok {
+				e = repl
+			}
+		}
+		orderExprs[i] = e
+		orderDesc[i] = ob.Desc
+	}
+
+	// Aggregate calls, by pointer identity, in engine collection order.
+	var aggs []*sql.FuncCall
+	seen := make(map[*sql.FuncCall]bool)
+	for _, it := range sel.Items {
+		exec.CollectAggs(it.Expr, &aggs, seen)
+	}
+	exec.CollectAggs(sel.Having, &aggs, seen)
+	for _, oe := range orderExprs {
+		exec.CollectAggs(oe, &aggs, seen)
+	}
+
+	mode := ModePartialAgg
+	if opts.NoPartial {
+		mode = ModeGatherAgg
+	}
+	specAggs := make([]aggSpec, len(aggs))
+	for i, fc := range aggs {
+		if !fc.Star {
+			if len(fc.Args) != 1 {
+				return nil // engine rejects; keep its error text intact
+			}
+			if _, err := sql.FormatExpr(fc.Args[0]); err != nil {
+				return nil
+			}
+		}
+		if fc.Distinct {
+			// DISTINCT partials cannot compose across shards: a value
+			// may appear on several shards. Ship the argument values
+			// and run the real accumulator at the gateway.
+			mode = ModeGatherAgg
+		}
+		specAggs[i] = aggSpec{call: fc, fn: fc.Name, star: fc.Star, distinct: fc.Distinct}
+	}
+
+	// Group expressions by rendered text, for glue substitution.
+	groupTxt := map[string]int{}
+	for k, ge := range sel.GroupBy {
+		txt, err := sql.FormatExpr(ge)
+		if err != nil {
+			return nil
+		}
+		if _, dup := groupTxt[txt]; !dup {
+			groupTxt[txt] = k
+		}
+	}
+
+	ok := true
+	items := make([]sql.Expr, len(sel.Items))
+	for i, it := range sel.Items {
+		items[i] = rewriteGlue(it.Expr, groupTxt, &ok)
+	}
+	having := rewriteGlue(sel.Having, groupTxt, &ok)
+	orderGlue := make([]sql.Expr, len(orderExprs))
+	for i, oe := range orderExprs {
+		orderGlue[i] = rewriteGlue(oe, groupTxt, &ok)
+	}
+	if !ok {
+		return nil
+	}
+
+	// Fragment projection: group columns first, then the aggregate
+	// block. Partial mode pushes the aggregation (with AVG decomposed
+	// into SUM + COUNT); gather mode ships the raw argument values and
+	// leaves all folding to the gateway.
+	var fragItems []sql.SelectItem
+	for k, ge := range sel.GroupBy {
+		fragItems = append(fragItems, sql.SelectItem{Expr: ge, Alias: fmt.Sprintf("__ifdb_g%d", k)})
+	}
+	for i := range specAggs {
+		a := &specAggs[i]
+		switch {
+		case mode == ModePartialAgg && a.fn == "avg":
+			fragItems = append(fragItems,
+				sql.SelectItem{Expr: &sql.FuncCall{Name: "sum", Args: a.call.Args}, Alias: fmt.Sprintf("__ifdb_a%ds", i)},
+				sql.SelectItem{Expr: &sql.FuncCall{Name: "count", Args: a.call.Args}, Alias: fmt.Sprintf("__ifdb_a%dc", i)})
+			a.width = 2
+		case mode == ModePartialAgg && a.fn == "count":
+			fragItems = append(fragItems, sql.SelectItem{
+				Expr:  &sql.FuncCall{Name: "count", Star: a.star, Args: a.call.Args},
+				Alias: fmt.Sprintf("__ifdb_a%d", i)})
+			a.width = 1
+		case mode == ModePartialAgg:
+			fragItems = append(fragItems, sql.SelectItem{
+				Expr:  &sql.FuncCall{Name: a.fn, Args: a.call.Args},
+				Alias: fmt.Sprintf("__ifdb_a%d", i)})
+			a.width = 1
+		case a.star:
+			a.width = 0 // gathered COUNT(*) just counts shipped rows
+		default:
+			fragItems = append(fragItems, sql.SelectItem{Expr: a.call.Args[0], Alias: fmt.Sprintf("__ifdb_a%d", i)})
+			a.width = 1
+		}
+	}
+	if len(fragItems) == 0 {
+		// Pure COUNT(*) gather: ship one constant column per matching
+		// row; each row still carries its shard-reported label.
+		fragItems = append(fragItems, sql.SelectItem{Expr: &sql.Literal{Value: intValue(1)}, Alias: "__ifdb_one"})
+	}
+
+	frag := &sql.SelectStmt{Items: fragItems, From: sel.From, Where: sel.Where}
+	if mode == ModePartialAgg {
+		frag.GroupBy = sel.GroupBy
+	}
+	text, err := sql.FormatSelect(frag)
+	if err != nil {
+		return nil
+	}
+
+	// Output column names follow the engine's rules: explicit alias,
+	// else the bare column name, else positional.
+	names := make([]string, len(sel.Items))
+	for i, it := range sel.Items {
+		name := it.Alias
+		if name == "" {
+			if cr, ok := it.Expr.(*sql.ColumnRef); ok {
+				name = cr.Column
+			}
+		}
+		if name == "" {
+			name = fmt.Sprintf("column%d", i+1)
+		}
+		names[i] = name
+	}
+
+	return &Spec{
+		Table:     sel.From.Name,
+		Fragment:  text,
+		Mode:      mode,
+		distinct:  sel.Distinct,
+		groupN:    len(sel.GroupBy),
+		aggs:      specAggs,
+		items:     items,
+		names:     names,
+		having:    having,
+		orderGlue: orderGlue,
+		orderDesc: orderDesc,
+		limit:     sel.Limit,
+		offset:    sel.Offset,
+	}
+}
+
+// rewriteGlue rebuilds a glue expression for gateway evaluation:
+// aggregate calls stay in place (by identity), subtrees that render
+// identically to a GROUP BY expression become __ifdb_g<k> column
+// references, and everything else must be a literal, parameter, the
+// _label system column, an operator, or a gateway-computable builtin.
+// Any other leaf — in particular a bare column (rep-row semantics) or
+// an engine-resident function such as declassify — clears *ok.
+func rewriteGlue(e sql.Expr, groupTxt map[string]int, ok *bool) sql.Expr {
+	if e == nil {
+		return nil
+	}
+	if fc, isCall := e.(*sql.FuncCall); isCall && exec.IsAggregateName(fc.Name) {
+		return e // finalized value substituted at merge time
+	}
+	if txt, err := sql.FormatExpr(e); err == nil {
+		if k, isGroup := groupTxt[txt]; isGroup {
+			return &sql.ColumnRef{Column: fmt.Sprintf("__ifdb_g%d", k)}
+		}
+	}
+	switch x := e.(type) {
+	case *sql.Literal, *sql.Param:
+		return e
+	case *sql.ColumnRef:
+		if x.Table == "" && x.Column == "_label" {
+			return e // evaluates against the merged group label
+		}
+		*ok = false
+		return e
+	case *sql.BinaryExpr:
+		return &sql.BinaryExpr{Op: x.Op, Left: rewriteGlue(x.Left, groupTxt, ok), Right: rewriteGlue(x.Right, groupTxt, ok)}
+	case *sql.UnaryExpr:
+		return &sql.UnaryExpr{Op: x.Op, Expr: rewriteGlue(x.Expr, groupTxt, ok)}
+	case *sql.IsNullExpr:
+		return &sql.IsNullExpr{Expr: rewriteGlue(x.Expr, groupTxt, ok), Not: x.Not}
+	case *sql.BetweenExpr:
+		return &sql.BetweenExpr{Expr: rewriteGlue(x.Expr, groupTxt, ok), Lo: rewriteGlue(x.Lo, groupTxt, ok), Hi: rewriteGlue(x.Hi, groupTxt, ok), Not: x.Not}
+	case *sql.InExpr:
+		if x.Sub != nil {
+			*ok = false
+			return e
+		}
+		list := make([]sql.Expr, len(x.List))
+		for i, it := range x.List {
+			list[i] = rewriteGlue(it, groupTxt, ok)
+		}
+		return &sql.InExpr{Expr: rewriteGlue(x.Expr, groupTxt, ok), List: list, Not: x.Not}
+	case *sql.FuncCall:
+		if !gatewayFns[x.Name] {
+			*ok = false
+			return e
+		}
+		args := make([]sql.Expr, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = rewriteGlue(a, groupTxt, ok)
+		}
+		return &sql.FuncCall{Name: x.Name, Args: args}
+	default:
+		*ok = false
+		return e
+	}
+}
+
+// gatewayConst reports whether a LIMIT/OFFSET expression is
+// evaluable at the gateway: parameters, literals, and pure operators
+// over them. nil is fine (clause absent).
+func gatewayConst(e sql.Expr) bool {
+	if e == nil {
+		return true
+	}
+	if exec.HasAggregate(e) {
+		return false
+	}
+	ok := true
+	constGlue(e, &ok)
+	return ok
+}
+
+func constGlue(e sql.Expr, ok *bool) {
+	switch x := e.(type) {
+	case *sql.Literal, *sql.Param:
+	case *sql.BinaryExpr:
+		constGlue(x.Left, ok)
+		constGlue(x.Right, ok)
+	case *sql.UnaryExpr:
+		constGlue(x.Expr, ok)
+	default:
+		*ok = false
+	}
+}
+
+// unsafeToSplit walks every expression in the statement looking for
+// constructs a split must not push into a fragment or reproduce at the
+// gateway: subqueries, and any function that is neither an aggregate
+// nor a gateway builtin — in particular declassify (whose authority
+// checks and label stripping must run exactly once, in the session's
+// engine) and now() (which would evaluate at a different instant on
+// every shard).
+func unsafeToSplit(sel *sql.SelectStmt) bool {
+	found := false
+	var walk func(e sql.Expr)
+	walk = func(e sql.Expr) {
+		switch x := e.(type) {
+		case *sql.BinaryExpr:
+			walk(x.Left)
+			walk(x.Right)
+		case *sql.UnaryExpr:
+			walk(x.Expr)
+		case *sql.IsNullExpr:
+			walk(x.Expr)
+		case *sql.BetweenExpr:
+			walk(x.Expr)
+			walk(x.Lo)
+			walk(x.Hi)
+		case *sql.InExpr:
+			if x.Sub != nil {
+				found = true
+			}
+			walk(x.Expr)
+			for _, it := range x.List {
+				walk(it)
+			}
+		case *sql.FuncCall:
+			if !exec.IsAggregateName(x.Name) && !gatewayFns[x.Name] {
+				found = true
+			}
+			for _, a := range x.Args {
+				walk(a)
+			}
+		case *sql.ExistsExpr, *sql.SubqueryExpr:
+			found = true
+		}
+	}
+	for _, it := range sel.Items {
+		walk(it.Expr)
+	}
+	walk(sel.Where)
+	for _, ge := range sel.GroupBy {
+		walk(ge)
+	}
+	walk(sel.Having)
+	for _, ob := range sel.OrderBy {
+		walk(ob.Expr)
+	}
+	walk(sel.Limit)
+	walk(sel.Offset)
+	return found
+}
+
+func intLiteral(e sql.Expr) (int64, bool) {
+	if lit, ok := e.(*sql.Literal); ok && lit.Value.Kind() == types.KindInt {
+		return lit.Value.Int(), true
+	}
+	return 0, false
+}
+
+func intValue(n int64) types.Value { return types.NewInt(n) }

@@ -14,169 +14,9 @@ import (
 // and tests may substitute it.
 var nowFunc = time.Now
 
-// aggState accumulates one aggregate call over one group.
-type aggState struct {
-	fn       string
-	distinct bool
-	star     bool
-
-	count   int64
-	sumI    int64
-	sumF    float64
-	isFloat bool
-	minV    types.Value
-	maxV    types.Value
-	seen    map[string]bool // for DISTINCT
-	any     bool
-}
-
-func newAggState(fc *sql.FuncCall) *aggState {
-	st := &aggState{fn: fc.Name, distinct: fc.Distinct, star: fc.Star}
-	if fc.Distinct {
-		st.seen = make(map[string]bool)
-	}
-	return st
-}
-
-func (a *aggState) add(v types.Value) error {
-	if a.star {
-		a.count++
-		return nil
-	}
-	if v.IsNull() {
-		return nil // aggregates ignore NULLs
-	}
-	if a.distinct {
-		k := string(rune(v.Kind())) + v.String()
-		if a.seen[k] {
-			return nil
-		}
-		a.seen[k] = true
-	}
-	a.any = true
-	a.count++
-	switch a.fn {
-	case "count":
-	case "sum", "avg":
-		switch v.Kind() {
-		case types.KindInt:
-			a.sumI += v.Int()
-			a.sumF += float64(v.Int())
-		case types.KindFloat:
-			a.isFloat = true
-			a.sumF += v.Float()
-		default:
-			return fmt.Errorf("engine: %s over %s", a.fn, v.Kind())
-		}
-	case "min":
-		if a.minV.IsNull() || v.Compare(a.minV) < 0 {
-			a.minV = v
-		}
-	case "max":
-		if a.maxV.IsNull() || v.Compare(a.maxV) > 0 {
-			a.maxV = v
-		}
-	default:
-		return fmt.Errorf("engine: unknown aggregate %q", a.fn)
-	}
-	return nil
-}
-
-func (a *aggState) result() types.Value {
-	switch a.fn {
-	case "count":
-		return types.NewInt(a.count)
-	case "sum":
-		if !a.any {
-			return types.Null
-		}
-		if a.isFloat {
-			return types.NewFloat(a.sumF)
-		}
-		return types.NewInt(a.sumI)
-	case "avg":
-		if !a.any {
-			return types.Null
-		}
-		return types.NewFloat(a.sumF / float64(a.count))
-	case "min":
-		return a.minV
-	case "max":
-		return a.maxV
-	}
-	return types.Null
-}
-
-// collectAggs gathers the distinct aggregate call nodes in an
-// expression tree (by pointer identity).
-func collectAggs(e sql.Expr, out *[]*sql.FuncCall, seen map[*sql.FuncCall]bool) {
-	switch x := e.(type) {
-	case nil:
-	case *sql.FuncCall:
-		if exec.IsAggregateName(x.Name) {
-			if !seen[x] {
-				seen[x] = true
-				*out = append(*out, x)
-			}
-			return
-		}
-		for _, a := range x.Args {
-			collectAggs(a, out, seen)
-		}
-	case *sql.BinaryExpr:
-		collectAggs(x.Left, out, seen)
-		collectAggs(x.Right, out, seen)
-	case *sql.UnaryExpr:
-		collectAggs(x.Expr, out, seen)
-	case *sql.IsNullExpr:
-		collectAggs(x.Expr, out, seen)
-	case *sql.BetweenExpr:
-		collectAggs(x.Expr, out, seen)
-		collectAggs(x.Lo, out, seen)
-		collectAggs(x.Hi, out, seen)
-	case *sql.InExpr:
-		collectAggs(x.Expr, out, seen)
-		for _, it := range x.List {
-			collectAggs(it, out, seen)
-		}
-	}
-}
-
-// replaceAggs rewrites aggregate call nodes to parameter placeholders
-// (indexes from mapping), leaving everything else shared.
-func replaceAggs(e sql.Expr, mapping map[*sql.FuncCall]int) sql.Expr {
-	switch x := e.(type) {
-	case nil:
-		return nil
-	case *sql.FuncCall:
-		if idx, ok := mapping[x]; ok {
-			return &sql.Param{Index: idx}
-		}
-		args := make([]sql.Expr, len(x.Args))
-		for i, a := range x.Args {
-			args[i] = replaceAggs(a, mapping)
-		}
-		return &sql.FuncCall{Name: x.Name, Star: x.Star, Distinct: x.Distinct, Args: args}
-	case *sql.BinaryExpr:
-		return &sql.BinaryExpr{Op: x.Op, Left: replaceAggs(x.Left, mapping), Right: replaceAggs(x.Right, mapping)}
-	case *sql.UnaryExpr:
-		return &sql.UnaryExpr{Op: x.Op, Expr: replaceAggs(x.Expr, mapping)}
-	case *sql.IsNullExpr:
-		return &sql.IsNullExpr{Expr: replaceAggs(x.Expr, mapping), Not: x.Not}
-	case *sql.BetweenExpr:
-		return &sql.BetweenExpr{Expr: replaceAggs(x.Expr, mapping), Lo: replaceAggs(x.Lo, mapping), Hi: replaceAggs(x.Hi, mapping), Not: x.Not}
-	case *sql.InExpr:
-		list := make([]sql.Expr, len(x.List))
-		for i, it := range x.List {
-			list[i] = replaceAggs(it, mapping)
-		}
-		return &sql.InExpr{Expr: replaceAggs(x.Expr, mapping), List: list, Sub: x.Sub, Not: x.Not}
-	default:
-		return e
-	}
-}
-
-// aggregate executes a grouped/aggregated SELECT.
+// aggregate executes a grouped/aggregated SELECT. The accumulator
+// (exec.AggState) is shared with the streaming executor and the
+// distributed gateway merge.
 //
 // The label of each output row is the union of the labels of the rows
 // that fed it: derived data carries the contamination of its inputs
@@ -187,11 +27,11 @@ func (s *Session) aggregate(sel *sql.SelectStmt, items []sql.SelectItem, orderEx
 	var aggs []*sql.FuncCall
 	seen := make(map[*sql.FuncCall]bool)
 	for _, it := range items {
-		collectAggs(it.Expr, &aggs, seen)
+		exec.CollectAggs(it.Expr, &aggs, seen)
 	}
-	collectAggs(sel.Having, &aggs, seen)
+	exec.CollectAggs(sel.Having, &aggs, seen)
 	for _, oe := range orderExprs {
-		collectAggs(oe, &aggs, seen)
+		exec.CollectAggs(oe, &aggs, seen)
 	}
 
 	// Allocate placeholder parameter indexes after the user's params.
@@ -202,17 +42,17 @@ func (s *Session) aggregate(sel *sql.SelectStmt, items []sql.SelectItem, orderEx
 	}
 	subItems := make([]sql.Expr, len(items))
 	for i, it := range items {
-		subItems[i] = replaceAggs(it.Expr, mapping)
+		subItems[i] = exec.ReplaceAggs(it.Expr, mapping)
 	}
-	subHaving := replaceAggs(sel.Having, mapping)
+	subHaving := exec.ReplaceAggs(sel.Having, mapping)
 	subOrder := make([]sql.Expr, len(orderExprs))
 	for i, oe := range orderExprs {
-		subOrder[i] = replaceAggs(oe, mapping)
+		subOrder[i] = exec.ReplaceAggs(oe, mapping)
 	}
 
 	type group struct {
 		rep    qrow // representative row (first of group)
-		states []*aggState
+		states []*exec.AggState
 		lbl    label.Label
 		ilbl   label.Label
 		first  bool
@@ -236,9 +76,9 @@ func (s *Session) aggregate(sel *sql.SelectStmt, items []sql.SelectItem, orderEx
 		}
 		g, ok := groups[key]
 		if !ok {
-			g = &group{rep: r, states: make([]*aggState, len(aggs)), first: true, ilbl: r.ilbl}
+			g = &group{rep: r, states: make([]*exec.AggState, len(aggs)), first: true, ilbl: r.ilbl}
 			for i, fc := range aggs {
-				g.states[i] = newAggState(fc)
+				g.states[i] = exec.NewAggState(fc)
 			}
 			groups[key] = g
 			order = append(order, key)
@@ -251,7 +91,7 @@ func (s *Session) aggregate(sel *sql.SelectStmt, items []sql.SelectItem, orderEx
 		}
 		for i, fc := range aggs {
 			if fc.Star {
-				if err := g.states[i].add(types.Null); err != nil {
+				if err := g.states[i].Add(types.Null); err != nil {
 					return nil, err
 				}
 				continue
@@ -263,7 +103,7 @@ func (s *Session) aggregate(sel *sql.SelectStmt, items []sql.SelectItem, orderEx
 			if err != nil {
 				return nil, err
 			}
-			if err := g.states[i].add(v); err != nil {
+			if err := g.states[i].Add(v); err != nil {
 				return nil, err
 			}
 		}
@@ -271,9 +111,9 @@ func (s *Session) aggregate(sel *sql.SelectStmt, items []sql.SelectItem, orderEx
 
 	// With no GROUP BY, an empty input still yields one group.
 	if len(sel.GroupBy) == 0 && len(groups) == 0 {
-		g := &group{rep: qrow{vals: make([]types.Value, len(input.schema))}, states: make([]*aggState, len(aggs))}
+		g := &group{rep: qrow{vals: make([]types.Value, len(input.schema))}, states: make([]*exec.AggState, len(aggs))}
 		for i, fc := range aggs {
-			g.states[i] = newAggState(fc)
+			g.states[i] = exec.NewAggState(fc)
 		}
 		groups[""] = g
 		order = append(order, "")
@@ -285,7 +125,7 @@ func (s *Session) aggregate(sel *sql.SelectStmt, items []sql.SelectItem, orderEx
 		params := make([]types.Value, base+len(aggs))
 		copy(params, env.Params)
 		for i, st := range g.states {
-			params[base+i] = st.result()
+			params[base+i] = st.Result()
 		}
 		genv := &exec.Env{
 			Schema:    input.schema,

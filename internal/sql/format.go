@@ -1,0 +1,317 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"ifdb/internal/types"
+)
+
+// This file renders a parsed statement back into SQL text that the
+// parser accepts and that executes identically. It exists for the
+// distributed planner, which rewrites a SELECT into a per-shard
+// fragment and must put the fragment back on the wire as text.
+//
+// The rules that make the round trip exact:
+//
+//   - every identifier is emitted double-quoted. The parser preserves
+//     quoted identifiers verbatim and lower-cases unquoted ones, and
+//     identifiers in a parsed tree are already in their resolved form,
+//     so quoting reproduces them exactly;
+//   - every operator application is fully parenthesized, so no
+//     precedence is re-negotiated on re-parse;
+//   - float literals always carry a '.' or exponent, because the lexer
+//     classifies a number as a float only when one is present.
+//
+// Constructs with no textual form (subqueries are rejected by the
+// distributed planner before rendering, time/label literals never
+// come out of the parser) return an error rather than guessing.
+
+// FormatExpr renders an expression as re-parseable SQL text.
+func FormatExpr(e Expr) (string, error) {
+	var b strings.Builder
+	if err := formatExprTo(&b, e); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}
+
+// MustFormatExpr is FormatExpr for callers that already vetted the
+// tree; it panics on the constructs FormatExpr rejects.
+func MustFormatExpr(e Expr) string {
+	s, err := FormatExpr(e)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func formatExprTo(b *strings.Builder, e Expr) error {
+	switch x := e.(type) {
+	case *ColumnRef:
+		if x.Table != "" {
+			if err := writeIdent(b, x.Table); err != nil {
+				return err
+			}
+			b.WriteByte('.')
+		}
+		return writeIdent(b, x.Column)
+	case *Literal:
+		return formatLiteral(b, x.Value)
+	case *Param:
+		fmt.Fprintf(b, "$%d", x.Index)
+		return nil
+	case *BinaryExpr:
+		b.WriteByte('(')
+		if err := formatExprTo(b, x.Left); err != nil {
+			return err
+		}
+		b.WriteByte(' ')
+		b.WriteString(x.Op)
+		b.WriteByte(' ')
+		if err := formatExprTo(b, x.Right); err != nil {
+			return err
+		}
+		b.WriteByte(')')
+		return nil
+	case *UnaryExpr:
+		b.WriteByte('(')
+		b.WriteString(x.Op)
+		b.WriteByte(' ')
+		if err := formatExprTo(b, x.Expr); err != nil {
+			return err
+		}
+		b.WriteByte(')')
+		return nil
+	case *IsNullExpr:
+		b.WriteByte('(')
+		if err := formatExprTo(b, x.Expr); err != nil {
+			return err
+		}
+		if x.Not {
+			b.WriteString(" IS NOT NULL)")
+		} else {
+			b.WriteString(" IS NULL)")
+		}
+		return nil
+	case *InExpr:
+		if x.Sub != nil {
+			return fmt.Errorf("sql: cannot format IN subquery")
+		}
+		b.WriteByte('(')
+		if err := formatExprTo(b, x.Expr); err != nil {
+			return err
+		}
+		if x.Not {
+			b.WriteString(" NOT IN (")
+		} else {
+			b.WriteString(" IN (")
+		}
+		for i, it := range x.List {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			if err := formatExprTo(b, it); err != nil {
+				return err
+			}
+		}
+		b.WriteString("))")
+		return nil
+	case *BetweenExpr:
+		b.WriteByte('(')
+		if err := formatExprTo(b, x.Expr); err != nil {
+			return err
+		}
+		if x.Not {
+			b.WriteString(" NOT BETWEEN ")
+		} else {
+			b.WriteString(" BETWEEN ")
+		}
+		if err := formatExprTo(b, x.Lo); err != nil {
+			return err
+		}
+		b.WriteString(" AND ")
+		if err := formatExprTo(b, x.Hi); err != nil {
+			return err
+		}
+		b.WriteByte(')')
+		return nil
+	case *FuncCall:
+		b.WriteString(x.Name)
+		b.WriteByte('(')
+		if x.Star {
+			b.WriteByte('*')
+		} else {
+			if x.Distinct {
+				b.WriteString("DISTINCT ")
+			}
+			for i, a := range x.Args {
+				if i > 0 {
+					b.WriteString(", ")
+				}
+				if err := formatExprTo(b, a); err != nil {
+					return err
+				}
+			}
+		}
+		b.WriteByte(')')
+		return nil
+	case *ExistsExpr, *SubqueryExpr:
+		return fmt.Errorf("sql: cannot format subquery expression")
+	case nil:
+		return fmt.Errorf("sql: cannot format nil expression")
+	default:
+		return fmt.Errorf("sql: cannot format %T", e)
+	}
+}
+
+func formatLiteral(b *strings.Builder, v types.Value) error {
+	switch v.Kind() {
+	case types.KindNull:
+		b.WriteString("NULL")
+	case types.KindInt:
+		fmt.Fprintf(b, "%d", v.Int())
+	case types.KindFloat:
+		f := v.Float()
+		s := strconv.FormatFloat(f, 'g', -1, 64)
+		if !strings.ContainsAny(s, ".eE") {
+			s += ".0" // the lexer needs the marker to lex a float
+		}
+		if strings.ContainsAny(s, "IN") { // Inf / NaN have no literal form
+			return fmt.Errorf("sql: cannot format float literal %s", s)
+		}
+		b.WriteString(s)
+	case types.KindBool:
+		if v.Bool() {
+			b.WriteString("TRUE")
+		} else {
+			b.WriteString("FALSE")
+		}
+	case types.KindText:
+		b.WriteByte('\'')
+		b.WriteString(strings.ReplaceAll(v.Text(), "'", "''"))
+		b.WriteByte('\'')
+	default:
+		return fmt.Errorf("sql: cannot format %v literal", v.Kind())
+	}
+	return nil
+}
+
+// writeIdent emits a double-quoted identifier. The parser has no
+// escape for an embedded double quote, so such names are unformattable.
+func writeIdent(b *strings.Builder, name string) error {
+	if strings.Contains(name, `"`) {
+		return fmt.Errorf("sql: cannot format identifier %q", name)
+	}
+	b.WriteByte('"')
+	b.WriteString(name)
+	b.WriteByte('"')
+	return nil
+}
+
+// FormatSelect renders a single-table SELECT (no joins, no derived
+// tables, no FOR UPDATE) back to SQL text. This is exactly the shape
+// the distributed planner ships to shards.
+func FormatSelect(sel *SelectStmt) (string, error) {
+	if len(sel.Joins) > 0 {
+		return "", fmt.Errorf("sql: cannot format SELECT with joins")
+	}
+	if sel.ForUpdate {
+		return "", fmt.Errorf("sql: cannot format SELECT FOR UPDATE")
+	}
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if sel.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	for i, it := range sel.Items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if it.Star {
+			if it.Table != "" {
+				if err := writeIdent(&b, it.Table); err != nil {
+					return "", err
+				}
+				b.WriteByte('.')
+			}
+			b.WriteByte('*')
+			continue
+		}
+		if err := formatExprTo(&b, it.Expr); err != nil {
+			return "", err
+		}
+		if it.Alias != "" {
+			b.WriteString(" AS ")
+			if err := writeIdent(&b, it.Alias); err != nil {
+				return "", err
+			}
+		}
+	}
+	if sel.From != nil {
+		if sel.From.Sub != nil {
+			return "", fmt.Errorf("sql: cannot format derived table")
+		}
+		b.WriteString(" FROM ")
+		if err := writeIdent(&b, sel.From.Name); err != nil {
+			return "", err
+		}
+		if sel.From.Alias != "" {
+			b.WriteString(" AS ")
+			if err := writeIdent(&b, sel.From.Alias); err != nil {
+				return "", err
+			}
+		}
+	}
+	if sel.Where != nil {
+		b.WriteString(" WHERE ")
+		if err := formatExprTo(&b, sel.Where); err != nil {
+			return "", err
+		}
+	}
+	if len(sel.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		for i, e := range sel.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			if err := formatExprTo(&b, e); err != nil {
+				return "", err
+			}
+		}
+	}
+	if sel.Having != nil {
+		b.WriteString(" HAVING ")
+		if err := formatExprTo(&b, sel.Having); err != nil {
+			return "", err
+		}
+	}
+	if len(sel.OrderBy) > 0 {
+		b.WriteString(" ORDER BY ")
+		for i, ob := range sel.OrderBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			if err := formatExprTo(&b, ob.Expr); err != nil {
+				return "", err
+			}
+			if ob.Desc {
+				b.WriteString(" DESC")
+			}
+		}
+	}
+	if sel.Limit != nil {
+		b.WriteString(" LIMIT ")
+		if err := formatExprTo(&b, sel.Limit); err != nil {
+			return "", err
+		}
+	}
+	if sel.Offset != nil {
+		b.WriteString(" OFFSET ")
+		if err := formatExprTo(&b, sel.Offset); err != nil {
+			return "", err
+		}
+	}
+	return b.String(), nil
+}

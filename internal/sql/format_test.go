@@ -1,0 +1,110 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+)
+
+// roundTrip parses one SELECT, formats it, re-parses the rendering,
+// and formats again: the two renderings must be byte-identical (the
+// formatter is a fixed point over its own output).
+func roundTrip(t *testing.T, src string) string {
+	t.Helper()
+	stmts, err := ParseAll(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	if len(stmts) != 1 {
+		t.Fatalf("parse %q: %d statements", src, len(stmts))
+	}
+	sel, ok := stmts[0].(*SelectStmt)
+	if !ok {
+		t.Fatalf("parse %q: %T", src, stmts[0])
+	}
+	out1, err := FormatSelect(sel)
+	if err != nil {
+		t.Fatalf("format %q: %v", src, err)
+	}
+	stmts2, err := ParseAll(out1)
+	if err != nil {
+		t.Fatalf("re-parse %q (from %q): %v", out1, src, err)
+	}
+	out2, err := FormatSelect(stmts2[0].(*SelectStmt))
+	if err != nil {
+		t.Fatalf("re-format %q: %v", out1, err)
+	}
+	if out1 != out2 {
+		t.Fatalf("not a fixed point:\n  first:  %s\n  second: %s", out1, out2)
+	}
+	return out1
+}
+
+func TestFormatSelectRoundTrip(t *testing.T) {
+	cases := []string{
+		"SELECT 1",
+		"SELECT * FROM t",
+		"SELECT t.* FROM t",
+		"SELECT a, b AS total FROM t AS x",
+		"SELECT a + 1, -b, NOT c FROM t",
+		"SELECT a FROM t WHERE a = 1 AND b <> 'x''y'",
+		"SELECT a FROM t WHERE a BETWEEN 1 AND 10 OR b NOT IN (1, 2, 3)",
+		"SELECT a FROM t WHERE name LIKE 'a%' AND b IS NOT NULL",
+		"SELECT count(*), sum(v), avg(v), min(v), max(v) FROM t",
+		"SELECT g, count(DISTINCT v) FROM t GROUP BY g HAVING count(*) > 1",
+		"SELECT a FROM t ORDER BY a DESC, b LIMIT 10 OFFSET 2",
+		"SELECT lower(name) || '!' FROM t WHERE f > 1.5 AND f < 2e3",
+		"SELECT a FROM t WHERE ok = TRUE AND bad = FALSE AND gone IS NULL",
+		"SELECT a FROM t WHERE k = $1 AND v > $2",
+		"SELECT \"MiXeD\" FROM \"CaseTable\"",
+		"SELECT a % 2, a * 3 / 4 - 5 FROM t",
+		"SELECT coalesce(a, 0.0) FROM t",
+	}
+	for _, src := range cases {
+		roundTrip(t, src)
+	}
+}
+
+func TestFormatFloatKeepsMarker(t *testing.T) {
+	// 2.0 formats via %g as "2"; the formatter must restore a float
+	// marker or the re-parse would produce an int literal.
+	out := roundTrip(t, "SELECT 2.0 FROM t")
+	if !strings.Contains(out, "2.0") {
+		t.Fatalf("float literal lost its marker: %s", out)
+	}
+}
+
+func TestFormatSelectRejectsSubqueries(t *testing.T) {
+	for _, src := range []string{
+		"SELECT a FROM t WHERE a IN (SELECT b FROM u)",
+		"SELECT a FROM t WHERE EXISTS (SELECT 1 FROM u)",
+		"SELECT (SELECT max(b) FROM u) FROM t",
+		"SELECT a FROM (SELECT a FROM t) AS d",
+		"SELECT a FROM t JOIN u ON t.a = u.a",
+		"SELECT a FROM t FOR UPDATE",
+	} {
+		stmts, err := ParseAll(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		if _, err := FormatSelect(stmts[0].(*SelectStmt)); err == nil {
+			t.Fatalf("FormatSelect(%q): expected error", src)
+		}
+	}
+}
+
+func TestFormatExprQuotesIdentifiers(t *testing.T) {
+	stmts, err := ParseAll(`SELECT a FROM t WHERE Up = 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := stmts[0].(*SelectStmt)
+	out, err := FormatExpr(sel.Where)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unquoted identifiers fold to lower case; the formatter re-quotes
+	// the folded form.
+	if out != `("up" = 1)` {
+		t.Fatalf("got %s", out)
+	}
+}

@@ -11,6 +11,8 @@ var (
 		"Protocol frames read from clients on established sessions.")
 	mFramesOut = obs.NewCounter("ifdb_server_frames_out_total",
 		"Protocol frames written to clients (results, chunks, control replies).")
+	mRowsBytes = obs.NewCounter("ifdb_wire_rows_bytes_total",
+		"Encoded payload bytes of ROWS frames written to clients — the bytes-on-wire cost of result streaming (partial-aggregate pushdown shrinks it).")
 	mSlowQueries = obs.NewCounter("ifdb_server_slow_queries_total",
 		"Statements whose total server-side time exceeded the slow-query threshold.")
 	mStmtSeconds = obs.NewDurationHistogram("ifdb_server_stmt_seconds",

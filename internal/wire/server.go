@@ -670,6 +670,7 @@ func writeChunk(w *bufio.Writer, c *RowsChunk) error {
 	}
 	if len(enc)+1 <= MaxFrame {
 		mFramesOut.Inc()
+		mRowsBytes.Add(int64(len(enc)))
 		return WriteFrame(w, MsgRows, enc)
 	}
 	if len(c.Rows) <= 1 {

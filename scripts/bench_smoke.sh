@@ -42,17 +42,20 @@ cmp -s "$workdir/p1/prepared.trace" "$workdir/p2/prepared.trace" || {
   echo "bench_smoke: poisson trace is not deterministic" >&2; exit 1; }
 
 # --- 2. Replay the recorded traces and emit the schema-2 JSON report.
-# large-result rides along: it is not schedule-driven (no trace), but
-# its two executor groups and time-to-first-row notes must land in the
-# same report the diff tool consumes.
-"$BENCH" -exp "$EXPS,large-result" -duration 1s -replay "$workdir/t1" \
+# large-result and scatter-agg ride along: neither is schedule-driven
+# (no trace), but their groups and notes — executor time-to-first-row,
+# distributed-aggregate bytes-on-wire — must land in the same report
+# the diff tool consumes.
+"$BENCH" -exp "$EXPS,large-result,scatter-agg" -duration 1s -replay "$workdir/t1" \
   -json "$workdir/BENCH_smoke.json" >/dev/null
 
 grep -q '"schema": 2' "$workdir/BENCH_smoke.json" || {
   echo "bench_smoke: report missing schema 2 marker" >&2; exit 1; }
 for needle in '"experiments"' '"groups"' '"registry"' '"p99_us"' \
               'mixed-tenant' 'ifdb_router_shard_routed_total' \
-              'large-result' 'stream_ttfr_p50_us' 'streaming executor'; do
+              'large-result' 'stream_ttfr_p50_us' 'streaming executor' \
+              'scatter-agg' 'rows_bytes_4shards_partial-agg' \
+              'ifdb_wire_rows_bytes_total'; do
   grep -q "$needle" "$workdir/BENCH_smoke.json" || {
     echo "bench_smoke: report missing $needle" >&2; exit 1; }
 done
@@ -86,6 +89,17 @@ grep -q "compared metrics" "$workdir/diff8.out" || {
 grep -q "large-result" "$workdir/diff8.out" || {
   echo "bench_smoke: BENCH_8 diff did not compare the large-result groups" >&2
   cat "$workdir/diff8.out" >&2
+  exit 1
+}
+"$BENCH" -diff BENCH_10.json "$workdir/BENCH_smoke.json" > "$workdir/diff10.out"
+grep -q "compared metrics" "$workdir/diff10.out" || {
+  echo "bench_smoke: BENCH_10 baseline diff produced no comparison summary" >&2
+  cat "$workdir/diff10.out" >&2
+  exit 1
+}
+grep -q "scatter-agg" "$workdir/diff10.out" || {
+  echo "bench_smoke: BENCH_10 diff did not compare the scatter-agg groups" >&2
+  cat "$workdir/diff10.out" >&2
   exit 1
 }
 

@@ -103,6 +103,43 @@ shardout=$(echo '\shardmap' | "$workdir/bin/ifdb-cli" -addr 127.0.0.1:15434 -tok
 echo "$shardout" | grep -q "shard 1 primary 127.0.0.1:5435" \
   || { echo "docs_smoke: served shard map does not match the README example"; exit 1; }
 
+# --- 2b. The scatter-gather walkthrough: a real two-shard cluster,
+# the examples/scatter program against it, and its output diffed
+# byte-for-byte against the README's block — the EXPLAIN plan lines
+# (Scatter/Gateway/Fragment) and the merged GROUP BY counts are the
+# prose's claims.
+cat > "$workdir/shards2.conf" <<'EOF'
+version 1
+table events key k
+shard 0 primary 127.0.0.1:15436
+shard 1 primary 127.0.0.1:15437
+EOF
+"$workdir/bin/ifdb-server" -addr 127.0.0.1:15436 -token demo \
+  -shard-id 0 -shard-map "$workdir/shards2.conf" \
+  >"$workdir/server-s0.log" 2>&1 &
+"$workdir/bin/ifdb-server" -addr 127.0.0.1:15437 -token demo \
+  -shard-id 1 -shard-map "$workdir/shards2.conf" \
+  >"$workdir/server-s1.log" 2>&1 &
+for port in 15436 15437; do
+  for i in $(seq 1 50); do
+    if "$workdir/bin/ifdb-cli" -addr 127.0.0.1:$port -token demo </dev/null >/dev/null 2>&1; then
+      break
+    fi
+    sleep 0.1
+  done
+done
+awk '/<!-- scatter-out-begin -->/{f=1;next} /<!-- scatter-out-end -->/{f=0} f' README.md \
+  | sed '/^```/d' > "$workdir/scatter.want"
+if ! grep -q "Scatter \[shards=2" "$workdir/scatter.want"; then
+  echo "docs_smoke: README scatter walkthrough output not found (markers moved?)" >&2
+  exit 1
+fi
+go run ./examples/scatter -addr 127.0.0.1:15436 -token demo > "$workdir/scatter.got"
+if ! diff -u "$workdir/scatter.want" "$workdir/scatter.got"; then
+  echo "docs_smoke: examples/scatter output drifted from the README block" >&2
+  exit 1
+fi
+
 # --- 3. The Monitoring walkthrough: a durable server with
 # -metrics-listen must serve a Prometheus scrape carrying the WAL and
 # IFC series the README shows, with real fsyncs counted.
@@ -152,4 +189,4 @@ for f in $flags; do
     || { echo "docs_smoke: README mentions flag -$f, not found in any binary's -h"; exit 1; }
 done
 
-echo "docs_smoke: README quickstart, shard map, metrics scrape, and flags all check out"
+echo "docs_smoke: README quickstart, shard map, scatter walkthrough, metrics scrape, and flags all check out"
